@@ -1,0 +1,86 @@
+"""Table 4 / Fig. 7 / Sec. 5.1 — correctness validation.
+
+The paper validates ANT-MOC against OpenMOC on the C5G7 model with the
+Table 4 parameters: k-eff consistent, relative pin-wise fission-rate error
+zero, centre-peaked fission-rate distribution (Fig. 7). Here the role of
+OpenMOC is played by the independent loop-based reference solver; the
+comparison runs on a heterogeneity-preserving mini C5G7 so the full suite
+stays tractable in pure Python (the full 17x17 benchmark runs as
+``examples/c5g7_full_core.py``).
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import ReferenceSolver
+from repro.geometry import C5G7Spec, build_c5g7_geometry
+from repro.materials import c5g7_library
+from repro.runtime.output import ascii_heatmap, pin_power_map
+from repro.solver import MOCSolver
+
+#: Table 4 parameters, mini-scaled geometry.
+TABLE4 = dict(num_azim=4, num_polar=2, azim_spacing=0.5)
+
+
+@pytest.fixture(scope="module")
+def problem():
+    library = c5g7_library()
+    spec = C5G7Spec(pins_per_assembly=3, reflector_refinement=3)
+    geometry = build_c5g7_geometry(library, spec)
+    solver = MOCSolver.for_2d(
+        geometry, num_azim=TABLE4["num_azim"], azim_spacing=TABLE4["azim_spacing"],
+        num_polar=TABLE4["num_polar"], keff_tolerance=1e-6,
+        source_tolerance=1e-5, max_iterations=600,
+    )
+    result = solver.solve()
+    return geometry, solver, result
+
+
+def test_table4_keff_vs_reference(benchmark, reporter, problem):
+    geometry, solver, result = problem
+    reference = ReferenceSolver(solver.trackgen)
+    ref_keff, ref_phi, ref_converged = reference.solve(
+        max_iterations=600, keff_tolerance=1e-6, source_tolerance=1e-5
+    )
+
+    # Benchmark the ANT-MOC-style vectorised sweep (the ported kernel).
+    reduced = solver.terms.reduced_source(result.scalar_flux, result.keff)
+    benchmark(solver.sweeper.sweep, reduced)
+
+    rates = solver.fission_rates(result)
+    ref_rates = reference.fission_rates(ref_phi)
+    fissile = ref_rates > 0
+    rel_err = np.abs(rates[fissile] - ref_rates[fissile]) / ref_rates[fissile]
+
+    reporter.line("Sec. 5.1 correctness: ANT-MOC-style solver vs independent reference")
+    reporter.table(
+        ["Quantity", "ANT-MOC repro", "reference", "paper"],
+        [
+            ["k-eff", f"{result.keff:.6f}", f"{ref_keff:.6f}", "consistent"],
+            ["converged", result.converged, ref_converged, "yes"],
+            ["max fission-rate rel err", f"{rel_err.max():.2e}", "-", "0 (identical)"],
+        ],
+        widths=[26, 16, 14, 14],
+    )
+    assert result.keff == pytest.approx(ref_keff, abs=1e-5)
+    assert rel_err.max() < 1e-4
+
+
+def test_fig7_fission_rate_distribution(benchmark, reporter, problem):
+    geometry, solver, result = problem
+
+    grid = benchmark(
+        pin_power_map, geometry, solver.terms, result.scalar_flux,
+        solver.volumes, 36, 36,
+    )
+    reporter.line("Fig. 7 reproduction: fission-rate distribution (ASCII rendering)")
+    reporter.line("(reflective corner top-left; vacuum right/bottom)")
+    reporter.line()
+    reporter.line(ascii_heatmap(grid))
+    # Centre-peaked under quarter-core symmetry: the fuel nearest the
+    # reflective corner runs hotter than fuel near the vacuum boundary.
+    top_left_fuel = grid[24:, :12]
+    far_fuel = grid[:12, 12:24]
+    assert top_left_fuel.max() > far_fuel.max()
+    # Reflector column carries no fission rate.
+    assert grid[:, 30:].max() == 0.0

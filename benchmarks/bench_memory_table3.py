@@ -1,0 +1,82 @@
+"""Table 3 — memory-footprint percentage per variable class.
+
+Paper values: 2D tracks 0.02%, 3D tracks 0.71%, 2D segments 3.41%,
+3D segments 93.31%, track fluxes 1.85%, others 0.69%. The reproduction
+evaluates Eq. (5) at the paper's track/segment ratios and must land 3D
+segments as the dominant class at >85% with 2D+3D segments ~97%.
+"""
+
+import pytest
+
+from repro.perfmodel import MemoryModel
+
+#: Paper-scale counts with full-core C5G7 chord statistics: a 2D track
+#: spans the whole 64 cm core (~680 segments at ~0.1 cm mean chord) and a
+#: 3D track crosses a few hundred radial/axial cells.
+COUNTS = dict(
+    num_2d_tracks=632_000,
+    num_3d_tracks=54_000_000,
+    num_2d_segments=632_000 * 682,
+    num_3d_segments=54_000_000 * 218,
+    num_fsrs=10_000_000,
+)
+
+PAPER_ROWS = {
+    "2D_tracks": 0.02,
+    "3D_tracks": 0.71,
+    "2D_segments": 3.41,
+    "3D_segments": 93.31,
+    "Track_fluxs": 1.85,
+    "Others": 0.69,
+}
+
+
+@pytest.fixture(scope="module")
+def model():
+    return MemoryModel(num_groups=7)
+
+
+def test_table3_breakdown(benchmark, reporter, model):
+    breakdown = benchmark(lambda: model.breakdown(**COUNTS))
+    pct = breakdown.percentages()
+    reporter.line("Table 3 reproduction: memory footprint per variable class")
+    reporter.line(f"(total modelled footprint: {breakdown.total / 1e9:.1f} GB)")
+    reporter.line()
+    rows = []
+    for item, paper in PAPER_ROWS.items():
+        rows.append([item, f"{paper:.2f}%", f"{pct[item]:.2f}%"])
+    rows.append(["All", "100%", "100.00%"])
+    reporter.table(["Item", "paper", "measured"], rows, widths=[16, 10, 10])
+
+    # Shape assertions from the paper's Table 3 discussion.
+    assert pct["3D_segments"] > 85.0
+    assert pct["3D_segments"] + pct["2D_segments"] > 90.0
+    assert pct["3D_segments"] == max(pct.values())
+    assert sum(pct.values()) == pytest.approx(100.0)
+
+
+def test_segment_share_grows_with_tracks(benchmark, reporter, model):
+    """Paper: 'this proportion increases with an increase in the number
+    of tracks'."""
+
+    def shares_by_scale():
+        shares = []
+        for s in (1, 2, 4, 8):
+            pct = model.breakdown(
+                num_2d_tracks=COUNTS["num_2d_tracks"],
+                num_3d_tracks=COUNTS["num_3d_tracks"] * s,
+                num_2d_segments=COUNTS["num_2d_segments"],
+                num_3d_segments=COUNTS["num_3d_segments"] * s,
+                num_fsrs=COUNTS["num_fsrs"],
+            ).percentages()["3D_segments"]
+            shares.append((s, pct))
+        return shares
+
+    shares = benchmark(shares_by_scale)
+    reporter.line("3D-segment share vs track scale")
+    reporter.table(
+        ["scale", "3D segment share"],
+        rows=[[s, f"{pct:.2f}%"] for s, pct in shares],
+    )
+    values = [pct for _, pct in shares]
+    assert all(b > a for a, b in zip(values, values[1:]))

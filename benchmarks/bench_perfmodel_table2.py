@@ -1,0 +1,56 @@
+"""Table 2 — performance-model parameters and their derivations.
+
+Regenerates the derived quantities (N_2D, N_3D, N_2Dseg, N_3Dseg, N_FSR)
+for a C5G7-class configuration from the four initial inputs, and
+benchmarks the prediction itself (it must stay negligible next to any
+solve, since ANT-MOC evaluates it during setup).
+"""
+
+import pytest
+
+from repro.geometry.c5g7 import CORE_HEIGHT, CORE_WIDTH
+from repro.perfmodel import (
+    PerformanceModel,
+    SegmentRatioModel,
+    TrackingParameters,
+)
+
+
+@pytest.fixture(scope="module")
+def params():
+    # Table 4 tracking inputs over the full C5G7 core box.
+    return TrackingParameters(
+        num_azim=4, azim_spacing=0.5, num_polar=4, polar_spacing=0.1,
+        width=CORE_WIDTH, height=CORE_WIDTH, depth=CORE_HEIGHT,
+        num_fsrs=4 * 289 * 2 + 5,
+    )
+
+
+@pytest.fixture(scope="module")
+def model():
+    # Segment ratios calibrated at C5G7-like chord densities.
+    return PerformanceModel(SegmentRatioModel.calibrate(1000, 65000, 10000, 480000))
+
+
+def test_table2_derivations(benchmark, reporter, params, model):
+    prediction = benchmark(model.predict, params)
+    reporter.line("Table 2 reproduction: parameters and derived values")
+    reporter.line("(inputs per paper Table 4: 4 azim / 4 polar, 0.5 / 0.1 cm)")
+    reporter.line()
+    reporter.table(
+        ["Parameter", "Shorthand", "Value"],
+        [
+            ["Number of azimuth angles", "N_num", params.num_azim],
+            ["Spacing of azimuth angles", "S_azim", params.azim_spacing],
+            ["Number of polar angles", "P_num", params.num_polar],
+            ["Spacing of polar angles", "S_polar", params.polar_spacing],
+            ["Number of 2D tracks", "N_2D", prediction.num_2d_tracks],
+            ["Number of 2D segments", "N_2Dseg", prediction.num_2d_segments],
+            ["Number of 3D tracks", "N_3D", prediction.num_3d_tracks],
+            ["Number of 3D segments", "N_3Dseg", prediction.num_3d_segments],
+            ["Number of FSRs", "N_FSR", prediction.num_fsrs],
+        ],
+        widths=[30, 12, 16],
+    )
+    assert prediction.num_3d_tracks > prediction.num_2d_tracks
+    assert prediction.num_3d_segments > prediction.num_3d_tracks

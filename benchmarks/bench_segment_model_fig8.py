@@ -1,0 +1,129 @@
+"""Fig. 8 — predicted vs measured segment counts across track scales.
+
+The paper calibrates Eq. (4) on a small sample and predicts the segment
+count of five successively denser track configurations; the relative
+error fluctuates within 1.1%. The reproduction runs the *real* tracker
+at five densities on a heterogeneous lattice, predicts each from the
+coarsest sample, and requires the same error band (allowing 3% at the
+coarsest points where integer track counts bite hardest).
+"""
+
+import pytest
+
+from repro.geometry import C5G7Spec, build_c5g7_geometry
+from repro.materials import c5g7_library
+from repro.perfmodel import SegmentRatioModel
+from repro.tracks import TrackGenerator
+
+#: Track-density sweep: requested azimuthal spacings (cm).
+SPACINGS = [0.20, 0.14, 0.10, 0.07, 0.05]
+CALIBRATION_SPACING = 0.28
+
+
+@pytest.fixture(scope="module")
+def geometry():
+    return build_c5g7_geometry(
+        c5g7_library(), C5G7Spec(pins_per_assembly=3, reflector_refinement=3)
+    )
+
+
+def test_fig8_prediction_error(benchmark, reporter, geometry):
+    calibration = TrackGenerator(
+        geometry, num_azim=8, azim_spacing=CALIBRATION_SPACING
+    ).generate()
+    model = SegmentRatioModel.calibrate(
+        calibration.num_tracks, calibration.num_segments
+    )
+
+    rows = []
+    errors = []
+    for spacing in SPACINGS:
+        tg = TrackGenerator(geometry, num_azim=8, azim_spacing=spacing).generate()
+        predicted = model.predict_2d(tg.num_tracks)
+        err = model.relative_error_2d(tg.num_tracks, tg.num_segments)
+        errors.append(err)
+        rows.append(
+            [f"{spacing:.2f}", tg.num_tracks, tg.num_segments, predicted, f"{100 * err:.2f}%"]
+        )
+
+    # Benchmark the measurement the model replaces: a full ray trace.
+    densest = TrackGenerator(geometry, num_azim=8, azim_spacing=SPACINGS[0])
+    benchmark(densest.generate)
+
+    reporter.line("Fig. 8 reproduction: predicted vs measured segment counts")
+    reporter.line(f"(calibrated once at {CALIBRATION_SPACING} cm spacing; paper error band: <= 1.1%)")
+    reporter.line()
+    reporter.table(
+        ["spacing", "tracks", "measured", "predicted", "rel err"],
+        rows,
+        widths=[10, 10, 12, 12, 10],
+    )
+    reporter.line(f"max relative error: {100 * max(errors):.2f}%")
+
+    assert max(errors) < 0.03
+    # The model must get *better*, not worse, as density increases.
+    assert errors[-1] <= max(errors[:2]) + 1e-9
+
+
+def test_fig8_3d_prediction_error(benchmark, reporter):
+    """The 3D arm of Eq. (4): calibrate the 3D segments-per-track ratio on
+    a coarse axial laydown, predict denser ones."""
+    from repro.geometry import BoundaryCondition, Geometry, Lattice
+    from repro.geometry.extruded import AxialMesh, ExtrudedGeometry
+    from repro.geometry.universe import make_homogeneous_universe
+    from repro.materials import c5g7_library
+    from repro.tracks import TrackGenerator3D
+
+    lib = c5g7_library()
+    fuel = make_homogeneous_universe(lib["UO2"])
+    water = make_homogeneous_universe(lib["Moderator"])
+    radial = Geometry(Lattice([[fuel, water], [water, fuel]], 1.26, 1.26))
+    geometry3d = ExtrudedGeometry(
+        radial, AxialMesh.uniform(0.0, 2.52, 3),
+        boundary_zmax=BoundaryCondition.REFLECTIVE,
+    )
+
+    def generate(spacing):
+        tg = TrackGenerator3D(
+            geometry3d, num_azim=4, azim_spacing=spacing, polar_spacing=spacing,
+            num_polar=2,
+        ).generate()
+        segments = tg.trace_all_3d()
+        return tg.num_tracks_3d, segments.num_segments
+
+    coarse_tracks, coarse_segments = generate(0.5)
+    model = SegmentRatioModel.calibrate(1, 1, coarse_tracks, coarse_segments)
+
+    rows, errors = [], []
+    for spacing in (0.35, 0.25, 0.18):
+        tracks, measured = generate(spacing)
+        predicted = model.predict_3d(tracks)
+        err = model.relative_error_3d(tracks, measured)
+        errors.append(err)
+        rows.append([f"{spacing:.2f}", tracks, measured, predicted, f"{100 * err:.2f}%"])
+
+    benchmark(generate, 0.35)
+    reporter.line("Fig. 8 reproduction (3D): predicted vs measured 3D segments")
+    reporter.table(
+        ["spacing", "3D tracks", "measured", "predicted", "rel err"],
+        rows, widths=[10, 11, 12, 12, 10],
+    )
+    assert max(errors) < 0.06  # coarser than 2D: axial counts quantise harder
+
+
+def test_fig8_counts_scale_linearly(benchmark, reporter, geometry):
+    """Segments grow proportionally with tracks once the FSR mesh is
+    fixed — the premise of Eq. (4)."""
+
+    def ratios():
+        out = []
+        for spacing in (0.2, 0.1, 0.05):
+            tg = TrackGenerator(geometry, num_azim=8, azim_spacing=spacing).generate()
+            out.append(tg.num_segments / tg.num_tracks)
+        return out
+
+    values = benchmark(ratios)
+    reporter.line("segments-per-track ratio across densities: "
+                  + ", ".join(f"{v:.2f}" for v in values))
+    spread = (max(values) - min(values)) / min(values)
+    assert spread < 0.05

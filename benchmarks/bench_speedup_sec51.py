@@ -1,0 +1,58 @@
+"""Sec. 5.1 speedup — ANT-MOC (1 GPU) vs OpenMOC-3D (8 CPU cores): 428x.
+
+Reproduced on the modelled hardware: the same Eq. (6) workload charged to
+one simulated MI60 versus the calibrated 8-core CPU solver model. The
+calibration constant is documented in
+:class:`repro.baselines.openmoc_like.CpuSolverModel`; the assertion brackets
+the paper's factor.
+"""
+
+import pytest
+
+from repro.baselines import CpuSolverModel
+from repro.baselines.openmoc_like import gpu_vs_cpu_speedup
+from repro.hardware import MI60
+from repro.perfmodel import ComputationModel
+
+WORKLOAD_SEGMENTS = 5 * 10**8  # a C5G7 3D configuration's segment count
+ITERATIONS = 10
+
+
+def test_gpu_vs_cpu_speedup(benchmark, reporter):
+    computation = ComputationModel()
+    cpu = CpuSolverModel(num_cores=8)
+
+    speedup = benchmark(
+        gpu_vs_cpu_speedup, computation, WORKLOAD_SEGMENTS, ITERATIONS, MI60, cpu
+    )
+    gpu_time = computation.sweep_work(WORKLOAD_SEGMENTS) * ITERATIONS / MI60.work_units_per_second
+    cpu_time = cpu.solve_time(computation, WORKLOAD_SEGMENTS, ITERATIONS)
+
+    reporter.line("Sec. 5.1 reproduction: ANT-MOC (1 GPU) vs OpenMOC-3D (8 CPU cores)")
+    reporter.table(
+        ["Quantity", "value", "paper"],
+        [
+            ["simulated GPU solve (s)", f"{gpu_time:.2f}", "-"],
+            ["simulated CPU solve (s)", f"{cpu_time:.2f}", "-"],
+            ["speedup", f"{speedup:.0f}x", "up to 428x"],
+        ],
+        widths=[26, 14, 14],
+    )
+    assert 200 < speedup < 800
+
+
+def test_speedup_grows_with_gpu_throughput(benchmark, reporter):
+    """Sanity: the factor tracks the device throughput linearly."""
+    from repro.hardware import GPUSpec
+
+    computation = ComputationModel()
+
+    def sweep_ratio():
+        half = GPUSpec("half", 64, MI60.memory_bytes, MI60.work_units_per_second / 2)
+        s_full = gpu_vs_cpu_speedup(computation, WORKLOAD_SEGMENTS, 1, MI60)
+        s_half = gpu_vs_cpu_speedup(computation, WORKLOAD_SEGMENTS, 1, half)
+        return s_full, s_half
+
+    s_full, s_half = benchmark(sweep_ratio)
+    reporter.line(f"speedup MI60: {s_full:.0f}x, half-throughput device: {s_half:.0f}x")
+    assert s_full == pytest.approx(2 * s_half)

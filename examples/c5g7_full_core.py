@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""The paper's validation case: the full C5G7 quarter core (Sec. 5.1).
+
+Builds the complete 17x17-pin benchmark geometry (two UO2 assemblies, two
+MOX assemblies, five water reflectors — Fig. 6), solves the 2D problem,
+renders the Fig. 7 fission-rate distribution as ASCII art and a legacy-VTK
+file ParaView can open, and reports k-effective against the published
+benchmark value.
+
+Pure-Python MOC is slow, so the default tracking is coarse (k lands within
+~1% of the NEA reference 1.18655); pass ``--fine`` for a finer run if you
+have a few minutes.
+
+Run:  python examples/c5g7_full_core.py [--fine]
+"""
+
+import sys
+import time
+
+from repro import MOCSolver, c5g7_library
+from repro.geometry import C5G7Spec, build_c5g7_geometry
+from repro.runtime.output import ascii_heatmap, pin_power_map, write_vtk_structured_points
+
+#: NEA C5G7 2D benchmark reference eigenvalue.
+REFERENCE_KEFF = 1.18655
+
+
+def main() -> None:
+    fine = "--fine" in sys.argv
+    library = c5g7_library()
+    spec = C5G7Spec(pins_per_assembly=17, reflector_refinement=6)
+    start = time.perf_counter()
+    geometry = build_c5g7_geometry(library, spec)
+    print(f"geometry: {geometry.num_fsrs} FSRs ({time.perf_counter() - start:.1f} s)")
+
+    spacing = 0.3 if fine else 0.6
+    solver = MOCSolver.for_2d(
+        geometry,
+        num_azim=8,
+        azim_spacing=spacing,
+        num_polar=2,
+        keff_tolerance=5e-5,
+        source_tolerance=5e-4,
+        max_iterations=400,
+    )
+    print(
+        f"tracking: {solver.trackgen.num_tracks} tracks, "
+        f"{solver.trackgen.num_segments} segments "
+        f"(azim spacing {spacing} cm)"
+    )
+
+    start = time.perf_counter()
+    result = solver.solve()
+    print(f"solve: {time.perf_counter() - start:.1f} s, {result.num_iterations} iterations")
+    print(f"\nk-effective      : {result.keff:.5f}")
+    print(f"NEA reference    : {REFERENCE_KEFF:.5f}")
+    print(f"deviation        : {1e5 * abs(result.keff - REFERENCE_KEFF) / REFERENCE_KEFF:.0f} pcm "
+          "(coarse tracking, no CMFD acceleration)")
+
+    grid = pin_power_map(
+        geometry, solver.terms, result.scalar_flux, solver.volumes, nx=51, ny=51
+    )
+    print("\nFig. 7: fission-rate distribution (reflective corner top-left)")
+    print(ascii_heatmap(grid))
+
+    out = "c5g7_fission_rates.vtk"
+    write_vtk_structured_points(out, grid, spacing=(geometry.width / 51,) * 2)
+    print(f"\nwrote {out} (open with ParaView, as in the paper)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,98 @@
+#!/usr/bin/env python
+"""Fixed-source mode: a neutron source next to a detector region.
+
+MOC codes are not only eigenvalue solvers; the same sweeps answer
+source-driven questions (detector response, subcritical multiplication).
+This example places an isotropic fast source in a water block adjacent to
+a fission-chamber "detector" column and computes the chamber's response
+rate, then shows subcritical multiplication by swapping part of the water
+for fuel.
+
+Run:  python examples/fixed_source_detector.py
+"""
+
+import numpy as np
+
+from repro import c5g7_library
+from repro.geometry import Geometry, Lattice
+from repro.geometry.universe import make_homogeneous_universe
+from repro.solver import FixedSourceSolver, SourceTerms, TransportSweep2D
+from repro.tracks import TrackGenerator
+
+
+def solve(columns, library, source_column=0, strength=1.0):
+    from repro.geometry import BoundaryCondition
+
+    universes = [make_homogeneous_universe(library[name]) for name in columns]
+    # A finite bench in open air: vacuum on all sides (with reflective
+    # boundaries the repeated fuel/water array would go supercritical and
+    # the solver would rightly refuse the fixed-source mode).
+    boundary = {s: BoundaryCondition.VACUUM for s in ("xmin", "xmax", "ymin", "ymax")}
+    geometry = Geometry(Lattice([universes], 1.5, 3.0), boundary=boundary,
+                        name="detector-bench")
+    tg = TrackGenerator(geometry, num_azim=8, azim_spacing=0.2, num_polar=2).generate()
+    terms = SourceTerms(list(geometry.fsr_materials))
+    sweeper = TransportSweep2D(tg, terms)
+    solver = FixedSourceSolver(
+        terms, tg.fsr_volumes, sweeper.sweep, sweeper.finalize_scalar_flux,
+        flux_tolerance=1e-7, max_iterations=3000,
+    )
+    q = np.zeros((geometry.num_fsrs, 7))
+    q[source_column, 0] = strength  # fast-group source in the source column
+    result = solver.solve(q)
+    return geometry, terms, tg, result
+
+
+def chamber_response(geometry, terms, tg, result, library):
+    chamber = library["Fission Chamber"]
+    response = 0.0
+    for r in range(geometry.num_fsrs):
+        if geometry.fsr_material(r) is chamber:
+            response += float(
+                (terms.sigma_f[r] * result.scalar_flux[r]).sum() * tg.fsr_volumes[r]
+            )
+    return response
+
+
+def main() -> None:
+    library = c5g7_library()
+
+    print("=== water column between source and fission chamber ===")
+    layout = ["Moderator", "Moderator", "Moderator", "Fission Chamber"]
+    geometry, terms, tg, result = solve(layout, library)
+    base = chamber_response(geometry, terms, tg, result, library)
+    print(f"converged {result.converged} in {result.num_iterations} iterations")
+    print(f"chamber fission response: {base:.4e} (arbitrary units)")
+
+    print("\n=== UO2 multiplier slab in the middle ===")
+    layout = ["Moderator", "UO2", "Moderator", "Fission Chamber"]
+    geometry, terms, tg, result = solve(layout, library)
+    multiplied = chamber_response(geometry, terms, tg, result, library)
+    print(f"converged {result.converged} in {result.num_iterations} iterations")
+    print(f"chamber fission response: {multiplied:.4e}")
+    print(f"(vs water: {multiplied / base:.2f}x — the slab also attenuates)")
+
+    # Isolate the multiplication effect: the same slab with fission
+    # switched off (identical attenuation, no neutron production).
+    print("\n=== same slab, fission switched off (pure attenuator) ===")
+    from repro.materials import Material, MaterialLibrary
+
+    uo2 = library["UO2"]
+    inert = Material("inert-UO2", sigma_t=uo2.sigma_t, sigma_s=uo2.sigma_s)
+    inert_library = MaterialLibrary(
+        [inert, library["Moderator"], library["Fission Chamber"]]
+    )
+    layout = ["Moderator", "inert-UO2", "Moderator", "Fission Chamber"]
+    geometry, terms, tg, result = solve(layout, inert_library)
+    inert_response = chamber_response(geometry, terms, tg, result, inert_library)
+    print(f"chamber fission response: {inert_response:.4e}")
+    gain = multiplied / inert_response
+    print(f"\nsubcritical multiplication gain: {gain:.2f}x")
+    print("(real fuel vs the identically-attenuating inert slab: the extra")
+    print(" response is exactly the fission-produced neutrons — k < 1, so")
+    print(" the fixed-source iteration converges instead of diverging)")
+    assert gain > 1.0
+
+
+if __name__ == "__main__":
+    main()

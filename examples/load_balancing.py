@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""The three-level load mapping in action (paper Sec. 4.2 / Fig. 10).
+
+Decomposes a heterogeneous core into ~10 subdomains per node, weights them
+with the performance model's segment estimates, and walks through the
+mapping levels:
+
+* L1 — weighted graph partitioning of subdomains onto nodes;
+* L2 — azimuthal-angle decomposition of each node's fused geometry onto
+  its four GPUs;
+* L3 — sorted serpentine dealing of tracks onto the 64 CUs of each GPU.
+
+Run:  python examples/load_balancing.py
+"""
+
+import numpy as np
+
+from repro.geometry.decomposition import CuboidDecomposition
+from repro.loadbalance import ThreeLevelMapper
+
+NUM_NODES = 64  # 256 GPUs
+
+
+def main() -> None:
+    dec = CuboidDecomposition((0, 0, 0, 64.26, 64.26, 64.26), 8, 8, 10)
+    print(f"decomposition: {dec.num_domains} subdomains for {NUM_NODES} nodes "
+          f"({dec.num_domains / NUM_NODES:.0f}x, the paper's ~10x rule)")
+
+    # C5G7-like heterogeneity: fuel-peaked centre over a reflector floor.
+    rng = np.random.default_rng(7)
+    centers = np.array(
+        [[(b[0] + b[3]) / 2, (b[1] + b[4]) / 2, (b[2] + b[5]) / 2]
+         for b in (s.bounds for s in dec.subdomains)]
+    )
+    r = np.linalg.norm((centers - centers.mean(0)) / 64.26, axis=1)
+    weights = ((np.exp(-3 * r**2) + 0.15) * rng.lognormal(0, 0.5, dec.num_domains) * 1e7)
+
+    mapper = ThreeLevelMapper(gpus_per_node=4, cus_per_gpu=64, num_azim=32)
+    print(f"\n{'mapping':<14}{'MAX/AVG':>10}{'idle GPUs':>12}")
+    previous = None
+    for label, levels in [
+        ("No balance", (False, False, False)),
+        ("+L1 nodes", (True, False, False)),
+        ("+L2 GPUs", (True, True, False)),
+        ("+L3 CUs", (True, True, True)),
+    ]:
+        result = mapper.run(dec, NUM_NODES, weights=list(weights),
+                            l1=levels[0], l2=levels[1], l3=levels[2])
+        idx = result.uniformity_index
+        idle = result.effective_stats.idle_fraction
+        marker = ""
+        if previous is not None:
+            marker = f"  (-{100 * (previous - idx) / previous:.1f}%)"
+        print(f"{label:<14}{idx:>10.4f}{100 * idle:>11.1f}%{marker}")
+        previous = idx
+
+    # Drill into one node's L2 and one GPU's L3 mapping.
+    result = mapper.run(dec, NUM_NODES, weights=list(weights))
+    l2 = result.l2_per_node[0]
+    print(f"\nnode 0 L2 mapping: angle loads per GPU = "
+          f"{np.array2string(l2.gpu_loads, precision=0, floatmode='fixed')}")
+    gid, l3 = next(iter(result.l3_samples.items()))
+    print(f"GPU {gid} L3 mapping: CU load max/avg = {l3.stats.uniformity_index:.4f} "
+          f"over {l3.num_cus} CUs")
+    print("\nthe paper's attribution (L2 dominant) depends on the workload's")
+    print("heterogeneity structure; see EXPERIMENTS.md for the discussion.")
+
+
+if __name__ == "__main__":
+    main()

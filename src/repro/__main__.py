@@ -1,0 +1,5 @@
+"""``python -m repro`` — the ``newmoc`` equivalent of the reproduction."""
+
+from repro.cli import main
+
+raise SystemExit(main())

@@ -1,0 +1,18 @@
+"""Baselines the paper compares against.
+
+* :mod:`~repro.baselines.reference_sweep` — an independently written,
+  deliberately naive MOC sweep used as the in-repo stand-in for the
+  OpenMOC cross-validation of Sec. 5.1 (two implementations, one physics);
+* :mod:`~repro.baselines.openmoc_like` — the baseline partitioning
+  ("No balance") and a CPU-solver cost model for the 428x GPU-vs-CPU
+  speedup comparison;
+* :mod:`~repro.baselines.two_d_one_d` — the 2D/1D coupled method of
+  Table 1's incumbent codes, including the negative-transverse-leakage
+  pathology the paper cites against it.
+"""
+
+from repro.baselines.reference_sweep import ReferenceSolver
+from repro.baselines.openmoc_like import CpuSolverModel, openmoc_partition
+from repro.baselines.two_d_one_d import TwoDOneDSolver, TwoDOneDResult
+
+__all__ = ["ReferenceSolver", "CpuSolverModel", "openmoc_partition", "TwoDOneDSolver", "TwoDOneDResult"]

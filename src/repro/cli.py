@@ -1,0 +1,79 @@
+"""Command-line interface mirroring the ANT-MOC binary.
+
+The artifact runs ``newmoc -config="config.yaml"``; this module provides
+the same entry point for the reproduction:
+
+    python -m repro --config config.yaml [--fission-map] [--report PATH]
+
+The run log mirrors the artifact's: per-stage timings and storage figures
+that the paper's appendix analyses from log fragments.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.errors import ReproError
+from repro.io.config import load_config
+from repro.runtime.antmoc import AntMocApplication
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Run an ANT-MOC-style neutron transport simulation.",
+    )
+    parser.add_argument(
+        "--config",
+        required=True,
+        help="Path to a config.yaml-style run configuration.",
+    )
+    parser.add_argument(
+        "--fission-map",
+        action="store_true",
+        help="Render the fission-rate distribution as ASCII art (Fig. 7).",
+    )
+    parser.add_argument(
+        "--map-size",
+        type=int,
+        default=40,
+        help="ASCII map resolution (default 40).",
+    )
+    parser.add_argument(
+        "--report",
+        metavar="PATH",
+        help="Also write the run report to this file.",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        config = load_config(args.config)
+        app = AntMocApplication(config)
+        result = app.run()
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    report = result.report()
+    print(report)
+    if args.fission_map and not result.decomposed:
+        try:
+            print()
+            print(app.render_fission_map(result, size=args.map_size))
+        except ReproError as exc:
+            print(f"(fission map unavailable: {exc})")
+    if args.report:
+        Path(args.report).write_text(report + "\n", encoding="utf-8")
+    return 0 if result.converged else 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,65 @@
+"""Exception taxonomy for the ANT-MOC reproduction.
+
+Every failure mode surfaced by the public API derives from
+:class:`ReproError` so downstream users can catch library errors without
+masking programming errors (``TypeError`` etc. are never wrapped).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every library-specific error."""
+
+
+class ConfigError(ReproError):
+    """A run configuration file or dict is malformed or inconsistent."""
+
+
+class GeometryError(ReproError):
+    """The CSG geometry is ill-formed (unbounded cell, overlapping regions,
+    point not inside any cell, ...)."""
+
+
+class TrackingError(ReproError):
+    """Track laydown or ray tracing failed (degenerate angle, ray escaped
+    the geometry, segment bookkeeping mismatch)."""
+
+
+class SolverError(ReproError):
+    """The transport solve failed (non-convergence, negative source,
+    inconsistent dimensions between geometry and materials)."""
+
+
+class DecompositionError(ReproError):
+    """Spatial decomposition or load mapping is invalid (domain grid does
+    not divide the geometry, empty partition, rank mismatch)."""
+
+
+class HardwareModelError(ReproError):
+    """The simulated cluster was configured or used inconsistently
+    (out-of-memory on a simulated GPU, unknown rank, bad topology)."""
+
+
+class CommunicationError(ReproError):
+    """The simulated communicator detected a protocol violation
+    (mismatched send/recv, deadlock, message to unknown rank)."""
+
+
+class OutOfMemoryError(HardwareModelError):
+    """A simulated allocation exceeded a device's memory capacity.
+
+    This is the error the EXP track-storage strategy hits at large track
+    counts (paper Fig. 9), which the OTF and Manager strategies avoid.
+    """
+
+    def __init__(self, requested: int, capacity: int, in_use: int, what: str = "") -> None:
+        self.requested = int(requested)
+        self.capacity = int(capacity)
+        self.in_use = int(in_use)
+        self.what = what
+        super().__init__(
+            f"simulated GPU out of memory: requested {requested} B for "
+            f"{what or 'allocation'} with {capacity - in_use} B free "
+            f"({in_use}/{capacity} B in use)"
+        )

@@ -1,0 +1,58 @@
+"""Cells: CSG regions filled with a material or a nested universe."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import GeometryError
+from repro.geometry.region import Region
+from repro.materials.material import Material
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.geometry.universe import Universe
+
+
+class Cell:
+    """A region of space filled with either a material or a universe.
+
+    Material-filled cells become flat source regions (FSRs) once placed in
+    a geometry; universe-filled cells recurse (used by lattices of pin
+    cells). Exactly one of ``material`` / ``fill`` must be given.
+    """
+
+    __slots__ = ("_id", "name", "region", "material", "fill")
+
+    _next_id = 0
+
+    def __init__(
+        self,
+        region: Region,
+        material: Material | None = None,
+        fill: "Universe | None" = None,
+        name: str = "",
+    ) -> None:
+        if (material is None) == (fill is None):
+            raise GeometryError(
+                f"cell {name!r}: exactly one of material / fill must be provided"
+            )
+        self.region = region
+        self.material = material
+        self.fill = fill
+        self._id = Cell._next_id
+        Cell._next_id += 1
+        self.name = name or f"Cell#{self._id}"
+
+    @property
+    def id(self) -> int:
+        return self._id
+
+    @property
+    def is_material_cell(self) -> bool:
+        return self.material is not None
+
+    def contains(self, x: float, y: float) -> bool:
+        return self.region.contains(x, y)
+
+    def __repr__(self) -> str:
+        filling = self.material.name if self.material is not None else f"universe {self.fill.name}"
+        return f"Cell(id={self._id}, name={self.name!r}, fill={filling})"

@@ -1,0 +1,182 @@
+"""Cuboid spatial decomposition (paper Sec. 3.2).
+
+The global geometry is divided into an ``nx x ny x nz`` grid of cuboid
+subdomains; each subdomain exchanges boundary angular flux only with its
+face neighbours. This module provides the decomposition bookkeeping used by
+both the real decomposed solver (radial cuts aligned to lattice boundaries)
+and the cluster simulator (arbitrary cuboid grids at paper scale).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.errors import DecompositionError
+from repro.geometry.geometry import BoundaryCondition, Geometry
+from repro.geometry.lattice import Lattice
+
+#: Face names in the order (-x, +x, -y, +y, -z, +z).
+FACES = ("xmin", "xmax", "ymin", "ymax", "zmin", "zmax")
+
+#: The face seen from the other side of each face.
+OPPOSITE_FACE = {
+    "xmin": "xmax",
+    "xmax": "xmin",
+    "ymin": "ymax",
+    "ymax": "ymin",
+    "zmin": "zmax",
+    "zmax": "zmin",
+}
+
+
+@dataclass
+class Subdomain:
+    """One cuboid of the decomposition grid."""
+
+    index: tuple[int, int, int]
+    linear_id: int
+    bounds: tuple[float, float, float, float, float, float]
+    #: linear id of the face neighbour, or None on the global boundary.
+    neighbors: dict[str, int | None] = field(default_factory=dict)
+    #: Workload weight (e.g. estimated 3D segments) set by the perf model.
+    weight: float = 1.0
+
+    @property
+    def volume(self) -> float:
+        x0, y0, z0, x1, y1, z1 = self.bounds
+        return (x1 - x0) * (y1 - y0) * (z1 - z0)
+
+    def face_area(self, face: str) -> float:
+        x0, y0, z0, x1, y1, z1 = self.bounds
+        dx, dy, dz = x1 - x0, y1 - y0, z1 - z0
+        if face in ("xmin", "xmax"):
+            return dy * dz
+        if face in ("ymin", "ymax"):
+            return dx * dz
+        if face in ("zmin", "zmax"):
+            return dx * dy
+        raise DecompositionError(f"unknown face {face!r}")
+
+
+class CuboidDecomposition:
+    """A regular grid of cuboid subdomains over a 3D bounding box."""
+
+    def __init__(
+        self,
+        bounds: tuple[float, float, float, float, float, float],
+        nx: int,
+        ny: int,
+        nz: int,
+    ) -> None:
+        if min(nx, ny, nz) < 1:
+            raise DecompositionError(f"invalid domain grid {nx}x{ny}x{nz}")
+        x0, y0, z0, x1, y1, z1 = bounds
+        if not (x1 > x0 and y1 > y0 and z1 > z0):
+            raise DecompositionError(f"degenerate bounds {bounds}")
+        self.bounds = tuple(float(b) for b in bounds)
+        self.nx, self.ny, self.nz = int(nx), int(ny), int(nz)
+        self._subdomains: list[Subdomain] = []
+        dx = (x1 - x0) / nx
+        dy = (y1 - y0) / ny
+        dz = (z1 - z0) / nz
+        for k in range(nz):
+            for j in range(ny):
+                for i in range(nx):
+                    linear = self.linear_id(i, j, k)
+                    sub = Subdomain(
+                        index=(i, j, k),
+                        linear_id=linear,
+                        bounds=(
+                            x0 + i * dx,
+                            y0 + j * dy,
+                            z0 + k * dz,
+                            x0 + (i + 1) * dx,
+                            y0 + (j + 1) * dy,
+                            z0 + (k + 1) * dz,
+                        ),
+                    )
+                    sub.neighbors = {
+                        "xmin": self.linear_id(i - 1, j, k) if i > 0 else None,
+                        "xmax": self.linear_id(i + 1, j, k) if i < nx - 1 else None,
+                        "ymin": self.linear_id(i, j - 1, k) if j > 0 else None,
+                        "ymax": self.linear_id(i, j + 1, k) if j < ny - 1 else None,
+                        "zmin": self.linear_id(i, j, k - 1) if k > 0 else None,
+                        "zmax": self.linear_id(i, j, k + 1) if k < nz - 1 else None,
+                    }
+                    self._subdomains.append(sub)
+        # subdomains were appended in k-major order; re-sort by linear id
+        # (i fastest) for O(1) lookup.
+        self._subdomains.sort(key=lambda s: s.linear_id)
+
+    def linear_id(self, i: int, j: int, k: int) -> int:
+        """Linearise a grid index, x fastest (matches MPI rank layout)."""
+        return (k * self.ny + j) * self.nx + i
+
+    @property
+    def num_domains(self) -> int:
+        return self.nx * self.ny * self.nz
+
+    @property
+    def subdomains(self) -> tuple[Subdomain, ...]:
+        return tuple(self._subdomains)
+
+    def __getitem__(self, linear: int) -> Subdomain:
+        return self._subdomains[linear]
+
+    def __iter__(self) -> Iterator[Subdomain]:
+        return iter(self._subdomains)
+
+    def __len__(self) -> int:
+        return self.num_domains
+
+    def interface_pairs(self) -> list[tuple[int, int, str]]:
+        """All internal faces as ``(lower_id, upper_id, face_of_lower)``."""
+        pairs = []
+        for sub in self._subdomains:
+            for face in ("xmax", "ymax", "zmax"):
+                other = sub.neighbors[face]
+                if other is not None:
+                    pairs.append((sub.linear_id, other, face))
+        return pairs
+
+    def __repr__(self) -> str:
+        return f"CuboidDecomposition({self.nx}x{self.ny}x{self.nz})"
+
+
+def decompose_lattice_geometry(geometry: Geometry, nx: int, ny: int) -> list[Geometry]:
+    """Cut a lattice-rooted radial geometry into an ``nx x ny`` grid.
+
+    Cuts must align with root-lattice cell boundaries so each sub-geometry
+    is itself a valid lattice geometry (ANT-MOC's cuboid decomposition has
+    the same constraint relative to the modular-ray-tracing cell size).
+    Internal sides get :data:`BoundaryCondition.INTERFACE`; external sides
+    inherit the parent boundary conditions. Sub-geometries are returned in
+    linear order, x fastest.
+    """
+    root = geometry.root
+    if not isinstance(root, Lattice):
+        raise DecompositionError("only lattice-rooted geometries can be decomposed")
+    if root.nx % nx != 0 or root.ny % ny != 0:
+        raise DecompositionError(
+            f"domain grid {nx}x{ny} does not divide the {root.nx}x{root.ny} root lattice"
+        )
+    step_x = root.nx // nx
+    step_y = root.ny // ny
+    subs: list[Geometry] = []
+    for j in range(ny):
+        for i in range(nx):
+            sub_lat = root.sub_lattice(
+                i * step_x, (i + 1) * step_x, j * step_y, (j + 1) * step_y,
+                name=f"{root.name}-dom({i},{j})",
+            )
+            boundary = {
+                "xmin": geometry.boundary["xmin"] if i == 0 else BoundaryCondition.INTERFACE,
+                "xmax": geometry.boundary["xmax"] if i == nx - 1 else BoundaryCondition.INTERFACE,
+                "ymin": geometry.boundary["ymin"] if j == 0 else BoundaryCondition.INTERFACE,
+                "ymax": geometry.boundary["ymax"] if j == ny - 1 else BoundaryCondition.INTERFACE,
+            }
+            subs.append(
+                Geometry(sub_lat, boundary=boundary, name=f"{geometry.name}-dom({i},{j})")
+            )
+    return subs

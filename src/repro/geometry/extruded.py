@@ -1,0 +1,164 @@
+"""Axially extruded 3D geometries.
+
+ANT-MOC (following Sciannandrone's chord-classification idea and Gunow's
+on-the-fly axial ray tracing) exploits the fact that LWR geometry is
+*extruded*: the radial layout is constant within each axial layer. A 3D
+flat source region is therefore the product of a radial FSR and an axial
+layer, and 3D segments are derivable from 2D segments plus the z-mesh —
+the property that lets 3D segments be regenerated on the fly instead of
+stored (paper Secs. 2.1, 4.1).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.errors import GeometryError
+from repro.geometry.geometry import BoundaryCondition, Geometry
+from repro.materials.material import Material
+
+
+class AxialMesh:
+    """A strictly increasing set of z-planes defining axial layers."""
+
+    __slots__ = ("z_edges",)
+
+    def __init__(self, z_edges: Sequence[float]) -> None:
+        edges = np.asarray(z_edges, dtype=np.float64)
+        if edges.ndim != 1 or edges.size < 2:
+            raise GeometryError("axial mesh needs at least two z-planes")
+        if not np.all(np.diff(edges) > 0.0):
+            raise GeometryError("axial mesh z-planes must be strictly increasing")
+        self.z_edges = edges
+        self.z_edges.setflags(write=False)
+
+    @classmethod
+    def uniform(cls, zmin: float, zmax: float, num_layers: int) -> "AxialMesh":
+        if num_layers < 1:
+            raise GeometryError("need at least one axial layer")
+        return cls(np.linspace(zmin, zmax, num_layers + 1))
+
+    @property
+    def num_layers(self) -> int:
+        return int(self.z_edges.size - 1)
+
+    @property
+    def zmin(self) -> float:
+        return float(self.z_edges[0])
+
+    @property
+    def zmax(self) -> float:
+        return float(self.z_edges[-1])
+
+    @property
+    def heights(self) -> np.ndarray:
+        return np.diff(self.z_edges)
+
+    def layer_of(self, z: float) -> int:
+        """Layer index containing ``z`` (clamped at the boundaries)."""
+        if z < self.zmin - 1e-9 or z > self.zmax + 1e-9:
+            raise GeometryError(f"z={z:.6g} outside axial mesh [{self.zmin}, {self.zmax}]")
+        k = bisect.bisect_right(self.z_edges.tolist(), z) - 1
+        return min(max(k, 0), self.num_layers - 1)
+
+    def __repr__(self) -> str:
+        return f"AxialMesh({self.num_layers} layers over [{self.zmin}, {self.zmax}])"
+
+
+#: Maps (radial material, layer index) to the material actually present in
+#: that layer; identity for plain extrusions, used to swap in reflector
+#: material for the C5G7 3D extension's axial reflector layers.
+LayerMaterialMap = Callable[[Material, int], Material]
+
+
+class ExtrudedGeometry:
+    """A radial :class:`Geometry` extruded along z with per-layer materials.
+
+    3D FSR ids are radial-major: ``fsr3d = radial_fsr * num_layers + layer``
+    so all layers of a radial region are contiguous — the access pattern the
+    on-the-fly axial tracer streams through.
+    """
+
+    def __init__(
+        self,
+        radial: Geometry,
+        axial_mesh: AxialMesh,
+        layer_material: LayerMaterialMap | None = None,
+        boundary_zmin: BoundaryCondition = BoundaryCondition.REFLECTIVE,
+        boundary_zmax: BoundaryCondition = BoundaryCondition.VACUUM,
+        name: str = "",
+    ) -> None:
+        self.radial = radial
+        self.axial_mesh = axial_mesh
+        self.boundary_zmin = boundary_zmin
+        self.boundary_zmax = boundary_zmax
+        self.name = name or f"{radial.name}-3d"
+        identity: LayerMaterialMap = lambda mat, layer: mat  # noqa: E731
+        self._layer_material = layer_material or identity
+        nz = axial_mesh.num_layers
+        mats: list[Material] = []
+        for radial_fsr in range(radial.num_fsrs):
+            base = radial.fsr_material(radial_fsr)
+            for layer in range(nz):
+                mats.append(self._layer_material(base, layer))
+        self._fsr_materials = tuple(mats)
+
+    @property
+    def num_layers(self) -> int:
+        return self.axial_mesh.num_layers
+
+    @property
+    def num_fsrs(self) -> int:
+        return self.radial.num_fsrs * self.num_layers
+
+    @property
+    def fsr_materials(self) -> tuple[Material, ...]:
+        return self._fsr_materials
+
+    @property
+    def height(self) -> float:
+        return self.axial_mesh.zmax - self.axial_mesh.zmin
+
+    def fsr3d(self, radial_fsr: int, layer: int) -> int:
+        """Compose a 3D FSR id from its radial and axial parts."""
+        nz = self.num_layers
+        if not (0 <= layer < nz):
+            raise GeometryError(f"layer {layer} out of range [0, {nz})")
+        if not (0 <= radial_fsr < self.radial.num_fsrs):
+            raise GeometryError(f"radial FSR {radial_fsr} out of range")
+        return radial_fsr * nz + layer
+
+    def split_fsr3d(self, fsr3d: int) -> tuple[int, int]:
+        """Inverse of :meth:`fsr3d`."""
+        nz = self.num_layers
+        return fsr3d // nz, fsr3d % nz
+
+    def fsr_material(self, fsr3d: int) -> Material:
+        return self._fsr_materials[fsr3d]
+
+    def find_fsr(self, x: float, y: float, z: float) -> int:
+        radial_fsr = self.radial.find_fsr(x, y)
+        layer = self.axial_mesh.layer_of(z)
+        return self.fsr3d(radial_fsr, layer)
+
+    def __repr__(self) -> str:
+        return (
+            f"ExtrudedGeometry({self.name!r}, radial_fsrs={self.radial.num_fsrs}, "
+            f"layers={self.num_layers})"
+        )
+
+
+def reflector_layer_map(
+    reflector: Material, reflector_layers: set[int] | Sequence[int]
+) -> LayerMaterialMap:
+    """Layer map replacing *every* material with ``reflector`` in the given
+    layers — the C5G7 3D extension's axial reflector construction."""
+    layers = frozenset(int(k) for k in reflector_layers)
+
+    def _map(mat: Material, layer: int) -> Material:
+        return reflector if layer in layers else mat
+
+    return _map

@@ -1,0 +1,71 @@
+"""Fusion geometries: groups of subdomains treated as one GPU workload.
+
+Paper Sec. 3.2: "We implement a geometry fusion method that merges multiple
+geometries into a fusion-geometry... an additional dimension is added to
+store information on subdomains that are fused into one fusion-geometry."
+
+Modular ray tracing guarantees every subdomain has identical track
+dimensions, so fusing is pure bookkeeping: per-subdomain discrete data
+(neighbours, FSR offsets, weights) are stacked along a new leading
+"subdomain" axis. The L2 mapping then splits a fusion geometry across the
+GPUs of one node by azimuthal angle.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import DecompositionError
+from repro.geometry.decomposition import Subdomain
+
+
+class FusionGeometry:
+    """A group of subdomains fused for single-node processing."""
+
+    def __init__(self, subdomains: Sequence[Subdomain], name: str = "") -> None:
+        if not subdomains:
+            raise DecompositionError("a fusion geometry needs at least one subdomain")
+        ids = [s.linear_id for s in subdomains]
+        if len(set(ids)) != len(ids):
+            raise DecompositionError(f"duplicate subdomains in fusion geometry: {ids}")
+        self.subdomains = tuple(subdomains)
+        self.name = name or f"fusion({','.join(map(str, ids))})"
+
+    @property
+    def num_subdomains(self) -> int:
+        return len(self.subdomains)
+
+    @property
+    def subdomain_ids(self) -> tuple[int, ...]:
+        return tuple(s.linear_id for s in self.subdomains)
+
+    @property
+    def total_weight(self) -> float:
+        """Aggregate workload of the fused group (sum of subdomain weights)."""
+        return sum(s.weight for s in self.subdomains)
+
+    def internal_faces(self) -> list[tuple[int, int, str]]:
+        """Faces connecting two subdomains *inside* this fusion geometry
+        (flux crosses them by GPU-local copy / DMA, not the network)."""
+        members = set(self.subdomain_ids)
+        faces = []
+        for sub in self.subdomains:
+            for face in ("xmax", "ymax", "zmax"):
+                other = sub.neighbors[face]
+                if other is not None and other in members:
+                    faces.append((sub.linear_id, other, face))
+        return faces
+
+    def external_faces(self) -> list[tuple[int, int, str]]:
+        """Faces connecting a member to a subdomain *outside* the fusion
+        (flux crosses the network), as ``(member, outside, face)``."""
+        members = set(self.subdomain_ids)
+        faces = []
+        for sub in self.subdomains:
+            for face, other in sub.neighbors.items():
+                if other is not None and other not in members:
+                    faces.append((sub.linear_id, other, face))
+        return faces
+
+    def __repr__(self) -> str:
+        return f"FusionGeometry({self.name!r}, n={self.num_subdomains}, w={self.total_weight:.3g})"

@@ -1,0 +1,121 @@
+"""Rectangular lattices of universes (fuel assemblies, core maps)."""
+
+from __future__ import annotations
+
+from repro.errors import GeometryError
+from repro.geometry.universe import Universe
+
+
+class Lattice:
+    """A regular ``nx x ny`` grid of universes.
+
+    The lattice occupies ``[x0, x0 + nx*pitch_x] x [y0, y0 + ny*pitch_y]``.
+    ``universes[j][i]`` is the universe at column ``i`` (x), row ``j`` (y),
+    with row 0 at the *bottom* (smallest y) — matching the geometric
+    convention of the tracker, not the top-down reading order of core maps
+    (builders that consume top-down maps must flip them first).
+
+    Each lattice position translates its universe so the universe origin
+    sits at the cell centre.
+    """
+
+    __slots__ = ("_id", "name", "x0", "y0", "pitch_x", "pitch_y", "nx", "ny", "universes")
+
+    _next_id = 0
+
+    def __init__(
+        self,
+        universes: list[list[Universe]],
+        pitch_x: float,
+        pitch_y: float,
+        x0: float = 0.0,
+        y0: float = 0.0,
+        name: str = "",
+    ) -> None:
+        if pitch_x <= 0.0 or pitch_y <= 0.0:
+            raise GeometryError(f"lattice pitches must be positive (got {pitch_x}, {pitch_y})")
+        if not universes or not universes[0]:
+            raise GeometryError("lattice must have at least one row and column")
+        width = len(universes[0])
+        if any(len(row) != width for row in universes):
+            raise GeometryError("ragged lattice rows")
+        self.universes = [list(row) for row in universes]
+        self.ny = len(universes)
+        self.nx = width
+        self.pitch_x = float(pitch_x)
+        self.pitch_y = float(pitch_y)
+        self.x0 = float(x0)
+        self.y0 = float(y0)
+        self._id = Lattice._next_id
+        Lattice._next_id += 1
+        self.name = name or f"Lattice#{self._id}"
+
+    @property
+    def id(self) -> int:
+        return self._id
+
+    @property
+    def width(self) -> float:
+        return self.nx * self.pitch_x
+
+    @property
+    def height(self) -> float:
+        return self.ny * self.pitch_y
+
+    @property
+    def bounds(self) -> tuple[float, float, float, float]:
+        """``(xmin, ymin, xmax, ymax)`` of the lattice footprint."""
+        return (self.x0, self.y0, self.x0 + self.width, self.y0 + self.height)
+
+    def cell_index(self, x: float, y: float) -> tuple[int, int]:
+        """Column/row of the lattice cell containing the point (clamped to
+        the lattice for points within round-off of the boundary)."""
+        i = int((x - self.x0) / self.pitch_x)
+        j = int((y - self.y0) / self.pitch_y)
+        i = min(max(i, 0), self.nx - 1)
+        j = min(max(j, 0), self.ny - 1)
+        return i, j
+
+    def cell_center(self, i: int, j: int) -> tuple[float, float]:
+        return (
+            self.x0 + (i + 0.5) * self.pitch_x,
+            self.y0 + (j + 0.5) * self.pitch_y,
+        )
+
+    def cell_bounds(self, i: int, j: int) -> tuple[float, float, float, float]:
+        return (
+            self.x0 + i * self.pitch_x,
+            self.y0 + j * self.pitch_y,
+            self.x0 + (i + 1) * self.pitch_x,
+            self.y0 + (j + 1) * self.pitch_y,
+        )
+
+    def universe_at(self, i: int, j: int) -> Universe:
+        if not (0 <= i < self.nx and 0 <= j < self.ny):
+            raise GeometryError(f"lattice index ({i}, {j}) out of range {self.nx}x{self.ny}")
+        return self.universes[j][i]
+
+    def local_coords(self, x: float, y: float, i: int, j: int) -> tuple[float, float]:
+        """Coordinates relative to the centre of lattice cell ``(i, j)``."""
+        cx, cy = self.cell_center(i, j)
+        return x - cx, y - cy
+
+    def sub_lattice(self, i0: int, i1: int, j0: int, j1: int, name: str = "") -> "Lattice":
+        """Extract cells ``[i0, i1) x [j0, j1)`` as a new lattice anchored at
+        the same physical position (used by spatial decomposition)."""
+        if not (0 <= i0 < i1 <= self.nx and 0 <= j0 < j1 <= self.ny):
+            raise GeometryError(
+                f"invalid sub-lattice range [{i0},{i1})x[{j0},{j1}) of {self.nx}x{self.ny}"
+            )
+        rows = [row[i0:i1] for row in self.universes[j0:j1]]
+        return Lattice(
+            rows,
+            self.pitch_x,
+            self.pitch_y,
+            x0=self.x0 + i0 * self.pitch_x,
+            y0=self.y0 + j0 * self.pitch_y,
+            name=name or f"{self.name}[{i0}:{i1},{j0}:{j1}]",
+        )
+
+    def __repr__(self) -> str:
+        return f"Lattice(id={self._id}, {self.nx}x{self.ny}, pitch=({self.pitch_x}, {self.pitch_y}))"

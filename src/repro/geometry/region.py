@@ -1,0 +1,119 @@
+"""Boolean CSG regions over 2D surfaces.
+
+A :class:`Region` is an abstract-syntax tree of halfspaces combined with
+intersection, union, and complement — the constructive-solid-geometry
+modelling method the paper cites (Sec. 2.1). Regions answer point
+membership and enumerate the surfaces a ray tracer must test.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterable, Iterator
+
+from repro.geometry.surfaces import Surface
+
+
+class Region(ABC):
+    """Abstract boolean region of the x-y plane."""
+
+    @abstractmethod
+    def contains(self, x: float, y: float) -> bool:
+        """True when the point lies inside the region (boundary counts as
+        inside for the side the potential rounds toward)."""
+
+    @abstractmethod
+    def surfaces(self) -> Iterator[Surface]:
+        """Yield every surface referenced by this region (with repeats)."""
+
+    def __and__(self, other: "Region") -> "Intersection":
+        return Intersection([self, other])
+
+    def __or__(self, other: "Region") -> "Union":
+        return Union([self, other])
+
+    def __invert__(self) -> "Complement":
+        return Complement(self)
+
+
+class Halfspace(Region):
+    """One side of a surface: ``side=-1`` is the negative halfspace."""
+
+    __slots__ = ("surface", "halfspace_side")
+
+    def __init__(self, surface: Surface, side: int) -> None:
+        if side not in (-1, 1):
+            raise ValueError(f"halfspace side must be -1 or +1 (got {side})")
+        self.surface = surface
+        self.halfspace_side = side
+
+    def contains(self, x: float, y: float) -> bool:
+        f = self.surface.evaluate(x, y)
+        return f <= 0.0 if self.halfspace_side < 0 else f >= 0.0
+
+    def surfaces(self) -> Iterator[Surface]:
+        yield self.surface
+
+    def __repr__(self) -> str:
+        sign = "-" if self.halfspace_side < 0 else "+"
+        return f"{sign}{self.surface.name}"
+
+
+class Intersection(Region):
+    """Intersection of child regions (logical AND)."""
+
+    __slots__ = ("children",)
+
+    def __init__(self, children: Iterable[Region]) -> None:
+        self.children = tuple(children)
+        if not self.children:
+            raise ValueError("intersection requires at least one child region")
+
+    def contains(self, x: float, y: float) -> bool:
+        return all(child.contains(x, y) for child in self.children)
+
+    def surfaces(self) -> Iterator[Surface]:
+        for child in self.children:
+            yield from child.surfaces()
+
+    def __repr__(self) -> str:
+        return "(" + " & ".join(map(repr, self.children)) + ")"
+
+
+class Union(Region):
+    """Union of child regions (logical OR)."""
+
+    __slots__ = ("children",)
+
+    def __init__(self, children: Iterable[Region]) -> None:
+        self.children = tuple(children)
+        if not self.children:
+            raise ValueError("union requires at least one child region")
+
+    def contains(self, x: float, y: float) -> bool:
+        return any(child.contains(x, y) for child in self.children)
+
+    def surfaces(self) -> Iterator[Surface]:
+        for child in self.children:
+            yield from child.surfaces()
+
+    def __repr__(self) -> str:
+        return "(" + " | ".join(map(repr, self.children)) + ")"
+
+
+class Complement(Region):
+    """Complement of a child region (logical NOT)."""
+
+    __slots__ = ("child",)
+
+    def __init__(self, child: Region) -> None:
+        self.child = child
+
+    def contains(self, x: float, y: float) -> bool:
+        return not self.child.contains(x, y)
+
+    def surfaces(self) -> Iterator[Surface]:
+        yield from self.child.surfaces()
+
+    def __repr__(self) -> str:
+        return f"~{self.child!r}"

@@ -1,0 +1,144 @@
+"""Two-dimensional CSG surfaces.
+
+Each surface partitions the x-y plane into a negative and a positive
+halfspace via a potential function ``f(x, y)``; ``f < 0`` is the negative
+side. Surfaces also answer the ray-tracing query "distance along direction
+``(ux, uy)`` from point ``(x, y)`` to the first crossing", which drives
+segment generation.
+
+Only the surface types needed for LWR lattices are implemented (general
+planes, axis-aligned planes, z-axis cylinders) — the same set used by the
+C5G7 model in the paper.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+
+from repro.constants import ON_SURFACE_TOL
+
+#: Sentinel distance for "no crossing in this direction".
+NO_HIT = math.inf
+
+
+class Surface(ABC):
+    """Abstract oriented surface in the x-y plane."""
+
+    __slots__ = ("_id", "name")
+
+    _next_id = 0
+
+    def __init__(self, name: str = "") -> None:
+        self._id = Surface._next_id
+        Surface._next_id += 1
+        self.name = name or f"{type(self).__name__}#{self._id}"
+
+    @property
+    def id(self) -> int:
+        return self._id
+
+    @abstractmethod
+    def evaluate(self, x: float, y: float) -> float:
+        """Signed potential; negative on the negative side."""
+
+    @abstractmethod
+    def distance(self, x: float, y: float, ux: float, uy: float) -> float:
+        """Distance to the nearest crossing strictly ahead, else ``NO_HIT``.
+
+        Crossings closer than :data:`~repro.constants.ON_SURFACE_TOL` are
+        ignored so a ray sitting on a surface does not re-hit it.
+        """
+
+    def side(self, x: float, y: float) -> int:
+        """Return -1 / 0 / +1 for negative side / on surface / positive."""
+        f = self.evaluate(x, y)
+        if abs(f) < ON_SURFACE_TOL:
+            return 0
+        return -1 if f < 0.0 else 1
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(id={self._id}, name={self.name!r})"
+
+
+class Plane2D(Surface):
+    """General line ``a*x + b*y = c``; negative side is ``a*x + b*y < c``."""
+
+    __slots__ = ("a", "b", "c")
+
+    def __init__(self, a: float, b: float, c: float, name: str = "") -> None:
+        norm = math.hypot(a, b)
+        if norm == 0.0:
+            raise ValueError("degenerate plane: a = b = 0")
+        super().__init__(name)
+        # Normalise so evaluate() returns true signed distance.
+        self.a = a / norm
+        self.b = b / norm
+        self.c = c / norm
+
+    def evaluate(self, x: float, y: float) -> float:
+        return self.a * x + self.b * y - self.c
+
+    def distance(self, x: float, y: float, ux: float, uy: float) -> float:
+        denom = self.a * ux + self.b * uy
+        if abs(denom) < 1e-14:
+            return NO_HIT
+        d = -(self.a * x + self.b * y - self.c) / denom
+        return d if d > ON_SURFACE_TOL else NO_HIT
+
+
+class XPlane(Plane2D):
+    """Vertical line ``x = x0``; negative side is ``x < x0``."""
+
+    __slots__ = ("x0",)
+
+    def __init__(self, x0: float, name: str = "") -> None:
+        super().__init__(1.0, 0.0, x0, name)
+        self.x0 = x0
+
+
+class YPlane(Plane2D):
+    """Horizontal line ``y = y0``; negative side is ``y < y0``."""
+
+    __slots__ = ("y0",)
+
+    def __init__(self, y0: float, name: str = "") -> None:
+        super().__init__(0.0, 1.0, y0, name)
+        self.y0 = y0
+
+
+class ZCylinder(Surface):
+    """Circle of radius ``r`` centred at ``(x0, y0)``; negative side inside."""
+
+    __slots__ = ("x0", "y0", "r")
+
+    def __init__(self, x0: float, y0: float, r: float, name: str = "") -> None:
+        if r <= 0.0:
+            raise ValueError(f"cylinder radius must be positive (got {r})")
+        super().__init__(name)
+        self.x0 = x0
+        self.y0 = y0
+        self.r = r
+
+    def evaluate(self, x: float, y: float) -> float:
+        dx = x - self.x0
+        dy = y - self.y0
+        return dx * dx + dy * dy - self.r * self.r
+
+    def distance(self, x: float, y: float, ux: float, uy: float) -> float:
+        # Solve |p + t u - c|^2 = r^2 for the smallest t > tol.
+        dx = x - self.x0
+        dy = y - self.y0
+        b = dx * ux + dy * uy
+        c = dx * dx + dy * dy - self.r * self.r
+        disc = b * b - c
+        if disc < 0.0:
+            return NO_HIT
+        sqrt_disc = math.sqrt(disc)
+        t1 = -b - sqrt_disc
+        if t1 > ON_SURFACE_TOL:
+            return t1
+        t2 = -b + sqrt_disc
+        if t2 > ON_SURFACE_TOL:
+            return t2
+        return NO_HIT

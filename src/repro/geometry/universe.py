@@ -1,0 +1,172 @@
+"""Universes: reusable collections of cells, plus the pin-cell builder.
+
+A universe fills space with non-overlapping cells. Lattices place the same
+universe at many positions, which is how a 17x17 assembly reuses a handful
+of pin-cell descriptions (paper Fig. 6).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator
+
+from repro.errors import GeometryError
+from repro.geometry.cell import Cell
+from repro.geometry.region import Complement, Halfspace, Intersection, Region
+from repro.geometry.surfaces import Plane2D, Surface, ZCylinder
+from repro.materials.material import Material
+
+
+class Universe:
+    """An ordered collection of cells tiling the (local) x-y plane.
+
+    Cell order matters only for lookup speed; cells must not overlap. The
+    universe does not need to be bounded — the enclosing lattice cell or
+    geometry root clips it.
+    """
+
+    __slots__ = ("_id", "name", "cells", "_surfaces")
+
+    _next_id = 0
+
+    def __init__(self, cells: list[Cell] | tuple[Cell, ...], name: str = "") -> None:
+        if not cells:
+            raise GeometryError("a universe needs at least one cell")
+        self.cells = tuple(cells)
+        self._id = Universe._next_id
+        Universe._next_id += 1
+        self.name = name or f"Universe#{self._id}"
+        surfaces: dict[int, Surface] = {}
+        for cell in self.cells:
+            for surface in cell.region.surfaces():
+                surfaces[surface.id] = surface
+        self._surfaces: tuple[Surface, ...] = tuple(surfaces.values())
+
+    @property
+    def id(self) -> int:
+        return self._id
+
+    @property
+    def surfaces(self) -> tuple[Surface, ...]:
+        """All distinct surfaces referenced by this universe's cells."""
+        return self._surfaces
+
+    def find_cell(self, x: float, y: float) -> Cell:
+        """Return the cell containing the point (first match wins)."""
+        for cell in self.cells:
+            if cell.contains(x, y):
+                return cell
+        raise GeometryError(
+            f"point ({x:.6g}, {y:.6g}) is outside every cell of universe {self.name!r}"
+        )
+
+    def material_cells(self) -> Iterator[Cell]:
+        for cell in self.cells:
+            if cell.is_material_cell:
+                yield cell
+
+    def __repr__(self) -> str:
+        return f"Universe(id={self._id}, name={self.name!r}, cells={len(self.cells)})"
+
+
+def _sector_wedges(x0: float, y0: float, num_sectors: int, offset: float) -> list[Region | None]:
+    """Return wedge regions dividing the plane into ``num_sectors`` slices.
+
+    ``None`` means "the whole plane" (one sector). Sector boundaries are
+    half-planes through ``(x0, y0)``; each wedge spans ``2*pi/num_sectors``
+    which must not exceed ``pi`` for the two-halfspace construction, so
+    ``num_sectors`` of 1, 2, or >= 3 are supported (2 uses single planes).
+    """
+    if num_sectors <= 1:
+        return [None]
+    planes = []
+    for k in range(num_sectors):
+        theta = offset + 2.0 * math.pi * k / num_sectors
+        # Normal (-sin, cos): positive side holds angles in (theta, theta+pi).
+        a, b = -math.sin(theta), math.cos(theta)
+        planes.append(Plane2D(a, b, a * x0 + b * y0, name=f"sector@{theta:.4f}"))
+    wedges: list[Region | None] = []
+    for k in range(num_sectors):
+        start = planes[k]
+        end = planes[(k + 1) % num_sectors]
+        if num_sectors == 2:
+            # Two half-planes along the same line, oppositely oriented:
+            # each wedge is the positive side of its own boundary plane.
+            wedges.append(Halfspace(start, +1))
+        else:
+            wedges.append(Intersection([Halfspace(start, +1), Halfspace(end, -1)]))
+    return wedges
+
+
+def _intersect(*parts: Region | None) -> Region:
+    regions = [p for p in parts if p is not None]
+    if not regions:
+        raise GeometryError("empty region")
+    if len(regions) == 1:
+        return regions[0]
+    return Intersection(regions)
+
+
+def make_pin_cell_universe(
+    pin_radius: float,
+    fuel: Material,
+    moderator: Material,
+    num_rings: int = 1,
+    num_sectors: int = 1,
+    inner_material: Material | None = None,
+    center: tuple[float, float] = (0.0, 0.0),
+    sector_offset: float = math.pi / 4.0,
+    name: str = "",
+) -> Universe:
+    """Build a standard LWR pin-cell universe.
+
+    A fuel (or guide tube / fission chamber) cylinder of ``pin_radius`` is
+    embedded in moderator. The cylinder interior is subdivided into
+    ``num_rings`` equal-area rings and ``num_sectors`` azimuthal sectors;
+    the moderator is subdivided into the same sectors. These subdivisions
+    define the flat source regions inside the pin — the resolution knob the
+    paper's FSR counts derive from.
+
+    ``inner_material`` fills the cylinder (defaults to ``fuel``) so the
+    same helper builds guide tubes and fission chambers.
+    """
+    if pin_radius <= 0.0:
+        raise GeometryError(f"pin radius must be positive (got {pin_radius})")
+    if num_rings < 1 or num_sectors < 0:
+        raise GeometryError("num_rings must be >= 1 and num_sectors >= 0")
+    num_sectors = max(num_sectors, 1)
+    pin_mat = inner_material if inner_material is not None else fuel
+    x0, y0 = center
+
+    # Equal-area ring radii: r_i = R * sqrt(i / num_rings).
+    radii = [pin_radius * math.sqrt((i + 1) / num_rings) for i in range(num_rings)]
+    cylinders = [ZCylinder(x0, y0, r, name=f"ring{i}") for i, r in enumerate(radii)]
+    wedges = _sector_wedges(x0, y0, num_sectors, sector_offset)
+
+    cells: list[Cell] = []
+    for i, cyl in enumerate(cylinders):
+        inner: Region | None = Halfspace(cylinders[i - 1], +1) if i > 0 else None
+        for s, wedge in enumerate(wedges):
+            region = _intersect(Halfspace(cyl, -1), inner, wedge)
+            cells.append(Cell(region, material=pin_mat, name=f"pin-r{i}-s{s}"))
+    outer = Halfspace(cylinders[-1], +1)
+    for s, wedge in enumerate(wedges):
+        cells.append(Cell(_intersect(outer, wedge), material=moderator, name=f"mod-s{s}"))
+    return Universe(cells, name=name or f"pin(r={pin_radius})")
+
+
+def make_homogeneous_universe(material: Material, name: str = "") -> Universe:
+    """A universe consisting of a single unbounded material cell."""
+
+    class _Everywhere(Region):
+        def contains(self, x: float, y: float) -> bool:  # noqa: ARG002
+            return True
+
+        def surfaces(self):
+            return iter(())
+
+        def __repr__(self) -> str:
+            return "Everywhere"
+
+    cell = Cell(_Everywhere(), material=material, name=f"homog-{material.name}")
+    return Universe([cell], name=name or f"homog({material.name})")

@@ -1,0 +1,34 @@
+"""Simulated multi-GPU cluster modelling the paper's testbed.
+
+The evaluation machine (Sec. 5): >4,000 nodes, each with one 32-core AMD
+Zen CPU (4 NUMA domains), four AMD Instinct MI60 GPUs (64 CUs, 16 GB), and
+HDR InfiniBand at 200 Gb/s. No such hardware is available here, so these
+classes reproduce its *behaviourally relevant* properties: memory
+capacities (the EXP OOM wall), CU-level work scheduling (the L3 mapping
+target), DMA vs network transfer costs (the L2/L1 mapping targets), and a
+deterministic kernel/link timing model driven by the Sec. 3.3 performance
+model.
+"""
+
+from repro.hardware.spec import GPUSpec, NodeSpec, ClusterSpec, MI60, V100, TESTBED_NODE, TESTBED_CLUSTER
+from repro.hardware.gpu import SimulatedGPU
+from repro.hardware.node import SimulatedNode
+from repro.hardware.cluster import SimulatedCluster
+from repro.hardware.network import LinkModel, InterconnectModel
+from repro.hardware.kernels import KernelCostModel
+
+__all__ = [
+    "GPUSpec",
+    "NodeSpec",
+    "ClusterSpec",
+    "MI60",
+    "V100",
+    "TESTBED_NODE",
+    "TESTBED_CLUSTER",
+    "SimulatedGPU",
+    "SimulatedNode",
+    "SimulatedCluster",
+    "LinkModel",
+    "InterconnectModel",
+    "KernelCostModel",
+]

@@ -1,0 +1,56 @@
+"""The simulated cluster: nodes, GPUs, and the interconnect."""
+
+from __future__ import annotations
+
+from repro.errors import HardwareModelError
+from repro.hardware.gpu import SimulatedGPU
+from repro.hardware.network import InterconnectModel
+from repro.hardware.node import SimulatedNode
+from repro.hardware.spec import ClusterSpec
+
+
+class SimulatedCluster:
+    """A full machine instance with per-GPU state.
+
+    Instantiating 16,000 GPU objects is cheap (they are bookkeeping
+    records); the scaling benchmarks create clusters up to the paper's
+    largest configuration.
+    """
+
+    def __init__(self, spec: ClusterSpec) -> None:
+        self.spec = spec
+        self.nodes = [SimulatedNode(spec.node, node_id=n) for n in range(spec.num_nodes)]
+        self.interconnect = InterconnectModel(spec)
+
+    @property
+    def num_gpus(self) -> int:
+        return self.spec.num_gpus
+
+    @property
+    def num_nodes(self) -> int:
+        return self.spec.num_nodes
+
+    def gpu(self, global_id: int) -> SimulatedGPU:
+        per_node = self.spec.node.gpus_per_node
+        if not (0 <= global_id < self.num_gpus):
+            raise HardwareModelError(f"GPU id {global_id} out of range")
+        return self.nodes[global_id // per_node].gpus[global_id % per_node]
+
+    def all_gpus(self) -> list[SimulatedGPU]:
+        return [g for node in self.nodes for g in node.gpus]
+
+    def max_gpu_busy_seconds(self) -> float:
+        return max(g.busy_seconds for g in self.all_gpus())
+
+    def total_gpu_busy_seconds(self) -> float:
+        return sum(g.busy_seconds for g in self.all_gpus())
+
+    def utilization(self) -> float:
+        """Mean GPU busy time over the slowest GPU's busy time (0..1]."""
+        slowest = self.max_gpu_busy_seconds()
+        if slowest <= 0.0:
+            return 1.0
+        return self.total_gpu_busy_seconds() / (self.num_gpus * slowest)
+
+    def __repr__(self) -> str:
+        return f"SimulatedCluster(nodes={self.num_nodes}, gpus={self.num_gpus})"

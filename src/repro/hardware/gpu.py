@@ -1,0 +1,113 @@
+"""A simulated GPU: memory accounting and CU-level kernel timing."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import HardwareModelError, OutOfMemoryError
+from repro.hardware.spec import GPUSpec
+
+
+@dataclass
+class _Allocation:
+    name: str
+    size: int
+
+
+class SimulatedGPU:
+    """Tracks memory allocations and charges kernel execution time.
+
+    Memory is a strict budget: allocating past ``memory_bytes`` raises
+    :class:`~repro.errors.OutOfMemoryError` — the failure mode the EXP
+    storage strategy hits in Fig. 9.
+
+    Kernels execute a per-CU work vector: the kernel finishes when the
+    most-loaded CU finishes (``max`` over CUs), which is exactly the
+    imbalance the L3 track-to-CU mapping minimises.
+    """
+
+    def __init__(self, spec: GPUSpec, gpu_id: int = 0) -> None:
+        self.spec = spec
+        self.gpu_id = int(gpu_id)
+        self._allocations: dict[str, _Allocation] = {}
+        self._in_use = 0
+        #: Simulated seconds of kernel execution charged so far.
+        self.busy_seconds = 0.0
+        self.kernels_launched = 0
+
+    # -------------------------------------------------------------- memory
+
+    @property
+    def memory_in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def memory_free(self) -> int:
+        return self.spec.memory_bytes - self._in_use
+
+    def allocate(self, name: str, size: int) -> None:
+        """Reserve ``size`` bytes under ``name`` (unique per allocation)."""
+        if size < 0:
+            raise HardwareModelError(f"negative allocation size {size}")
+        if name in self._allocations:
+            raise HardwareModelError(f"allocation {name!r} already exists on GPU {self.gpu_id}")
+        if self._in_use + size > self.spec.memory_bytes:
+            raise OutOfMemoryError(
+                requested=size,
+                capacity=self.spec.memory_bytes,
+                in_use=self._in_use,
+                what=name,
+            )
+        self._allocations[name] = _Allocation(name, int(size))
+        self._in_use += int(size)
+
+    def free(self, name: str) -> None:
+        alloc = self._allocations.pop(name, None)
+        if alloc is None:
+            raise HardwareModelError(f"no allocation {name!r} on GPU {self.gpu_id}")
+        self._in_use -= alloc.size
+
+    def free_all(self) -> None:
+        self._allocations.clear()
+        self._in_use = 0
+
+    def allocations(self) -> dict[str, int]:
+        return {name: a.size for name, a in self._allocations.items()}
+
+    # ------------------------------------------------------------- kernels
+
+    def execute_kernel(self, per_cu_work: np.ndarray | list[float]) -> float:
+        """Run a kernel whose work is already mapped to CUs.
+
+        Returns the kernel's simulated duration: the slowest CU's work at
+        per-CU throughput plus the launch overhead. Supplying more work
+        vectors than CUs is an error — mapping is the L3 layer's job.
+        """
+        work = np.asarray(per_cu_work, dtype=np.float64)
+        if work.ndim != 1 or work.size == 0:
+            raise HardwareModelError("per-CU work must be a non-empty 1-D vector")
+        if work.size > self.spec.num_cus:
+            raise HardwareModelError(
+                f"{work.size} CU lanes > {self.spec.num_cus} CUs on {self.spec.name}"
+            )
+        if np.any(work < 0.0):
+            raise HardwareModelError("negative CU work")
+        duration = float(work.max()) / self.spec.work_units_per_second_per_cu
+        duration += self.spec.kernel_launch_overhead_s
+        self.busy_seconds += duration
+        self.kernels_launched += 1
+        return duration
+
+    def execute_balanced_kernel(self, total_work: float) -> float:
+        """Run a kernel with work spread perfectly over all CUs (the ideal
+        the L3 mapping approaches)."""
+        per_cu = total_work / self.spec.num_cus
+        return self.execute_kernel(np.full(self.spec.num_cus, per_cu))
+
+    def __repr__(self) -> str:
+        return (
+            f"SimulatedGPU(id={self.gpu_id}, {self.spec.name}, "
+            f"mem={self._in_use}/{self.spec.memory_bytes})"
+        )

@@ -1,0 +1,61 @@
+"""Kernel cost model: translating performance-model work into GPU time.
+
+Binds the abstract work units of
+:class:`~repro.perfmodel.computation.ComputationModel` to a
+:class:`~repro.hardware.gpu.SimulatedGPU`, with the per-CU distribution
+supplied by the L3 mapping (or a deliberately unbalanced baseline).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import HardwareModelError
+from repro.hardware.gpu import SimulatedGPU
+from repro.perfmodel.computation import ComputationModel
+
+
+class KernelCostModel:
+    """Charges transport-iteration kernels onto a simulated GPU."""
+
+    def __init__(self, computation: ComputationModel | None = None) -> None:
+        self.computation = computation or ComputationModel()
+
+    def sweep_time(
+        self,
+        gpu: SimulatedGPU,
+        per_cu_segments: np.ndarray | list[float],
+        fused_regeneration: bool = False,
+        temporary_fraction: float = 0.0,
+    ) -> float:
+        """Time of one transport-sweep kernel.
+
+        ``per_cu_segments`` is the 3D segment count handled by each CU
+        lane. With ``fused_regeneration`` the OTF/Manager regeneration of
+        the ``temporary_fraction`` of segments is folded into the same
+        kernel (the paper's fused ray-tracing + source kernel, Sec. 4.1).
+        """
+        if not (0.0 <= temporary_fraction <= 1.0):
+            raise HardwareModelError(
+                f"temporary_fraction must be in [0, 1] (got {temporary_fraction})"
+            )
+        work = np.asarray(per_cu_segments, dtype=np.float64)
+        per_cu_work = self.computation.source_work_per_segment * work
+        if fused_regeneration and temporary_fraction > 0.0:
+            per_cu_work = per_cu_work + (
+                self.computation.source_work_per_segment
+                * self.computation.otf_regen_ratio
+                * work
+                * temporary_fraction
+            )
+        return gpu.execute_kernel(per_cu_work)
+
+    def track_generation_time(self, gpu: SimulatedGPU, num_3d_tracks: int) -> float:
+        """Time of the (balanced) 3D track-generation kernel."""
+        total = self.computation.track_generation_work(num_3d_tracks)
+        return gpu.execute_balanced_kernel(total)
+
+    def ray_trace_time(self, gpu: SimulatedGPU, num_3d_segments: int) -> float:
+        """Time of the one-off explicit 3D ray-tracing kernel (EXP setup)."""
+        total = self.computation.initial_ray_trace_work(num_3d_segments)
+        return gpu.execute_balanced_kernel(total)

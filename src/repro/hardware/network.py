@@ -1,0 +1,63 @@
+"""Interconnect cost models: intra-node DMA and inter-node InfiniBand."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import HardwareModelError
+from repro.hardware.spec import ClusterSpec
+
+
+@dataclass(frozen=True)
+class LinkModel:
+    """Latency + bandwidth transfer model: ``t = latency + bytes / bw``."""
+
+    bandwidth_bytes_per_s: float
+    latency_s: float
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bytes_per_s <= 0.0 or self.latency_s < 0.0:
+            raise HardwareModelError("invalid link parameters")
+
+    def transfer_time(self, num_bytes: int) -> float:
+        if num_bytes < 0:
+            raise HardwareModelError(f"negative message size {num_bytes}")
+        if num_bytes == 0:
+            return 0.0
+        return self.latency_s + num_bytes / self.bandwidth_bytes_per_s
+
+
+class InterconnectModel:
+    """Routes a transfer to the DMA or network link based on endpoints.
+
+    Paper Sec. 3.2: "track fluxes are transferred between GPUs via DMA
+    within the same node. Subsequently, the track flux is transferred to
+    adjacent fusion-geometry in other nodes."
+    """
+
+    def __init__(self, cluster: ClusterSpec) -> None:
+        self.cluster = cluster
+        self.dma = LinkModel(
+            cluster.node.dma_bandwidth_bytes_per_s, cluster.node.dma_latency_s
+        )
+        self.network = LinkModel(
+            cluster.network_bandwidth_bytes_per_s, cluster.network_latency_s
+        )
+        self.dma_bytes_total = 0
+        self.network_bytes_total = 0
+
+    def node_of(self, gpu_global_id: int) -> int:
+        per_node = self.cluster.node.gpus_per_node
+        if not (0 <= gpu_global_id < self.cluster.num_gpus):
+            raise HardwareModelError(f"GPU id {gpu_global_id} out of range")
+        return gpu_global_id // per_node
+
+    def transfer_time(self, src_gpu: int, dst_gpu: int, num_bytes: int) -> float:
+        """Simulated seconds to move ``num_bytes`` between two GPUs."""
+        if src_gpu == dst_gpu:
+            return 0.0
+        if self.node_of(src_gpu) == self.node_of(dst_gpu):
+            self.dma_bytes_total += num_bytes
+            return self.dma.transfer_time(num_bytes)
+        self.network_bytes_total += num_bytes
+        return self.network.transfer_time(num_bytes)

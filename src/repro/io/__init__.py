@@ -1,0 +1,6 @@
+"""Input/output helpers: config parsing and structured logging."""
+
+from repro.io.yamlish import loads as yaml_loads, load_file as yaml_load_file
+from repro.io.config import RunConfig, load_config
+
+__all__ = ["yaml_loads", "yaml_load_file", "RunConfig", "load_config"]

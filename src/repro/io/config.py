@@ -1,0 +1,188 @@
+"""Validated run configuration mirroring ANT-MOC's ``config.yaml``.
+
+The paper's stage (1), "Read Configuration", consumes a YAML file holding
+spatial-decomposition parameters and track-generation parameters (Sec. 3.1).
+:class:`RunConfig` is the validated in-memory form consumed by the five-stage
+pipeline in :mod:`repro.runtime`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, asdict
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.constants import DEFAULT_KEFF_TOL, DEFAULT_RESIDENT_MEMORY_BYTES, DEFAULT_SOURCE_TOL
+from repro.errors import ConfigError
+from repro.io import yamlish
+
+#: Track-storage strategies (paper Sec. 4.1 / Fig. 9).
+TRACK_STORAGE_METHODS = ("EXP", "OTF", "MANAGER", "CCM")
+
+#: Axial segmentation algorithms supported for 3D tracks (Sec. 2.1).
+AXIAL_METHODS = ("OTF", "CCM")
+
+
+@dataclass(frozen=True)
+class TrackingConfig:
+    """Track-generation parameters (Table 4 rows)."""
+
+    num_azim: int = 4
+    num_polar: int = 4
+    azim_spacing: float = 0.5
+    polar_spacing: float = 0.1
+    axial_method: str = "OTF"
+
+    def validate(self) -> None:
+        if self.num_azim < 4 or self.num_azim % 4 != 0:
+            raise ConfigError(
+                f"num_azim must be a positive multiple of 4 (got {self.num_azim}); "
+                "the L2 mapping relies on four-fold azimuthal symmetry"
+            )
+        if self.num_polar < 1 or self.num_polar % 2 != 0:
+            raise ConfigError(f"num_polar must be a positive even number (got {self.num_polar})")
+        if self.azim_spacing <= 0.0:
+            raise ConfigError(f"azim_spacing must be positive (got {self.azim_spacing})")
+        if self.polar_spacing <= 0.0:
+            raise ConfigError(f"polar_spacing must be positive (got {self.polar_spacing})")
+        if self.axial_method not in AXIAL_METHODS:
+            raise ConfigError(f"axial_method must be one of {AXIAL_METHODS} (got {self.axial_method!r})")
+
+
+@dataclass(frozen=True)
+class DecompositionConfig:
+    """Spatial-decomposition grid (Sec. 3.2): cuboid subdomains in 3D."""
+
+    nx: int = 1
+    ny: int = 1
+    nz: int = 1
+
+    @property
+    def num_domains(self) -> int:
+        return self.nx * self.ny * self.nz
+
+    def validate(self) -> None:
+        if min(self.nx, self.ny, self.nz) < 1:
+            raise ConfigError(f"domain grid must be positive in each axis (got {self.nx}x{self.ny}x{self.nz})")
+
+
+@dataclass(frozen=True)
+class SolverConfig:
+    """Transport-solve controls (stage 4)."""
+
+    max_iterations: int = 200
+    keff_tolerance: float = DEFAULT_KEFF_TOL
+    source_tolerance: float = DEFAULT_SOURCE_TOL
+    num_groups: int = 7
+    storage_method: str = "MANAGER"
+    resident_memory_bytes: int = DEFAULT_RESIDENT_MEMORY_BYTES
+
+    def validate(self) -> None:
+        if self.max_iterations < 1:
+            raise ConfigError(f"max_iterations must be >= 1 (got {self.max_iterations})")
+        if self.keff_tolerance <= 0 or self.source_tolerance <= 0:
+            raise ConfigError("convergence tolerances must be positive")
+        if self.num_groups < 1:
+            raise ConfigError(f"num_groups must be >= 1 (got {self.num_groups})")
+        if self.storage_method not in TRACK_STORAGE_METHODS:
+            raise ConfigError(
+                f"storage_method must be one of {TRACK_STORAGE_METHODS} (got {self.storage_method!r})"
+            )
+        if self.resident_memory_bytes < 0:
+            raise ConfigError("resident_memory_bytes must be non-negative")
+
+
+@dataclass(frozen=True)
+class LoadBalanceConfig:
+    """Three-level load-mapping switches (Sec. 4.2)."""
+
+    l1_enabled: bool = True
+    l2_enabled: bool = True
+    l3_enabled: bool = True
+    #: Subdomains per node targeted by the L1 decomposition ("about
+    #: tenfold the number of nodes", Sec. 4.2.1).
+    subdomains_per_node: int = 10
+
+    def validate(self) -> None:
+        if self.subdomains_per_node < 1:
+            raise ConfigError("subdomains_per_node must be >= 1")
+
+
+@dataclass(frozen=True)
+class OutputConfig:
+    """Stage-5 output controls."""
+
+    fission_rates_path: str | None = None
+    vtk_path: str | None = None
+    log_level: str = "INFO"
+
+    def validate(self) -> None:
+        if self.log_level.upper() not in ("DEBUG", "INFO", "WARNING", "ERROR"):
+            raise ConfigError(f"unknown log_level {self.log_level!r}")
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """Complete, validated ANT-MOC run configuration."""
+
+    geometry: str = "c5g7"
+    tracking: TrackingConfig = field(default_factory=TrackingConfig)
+    decomposition: DecompositionConfig = field(default_factory=DecompositionConfig)
+    solver: SolverConfig = field(default_factory=SolverConfig)
+    load_balance: LoadBalanceConfig = field(default_factory=LoadBalanceConfig)
+    output: OutputConfig = field(default_factory=OutputConfig)
+
+    def validate(self) -> "RunConfig":
+        self.tracking.validate()
+        self.decomposition.validate()
+        self.solver.validate()
+        self.load_balance.validate()
+        self.output.validate()
+        return self
+
+    def to_dict(self) -> dict[str, Any]:
+        return asdict(self)
+
+
+_SECTION_TYPES: dict[str, type] = {
+    "tracking": TrackingConfig,
+    "decomposition": DecompositionConfig,
+    "solver": SolverConfig,
+    "load_balance": LoadBalanceConfig,
+    "output": OutputConfig,
+}
+
+
+def _build_section(cls: type, data: Mapping[str, Any], section: str) -> Any:
+    fields = {f for f in cls.__dataclass_fields__}  # type: ignore[attr-defined]
+    unknown = set(data) - fields
+    if unknown:
+        raise ConfigError(f"unknown keys in section {section!r}: {sorted(unknown)}")
+    return cls(**data)
+
+
+def config_from_dict(data: Mapping[str, Any]) -> RunConfig:
+    """Build and validate a :class:`RunConfig` from a plain mapping."""
+    if not isinstance(data, Mapping):
+        raise ConfigError(f"config root must be a mapping, got {type(data).__name__}")
+    kwargs: dict[str, Any] = {}
+    for key, value in data.items():
+        if key == "geometry":
+            if not isinstance(value, str):
+                raise ConfigError("geometry must be a string name")
+            kwargs["geometry"] = value
+        elif key in _SECTION_TYPES:
+            if value is None:
+                value = {}
+            if not isinstance(value, Mapping):
+                raise ConfigError(f"section {key!r} must be a mapping")
+            kwargs[key] = _build_section(_SECTION_TYPES[key], value, key)
+        else:
+            raise ConfigError(f"unknown top-level config key {key!r}")
+    return RunConfig(**kwargs).validate()
+
+
+def load_config(path: str | Path) -> RunConfig:
+    """Load and validate a ``config.yaml``-style run configuration."""
+    data = yamlish.load_file(path)
+    return config_from_dict(data)

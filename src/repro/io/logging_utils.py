@@ -1,0 +1,70 @@
+"""Structured logging helpers.
+
+ANT-MOC's artifact analyses per-stage execution time and storage from run
+logs. :class:`StageTimer` reproduces that habit: it records wall-clock time
+per pipeline stage and can render the same kind of log fragment.
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+
+def get_logger(name: str = "repro", level: str = "INFO") -> logging.Logger:
+    """Return a configured library logger (idempotent)."""
+    logger = logging.getLogger(name)
+    if not logger.handlers:
+        handler = logging.StreamHandler()
+        handler.setFormatter(logging.Formatter("[%(levelname)s] %(name)s: %(message)s"))
+        logger.addHandler(handler)
+        logger.propagate = False
+    logger.setLevel(getattr(logging, level.upper(), logging.INFO))
+    return logger
+
+
+class StageTimer:
+    """Accumulates named stage durations, mirroring ANT-MOC's run log."""
+
+    def __init__(self) -> None:
+        self._durations: dict[str, float] = {}
+        self._order: list[str] = []
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            if name not in self._durations:
+                self._order.append(name)
+                self._durations[name] = 0.0
+            self._durations[name] += elapsed
+
+    def record(self, name: str, seconds: float) -> None:
+        """Record an externally measured (or simulated) duration."""
+        if name not in self._durations:
+            self._order.append(name)
+            self._durations[name] = 0.0
+        self._durations[name] += float(seconds)
+
+    def duration(self, name: str) -> float:
+        return self._durations.get(name, 0.0)
+
+    @property
+    def total(self) -> float:
+        return sum(self._durations.values())
+
+    def as_dict(self) -> dict[str, float]:
+        return {name: self._durations[name] for name in self._order}
+
+    def report(self) -> str:
+        """Render a per-stage timing table like ANT-MOC's log fragments."""
+        lines = ["stage                          time (s)"]
+        for name in self._order:
+            lines.append(f"{name:<30s} {self._durations[name]:10.4f}")
+        lines.append(f"{'TOTAL':<30s} {self.total:10.4f}")
+        return "\n".join(lines)

@@ -1,0 +1,43 @@
+"""Three-level load mapping (paper Sec. 4.2, evaluated in Fig. 10).
+
+* **L1** (:mod:`~repro.loadbalance.l1_nodes`) — subdomains to *nodes* via
+  weighted graph partitioning (ParMETIS in the paper; an in-repo
+  multi-constraint partitioner here);
+* **L2** (:mod:`~repro.loadbalance.l2_gpus`) — a node's fused subdomain
+  group to its *GPUs* by azimuthal angle;
+* **L3** (:mod:`~repro.loadbalance.l3_cus`) — a GPU's 3D tracks to its
+  *CUs* by descending segment count, serpentine order.
+"""
+
+from repro.loadbalance.metrics import load_uniformity_index, LoadStats
+from repro.loadbalance.graph import build_subdomain_graph
+from repro.loadbalance.partition import (
+    greedy_partition,
+    kl_refine,
+    partition_graph,
+    block_partition,
+    recursive_bisection,
+)
+from repro.loadbalance.l1_nodes import L1Mapping, map_subdomains_to_nodes
+from repro.loadbalance.l2_gpus import L2Mapping, map_angles_to_gpus
+from repro.loadbalance.l3_cus import L3Mapping, map_tracks_to_cus
+from repro.loadbalance.pipeline import ThreeLevelMapper, MappingResult
+
+__all__ = [
+    "load_uniformity_index",
+    "LoadStats",
+    "build_subdomain_graph",
+    "greedy_partition",
+    "kl_refine",
+    "partition_graph",
+    "block_partition",
+    "recursive_bisection",
+    "L1Mapping",
+    "map_subdomains_to_nodes",
+    "L2Mapping",
+    "map_angles_to_gpus",
+    "L3Mapping",
+    "map_tracks_to_cus",
+    "ThreeLevelMapper",
+    "MappingResult",
+]

@@ -1,0 +1,77 @@
+"""L3: track-to-CU mapping inside one GPU (paper Sec. 4.2.3).
+
+Tracks are sorted by descending segment count, then dealt to CUs in
+serpentine order (0..C-1, C-1..0, ...) so every CU receives one track from
+each "size band" — long and short tracks interleave and per-CU totals
+equalise. The unbalanced baseline deals tracks in laydown order, which
+correlates with geometry and leaves some CUs with clusters of long
+tracks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import DecompositionError
+from repro.loadbalance.metrics import LoadStats
+
+
+@dataclass
+class L3Mapping:
+    """Track-to-CU assignment for one GPU."""
+
+    #: ``track_to_cu[i]`` = CU index of track i (in the input order).
+    track_to_cu: np.ndarray
+    cu_loads: np.ndarray
+    stats: LoadStats
+
+    @property
+    def num_cus(self) -> int:
+        return int(self.cu_loads.size)
+
+
+def map_tracks_to_cus(
+    segment_counts,
+    num_cus: int,
+    balanced: bool = True,
+) -> L3Mapping:
+    """Map tracks (by per-track segment counts) onto CUs.
+
+    ``balanced`` applies sort + serpentine dealing; otherwise each CU gets
+    a contiguous block of tracks in their given (laydown) order — the GPU
+    block-scheduling baseline, which inherits the spatial correlation of
+    track sizes along the laydown.
+    """
+    counts = np.asarray(segment_counts, dtype=np.float64)
+    if counts.ndim != 1:
+        raise DecompositionError("segment counts must be 1-D")
+    if num_cus < 1:
+        raise DecompositionError("need at least one CU")
+    if np.any(counts < 0):
+        raise DecompositionError("negative segment count")
+    num_tracks = counts.size
+    track_to_cu = np.zeros(num_tracks, dtype=np.int64)
+    if num_tracks == 0:
+        return L3Mapping(
+            track_to_cu=track_to_cu,
+            cu_loads=np.zeros(num_cus),
+            stats=LoadStats.from_loads(np.zeros(num_cus) + 1e-300),
+        )
+    if balanced:
+        order = np.argsort(-counts, kind="stable")
+        period = 2 * num_cus
+        for rank, track in enumerate(order):
+            phase = rank % period
+            cu = phase if phase < num_cus else period - 1 - phase
+            track_to_cu[track] = cu
+    else:
+        # Contiguous blocks: track i goes to CU floor(i * C / N).
+        track_to_cu = (np.arange(num_tracks, dtype=np.int64) * num_cus) // num_tracks
+    cu_loads = np.bincount(track_to_cu, weights=counts, minlength=num_cus)
+    return L3Mapping(
+        track_to_cu=track_to_cu,
+        cu_loads=cu_loads,
+        stats=LoadStats.from_loads(cu_loads),
+    )

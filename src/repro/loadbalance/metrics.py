@@ -1,0 +1,59 @@
+"""Load-balance metrics.
+
+The paper's figure of merit (Sec. 5.4): the *load uniformity index*
+``MAX load / AVG load``, always >= 1, with 1 meaning perfectly balanced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import DecompositionError
+
+
+def load_uniformity_index(loads) -> float:
+    """``max(loads) / mean(loads)`` over per-worker loads."""
+    arr = np.asarray(loads, dtype=np.float64)
+    if arr.size == 0:
+        raise DecompositionError("cannot compute uniformity of zero workers")
+    if np.any(arr < 0.0):
+        raise DecompositionError("negative load")
+    mean = arr.mean()
+    if mean <= 0.0:
+        return 1.0
+    return float(arr.max() / mean)
+
+
+@dataclass(frozen=True)
+class LoadStats:
+    """Summary of a load distribution."""
+
+    num_workers: int
+    total: float
+    max_load: float
+    min_load: float
+    mean_load: float
+    uniformity_index: float
+
+    @classmethod
+    def from_loads(cls, loads) -> "LoadStats":
+        arr = np.asarray(loads, dtype=np.float64)
+        if arr.size == 0:
+            raise DecompositionError("no workers")
+        return cls(
+            num_workers=int(arr.size),
+            total=float(arr.sum()),
+            max_load=float(arr.max()),
+            min_load=float(arr.min()),
+            mean_load=float(arr.mean()),
+            uniformity_index=load_uniformity_index(arr),
+        )
+
+    @property
+    def idle_fraction(self) -> float:
+        """Fraction of worker-time wasted waiting for the slowest worker."""
+        if self.max_load <= 0.0:
+            return 0.0
+        return 1.0 - self.mean_load / self.max_load

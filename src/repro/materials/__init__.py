@@ -1,0 +1,15 @@
+"""Multigroup material data: cross sections, libraries, analytic checks."""
+
+from repro.materials.material import Material
+from repro.materials.library import MaterialLibrary
+from repro.materials.c5g7 import c5g7_library, C5G7_MATERIAL_NAMES
+from repro.materials.analytic import infinite_medium_keff, infinite_medium_flux
+
+__all__ = [
+    "Material",
+    "MaterialLibrary",
+    "c5g7_library",
+    "C5G7_MATERIAL_NAMES",
+    "infinite_medium_keff",
+    "infinite_medium_flux",
+]

@@ -1,0 +1,57 @@
+"""A named collection of :class:`~repro.materials.material.Material`."""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping
+
+from repro.errors import SolverError
+from repro.materials.material import Material
+
+
+class MaterialLibrary(Mapping[str, Material]):
+    """Immutable mapping from material name to :class:`Material`.
+
+    All materials in a library must share the same group structure; the
+    solver relies on this to build per-FSR cross-section tables.
+    """
+
+    def __init__(self, materials: list[Material] | tuple[Material, ...]) -> None:
+        if not materials:
+            raise SolverError("a material library cannot be empty")
+        groups = {m.num_groups for m in materials}
+        if len(groups) != 1:
+            raise SolverError(f"mixed group structures in library: {sorted(groups)}")
+        self._by_name: dict[str, Material] = {}
+        for mat in materials:
+            if mat.name in self._by_name:
+                raise SolverError(f"duplicate material name {mat.name!r} in library")
+            self._by_name[mat.name] = mat
+        self._num_groups = materials[0].num_groups
+
+    @property
+    def num_groups(self) -> int:
+        return self._num_groups
+
+    def __getitem__(self, name: str) -> Material:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(
+                f"material {name!r} not in library; available: {sorted(self._by_name)}"
+            ) from None
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._by_name)
+
+    def __len__(self) -> int:
+        return len(self._by_name)
+
+    @property
+    def materials(self) -> tuple[Material, ...]:
+        return tuple(self._by_name.values())
+
+    def fissile_names(self) -> list[str]:
+        return [name for name, m in self._by_name.items() if m.is_fissile]
+
+    def __repr__(self) -> str:
+        return f"MaterialLibrary({sorted(self._by_name)}, G={self._num_groups})"

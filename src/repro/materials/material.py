@@ -1,0 +1,126 @@
+"""Multigroup material cross sections.
+
+A :class:`Material` carries the macroscopic multigroup constants the MOC
+solver needs: total cross section, the group-to-group scattering matrix,
+nu-fission, fission, and the fission spectrum chi. Conventions:
+
+* all cross sections are macroscopic, in 1/cm;
+* ``sigma_s[g, gp]`` is scattering *from* group ``g`` *to* group ``gp``
+  (row = source group), matching the NEA C5G7 tables;
+* group 0 is the fastest group.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SolverError
+
+
+class Material:
+    """Immutable multigroup material.
+
+    Parameters
+    ----------
+    name:
+        Human-readable identifier (e.g. ``"UO2"``).
+    sigma_t:
+        Total macroscopic cross section per group, shape ``(G,)``.
+    sigma_s:
+        Scattering matrix, shape ``(G, G)``, ``sigma_s[g, gp]`` = g -> gp.
+    nu_sigma_f:
+        Production cross section (nu * sigma_f) per group, shape ``(G,)``.
+    sigma_f:
+        Fission cross section per group, shape ``(G,)``; used for fission-
+        rate tallies (Fig. 7). Defaults to zeros for non-fissile materials.
+    chi:
+        Fission spectrum per group, shape ``(G,)``; must sum to 1 for
+        fissile materials. Defaults to zeros.
+    """
+
+    __slots__ = ("name", "sigma_t", "sigma_s", "nu_sigma_f", "sigma_f", "chi", "_id")
+
+    _next_id = 0
+
+    def __init__(
+        self,
+        name: str,
+        sigma_t,
+        sigma_s,
+        nu_sigma_f=None,
+        sigma_f=None,
+        chi=None,
+    ) -> None:
+        self.name = str(name)
+        self.sigma_t = np.ascontiguousarray(sigma_t, dtype=np.float64)
+        if self.sigma_t.ndim != 1:
+            raise SolverError(f"material {name!r}: sigma_t must be 1-D")
+        g = self.sigma_t.shape[0]
+        self.sigma_s = np.ascontiguousarray(sigma_s, dtype=np.float64)
+        if self.sigma_s.shape != (g, g):
+            raise SolverError(
+                f"material {name!r}: sigma_s shape {self.sigma_s.shape} != ({g}, {g})"
+            )
+        zeros = np.zeros(g, dtype=np.float64)
+        self.nu_sigma_f = (
+            np.ascontiguousarray(nu_sigma_f, dtype=np.float64) if nu_sigma_f is not None else zeros.copy()
+        )
+        self.sigma_f = (
+            np.ascontiguousarray(sigma_f, dtype=np.float64) if sigma_f is not None else zeros.copy()
+        )
+        self.chi = np.ascontiguousarray(chi, dtype=np.float64) if chi is not None else zeros.copy()
+        for attr in ("nu_sigma_f", "sigma_f", "chi"):
+            if getattr(self, attr).shape != (g,):
+                raise SolverError(f"material {name!r}: {attr} must have shape ({g},)")
+        self._validate()
+        self._id = Material._next_id
+        Material._next_id += 1
+        for arr in (self.sigma_t, self.sigma_s, self.nu_sigma_f, self.sigma_f, self.chi):
+            arr.setflags(write=False)
+
+    def _validate(self) -> None:
+        if np.any(self.sigma_t < 0) or np.any(self.sigma_s < 0):
+            raise SolverError(f"material {self.name!r}: negative cross section")
+        if np.any(self.nu_sigma_f < 0) or np.any(self.sigma_f < 0) or np.any(self.chi < 0):
+            raise SolverError(f"material {self.name!r}: negative fission datum")
+        if self.is_fissile and not np.isclose(self.chi.sum(), 1.0, atol=1e-6):
+            raise SolverError(
+                f"material {self.name!r}: chi sums to {self.chi.sum():.6g}, expected 1"
+            )
+        # Total must bound outscatter+absorption; allow tiny transport-
+        # correction slack (the C5G7 library is transport corrected).
+        outscatter = self.sigma_s.sum(axis=1)
+        if np.any(outscatter > self.sigma_t * (1.0 + 1e-3) + 1e-12):
+            raise SolverError(
+                f"material {self.name!r}: scattering exceeds total cross section"
+            )
+
+    @property
+    def id(self) -> int:
+        """Globally unique material id (creation order)."""
+        return self._id
+
+    @property
+    def num_groups(self) -> int:
+        return int(self.sigma_t.shape[0])
+
+    @property
+    def is_fissile(self) -> bool:
+        return bool(np.any(self.nu_sigma_f > 0.0))
+
+    @property
+    def sigma_a(self) -> np.ndarray:
+        """Absorption cross section inferred as total minus outscatter."""
+        return self.sigma_t - self.sigma_s.sum(axis=1)
+
+    def __repr__(self) -> str:
+        kind = "fissile" if self.is_fissile else "non-fissile"
+        return f"Material({self.name!r}, G={self.num_groups}, {kind})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Material):
+            return NotImplemented
+        return self._id == other._id
+
+    def __hash__(self) -> int:
+        return hash(self._id)

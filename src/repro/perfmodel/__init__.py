@@ -1,0 +1,29 @@
+"""The ANT-MOC performance model (paper Sec. 3.3, Eqs. 2-7).
+
+Predicts, from the initial tracking inputs of Table 2, the quantities that
+drive every optimisation in the paper: track counts (Eqs. 2-3), segment
+counts calibrated on a small sample (Eq. 4), memory footprint (Eq. 5 /
+Table 3), computation workload (Eq. 6), and communication traffic (Eq. 7).
+"""
+
+from repro.perfmodel.parameters import TrackingParameters
+from repro.perfmodel.tracks_model import predict_num_2d_tracks, predict_num_3d_tracks
+from repro.perfmodel.segments_model import SegmentRatioModel
+from repro.perfmodel.memory import MemoryModel, MemoryBreakdown, BYTES_PER
+from repro.perfmodel.computation import ComputationModel
+from repro.perfmodel.communication import communication_bytes, CommunicationModel
+from repro.perfmodel.model import PerformanceModel
+
+__all__ = [
+    "TrackingParameters",
+    "predict_num_2d_tracks",
+    "predict_num_3d_tracks",
+    "SegmentRatioModel",
+    "MemoryModel",
+    "MemoryBreakdown",
+    "BYTES_PER",
+    "ComputationModel",
+    "communication_bytes",
+    "CommunicationModel",
+    "PerformanceModel",
+]

@@ -1,0 +1,58 @@
+"""Communication-traffic model: Eq. (7).
+
+``communication = N_3D * 2 * num_group * 4`` bytes — each 3D track whose
+end sits on a subdomain interface exchanges its boundary angular flux in
+both directions, one single-precision float per energy group. The model
+also derives per-face traffic for the cluster simulator's link charging.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.constants import SIZEOF_FLOAT32
+from repro.errors import ConfigError
+
+
+def communication_bytes(num_3d_tracks: int, num_groups: int) -> int:
+    """Eq. (7) verbatim: bytes exchanged per sweep for ``num_3d_tracks``
+    boundary-crossing 3D tracks."""
+    if num_3d_tracks < 0 or num_groups < 1:
+        raise ConfigError("invalid track/group counts")
+    return num_3d_tracks * 2 * num_groups * SIZEOF_FLOAT32
+
+
+@dataclass(frozen=True)
+class CommunicationModel:
+    """Derives interface traffic from domain geometry and track density.
+
+    The number of 3D tracks crossing a face scales with the face area
+    times the track areal density; ``tracks_per_cm2`` is calibrated from
+    the tracking parameters (roughly ``1 / (azim_spacing * polar_spacing)``
+    integrated over angles).
+    """
+
+    num_groups: int
+    tracks_per_cm2: float
+
+    def __post_init__(self) -> None:
+        if self.num_groups < 1:
+            raise ConfigError("num_groups must be >= 1")
+        if self.tracks_per_cm2 <= 0.0:
+            raise ConfigError("tracks_per_cm2 must be positive")
+
+    @classmethod
+    def from_spacings(cls, num_groups: int, azim_spacing: float, polar_spacing: float) -> "CommunicationModel":
+        if azim_spacing <= 0.0 or polar_spacing <= 0.0:
+            raise ConfigError("spacings must be positive")
+        return cls(num_groups=num_groups, tracks_per_cm2=1.0 / (azim_spacing * polar_spacing))
+
+    def tracks_crossing_face(self, face_area: float) -> int:
+        """Expected 3D tracks crossing a subdomain face of given area."""
+        if face_area < 0.0:
+            raise ConfigError("face area must be non-negative")
+        return int(round(face_area * self.tracks_per_cm2))
+
+    def face_bytes(self, face_area: float) -> int:
+        """Bytes exchanged across one face per sweep (both directions)."""
+        return communication_bytes(self.tracks_crossing_face(face_area), self.num_groups)

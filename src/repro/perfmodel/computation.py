@@ -1,0 +1,72 @@
+"""Computation-workload model: Eq. (6).
+
+``computation ~ N_3Dseg`` — the transport-sweep work is linear in the 3D
+segment count. The model also carries the *kernel ratios* the paper
+reports: the OTF track-generation kernel is ~5x the source-computation
+kernel per segment (Sec. 5.3), which is what the Manager strategy's 30%
+gain over OTF comes from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class ComputationModel:
+    """Per-segment work coefficients (arbitrary work units).
+
+    ``source_work_per_segment`` is the unit; the other kernels are ratios
+    against it. Paper Sec. 5.3: "a track generation kernel that is five
+    times larger than the source computation kernel".
+    """
+
+    source_work_per_segment: float = 1.0
+    otf_regen_ratio: float = 5.0
+    ray_trace_ratio: float = 1.0
+    track_gen_work_per_track: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.source_work_per_segment <= 0.0:
+            raise ConfigError("source_work_per_segment must be positive")
+        if self.otf_regen_ratio < 0.0 or self.ray_trace_ratio < 0.0:
+            raise ConfigError("kernel ratios must be non-negative")
+
+    def sweep_work(self, num_3d_segments: int) -> float:
+        """Eq. (6): source-computation work of one transport sweep."""
+        if num_3d_segments < 0:
+            raise ConfigError("segment count must be non-negative")
+        return self.source_work_per_segment * num_3d_segments
+
+    def regeneration_work(self, num_regenerated_segments: int) -> float:
+        """Extra work for on-the-fly regeneration of temporary segments."""
+        if num_regenerated_segments < 0:
+            raise ConfigError("segment count must be non-negative")
+        return (
+            self.source_work_per_segment
+            * self.otf_regen_ratio
+            * num_regenerated_segments
+        )
+
+    def initial_ray_trace_work(self, num_3d_segments: int) -> float:
+        """One-time explicit ray tracing work (the EXP setup cost)."""
+        return self.source_work_per_segment * self.ray_trace_ratio * num_3d_segments
+
+    def track_generation_work(self, num_3d_tracks: int) -> float:
+        """3D track generation from 2D tracks (cheap, per-track)."""
+        if num_3d_tracks < 0:
+            raise ConfigError("track count must be non-negative")
+        return self.track_gen_work_per_track * num_3d_tracks
+
+    def iteration_work(
+        self,
+        resident_segments: int,
+        temporary_segments: int,
+    ) -> float:
+        """Work of one transport iteration under a resident/temporary split:
+        sweep over everything plus regeneration of the temporary part."""
+        return self.sweep_work(resident_segments + temporary_segments) + self.regeneration_work(
+            temporary_segments
+        )

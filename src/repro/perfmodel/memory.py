@@ -1,0 +1,131 @@
+"""Memory-footprint model: Eq. (5) and the Table 3 breakdown.
+
+``memory = F + S(N_2D) + S(N_3D) + S(N_2Dseg) + S(N_3Dseg) + S(N_FSR)``
+
+where ``S`` maps an item count to bytes through the per-item structure
+sizes below and ``F`` covers constants and fixed-size vectors. At the
+paper's scales 3D segments dominate (93.31% in Table 3) — the fact the
+whole track-management strategy exists to mitigate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+#: Bytes per item of each vector class. Track structures carry geometry
+#: (start point, angle indices, links); segment structures carry a length
+#: and an FSR id; per-(track, group, direction) boundary fluxes are single
+#: precision (paper Sec. 3.3).
+BYTES_PER = {
+    "track_2d": 48,       # start/end points, angle, links, bookkeeping
+    "track_3d": 20,       # compact: 2D-base index + stack/polar ids + links
+    #                       (Table 3's 3D-segment / 3D-track byte ratio of
+    #                       ~131x implies a small per-track record)
+    "segment_2d": 12,     # float64 length + int32 FSR id
+    "segment_3d": 12,
+    "track_flux": 4,      # float32 per (group, direction) slot
+    "fsr": 96,            # flux + source + cross-section index per group set
+}
+
+
+@dataclass(frozen=True)
+class MemoryBreakdown:
+    """Byte totals per vector class (the Table 3 rows)."""
+
+    tracks_2d: int
+    tracks_3d: int
+    segments_2d: int
+    segments_3d: int
+    track_fluxes: int
+    fixed: int
+
+    @property
+    def total(self) -> int:
+        return (
+            self.tracks_2d
+            + self.tracks_3d
+            + self.segments_2d
+            + self.segments_3d
+            + self.track_fluxes
+            + self.fixed
+        )
+
+    def percentages(self) -> dict[str, float]:
+        """Table 3: percentage of the footprint per vector class."""
+        total = self.total
+        if total <= 0:
+            raise ConfigError("empty memory breakdown")
+        return {
+            "2D_tracks": 100.0 * self.tracks_2d / total,
+            "3D_tracks": 100.0 * self.tracks_3d / total,
+            "2D_segments": 100.0 * self.segments_2d / total,
+            "3D_segments": 100.0 * self.segments_3d / total,
+            "Track_fluxs": 100.0 * self.track_fluxes / total,
+            "Others": 100.0 * self.fixed / total,
+        }
+
+    def table(self) -> str:
+        """Render the Table 3 layout."""
+        rows = self.percentages()
+        lines = ["Item            Percent"]
+        for name, pct in rows.items():
+            lines.append(f"{name:<15s} {pct:6.2f}%")
+        lines.append(f"{'All':<15s} 100.00%")
+        return "\n".join(lines)
+
+
+class MemoryModel:
+    """Eq. (5) evaluator with pluggable per-item sizes."""
+
+    def __init__(
+        self,
+        num_groups: int = 7,
+        bytes_per: dict[str, int] | None = None,
+        fixed_bytes: int = 64 * 1024 * 1024,
+    ) -> None:
+        if num_groups < 1:
+            raise ConfigError("num_groups must be >= 1")
+        self.num_groups = int(num_groups)
+        self.bytes_per = dict(BYTES_PER)
+        if bytes_per:
+            unknown = set(bytes_per) - set(BYTES_PER)
+            if unknown:
+                raise ConfigError(f"unknown memory classes: {sorted(unknown)}")
+            self.bytes_per.update(bytes_per)
+        self.fixed_bytes = int(fixed_bytes)
+
+    def breakdown(
+        self,
+        num_2d_tracks: int,
+        num_3d_tracks: int,
+        num_2d_segments: int,
+        num_3d_segments: int,
+        num_fsrs: int,
+    ) -> MemoryBreakdown:
+        """Evaluate Eq. (5) term by term."""
+        for name, value in (
+            ("num_2d_tracks", num_2d_tracks),
+            ("num_3d_tracks", num_3d_tracks),
+            ("num_2d_segments", num_2d_segments),
+            ("num_3d_segments", num_3d_segments),
+            ("num_fsrs", num_fsrs),
+        ):
+            if value < 0:
+                raise ConfigError(f"{name} must be non-negative")
+        bp = self.bytes_per
+        # Each 3D track stores boundary flux for two directions and every
+        # energy group (Eq. 7's same per-track flux payload).
+        flux_bytes = num_3d_tracks * 2 * self.num_groups * bp["track_flux"]
+        return MemoryBreakdown(
+            tracks_2d=num_2d_tracks * bp["track_2d"],
+            tracks_3d=num_3d_tracks * bp["track_3d"],
+            segments_2d=num_2d_segments * bp["segment_2d"],
+            segments_3d=num_3d_segments * bp["segment_3d"],
+            track_fluxes=flux_bytes,
+            fixed=self.fixed_bytes + num_fsrs * bp["fsr"] * self.num_groups // 7,
+        )
+
+    def total_bytes(self, **counts: int) -> int:
+        return self.breakdown(**counts).total

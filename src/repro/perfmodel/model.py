@@ -1,0 +1,82 @@
+"""The combined performance model: one object answering every Sec. 3.3
+question for a given tracking configuration.
+
+Used three ways in this reproduction, matching the paper:
+
+* the track manager ranks tracks and sizes the resident set from the
+  memory model (Sec. 4.1);
+* the three-level load mapper weighs subdomains by predicted segments
+  (Sec. 4.2.1) and splits GPU work by azimuthal angle (Sec. 4.2.2);
+* the cluster simulator charges kernel and link times from the
+  computation and communication models (Sec. 5.3-5.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.perfmodel.communication import CommunicationModel, communication_bytes
+from repro.perfmodel.computation import ComputationModel
+from repro.perfmodel.memory import MemoryBreakdown, MemoryModel
+from repro.perfmodel.parameters import TrackingParameters
+from repro.perfmodel.segments_model import SegmentRatioModel
+from repro.perfmodel.tracks_model import predict_num_2d_tracks, predict_num_3d_tracks
+
+
+@dataclass(frozen=True)
+class WorkloadPrediction:
+    """All derived Table 2 quantities plus Eq. 5-7 outputs for one domain."""
+
+    num_2d_tracks: int
+    num_3d_tracks: int
+    num_2d_segments: int
+    num_3d_segments: int
+    num_fsrs: int
+    memory: MemoryBreakdown
+    sweep_work: float
+    communication_bytes_total: int
+
+
+class PerformanceModel:
+    """Facade combining the Eq. 2-7 sub-models."""
+
+    def __init__(
+        self,
+        segment_model: SegmentRatioModel,
+        num_groups: int = 7,
+        memory_model: MemoryModel | None = None,
+        computation_model: ComputationModel | None = None,
+    ) -> None:
+        self.segment_model = segment_model
+        self.num_groups = int(num_groups)
+        self.memory_model = memory_model or MemoryModel(num_groups=num_groups)
+        self.computation_model = computation_model or ComputationModel()
+
+    def predict(self, params: TrackingParameters) -> WorkloadPrediction:
+        """Predict every derived quantity for one (sub)domain."""
+        n2d = predict_num_2d_tracks(params)
+        n3d = predict_num_3d_tracks(params)
+        n2d_seg = self.segment_model.predict_2d(n2d)
+        n3d_seg = self.segment_model.predict_3d(n3d)
+        memory = self.memory_model.breakdown(
+            num_2d_tracks=n2d,
+            num_3d_tracks=n3d,
+            num_2d_segments=n2d_seg,
+            num_3d_segments=n3d_seg,
+            num_fsrs=params.num_fsrs,
+        )
+        return WorkloadPrediction(
+            num_2d_tracks=n2d,
+            num_3d_tracks=n3d,
+            num_2d_segments=n2d_seg,
+            num_3d_segments=n3d_seg,
+            num_fsrs=params.num_fsrs,
+            memory=memory,
+            sweep_work=self.computation_model.sweep_work(n3d_seg),
+            communication_bytes_total=communication_bytes(n3d, self.num_groups),
+        )
+
+    def communication_model(self, params: TrackingParameters) -> CommunicationModel:
+        return CommunicationModel.from_spacings(
+            self.num_groups, params.azim_spacing, params.polar_spacing
+        )

@@ -1,0 +1,66 @@
+"""Table 2: the performance-related parameters and their derivations.
+
+The first four (azimuthal/polar counts and spacings) are initial inputs;
+the remaining five (track, segment and FSR counts) are derived from them
+and from the geometry.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class TrackingParameters:
+    """The Table 2 parameter set for one (sub)domain.
+
+    Attributes use the paper's shorthand: ``num_azim`` = N_num,
+    ``azim_spacing`` = S_azim, ``num_polar`` = P_num, ``polar_spacing`` =
+    S_polar. ``width``/``height``/``depth`` describe the (sub)domain the
+    tracks cover; ``num_fsrs`` is fixed once the geometry is built.
+    """
+
+    num_azim: int
+    azim_spacing: float
+    num_polar: int
+    polar_spacing: float
+    width: float
+    height: float
+    depth: float
+    num_fsrs: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_azim < 4 or self.num_azim % 4:
+            raise ConfigError(f"num_azim must be a multiple of 4 (got {self.num_azim})")
+        if self.num_polar < 2 or self.num_polar % 2:
+            raise ConfigError(f"num_polar must be even and >= 2 (got {self.num_polar})")
+        for name in ("azim_spacing", "polar_spacing", "width", "height", "depth"):
+            if getattr(self, name) <= 0.0:
+                raise ConfigError(f"{name} must be positive")
+        if self.num_fsrs < 0:
+            raise ConfigError("num_fsrs must be non-negative")
+
+    def azimuthal_angles(self) -> list[float]:
+        """Nominal (uncorrected) azimuthal angles over (0, pi)."""
+        return [
+            (2.0 * math.pi / self.num_azim) * (0.5 + a) for a in range(self.num_azim // 2)
+        ]
+
+    def scaled(self, factor: float) -> "TrackingParameters":
+        """Same domain with track spacings scaled by ``factor`` — the knob
+        the Fig. 8/9 experiments turn to sweep the track count."""
+        if factor <= 0.0:
+            raise ConfigError("scale factor must be positive")
+        return TrackingParameters(
+            num_azim=self.num_azim,
+            azim_spacing=self.azim_spacing * factor,
+            num_polar=self.num_polar,
+            polar_spacing=self.polar_spacing * factor,
+            width=self.width,
+            height=self.height,
+            depth=self.depth,
+            num_fsrs=self.num_fsrs,
+        )

@@ -1,0 +1,13 @@
+"""Angular quadrature sets for the MOC discrete-ordinates treatment."""
+
+from repro.quadrature.azimuthal import AzimuthalQuadrature
+from repro.quadrature.polar import PolarQuadrature, tabuchi_yamamoto, gauss_legendre_polar
+from repro.quadrature.product import ProductQuadrature
+
+__all__ = [
+    "AzimuthalQuadrature",
+    "PolarQuadrature",
+    "tabuchi_yamamoto",
+    "gauss_legendre_polar",
+    "ProductQuadrature",
+]

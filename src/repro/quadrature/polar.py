@@ -1,0 +1,93 @@
+"""Polar quadrature sets.
+
+Polar angles ``theta`` are measured from the z-axis. Sets are stored for
+the upper hemisphere (``0 < theta < pi/2``); sweeping each track in both
+directions supplies the mirror hemisphere. Two families are provided:
+
+* **Tabuchi-Yamamoto (TY)** — optimised for 2D MOC, the de-facto standard
+  (what OpenMOC and ANT-MOC use for 2D sweeps);
+* **Gauss-Legendre** — exact for polynomials, preferred for genuinely 3D
+  track laydown.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import TrackingError
+
+#: Tabuchi-Yamamoto optimal sin(theta) and weights per hemisphere count.
+_TY_TABLE: dict[int, tuple[tuple[float, ...], tuple[float, ...]]] = {
+    1: ((0.798184,), (1.0,)),
+    2: ((0.363900, 0.899900), (0.212854, 0.787146)),
+    3: ((0.166648, 0.537707, 0.932954), (0.046233, 0.283619, 0.670148)),
+}
+
+
+class PolarQuadrature:
+    """A hemisphere polar quadrature: sines, cosines, weights.
+
+    ``weights`` sum to 1 over the hemisphere. ``num_polar`` in run
+    configurations counts *both* hemispheres, so a config value of 4 maps
+    to ``num_polar_half = 2`` here.
+    """
+
+    __slots__ = ("sin_theta", "cos_theta", "weights", "family")
+
+    def __init__(self, sin_theta, weights, family: str = "custom") -> None:
+        self.sin_theta = np.ascontiguousarray(sin_theta, dtype=np.float64)
+        self.weights = np.ascontiguousarray(weights, dtype=np.float64)
+        if self.sin_theta.shape != self.weights.shape or self.sin_theta.ndim != 1:
+            raise TrackingError("polar sines and weights must be matching 1-D arrays")
+        if np.any(self.sin_theta <= 0.0) or np.any(self.sin_theta > 1.0):
+            raise TrackingError("polar sines must lie in (0, 1]")
+        if not math.isclose(float(self.weights.sum()), 1.0, rel_tol=1e-9):
+            raise TrackingError(f"polar weights sum to {self.weights.sum()}, expected 1")
+        self.cos_theta = np.sqrt(1.0 - self.sin_theta**2)
+        self.family = family
+        for arr in (self.sin_theta, self.cos_theta, self.weights):
+            arr.setflags(write=False)
+
+    @property
+    def num_polar_half(self) -> int:
+        return int(self.sin_theta.size)
+
+    @property
+    def num_polar(self) -> int:
+        """Both-hemisphere polar angle count (the config convention)."""
+        return 2 * self.num_polar_half
+
+    def theta(self) -> np.ndarray:
+        return np.arcsin(self.sin_theta)
+
+    def __repr__(self) -> str:
+        return f"PolarQuadrature({self.family}, num_polar={self.num_polar})"
+
+
+def tabuchi_yamamoto(num_polar: int) -> PolarQuadrature:
+    """Tabuchi-Yamamoto set; ``num_polar`` counts both hemispheres."""
+    if num_polar % 2 != 0:
+        raise TrackingError(f"num_polar must be even (got {num_polar})")
+    half = num_polar // 2
+    if half not in _TY_TABLE:
+        raise TrackingError(
+            f"Tabuchi-Yamamoto supports num_polar in (2, 4, 6); got {num_polar}"
+        )
+    sines, weights = _TY_TABLE[half]
+    return PolarQuadrature(sines, weights, family="tabuchi-yamamoto")
+
+
+def gauss_legendre_polar(num_polar: int) -> PolarQuadrature:
+    """Gauss-Legendre set over ``mu = cos(theta) in (0, 1)`` per hemisphere."""
+    if num_polar % 2 != 0 or num_polar < 2:
+        raise TrackingError(f"num_polar must be a positive even number (got {num_polar})")
+    half = num_polar // 2
+    nodes, weights = np.polynomial.legendre.leggauss(half)
+    # Map from (-1, 1) to mu in (0, 1); weights renormalise to sum 1.
+    mu = 0.5 * (nodes + 1.0)
+    w = weights / weights.sum()
+    sin_theta = np.sqrt(1.0 - mu**2)
+    order = np.argsort(sin_theta)
+    return PolarQuadrature(sin_theta[order], w[order], family="gauss-legendre")

@@ -1,0 +1,21 @@
+"""The five-stage ANT-MOC application pipeline and its outputs."""
+
+from repro.runtime.stages import StageName, PipelineState
+from repro.runtime.antmoc import AntMocApplication, AntMocRunResult
+from repro.runtime.output import (
+    write_fission_rates_csv,
+    write_vtk_structured_points,
+    ascii_heatmap,
+    pin_power_map,
+)
+
+__all__ = [
+    "StageName",
+    "PipelineState",
+    "AntMocApplication",
+    "AntMocRunResult",
+    "write_fission_rates_csv",
+    "write_vtk_structured_points",
+    "ascii_heatmap",
+    "pin_power_map",
+]

@@ -1,0 +1,284 @@
+"""End-to-end ANT-MOC application: the five-stage pipeline of Fig. 2.
+
+Drives a complete run from a :class:`~repro.io.config.RunConfig`:
+configuration, geometry construction (C5G7 variants), track generation and
+ray tracing, transport solving (single-domain or spatially decomposed),
+and output generation — with per-stage timings recorded exactly as the
+ANT-MOC artifact's run logs report them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.geometry.c5g7 import C5G7Spec, build_c5g7_geometry
+from repro.geometry.geometry import Geometry
+from repro.io.config import RunConfig, load_config
+from repro.io.logging_utils import StageTimer, get_logger
+from repro.parallel.driver import DecomposedResult, DecomposedSolver
+from repro.runtime.output import ascii_heatmap, pin_power_map, write_fission_rates_csv, write_vtk_structured_points
+from repro.runtime.stages import PipelineState, StageName
+from repro.solver.keff import SolveResult
+from repro.solver.solver import MOCSolver
+from repro.materials.c5g7 import c5g7_library
+
+#: Registry of geometry builders addressable from config files. The mini
+#: variants keep full material heterogeneity at test-friendly sizes. 3D
+#: entries return :class:`~repro.geometry.extruded.ExtrudedGeometry` and
+#: select the 3D solver path (with z-decomposition when ``nz > 1``).
+GEOMETRY_BUILDERS = {
+    "c5g7": lambda: build_c5g7_geometry(c5g7_library(), C5G7Spec()),
+    "c5g7-mini": lambda: build_c5g7_geometry(
+        c5g7_library(), C5G7Spec(pins_per_assembly=3, reflector_refinement=3)
+    ),
+    "c5g7-small": lambda: build_c5g7_geometry(
+        c5g7_library(), C5G7Spec(pins_per_assembly=5, reflector_refinement=5)
+    ),
+    "c5g7-3d-mini": lambda: _build_c5g7_3d_mini(),
+}
+
+
+def _build_c5g7_3d_mini():
+    from repro.geometry.c5g7 import build_c5g7_3d
+
+    return build_c5g7_3d(
+        c5g7_library(),
+        C5G7Spec(
+            pins_per_assembly=3, reflector_refinement=2,
+            fuel_layers=2, reflector_layers=2,
+        ),
+    )
+
+
+@dataclass
+class AntMocRunResult:
+    """Everything a completed run produced."""
+
+    keff: float
+    converged: bool
+    num_iterations: int
+    fission_rates: np.ndarray
+    scalar_flux: np.ndarray
+    timer: StageTimer
+    pipeline: PipelineState
+    decomposed: bool
+    comm_bytes: int = 0
+
+    def report(self) -> str:
+        lines = [
+            f"k-effective : {self.keff:.6f}",
+            f"converged   : {self.converged} ({self.num_iterations} iterations)",
+            f"decomposed  : {self.decomposed}",
+            "",
+            self.timer.report(),
+        ]
+        return "\n".join(lines)
+
+
+class AntMocApplication:
+    """One configured ANT-MOC run."""
+
+    def __init__(self, config: RunConfig) -> None:
+        self.config = config.validate()
+        self.logger = get_logger("repro.antmoc", config.output.log_level)
+        self.timer = StageTimer()
+        self.pipeline = PipelineState()
+
+    @classmethod
+    def from_config_file(cls, path: str | Path) -> "AntMocApplication":
+        return cls(load_config(path))
+
+    def _build_geometry(self) -> Geometry:
+        name = self.config.geometry
+        if name not in GEOMETRY_BUILDERS:
+            raise ConfigError(
+                f"unknown geometry {name!r}; available: {sorted(GEOMETRY_BUILDERS)}"
+            )
+        return GEOMETRY_BUILDERS[name]()
+
+    def run(self) -> AntMocRunResult:
+        """Execute all five stages and return the result bundle."""
+        cfg = self.config
+        with self.timer.stage(StageName.READ_CONFIGURATION.value):
+            self.pipeline.complete(StageName.READ_CONFIGURATION, cfg)
+
+        with self.timer.stage(StageName.GEOMETRY_CONSTRUCTION.value):
+            geometry = self._build_geometry()
+            self.pipeline.complete(StageName.GEOMETRY_CONSTRUCTION, geometry)
+        self.logger.info("geometry %s: %d FSRs", cfg.geometry, geometry.num_fsrs)
+
+        from repro.geometry.extruded import ExtrudedGeometry
+
+        if isinstance(geometry, ExtrudedGeometry):
+            return self._run_3d(geometry)
+
+        decomposed = cfg.decomposition.nx * cfg.decomposition.ny > 1
+        comm_bytes = 0
+        if decomposed:
+            with self.timer.stage(StageName.TRACK_GENERATION.value):
+                solver = DecomposedSolver(
+                    geometry,
+                    cfg.decomposition.nx,
+                    cfg.decomposition.ny,
+                    num_azim=cfg.tracking.num_azim,
+                    azim_spacing=cfg.tracking.azim_spacing,
+                    num_polar=cfg.tracking.num_polar,
+                    keff_tolerance=cfg.solver.keff_tolerance,
+                    source_tolerance=cfg.solver.source_tolerance,
+                    max_iterations=cfg.solver.max_iterations,
+                )
+                self.pipeline.complete(StageName.TRACK_GENERATION, solver)
+            with self.timer.stage(StageName.TRANSPORT_SOLVING.value):
+                result: DecomposedResult | SolveResult = solver.solve()
+                self.pipeline.complete(StageName.TRANSPORT_SOLVING, result)
+            rates = solver.fission_rates(result)  # type: ignore[arg-type]
+            flux = result.scalar_flux
+            comm_bytes = result.comm_bytes  # type: ignore[union-attr]
+        else:
+            with self.timer.stage(StageName.TRACK_GENERATION.value):
+                solver = MOCSolver.for_2d(
+                    geometry,
+                    num_azim=cfg.tracking.num_azim,
+                    azim_spacing=cfg.tracking.azim_spacing,
+                    num_polar=cfg.tracking.num_polar,
+                    keff_tolerance=cfg.solver.keff_tolerance,
+                    source_tolerance=cfg.solver.source_tolerance,
+                    max_iterations=cfg.solver.max_iterations,
+                )
+                self.pipeline.complete(StageName.TRACK_GENERATION, solver)
+            with self.timer.stage(StageName.TRANSPORT_SOLVING.value):
+                result = solver.solve()
+                self.pipeline.complete(StageName.TRANSPORT_SOLVING, result)
+            rates = solver.fission_rates(result)
+            flux = result.scalar_flux
+
+        with self.timer.stage(StageName.OUTPUT_GENERATION.value):
+            outputs: dict[str, str] = {}
+            if cfg.output.fission_rates_path:
+                write_fission_rates_csv(cfg.output.fission_rates_path, rates)
+                outputs["csv"] = cfg.output.fission_rates_path
+            if cfg.output.vtk_path and not decomposed:
+                terms = solver.terms  # type: ignore[union-attr]
+                grid = pin_power_map(
+                    geometry, terms, flux, solver.volumes, nx=64, ny=64  # type: ignore[union-attr]
+                )
+                write_vtk_structured_points(cfg.output.vtk_path, grid)
+                outputs["vtk"] = cfg.output.vtk_path
+            self.pipeline.complete(StageName.OUTPUT_GENERATION, outputs)
+
+        return AntMocRunResult(
+            keff=result.keff,
+            converged=result.converged,
+            num_iterations=result.num_iterations,
+            fission_rates=rates,
+            scalar_flux=flux,
+            timer=self.timer,
+            pipeline=self.pipeline,
+            decomposed=decomposed,
+            comm_bytes=comm_bytes,
+        )
+
+    def _run_3d(self, geometry3d) -> AntMocRunResult:
+        """Stages 3-5 for an extruded geometry: direct 3D transport, with
+        z-decomposition over simulated MPI when the config asks for
+        ``nz > 1`` domains (the paper's operating mode)."""
+        import numpy as np
+
+        from repro.parallel.driver3d import ZDecomposedSolver
+
+        cfg = self.config
+        decomposed = cfg.decomposition.nz > 1
+        comm_bytes = 0
+        if cfg.decomposition.nx * cfg.decomposition.ny > 1:
+            raise ConfigError(
+                "3D geometries decompose axially in this reproduction; "
+                "set decomposition nx = ny = 1 and use nz"
+            )
+        polar_spacing = cfg.tracking.polar_spacing
+        if decomposed:
+            with self.timer.stage(StageName.TRACK_GENERATION.value):
+                solver = ZDecomposedSolver(
+                    geometry3d,
+                    num_domains=cfg.decomposition.nz,
+                    num_azim=cfg.tracking.num_azim,
+                    azim_spacing=cfg.tracking.azim_spacing,
+                    polar_spacing=polar_spacing,
+                    num_polar=cfg.tracking.num_polar,
+                    keff_tolerance=cfg.solver.keff_tolerance,
+                    source_tolerance=cfg.solver.source_tolerance,
+                    max_iterations=cfg.solver.max_iterations,
+                )
+                self.pipeline.complete(StageName.TRACK_GENERATION, solver)
+            with self.timer.stage(StageName.TRANSPORT_SOLVING.value):
+                result = solver.solve()
+                self.pipeline.complete(StageName.TRANSPORT_SOLVING, result)
+            comm_bytes = result.comm_bytes
+            flux = result.scalar_flux
+            rates = np.concatenate(
+                [
+                    dom["terms"].fission_rate(
+                        flux[dom["fsr_offset"] : dom["fsr_offset"] + dom["geometry"].num_fsrs],
+                        dom["volumes"],
+                    )
+                    for dom in solver.domains
+                ]
+            )
+        else:
+            with self.timer.stage(StageName.TRACK_GENERATION.value):
+                solver = MOCSolver.for_3d(
+                    geometry3d,
+                    num_azim=cfg.tracking.num_azim,
+                    azim_spacing=cfg.tracking.azim_spacing,
+                    polar_spacing=polar_spacing,
+                    num_polar=cfg.tracking.num_polar,
+                    storage=cfg.solver.storage_method,
+                    resident_memory_bytes=cfg.solver.resident_memory_bytes,
+                    keff_tolerance=cfg.solver.keff_tolerance,
+                    source_tolerance=cfg.solver.source_tolerance,
+                    max_iterations=cfg.solver.max_iterations,
+                )
+                self.pipeline.complete(StageName.TRACK_GENERATION, solver)
+            with self.timer.stage(StageName.TRANSPORT_SOLVING.value):
+                result = solver.solve()
+                self.pipeline.complete(StageName.TRANSPORT_SOLVING, result)
+            flux = result.scalar_flux
+            rates = solver.terms.fission_rate(flux, solver.volumes)
+        fissile = rates > 0
+        if fissile.any():
+            rates = rates / rates[fissile].mean()
+        with self.timer.stage(StageName.OUTPUT_GENERATION.value):
+            outputs: dict[str, str] = {}
+            if cfg.output.fission_rates_path:
+                write_fission_rates_csv(cfg.output.fission_rates_path, rates)
+                outputs["csv"] = cfg.output.fission_rates_path
+            self.pipeline.complete(StageName.OUTPUT_GENERATION, outputs)
+        return AntMocRunResult(
+            keff=result.keff,
+            converged=result.converged,
+            num_iterations=result.num_iterations,
+            fission_rates=rates,
+            scalar_flux=flux,
+            timer=self.timer,
+            pipeline=self.pipeline,
+            decomposed=decomposed,
+            comm_bytes=comm_bytes,
+        )
+
+    def render_fission_map(self, result: AntMocRunResult, size: int = 48) -> str:
+        """ASCII rendering of the fission-rate field (the Fig. 7 picture)."""
+        from repro.geometry.extruded import ExtrudedGeometry
+
+        geometry = self.pipeline.artifact(StageName.GEOMETRY_CONSTRUCTION)
+        solver = self.pipeline.artifact(StageName.TRACK_GENERATION)
+        if isinstance(solver, DecomposedSolver):
+            raise ConfigError("fission map rendering is single-domain only")
+        if isinstance(geometry, ExtrudedGeometry):
+            raise ConfigError("fission map rendering is radial (2D) only")
+        grid = pin_power_map(
+            geometry, solver.terms, result.scalar_flux, solver.volumes, nx=size, ny=size
+        )
+        return ascii_heatmap(grid)

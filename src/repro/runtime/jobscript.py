@@ -1,0 +1,98 @@
+"""Slurm job-script generation mirroring the artifact appendix.
+
+The ANT-MOC artifact submits experiments via sbatch scripts of the form
+
+    #SBATCH -J MOC
+    #SBATCH -o c5g7-8-%j.log
+    #SBATCH -gres=dcu:4
+    #SBATCH -n 8
+    mpirun -oversubscribe -n $NTASKS ../build/run/newmoc -config="config.yaml"
+
+with NTASKS matching the domain decomposition. This module writes the
+equivalent scripts for the reproduction, keeping the appendix's
+constraint: the task count must equal the decomposition's domain count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import ConfigError
+from repro.io.config import RunConfig
+
+
+@dataclass(frozen=True)
+class SlurmOptions:
+    """Cluster-facing knobs of the generated script."""
+
+    job_name: str = "MOC"
+    partition: str = "normal"
+    gpus_per_node: int = 4
+    modules: tuple[str, ...] = (
+        "compiler/cmake/3.24.1",
+        "compiler/rocm/3.9.1",
+        "compiler/devtoolset/7.3.1",
+        "mpi/openmpi/4.0.4/gcc-7.3.1",
+    )
+    executable: str = "python -m repro"
+
+    def validate(self) -> None:
+        if self.gpus_per_node < 1:
+            raise ConfigError("gpus_per_node must be >= 1")
+        if not self.job_name or any(c.isspace() for c in self.job_name):
+            raise ConfigError(f"invalid job name {self.job_name!r}")
+
+
+def generate_slurm_script(
+    config: RunConfig,
+    config_path: str,
+    options: SlurmOptions | None = None,
+) -> str:
+    """Render an sbatch script for one configured run.
+
+    The task count is derived from the decomposition (one rank per
+    subdomain, as the appendix requires: "adjust the number of
+    domain_decomposition to be consistent with NTASKS").
+    """
+    options = options or SlurmOptions()
+    options.validate()
+    config.validate()
+    ntasks = config.decomposition.num_domains
+    case = config.geometry
+    lines = [
+        "#!/bin/bash",
+        f"#SBATCH -J {options.job_name}",
+        f"#SBATCH -o {case}-{ntasks}-%j.log",
+        f"#SBATCH -e {case}-{ntasks}-%j.err",
+        f"#SBATCH -p {options.partition}",
+        f"#SBATCH --gres=dcu:{options.gpus_per_node}",
+        f"#SBATCH -n {ntasks}",
+        "",
+        "module purge",
+    ]
+    lines.extend(f"module load {module}" for module in options.modules)
+    lines.extend(
+        [
+            "",
+            f'echo "TASK MOC {case.upper()} TEST START NTASK={ntasks} '
+            f'DOMAIN={{{config.decomposition.nx}.{config.decomposition.ny}.'
+            f'{config.decomposition.nz}}}"',
+            f'mpirun -oversubscribe -n {ntasks} {options.executable} '
+            f'--config "{config_path}"',
+            "",
+        ]
+    )
+    return "\n".join(lines)
+
+
+def write_slurm_script(
+    path: str | Path,
+    config: RunConfig,
+    config_path: str,
+    options: SlurmOptions | None = None,
+) -> Path:
+    """Write the script and return its path."""
+    path = Path(path)
+    path.write_text(generate_slurm_script(config, config_path, options), encoding="utf-8")
+    return path

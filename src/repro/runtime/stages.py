@@ -1,0 +1,62 @@
+"""Pipeline stages of the ANT-MOC execution flow (paper Fig. 2).
+
+Stage names and ordering are fixed by the paper:
+read configuration -> geometry construction -> track generation & ray
+tracing -> transport solving -> output generation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any
+
+from repro.errors import ConfigError
+
+
+class StageName(str, Enum):
+    READ_CONFIGURATION = "read_configuration"
+    GEOMETRY_CONSTRUCTION = "geometry_construction"
+    TRACK_GENERATION = "track_generation"
+    TRANSPORT_SOLVING = "transport_solving"
+    OUTPUT_GENERATION = "output_generation"
+
+
+#: Execution order of the stages.
+STAGE_ORDER: tuple[StageName, ...] = (
+    StageName.READ_CONFIGURATION,
+    StageName.GEOMETRY_CONSTRUCTION,
+    StageName.TRACK_GENERATION,
+    StageName.TRANSPORT_SOLVING,
+    StageName.OUTPUT_GENERATION,
+)
+
+
+@dataclass
+class PipelineState:
+    """Artifacts produced so far, keyed by stage.
+
+    Enforces ordering: a stage may only complete after its predecessor.
+    """
+
+    completed: list[StageName] = field(default_factory=list)
+    artifacts: dict[StageName, Any] = field(default_factory=dict)
+
+    def complete(self, stage: StageName, artifact: Any) -> None:
+        expected = STAGE_ORDER[len(self.completed)] if len(self.completed) < len(STAGE_ORDER) else None
+        if stage is not expected:
+            raise ConfigError(
+                f"stage {stage.value} out of order; expected "
+                f"{expected.value if expected else 'nothing (pipeline finished)'}"
+            )
+        self.completed.append(stage)
+        self.artifacts[stage] = artifact
+
+    def artifact(self, stage: StageName) -> Any:
+        if stage not in self.artifacts:
+            raise ConfigError(f"stage {stage.value} has not completed")
+        return self.artifacts[stage]
+
+    @property
+    def finished(self) -> bool:
+        return len(self.completed) == len(STAGE_ORDER)

@@ -1,0 +1,78 @@
+"""Convergence monitoring for the power iteration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class IterationRecord:
+    """One power-iteration step: eigenvalue and residuals."""
+
+    iteration: int
+    keff: float
+    keff_change: float
+    source_residual: float
+
+
+@dataclass
+class ConvergenceMonitor:
+    """Tracks k-eff and fission-source residual history.
+
+    Convergence requires *both* the eigenvalue change and the RMS relative
+    change of the region-wise fission source to fall under their
+    tolerances — matching the paper's "iteration continues until the flux
+    residuals value is below a certain threshold".
+    """
+
+    keff_tolerance: float = 1.0e-6
+    source_tolerance: float = 1.0e-5
+    history: list[IterationRecord] = field(default_factory=list)
+
+    def update(self, keff: float, fission_source: np.ndarray) -> IterationRecord:
+        previous = self.history[-1] if self.history else None
+        keff_change = abs(keff - previous.keff) if previous else float("inf")
+        if previous is not None and hasattr(self, "_last_source"):
+            old = self._last_source
+            mask = old > 0.0
+            if mask.any():
+                rel = (fission_source[mask] - old[mask]) / old[mask]
+                residual = float(np.sqrt(np.mean(rel**2)))
+            else:
+                residual = float("inf")
+        else:
+            residual = float("inf")
+        self._last_source = fission_source.copy()
+        record = IterationRecord(
+            iteration=len(self.history) + 1,
+            keff=keff,
+            keff_change=keff_change,
+            source_residual=residual,
+        )
+        self.history.append(record)
+        return record
+
+    @property
+    def converged(self) -> bool:
+        if not self.history:
+            return False
+        last = self.history[-1]
+        return (
+            last.keff_change < self.keff_tolerance
+            and last.source_residual < self.source_tolerance
+        )
+
+    @property
+    def num_iterations(self) -> int:
+        return len(self.history)
+
+    def report(self) -> str:
+        lines = ["iter        keff      dk          source-res"]
+        for rec in self.history:
+            lines.append(
+                f"{rec.iteration:4d}  {rec.keff:10.6f}  {rec.keff_change:10.3e}  "
+                f"{rec.source_residual:10.3e}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,108 @@
+"""k-effective power iteration driving the transport sweeps."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.constants import DEFAULT_KEFF_TOL, DEFAULT_SOURCE_TOL
+from repro.errors import SolverError
+from repro.solver.convergence import ConvergenceMonitor
+from repro.solver.source import SourceTerms
+
+#: A sweep callback: reduced source (R, G) -> delta-psi tally (R, G).
+SweepFn = Callable[[np.ndarray], np.ndarray]
+#: Scalar-flux finaliser: (tally, reduced_source, volumes) -> phi.
+FinalizeFn = Callable[[np.ndarray, np.ndarray, np.ndarray], np.ndarray]
+
+
+@dataclass
+class SolveResult:
+    """Outcome of a k-eigenvalue solve."""
+
+    keff: float
+    scalar_flux: np.ndarray
+    converged: bool
+    num_iterations: int
+    monitor: ConvergenceMonitor
+    solve_seconds: float
+
+    def fission_rates(self, terms: SourceTerms, volumes: np.ndarray) -> np.ndarray:
+        """Per-FSR fission rates of the converged flux (Fig. 7 output)."""
+        return terms.fission_rate(self.scalar_flux, volumes)
+
+
+class KeffSolver:
+    """Generic power iteration over a pluggable transport sweep.
+
+    The sweep and finalise callbacks abstract over 2D/3D sweeps and over
+    the track-storage strategies (EXP/OTF/Manager supply different sweep
+    closures for the same solver loop).
+    """
+
+    def __init__(
+        self,
+        terms: SourceTerms,
+        volumes: np.ndarray,
+        sweep: SweepFn,
+        finalize: FinalizeFn,
+        keff_tolerance: float = DEFAULT_KEFF_TOL,
+        source_tolerance: float = DEFAULT_SOURCE_TOL,
+        max_iterations: int = 500,
+    ) -> None:
+        self.terms = terms
+        self.volumes = np.asarray(volumes, dtype=np.float64)
+        if self.volumes.shape != (terms.num_regions,):
+            raise SolverError(
+                f"volumes shape {self.volumes.shape} != ({terms.num_regions},)"
+            )
+        self.sweep = sweep
+        self.finalize = finalize
+        self.keff_tolerance = keff_tolerance
+        self.source_tolerance = source_tolerance
+        self.max_iterations = int(max_iterations)
+        if not np.any(terms.nu_sigma_f > 0.0):
+            raise SolverError("no fissile region present; k-eigenvalue undefined")
+
+    def solve(self, initial_flux: np.ndarray | None = None) -> SolveResult:
+        """Run the power iteration to convergence (or max iterations)."""
+        start = time.perf_counter()
+        terms = self.terms
+        if initial_flux is not None:
+            phi = np.array(initial_flux, dtype=np.float64)
+        else:
+            phi = np.ones((terms.num_regions, terms.num_groups))
+        production = terms.fission_production(phi, self.volumes)
+        if production <= 0.0:
+            raise SolverError("initial flux produces no fission neutrons")
+        phi /= production
+        keff = 1.0
+        monitor = ConvergenceMonitor(
+            keff_tolerance=self.keff_tolerance, source_tolerance=self.source_tolerance
+        )
+        for _ in range(self.max_iterations):
+            reduced = terms.reduced_source(phi, keff)
+            tally = self.sweep(reduced)
+            phi_new = self.finalize(tally, reduced, self.volumes)
+            new_production = terms.fission_production(phi_new, self.volumes)
+            if new_production <= 0.0:
+                raise SolverError("fission production vanished during iteration")
+            # Previous flux was normalised to unit production, so the
+            # production of the new flux *is* the multiplication ratio.
+            keff = keff * new_production
+            phi = phi_new / new_production
+            monitor.update(keff, terms.fission_source(phi))
+            if monitor.converged:
+                break
+        elapsed = time.perf_counter() - start
+        return SolveResult(
+            keff=keff,
+            scalar_flux=phi.copy(),
+            converged=monitor.converged,
+            num_iterations=monitor.num_iterations,
+            monitor=monitor,
+            solve_seconds=elapsed,
+        )

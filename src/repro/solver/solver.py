@@ -1,0 +1,131 @@
+"""High-level MOC solver facade.
+
+:class:`MOCSolver` wires geometry, tracking, source terms, sweep and power
+iteration together — the single entry point most examples use. 2D solves
+run over a :class:`~repro.tracks.generator.TrackGenerator`; 3D solves over
+a :class:`~repro.tracks.generator.TrackGenerator3D` combined with one of
+the track-storage strategies of :mod:`repro.trackmgmt`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SolverError
+from repro.geometry.extruded import ExtrudedGeometry
+from repro.geometry.geometry import Geometry
+from repro.solver.expeval import ExponentialEvaluator
+from repro.solver.keff import KeffSolver, SolveResult
+from repro.solver.source import SourceTerms
+from repro.solver.sweep2d import TransportSweep2D
+from repro.solver.sweep3d import TransportSweep3D
+from repro.tracks.generator import TrackGenerator, TrackGenerator3D
+
+
+class MOCSolver:
+    """End-to-end MOC eigenvalue solver for a single (undecomposed) domain."""
+
+    def __init__(
+        self,
+        terms: SourceTerms,
+        volumes: np.ndarray,
+        keff_solver: KeffSolver,
+        sweeper: TransportSweep2D | TransportSweep3D,
+        trackgen: TrackGenerator,
+    ) -> None:
+        self.terms = terms
+        self.volumes = volumes
+        self.keff_solver = keff_solver
+        self.sweeper = sweeper
+        self.trackgen = trackgen
+
+    # ------------------------------------------------------------- builders
+
+    @classmethod
+    def for_2d(
+        cls,
+        geometry: Geometry,
+        num_azim: int = 4,
+        azim_spacing: float = 0.5,
+        num_polar: int = 4,
+        keff_tolerance: float = 1.0e-6,
+        source_tolerance: float = 1.0e-5,
+        max_iterations: int = 500,
+        evaluator: ExponentialEvaluator | None = None,
+    ) -> "MOCSolver":
+        """Build a 2D solver: tracking, sweep and power iteration."""
+        trackgen = TrackGenerator(
+            geometry, num_azim=num_azim, azim_spacing=azim_spacing, num_polar=num_polar
+        ).generate()
+        terms = SourceTerms(list(geometry.fsr_materials))
+        sweeper = TransportSweep2D(trackgen, terms, evaluator)
+        volumes = trackgen.fsr_volumes
+        keff_solver = KeffSolver(
+            terms,
+            volumes,
+            sweep=sweeper.sweep,
+            finalize=sweeper.finalize_scalar_flux,
+            keff_tolerance=keff_tolerance,
+            source_tolerance=source_tolerance,
+            max_iterations=max_iterations,
+        )
+        return cls(terms, volumes, keff_solver, sweeper, trackgen)
+
+    @classmethod
+    def for_3d(
+        cls,
+        geometry3d: ExtrudedGeometry,
+        num_azim: int = 4,
+        azim_spacing: float = 0.5,
+        polar_spacing: float = 0.5,
+        num_polar: int = 2,
+        storage: str = "EXP",
+        resident_memory_bytes: int | None = None,
+        keff_tolerance: float = 1.0e-6,
+        source_tolerance: float = 1.0e-5,
+        max_iterations: int = 500,
+        evaluator: ExponentialEvaluator | None = None,
+    ) -> "MOCSolver":
+        """Build a 3D solver with an EXP/OTF/MANAGER storage strategy."""
+        from repro.trackmgmt import make_strategy
+
+        trackgen = TrackGenerator3D(
+            geometry3d,
+            num_azim=num_azim,
+            azim_spacing=azim_spacing,
+            polar_spacing=polar_spacing,
+            num_polar=num_polar,
+        ).generate()
+        terms = SourceTerms(list(geometry3d.fsr_materials))
+        sweeper = TransportSweep3D(trackgen, terms, evaluator)
+        strategy = make_strategy(storage, trackgen, resident_memory_bytes=resident_memory_bytes)
+        volumes = trackgen.fsr_volumes_3d(strategy.reference_segments())
+
+        def sweep(reduced: np.ndarray) -> np.ndarray:
+            return strategy.sweep(sweeper, reduced)
+
+        keff_solver = KeffSolver(
+            terms,
+            volumes,
+            sweep=sweep,
+            finalize=sweeper.finalize_scalar_flux,
+            keff_tolerance=keff_tolerance,
+            source_tolerance=source_tolerance,
+            max_iterations=max_iterations,
+        )
+        solver = cls(terms, volumes, keff_solver, sweeper, trackgen)
+        solver.storage_strategy = strategy  # type: ignore[attr-defined]
+        return solver
+
+    # --------------------------------------------------------------- runner
+
+    def solve(self, initial_flux: np.ndarray | None = None) -> SolveResult:
+        return self.keff_solver.solve(initial_flux)
+
+    def fission_rates(self, result: SolveResult) -> np.ndarray:
+        """Per-FSR fission rates, normalised to unit mean over fissile FSRs."""
+        rates = self.terms.fission_rate(result.scalar_flux, self.volumes)
+        fissile = rates > 0.0
+        if not fissile.any():
+            raise SolverError("no fissile FSR carries a fission rate")
+        return rates / rates[fissile].mean()

@@ -1,0 +1,94 @@
+"""Flat source terms: scattering + fission source per FSR per group.
+
+The source computation of the paper's stage 4: after each transport sweep
+the per-FSR fission and scattering sources are rebuilt from the new scalar
+flux, and the eigenvalue is updated from the fission production balance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SolverError
+from repro.materials.material import Material
+
+
+class SourceTerms:
+    """Vectorised cross-section tables and source updates for a region set.
+
+    Parameters
+    ----------
+    materials:
+        Material of each FSR, length ``R``. The tables are gathered into
+        dense ``(R, G)`` / ``(R, G, G)`` arrays once; sources are then pure
+        array arithmetic (the layout the GPU kernels use).
+    """
+
+    def __init__(self, materials: tuple[Material, ...] | list[Material]) -> None:
+        if not materials:
+            raise SolverError("no materials supplied")
+        groups = {m.num_groups for m in materials}
+        if len(groups) != 1:
+            raise SolverError(f"mixed group structures: {sorted(groups)}")
+        self.num_groups = groups.pop()
+        self.num_regions = len(materials)
+        # Deduplicate material instances to keep the gather cheap.
+        unique: dict[int, int] = {}
+        mat_list: list[Material] = []
+        index = np.empty(self.num_regions, dtype=np.int32)
+        for r, mat in enumerate(materials):
+            key = mat.id
+            if key not in unique:
+                unique[key] = len(mat_list)
+                mat_list.append(mat)
+            index[r] = unique[key]
+        g = self.num_groups
+        m = len(mat_list)
+        sig_t = np.empty((m, g))
+        sig_s = np.empty((m, g, g))
+        nu_f = np.empty((m, g))
+        sig_f = np.empty((m, g))
+        chi = np.empty((m, g))
+        for i, mat in enumerate(mat_list):
+            sig_t[i] = mat.sigma_t
+            sig_s[i] = mat.sigma_s
+            nu_f[i] = mat.nu_sigma_f
+            sig_f[i] = mat.sigma_f
+            chi[i] = mat.chi
+        self.material_index = index
+        self.sigma_t = sig_t[index]  # (R, G)
+        self.sigma_s = sig_s[index]  # (R, G, G) from -> to
+        self.nu_sigma_f = nu_f[index]
+        self.sigma_f = sig_f[index]
+        self.chi = chi[index]
+        #: Guard against division by zero in void-like regions.
+        self.sigma_t_safe = np.where(self.sigma_t > 1e-14, self.sigma_t, 1e-14)
+
+    def fission_production(self, phi: np.ndarray, volumes: np.ndarray) -> float:
+        """Total neutron production ``sum_r V_r sum_g nu_sigma_f phi``."""
+        return float(np.einsum("rg,rg,r->", self.nu_sigma_f, phi, volumes))
+
+    def fission_source(self, phi: np.ndarray) -> np.ndarray:
+        """Per-region fission emission density ``sum_g nu_sigma_f phi``, (R,)."""
+        return np.einsum("rg,rg->r", self.nu_sigma_f, phi)
+
+    def fission_rate(self, phi: np.ndarray, volumes: np.ndarray) -> np.ndarray:
+        """Per-region fission *rate* ``V_r sum_g sigma_f phi`` (Fig. 7 tally)."""
+        return np.einsum("rg,rg->r", self.sigma_f, phi) * volumes
+
+    def total_source(self, phi: np.ndarray, keff: float) -> np.ndarray:
+        """Isotropic total source ``Q_rg`` (per 4pi steradian *not* applied).
+
+        ``Q_rg = chi_g * F_r / k + sum_g' sigma_s[g'->g] phi_rg'``.
+        """
+        if keff <= 0.0:
+            raise SolverError(f"non-positive k-effective {keff}")
+        scatter = np.einsum("rkg,rk->rg", self.sigma_s, phi)
+        fission = self.chi * (self.fission_source(phi)[:, None] / keff)
+        return scatter + fission
+
+    def reduced_source(self, phi: np.ndarray, keff: float) -> np.ndarray:
+        """Angular flat source ``q = Q / (4 pi sigma_t)`` used by the sweep."""
+        from repro.constants import FOUR_PI
+
+        return self.total_source(phi, keff) / (FOUR_PI * self.sigma_t_safe)

@@ -1,0 +1,187 @@
+"""Vectorised 2D transport sweep.
+
+The sweep mirrors ANT-MOC's GPU mapping (Algorithm 1): every (track,
+direction) traversal advances in lockstep, one segment position per step,
+with all traversals processed simultaneously as NumPy array operations —
+the CPU analogue of one GPU thread per track. Angular flux enters each
+track from a stored boundary array and exits into the linked track's
+storage for the next sweep (the Jacobi-style boundary update of Sec. 2.1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import FOUR_PI
+from repro.errors import SolverError
+from repro.solver.expeval import ExponentialEvaluator
+from repro.solver.source import SourceTerms
+from repro.tracks.generator import TrackGenerator
+
+
+def build_position_index(offsets: np.ndarray, reverse: bool) -> np.ndarray:
+    """CSR offsets -> dense (tracks, max_count) segment-id matrix, -1 padded.
+
+    Row ``t`` lists track ``t``'s segment ids in traversal order (reversed
+    when ``reverse``), so column ``i`` holds "the i-th segment of every
+    track" — the lockstep axis of the vectorised sweep.
+    """
+    counts = np.diff(offsets)
+    num_tracks = counts.size
+    max_count = int(counts.max()) if num_tracks else 0
+    index = np.full((num_tracks, max_count), -1, dtype=np.int64)
+    cols = np.arange(max_count)
+    mask = cols[None, :] < counts[:, None]
+    if reverse:
+        values = (offsets[1:] - 1)[:, None] - cols[None, :]
+    else:
+        values = offsets[:-1][:, None] + cols[None, :]
+    index[mask] = values[mask]
+    return index
+
+
+class TransportSweep2D:
+    """One-geometry 2D MOC sweep over precomputed tracks and segments."""
+
+    def __init__(
+        self,
+        trackgen: TrackGenerator,
+        source_terms: SourceTerms,
+        evaluator: ExponentialEvaluator | None = None,
+    ) -> None:
+        self.trackgen = trackgen
+        self.terms = source_terms
+        self.evaluator = evaluator or ExponentialEvaluator()
+        geometry = trackgen.geometry
+        if source_terms.num_regions != geometry.num_fsrs:
+            raise SolverError(
+                f"source terms cover {source_terms.num_regions} regions, "
+                f"geometry has {geometry.num_fsrs} FSRs"
+            )
+        segments = trackgen.segments
+        self.num_tracks = trackgen.num_tracks
+        self.num_polar = trackgen.polar.num_polar_half
+        self.num_groups = source_terms.num_groups
+        self.idx_fwd = build_position_index(segments.offsets, reverse=False)
+        self.idx_bwd = build_position_index(segments.offsets, reverse=True)
+        self.seg_fsr = segments.fsr_ids.astype(np.int64)
+        self.seg_len = segments.lengths
+        self.inv_sin = 1.0 / trackgen.polar.sin_theta  # (P,)
+
+        # Per-track sweep weights over polar indices, shape (T, P).
+        self.weights = np.empty((self.num_tracks, self.num_polar))
+        for t in trackgen.tracks:
+            for p in range(self.num_polar):
+                self.weights[t.uid, p] = trackgen.quadrature.track_weight(t.azim, p)
+
+        # Link tables: where outgoing flux of (track, dir) goes.
+        self.next_track = np.zeros((self.num_tracks, 2), dtype=np.int64)
+        self.next_dir = np.zeros((self.num_tracks, 2), dtype=np.int64)
+        self.terminal = np.zeros((self.num_tracks, 2), dtype=bool)  # vacuum or interface
+        self.interface = np.zeros((self.num_tracks, 2), dtype=bool)
+        for t in trackgen.tracks:
+            for d, (link, vac, iface) in enumerate(
+                (
+                    (t.link_fwd, t.vacuum_end, t.interface_end),
+                    (t.link_bwd, t.vacuum_start, t.interface_start),
+                )
+            ):
+                if link is None:
+                    self.terminal[t.uid, d] = True
+                    self.interface[t.uid, d] = iface
+                else:
+                    self.next_track[t.uid, d] = link.track
+                    self.next_dir[t.uid, d] = 0 if link.forward else 1
+
+        #: Incoming angular flux per (track, dir, polar, group).
+        self.psi_in = np.zeros((self.num_tracks, 2, self.num_polar, self.num_groups))
+        #: Outgoing flux captured at interface ends during the last sweep.
+        self.psi_out_last = np.zeros_like(self.psi_in)
+
+    def reset_fluxes(self) -> None:
+        self.psi_in.fill(0.0)
+        self.psi_out_last.fill(0.0)
+
+    def sweep(self, reduced_source: np.ndarray, track_mask: np.ndarray | None = None) -> np.ndarray:
+        """One transport sweep; returns the FSR delta-psi tally ``(R, G)``.
+
+        ``reduced_source`` is ``Q / (4 pi sigma_t)`` per (FSR, group). The
+        boundary angular fluxes are advanced in place (Jacobi update).
+
+        ``track_mask`` restricts the sweep to a subset of tracks — the
+        functional form of the L2 angle decomposition: each simulated GPU
+        sweeps only its azimuthal angles. The subset must be closed under
+        the boundary linking (complementary angle pairs stay together,
+        which :func:`~repro.loadbalance.l2_gpus.map_angles_to_gpus`
+        guarantees); unmasked tracks' boundary fluxes are left untouched.
+        """
+        num_fsrs = self.terms.num_regions
+        tally = np.zeros((num_fsrs, self.num_groups))
+        sigma_t = self.terms.sigma_t_safe
+        if track_mask is not None:
+            track_mask = np.asarray(track_mask, dtype=bool)
+            if track_mask.shape != (self.num_tracks,):
+                raise SolverError(
+                    f"track mask shape {track_mask.shape} != ({self.num_tracks},)"
+                )
+        # Work on copies: traversal state (T, P, G) per direction.
+        psi = [self.psi_in[:, 0].copy(), self.psi_in[:, 1].copy()]
+        index = (self.idx_fwd, self.idx_bwd)
+        max_pos = self.idx_fwd.shape[1]
+        for i in range(max_pos):
+            for d in (0, 1):
+                idx = index[d][:, i]
+                valid = idx >= 0
+                if track_mask is not None:
+                    valid &= track_mask
+                if not valid.any():
+                    continue
+                sid = idx[valid]
+                fsr = self.seg_fsr[sid]
+                # tau: (V, P, G) = sigma_t (V,1,G) * l (V,1,1) / sin (1,P,1)
+                tau = (
+                    sigma_t[fsr][:, None, :]
+                    * self.seg_len[sid][:, None, None]
+                    * self.inv_sin[None, :, None]
+                )
+                exp_f = self.evaluator(tau)
+                q = reduced_source[fsr][:, None, :]  # (V, 1, G)
+                cur = psi[d][valid]
+                dpsi = (cur - q) * exp_f
+                psi[d][valid] = cur - dpsi
+                contrib = np.einsum("vp,vpg->vg", self.weights[valid], dpsi)
+                np.add.at(tally, fsr, contrib)
+        # Exchange: outgoing flux becomes the linked traversal's incoming.
+        if track_mask is None:
+            new_in = np.zeros_like(self.psi_in)
+        else:
+            new_in = self.psi_in.copy()
+            new_in[track_mask] = 0.0
+        for d in (0, 1):
+            live = ~self.terminal[:, d]
+            if track_mask is not None:
+                self.psi_out_last[track_mask, d] = psi[d][track_mask]
+                live &= track_mask
+            else:
+                self.psi_out_last[:, d] = psi[d]
+            new_in[self.next_track[live, d], self.next_dir[live, d]] = psi[d][live]
+        self.psi_in = new_in
+        return tally
+
+    def set_interface_flux(self, track: int, direction: int, flux: np.ndarray) -> None:
+        """Inject incoming flux at an interface entry (parallel exchange)."""
+        self.psi_in[track, direction] = flux
+
+    def finalize_scalar_flux(
+        self, tally: np.ndarray, reduced_source: np.ndarray, volumes: np.ndarray
+    ) -> np.ndarray:
+        """Convert the sweep tally into scalar flux per (FSR, group):
+
+        ``phi = 4 pi q + tally / (sigma_t V)`` with zero-volume regions
+        falling back to the source-driven estimate ``4 pi q``.
+        """
+        sigma_t = self.terms.sigma_t_safe
+        safe_v = np.where(volumes > 0.0, volumes, 1.0)
+        phi = FOUR_PI * reduced_source + tally / (sigma_t * safe_v[:, None])
+        phi[volumes <= 0.0] = FOUR_PI * reduced_source[volumes <= 0.0]
+        return phi

@@ -1,0 +1,133 @@
+"""Vectorised 3D transport sweep over z-stacked tracks.
+
+Identical lockstep structure to :class:`~repro.solver.sweep2d.TransportSweep2D`
+but each 3D track carries a single (azimuthal, polar) direction and true 3D
+segment lengths, so no polar axis appears in the state arrays. The segment
+source is pluggable: the EXP strategy passes a cached
+:class:`~repro.tracks.segments.SegmentData`, while OTF/Manager strategies
+pass freshly (re)generated data each sweep — the sweep caches its derived
+index matrices per segment object so resident segments pay the setup once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import FOUR_PI
+from repro.errors import SolverError
+from repro.solver.expeval import ExponentialEvaluator
+from repro.solver.source import SourceTerms
+from repro.solver.sweep2d import build_position_index
+from repro.tracks.generator import TrackGenerator3D
+from repro.tracks.segments import SegmentData
+
+
+class TransportSweep3D:
+    """3D MOC sweep over the tracks of a :class:`TrackGenerator3D`."""
+
+    def __init__(
+        self,
+        trackgen: TrackGenerator3D,
+        source_terms: SourceTerms,
+        evaluator: ExponentialEvaluator | None = None,
+    ) -> None:
+        self.trackgen = trackgen
+        self.terms = source_terms
+        self.evaluator = evaluator or ExponentialEvaluator()
+        if source_terms.num_regions != trackgen.geometry3d.num_fsrs:
+            raise SolverError(
+                f"source terms cover {source_terms.num_regions} regions, "
+                f"3D geometry has {trackgen.geometry3d.num_fsrs} FSRs"
+            )
+        tracks = trackgen.tracks3d
+        self.num_tracks = len(tracks)
+        self.num_groups = source_terms.num_groups
+
+        self.weights = np.array([trackgen.track_weight_3d(t) for t in tracks])
+
+        self.next_track = np.zeros((self.num_tracks, 2), dtype=np.int64)
+        self.next_dir = np.zeros((self.num_tracks, 2), dtype=np.int64)
+        self.terminal = np.zeros((self.num_tracks, 2), dtype=bool)
+        self.interface = np.zeros((self.num_tracks, 2), dtype=bool)
+        for t in tracks:
+            for d, (link, vac, iface) in enumerate(
+                (
+                    (t.link_fwd, t.vacuum_end, t.interface_end),
+                    (t.link_bwd, t.vacuum_start, t.interface_start),
+                )
+            ):
+                if link is None:
+                    self.terminal[t.uid, d] = True
+                    self.interface[t.uid, d] = iface
+                else:
+                    self.next_track[t.uid, d] = link.track
+                    self.next_dir[t.uid, d] = 0 if link.forward else 1
+
+        self.psi_in = np.zeros((self.num_tracks, 2, self.num_groups))
+        self.psi_out_last = np.zeros_like(self.psi_in)
+        self._cached_segments: SegmentData | None = None
+        self._idx_fwd: np.ndarray | None = None
+        self._idx_bwd: np.ndarray | None = None
+
+    def reset_fluxes(self) -> None:
+        self.psi_in.fill(0.0)
+        self.psi_out_last.fill(0.0)
+
+    def _indices_for(self, segments: SegmentData) -> tuple[np.ndarray, np.ndarray]:
+        if segments is not self._cached_segments:
+            if segments.num_tracks != self.num_tracks:
+                raise SolverError(
+                    f"segment data covers {segments.num_tracks} tracks, "
+                    f"sweep has {self.num_tracks}"
+                )
+            self._idx_fwd = build_position_index(segments.offsets, reverse=False)
+            self._idx_bwd = build_position_index(segments.offsets, reverse=True)
+            self._cached_segments = segments
+        assert self._idx_fwd is not None and self._idx_bwd is not None
+        return self._idx_fwd, self._idx_bwd
+
+    def sweep(self, segments: SegmentData, reduced_source: np.ndarray) -> np.ndarray:
+        """One 3D transport sweep; returns the FSR tally ``(R, G)``."""
+        idx_fwd, idx_bwd = self._indices_for(segments)
+        seg_fsr = segments.fsr_ids.astype(np.int64)
+        seg_len = segments.lengths
+        sigma_t = self.terms.sigma_t_safe
+        tally = np.zeros((self.terms.num_regions, self.num_groups))
+        psi = [self.psi_in[:, 0].copy(), self.psi_in[:, 1].copy()]
+        index = (idx_fwd, idx_bwd)
+        for i in range(idx_fwd.shape[1]):
+            for d in (0, 1):
+                idx = index[d][:, i]
+                valid = idx >= 0
+                if not valid.any():
+                    continue
+                sid = idx[valid]
+                fsr = seg_fsr[sid]
+                tau = sigma_t[fsr] * seg_len[sid][:, None]  # (V, G)
+                exp_f = self.evaluator(tau)
+                q = reduced_source[fsr]
+                cur = psi[d][valid]
+                dpsi = (cur - q) * exp_f
+                psi[d][valid] = cur - dpsi
+                contrib = self.weights[valid][:, None] * dpsi
+                np.add.at(tally, fsr, contrib)
+        new_in = np.zeros_like(self.psi_in)
+        for d in (0, 1):
+            self.psi_out_last[:, d] = psi[d]
+            live = ~self.terminal[:, d]
+            new_in[self.next_track[live, d], self.next_dir[live, d]] = psi[d][live]
+        self.psi_in = new_in
+        return tally
+
+    def set_interface_flux(self, track: int, direction: int, flux: np.ndarray) -> None:
+        self.psi_in[track, direction] = flux
+
+    def finalize_scalar_flux(
+        self, tally: np.ndarray, reduced_source: np.ndarray, volumes: np.ndarray
+    ) -> np.ndarray:
+        """``phi = 4 pi q + tally / (sigma_t V)`` (see the 2D sweep)."""
+        sigma_t = self.terms.sigma_t_safe
+        safe_v = np.where(volumes > 0.0, volumes, 1.0)
+        phi = FOUR_PI * reduced_source + tally / (sigma_t * safe_v[:, None])
+        phi[volumes <= 0.0] = FOUR_PI * reduced_source[volumes <= 0.0]
+        return phi

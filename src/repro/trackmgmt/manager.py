@@ -1,0 +1,146 @@
+"""The track manager: resident/temporary track split (paper Sec. 4.1).
+
+Tracks are ranked by their estimated segment count (Eq. 4 drives the
+estimate — segment counts scale with track span) and the largest are made
+*resident* — traced once, kept in device memory — until the resident
+budget (6.144 GB in the paper's experiments) is filled. The remaining
+*temporary* tracks are re-traced on every sweep and their segments
+discarded afterwards. Preferring segment-rich tracks maximises the
+regeneration work avoided per resident byte.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.constants import DEFAULT_RESIDENT_MEMORY_BYTES
+from repro.tracks.generator import TrackGenerator3D
+from repro.tracks.segments import SegmentData
+from repro.tracks.track import Track3D
+from repro.trackmgmt.strategy import BYTES_PER_SEGMENT, StorageStrategy
+from repro.solver.sweep3d import TransportSweep3D
+
+
+def estimate_track_segments(trackgen: TrackGenerator3D, track: Track3D) -> int:
+    """Estimate a 3D track's segment count without tracing it.
+
+    Counts the radial breakpoints inside the track's ``s`` span (via binary
+    search on the chain's precomputed 2D segmentation) plus the axial
+    planes crossed — each breakpoint starts one more segment. This is the
+    per-track refinement of the paper's Eq. (4) linear segment model.
+    """
+    table = trackgen.chain_tables[track.chain]
+    z_edges = trackgen.geometry3d.axial_mesh.z_edges
+    s0, s1 = track.s0, track.s1
+    length = table.length
+    if trackgen.is_chain_closed(track.chain):
+        # Unrolled span over a periodic table.
+        full_wraps = int((s1 - s0) // length)
+        radial = full_wraps * (table.num_intervals)
+        r0 = s0 % length
+        r1 = s1 - (full_wraps * length) - (s0 - r0)
+        lo = np.searchsorted(table.bounds, r0, side="right")
+        if r1 <= length:
+            hi = np.searchsorted(table.bounds, r1, side="left")
+            radial += max(int(hi - lo), 0)
+        else:
+            hi = np.searchsorted(table.bounds, r1 - length, side="left")
+            radial += int(table.bounds.size - 1 - lo) + 1 + int(hi - 1)
+    else:
+        lo = np.searchsorted(table.bounds, s0, side="right")
+        hi = np.searchsorted(table.bounds, s1, side="left")
+        radial = max(int(hi - lo), 0)
+    zlo, zhi = sorted((track.z0, track.z1))
+    k_lo = np.searchsorted(z_edges, zlo, side="right")
+    k_hi = np.searchsorted(z_edges, zhi, side="left")
+    axial = max(int(k_hi - k_lo), 0)
+    return radial + axial + 1
+
+
+class ManagedStorage(StorageStrategy):
+    """Manager: resident tracks cached, temporary tracks regenerated."""
+
+    name = "MANAGER"
+
+    def __init__(
+        self,
+        trackgen: TrackGenerator3D,
+        resident_memory_bytes: int = DEFAULT_RESIDENT_MEMORY_BYTES,
+    ) -> None:
+        super().__init__(trackgen)
+        self.resident_memory_bytes_budget = int(resident_memory_bytes)
+        tracks = trackgen.tracks3d
+        estimates = np.array([estimate_track_segments(trackgen, t) for t in tracks])
+        for t, est in zip(tracks, estimates):
+            t.est_segments = int(est)
+        # Greedy selection: largest estimated segment count first.
+        order = np.argsort(-estimates, kind="stable")
+        budget_segments = self.resident_memory_bytes_budget // BYTES_PER_SEGMENT
+        resident_mask = np.zeros(len(tracks), dtype=bool)
+        used = 0
+        for uid in order:
+            cost = int(estimates[uid])
+            if used + cost > budget_segments:
+                continue
+            used += cost
+            resident_mask[uid] = True
+        self.resident_mask = resident_mask
+        self.estimated_segments = estimates
+        # Trace resident tracks once; store per-track lists for cheap
+        # merging with the per-sweep temporary traces.
+        self._resident_cache: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        for uid in np.nonzero(resident_mask)[0]:
+            self._resident_cache[int(uid)] = trackgen.trace_track_3d(tracks[int(uid)])
+        self._resident_segment_count = sum(
+            len(v[1]) for v in self._resident_cache.values()
+        )
+
+    # ------------------------------------------------------------- queries
+
+    @property
+    def num_resident(self) -> int:
+        return int(self.resident_mask.sum())
+
+    @property
+    def num_temporary(self) -> int:
+        return int((~self.resident_mask).sum())
+
+    @property
+    def resident_fraction(self) -> float:
+        total = self.resident_mask.size
+        return self.num_resident / total if total else 0.0
+
+    def resident_memory_bytes(self) -> int:
+        return self._resident_segment_count * BYTES_PER_SEGMENT
+
+    # ------------------------------------------------------------ sweeping
+
+    def _assemble(self) -> SegmentData:
+        """Merge resident (cached) and temporary (fresh) segmentations."""
+        trackgen = self.trackgen
+        per_track: list[list[tuple[int, float]]] = []
+        for t in trackgen.tracks3d:
+            cached = self._resident_cache.get(t.uid)
+            if cached is None:
+                fsrs, lengths = trackgen.trace_track_3d(t)
+                self.regenerated_tracks_total += 1
+            else:
+                fsrs, lengths = cached
+            per_track.append(list(zip(fsrs.tolist(), lengths.tolist())))
+        return SegmentData.from_lists(per_track)
+
+    def reference_segments(self) -> SegmentData:
+        return self._assemble()
+
+    def sweep(self, sweeper: TransportSweep3D, reduced_source: np.ndarray) -> np.ndarray:
+        segments = self._assemble()
+        self.sweeps_served += 1
+        return sweeper.sweep(segments, reduced_source)
+
+    def __repr__(self) -> str:
+        return (
+            f"ManagedStorage(resident={self.num_resident}/{self.resident_mask.size}, "
+            f"budget={self.resident_memory_bytes_budget} B)"
+        )

@@ -1,0 +1,118 @@
+"""Chord Classification Method (CCM) for axial track generation.
+
+Sciannandrone et al. (2016) observed that in axially extruded geometries
+many 2D chords are geometrically identical (same length, same radial FSR
+column), so the axial segmentation work — and, for storage, the per-chord
+metadata — can be shared between all chords of a class. ANT-MOC supports
+CCM as an alternative to OTF for axial track generation (paper Sec. 2.1).
+
+This module implements the classification itself and the derived storage/
+computation statistics the performance model consumes. Chords are
+classified by quantised length and by the *axial material column* of their
+radial FSR (two chords over radially different FSRs still share a class if
+every layer holds the same material, since their 3D segmentation and cross
+sections then coincide).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geometry.extruded import ExtrudedGeometry
+from repro.tracks.raytrace3d import ChainSegments
+
+#: Relative length quantum used to consider two chord lengths identical.
+LENGTH_QUANTUM_REL = 1e-9
+
+
+@dataclass(frozen=True)
+class ChordClass:
+    """One equivalence class of 2D chords."""
+
+    class_id: int
+    length: float
+    material_column: tuple[int, ...]
+    multiplicity: int
+
+
+@dataclass(frozen=True)
+class ChordClassification:
+    """Result of classifying every chord of every chain."""
+
+    classes: tuple[ChordClass, ...]
+    #: Per-chain arrays mapping chord interval -> class id.
+    chain_class_maps: dict[int, np.ndarray]
+    total_chords: int
+
+    @property
+    def num_classes(self) -> int:
+        return len(self.classes)
+
+    @property
+    def compression_ratio(self) -> float:
+        """Chords per class; the memory saving factor CCM exploits."""
+        if not self.classes:
+            return 1.0
+        return self.total_chords / self.num_classes
+
+
+def classify_chords(
+    chain_tables: dict[int, ChainSegments],
+    geometry3d: ExtrudedGeometry,
+) -> ChordClassification:
+    """Classify all radial chords by (length, axial material column)."""
+    nz = geometry3d.num_layers
+    mats = geometry3d.fsr_materials
+    scale = max(
+        (float(tbl.bounds[-1]) for tbl in chain_tables.values()), default=1.0
+    )
+    quantum = max(scale * LENGTH_QUANTUM_REL, 1e-12)
+
+    column_cache: dict[int, tuple[int, ...]] = {}
+
+    def column(radial_fsr: int) -> tuple[int, ...]:
+        if radial_fsr not in column_cache:
+            base = radial_fsr * nz
+            column_cache[radial_fsr] = tuple(mats[base + k].id for k in range(nz))
+        return column_cache[radial_fsr]
+
+    class_ids: dict[tuple[int, tuple[int, ...]], int] = {}
+    lengths: list[float] = []
+    columns: list[tuple[int, ...]] = []
+    counts: list[int] = []
+    chain_maps: dict[int, np.ndarray] = {}
+    total = 0
+    for chain_index, table in chain_tables.items():
+        chord_lengths = np.diff(table.bounds)
+        ids = np.empty(chord_lengths.size, dtype=np.int32)
+        for i, (length, fsr) in enumerate(zip(chord_lengths, table.fsrs)):
+            key = (round(float(length) / quantum), column(int(fsr)))
+            cid = class_ids.get(key)
+            if cid is None:
+                cid = len(lengths)
+                class_ids[key] = cid
+                lengths.append(float(length))
+                columns.append(key[1])
+                counts.append(0)
+            counts[cid] += 1
+            ids[i] = cid
+            total += 1
+        chain_maps[chain_index] = ids
+    classes = tuple(
+        ChordClass(class_id=i, length=lengths[i], material_column=columns[i], multiplicity=counts[i])
+        for i in range(len(lengths))
+    )
+    return ChordClassification(classes=classes, chain_class_maps=chain_maps, total_chords=total)
+
+
+def ccm_storage_bytes(classification: ChordClassification, bytes_per_chord: int = 16) -> int:
+    """Storage for CCM: one record per *class* plus one class id per chord.
+
+    Compare with explicit per-chord storage
+    (``classification.total_chords * bytes_per_chord``).
+    """
+    per_class = classification.num_classes * bytes_per_chord
+    per_chord_index = classification.total_chords * 4  # int32 class ids
+    return per_class + per_chord_index

@@ -1,0 +1,229 @@
+"""Track linking and chain construction.
+
+Cyclic track laydown puts every boundary crossing of a track family on a
+shared half-integer grid, so reflective and periodic boundary conditions
+reduce to an exact pairing of track ends. :func:`link_tracks` computes the
+pairing geometrically (with a tolerance-robust point matcher) and
+:func:`build_chains` follows the links into chains — the 1D "unrolled"
+paths over which 3D track stacks are laid (paper Sec. 3.2.1's "2D track
+chain" indexing).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import TrackingError
+from repro.geometry.geometry import BoundaryCondition, Geometry
+from repro.tracks.track import Track2D, TrackLink
+
+#: Quantisation used when matching boundary points, relative to domain size.
+_MATCH_REL_TOL = 1e-9
+
+
+class _PointMatcher:
+    """Matches 4D keys (x, y, ux, uy) with a tolerance, via neighbour bins."""
+
+    def __init__(self, scale: float) -> None:
+        self._quantum = max(scale * _MATCH_REL_TOL, 1e-13)
+        self._bins: dict[tuple[int, int, int, int], list[tuple[float, float, float, float, object]]] = {}
+
+    def _key(self, x: float, y: float, ux: float, uy: float) -> tuple[int, int, int, int]:
+        q = self._quantum
+        return (round(x / q), round(y / q), round(ux / 1e-9), round(uy / 1e-9))
+
+    def add(self, x: float, y: float, ux: float, uy: float, payload: object) -> None:
+        self._bins.setdefault(self._key(x, y, ux, uy), []).append((x, y, ux, uy, payload))
+
+    def find(self, x: float, y: float, ux: float, uy: float, tol: float) -> object | None:
+        kx, ky, kux, kuy = self._key(x, y, ux, uy)
+        best: object | None = None
+        best_d = tol
+        for bx in (kx - 1, kx, kx + 1):
+            for by in (ky - 1, ky, ky + 1):
+                for bux in (kux - 1, kux, kux + 1):
+                    for buy in (kuy - 1, kuy, kuy + 1):
+                        for (px, py, pux, puy, payload) in self._bins.get((bx, by, bux, buy), ()):
+                            if abs(pux - ux) > 1e-7 or abs(puy - uy) > 1e-7:
+                                continue
+                            d = math.hypot(px - x, py - y)
+                            if d <= best_d:
+                                best_d = d
+                                best = payload
+        return best
+
+
+def _mirror(ux: float, uy: float, side: str) -> tuple[float, float]:
+    if side in ("xmin", "xmax"):
+        return -ux, uy
+    return ux, -uy
+
+
+def link_tracks(tracks: list[Track2D], geometry: Geometry) -> None:
+    """Fill the link/vacuum/interface attributes of every track in place.
+
+    Raises :class:`~repro.errors.TrackingError` if a reflective or periodic
+    end finds no partner — which indicates a broken cyclic laydown.
+    """
+    scale = max(geometry.width, geometry.height)
+    tol = scale * 1e-6
+    entries = _PointMatcher(scale)
+    for t in tracks:
+        ux, uy = t.direction
+        # Entering forward at the start point.
+        entries.add(t.x0, t.y0, ux, uy, TrackLink(t.uid, True))
+        # Entering backward at the end point.
+        entries.add(t.x1, t.y1, -ux, -uy, TrackLink(t.uid, False))
+
+    width = geometry.width
+    height = geometry.height
+
+    def resolve(track: Track2D, x: float, y: float, ux: float, uy: float, side: str) -> tuple[TrackLink | None, bool, bool]:
+        """Return (link, vacuum, interface) for flux exiting at (x, y)."""
+        bc = geometry.boundary[side]
+        if bc is BoundaryCondition.VACUUM:
+            return None, True, False
+        if bc is BoundaryCondition.INTERFACE:
+            return None, False, True
+        if bc is BoundaryCondition.REFLECTIVE:
+            rx, ry = _mirror(ux, uy, side)
+            link = entries.find(x, y, rx, ry, tol)
+        elif bc is BoundaryCondition.PERIODIC:
+            px, py = x, y
+            if side == "xmin":
+                px = x + width
+            elif side == "xmax":
+                px = x - width
+            elif side == "ymin":
+                py = y + height
+            else:
+                py = y - height
+            link = entries.find(px, py, ux, uy, tol)
+        else:  # pragma: no cover - exhaustive over enum
+            raise TrackingError(f"unhandled boundary condition {bc}")
+        if link is None:
+            raise TrackingError(
+                f"track {track.uid}: no {bc.value} partner at ({x:.8g}, {y:.8g}) "
+                f"side {side} direction ({ux:.6g}, {uy:.6g})"
+            )
+        return link, False, False  # type: ignore[return-value]
+
+    for t in tracks:
+        ux, uy = t.direction
+        t.link_fwd, t.vacuum_end, t.interface_end = resolve(t, t.x1, t.y1, ux, uy, t.end_side)
+        t.link_bwd, t.vacuum_start, t.interface_start = resolve(t, t.x0, t.y0, -ux, -uy, t.start_side)
+
+
+@dataclass
+class Chain:
+    """A maximal path of linked 2D tracks.
+
+    ``elements`` lists ``(track_uid, forward)`` in traversal order;
+    ``closed`` marks a periodic cycle (flux re-enters the first element
+    after the last). Open chains start and end at vacuum or interface
+    boundaries. ``offsets[i]`` is the arc length at which element ``i``
+    begins; ``length`` is the total arc length.
+    """
+
+    index: int
+    elements: list[tuple[int, bool]]
+    closed: bool
+    offsets: list[float]
+    length: float
+    #: Azimuthal label: the smaller of the two (complementary) azimuthal
+    #: indices the chain's tracks alternate between. Complementary angles
+    #: share weight and corrected spacing, so the label determines both.
+    azim: int = 0
+    #: True when the chain terminates on an interface (decomposed runs).
+    starts_at_interface: bool = False
+    ends_at_interface: bool = False
+
+    @property
+    def num_tracks(self) -> int:
+        return len(self.elements)
+
+
+def build_chains(tracks: list[Track2D]) -> list[Chain]:
+    """Group linked tracks into chains.
+
+    Every (track, direction) traversal belongs to exactly one chain; since
+    traversing a chain backward visits the same tracks, each *track*
+    appears in exactly one returned chain. Chains are found by walking
+    backward links to a terminal end (or cycle closure) and then forward.
+    """
+    visited = [False] * len(tracks)
+    chains: list[Chain] = []
+
+    def step_forward(uid: int, forward: bool) -> tuple[int, bool] | None:
+        track = tracks[uid]
+        link = track.link_fwd if forward else track.link_bwd
+        if link is None:
+            return None
+        return link.track, link.forward
+
+    def step_backward(uid: int, forward: bool) -> tuple[int, bool] | None:
+        # The traversal (uid, forward) was entered at its start point; who
+        # feeds it? Reverse the traversal and step forward, then reverse.
+        prev = step_forward(uid, not forward)
+        if prev is None:
+            return None
+        p_uid, p_fwd = prev
+        return p_uid, not p_fwd
+
+    for seed in range(len(tracks)):
+        if visited[seed]:
+            continue
+        # Walk backward to find the chain head (or detect a cycle).
+        head = (seed, True)
+        seen = {head}
+        closed = False
+        while True:
+            prev = step_backward(*head)
+            if prev is None:
+                break
+            if prev in seen or prev == (seed, False):
+                closed = True
+                break
+            head = prev
+            seen.add(head)
+        # Walk forward from the head, collecting elements.
+        elements: list[tuple[int, bool]] = []
+        offsets: list[float] = []
+        length = 0.0
+        cursor: tuple[int, bool] | None = head
+        while cursor is not None:
+            uid, fwd = cursor
+            if visited[uid]:
+                break
+            visited[uid] = True
+            elements.append((uid, fwd))
+            offsets.append(length)
+            length += tracks[uid].length
+            cursor = step_forward(uid, fwd)
+            if closed and cursor == head:
+                break
+        if not elements:
+            continue
+        first_uid, first_fwd = elements[0]
+        last_uid, last_fwd = elements[-1]
+        first_track = tracks[first_uid]
+        last_track = tracks[last_uid]
+        azim_indices = {tracks[uid].azim for uid, _ in elements}
+        chains.append(
+            Chain(
+                index=len(chains),
+                elements=elements,
+                closed=closed,
+                offsets=offsets,
+                length=length,
+                azim=min(azim_indices),
+                starts_at_interface=(
+                    first_track.interface_start if first_fwd else first_track.interface_end
+                ),
+                ends_at_interface=(
+                    last_track.interface_end if last_fwd else last_track.interface_start
+                ),
+            )
+        )
+    return chains

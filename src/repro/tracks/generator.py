@@ -1,0 +1,242 @@
+"""High-level track generators orchestrating the stage-3 pipeline.
+
+:class:`TrackGenerator` runs the radial pipeline (quadrature correction,
+laydown, linking, chains, 2D ray tracing, tracked FSR volumes);
+:class:`TrackGenerator3D` extends it with 3D stacks, chain segment tables,
+and the explicit/on-the-fly 3D segmentation entry points that the storage
+strategies of Sec. 4.1 choose between.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import TrackingError
+from repro.geometry.extruded import ExtrudedGeometry
+from repro.geometry.geometry import Geometry
+from repro.quadrature.azimuthal import AzimuthalQuadrature
+from repro.quadrature.polar import PolarQuadrature, tabuchi_yamamoto
+from repro.quadrature.product import ProductQuadrature
+from repro.tracks.chains import Chain, build_chains, link_tracks
+from repro.tracks.raytrace2d import trace_all
+from repro.tracks.raytrace3d import ChainSegments, chain_segments, trace_3d_all, trace_3d_track
+from repro.tracks.segments import SegmentData
+from repro.tracks.stack3d import Stack3D, generate_3d_stacks
+from repro.tracks.track import Track2D, Track3D
+
+
+class TrackGenerator:
+    """Radial (2D) tracking pipeline for one geometry."""
+
+    def __init__(
+        self,
+        geometry: Geometry,
+        num_azim: int,
+        azim_spacing: float,
+        polar: PolarQuadrature | None = None,
+        num_polar: int = 4,
+    ) -> None:
+        self.geometry = geometry
+        self.azimuthal = AzimuthalQuadrature(
+            num_azim, geometry.width, geometry.height, azim_spacing
+        )
+        self.polar = polar if polar is not None else tabuchi_yamamoto(num_polar)
+        self.quadrature = ProductQuadrature(self.azimuthal, self.polar)
+        self._tracks: list[Track2D] | None = None
+        self._chains: list[Chain] | None = None
+        self._segments: SegmentData | None = None
+        self._volumes: np.ndarray | None = None
+
+    # ------------------------------------------------------------ pipeline
+
+    def generate(self) -> "TrackGenerator":
+        """Run laydown, linking, chain construction and 2D ray tracing."""
+        from repro.tracks.laydown import lay_tracks
+
+        self._tracks = lay_tracks(self.geometry, self.azimuthal)
+        link_tracks(self._tracks, self.geometry)
+        self._chains = build_chains(self._tracks)
+        self._segments = trace_all(self.geometry, self._tracks)
+        self._volumes = self._tracked_volumes()
+        return self
+
+    def _require(self, attr: str):
+        value = getattr(self, attr)
+        if value is None:
+            raise TrackingError("call generate() before accessing tracking products")
+        return value
+
+    @property
+    def tracks(self) -> list[Track2D]:
+        return self._require("_tracks")
+
+    @property
+    def chains(self) -> list[Chain]:
+        return self._require("_chains")
+
+    @property
+    def segments(self) -> SegmentData:
+        return self._require("_segments")
+
+    @property
+    def num_tracks(self) -> int:
+        return len(self.tracks)
+
+    @property
+    def num_segments(self) -> int:
+        return self.segments.num_segments
+
+    # ------------------------------------------------------------- volumes
+
+    def _tracked_volumes(self) -> np.ndarray:
+        """FSR areas from track sums: ``V_r = sum_a w_a d_a sum(l in r)``.
+
+        Each azimuthal family alone estimates every FSR area; averaging
+        over families with the azimuthal weights keeps the estimate
+        consistent with the sweep normalisation (exact conservation).
+        """
+        segments = self.segments
+        weights = np.empty(segments.num_segments)
+        for t in self.tracks:
+            lo, hi = segments.offsets[t.uid], segments.offsets[t.uid + 1]
+            weights[lo:hi] = (
+                self.azimuthal.weights[t.azim] * self.azimuthal.spacing[t.azim]
+            )
+        return segments.fsr_path_lengths(self.geometry.num_fsrs, weights)
+
+    @property
+    def fsr_volumes(self) -> np.ndarray:
+        """Tracked FSR areas (2D 'volumes'), shape ``(num_fsrs,)``."""
+        return self._require("_volumes")
+
+    def segment_angles(self) -> np.ndarray:
+        """Azimuthal index per 2D segment (for sweep weight lookups)."""
+        segments = self.segments
+        azim = np.empty(segments.num_segments, dtype=np.int32)
+        for t in self.tracks:
+            lo, hi = segments.offsets[t.uid], segments.offsets[t.uid + 1]
+            azim[lo:hi] = t.azim
+        return azim
+
+
+class TrackGenerator3D(TrackGenerator):
+    """3D tracking pipeline over an extruded geometry."""
+
+    def __init__(
+        self,
+        geometry3d: ExtrudedGeometry,
+        num_azim: int,
+        azim_spacing: float,
+        polar_spacing: float,
+        polar: PolarQuadrature | None = None,
+        num_polar: int = 4,
+    ) -> None:
+        super().__init__(geometry3d.radial, num_azim, azim_spacing, polar=polar, num_polar=num_polar)
+        self.geometry3d = geometry3d
+        self.polar_spacing = float(polar_spacing)
+        self._tracks3d: list[Track3D] | None = None
+        self._stacks: list[Stack3D] | None = None
+        self._chain_tables: dict[int, ChainSegments] | None = None
+        self._volumes3d: np.ndarray | None = None
+
+    def adopt_radial(self, radial: TrackGenerator) -> "TrackGenerator3D":
+        """Share another generator's radial products instead of rebuilding.
+
+        Used by z-decomposed runs: every axial domain sees the same radial
+        geometry, so tracks, links, chains and 2D segments are physically
+        identical across domains — sharing them guarantees the identical
+        chain indexing the interface matching relies on (and skips the
+        redundant ray tracing). The radial generator must be generated and
+        wrap the same geometry with the same quadrature.
+        """
+        if radial.geometry is not self.geometry:
+            raise TrackingError("adopt_radial requires the same radial geometry object")
+        if (
+            radial.azimuthal.num_azim != self.azimuthal.num_azim
+            or radial.azimuthal.requested_spacing != self.azimuthal.requested_spacing
+        ):
+            raise TrackingError("adopt_radial requires identical tracking parameters")
+        self._tracks = radial.tracks
+        self._chains = radial.chains
+        self._segments = radial.segments
+        self._volumes = radial.fsr_volumes
+        return self
+
+    def generate(self) -> "TrackGenerator3D":
+        if self._tracks is None:
+            super().generate()
+        mesh = self.geometry3d.axial_mesh
+        self._tracks3d, self._stacks = generate_3d_stacks(
+            self.chains,
+            self.polar,
+            self.polar_spacing,
+            mesh.zmin,
+            mesh.zmax,
+            bc_zmin=self.geometry3d.boundary_zmin,
+            bc_zmax=self.geometry3d.boundary_zmax,
+        )
+        self._chain_tables = {
+            c.index: chain_segments(c, self.tracks, self.segments) for c in self.chains
+        }
+        return self
+
+    @property
+    def tracks3d(self) -> list[Track3D]:
+        return self._require("_tracks3d")
+
+    @property
+    def stacks(self) -> list[Stack3D]:
+        return self._require("_stacks")
+
+    @property
+    def chain_tables(self) -> dict[int, ChainSegments]:
+        return self._require("_chain_tables")
+
+    @property
+    def num_tracks_3d(self) -> int:
+        return len(self.tracks3d)
+
+    def is_chain_closed(self, chain_index: int) -> bool:
+        return self.chains[chain_index].closed
+
+    # --------------------------------------------------------- segmentation
+
+    def trace_track_3d(self, track: Track3D) -> tuple[np.ndarray, np.ndarray]:
+        """On-the-fly segmentation of one 3D track (the OTF kernel)."""
+        return trace_3d_track(
+            track,
+            self.chain_tables[track.chain],
+            self.geometry3d,
+            wrap=self.is_chain_closed(track.chain),
+        )
+
+    def trace_all_3d(self) -> SegmentData:
+        """Explicit segmentation of every 3D track (the EXP path)."""
+        return trace_3d_all(self.tracks3d, self.chains, self.chain_tables, self.geometry3d)
+
+    def track_weight_3d(self, track: Track3D) -> float:
+        """Per-traversal sweep weight of a 3D track."""
+        a = self.chains[track.chain].azim
+        return self.quadrature.track_weight_3d(a, track.polar, track.z_spacing)
+
+    def track_volume_weight_3d(self, track: Track3D) -> float:
+        """Volume-tally weight: ``w_a w_p / 2 * spacing_a * z_spacing``."""
+        a = self.chains[track.chain].azim
+        return float(
+            0.5
+            * self.azimuthal.weights[a]
+            * self.polar.weights[track.polar]
+            * self.azimuthal.spacing[a]
+            * track.z_spacing
+        )
+
+    def fsr_volumes_3d(self, segments3d: SegmentData | None = None) -> np.ndarray:
+        """Tracked 3D FSR volumes (computed lazily, cached)."""
+        if self._volumes3d is None:
+            segs = segments3d if segments3d is not None else self.trace_all_3d()
+            weights = np.empty(segs.num_segments)
+            for t in self.tracks3d:
+                lo, hi = segs.offsets[t.uid], segs.offsets[t.uid + 1]
+                weights[lo:hi] = self.track_volume_weight_3d(t)
+            self._volumes3d = segs.fsr_path_lengths(self.geometry3d.num_fsrs, weights)
+        return self._volumes3d

@@ -1,0 +1,223 @@
+"""Serialisation of tracking products.
+
+Paper Sec. 2.1: "All 3D tracks are stored along with additional parameters
+on radial sections and could be restored during transport solving" — the
+tracking setup is expensive and reusable across solves. This module
+persists everything stage 3 produces (2D tracks with links, chains, 2D
+segments, 3D stacks) as a single compressed ``.npz`` archive and restores
+it against a compatible geometry.
+
+The archive is self-describing: a format version plus shape metadata are
+stored and checked on load, so a stale file fails loudly rather than
+mis-tracking.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import TrackingError
+from repro.tracks.chains import Chain
+from repro.tracks.segments import SegmentData
+from repro.tracks.track import Track2D, Track3D, TrackLink
+
+FORMAT_VERSION = 1
+
+#: Sentinel for "no link" in the serialized link arrays.
+_NO_LINK = -1
+
+
+def _links_to_arrays(items, get_links) -> tuple[np.ndarray, np.ndarray]:
+    """Encode (link_fwd, link_bwd) per item as int32 arrays.
+
+    Encoding per slot: ``track * 2 + (0 if forward else 1)``, or -1.
+    """
+    fwd = np.full(len(items), _NO_LINK, dtype=np.int64)
+    bwd = np.full(len(items), _NO_LINK, dtype=np.int64)
+    for i, item in enumerate(items):
+        lf, lb = get_links(item)
+        if lf is not None:
+            fwd[i] = lf.track * 2 + (0 if lf.forward else 1)
+        if lb is not None:
+            bwd[i] = lb.track * 2 + (0 if lb.forward else 1)
+    return fwd, bwd
+
+
+def _link_from_code(code: int) -> TrackLink | None:
+    if code == _NO_LINK:
+        return None
+    return TrackLink(track=code // 2, forward=(code % 2 == 0))
+
+
+def save_tracking(path: str | Path, trackgen) -> Path:
+    """Persist a generated :class:`~repro.tracks.generator.TrackGenerator`
+    (2D or 3D) to ``path`` (``.npz``)."""
+    tracks = trackgen.tracks
+    segments = trackgen.segments
+    data: dict[str, np.ndarray] = {
+        "format_version": np.array([FORMAT_VERSION]),
+        "bounds": np.array(trackgen.geometry.bounds),
+        "num_fsrs": np.array([trackgen.geometry.num_fsrs]),
+        # 2D tracks
+        "t2_xyxy": np.array([[t.x0, t.y0, t.x1, t.y1] for t in tracks]),
+        "t2_phi": np.array([t.phi for t in tracks]),
+        "t2_azim": np.array([t.azim for t in tracks], dtype=np.int32),
+        "t2_flags": np.array(
+            [
+                [t.vacuum_start, t.vacuum_end, t.interface_start, t.interface_end]
+                for t in tracks
+            ],
+            dtype=np.int8,
+        ),
+        # 2D segments
+        "s2_lengths": segments.lengths,
+        "s2_fsr": segments.fsr_ids,
+        "s2_offsets": segments.offsets,
+        # chains
+        "chain_elements": np.array(
+            [[c.index, uid, int(fwd)] for c in trackgen.chains for uid, fwd in c.elements],
+            dtype=np.int64,
+        ).reshape(-1, 3),
+        "chain_closed": np.array([c.closed for c in trackgen.chains], dtype=np.int8),
+        "chain_azim": np.array([c.azim for c in trackgen.chains], dtype=np.int32),
+        "chain_iface": np.array(
+            [[c.starts_at_interface, c.ends_at_interface] for c in trackgen.chains],
+            dtype=np.int8,
+        ),
+    }
+    data["t2_link_fwd"], data["t2_link_bwd"] = _links_to_arrays(
+        tracks, lambda t: (t.link_fwd, t.link_bwd)
+    )
+    if hasattr(trackgen, "tracks3d"):
+        t3 = trackgen.tracks3d
+        data["t3_szsz"] = np.array([[t.s0, t.z0, t.s1, t.z1] for t in t3])
+        data["t3_chain"] = np.array([t.chain for t in t3], dtype=np.int64)
+        data["t3_polar"] = np.array([t.polar for t in t3], dtype=np.int32)
+        data["t3_theta"] = np.array([t.theta for t in t3])
+        data["t3_zspacing"] = np.array([t.z_spacing for t in t3])
+        data["t3_flags"] = np.array(
+            [
+                [t.vacuum_start, t.vacuum_end, t.interface_start, t.interface_end]
+                for t in t3
+            ],
+            dtype=np.int8,
+        )
+        data["t3_link_fwd"], data["t3_link_bwd"] = _links_to_arrays(
+            t3, lambda t: (t.link_fwd, t.link_bwd)
+        )
+    path = Path(path)
+    np.savez_compressed(path, **data)
+    return path
+
+
+def load_tracking(path: str | Path, trackgen) -> None:
+    """Restore tracking products into a *non-generated* TrackGenerator.
+
+    The generator must wrap the same geometry (bounds and FSR count are
+    checked). After loading, the generator behaves as if
+    :meth:`generate` had run — volumes included.
+    """
+    archive = np.load(Path(path))
+    version = int(archive["format_version"][0])
+    if version != FORMAT_VERSION:
+        raise TrackingError(
+            f"tracking archive format {version} != supported {FORMAT_VERSION}"
+        )
+    bounds = tuple(archive["bounds"])
+    if not np.allclose(bounds, trackgen.geometry.bounds):
+        raise TrackingError(
+            f"archive bounds {bounds} do not match geometry {trackgen.geometry.bounds}"
+        )
+    if int(archive["num_fsrs"][0]) != trackgen.geometry.num_fsrs:
+        raise TrackingError("archive FSR count does not match the geometry")
+
+    xyxy = archive["t2_xyxy"]
+    phi = archive["t2_phi"]
+    azim = archive["t2_azim"]
+    flags = archive["t2_flags"].astype(bool)
+    link_fwd = archive["t2_link_fwd"]
+    link_bwd = archive["t2_link_bwd"]
+    tracks: list[Track2D] = []
+    for uid in range(xyxy.shape[0]):
+        t = Track2D(
+            uid=uid,
+            azim=int(azim[uid]),
+            x0=float(xyxy[uid, 0]),
+            y0=float(xyxy[uid, 1]),
+            x1=float(xyxy[uid, 2]),
+            y1=float(xyxy[uid, 3]),
+            phi=float(phi[uid]),
+        )
+        t.link_fwd = _link_from_code(int(link_fwd[uid]))
+        t.link_bwd = _link_from_code(int(link_bwd[uid]))
+        t.vacuum_start, t.vacuum_end, t.interface_start, t.interface_end = (
+            bool(flags[uid, 0]), bool(flags[uid, 1]),
+            bool(flags[uid, 2]), bool(flags[uid, 3]),
+        )
+        tracks.append(t)
+    trackgen._tracks = tracks
+    trackgen._segments = SegmentData(
+        archive["s2_lengths"], archive["s2_fsr"], archive["s2_offsets"]
+    )
+
+    elements = archive["chain_elements"]
+    closed = archive["chain_closed"].astype(bool)
+    chain_azim = archive["chain_azim"]
+    iface = archive["chain_iface"].astype(bool)
+    chains: list[Chain] = []
+    for index in range(closed.size):
+        rows = elements[elements[:, 0] == index]
+        elems = [(int(uid), bool(fwd)) for _, uid, fwd in rows]
+        offsets, total = [], 0.0
+        for uid, _ in elems:
+            offsets.append(total)
+            total += tracks[uid].length
+        chains.append(
+            Chain(
+                index=index,
+                elements=elems,
+                closed=bool(closed[index]),
+                offsets=offsets,
+                length=total,
+                azim=int(chain_azim[index]),
+                starts_at_interface=bool(iface[index, 0]),
+                ends_at_interface=bool(iface[index, 1]),
+            )
+        )
+    trackgen._chains = chains
+    trackgen._volumes = trackgen._tracked_volumes()
+
+    if "t3_szsz" in archive and hasattr(trackgen, "_tracks3d"):
+        szsz = archive["t3_szsz"]
+        t3_flags = archive["t3_flags"].astype(bool)
+        t3_fwd = archive["t3_link_fwd"]
+        t3_bwd = archive["t3_link_bwd"]
+        tracks3d: list[Track3D] = []
+        for uid in range(szsz.shape[0]):
+            t = Track3D(
+                uid=uid,
+                chain=int(archive["t3_chain"][uid]),
+                polar=int(archive["t3_polar"][uid]),
+                s0=float(szsz[uid, 0]),
+                z0=float(szsz[uid, 1]),
+                s1=float(szsz[uid, 2]),
+                z1=float(szsz[uid, 3]),
+                theta=float(archive["t3_theta"][uid]),
+                z_spacing=float(archive["t3_zspacing"][uid]),
+            )
+            t.link_fwd = _link_from_code(int(t3_fwd[uid]))
+            t.link_bwd = _link_from_code(int(t3_bwd[uid]))
+            t.vacuum_start, t.vacuum_end, t.interface_start, t.interface_end = (
+                bool(t3_flags[uid, 0]), bool(t3_flags[uid, 1]),
+                bool(t3_flags[uid, 2]), bool(t3_flags[uid, 3]),
+            )
+            tracks3d.append(t)
+        trackgen._tracks3d = tracks3d
+        trackgen._stacks = []  # stacks are laydown metadata, not needed post-restore
+        from repro.tracks.raytrace3d import chain_segments
+
+        trackgen._chain_tables = {
+            c.index: chain_segments(c, tracks, trackgen._segments) for c in chains
+        }

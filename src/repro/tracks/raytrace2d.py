@@ -1,0 +1,66 @@
+"""2D ray tracing: cutting tracks into FSR-homogeneous segments.
+
+Each track is walked surface to surface; the FSR of every step is sampled
+at the step midpoint (robust to points sitting exactly on surfaces), and
+consecutive steps in the same FSR are merged. The invariant that segment
+lengths sum to the track's chord length is enforced here and property-
+tested in ``tests/tracks/test_raytrace2d.py``.
+"""
+
+from __future__ import annotations
+
+from repro.constants import MIN_SEGMENT_LENGTH
+from repro.errors import TrackingError
+from repro.geometry.geometry import Geometry
+from repro.tracks.segments import SegmentData
+from repro.tracks.track import Track2D
+
+#: Inward nudge applied to boundary start points before sampling.
+_EDGE_NUDGE = 1e-11
+
+
+def trace_track(geometry: Geometry, track: Track2D) -> list[tuple[int, float]]:
+    """Segment one track; returns ``[(fsr_id, length), ...]`` in order."""
+    total = track.length
+    if total <= 0.0:
+        raise TrackingError(f"track {track.uid} has zero length")
+    ux, uy = track.direction
+    segments: list[tuple[int, float]] = []
+    s = 0.0
+    guard = 0
+    max_steps = 1_000_000
+    while total - s > MIN_SEGMENT_LENGTH:
+        guard += 1
+        if guard > max_steps:
+            raise TrackingError(f"track {track.uid}: ray tracing did not terminate")
+        # Sample just past the last crossing to stay off surfaces.
+        probe = s + _EDGE_NUDGE
+        x = track.x0 + probe * ux
+        y = track.y0 + probe * uy
+        step = geometry.distance_to_boundary(x, y, ux, uy)
+        step = min(step, total - s)
+        if step <= MIN_SEGMENT_LENGTH:
+            # Sliver: extend the previous segment past the surface cluster.
+            step = MIN_SEGMENT_LENGTH * 10.0
+            step = min(step, total - s)
+        mid = s + 0.5 * step
+        mx = track.x0 + mid * ux
+        my = track.y0 + mid * uy
+        fsr = geometry.find_fsr(mx, my)
+        if segments and segments[-1][0] == fsr:
+            segments[-1] = (fsr, segments[-1][1] + step)
+        else:
+            segments.append((fsr, step))
+        s += step
+    if not segments:
+        raise TrackingError(f"track {track.uid}: produced no segments")
+    # Absorb the residual round-off into the last segment so lengths sum
+    # exactly to the chord length.
+    fsr, last = segments[-1]
+    segments[-1] = (fsr, last + (total - s))
+    return segments
+
+
+def trace_all(geometry: Geometry, tracks: list[Track2D]) -> SegmentData:
+    """Segment every track into a :class:`SegmentData` container."""
+    return SegmentData.from_lists([trace_track(geometry, t) for t in tracks])

@@ -1,0 +1,159 @@
+"""3D ray tracing: on-the-fly axial segmentation (paper Secs. 2.1, 4.1).
+
+A 3D track of a chain spans ``(s0, z0) -> (s1, z1)`` in the chain's
+``(s, z)`` space. Its 3D segments are obtained by merging two breakpoint
+families along the track parameter:
+
+* radial crossings — the chain's concatenated 2D segment boundaries, and
+* axial crossings — the z-planes of the axial mesh,
+
+exactly the two nested loops of the paper's Figure 3(b). Because both
+families are precomputed 1D arrays, the merge is a vectorised
+``searchsorted`` rather than a surface-by-surface walk, mirroring how the
+GPU kernel streams 2D segments.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import TrackingError
+from repro.geometry.extruded import ExtrudedGeometry
+from repro.tracks.chains import Chain
+from repro.tracks.segments import SegmentData
+from repro.tracks.track import Track2D, Track3D
+
+
+class ChainSegments:
+    """Radial segmentation of one chain: FSR as a function of ``s``.
+
+    ``bounds`` is the strictly increasing array of radial breakpoints from
+    0 to the chain length; interval ``i`` (``bounds[i]..bounds[i+1]``) lies
+    in radial FSR ``fsrs[i]``.
+    """
+
+    __slots__ = ("chain_index", "bounds", "fsrs", "length")
+
+    def __init__(self, chain_index: int, bounds: np.ndarray, fsrs: np.ndarray) -> None:
+        self.chain_index = chain_index
+        self.bounds = np.ascontiguousarray(bounds, dtype=np.float64)
+        self.fsrs = np.ascontiguousarray(fsrs, dtype=np.int32)
+        if self.bounds.size != self.fsrs.size + 1:
+            raise TrackingError("chain bounds/fsrs size mismatch")
+        self.length = float(self.bounds[-1])
+
+    @property
+    def num_intervals(self) -> int:
+        return int(self.fsrs.size)
+
+    def fsr_at(self, s: float) -> int:
+        """Radial FSR at arc length ``s`` (clamped to [0, length])."""
+        idx = int(np.searchsorted(self.bounds, s, side="right")) - 1
+        idx = min(max(idx, 0), self.fsrs.size - 1)
+        return int(self.fsrs[idx])
+
+
+def chain_segments(
+    chain: Chain, tracks2d: list[Track2D], segments2d: SegmentData
+) -> ChainSegments:
+    """Concatenate a chain's 2D segments into a single ``s``-axis table."""
+    bounds = [0.0]
+    fsrs: list[int] = []
+    s = 0.0
+    for (uid, forward) in chain.elements:
+        seg_fsrs, seg_lens = segments2d.track_segments(uid)
+        if not forward:
+            seg_fsrs = seg_fsrs[::-1]
+            seg_lens = seg_lens[::-1]
+        for fsr, length in zip(seg_fsrs, seg_lens):
+            s += float(length)
+            if fsrs and fsrs[-1] == int(fsr):
+                bounds[-1] = s
+            else:
+                bounds.append(s)
+                fsrs.append(int(fsr))
+    return ChainSegments(chain.index, np.array(bounds), np.array(fsrs, dtype=np.int32))
+
+
+def trace_3d_track(
+    track: Track3D,
+    chain_segs: ChainSegments,
+    geometry3d: ExtrudedGeometry,
+    wrap: bool,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Segment one 3D track; returns ``(fsr3d_ids, lengths)``.
+
+    ``wrap`` indicates a closed chain whose ``s`` coordinate is periodic
+    (the track's ``s1`` may exceed the chain length).
+    """
+    length_s = chain_segs.length
+    z_edges = geometry3d.axial_mesh.z_edges
+    nz = geometry3d.num_layers
+    s0, z0, s1, z1 = track.s0, track.z0, track.s1, track.z1
+    ds = s1 - s0
+    dz = z1 - z0
+    total = math.hypot(ds, dz)
+    if total <= 0.0:
+        raise TrackingError(f"3D track {track.uid} has zero length")
+
+    # Breakpoints as fractions t in (0, 1) of the track parameter.
+    t_breaks: list[np.ndarray] = []
+    if ds > 1e-14:
+        if wrap:
+            # Unroll the periodic radial table across the wrapped span.
+            lo_wraps = math.floor(s0 / length_s)
+            hi_wraps = math.floor(s1 / length_s)
+            crossings = []
+            for w in range(lo_wraps, hi_wraps + 1):
+                shifted = chain_segs.bounds[1:-1] + w * length_s
+                crossings.append(shifted)
+                if w > lo_wraps:
+                    crossings.append(np.array([w * length_s]))
+            s_cross = np.concatenate(crossings) if crossings else np.empty(0)
+        else:
+            s_cross = chain_segs.bounds[1:-1]
+        mask = (s_cross > s0 + 1e-12) & (s_cross < s1 - 1e-12)
+        t_breaks.append((s_cross[mask] - s0) / ds)
+    if abs(dz) > 1e-14:
+        inner = z_edges[1:-1]
+        zlo, zhi = (z0, z1) if dz > 0 else (z1, z0)
+        mask = (inner > zlo + 1e-12) & (inner < zhi - 1e-12)
+        t_breaks.append((inner[mask] - z0) / dz)
+
+    if t_breaks:
+        t = np.unique(np.concatenate([np.array([0.0, 1.0])] + t_breaks))
+    else:
+        t = np.array([0.0, 1.0])
+    t.sort()
+    mids = 0.5 * (t[:-1] + t[1:])
+    lengths = np.diff(t) * total
+
+    s_mid = s0 + mids * ds
+    if wrap:
+        s_mid = np.mod(s_mid, length_s)
+    z_mid = z0 + mids * dz
+    radial_idx = np.searchsorted(chain_segs.bounds, s_mid, side="right") - 1
+    radial_idx = np.clip(radial_idx, 0, chain_segs.num_intervals - 1)
+    radial_fsrs = chain_segs.fsrs[radial_idx].astype(np.int64)
+    layers = np.searchsorted(z_edges, z_mid, side="right") - 1
+    layers = np.clip(layers, 0, nz - 1)
+    fsr3d = radial_fsrs * nz + layers
+    keep = lengths > 1e-13
+    return fsr3d[keep].astype(np.int64), lengths[keep]
+
+
+def trace_3d_all(
+    tracks3d: list[Track3D],
+    chains: list[Chain],
+    chain_tables: dict[int, ChainSegments],
+    geometry3d: ExtrudedGeometry,
+) -> SegmentData:
+    """Explicitly segment every 3D track (the EXP storage path)."""
+    closed = {c.index: c.closed for c in chains}
+    per_track: list[list[tuple[int, float]]] = []
+    for t in tracks3d:
+        fsrs, lengths = trace_3d_track(t, chain_tables[t.chain], geometry3d, wrap=closed[t.chain])
+        per_track.append(list(zip(fsrs.tolist(), lengths.tolist())))
+    return SegmentData.from_lists(per_track)

@@ -1,0 +1,271 @@
+"""3D track generation: z-stacks over 2D chains (paper Sec. 3.2.1).
+
+3D tracks are laid in the ``(s, z)`` space of each 2D chain, where ``s``
+is arc length along the chain's radial path. Two constructions are used:
+
+* **open chains** (terminating on vacuum/interface boundaries): cyclic 2D
+  laydown on the ``L x H`` rectangle, with the polar angle corrected so
+  all boundary crossings land on shared half-integer grids — reflections
+  at the z-planes are then exact pairings, as in the radial problem;
+* **closed chains** (periodic cycles): a helix construction — the track
+  advance per full height traversal is snapped to an integer number of
+  stack spacings, so reflected tracks land exactly on other tracks of the
+  stack and no flux ever leaves the chain radially.
+
+Every (2D chain, polar index) pair yields one :class:`Stack3D` holding an
+"up" family (``dz > 0``) and its mirrored "down" family; sweeping both
+families in both directions covers the full unit sphere.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import TrackingError
+from repro.geometry.geometry import BoundaryCondition
+from repro.quadrature.polar import PolarQuadrature
+from repro.tracks.chains import Chain
+from repro.tracks.track import Track3D, TrackLink
+
+
+@dataclass
+class Stack3D:
+    """All 3D tracks of one (chain, polar index) pair."""
+
+    chain: int
+    polar: int
+    theta_eff: float
+    z_spacing: float
+    closed: bool
+    #: Global uids of member tracks (up/down pairs interleaved).
+    track_uids: list[int] = field(default_factory=list)
+
+    @property
+    def num_tracks(self) -> int:
+        return len(self.track_uids)
+
+
+def _correct_open(length: float, height: float, alpha: float, spacing: float) -> tuple[int, int, float]:
+    """Cyclic correction on an ``L x H`` rectangle; returns (n_s, n_z, alpha_eff)."""
+    n_s = max(1, int(length / spacing * abs(math.sin(alpha))) + 1)
+    n_z = max(1, int(height / spacing * abs(math.cos(alpha))) + 1)
+    alpha_eff = math.atan((height * n_s) / (length * n_z))
+    return n_s, n_z, alpha_eff
+
+
+def _correct_closed(length: float, height: float, alpha: float, spacing: float) -> tuple[int, int, float]:
+    """Helix correction on a periodic-``s`` cylinder; returns (n_s, k, alpha_eff).
+
+    ``k`` is the integer number of stack spacings a track advances in ``s``
+    while climbing the full height.
+    """
+    n_s = max(1, round(length * abs(math.sin(alpha)) / spacing))
+    ds = length / n_s
+    k = max(1, round(height / math.tan(alpha) / ds))
+    alpha_eff = math.atan((height * n_s) / (k * length))
+    return n_s, k, alpha_eff
+
+
+def _stack_tracks_open(
+    chain: Chain,
+    polar: int,
+    alpha_eff: float,
+    n_s: int,
+    n_z: int,
+    length: float,
+    zmin: float,
+    zmax: float,
+    next_uid: int,
+) -> tuple[list[Track3D], Stack3D]:
+    height = zmax - zmin
+    ds = length / n_s
+    dz = height / n_z
+    theta_eff = math.pi / 2.0 - alpha_eff
+    z_spacing = ds * math.sin(alpha_eff)
+    cot = 1.0 / math.tan(alpha_eff)
+    stack = Stack3D(chain.index, polar, theta_eff, z_spacing, closed=False)
+    tracks: list[Track3D] = []
+
+    def clip_up(s_start: float, z_start: float) -> tuple[float, float]:
+        """End point of an up-going track from (s_start, z_start)."""
+        dz_to_right = (length - s_start) / cot  # climb needed to reach s = L
+        dz_to_top = zmax - z_start
+        climb = min(dz_to_right, dz_to_top)
+        return s_start + climb * cot, z_start + climb
+
+    starts: list[tuple[float, float]] = []
+    for i in range(n_s):
+        starts.append(((i + 0.5) * ds, zmin))
+    for j in range(n_z):
+        starts.append((0.0, zmin + (j + 0.5) * dz))
+    for (s0, z0) in starts:
+        s1, z1 = clip_up(s0, z0)
+        up = Track3D(
+            uid=next_uid + len(tracks), chain=chain.index, polar=polar,
+            s0=s0, z0=z0, s1=s1, z1=z1, theta=theta_eff, z_spacing=z_spacing,
+        )
+        tracks.append(up)
+        # Mirror through the axial mid-plane for the down family.
+        down = Track3D(
+            uid=next_uid + len(tracks), chain=chain.index, polar=polar,
+            s0=s0, z0=zmin + zmax - z0, s1=s1, z1=zmin + zmax - z1,
+            theta=math.pi - theta_eff, z_spacing=z_spacing,
+        )
+        tracks.append(down)
+    stack.track_uids = [t.uid for t in tracks]
+    return tracks, stack
+
+
+def _stack_tracks_closed(
+    chain: Chain,
+    polar: int,
+    alpha_eff: float,
+    n_s: int,
+    k: int,
+    length: float,
+    zmin: float,
+    zmax: float,
+    next_uid: int,
+) -> tuple[list[Track3D], Stack3D]:
+    ds = length / n_s
+    theta_eff = math.pi / 2.0 - alpha_eff
+    z_spacing = ds * math.sin(alpha_eff)
+    advance = k * ds
+    stack = Stack3D(chain.index, polar, theta_eff, z_spacing, closed=True)
+    tracks: list[Track3D] = []
+    for i in range(n_s):
+        s0 = (i + 0.5) * ds
+        up = Track3D(
+            uid=next_uid + len(tracks), chain=chain.index, polar=polar,
+            s0=s0, z0=zmin, s1=s0 + advance, z1=zmax,
+            theta=theta_eff, z_spacing=z_spacing,
+        )
+        tracks.append(up)
+        down = Track3D(
+            uid=next_uid + len(tracks), chain=chain.index, polar=polar,
+            s0=s0, z0=zmax, s1=s0 + advance, z1=zmin,
+            theta=math.pi - theta_eff, z_spacing=z_spacing,
+        )
+        tracks.append(down)
+    stack.track_uids = [t.uid for t in tracks]
+    return tracks, stack
+
+
+def _link_stack(
+    tracks: list[Track3D],
+    stack: Stack3D,
+    chain: Chain,
+    length: float,
+    zmin: float,
+    zmax: float,
+    bc_zmin: BoundaryCondition,
+    bc_zmax: BoundaryCondition,
+) -> None:
+    """Link 3D track ends inside one stack (z reflections, chain ends).
+
+    Directions in ``(s, z)`` space are characterised by the pair of signs
+    ``(ds_sign, dz_sign)``; reflection at a z-plane flips ``dz_sign`` only.
+    """
+    by_uid = {uid: tracks[uid] for uid in stack.track_uids}
+    quantum = max(length, zmax - zmin) * 1e-9
+    z_tol = (zmax - zmin) * 1e-9
+
+    def key(s: float, z: float, ds_sign: int, dz_sign: int) -> tuple[int, int, int, int]:
+        s_red = s % length if stack.closed else s
+        if stack.closed and abs(s_red - length) < quantum:
+            s_red = 0.0
+        return (round(s_red / quantum), round(z / quantum), ds_sign, dz_sign)
+
+    entries: dict[tuple[int, int, int, int], TrackLink] = {}
+    for uid in stack.track_uids:
+        t = by_uid[uid]
+        dz_sign = 1 if t.going_up else -1
+        entries[key(t.s0, t.z0, 1, dz_sign)] = TrackLink(uid, True)
+        entries[key(t.s1, t.z1, -1, -dz_sign)] = TrackLink(uid, False)
+
+    def find(s: float, z: float, ds_sign: int, dz_sign: int) -> TrackLink | None:
+        k0, k1, k2, k3 = key(s, z, ds_sign, dz_sign)
+        for a in (k0 - 1, k0, k0 + 1):
+            for b in (k1 - 1, k1, k1 + 1):
+                link = entries.get((a, b, k2, k3))
+                if link is not None:
+                    return link
+        return None
+
+    def resolve(
+        uid: int, s: float, z: float, ds_sign: int, dz_sign: int
+    ) -> tuple[TrackLink | None, bool, bool]:
+        """(link, vacuum, interface) for flux exiting at (s, z)."""
+        on_zmax = abs(z - zmax) < z_tol
+        on_zmin = abs(z - zmin) < z_tol
+        if on_zmax and dz_sign > 0:
+            bc = bc_zmax
+        elif on_zmin and dz_sign < 0:
+            bc = bc_zmin
+        else:
+            # Radial chain end (s = 0 or s = L on an open chain).
+            at_end = s > length / 2.0
+            interface = chain.ends_at_interface if at_end else chain.starts_at_interface
+            return None, not interface, interface
+        if bc is BoundaryCondition.VACUUM:
+            return None, True, False
+        if bc is BoundaryCondition.INTERFACE:
+            return None, False, True
+        if bc is BoundaryCondition.REFLECTIVE:
+            link = find(s, z, ds_sign, -dz_sign)
+            if link is None:
+                raise TrackingError(
+                    f"3D track {uid}: no reflective partner at "
+                    f"(s={s:.8g}, z={z:.8g}) direction ({ds_sign}, {-dz_sign})"
+                )
+            return link, False, False
+        raise TrackingError(f"unsupported axial boundary condition {bc}")
+
+    for uid in stack.track_uids:
+        t = by_uid[uid]
+        dz_sign = 1 if t.going_up else -1
+        t.link_fwd, t.vacuum_end, t.interface_end = resolve(uid, t.s1, t.z1, 1, dz_sign)
+        t.link_bwd, t.vacuum_start, t.interface_start = resolve(uid, t.s0, t.z0, -1, -dz_sign)
+
+
+def generate_3d_stacks(
+    chains: list[Chain],
+    polar_quadrature: PolarQuadrature,
+    polar_spacing: float,
+    zmin: float,
+    zmax: float,
+    bc_zmin: BoundaryCondition = BoundaryCondition.REFLECTIVE,
+    bc_zmax: BoundaryCondition = BoundaryCondition.VACUUM,
+) -> tuple[list[Track3D], list[Stack3D]]:
+    """Generate and link all 3D tracks for every (chain, polar) pair.
+
+    Polar angles are corrected per chain (chains have different lengths),
+    mirroring how ANT-MOC's axial laydown ties the effective polar angle
+    to the track-chain geometry. The quadrature *weights* stay global.
+    """
+    if polar_spacing <= 0.0:
+        raise TrackingError(f"polar spacing must be positive (got {polar_spacing})")
+    if zmax <= zmin:
+        raise TrackingError(f"invalid axial extent [{zmin}, {zmax}]")
+    height = zmax - zmin
+    all_tracks: list[Track3D] = []
+    stacks: list[Stack3D] = []
+    for chain in chains:
+        for p in range(polar_quadrature.num_polar_half):
+            theta = float(math.asin(polar_quadrature.sin_theta[p]))
+            alpha = math.pi / 2.0 - theta
+            if chain.closed:
+                n_s, k, alpha_eff = _correct_closed(chain.length, height, alpha, polar_spacing)
+                tracks, stack = _stack_tracks_closed(
+                    chain, p, alpha_eff, n_s, k, chain.length, zmin, zmax, len(all_tracks)
+                )
+            else:
+                n_s, n_z, alpha_eff = _correct_open(chain.length, height, alpha, polar_spacing)
+                tracks, stack = _stack_tracks_open(
+                    chain, p, alpha_eff, n_s, n_z, chain.length, zmin, zmax, len(all_tracks)
+                )
+            all_tracks.extend(tracks)
+            _link_stack(all_tracks, stack, chain, chain.length, zmin, zmax, bc_zmin, bc_zmax)
+            stacks.append(stack)
+    return all_tracks, stacks

@@ -1,0 +1,71 @@
+"""Tests for the OpenMOC-style baselines."""
+
+import pytest
+
+from repro.baselines import CpuSolverModel, openmoc_partition
+from repro.baselines.openmoc_like import gpu_vs_cpu_speedup
+from repro.errors import HardwareModelError
+from repro.hardware import MI60
+from repro.perfmodel import ComputationModel
+
+
+class TestBlockPartition:
+    def test_contiguous(self):
+        parts = openmoc_partition(10, 3)
+        assert parts == [[0, 1, 2], [3, 4, 5], [6, 7, 8, 9]]
+
+    def test_covers_all(self):
+        parts = openmoc_partition(17, 5)
+        flat = [i for p in parts for i in p]
+        assert flat == list(range(17))
+
+    def test_invalid(self):
+        with pytest.raises(HardwareModelError):
+            openmoc_partition(2, 3)
+
+
+class TestCpuModel:
+    def test_solve_time_scales(self):
+        cpu = CpuSolverModel()
+        comp = ComputationModel()
+        assert cpu.solve_time(comp, 2000, 10) == pytest.approx(
+            2 * cpu.solve_time(comp, 1000, 10)
+        )
+
+    def test_more_cores_faster(self):
+        comp = ComputationModel()
+        slow = CpuSolverModel(num_cores=1)
+        fast = CpuSolverModel(num_cores=8)
+        assert fast.solve_time(comp, 10**6, 1) < slow.solve_time(comp, 10**6, 1)
+
+    def test_validation(self):
+        with pytest.raises(HardwareModelError):
+            CpuSolverModel(num_cores=0)
+        with pytest.raises(HardwareModelError):
+            CpuSolverModel(parallel_efficiency=1.5)
+
+
+class TestSpeedup:
+    def test_speedup_in_paper_band(self):
+        """Sec. 5.1: ANT-MOC (1 GPU) vs OpenMOC-3D (8 cores) ~ 428x.
+
+        The default calibration places one MI60 a few hundred times above
+        8 CPU cores; the assertion brackets the paper's figure.
+        """
+        speedup = gpu_vs_cpu_speedup(ComputationModel(), num_segments=10**8, iterations=10)
+        assert 200 < speedup < 800
+
+    def test_speedup_independent_of_problem_size(self):
+        comp = ComputationModel()
+        s1 = gpu_vs_cpu_speedup(comp, 10**6, 5)
+        s2 = gpu_vs_cpu_speedup(comp, 10**8, 50)
+        assert s1 == pytest.approx(s2)
+
+    def test_gpu_spec_matters(self):
+        comp = ComputationModel()
+        from repro.hardware import GPUSpec
+
+        slow_gpu = GPUSpec("slow", 64, MI60.memory_bytes, MI60.work_units_per_second / 10)
+        s_fast = gpu_vs_cpu_speedup(comp, 10**6, 1, gpu=MI60)
+        s_slow = gpu_vs_cpu_speedup(comp, 10**6, 1, gpu=slow_gpu)
+        assert s_fast == pytest.approx(10 * s_slow)

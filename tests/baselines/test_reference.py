@@ -1,0 +1,87 @@
+"""Cross-validation: the vectorised solver vs the independent reference.
+
+The in-repo analogue of the paper's Sec. 5.1 OpenMOC comparison: two
+implementations of the same physics must agree on k-eff and on the
+pin-wise fission-rate distribution ("relative error ... all zero" in the
+paper; here to tight numerical tolerance, since the reference uses exact
+exponentials while the fast path interpolates).
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import ReferenceSolver
+from repro.materials import infinite_medium_keff
+from repro.solver import MOCSolver
+from repro.tracks import TrackGenerator
+
+
+class TestReferenceStandalone:
+    def test_reference_matches_analytic(self, reflective_box, two_group_fissile):
+        tg = TrackGenerator(
+            reflective_box, num_azim=4, azim_spacing=0.8, num_polar=2
+        ).generate()
+        ref = ReferenceSolver(tg)
+        keff, phi, converged = ref.solve(
+            max_iterations=1500, keff_tolerance=1e-8, source_tolerance=1e-7
+        )
+        assert converged
+        assert keff == pytest.approx(
+            infinite_medium_keff(two_group_fissile), rel=1e-5
+        )
+
+    def test_fission_rates_unit_mean(self, reflective_box):
+        tg = TrackGenerator(
+            reflective_box, num_azim=4, azim_spacing=0.8, num_polar=2
+        ).generate()
+        ref = ReferenceSolver(tg)
+        _, phi, _ = ref.solve(max_iterations=50)
+        rates = ref.fission_rates(phi)
+        assert rates[rates > 0].mean() == pytest.approx(1.0)
+
+
+class TestCrossValidation:
+    def test_keff_agreement_heterogeneous(self, uo2, moderator):
+        """ANT-MOC-style solver vs reference on a heterogeneous lattice."""
+        from repro.geometry import Geometry, Lattice
+        from repro.geometry.universe import make_homogeneous_universe
+
+        fuel = make_homogeneous_universe(uo2)
+        water = make_homogeneous_universe(moderator)
+        g = Geometry(Lattice([[fuel, water], [water, fuel]], 1.26, 1.26))
+
+        fast = MOCSolver.for_2d(
+            g, num_azim=4, azim_spacing=0.5, num_polar=2,
+            keff_tolerance=1e-7, source_tolerance=1e-6, max_iterations=1200,
+        )
+        result = fast.solve()
+
+        ref = ReferenceSolver(fast.trackgen)
+        ref_keff, ref_phi, _ = ref.solve(
+            max_iterations=1200, keff_tolerance=1e-7, source_tolerance=1e-6
+        )
+        assert result.keff == pytest.approx(ref_keff, abs=5e-6)
+
+    def test_fission_rate_distribution_agreement(self, uo2, moderator):
+        from repro.geometry import Geometry, Lattice
+        from repro.geometry.universe import make_homogeneous_universe
+
+        fuel = make_homogeneous_universe(uo2)
+        water = make_homogeneous_universe(moderator)
+        g = Geometry(Lattice([[fuel, water, fuel]], 1.0, 1.0))
+
+        fast = MOCSolver.for_2d(
+            g, num_azim=4, azim_spacing=0.4, num_polar=2,
+            keff_tolerance=1e-7, source_tolerance=1e-6, max_iterations=1200,
+        )
+        result = fast.solve()
+        rates_fast = fast.fission_rates(result)
+
+        ref = ReferenceSolver(fast.trackgen)
+        _, ref_phi, _ = ref.solve(
+            max_iterations=1200, keff_tolerance=1e-7, source_tolerance=1e-6
+        )
+        rates_ref = ref.fission_rates(ref_phi)
+        fissile = rates_ref > 0
+        rel_err = np.abs(rates_fast[fissile] - rates_ref[fissile]) / rates_ref[fissile]
+        assert rel_err.max() < 1e-4

@@ -1,0 +1,162 @@
+"""Tests for the C5G7 benchmark geometry builder."""
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry import BoundaryCondition, C5G7Spec, build_c5g7_3d, build_c5g7_geometry
+from repro.geometry.c5g7 import (
+    ASSEMBLY_WIDTH,
+    CORE_WIDTH,
+    FISSION_CHAMBER_POSITION,
+    FUEL_HEIGHT,
+    GUIDE_TUBE_POSITIONS,
+    PIN_PITCH,
+    build_assembly_universe,
+    _mox_zone,
+)
+
+
+class TestSpec:
+    def test_default_is_benchmark(self):
+        spec = C5G7Spec()
+        assert spec.pins_per_assembly == 17
+        assert spec.assembly_width == pytest.approx(21.42)
+        assert spec.core_width == pytest.approx(64.26)
+
+    def test_validation(self):
+        with pytest.raises(GeometryError):
+            C5G7Spec(pins_per_assembly=0).validate()
+        with pytest.raises(GeometryError):
+            C5G7Spec(reflector_refinement=0).validate()
+        with pytest.raises(GeometryError):
+            C5G7Spec(fuel_layers=0).validate()
+
+
+class TestGuideTubeLayout:
+    def test_benchmark_counts(self):
+        assert len(GUIDE_TUBE_POSITIONS) == 24
+        assert FISSION_CHAMBER_POSITION == (8, 8)
+
+    def test_layout_symmetry(self):
+        """The guide-tube pattern is 4-fold symmetric about the centre."""
+        for (i, j) in GUIDE_TUBE_POSITIONS:
+            assert (16 - i, j) in GUIDE_TUBE_POSITIONS
+            assert (i, 16 - j) in GUIDE_TUBE_POSITIONS
+            assert (j, i) in GUIDE_TUBE_POSITIONS
+
+
+class TestMoxZones:
+    def test_border_is_low_enrichment(self):
+        for i in range(17):
+            assert _mox_zone(i, 0, 17) == "MOX-4.3%"
+            assert _mox_zone(0, i, 17) == "MOX-4.3%"
+
+    def test_center_is_high_enrichment(self):
+        assert _mox_zone(8, 8, 17) == "MOX-8.7%"
+
+    def test_transition_ring(self):
+        assert _mox_zone(1, 8, 17) == "MOX-7.0%"
+        assert _mox_zone(2, 8, 17) == "MOX-7.0%"
+
+    def test_chamfered_corners(self):
+        """Inner-square corners stay at 7.0% (octagonal 8.7% zone)."""
+        assert _mox_zone(3, 3, 17) == "MOX-7.0%"
+
+    def test_symmetry(self):
+        for i in range(17):
+            for j in range(17):
+                zone = _mox_zone(i, j, 17)
+                assert zone == _mox_zone(16 - i, j, 17)
+                assert zone == _mox_zone(j, i, 17)
+
+
+class TestAssemblies:
+    def test_uo2_assembly_structure(self, library):
+        spec = C5G7Spec(pins_per_assembly=17)
+        asm = build_assembly_universe("UO2", library, spec)
+        assert asm.nx == asm.ny == 17
+        assert asm.bounds[0] == pytest.approx(-ASSEMBLY_WIDTH / 2)
+
+    def test_reflector_refinement(self, library):
+        spec = C5G7Spec(reflector_refinement=4)
+        refl = build_assembly_universe("REFL", library, spec)
+        assert refl.nx == refl.ny == 4
+
+    def test_unknown_kind(self, library):
+        with pytest.raises(GeometryError):
+            build_assembly_universe("PWR", library)
+
+    def test_mini_assembly_has_central_chamber(self, library):
+        spec = C5G7Spec(pins_per_assembly=5)
+        asm = build_assembly_universe("UO2", library, spec)
+        # centre pin universe should be the fission chamber pin
+        centre = asm.universe_at(2, 2)
+        assert "Fission Chamber" in centre.name
+
+
+class TestCoreGeometry:
+    @pytest.fixture(scope="class")
+    def mini(self, library):
+        return build_c5g7_geometry(
+            library, C5G7Spec(pins_per_assembly=3, reflector_refinement=2)
+        )
+
+    def test_bounds(self, mini):
+        assert mini.width == pytest.approx(3 * 3 * PIN_PITCH)
+
+    def test_boundary_conditions_quarter_core(self, mini):
+        assert mini.boundary["xmin"] is BoundaryCondition.REFLECTIVE
+        assert mini.boundary["ymax"] is BoundaryCondition.REFLECTIVE
+        assert mini.boundary["xmax"] is BoundaryCondition.VACUUM
+        assert mini.boundary["ymin"] is BoundaryCondition.VACUUM
+
+    def test_assembly_placement(self, mini, library):
+        """Top-left = UO2, its right = MOX, right column/bottom = water."""
+        w = mini.width / 3
+        top = mini.height - w / 2
+        uo2_material = mini.fsr_material(mini.find_fsr(w / 2, top))
+        assert uo2_material.name in ("UO2", "Fission Chamber", "Guide Tube", "Moderator")
+        # reflector column is pure moderator
+        for y in (0.5, mini.height / 2, mini.height - 0.5):
+            assert mini.fsr_material(mini.find_fsr(mini.width - 0.5, y)).name == "Moderator"
+        # bottom row is pure moderator
+        assert mini.fsr_material(mini.find_fsr(0.5, 0.5)).name == "Moderator"
+
+    def test_uo2_pin_present_in_top_left(self, mini):
+        w = mini.width / 3
+        # centre of the top-left assembly's corner pin region
+        found = set()
+        for dx in (0.2, 0.6, 1.0, 1.4, 1.8):
+            for dy in (0.2, 0.6, 1.0, 1.4, 1.8):
+                found.add(mini.fsr_material(mini.find_fsr(dx, mini.height - dy)).name)
+        assert "UO2" in found
+
+    def test_full_benchmark_fsr_count(self, library):
+        g = build_c5g7_geometry(library, C5G7Spec())
+        # 4 fuel assemblies x 289 pins x 2 cells + 5 reflector cells
+        assert g.num_fsrs == 4 * 289 * 2 + 5
+
+
+class Test3DExtension:
+    def test_heights(self, library):
+        g3 = build_c5g7_3d(library, C5G7Spec(pins_per_assembly=3))
+        scale = g3.radial.width / CORE_WIDTH
+        assert g3.height == pytest.approx(g3.radial.width)
+        assert g3.axial_mesh.zmax == pytest.approx((FUEL_HEIGHT + ASSEMBLY_WIDTH) * scale)
+
+    def test_axial_reflector_is_moderator(self, library):
+        spec = C5G7Spec(pins_per_assembly=3, fuel_layers=2, reflector_layers=1)
+        g3 = build_c5g7_3d(library, spec)
+        zmax = g3.axial_mesh.zmax
+        # any radial point in the top layer is moderator
+        assert g3.fsr_material(g3.find_fsr(0.63, g3.radial.height - 0.63, zmax - 0.01)).name == "Moderator"
+
+    def test_axial_boundaries(self, library):
+        g3 = build_c5g7_3d(library, C5G7Spec(pins_per_assembly=3))
+        assert g3.boundary_zmin is BoundaryCondition.REFLECTIVE
+        assert g3.boundary_zmax is BoundaryCondition.VACUUM
+
+    def test_layer_counts(self, library):
+        spec = C5G7Spec(pins_per_assembly=3, fuel_layers=4, reflector_layers=2)
+        g3 = build_c5g7_3d(library, spec)
+        assert g3.num_layers == 6

@@ -1,0 +1,113 @@
+"""Tests for cuboid decomposition and lattice-aligned sub-geometries."""
+
+import pytest
+
+from repro.errors import DecompositionError
+from repro.geometry import BoundaryCondition, Geometry, Lattice
+from repro.geometry.decomposition import (
+    CuboidDecomposition,
+    decompose_lattice_geometry,
+)
+from repro.geometry.universe import make_homogeneous_universe
+
+
+class TestCuboidDecomposition:
+    @pytest.fixture()
+    def dec(self):
+        return CuboidDecomposition((0, 0, 0, 4, 6, 2), 2, 3, 1)
+
+    def test_count_and_linear_ids(self, dec):
+        assert dec.num_domains == 6
+        assert [s.linear_id for s in dec] == list(range(6))
+
+    def test_linear_id_x_fastest(self, dec):
+        assert dec.linear_id(1, 0, 0) == 1
+        assert dec.linear_id(0, 1, 0) == 2
+
+    def test_bounds_partition_volume(self, dec):
+        total = sum(s.volume for s in dec)
+        assert total == pytest.approx(4 * 6 * 2)
+        assert all(s.volume == pytest.approx(8.0) for s in dec)
+
+    def test_neighbors(self, dec):
+        corner = dec[0]
+        assert corner.neighbors["xmin"] is None
+        assert corner.neighbors["xmax"] == 1
+        assert corner.neighbors["ymax"] == 2
+        assert corner.neighbors["zmax"] is None
+        middle = dec[dec.linear_id(0, 1, 0)]
+        assert middle.neighbors["ymin"] == 0
+        assert middle.neighbors["ymax"] == 4
+
+    def test_neighbor_reciprocity(self, dec):
+        from repro.geometry.decomposition import OPPOSITE_FACE
+
+        for sub in dec:
+            for face, other in sub.neighbors.items():
+                if other is not None:
+                    assert dec[other].neighbors[OPPOSITE_FACE[face]] == sub.linear_id
+
+    def test_face_areas(self, dec):
+        sub = dec[0]  # 2 x 2 x 2 cuboid
+        assert sub.face_area("xmin") == pytest.approx(2 * 2)
+        assert sub.face_area("ymin") == pytest.approx(2 * 2)
+        assert sub.face_area("zmin") == pytest.approx(2 * 2)
+        with pytest.raises(DecompositionError):
+            sub.face_area("front")
+
+    def test_interface_pairs_counted_once(self, dec):
+        pairs = dec.interface_pairs()
+        # 2x3x1 grid: x-faces: 1*3 = 3, y-faces: 2*2 = 4, z-faces: 0
+        assert len(pairs) == 7
+        assert all(lo < hi for lo, hi, _ in pairs)
+
+    def test_invalid_grid(self):
+        with pytest.raises(DecompositionError):
+            CuboidDecomposition((0, 0, 0, 1, 1, 1), 0, 1, 1)
+        with pytest.raises(DecompositionError):
+            CuboidDecomposition((0, 0, 0, 0, 1, 1), 1, 1, 1)
+
+
+class TestLatticeDecomposition:
+    @pytest.fixture()
+    def geometry(self, uo2):
+        u = make_homogeneous_universe(uo2)
+        rows = [[u] * 4 for _ in range(2)]
+        boundary = {
+            "xmin": BoundaryCondition.REFLECTIVE,
+            "xmax": BoundaryCondition.VACUUM,
+            "ymin": BoundaryCondition.PERIODIC,
+            "ymax": BoundaryCondition.PERIODIC,
+        }
+        return Geometry(Lattice(rows, 1.0, 1.0), boundary=boundary)
+
+    def test_grid_must_divide(self, geometry):
+        with pytest.raises(DecompositionError, match="does not divide"):
+            decompose_lattice_geometry(geometry, 3, 1)
+
+    def test_sub_geometry_count_and_bounds(self, geometry):
+        subs = decompose_lattice_geometry(geometry, 2, 2)
+        assert len(subs) == 4
+        assert subs[0].bounds == (0.0, 0.0, 2.0, 1.0)
+        assert subs[3].bounds == (2.0, 1.0, 4.0, 2.0)
+
+    def test_boundary_inheritance_and_interfaces(self, geometry):
+        subs = decompose_lattice_geometry(geometry, 2, 2)
+        left_bottom = subs[0]
+        assert left_bottom.boundary["xmin"] is BoundaryCondition.REFLECTIVE
+        assert left_bottom.boundary["xmax"] is BoundaryCondition.INTERFACE
+        assert left_bottom.boundary["ymin"] is BoundaryCondition.PERIODIC
+        assert left_bottom.boundary["ymax"] is BoundaryCondition.INTERFACE
+        right_top = subs[3]
+        assert right_top.boundary["xmax"] is BoundaryCondition.VACUUM
+        assert right_top.boundary["xmin"] is BoundaryCondition.INTERFACE
+
+    def test_fsrs_partitioned(self, geometry):
+        subs = decompose_lattice_geometry(geometry, 2, 1)
+        assert sum(s.num_fsrs for s in subs) == geometry.num_fsrs
+
+    def test_universe_root_rejected(self, uo2):
+        u = make_homogeneous_universe(uo2)
+        g = Geometry(u, bounds=(0, 0, 1, 1))
+        with pytest.raises(DecompositionError, match="lattice-rooted"):
+            decompose_lattice_geometry(g, 1, 1)

@@ -1,0 +1,108 @@
+"""Tests for axial meshes and extruded geometries."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry import BoundaryCondition, Geometry
+from repro.geometry.extruded import AxialMesh, ExtrudedGeometry, reflector_layer_map
+from repro.geometry.universe import make_homogeneous_universe
+
+
+class TestAxialMesh:
+    def test_uniform(self):
+        mesh = AxialMesh.uniform(0.0, 10.0, 5)
+        assert mesh.num_layers == 5
+        np.testing.assert_allclose(mesh.heights, 2.0)
+        assert mesh.zmin == 0.0 and mesh.zmax == 10.0
+
+    def test_nonuniform(self):
+        mesh = AxialMesh([0.0, 1.0, 4.0, 5.0])
+        np.testing.assert_allclose(mesh.heights, [1.0, 3.0, 1.0])
+
+    def test_monotone_required(self):
+        with pytest.raises(GeometryError, match="strictly increasing"):
+            AxialMesh([0.0, 2.0, 1.0])
+
+    def test_too_few_planes(self):
+        with pytest.raises(GeometryError):
+            AxialMesh([0.0])
+
+    def test_layer_of(self):
+        mesh = AxialMesh([0.0, 1.0, 3.0])
+        assert mesh.layer_of(0.5) == 0
+        assert mesh.layer_of(2.0) == 1
+        assert mesh.layer_of(0.0) == 0
+        assert mesh.layer_of(3.0) == 1  # clamps at the top
+
+    def test_layer_of_outside(self):
+        mesh = AxialMesh([0.0, 1.0])
+        with pytest.raises(GeometryError):
+            mesh.layer_of(-0.5)
+        with pytest.raises(GeometryError):
+            mesh.layer_of(1.5)
+
+    def test_edges_readonly(self):
+        mesh = AxialMesh.uniform(0, 1, 2)
+        with pytest.raises(ValueError):
+            mesh.z_edges[0] = -1.0
+
+
+@pytest.fixture()
+def extruded(uo2, moderator):
+    u = make_homogeneous_universe(uo2)
+    radial = Geometry(u, bounds=(0, 0, 2, 2))
+    mesh = AxialMesh.uniform(0.0, 3.0, 3)
+    layer_map = reflector_layer_map(moderator, {2})
+    return ExtrudedGeometry(radial, mesh, layer_material=layer_map)
+
+
+class TestExtrudedGeometry:
+    def test_fsr_count(self, extruded):
+        assert extruded.num_fsrs == 1 * 3
+        assert extruded.num_layers == 3
+
+    def test_fsr3d_roundtrip(self, extruded):
+        for radial in range(extruded.radial.num_fsrs):
+            for layer in range(extruded.num_layers):
+                fid = extruded.fsr3d(radial, layer)
+                assert extruded.split_fsr3d(fid) == (radial, layer)
+
+    def test_fsr3d_range_checks(self, extruded):
+        with pytest.raises(GeometryError):
+            extruded.fsr3d(0, 5)
+        with pytest.raises(GeometryError):
+            extruded.fsr3d(9, 0)
+
+    def test_radial_major_layout(self, extruded):
+        """Layers of one radial FSR are contiguous in 3D FSR id."""
+        ids = [extruded.fsr3d(0, k) for k in range(3)]
+        assert ids == [0, 1, 2]
+
+    def test_layer_materials(self, extruded, uo2, moderator):
+        assert extruded.fsr_material(extruded.fsr3d(0, 0)) is uo2
+        assert extruded.fsr_material(extruded.fsr3d(0, 1)) is uo2
+        assert extruded.fsr_material(extruded.fsr3d(0, 2)) is moderator
+
+    def test_find_fsr(self, extruded, moderator):
+        fid = extruded.find_fsr(1.0, 1.0, 2.5)
+        assert extruded.fsr_material(fid) is moderator
+
+    def test_default_boundaries(self, uo2):
+        u = make_homogeneous_universe(uo2)
+        radial = Geometry(u, bounds=(0, 0, 1, 1))
+        g3 = ExtrudedGeometry(radial, AxialMesh.uniform(0, 1, 1))
+        assert g3.boundary_zmin is BoundaryCondition.REFLECTIVE
+        assert g3.boundary_zmax is BoundaryCondition.VACUUM
+
+    def test_height(self, extruded):
+        assert extruded.height == 3.0
+
+
+class TestReflectorLayerMap:
+    def test_only_listed_layers_replaced(self, uo2, moderator):
+        layer_map = reflector_layer_map(moderator, [1, 3])
+        assert layer_map(uo2, 0) is uo2
+        assert layer_map(uo2, 1) is moderator
+        assert layer_map(uo2, 2) is uo2
+        assert layer_map(uo2, 3) is moderator

@@ -1,0 +1,59 @@
+"""Tests for fusion geometries (Sec. 3.2 geometry fusion)."""
+
+import pytest
+
+from repro.errors import DecompositionError
+from repro.geometry.decomposition import CuboidDecomposition
+from repro.geometry.fusion import FusionGeometry
+
+
+@pytest.fixture()
+def dec():
+    d = CuboidDecomposition((0, 0, 0, 4, 4, 4), 2, 2, 2)
+    for sub in d:
+        sub.weight = float(sub.linear_id + 1)
+    return d
+
+
+class TestFusionGeometry:
+    def test_total_weight(self, dec):
+        fusion = FusionGeometry([dec[0], dec[1]])
+        assert fusion.total_weight == pytest.approx(1.0 + 2.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(DecompositionError):
+            FusionGeometry([])
+
+    def test_duplicates_rejected(self, dec):
+        with pytest.raises(DecompositionError, match="duplicate"):
+            FusionGeometry([dec[0], dec[0]])
+
+    def test_internal_faces(self, dec):
+        # 0 and 1 are x-neighbours.
+        fusion = FusionGeometry([dec[0], dec[1]])
+        internal = fusion.internal_faces()
+        assert (0, 1, "xmax") in internal
+        assert len(internal) == 1
+
+    def test_external_faces(self, dec):
+        fusion = FusionGeometry([dec[0], dec[1]])
+        external = fusion.external_faces()
+        # each member has y and z neighbours outside the fusion
+        outside = {other for _, other, _ in external}
+        assert outside == {2, 3, 4, 5}
+
+    def test_disjoint_pair_has_no_internal_faces(self, dec):
+        # 0 = (0,0,0) and 7 = (1,1,1) share no face.
+        fusion = FusionGeometry([dec[0], dec[7]])
+        assert fusion.internal_faces() == []
+
+    def test_whole_decomposition_has_no_external_faces(self, dec):
+        fusion = FusionGeometry(list(dec))
+        assert fusion.external_faces() == []
+        # 2x2x2 grid: 12 internal faces.
+        assert len(fusion.internal_faces()) == 12
+
+    def test_subdomain_ids_ordered(self, dec):
+        fusion = FusionGeometry([dec[3], dec[1]])
+        assert fusion.subdomain_ids == (3, 1)
+        assert fusion.num_subdomains == 2

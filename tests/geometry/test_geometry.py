@@ -1,0 +1,134 @@
+"""Tests for the root Geometry: FSR enumeration and ray queries."""
+
+import math
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry import BoundaryCondition, Geometry, Lattice
+from repro.geometry.universe import make_homogeneous_universe, make_pin_cell_universe
+
+
+@pytest.fixture()
+def pin_lattice_geometry(uo2, moderator):
+    pin = make_pin_cell_universe(0.54, uo2, moderator, num_rings=1, num_sectors=1)
+    water = make_homogeneous_universe(moderator)
+    rows = [[pin, water], [water, pin]]
+    lattice = Lattice(rows, 1.26, 1.26)
+    return Geometry(lattice, name="checkerboard")
+
+
+class TestConstruction:
+    def test_lattice_root_bounds(self, pin_lattice_geometry):
+        g = pin_lattice_geometry
+        assert g.bounds == (0.0, 0.0, 2.52, 2.52)
+        assert g.width == g.height == 2.52
+
+    def test_universe_root_needs_bounds(self, moderator):
+        u = make_homogeneous_universe(moderator)
+        with pytest.raises(GeometryError, match="explicit bounds"):
+            Geometry(u)
+        g = Geometry(u, bounds=(0, 0, 1, 1))
+        assert g.num_fsrs == 1
+
+    def test_default_boundary_reflective(self, pin_lattice_geometry):
+        for side in ("xmin", "xmax", "ymin", "ymax"):
+            assert pin_lattice_geometry.boundary[side] is BoundaryCondition.REFLECTIVE
+
+    def test_unknown_boundary_side(self, moderator):
+        u = make_homogeneous_universe(moderator)
+        with pytest.raises(GeometryError, match="unknown boundary"):
+            Geometry(u, bounds=(0, 0, 1, 1), boundary={"top": BoundaryCondition.VACUUM})
+
+    def test_degenerate_bounds(self, moderator):
+        u = make_homogeneous_universe(moderator)
+        with pytest.raises(GeometryError):
+            Geometry(u, bounds=(0, 0, 0, 1))
+
+
+class TestFSREnumeration:
+    def test_count_checkerboard(self, pin_lattice_geometry):
+        # 2 pins x 2 cells (fuel + moderator) + 2 water cells = 6 FSRs
+        assert pin_lattice_geometry.num_fsrs == 6
+
+    def test_each_position_distinct_fsr(self, uo2, moderator):
+        """The same universe at two lattice positions gives two FSRs."""
+        u = make_homogeneous_universe(uo2)
+        g = Geometry(Lattice([[u, u]], 1.0, 1.0))
+        assert g.num_fsrs == 2
+        assert g.find_fsr(0.5, 0.5) != g.find_fsr(1.5, 0.5)
+
+    def test_materials_indexed_by_fsr(self, pin_lattice_geometry, uo2, moderator):
+        g = pin_lattice_geometry
+        fuel_fsr = g.find_fsr(0.63, 0.63)
+        assert g.fsr_material(fuel_fsr) is uo2
+        water_fsr = g.find_fsr(1.89, 0.63)
+        assert g.fsr_material(water_fsr) is moderator
+
+    def test_fsr_names_unique(self, pin_lattice_geometry):
+        g = pin_lattice_geometry
+        names = [g.fsr_name(i) for i in range(g.num_fsrs)]
+        assert len(set(names)) == g.num_fsrs
+
+
+class TestPointQueries:
+    def test_outside_raises(self, pin_lattice_geometry):
+        with pytest.raises(GeometryError, match="outside"):
+            pin_lattice_geometry.find_fsr(-1.0, 0.5)
+
+    def test_nested_lattice(self, uo2, moderator):
+        """A lattice inside a lattice resolves through both levels."""
+        pin = make_pin_cell_universe(0.4, uo2, moderator)
+        inner = Lattice([[pin, pin]], 1.0, 1.0, x0=-1.0, y0=-0.5, name="inner")
+        outer = Lattice([[inner]], 2.0, 1.0)
+        g = Geometry(outer)
+        assert g.num_fsrs == 4  # 2 pins x (fuel + moderator)
+        assert g.fsr_material(g.find_fsr(0.5, 0.5)) is uo2
+        assert g.fsr_material(g.find_fsr(0.9, 0.9)) is moderator
+
+
+class TestDistanceToBoundary:
+    def test_homogeneous_box_distance(self, moderator):
+        u = make_homogeneous_universe(moderator)
+        g = Geometry(u, bounds=(0, 0, 4, 3))
+        assert g.distance_to_boundary(1.0, 1.0, 1.0, 0.0) == pytest.approx(3.0)
+        assert g.distance_to_boundary(1.0, 1.0, 0.0, -1.0) == pytest.approx(1.0)
+
+    def test_diagonal(self, moderator):
+        u = make_homogeneous_universe(moderator)
+        g = Geometry(u, bounds=(0, 0, 2, 2))
+        s = math.sqrt(0.5)
+        assert g.distance_to_boundary(1.0, 1.0, s, s) == pytest.approx(math.sqrt(2.0))
+
+    def test_stops_at_cylinder(self, pin_lattice_geometry):
+        g = pin_lattice_geometry
+        # From the pin centre heading +x, first crossing is the pin surface.
+        d = g.distance_to_boundary(0.63, 0.63, 1.0, 0.0)
+        assert d == pytest.approx(0.54)
+
+    def test_stops_at_lattice_wall(self, pin_lattice_geometry):
+        g = pin_lattice_geometry
+        # From the moderator corner of cell (0,0) heading +x toward the wall.
+        d = g.distance_to_boundary(1.2, 0.05, 1.0, 0.0)
+        assert d == pytest.approx(1.26 - 1.2)
+
+    def test_on_wall_moving_away(self, pin_lattice_geometry):
+        """A point exactly on a lattice wall traced away from it."""
+        g = pin_lattice_geometry
+        d = g.distance_to_boundary(1.26, 0.05, -1.0, 0.0)
+        assert 0 < d <= 1.26 + 1e-9
+
+    def test_positive_for_boundary_start(self, pin_lattice_geometry):
+        g = pin_lattice_geometry
+        d = g.distance_to_boundary(0.0, 1.0, 1.0, 0.0)
+        assert d > 0.0
+
+
+class TestBoundarySide:
+    def test_sides(self, pin_lattice_geometry):
+        g = pin_lattice_geometry
+        assert g.boundary_side(0.0, 1.0) == "xmin"
+        assert g.boundary_side(2.52, 1.0) == "xmax"
+        assert g.boundary_side(1.0, 0.0) == "ymin"
+        assert g.boundary_side(1.0, 2.52) == "ymax"
+        assert g.boundary_side(1.0, 1.0) is None

@@ -1,0 +1,92 @@
+"""Tests for rectangular lattices."""
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry.lattice import Lattice
+from repro.geometry.universe import make_homogeneous_universe
+
+
+@pytest.fixture()
+def two_by_three(uo2, moderator):
+    fuel = make_homogeneous_universe(uo2)
+    water = make_homogeneous_universe(moderator)
+    # rows bottom-up: bottom row fuel, middle water, top fuel
+    rows = [[fuel, fuel], [water, water], [fuel, water]]
+    return Lattice(rows, 1.0, 2.0, x0=-1.0, y0=0.0), fuel, water
+
+
+class TestConstruction:
+    def test_dimensions(self, two_by_three):
+        lat, _, _ = two_by_three
+        assert (lat.nx, lat.ny) == (2, 3)
+        assert lat.width == 2.0
+        assert lat.height == 6.0
+        assert lat.bounds == (-1.0, 0.0, 1.0, 6.0)
+
+    def test_invalid_pitch(self, uo2):
+        u = make_homogeneous_universe(uo2)
+        with pytest.raises(GeometryError):
+            Lattice([[u]], 0.0, 1.0)
+
+    def test_ragged_rows_rejected(self, uo2):
+        u = make_homogeneous_universe(uo2)
+        with pytest.raises(GeometryError, match="ragged"):
+            Lattice([[u, u], [u]], 1.0, 1.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(GeometryError):
+            Lattice([], 1.0, 1.0)
+
+
+class TestIndexing:
+    def test_cell_index(self, two_by_three):
+        lat, _, _ = two_by_three
+        assert lat.cell_index(-0.5, 1.0) == (0, 0)
+        assert lat.cell_index(0.5, 5.0) == (1, 2)
+
+    def test_cell_index_clamps_boundary(self, two_by_three):
+        lat, _, _ = two_by_three
+        assert lat.cell_index(1.0, 6.0) == (1, 2)
+        assert lat.cell_index(-1.0, 0.0) == (0, 0)
+
+    def test_cell_center_and_bounds(self, two_by_three):
+        lat, _, _ = two_by_three
+        assert lat.cell_center(0, 0) == (-0.5, 1.0)
+        assert lat.cell_bounds(1, 2) == (0.0, 4.0, 1.0, 6.0)
+
+    def test_universe_at(self, two_by_three):
+        lat, fuel, water = two_by_three
+        assert lat.universe_at(0, 0) is fuel
+        assert lat.universe_at(0, 1) is water
+        with pytest.raises(GeometryError):
+            lat.universe_at(5, 0)
+
+    def test_local_coords(self, two_by_three):
+        lat, _, _ = two_by_three
+        lx, ly = lat.local_coords(-0.25, 1.5, 0, 0)
+        assert (lx, ly) == (0.25, 0.5)
+
+
+class TestSubLattice:
+    def test_sub_lattice_keeps_position(self, two_by_three):
+        lat, fuel, water = two_by_three
+        sub = lat.sub_lattice(1, 2, 0, 2)
+        assert sub.bounds == (0.0, 0.0, 1.0, 4.0)
+        assert sub.universe_at(0, 0) is fuel
+        assert sub.universe_at(0, 1) is water
+
+    def test_invalid_range(self, two_by_three):
+        lat, _, _ = two_by_three
+        with pytest.raises(GeometryError):
+            lat.sub_lattice(0, 3, 0, 1)
+        with pytest.raises(GeometryError):
+            lat.sub_lattice(1, 1, 0, 1)
+
+    def test_full_range_equals_original_layout(self, two_by_three):
+        lat, _, _ = two_by_three
+        sub = lat.sub_lattice(0, 2, 0, 3)
+        assert sub.bounds == lat.bounds
+        for j in range(3):
+            for i in range(2):
+                assert sub.universe_at(i, j) is lat.universe_at(i, j)

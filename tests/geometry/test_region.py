@@ -1,0 +1,87 @@
+"""Tests for boolean CSG regions."""
+
+import pytest
+
+from repro.geometry.region import Complement, Halfspace, Intersection, Union
+from repro.geometry.surfaces import XPlane, YPlane, ZCylinder
+
+
+@pytest.fixture()
+def unit_disk():
+    return Halfspace(ZCylinder(0.0, 0.0, 1.0), -1)
+
+
+@pytest.fixture()
+def right_half():
+    return Halfspace(XPlane(0.0), +1)
+
+
+class TestHalfspace:
+    def test_negative_side(self, unit_disk):
+        assert unit_disk.contains(0.0, 0.0)
+        assert not unit_disk.contains(2.0, 0.0)
+
+    def test_positive_side(self, right_half):
+        assert right_half.contains(1.0, 5.0)
+        assert not right_half.contains(-1.0, 0.0)
+
+    def test_boundary_counts_as_inside_both(self):
+        plane = XPlane(0.0)
+        assert Halfspace(plane, -1).contains(0.0, 0.0)
+        assert Halfspace(plane, +1).contains(0.0, 0.0)
+
+    def test_invalid_side(self):
+        with pytest.raises(ValueError):
+            Halfspace(XPlane(0.0), 0)
+
+    def test_surfaces_yielded(self, unit_disk):
+        assert len(list(unit_disk.surfaces())) == 1
+
+
+class TestBooleans:
+    def test_intersection(self, unit_disk, right_half):
+        half_disk = Intersection([unit_disk, right_half])
+        assert half_disk.contains(0.5, 0.0)
+        assert not half_disk.contains(-0.5, 0.0)
+        assert not half_disk.contains(2.0, 0.0)
+
+    def test_union(self, unit_disk, right_half):
+        region = Union([unit_disk, right_half])
+        assert region.contains(-0.5, 0.0)  # in disk only
+        assert region.contains(5.0, 0.0)  # in halfplane only
+        assert not region.contains(-5.0, 0.0)
+
+    def test_complement(self, unit_disk):
+        outside = Complement(unit_disk)
+        assert outside.contains(2.0, 0.0)
+        assert not outside.contains(0.0, 0.0)
+
+    def test_empty_children_rejected(self):
+        with pytest.raises(ValueError):
+            Intersection([])
+        with pytest.raises(ValueError):
+            Union([])
+
+    def test_de_morgan(self, unit_disk, right_half):
+        """~(A & B) == ~A | ~B pointwise."""
+        left = Complement(Intersection([unit_disk, right_half]))
+        right = Union([Complement(unit_disk), Complement(right_half)])
+        for point in [(0.5, 0.0), (-0.5, 0.0), (2.0, 2.0), (0.0, 0.9)]:
+            assert left.contains(*point) == right.contains(*point)
+
+    def test_operator_sugar(self, unit_disk, right_half):
+        assert isinstance(unit_disk & right_half, Intersection)
+        assert isinstance(unit_disk | right_half, Union)
+        assert isinstance(~unit_disk, Complement)
+
+    def test_surfaces_collected_recursively(self, unit_disk, right_half):
+        region = (unit_disk & right_half) | Halfspace(YPlane(1.0), -1)
+        assert len(list(region.surfaces())) == 3
+
+    def test_annulus(self):
+        inner = ZCylinder(0.0, 0.0, 0.5)
+        outer = ZCylinder(0.0, 0.0, 1.0)
+        ring = Halfspace(inner, +1) & Halfspace(outer, -1)
+        assert ring.contains(0.75, 0.0)
+        assert not ring.contains(0.0, 0.0)
+        assert not ring.contains(1.5, 0.0)

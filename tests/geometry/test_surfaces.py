@@ -1,0 +1,109 @@
+"""Tests for 2D CSG surfaces."""
+
+import math
+
+import pytest
+
+from repro.geometry.surfaces import NO_HIT, Plane2D, XPlane, YPlane, ZCylinder
+
+
+class TestPlane2D:
+    def test_evaluate_is_signed_distance(self):
+        plane = Plane2D(2.0, 0.0, 4.0)  # normalises to x = 2
+        assert plane.evaluate(1.0, 0.0) == pytest.approx(-1.0)
+        assert plane.evaluate(3.0, 5.0) == pytest.approx(1.0)
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(ValueError):
+            Plane2D(0.0, 0.0, 1.0)
+
+    def test_distance_head_on(self):
+        plane = Plane2D(1.0, 0.0, 2.0)
+        assert plane.distance(0.0, 0.0, 1.0, 0.0) == pytest.approx(2.0)
+
+    def test_distance_oblique(self):
+        plane = Plane2D(1.0, 0.0, 1.0)
+        d = plane.distance(0.0, 0.0, math.cos(math.pi / 4), math.sin(math.pi / 4))
+        assert d == pytest.approx(math.sqrt(2.0))
+
+    def test_distance_parallel_is_no_hit(self):
+        plane = Plane2D(1.0, 0.0, 1.0)
+        assert plane.distance(0.0, 0.0, 0.0, 1.0) == NO_HIT
+
+    def test_distance_behind_is_no_hit(self):
+        plane = Plane2D(1.0, 0.0, 1.0)
+        assert plane.distance(2.0, 0.0, 1.0, 0.0) == NO_HIT
+
+    def test_on_surface_not_rehit(self):
+        plane = Plane2D(1.0, 0.0, 1.0)
+        assert plane.distance(1.0, 0.0, 1.0, 0.0) == NO_HIT
+
+    def test_side(self):
+        plane = Plane2D(0.0, 1.0, 0.0)
+        assert plane.side(0.0, -1.0) == -1
+        assert plane.side(0.0, 1.0) == 1
+        assert plane.side(5.0, 0.0) == 0
+
+
+class TestAxisPlanes:
+    def test_xplane(self):
+        xp = XPlane(1.5)
+        assert xp.evaluate(1.0, 9.0) < 0
+        assert xp.evaluate(2.0, -9.0) > 0
+        assert xp.x0 == 1.5
+
+    def test_yplane(self):
+        yp = YPlane(-2.0)
+        assert yp.evaluate(0.0, -3.0) < 0
+        assert yp.evaluate(0.0, 0.0) > 0
+
+
+class TestZCylinder:
+    def test_inside_outside(self):
+        cyl = ZCylinder(0.0, 0.0, 1.0)
+        assert cyl.evaluate(0.5, 0.0) < 0
+        assert cyl.evaluate(2.0, 0.0) > 0
+
+    def test_invalid_radius(self):
+        with pytest.raises(ValueError):
+            ZCylinder(0.0, 0.0, 0.0)
+
+    def test_distance_from_outside_hits_near_side(self):
+        cyl = ZCylinder(0.0, 0.0, 1.0)
+        assert cyl.distance(-3.0, 0.0, 1.0, 0.0) == pytest.approx(2.0)
+
+    def test_distance_from_inside_hits_far_side(self):
+        cyl = ZCylinder(0.0, 0.0, 1.0)
+        assert cyl.distance(0.0, 0.0, 1.0, 0.0) == pytest.approx(1.0)
+        assert cyl.distance(0.5, 0.0, 1.0, 0.0) == pytest.approx(0.5)
+
+    def test_miss_is_no_hit(self):
+        cyl = ZCylinder(0.0, 0.0, 1.0)
+        assert cyl.distance(-3.0, 2.0, 1.0, 0.0) == NO_HIT
+
+    def test_behind_is_no_hit(self):
+        cyl = ZCylinder(0.0, 0.0, 1.0)
+        assert cyl.distance(3.0, 0.0, 1.0, 0.0) == NO_HIT
+
+    def test_tangent_handled(self):
+        cyl = ZCylinder(0.0, 0.0, 1.0)
+        d = cyl.distance(-2.0, 1.0, 1.0, 0.0)
+        # Tangent ray: either grazes at x=0 (distance 2) or misses; both
+        # are geometrically acceptable, but it must not return negatives.
+        assert d == NO_HIT or d > 0.0
+
+    def test_offset_center(self):
+        cyl = ZCylinder(2.0, 3.0, 0.5)
+        assert cyl.evaluate(2.0, 3.0) < 0
+        assert cyl.distance(2.0, 0.0, 0.0, 1.0) == pytest.approx(2.5)
+
+
+class TestSurfaceIds:
+    def test_ids_unique_and_increasing(self):
+        a = XPlane(0.0)
+        b = XPlane(0.0)
+        assert b.id > a.id
+
+    def test_default_names(self):
+        s = ZCylinder(0, 0, 1)
+        assert "ZCylinder" in s.name

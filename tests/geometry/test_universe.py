@@ -1,0 +1,124 @@
+"""Tests for universes and the pin-cell builder."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry.cell import Cell
+from repro.geometry.region import Halfspace
+from repro.geometry.surfaces import XPlane, ZCylinder
+from repro.geometry.universe import (
+    Universe,
+    make_homogeneous_universe,
+    make_pin_cell_universe,
+)
+
+
+class TestCell:
+    def test_material_or_fill_exclusive(self, uo2):
+        region = Halfspace(ZCylinder(0, 0, 1), -1)
+        with pytest.raises(GeometryError):
+            Cell(region)  # neither
+        inner = Cell(region, material=uo2)
+        with pytest.raises(GeometryError):
+            Cell(region, material=uo2, fill=Universe([inner]))  # both
+
+    def test_contains_delegates_to_region(self, uo2):
+        cell = Cell(Halfspace(XPlane(0.0), +1), material=uo2)
+        assert cell.contains(1.0, 0.0)
+        assert not cell.contains(-1.0, 0.0)
+
+
+class TestUniverse:
+    def test_find_cell(self, uo2, moderator):
+        cyl = ZCylinder(0, 0, 0.5)
+        inside = Cell(Halfspace(cyl, -1), material=uo2, name="in")
+        outside = Cell(Halfspace(cyl, +1), material=moderator, name="out")
+        universe = Universe([inside, outside])
+        assert universe.find_cell(0.0, 0.0).name == "in"
+        assert universe.find_cell(2.0, 0.0).name == "out"
+
+    def test_point_outside_all_cells_raises(self, uo2):
+        u = Universe([Cell(Halfspace(ZCylinder(0, 0, 1), -1), material=uo2)])
+        with pytest.raises(GeometryError, match="outside every cell"):
+            u.find_cell(5.0, 5.0)
+
+    def test_empty_universe_rejected(self):
+        with pytest.raises(GeometryError):
+            Universe([])
+
+    def test_surfaces_deduplicated(self, uo2, moderator):
+        cyl = ZCylinder(0, 0, 0.5)
+        cells = [
+            Cell(Halfspace(cyl, -1), material=uo2),
+            Cell(Halfspace(cyl, +1), material=moderator),
+        ]
+        assert len(Universe(cells).surfaces) == 1
+
+    def test_material_cells_iterator(self, uo2, moderator):
+        u = make_pin_cell_universe(0.5, uo2, moderator)
+        assert all(c.is_material_cell for c in u.material_cells())
+
+
+class TestHomogeneousUniverse:
+    def test_single_cell_everywhere(self, moderator):
+        u = make_homogeneous_universe(moderator)
+        assert len(u.cells) == 1
+        for point in [(0, 0), (100, -50), (-3, 7)]:
+            assert u.find_cell(*point).material is moderator
+
+    def test_no_surfaces(self, moderator):
+        assert make_homogeneous_universe(moderator).surfaces == ()
+
+
+class TestPinCellBuilder:
+    def test_cell_count(self, uo2, moderator):
+        u = make_pin_cell_universe(0.54, uo2, moderator, num_rings=3, num_sectors=4)
+        # rings*sectors fuel cells + sectors moderator cells
+        assert len(u.cells) == 3 * 4 + 4
+
+    def test_materials_by_radius(self, uo2, moderator):
+        u = make_pin_cell_universe(0.54, uo2, moderator, num_rings=2, num_sectors=8)
+        assert u.find_cell(0.1, 0.1).material is uo2
+        assert u.find_cell(0.6, 0.0).material is moderator
+
+    def test_equal_area_rings(self, uo2, moderator):
+        u = make_pin_cell_universe(1.0, uo2, moderator, num_rings=4)
+        radii = sorted(
+            {s.r for s in u.surfaces if isinstance(s, ZCylinder)}
+        )
+        areas = np.diff([0.0] + [r * r for r in radii])  # proportional to ring areas
+        np.testing.assert_allclose(areas, areas[0], rtol=1e-12)
+
+    def test_sector_resolution(self, uo2, moderator):
+        """Every sampled angle lands in exactly one sector cell."""
+        u = make_pin_cell_universe(0.54, uo2, moderator, num_sectors=6)
+        for k in range(48):
+            theta = 2 * math.pi * (k + 0.37) / 48
+            cell = u.find_cell(0.3 * math.cos(theta), 0.3 * math.sin(theta))
+            assert cell.material is uo2
+
+    def test_two_sectors(self, uo2, moderator):
+        u = make_pin_cell_universe(0.54, uo2, moderator, num_sectors=2)
+        # Full plane still covered.
+        for k in range(16):
+            theta = 2 * math.pi * (k + 0.5) / 16
+            u.find_cell(0.9 * math.cos(theta), 0.9 * math.sin(theta))
+
+    def test_inner_material_override(self, uo2, moderator, library):
+        gt = library["Guide Tube"]
+        u = make_pin_cell_universe(0.54, uo2, moderator, inner_material=gt)
+        assert u.find_cell(0.0, 0.01).material is gt
+
+    def test_offset_center(self, uo2, moderator):
+        u = make_pin_cell_universe(0.5, uo2, moderator, center=(2.0, -1.0))
+        assert u.find_cell(2.0, -1.0 + 0.01).material is uo2
+        assert u.find_cell(2.0, 0.0).material is moderator
+
+    def test_invalid_parameters(self, uo2, moderator):
+        with pytest.raises(GeometryError):
+            make_pin_cell_universe(0.0, uo2, moderator)
+        with pytest.raises(GeometryError):
+            make_pin_cell_universe(0.5, uo2, moderator, num_rings=0)

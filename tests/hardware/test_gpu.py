@@ -1,0 +1,105 @@
+"""Tests for the simulated GPU."""
+
+import numpy as np
+import pytest
+
+from repro.errors import HardwareModelError, OutOfMemoryError
+from repro.hardware import MI60, GPUSpec, SimulatedGPU
+
+
+@pytest.fixture()
+def gpu():
+    return SimulatedGPU(MI60)
+
+
+class TestMemory:
+    def test_mi60_capacity(self, gpu):
+        assert gpu.spec.memory_bytes == 16 * 1024**3
+        assert gpu.memory_free == gpu.spec.memory_bytes
+
+    def test_allocate_and_free(self, gpu):
+        gpu.allocate("segments", 1_000_000)
+        assert gpu.memory_in_use == 1_000_000
+        gpu.free("segments")
+        assert gpu.memory_in_use == 0
+
+    def test_oom_raises_with_details(self, gpu):
+        gpu.allocate("fluxes", 10 * 1024**3)
+        with pytest.raises(OutOfMemoryError) as err:
+            gpu.allocate("segments", 7 * 1024**3)
+        assert err.value.requested == 7 * 1024**3
+        assert err.value.in_use == 10 * 1024**3
+        assert "segments" in str(err.value)
+
+    def test_exact_fit_allowed(self, gpu):
+        gpu.allocate("all", gpu.spec.memory_bytes)
+        assert gpu.memory_free == 0
+
+    def test_duplicate_name_rejected(self, gpu):
+        gpu.allocate("a", 10)
+        with pytest.raises(HardwareModelError, match="already exists"):
+            gpu.allocate("a", 10)
+
+    def test_free_unknown_rejected(self, gpu):
+        with pytest.raises(HardwareModelError):
+            gpu.free("ghost")
+
+    def test_free_all(self, gpu):
+        gpu.allocate("a", 10)
+        gpu.allocate("b", 20)
+        gpu.free_all()
+        assert gpu.memory_in_use == 0
+        assert gpu.allocations() == {}
+
+    def test_negative_size_rejected(self, gpu):
+        with pytest.raises(HardwareModelError):
+            gpu.allocate("bad", -1)
+
+
+class TestKernels:
+    def test_duration_is_slowest_cu(self, gpu):
+        work = np.zeros(64)
+        work[13] = 1000.0
+        duration = gpu.execute_kernel(work)
+        expected = 1000.0 / gpu.spec.work_units_per_second_per_cu
+        assert duration == pytest.approx(expected + gpu.spec.kernel_launch_overhead_s)
+
+    def test_balanced_kernel_faster_than_imbalanced(self, gpu):
+        total = 64_000.0
+        imbalanced = np.zeros(64)
+        imbalanced[0] = total
+        t_imbalanced = gpu.execute_kernel(imbalanced)
+        t_balanced = gpu.execute_balanced_kernel(total)
+        assert t_balanced < t_imbalanced
+
+    def test_busy_time_accumulates(self, gpu):
+        t1 = gpu.execute_balanced_kernel(1000.0)
+        t2 = gpu.execute_balanced_kernel(2000.0)
+        assert gpu.busy_seconds == pytest.approx(t1 + t2)
+        assert gpu.kernels_launched == 2
+
+    def test_too_many_lanes_rejected(self, gpu):
+        with pytest.raises(HardwareModelError, match="CUs"):
+            gpu.execute_kernel(np.ones(65))
+
+    def test_negative_work_rejected(self, gpu):
+        with pytest.raises(HardwareModelError):
+            gpu.execute_kernel(np.array([-1.0]))
+
+    def test_empty_work_rejected(self, gpu):
+        with pytest.raises(HardwareModelError):
+            gpu.execute_kernel(np.array([]))
+
+
+class TestSpecValidation:
+    def test_invalid_specs(self):
+        with pytest.raises(HardwareModelError):
+            GPUSpec("bad", 0, 1, 1.0)
+        with pytest.raises(HardwareModelError):
+            GPUSpec("bad", 4, 0, 1.0)
+        with pytest.raises(HardwareModelError):
+            GPUSpec("bad", 4, 1, 0.0)
+
+    def test_mi60_shape(self):
+        assert MI60.num_cus == 64
+        assert MI60.work_units_per_second_per_cu == MI60.work_units_per_second / 64

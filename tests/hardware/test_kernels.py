@@ -1,0 +1,64 @@
+"""Tests for the kernel cost model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import HardwareModelError
+from repro.hardware import MI60, KernelCostModel, SimulatedGPU
+from repro.perfmodel import ComputationModel
+
+
+@pytest.fixture()
+def gpu():
+    return SimulatedGPU(MI60)
+
+
+@pytest.fixture()
+def model():
+    return KernelCostModel(ComputationModel())
+
+
+class TestSweepKernel:
+    def test_time_linear_in_segments(self, model, gpu):
+        t1 = model.sweep_time(gpu, np.full(64, 1000.0))
+        t2 = model.sweep_time(gpu, np.full(64, 2000.0))
+        overhead = gpu.spec.kernel_launch_overhead_s
+        assert (t2 - overhead) == pytest.approx(2 * (t1 - overhead))
+
+    def test_fused_regeneration_adds_work(self, model, gpu):
+        base = model.sweep_time(gpu, np.full(64, 1000.0))
+        fused = model.sweep_time(
+            gpu, np.full(64, 1000.0), fused_regeneration=True, temporary_fraction=0.5
+        )
+        # regen ratio 5 at half temporary: 1 + 2.5 = 3.5x work
+        overhead = gpu.spec.kernel_launch_overhead_s
+        assert (fused - overhead) == pytest.approx(3.5 * (base - overhead), rel=1e-9)
+
+    def test_zero_temporary_is_plain_sweep(self, model, gpu):
+        a = model.sweep_time(gpu, np.full(64, 500.0))
+        b = model.sweep_time(
+            gpu, np.full(64, 500.0), fused_regeneration=True, temporary_fraction=0.0
+        )
+        assert a == pytest.approx(b)
+
+    def test_bad_fraction(self, model, gpu):
+        with pytest.raises(HardwareModelError):
+            model.sweep_time(gpu, np.ones(4), temporary_fraction=1.5)
+
+    def test_imbalanced_cu_lanes_slower(self, model, gpu):
+        balanced = np.full(64, 100.0)
+        skewed = np.zeros(64)
+        skewed[0] = 6400.0
+        assert model.sweep_time(gpu, skewed) > model.sweep_time(gpu, balanced)
+
+
+class TestAuxKernels:
+    def test_track_generation_time(self, model, gpu):
+        t = model.track_generation_time(gpu, 10_000)
+        assert t > 0
+        assert gpu.kernels_launched == 1
+
+    def test_ray_trace_time_scales(self, model, gpu):
+        a = model.ray_trace_time(gpu, 1_000)
+        b = model.ray_trace_time(gpu, 10_000)
+        assert b > a

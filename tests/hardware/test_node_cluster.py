@@ -1,0 +1,104 @@
+"""Tests for node, cluster and interconnect models."""
+
+import pytest
+
+from repro.errors import HardwareModelError
+from repro.hardware import (
+    TESTBED_CLUSTER,
+    TESTBED_NODE,
+    InterconnectModel,
+    LinkModel,
+    SimulatedCluster,
+    SimulatedNode,
+)
+
+
+class TestNode:
+    def test_testbed_shape(self):
+        """Paper Sec. 5: 4 MI60 per node, 32 cores, 128 GB, 4 NUMA."""
+        node = SimulatedNode(TESTBED_NODE)
+        assert len(node.gpus) == 4
+        assert node.spec.cpu_cores == 32
+        assert node.spec.numa_domains == 4
+        assert node.spec.host_memory_bytes == 128 * 1024**3
+
+    def test_global_gpu_ids(self):
+        node = SimulatedNode(TESTBED_NODE, node_id=3)
+        assert [g.gpu_id for g in node.gpus] == [12, 13, 14, 15]
+
+    def test_host_memory_tracking(self):
+        node = SimulatedNode(TESTBED_NODE)
+        node.allocate_host(64 * 1024**3)
+        with pytest.raises(HardwareModelError, match="host memory"):
+            node.allocate_host(100 * 1024**3)
+
+    def test_busy_is_slowest_gpu(self):
+        node = SimulatedNode(TESTBED_NODE)
+        node.gpus[0].execute_balanced_kernel(1000.0)
+        node.gpus[2].execute_balanced_kernel(9000.0)
+        assert node.busy_seconds == node.gpus[2].busy_seconds
+
+    def test_gpu_index_check(self):
+        node = SimulatedNode(TESTBED_NODE)
+        with pytest.raises(HardwareModelError):
+            node.gpu(7)
+
+
+class TestCluster:
+    def test_testbed_scale(self):
+        assert TESTBED_CLUSTER.num_nodes == 4000
+        assert TESTBED_CLUSTER.num_gpus == 16000
+
+    def test_small_instance(self):
+        cluster = SimulatedCluster(TESTBED_CLUSTER.with_nodes(3))
+        assert cluster.num_gpus == 12
+        assert cluster.gpu(7).gpu_id == 7
+        assert len(cluster.all_gpus()) == 12
+
+    def test_gpu_range_check(self):
+        cluster = SimulatedCluster(TESTBED_CLUSTER.with_nodes(1))
+        with pytest.raises(HardwareModelError):
+            cluster.gpu(4)
+
+    def test_utilization(self):
+        cluster = SimulatedCluster(TESTBED_CLUSTER.with_nodes(1))
+        for g in cluster.all_gpus():
+            g.execute_balanced_kernel(1000.0)
+        assert cluster.utilization() == pytest.approx(1.0)
+        cluster.gpu(0).execute_balanced_kernel(3000.0)
+        assert cluster.utilization() < 1.0
+
+    def test_large_cluster_instantiates(self):
+        cluster = SimulatedCluster(TESTBED_CLUSTER)
+        assert cluster.num_gpus == 16000
+
+
+class TestLinks:
+    def test_link_model(self):
+        link = LinkModel(bandwidth_bytes_per_s=1e9, latency_s=1e-6)
+        assert link.transfer_time(0) == 0.0
+        assert link.transfer_time(1_000_000) == pytest.approx(1e-6 + 1e-3)
+
+    def test_link_validation(self):
+        with pytest.raises(HardwareModelError):
+            LinkModel(0.0, 1e-6)
+        link = LinkModel(1e9, 0.0)
+        with pytest.raises(HardwareModelError):
+            link.transfer_time(-1)
+
+    def test_interconnect_routing(self):
+        model = InterconnectModel(TESTBED_CLUSTER.with_nodes(2))
+        # GPUs 0-3 on node 0, 4-7 on node 1.
+        assert model.node_of(3) == 0
+        assert model.node_of(4) == 1
+        t_same = model.transfer_time(0, 0, 10**6)
+        t_dma = model.transfer_time(0, 1, 10**6)
+        t_net = model.transfer_time(0, 4, 10**6)
+        assert t_same == 0.0
+        assert t_dma < t_net  # DMA faster than InfiniBand + latency
+        assert model.dma_bytes_total == 10**6
+        assert model.network_bytes_total == 10**6
+
+    def test_network_speed_is_200gbps(self):
+        """Paper: HDR InfiniBand at 200 Gbps."""
+        assert TESTBED_CLUSTER.network_bandwidth_bytes_per_s == pytest.approx(25e9)

@@ -1,0 +1,107 @@
+"""Integration: MOC solvers vs analytic infinite-medium eigenvalues.
+
+The strongest end-to-end oracle available without the authors' testbed:
+for a fully reflective homogeneous problem, any consistent MOC
+discretisation must reproduce the analytic multigroup k-infinity to
+iteration tolerance, independent of tracking parameters.
+"""
+
+import pytest
+
+from repro.geometry import BoundaryCondition, Geometry, Lattice
+from repro.geometry.extruded import AxialMesh, ExtrudedGeometry
+from repro.geometry.universe import make_homogeneous_universe
+from repro.materials import infinite_medium_flux, infinite_medium_keff
+from repro.solver import MOCSolver
+
+
+def reflective_box(material, w=4.0, h=3.0):
+    u = make_homogeneous_universe(material)
+    return Geometry(Lattice([[u]], w, h))
+
+
+class Test2DInfiniteMedium:
+    @pytest.mark.parametrize("name", ["UO2", "MOX-8.7%"])
+    def test_c5g7_materials(self, library, name):
+        mat = library[name]
+        solver = MOCSolver.for_2d(
+            reflective_box(mat), num_azim=4, azim_spacing=1.0, num_polar=2,
+            keff_tolerance=1e-8, source_tolerance=1e-7, max_iterations=3000,
+        )
+        result = solver.solve()
+        assert result.converged
+        assert result.keff == pytest.approx(infinite_medium_keff(mat), rel=2e-5)
+
+    def test_flux_spectrum_matches(self, library):
+        mat = library["MOX-8.7%"]
+        solver = MOCSolver.for_2d(
+            reflective_box(mat), num_azim=4, azim_spacing=1.0, num_polar=2,
+            keff_tolerance=1e-8, source_tolerance=1e-7, max_iterations=3000,
+        )
+        result = solver.solve()
+        phi = result.scalar_flux[0]
+        expected = infinite_medium_flux(mat)
+        phi = phi / phi.sum()
+        for g in range(7):
+            assert phi[g] == pytest.approx(expected[g], rel=1e-3, abs=1e-9)
+
+    def test_tracking_parameters_irrelevant(self, two_group_fissile):
+        """k_inf must not depend on azimuthal count or spacing."""
+        want = infinite_medium_keff(two_group_fissile)
+        for (num_azim, spacing) in [(4, 1.5), (8, 0.7), (16, 0.4)]:
+            solver = MOCSolver.for_2d(
+                reflective_box(two_group_fissile),
+                num_azim=num_azim, azim_spacing=spacing, num_polar=2,
+                keff_tolerance=1e-8, source_tolerance=1e-7, max_iterations=3000,
+            )
+            assert solver.solve().keff == pytest.approx(want, rel=2e-5)
+
+    def test_polar_order_irrelevant(self, two_group_fissile):
+        want = infinite_medium_keff(two_group_fissile)
+        for num_polar in (2, 4, 6):
+            solver = MOCSolver.for_2d(
+                reflective_box(two_group_fissile),
+                num_azim=4, azim_spacing=1.0, num_polar=num_polar,
+                keff_tolerance=1e-8, source_tolerance=1e-7, max_iterations=3000,
+            )
+            assert solver.solve().keff == pytest.approx(want, rel=2e-5)
+
+
+class Test3DInfiniteMedium:
+    def test_3d_matches_analytic(self, two_group_fissile):
+        u = make_homogeneous_universe(two_group_fissile)
+        radial = Geometry(Lattice([[u]], 3.0, 2.0))
+        g3 = ExtrudedGeometry(
+            radial, AxialMesh.uniform(0.0, 2.0, 2),
+            boundary_zmin=BoundaryCondition.REFLECTIVE,
+            boundary_zmax=BoundaryCondition.REFLECTIVE,
+        )
+        solver = MOCSolver.for_3d(
+            g3, num_azim=4, azim_spacing=0.8, polar_spacing=0.8, num_polar=2,
+            storage="EXP", keff_tolerance=1e-8, source_tolerance=1e-7,
+            max_iterations=3000,
+        )
+        result = solver.solve()
+        assert result.converged
+        assert result.keff == pytest.approx(
+            infinite_medium_keff(two_group_fissile), rel=2e-5
+        )
+
+    def test_3d_flux_uniform_in_space(self, two_group_fissile):
+        u = make_homogeneous_universe(two_group_fissile)
+        radial = Geometry(Lattice([[u]], 3.0, 2.0))
+        g3 = ExtrudedGeometry(
+            radial, AxialMesh.uniform(0.0, 2.0, 3),
+            boundary_zmin=BoundaryCondition.REFLECTIVE,
+            boundary_zmax=BoundaryCondition.REFLECTIVE,
+        )
+        solver = MOCSolver.for_3d(
+            g3, num_azim=4, azim_spacing=0.8, polar_spacing=0.8, num_polar=2,
+            storage="EXP", keff_tolerance=1e-8, source_tolerance=1e-7,
+            max_iterations=3000,
+        )
+        result = solver.solve()
+        phi = result.scalar_flux
+        for g in range(phi.shape[1]):
+            spread = phi[:, g].max() - phi[:, g].min()
+            assert spread / phi[:, g].mean() < 1e-4

@@ -1,0 +1,66 @@
+"""Tests for the stage timer / logging helpers."""
+
+import time
+
+from repro.io.logging_utils import StageTimer, get_logger
+
+
+class TestStageTimer:
+    def test_stage_records_duration(self):
+        timer = StageTimer()
+        with timer.stage("solve"):
+            time.sleep(0.01)
+        assert timer.duration("solve") >= 0.005
+
+    def test_stage_accumulates(self):
+        timer = StageTimer()
+        with timer.stage("s"):
+            pass
+        with timer.stage("s"):
+            pass
+        assert timer.duration("s") >= 0.0
+        assert list(timer.as_dict()) == ["s"]
+
+    def test_record_simulated_time(self):
+        timer = StageTimer()
+        timer.record("sweep", 1.5)
+        timer.record("sweep", 0.5)
+        assert timer.duration("sweep") == 2.0
+
+    def test_total(self):
+        timer = StageTimer()
+        timer.record("a", 1.0)
+        timer.record("b", 2.0)
+        assert timer.total == 3.0
+
+    def test_report_contains_stages_and_total(self):
+        timer = StageTimer()
+        timer.record("geometry", 0.25)
+        report = timer.report()
+        assert "geometry" in report
+        assert "TOTAL" in report
+
+    def test_unknown_stage_duration_zero(self):
+        assert StageTimer().duration("nope") == 0.0
+
+    def test_exception_still_records(self):
+        timer = StageTimer()
+        try:
+            with timer.stage("failing"):
+                raise ValueError("boom")
+        except ValueError:
+            pass
+        assert timer.duration("failing") >= 0.0
+        assert "failing" in timer.as_dict()
+
+
+class TestLogger:
+    def test_idempotent_handlers(self):
+        a = get_logger("repro.test-idem")
+        b = get_logger("repro.test-idem")
+        assert a is b
+        assert len(a.handlers) == 1
+
+    def test_level_applied(self):
+        logger = get_logger("repro.test-level", level="WARNING")
+        assert logger.level == 30

@@ -1,0 +1,85 @@
+"""Tests for the recursive-bisection partitioner."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.errors import DecompositionError
+from repro.loadbalance import load_uniformity_index, partition_graph, recursive_bisection
+from repro.loadbalance.partition import partition_loads
+
+
+def grid(n, m, seed=0, uniform=False):
+    g = nx.grid_2d_graph(n, m)
+    g = nx.convert_node_labels_to_integers(g, ordering="sorted")
+    rng = np.random.default_rng(seed)
+    for node in g.nodes:
+        g.nodes[node]["weight"] = 1.0 if uniform else float(rng.lognormal(0, 0.6))
+    for u, v in g.edges:
+        g.edges[u, v]["weight"] = 1.0
+    return g
+
+
+class TestRecursiveBisection:
+    @pytest.mark.parametrize("parts", [1, 2, 3, 5, 8])
+    def test_covers_all_parts(self, parts):
+        g = grid(6, 6)
+        assignment = recursive_bisection(g, parts)
+        assert set(assignment) == set(g.nodes)
+        assert set(assignment.values()) == set(range(parts))
+
+    def test_weight_balance_reasonable(self):
+        g = grid(10, 10, seed=4)
+        assignment = recursive_bisection(g, 4)
+        loads = partition_loads(g, assignment, 4)
+        assert load_uniformity_index(loads) < 1.4
+
+    def test_contiguity_on_uniform_grid(self):
+        """Halves from BFS splitting stay connected on a mesh."""
+        g = grid(6, 6, uniform=True)
+        assignment = recursive_bisection(g, 2)
+        for part in (0, 1):
+            members = [n for n, p in assignment.items() if p == part]
+            assert nx.is_connected(g.subgraph(members))
+
+    def test_cut_smaller_than_random(self):
+        g = grid(8, 8, uniform=True)
+        assignment = recursive_bisection(g, 4)
+        cut = sum(1 for u, v in g.edges if assignment[u] != assignment[v])
+        rng = np.random.default_rng(1)
+        random_assignment = {n: int(rng.integers(0, 4)) for n in g.nodes}
+        random_cut = sum(
+            1 for u, v in g.edges if random_assignment[u] != random_assignment[v]
+        )
+        assert cut < random_cut
+
+    def test_too_many_parts(self):
+        with pytest.raises(DecompositionError):
+            recursive_bisection(grid(2, 1), 3)
+
+    def test_disconnected_graph_handled(self):
+        g = grid(3, 3, uniform=True)
+        g.remove_edges_from(list(g.edges(4)))  # isolate the centre
+        assignment = recursive_bisection(g, 3)
+        assert set(assignment) == set(g.nodes)
+
+
+class TestPartitionGraphMethods:
+    def test_method_selection(self):
+        g = grid(6, 6, seed=7)
+        greedy = partition_graph(g, 4, method="greedy")
+        bisect = partition_graph(g, 4, method="bisection")
+        for assignment in (greedy, bisect):
+            assert set(assignment.values()) == set(range(4))
+
+    def test_unknown_method(self):
+        with pytest.raises(DecompositionError, match="unknown partition"):
+            partition_graph(grid(3, 3), 2, method="metis")
+
+    def test_refinement_improves_bisection(self):
+        g = grid(8, 8, seed=9)
+        raw = recursive_bisection(g, 4)
+        refined = partition_graph(g, 4, method="bisection", refine=True)
+        before = load_uniformity_index(partition_loads(g, raw, 4))
+        after = load_uniformity_index(partition_loads(g, refined, 4))
+        assert after <= before + 1e-9

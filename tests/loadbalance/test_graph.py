@@ -1,0 +1,51 @@
+"""Tests for the subdomain graph builder."""
+
+import pytest
+
+from repro.errors import DecompositionError
+from repro.geometry.decomposition import CuboidDecomposition
+from repro.loadbalance import build_subdomain_graph
+from repro.perfmodel import CommunicationModel
+
+
+@pytest.fixture()
+def dec():
+    return CuboidDecomposition((0, 0, 0, 4, 4, 2), 2, 2, 1)
+
+
+class TestGraphBuilder:
+    def test_nodes_and_edges(self, dec):
+        g = build_subdomain_graph(dec)
+        assert g.number_of_nodes() == 4
+        # 2x2x1 grid: 2 x-faces + 2 y-faces
+        assert g.number_of_edges() == 4
+
+    def test_weights_applied(self, dec):
+        g = build_subdomain_graph(dec, weights=[1.0, 2.0, 3.0, 4.0])
+        assert g.nodes[2]["weight"] == 3.0
+        assert dec[2].weight == 3.0
+
+    def test_weight_count_mismatch(self, dec):
+        with pytest.raises(DecompositionError):
+            build_subdomain_graph(dec, weights=[1.0])
+
+    def test_negative_weight_rejected(self, dec):
+        with pytest.raises(DecompositionError):
+            build_subdomain_graph(dec, weights=[1.0, -2.0, 3.0, 4.0])
+
+    def test_edge_weight_is_face_area_by_default(self, dec):
+        g = build_subdomain_graph(dec)
+        # subdomains are 2x2x2 cuboids -> each face area = 4
+        for _, _, data in g.edges(data=True):
+            assert data["weight"] == pytest.approx(4.0)
+
+    def test_edge_weight_with_comm_model(self, dec):
+        model = CommunicationModel(num_groups=7, tracks_per_cm2=2.0)
+        g = build_subdomain_graph(dec, comm_model=model)
+        for _, _, data in g.edges(data=True):
+            assert data["weight"] == model.face_bytes(4.0)
+
+    def test_node_index_attribute(self, dec):
+        g = build_subdomain_graph(dec)
+        assert g.nodes[0]["index"] == (0, 0, 0)
+        assert g.nodes[3]["index"] == (1, 1, 0)

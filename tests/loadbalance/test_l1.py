@@ -1,0 +1,62 @@
+"""Tests for the L1 node-level mapping."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DecompositionError
+from repro.geometry.decomposition import CuboidDecomposition
+from repro.loadbalance import map_subdomains_to_nodes
+
+
+@pytest.fixture()
+def dec():
+    # 40 subdomains for 4 nodes: the paper's ~10x rule.
+    return CuboidDecomposition((0, 0, 0, 8, 10, 1), 4, 10, 1)
+
+
+@pytest.fixture()
+def weights(dec):
+    rng = np.random.default_rng(17)
+    return rng.lognormal(0.0, 0.8, dec.num_domains).tolist()
+
+
+class TestL1Mapping:
+    def test_every_subdomain_assigned(self, dec, weights):
+        mapping = map_subdomains_to_nodes(dec, 4, weights=weights)
+        assert set(mapping.assignment) == set(range(dec.num_domains))
+        assert mapping.num_nodes == 4
+
+    def test_fusion_geometries_partition(self, dec, weights):
+        mapping = map_subdomains_to_nodes(dec, 4, weights=weights)
+        members = [sid for f in mapping.fusion_geometries for sid in f.subdomain_ids]
+        assert sorted(members) == list(range(dec.num_domains))
+
+    def test_balanced_beats_block(self, dec, weights):
+        balanced = map_subdomains_to_nodes(dec, 4, weights=weights, balanced=True)
+        baseline = map_subdomains_to_nodes(dec, 4, weights=weights, balanced=False)
+        assert balanced.stats.uniformity_index <= baseline.stats.uniformity_index + 1e-9
+
+    def test_balanced_near_ideal_with_many_subdomains(self, dec, weights):
+        mapping = map_subdomains_to_nodes(dec, 4, weights=weights)
+        assert mapping.stats.uniformity_index < 1.05
+
+    def test_fusion_weight_matches_stats(self, dec, weights):
+        mapping = map_subdomains_to_nodes(dec, 4, weights=weights)
+        loads = sorted(f.total_weight for f in mapping.fusion_geometries)
+        assert max(loads) == pytest.approx(mapping.stats.max_load)
+
+    def test_node_of_subdomain(self, dec, weights):
+        mapping = map_subdomains_to_nodes(dec, 4, weights=weights)
+        for f_index, fusion in enumerate(mapping.fusion_geometries):
+            for sid in fusion.subdomain_ids:
+                assert mapping.node_of_subdomain(sid) == f_index
+
+    def test_more_nodes_than_subdomains_rejected(self):
+        dec = CuboidDecomposition((0, 0, 0, 1, 1, 1), 1, 2, 1)
+        with pytest.raises(DecompositionError):
+            map_subdomains_to_nodes(dec, 5)
+
+    def test_single_node(self, dec, weights):
+        mapping = map_subdomains_to_nodes(dec, 1, weights=weights)
+        assert mapping.stats.uniformity_index == pytest.approx(1.0)
+        assert mapping.fusion_geometries[0].num_subdomains == dec.num_domains

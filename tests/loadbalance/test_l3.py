@@ -1,0 +1,64 @@
+"""Tests for the L3 track-to-CU mapping."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DecompositionError
+from repro.loadbalance import map_tracks_to_cus
+
+
+def correlated_sizes(n=2048, seed=4):
+    """Spatially correlated track sizes (smooth profile + noise)."""
+    rng = np.random.default_rng(seed)
+    x = np.linspace(0, 2 * np.pi, n, endpoint=False)
+    return np.exp(np.sin(x) + 0.2 * rng.standard_normal(n)) + 0.1
+
+
+class TestL3Mapping:
+    def test_all_tracks_assigned(self):
+        mapping = map_tracks_to_cus(np.ones(100), 8)
+        assert mapping.track_to_cu.shape == (100,)
+        assert mapping.track_to_cu.max() < 8
+
+    def test_loads_conserved(self):
+        sizes = correlated_sizes()
+        mapping = map_tracks_to_cus(sizes, 64)
+        assert mapping.cu_loads.sum() == pytest.approx(sizes.sum())
+
+    def test_serpentine_balances_correlated_sizes(self):
+        sizes = correlated_sizes()
+        balanced = map_tracks_to_cus(sizes, 64, balanced=True)
+        baseline = map_tracks_to_cus(sizes, 64, balanced=False)
+        assert balanced.stats.uniformity_index < baseline.stats.uniformity_index
+
+    def test_balanced_near_one_with_many_tracks(self):
+        sizes = correlated_sizes(n=8192)
+        mapping = map_tracks_to_cus(sizes, 64, balanced=True)
+        assert mapping.stats.uniformity_index < 1.02
+
+    def test_block_baseline_contiguous(self):
+        mapping = map_tracks_to_cus(np.ones(12), 3, balanced=False)
+        np.testing.assert_array_equal(
+            mapping.track_to_cu, [0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2]
+        )
+
+    def test_serpentine_pattern(self):
+        """With sorted equal sizes, the first 2C tracks visit every CU
+        exactly twice (down and back)."""
+        num_cus = 4
+        mapping = map_tracks_to_cus(np.arange(8.0, 0.0, -1.0), num_cus, balanced=True)
+        counts = np.bincount(mapping.track_to_cu, minlength=num_cus)
+        assert (counts == 2).all()
+
+    def test_empty_tracks(self):
+        mapping = map_tracks_to_cus(np.array([]), 4)
+        assert mapping.num_cus == 4
+        assert mapping.track_to_cu.size == 0
+
+    def test_validation(self):
+        with pytest.raises(DecompositionError):
+            map_tracks_to_cus(np.ones(4), 0)
+        with pytest.raises(DecompositionError):
+            map_tracks_to_cus(np.array([1.0, -1.0]), 2)
+        with pytest.raises(DecompositionError):
+            map_tracks_to_cus(np.ones((2, 2)), 2)

@@ -1,0 +1,56 @@
+"""Tests for load-balance metrics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DecompositionError
+from repro.loadbalance import LoadStats, load_uniformity_index
+
+
+class TestUniformityIndex:
+    def test_perfectly_balanced_is_one(self):
+        assert load_uniformity_index([5.0, 5.0, 5.0]) == pytest.approx(1.0)
+
+    def test_definition_max_over_avg(self):
+        assert load_uniformity_index([1.0, 2.0, 3.0]) == pytest.approx(3.0 / 2.0)
+
+    def test_always_at_least_one(self):
+        rng = np.random.default_rng(3)
+        for _ in range(20):
+            loads = rng.uniform(0.1, 10.0, size=rng.integers(1, 30))
+            assert load_uniformity_index(loads) >= 1.0 - 1e-12
+
+    def test_empty_rejected(self):
+        with pytest.raises(DecompositionError):
+            load_uniformity_index([])
+
+    def test_negative_rejected(self):
+        with pytest.raises(DecompositionError):
+            load_uniformity_index([1.0, -0.5])
+
+    def test_all_zero_returns_one(self):
+        assert load_uniformity_index([0.0, 0.0]) == 1.0
+
+
+class TestLoadStats:
+    def test_fields(self):
+        stats = LoadStats.from_loads([2.0, 4.0, 6.0])
+        assert stats.num_workers == 3
+        assert stats.total == 12.0
+        assert stats.max_load == 6.0
+        assert stats.min_load == 2.0
+        assert stats.mean_load == 4.0
+        assert stats.uniformity_index == pytest.approx(1.5)
+
+    def test_idle_fraction(self):
+        stats = LoadStats.from_loads([1.0, 1.0, 4.0])
+        # mean 2, max 4 -> half of worker-time idle
+        assert stats.idle_fraction == pytest.approx(0.5)
+
+    def test_balanced_idle_zero(self):
+        stats = LoadStats.from_loads([3.0, 3.0])
+        assert stats.idle_fraction == pytest.approx(0.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(DecompositionError):
+            LoadStats.from_loads([])

@@ -1,0 +1,120 @@
+"""Tests for the graph partitioner (the ParMETIS substitute)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.errors import DecompositionError
+from repro.loadbalance import (
+    block_partition,
+    greedy_partition,
+    kl_refine,
+    load_uniformity_index,
+    partition_graph,
+)
+from repro.loadbalance.partition import partition_loads
+
+
+def grid_graph(nx_, ny_, weights=None, seed=0):
+    g = nx.grid_2d_graph(nx_, ny_)
+    g = nx.convert_node_labels_to_integers(g, ordering="sorted")
+    rng = np.random.default_rng(seed)
+    for n in g.nodes:
+        g.nodes[n]["weight"] = (
+            float(weights[n]) if weights is not None else float(rng.lognormal(0, 0.7))
+        )
+    for u, v in g.edges:
+        g.edges[u, v]["weight"] = 1.0
+    return g
+
+
+class TestBlockPartition:
+    def test_contiguous_equal_counts(self):
+        g = grid_graph(4, 4)
+        assignment = block_partition(g, 4)
+        counts = np.bincount(list(assignment.values()), minlength=4)
+        assert (counts == 4).all()
+        # nodes 0..3 in part 0, etc.
+        assert assignment[0] == assignment[3] == 0
+        assert assignment[15] == 3
+
+    def test_remainder_spread(self):
+        g = grid_graph(5, 1)
+        counts = np.bincount(list(block_partition(g, 2).values()))
+        assert sorted(counts.tolist()) == [2, 3]
+
+    def test_too_many_parts(self):
+        with pytest.raises(DecompositionError):
+            block_partition(grid_graph(2, 1), 3)
+
+
+class TestGreedyPartition:
+    def test_all_parts_non_empty(self):
+        g = grid_graph(5, 5)
+        assignment = greedy_partition(g, 6)
+        assert set(assignment.values()) == set(range(6))
+
+    def test_balances_better_than_block(self):
+        g = grid_graph(8, 8, seed=11)
+        for parts in (2, 4, 8):
+            block = partition_loads(g, block_partition(g, parts), parts)
+            greedy = partition_loads(g, greedy_partition(g, parts), parts)
+            assert load_uniformity_index(greedy) <= load_uniformity_index(block) + 1e-9
+
+    def test_every_node_assigned(self):
+        g = grid_graph(6, 6)
+        assignment = greedy_partition(g, 5)
+        assert set(assignment) == set(g.nodes)
+
+    def test_single_part(self):
+        g = grid_graph(3, 3)
+        assert set(greedy_partition(g, 1).values()) == {0}
+
+
+class TestKLRefine:
+    def test_never_worse_balance(self):
+        g = grid_graph(7, 7, seed=5)
+        initial = block_partition(g, 5)
+        refined = kl_refine(g, initial, 5)
+        before = load_uniformity_index(partition_loads(g, initial, 5))
+        after = load_uniformity_index(partition_loads(g, refined, 5))
+        assert after <= before + 1e-9
+
+    def test_keeps_parts_non_empty(self):
+        g = grid_graph(4, 4, seed=2)
+        refined = kl_refine(g, block_partition(g, 4), 4)
+        counts = np.bincount(list(refined.values()), minlength=4)
+        assert (counts >= 1).all()
+
+    def test_idempotent_on_perfect_balance(self):
+        g = grid_graph(4, 1, weights=[1.0, 1.0, 1.0, 1.0])
+        initial = {0: 0, 1: 0, 2: 1, 3: 1}
+        refined = kl_refine(g, initial, 2)
+        loads = partition_loads(g, refined, 2)
+        np.testing.assert_allclose(loads, [2.0, 2.0])
+
+
+class TestPartitionGraph:
+    def test_near_balanced_on_heterogeneous_graph(self):
+        g = grid_graph(10, 10, seed=9)
+        assignment = partition_graph(g, 10)
+        loads = partition_loads(g, assignment, 10)
+        assert load_uniformity_index(loads) < 1.15
+
+    def test_connectivity_preferred(self):
+        """With uniform weights the partitioner should cut few edges
+        relative to a random assignment."""
+        g = grid_graph(6, 6, weights=[1.0] * 36)
+        assignment = partition_graph(g, 4)
+        cut = sum(1 for u, v in g.edges if assignment[u] != assignment[v])
+        rng = np.random.default_rng(0)
+        random_assignment = {n: int(rng.integers(0, 4)) for n in g.nodes}
+        random_cut = sum(
+            1 for u, v in g.edges if random_assignment[u] != random_assignment[v]
+        )
+        assert cut < random_cut
+
+    def test_partition_loads_validates_range(self):
+        g = grid_graph(2, 2)
+        with pytest.raises(DecompositionError):
+            partition_loads(g, {0: 0, 1: 9, 2: 0, 3: 0}, 2)

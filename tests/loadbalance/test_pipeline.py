@@ -1,0 +1,85 @@
+"""Tests for the three-level mapping pipeline (the Fig. 10 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DecompositionError
+from repro.geometry.decomposition import CuboidDecomposition
+from repro.loadbalance import ThreeLevelMapper
+
+
+@pytest.fixture()
+def dec():
+    return CuboidDecomposition((0, 0, 0, 64.26, 64.26, 64.26), 4, 5, 2)
+
+
+@pytest.fixture()
+def weights(dec):
+    rng = np.random.default_rng(1)
+    return (rng.lognormal(0, 0.8, dec.num_domains) * 1e6).tolist()
+
+
+@pytest.fixture()
+def mapper():
+    return ThreeLevelMapper(gpus_per_node=4, cus_per_gpu=64, num_azim=32,
+                            tracks_per_gpu_sample=1024)
+
+
+class TestPipeline:
+    def test_result_shapes(self, mapper, dec, weights):
+        result = mapper.run(dec, num_nodes=4, weights=weights)
+        assert result.gpu_loads.shape == (16,)
+        assert result.gpu_effective_loads.shape == (16,)
+        assert len(result.l2_per_node) == 4
+        assert result.levels == (True, True, True)
+
+    def test_total_load_conserved_through_levels(self, mapper, dec, weights):
+        result = mapper.run(dec, num_nodes=4, weights=weights)
+        assert result.gpu_loads.sum() == pytest.approx(sum(weights), rel=1e-9)
+
+    def test_each_level_reduces_uniformity(self, mapper, dec, weights):
+        """The Fig. 10 staircase: enabling L1, then L2, then L3 lowers the
+        load uniformity index monotonically."""
+        configs = [
+            (False, False, False),
+            (True, False, False),
+            (True, True, False),
+            (True, True, True),
+        ]
+        indices = [
+            mapper.run(dec, 4, weights=weights, l1=a, l2=b, l3=c).uniformity_index
+            for a, b, c in configs
+        ]
+        for before, after in zip(indices, indices[1:]):
+            assert after <= before + 1e-9
+        # fully mapped configuration is close to balanced
+        assert indices[-1] < 1.2
+
+    def test_all_levels_off_is_worst(self, mapper, dec, weights):
+        off = mapper.run(dec, 4, weights=weights, l1=False, l2=False, l3=False)
+        on = mapper.run(dec, 4, weights=weights)
+        assert on.uniformity_index < off.uniformity_index
+
+    def test_deterministic(self, mapper, dec, weights):
+        a = mapper.run(dec, 4, weights=weights)
+        b = mapper.run(dec, 4, weights=weights)
+        np.testing.assert_allclose(a.gpu_effective_loads, b.gpu_effective_loads)
+
+    def test_l3_samples_bounded(self, mapper, dec, weights):
+        result = mapper.run(dec, 4, weights=weights, l3_gpu_samples=3)
+        assert len(result.l3_samples) == 3
+
+    def test_zero_heterogeneity_uniform_tracks(self, dec, weights):
+        mapper = ThreeLevelMapper(heterogeneity=0.0, tracks_per_gpu_sample=256)
+        result = mapper.run(dec, 4, weights=weights, l3=False)
+        # with identical track sizes, CU imbalance is negligible
+        for mapping in result.l3_samples.values():
+            assert mapping.stats.uniformity_index < 1.3
+
+    def test_validation(self):
+        with pytest.raises(DecompositionError):
+            ThreeLevelMapper(gpus_per_node=0)
+        with pytest.raises(DecompositionError):
+            ThreeLevelMapper(num_azim=6)
+        with pytest.raises(DecompositionError):
+            ThreeLevelMapper(heterogeneity=-1.0)

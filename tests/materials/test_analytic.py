@@ -1,0 +1,90 @@
+"""Tests for analytic infinite-medium solutions."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SolverError
+from repro.materials import Material, infinite_medium_flux, infinite_medium_keff
+
+
+class TestOneGroupAnalytic:
+    def test_one_group_k_inf_formula(self):
+        """1-group: k_inf = nu_sigma_f / sigma_a exactly."""
+        mat = Material(
+            "1g", sigma_t=[1.0], sigma_s=[[0.6]], nu_sigma_f=[0.5], chi=[1.0]
+        )
+        sigma_a = 1.0 - 0.6
+        assert infinite_medium_keff(mat) == pytest.approx(0.5 / sigma_a)
+
+    def test_critical_one_group(self):
+        mat = Material(
+            "crit", sigma_t=[1.0], sigma_s=[[0.7]], nu_sigma_f=[0.3], chi=[1.0]
+        )
+        assert infinite_medium_keff(mat) == pytest.approx(1.0)
+
+
+class TestTwoGroupAnalytic:
+    def test_two_group_hand_calculation(self):
+        """2-group downscatter-only: verify against the closed form
+
+        k = [chi1(nu1 a2... )]: with chi = (1, 0),
+        k = nu1/R1 + nu2 * s12 / (R1 * a2),
+        where R1 = removal of group 1, a2 = absorption of group 2.
+        """
+        s12 = 0.04
+        mat = Material(
+            "2g",
+            sigma_t=[0.30, 0.80],
+            sigma_s=[[0.20, s12], [0.0, 0.60]],
+            nu_sigma_f=[0.008, 0.25],
+            chi=[1.0, 0.0],
+        )
+        removal1 = 0.30 - 0.20
+        absorption2 = 0.80 - 0.60
+        expected = 0.008 / removal1 + 0.25 * s12 / (removal1 * absorption2)
+        assert infinite_medium_keff(mat) == pytest.approx(expected, rel=1e-12)
+
+    def test_flux_shape_two_group(self):
+        mat = Material(
+            "2g",
+            sigma_t=[0.30, 0.80],
+            sigma_s=[[0.20, 0.04], [0.0, 0.60]],
+            nu_sigma_f=[0.008, 0.25],
+            chi=[1.0, 0.0],
+        )
+        phi = infinite_medium_flux(mat)
+        # phi2/phi1 = s12 / a2
+        assert phi[1] / phi[0] == pytest.approx(0.04 / 0.20, rel=1e-12)
+        assert phi.sum() == pytest.approx(1.0)
+
+
+class TestBehaviour:
+    def test_non_fissile_raises(self):
+        water = Material("w", sigma_t=[1.0], sigma_s=[[0.9]])
+        with pytest.raises(SolverError, match="not fissile"):
+            infinite_medium_keff(water)
+        with pytest.raises(SolverError, match="not fissile"):
+            infinite_medium_flux(water)
+
+    def test_c5g7_values_physical(self, library):
+        """k_inf of bare C5G7 fuels sits in a physically sane band."""
+        for name in ("UO2", "MOX-4.3%", "MOX-7.0%", "MOX-8.7%"):
+            k = infinite_medium_keff(library[name])
+            assert 0.5 < k < 1.5
+
+    def test_mox_k_inf_increases_with_enrichment(self, library):
+        ks = [infinite_medium_keff(library[n]) for n in ("MOX-4.3%", "MOX-7.0%", "MOX-8.7%")]
+        assert ks[0] < ks[1] < ks[2]
+
+    def test_flux_normalisations(self, library):
+        phi_sum = infinite_medium_flux(library["UO2"], normalize="sum")
+        phi_max = infinite_medium_flux(library["UO2"], normalize="max")
+        assert phi_sum.sum() == pytest.approx(1.0)
+        assert phi_max.max() == pytest.approx(1.0)
+        np.testing.assert_allclose(
+            phi_sum / phi_sum.max(), phi_max, rtol=1e-12
+        )
+
+    def test_unknown_normalisation(self, library):
+        with pytest.raises(ValueError):
+            infinite_medium_flux(library["UO2"], normalize="l2")

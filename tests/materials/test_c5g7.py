@@ -1,0 +1,67 @@
+"""Tests for the C5G7 7-group benchmark library."""
+
+import numpy as np
+import pytest
+
+from repro.materials import C5G7_MATERIAL_NAMES, c5g7_library
+
+
+class TestC5G7Library:
+    def test_all_seven_materials(self, library):
+        assert set(library) == set(C5G7_MATERIAL_NAMES)
+        assert len(library) == 7
+
+    def test_seven_groups(self, library):
+        assert library.num_groups == 7
+        for name in library:
+            assert library[name].num_groups == 7
+
+    def test_fissile_set(self, library):
+        fissile = set(library.fissile_names())
+        # The fission chamber carries a (tiny) fission cross section too.
+        assert fissile == {"UO2", "MOX-4.3%", "MOX-7.0%", "MOX-8.7%", "Fission Chamber"}
+
+    def test_moderator_and_guide_tube_not_fissile(self, library):
+        assert not library["Moderator"].is_fissile
+        assert not library["Guide Tube"].is_fissile
+
+    def test_chi_shared_and_normalised(self, library):
+        for name in ("UO2", "MOX-4.3%", "MOX-7.0%", "MOX-8.7%"):
+            chi = library[name].chi
+            assert chi[0] == pytest.approx(0.58791)
+            # The published spectrum sums to 1 within ~1e-5 round-off.
+            assert chi.sum() == pytest.approx(1.0, abs=2e-5)
+
+    def test_known_uo2_values(self, library):
+        uo2 = library["UO2"]
+        assert uo2.sigma_t[0] == pytest.approx(1.779490e-01)
+        assert uo2.sigma_t[6] == pytest.approx(5.644060e-01)
+        assert uo2.nu_sigma_f[6] == pytest.approx(5.257105e-01)
+
+    def test_mox_enrichment_ordering(self, library):
+        """Thermal nu-fission grows with plutonium enrichment."""
+        thermal = [library[n].nu_sigma_f[6] for n in ("MOX-4.3%", "MOX-7.0%", "MOX-8.7%")]
+        assert thermal[0] < thermal[1] < thermal[2]
+
+    def test_upscatter_limited_to_adjacent_groups(self, library):
+        """C5G7 upscatter exists (thermal groups) but never skips a group."""
+        for name in C5G7_MATERIAL_NAMES:
+            s = library[name].sigma_s
+            far_upscatter = np.tril(s, k=-2)
+            assert far_upscatter.max() == 0.0
+
+    def test_moderator_downscatters_strongly(self, library):
+        mod = library["Moderator"]
+        # group 0 -> 1 scatter is large (hydrogen moderation)
+        assert mod.sigma_s[0, 1] > 0.1
+
+    def test_fresh_instances_per_call(self):
+        a = c5g7_library()
+        b = c5g7_library()
+        assert a["UO2"] is not b["UO2"]
+        np.testing.assert_array_equal(a["UO2"].sigma_t, b["UO2"].sigma_t)
+
+    def test_total_bounds_scattering_everywhere(self, library):
+        for name in library:
+            mat = library[name]
+            assert np.all(mat.sigma_s.sum(axis=1) <= mat.sigma_t * (1 + 1e-3) + 1e-12)

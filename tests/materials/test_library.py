@@ -1,0 +1,54 @@
+"""Tests for MaterialLibrary."""
+
+import pytest
+
+from repro.errors import SolverError
+from repro.materials import Material, MaterialLibrary
+
+
+def mat(name, groups=2, fissile=False):
+    kwargs = dict(
+        sigma_t=[1.0] * groups,
+        sigma_s=[[0.4 if i == j else 0.0 for j in range(groups)] for i in range(groups)],
+    )
+    if fissile:
+        kwargs["nu_sigma_f"] = [0.1] * groups
+        kwargs["chi"] = [1.0] + [0.0] * (groups - 1)
+    return Material(name, **kwargs)
+
+
+class TestLibrary:
+    def test_mapping_protocol(self):
+        lib = MaterialLibrary([mat("a"), mat("b")])
+        assert len(lib) == 2
+        assert set(lib) == {"a", "b"}
+        assert lib["a"].name == "a"
+        assert "a" in lib
+
+    def test_empty_rejected(self):
+        with pytest.raises(SolverError, match="empty"):
+            MaterialLibrary([])
+
+    def test_mixed_groups_rejected(self):
+        with pytest.raises(SolverError, match="mixed group"):
+            MaterialLibrary([mat("a", 2), mat("b", 3)])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SolverError, match="duplicate"):
+            MaterialLibrary([mat("a"), mat("a")])
+
+    def test_missing_key_message_lists_available(self):
+        lib = MaterialLibrary([mat("a")])
+        with pytest.raises(KeyError, match="available"):
+            lib["zzz"]
+
+    def test_fissile_names(self):
+        lib = MaterialLibrary([mat("fuel", fissile=True), mat("water")])
+        assert lib.fissile_names() == ["fuel"]
+
+    def test_num_groups(self):
+        assert MaterialLibrary([mat("a", 3)]).num_groups == 3
+
+    def test_materials_tuple_preserves_order(self):
+        lib = MaterialLibrary([mat("x"), mat("y"), mat("z")])
+        assert [m.name for m in lib.materials] == ["x", "y", "z"]

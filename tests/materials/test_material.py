@@ -1,0 +1,92 @@
+"""Tests for the Material class."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SolverError
+from repro.materials import Material
+
+
+def make_simple(name="m", **overrides):
+    kwargs = dict(
+        sigma_t=[0.5, 1.0],
+        sigma_s=[[0.2, 0.1], [0.0, 0.7]],
+        nu_sigma_f=[0.01, 0.2],
+        sigma_f=[0.005, 0.08],
+        chi=[1.0, 0.0],
+    )
+    kwargs.update(overrides)
+    return Material(name, **kwargs)
+
+
+class TestConstruction:
+    def test_basic_properties(self):
+        mat = make_simple()
+        assert mat.num_groups == 2
+        assert mat.is_fissile
+        assert mat.name == "m"
+
+    def test_non_fissile_defaults(self):
+        mat = Material("water", sigma_t=[1.0], sigma_s=[[0.9]])
+        assert not mat.is_fissile
+        np.testing.assert_array_equal(mat.nu_sigma_f, [0.0])
+        np.testing.assert_array_equal(mat.chi, [0.0])
+
+    def test_unique_increasing_ids(self):
+        a = make_simple("a")
+        b = make_simple("b")
+        assert b.id > a.id
+
+    def test_arrays_are_readonly(self):
+        mat = make_simple()
+        with pytest.raises(ValueError):
+            mat.sigma_t[0] = 99.0
+
+    def test_equality_is_identity(self):
+        a = make_simple("same")
+        b = make_simple("same")
+        assert a == a
+        assert a != b
+        assert len({a, b}) == 2
+
+
+class TestValidation:
+    def test_shape_mismatch_scatter(self):
+        with pytest.raises(SolverError, match="sigma_s shape"):
+            Material("bad", sigma_t=[1.0, 1.0], sigma_s=[[0.1]])
+
+    def test_shape_mismatch_vector(self):
+        with pytest.raises(SolverError, match="nu_sigma_f"):
+            make_simple(nu_sigma_f=[0.1])
+
+    def test_negative_cross_section(self):
+        with pytest.raises(SolverError, match="negative"):
+            make_simple(sigma_t=[-0.5, 1.0])
+
+    def test_negative_scatter(self):
+        with pytest.raises(SolverError, match="negative"):
+            make_simple(sigma_s=[[-0.1, 0.0], [0.0, 0.5]])
+
+    def test_chi_must_normalise_for_fissile(self):
+        with pytest.raises(SolverError, match="chi sums"):
+            make_simple(chi=[0.5, 0.0])
+
+    def test_scatter_bounded_by_total(self):
+        with pytest.raises(SolverError, match="exceeds total"):
+            make_simple(sigma_s=[[0.6, 0.2], [0.0, 0.7]])  # row 0 sums 0.8 > 0.5
+
+    def test_2d_sigma_t_rejected(self):
+        with pytest.raises(SolverError, match="1-D"):
+            Material("bad", sigma_t=[[1.0]], sigma_s=[[0.5]])
+
+
+class TestDerivedQuantities:
+    def test_sigma_a_is_total_minus_outscatter(self):
+        mat = make_simple()
+        expected = np.array([0.5 - 0.3, 1.0 - 0.7])
+        np.testing.assert_allclose(mat.sigma_a, expected)
+
+    def test_repr_mentions_fissility(self):
+        assert "fissile" in repr(make_simple())
+        water = Material("w", sigma_t=[1.0], sigma_s=[[0.5]])
+        assert "non-fissile" in repr(water)

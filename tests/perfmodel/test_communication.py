@@ -1,0 +1,59 @@
+"""Tests for the Eq. (7) communication model."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.perfmodel import CommunicationModel, communication_bytes
+
+
+class TestEq7:
+    def test_formula_verbatim(self):
+        """communication = N_3D * 2 * num_group * 4 bytes."""
+        assert communication_bytes(1000, 7) == 1000 * 2 * 7 * 4
+
+    def test_zero_tracks(self):
+        assert communication_bytes(0, 7) == 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            communication_bytes(-1, 7)
+        with pytest.raises(ConfigError):
+            communication_bytes(10, 0)
+
+    def test_matches_simcomm_payload(self):
+        """Eq. (7) equals the actual bytes SimComm counts for one float32
+        flux array per direction per track."""
+        import numpy as np
+
+        from repro.parallel import SimComm
+
+        comm = SimComm(2)
+        num_tracks, groups = 13, 7
+        for _ in range(num_tracks):
+            for _direction in range(2):
+                comm.send(0, 1, np.zeros(groups, dtype=np.float32))
+        assert comm.stats.bytes_sent == communication_bytes(num_tracks, groups)
+
+
+class TestCommunicationModel:
+    def test_from_spacings(self):
+        model = CommunicationModel.from_spacings(7, 0.5, 0.2)
+        assert model.tracks_per_cm2 == pytest.approx(10.0)
+
+    def test_face_scaling(self):
+        model = CommunicationModel(num_groups=7, tracks_per_cm2=4.0)
+        assert model.tracks_crossing_face(25.0) == 100
+        assert model.face_bytes(25.0) == communication_bytes(100, 7)
+
+    def test_monotone_in_area(self):
+        model = CommunicationModel(num_groups=2, tracks_per_cm2=1.0)
+        assert model.face_bytes(100.0) > model.face_bytes(10.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            CommunicationModel(num_groups=0, tracks_per_cm2=1.0)
+        with pytest.raises(ConfigError):
+            CommunicationModel.from_spacings(7, -0.5, 0.2)
+        model = CommunicationModel(num_groups=7, tracks_per_cm2=1.0)
+        with pytest.raises(ConfigError):
+            model.tracks_crossing_face(-1.0)

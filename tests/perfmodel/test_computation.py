@@ -1,0 +1,51 @@
+"""Tests for the Eq. (6) computation model."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.perfmodel import ComputationModel
+
+
+class TestComputationModel:
+    def test_sweep_work_linear_in_segments(self):
+        """Eq. (6): computation ~ N_3Dseg."""
+        model = ComputationModel()
+        assert model.sweep_work(2000) == 2 * model.sweep_work(1000)
+
+    def test_regeneration_uses_otf_ratio(self):
+        model = ComputationModel(otf_regen_ratio=5.0)
+        assert model.regeneration_work(100) == pytest.approx(500.0)
+
+    def test_default_otf_ratio_is_paper_value(self):
+        """Sec. 5.3: OTF generation kernel is five times the source kernel."""
+        assert ComputationModel().otf_regen_ratio == 5.0
+
+    def test_iteration_work_split(self):
+        model = ComputationModel(otf_regen_ratio=5.0)
+        # 100 resident + 50 temporary: sweep 150, regen 5 * 50
+        assert model.iteration_work(100, 50) == pytest.approx(150 + 250)
+
+    def test_all_resident_iteration_is_pure_sweep(self):
+        model = ComputationModel()
+        assert model.iteration_work(1000, 0) == model.sweep_work(1000)
+
+    def test_track_generation_work(self):
+        model = ComputationModel(track_gen_work_per_track=0.5)
+        assert model.track_generation_work(10) == pytest.approx(5.0)
+
+    def test_initial_ray_trace_work(self):
+        model = ComputationModel(ray_trace_ratio=2.0)
+        assert model.initial_ray_trace_work(100) == pytest.approx(200.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            ComputationModel(source_work_per_segment=0.0)
+        with pytest.raises(ConfigError):
+            ComputationModel(otf_regen_ratio=-1.0)
+        model = ComputationModel()
+        with pytest.raises(ConfigError):
+            model.sweep_work(-5)
+        with pytest.raises(ConfigError):
+            model.regeneration_work(-5)
+        with pytest.raises(ConfigError):
+            model.track_generation_work(-5)

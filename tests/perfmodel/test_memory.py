@@ -1,0 +1,97 @@
+"""Tests for the Eq. (5) memory model and Table 3 breakdown."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.perfmodel import BYTES_PER, MemoryModel
+
+
+@pytest.fixture()
+def model():
+    return MemoryModel(num_groups=7)
+
+
+class TestBreakdown:
+    def test_term_by_term(self, model):
+        b = model.breakdown(
+            num_2d_tracks=10, num_3d_tracks=100,
+            num_2d_segments=200, num_3d_segments=5000, num_fsrs=50,
+        )
+        assert b.tracks_2d == 10 * BYTES_PER["track_2d"]
+        assert b.segments_3d == 5000 * BYTES_PER["segment_3d"]
+        assert b.track_fluxes == 100 * 2 * 7 * BYTES_PER["track_flux"]
+        assert b.total == (
+            b.tracks_2d + b.tracks_3d + b.segments_2d + b.segments_3d
+            + b.track_fluxes + b.fixed
+        )
+
+    def test_negative_rejected(self, model):
+        with pytest.raises(ConfigError):
+            model.breakdown(
+                num_2d_tracks=-1, num_3d_tracks=0,
+                num_2d_segments=0, num_3d_segments=0, num_fsrs=0,
+            )
+
+    def test_percentages_sum_to_100(self, model):
+        b = model.breakdown(
+            num_2d_tracks=1000, num_3d_tracks=50000,
+            num_2d_segments=30000, num_3d_segments=2000000, num_fsrs=500,
+        )
+        assert sum(b.percentages().values()) == pytest.approx(100.0)
+
+    def test_table3_shape_at_scale(self, model):
+        """At paper-like ratios, 3D segments dominate the footprint and
+        2D+3D segments together reach ~97% (Table 3)."""
+        n3d_tracks = 10_000_000
+        b = model.breakdown(
+            num_2d_tracks=200_000,
+            num_3d_tracks=n3d_tracks,
+            num_2d_segments=200_000 * 30,
+            num_3d_segments=n3d_tracks * 60,
+            num_fsrs=100_000,
+        )
+        pct = b.percentages()
+        assert pct["3D_segments"] > 85.0
+        assert pct["3D_segments"] + pct["2D_segments"] > 85.0
+        assert pct["3D_segments"] == max(pct.values())
+
+    def test_table_rendering(self, model):
+        b = model.breakdown(
+            num_2d_tracks=10, num_3d_tracks=10,
+            num_2d_segments=10, num_3d_segments=10, num_fsrs=10,
+        )
+        table = b.table()
+        assert "3D_segments" in table
+        assert "100.00%" in table
+
+
+class TestModelConfig:
+    def test_custom_bytes(self):
+        model = MemoryModel(num_groups=2, bytes_per={"segment_3d": 24})
+        b = model.breakdown(
+            num_2d_tracks=0, num_3d_tracks=0,
+            num_2d_segments=0, num_3d_segments=10, num_fsrs=0,
+        )
+        assert b.segments_3d == 240
+
+    def test_unknown_class_rejected(self):
+        with pytest.raises(ConfigError, match="unknown memory"):
+            MemoryModel(bytes_per={"segments_4d": 8})
+
+    def test_group_count_scales_fluxes(self):
+        small = MemoryModel(num_groups=2)
+        large = MemoryModel(num_groups=8)
+        kwargs = dict(num_2d_tracks=0, num_3d_tracks=1000,
+                      num_2d_segments=0, num_3d_segments=0, num_fsrs=0)
+        assert large.breakdown(**kwargs).track_fluxes == 4 * small.breakdown(**kwargs).track_fluxes
+
+    def test_invalid_groups(self):
+        with pytest.raises(ConfigError):
+            MemoryModel(num_groups=0)
+
+    def test_empty_breakdown_percentage_error(self):
+        model = MemoryModel(fixed_bytes=0)
+        b = model.breakdown(num_2d_tracks=0, num_3d_tracks=0,
+                            num_2d_segments=0, num_3d_segments=0, num_fsrs=0)
+        with pytest.raises(ConfigError):
+            b.percentages()

@@ -1,0 +1,63 @@
+"""Tests for the combined performance model facade."""
+
+import pytest
+
+from repro.perfmodel import (
+    PerformanceModel,
+    SegmentRatioModel,
+    TrackingParameters,
+    communication_bytes,
+    predict_num_2d_tracks,
+    predict_num_3d_tracks,
+)
+
+
+@pytest.fixture()
+def model():
+    segment_model = SegmentRatioModel.calibrate(100, 3000, 1000, 60000)
+    return PerformanceModel(segment_model, num_groups=7)
+
+
+@pytest.fixture()
+def params():
+    return TrackingParameters(
+        num_azim=8, azim_spacing=0.3, num_polar=4, polar_spacing=0.4,
+        width=10.0, height=10.0, depth=10.0, num_fsrs=500,
+    )
+
+
+class TestPrediction:
+    def test_all_quantities_populated(self, model, params):
+        pred = model.predict(params)
+        assert pred.num_2d_tracks == predict_num_2d_tracks(params)
+        assert pred.num_3d_tracks == predict_num_3d_tracks(params)
+        assert pred.num_2d_segments == 30 * pred.num_2d_tracks
+        assert pred.num_3d_segments == 60 * pred.num_3d_tracks
+        assert pred.num_fsrs == 500
+
+    def test_memory_consistent_with_counts(self, model, params):
+        pred = model.predict(params)
+        assert pred.memory.segments_3d == pred.num_3d_segments * 12
+
+    def test_sweep_work_is_eq6(self, model, params):
+        pred = model.predict(params)
+        assert pred.sweep_work == pytest.approx(float(pred.num_3d_segments))
+
+    def test_communication_is_eq7(self, model, params):
+        pred = model.predict(params)
+        assert pred.communication_bytes_total == communication_bytes(
+            pred.num_3d_tracks, 7
+        )
+
+    def test_finer_tracking_more_of_everything(self, model, params):
+        coarse = model.predict(params)
+        fine = model.predict(params.scaled(0.5))
+        assert fine.num_2d_tracks > coarse.num_2d_tracks
+        assert fine.num_3d_segments > coarse.num_3d_segments
+        assert fine.memory.total > coarse.memory.total
+        assert fine.communication_bytes_total > coarse.communication_bytes_total
+
+    def test_communication_model_accessor(self, model, params):
+        cm = model.communication_model(params)
+        assert cm.num_groups == 7
+        assert cm.tracks_per_cm2 == pytest.approx(1.0 / (0.3 * 0.4))

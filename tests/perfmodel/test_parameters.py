@@ -1,0 +1,60 @@
+"""Tests for Table 2 tracking parameters."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.perfmodel import TrackingParameters
+
+
+def params(**overrides):
+    base = dict(
+        num_azim=8, azim_spacing=0.5, num_polar=4, polar_spacing=0.5,
+        width=64.26, height=64.26, depth=64.26, num_fsrs=1000,
+    )
+    base.update(overrides)
+    return TrackingParameters(**base)
+
+
+class TestValidation:
+    def test_valid(self):
+        p = params()
+        assert p.num_azim == 8
+
+    @pytest.mark.parametrize("bad", [2, 6, 0])
+    def test_num_azim(self, bad):
+        with pytest.raises(ConfigError):
+            params(num_azim=bad)
+
+    @pytest.mark.parametrize("bad", [1, 3, 0])
+    def test_num_polar(self, bad):
+        with pytest.raises(ConfigError):
+            params(num_polar=bad)
+
+    @pytest.mark.parametrize("field", ["azim_spacing", "polar_spacing", "width", "height", "depth"])
+    def test_positive_fields(self, field):
+        with pytest.raises(ConfigError):
+            params(**{field: 0.0})
+
+    def test_negative_fsrs(self):
+        with pytest.raises(ConfigError):
+            params(num_fsrs=-1)
+
+
+class TestDerived:
+    def test_azimuthal_angles(self):
+        p = params(num_azim=4)
+        angles = p.azimuthal_angles()
+        assert angles == pytest.approx([math.pi / 4, 3 * math.pi / 4])
+
+    def test_scaled_spacings(self):
+        p = params()
+        half = p.scaled(0.5)
+        assert half.azim_spacing == pytest.approx(0.25)
+        assert half.polar_spacing == pytest.approx(0.25)
+        assert half.width == p.width  # domain untouched
+
+    def test_scaled_invalid(self):
+        with pytest.raises(ConfigError):
+            params().scaled(0.0)

@@ -1,0 +1,69 @@
+"""Tests for the Eq. (4) segment-ratio model."""
+
+import pytest
+
+from repro.errors import SolverError
+from repro.perfmodel import SegmentRatioModel
+
+
+class TestCalibration:
+    def test_ratios(self):
+        model = SegmentRatioModel.calibrate(100, 2500, 1000, 40000)
+        assert model.ratio_2d == 25.0
+        assert model.ratio_3d == 40.0
+
+    def test_2d_sample_required(self):
+        with pytest.raises(SolverError):
+            SegmentRatioModel.calibrate(0, 100)
+
+    def test_3d_sample_all_or_nothing(self):
+        with pytest.raises(SolverError):
+            SegmentRatioModel.calibrate(100, 2500, 10, 0)
+
+
+class TestPrediction:
+    @pytest.fixture()
+    def model(self):
+        return SegmentRatioModel.calibrate(100, 2500, 1000, 40000)
+
+    def test_linear_prediction(self, model):
+        assert model.predict_2d(200) == 5000
+        assert model.predict_3d(2000) == 80000
+
+    def test_prediction_exact_at_sample(self, model):
+        assert model.predict_2d(100) == 2500
+        assert model.predict_3d(1000) == 40000
+
+    def test_negative_rejected(self, model):
+        with pytest.raises(SolverError):
+            model.predict_2d(-1)
+
+    def test_3d_without_calibration(self):
+        model = SegmentRatioModel.calibrate(100, 2500)
+        with pytest.raises(SolverError, match="3D sample"):
+            model.predict_3d(10)
+
+    def test_relative_error_metric(self, model):
+        assert model.relative_error_2d(200, 5000) == 0.0
+        assert model.relative_error_2d(200, 4000) == pytest.approx(0.25)
+        with pytest.raises(SolverError):
+            model.relative_error_2d(200, 0)
+
+
+class TestAgainstRealTracking(object):
+    def test_small_sample_predicts_fine_tracking(self, moderator, uo2):
+        """Calibrate on coarse tracking, predict segments of fine tracking
+        of the same geometry — the Fig. 8 experiment in miniature. The
+        error must stay within a few percent (paper: <= 1.1%)."""
+        from repro.geometry import Geometry, Lattice
+        from repro.geometry.universe import make_homogeneous_universe
+        from repro.tracks import TrackGenerator
+
+        a = make_homogeneous_universe(uo2)
+        b = make_homogeneous_universe(moderator)
+        g = Geometry(Lattice([[a, b, a], [b, a, b]], 1.0, 1.0))
+        coarse = TrackGenerator(g, num_azim=8, azim_spacing=0.15).generate()
+        model = SegmentRatioModel.calibrate(coarse.num_tracks, coarse.num_segments)
+        fine = TrackGenerator(g, num_azim=8, azim_spacing=0.05).generate()
+        err = model.relative_error_2d(fine.num_tracks, fine.num_segments)
+        assert err < 0.05

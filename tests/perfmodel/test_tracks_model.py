@@ -1,0 +1,95 @@
+"""Tests for Eq. (2)/(3) track-count predictions vs the real tracker."""
+
+import math
+
+import pytest
+
+from repro.geometry import Geometry, Lattice
+from repro.geometry.universe import make_homogeneous_universe
+from repro.perfmodel import TrackingParameters, predict_num_2d_tracks, predict_num_3d_tracks
+from repro.perfmodel.tracks_model import stacks_per_track, tracks_per_azimuthal_angle
+from repro.tracks import TrackGenerator, TrackGenerator3D
+
+
+def params(w=4.0, h=3.0, d=2.0, num_azim=8, s_az=0.4, num_polar=4, s_pol=0.5):
+    return TrackingParameters(
+        num_azim=num_azim, azim_spacing=s_az, num_polar=num_polar,
+        polar_spacing=s_pol, width=w, height=h, depth=d,
+    )
+
+
+class TestEq2:
+    def test_matches_real_tracker_exactly(self, moderator):
+        """Eq. (2) with the shared correction arithmetic is exact."""
+        u = make_homogeneous_universe(moderator)
+        for (w, h, num_azim, spacing) in [
+            (4.0, 3.0, 8, 0.4),
+            (5.5, 2.25, 16, 0.3),
+            (10.0, 10.0, 4, 1.0),
+        ]:
+            g = Geometry(Lattice([[u]], w, h))
+            tg = TrackGenerator(g, num_azim=num_azim, azim_spacing=spacing).generate()
+            p = params(w=w, h=h, num_azim=num_azim, s_az=spacing)
+            assert predict_num_2d_tracks(p) == tg.num_tracks
+
+    def test_per_angle_counts_symmetric(self):
+        counts = tracks_per_azimuthal_angle(params(num_azim=16))
+        assert counts == counts[::-1]
+
+    def test_finer_spacing_more_tracks(self):
+        coarse = predict_num_2d_tracks(params(s_az=1.0))
+        fine = predict_num_2d_tracks(params(s_az=0.1))
+        assert fine > coarse
+
+    def test_scaling_roughly_inverse_spacing(self):
+        n1 = predict_num_2d_tracks(params(s_az=0.2))
+        n2 = predict_num_2d_tracks(params(s_az=0.1))
+        assert n2 / n1 == pytest.approx(2.0, rel=0.15)
+
+
+class TestEq3:
+    def test_matches_real_tracker_with_chain_lengths(self, moderator):
+        """Given the actual chain inventory, Eq. (3) is exact for the
+        open-chain (vacuum) configuration."""
+        from repro.geometry import BoundaryCondition
+        from repro.geometry.extruded import AxialMesh, ExtrudedGeometry
+
+        u = make_homogeneous_universe(moderator)
+        bc = {s: BoundaryCondition.VACUUM for s in ("xmin", "xmax", "ymin", "ymax")}
+        radial = Geometry(Lattice([[u]], 4.0, 3.0), boundary=bc)
+        g3 = ExtrudedGeometry(radial, AxialMesh.uniform(0.0, 2.0, 2))
+        tg = TrackGenerator3D(
+            g3, num_azim=8, azim_spacing=0.4, polar_spacing=0.5, num_polar=4
+        ).generate()
+        chain_lengths = [c.length for c in tg.chains]
+        sines = tg.polar.sin_theta.tolist()
+        p = params(num_azim=8, s_az=0.4, num_polar=4, s_pol=0.5)
+        predicted = predict_num_3d_tracks(p, chain_lengths=chain_lengths, polar_sines=sines)
+        assert predicted == tg.num_tracks_3d
+
+    def test_estimation_mode_reasonable(self, moderator):
+        """Without chain lengths the estimate lands within ~2x (it is used
+        for workload weighting, not exact accounting)."""
+        from repro.geometry import BoundaryCondition
+        from repro.geometry.extruded import AxialMesh, ExtrudedGeometry
+
+        u = make_homogeneous_universe(moderator)
+        bc = {s: BoundaryCondition.VACUUM for s in ("xmin", "xmax", "ymin", "ymax")}
+        radial = Geometry(Lattice([[u]], 4.0, 3.0), boundary=bc)
+        g3 = ExtrudedGeometry(radial, AxialMesh.uniform(0.0, 2.0, 2))
+        tg = TrackGenerator3D(
+            g3, num_azim=8, azim_spacing=0.4, polar_spacing=0.5, num_polar=4
+        ).generate()
+        p = params(num_azim=8, s_az=0.4, num_polar=4, s_pol=0.5)
+        predicted = predict_num_3d_tracks(p)
+        assert 0.3 < predicted / tg.num_tracks_3d < 3.0
+
+    def test_stacks_per_track_grows_with_length(self):
+        p = params()
+        theta = math.pi / 4
+        assert stacks_per_track(p, 10.0, theta) > stacks_per_track(p, 2.0, theta)
+
+    def test_more_polar_angles_more_tracks(self):
+        p2 = params(num_polar=2)
+        p6 = params(num_polar=6)
+        assert predict_num_3d_tracks(p6) > predict_num_3d_tracks(p2)

@@ -1,0 +1,89 @@
+"""Property-based tests for the performance models."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.perfmodel import (
+    ComputationModel,
+    MemoryModel,
+    SegmentRatioModel,
+    TrackingParameters,
+    communication_bytes,
+    predict_num_2d_tracks,
+)
+
+counts = st.integers(min_value=0, max_value=10**9)
+small_counts = st.integers(min_value=1, max_value=10**6)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    a=counts, b=counts, c=counts, d=counts, fsrs=st.integers(0, 10**6)
+)
+def test_memory_model_monotone(a, b, c, d, fsrs):
+    """Adding items never shrinks the footprint."""
+    model = MemoryModel()
+    base = model.breakdown(
+        num_2d_tracks=a, num_3d_tracks=b, num_2d_segments=c,
+        num_3d_segments=d, num_fsrs=fsrs,
+    ).total
+    bigger = model.breakdown(
+        num_2d_tracks=a + 1, num_3d_tracks=b + 1, num_2d_segments=c + 1,
+        num_3d_segments=d + 1, num_fsrs=fsrs + 1,
+    ).total
+    assert bigger > base
+
+
+@settings(max_examples=60, deadline=None)
+@given(tracks=counts, groups=st.integers(1, 64))
+def test_eq7_linear(tracks, groups):
+    assert communication_bytes(tracks, groups) == tracks * 2 * groups * 4
+    assert communication_bytes(2 * tracks, groups) == 2 * communication_bytes(tracks, groups)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    resident=st.integers(0, 10**7),
+    temporary=st.integers(0, 10**7),
+    ratio=st.floats(min_value=0.0, max_value=10.0),
+)
+def test_iteration_work_decomposition(resident, temporary, ratio):
+    model = ComputationModel(otf_regen_ratio=ratio)
+    combined = model.iteration_work(resident, temporary)
+    assert combined == model.sweep_work(resident + temporary) + model.regeneration_work(temporary)
+    # more residency never increases work
+    total = resident + temporary
+    all_resident = model.iteration_work(total, 0)
+    assert all_resident <= combined + 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    sample_tracks=small_counts,
+    ratio=st.floats(min_value=0.5, max_value=200.0),
+    query=st.integers(0, 10**8),
+)
+def test_segment_model_scaling(sample_tracks, ratio, query):
+    sample_segments = max(1, int(sample_tracks * ratio))
+    model = SegmentRatioModel.calibrate(sample_tracks, sample_segments)
+    predicted = model.predict_2d(query)
+    assert predicted == round(sample_segments / sample_tracks * query)
+    assert model.relative_error_2d(sample_tracks, sample_segments) < 1e-12
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    num_azim=st.sampled_from([4, 8, 16]),
+    spacing=st.floats(min_value=0.05, max_value=2.0),
+    w=st.floats(min_value=1.0, max_value=80.0),
+    h=st.floats(min_value=1.0, max_value=80.0),
+)
+def test_eq2_positive_and_monotone_in_density(num_azim, spacing, w, h):
+    p = TrackingParameters(
+        num_azim=num_azim, azim_spacing=spacing, num_polar=2,
+        polar_spacing=1.0, width=w, height=h, depth=1.0,
+    )
+    n = predict_num_2d_tracks(p)
+    assert n >= num_azim // 2  # at least one track per stored angle
+    finer = predict_num_2d_tracks(p.scaled(0.5))
+    assert finer >= n

@@ -1,0 +1,95 @@
+"""Property-based tests for partitioning and load mapping."""
+
+import networkx as nx
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.loadbalance import (
+    greedy_partition,
+    load_uniformity_index,
+    map_angles_to_gpus,
+    map_tracks_to_cus,
+    partition_graph,
+)
+from repro.loadbalance.partition import block_partition, partition_loads
+
+
+def make_graph(weights):
+    n = len(weights)
+    side = max(int(np.ceil(np.sqrt(n))), 1)
+    g = nx.grid_2d_graph(side, side)
+    g = nx.convert_node_labels_to_integers(g, ordering="sorted")
+    g.remove_nodes_from(range(n, side * side))
+    for i in range(n):
+        g.nodes[i]["weight"] = float(weights[i])
+    for u, v in g.edges:
+        g.edges[u, v]["weight"] = 1.0
+    return g
+
+
+weight_lists = st.lists(
+    st.floats(min_value=0.01, max_value=100.0, allow_nan=False),
+    min_size=4,
+    max_size=40,
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(weights=weight_lists, parts=st.integers(min_value=1, max_value=4))
+def test_partition_covers_and_fills(weights, parts):
+    g = make_graph(weights)
+    if g.number_of_nodes() < parts:
+        return
+    assignment = partition_graph(g, parts)
+    assert set(assignment) == set(g.nodes)
+    assert set(assignment.values()) == set(range(parts))
+    loads = partition_loads(g, assignment, parts)
+    np.testing.assert_allclose(loads.sum(), sum(weights), rtol=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(weights=weight_lists, parts=st.integers(min_value=2, max_value=4))
+def test_greedy_satisfies_lpt_bound(weights, parts):
+    """Greedy placement obeys the classic LPT guarantee:
+    max load <= total/parts + max single weight. (Block partitioning can
+    occasionally beat greedy on lucky inputs, so no dominance claim.)"""
+    g = make_graph(weights)
+    if g.number_of_nodes() < parts:
+        return
+    greedy = partition_loads(g, greedy_partition(g, parts), parts)
+    n = g.number_of_nodes()
+    total = sum(float(g.nodes[i]["weight"]) for i in g.nodes)
+    heaviest = max(float(g.nodes[i]["weight"]) for i in g.nodes)
+    assert greedy.max() <= total / parts + heaviest + 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    loads=st.lists(st.floats(min_value=0.1, max_value=50.0), min_size=8, max_size=64),
+    gpus=st.integers(min_value=1, max_value=4),
+)
+def test_l2_conserves_and_bounds(loads, gpus):
+    arr = np.asarray(loads)
+    if arr.size < gpus:
+        return
+    mapping = map_angles_to_gpus(arr, gpus)
+    np.testing.assert_allclose(mapping.gpu_loads.sum(), arr.sum(), rtol=1e-9)
+    assert mapping.stats.uniformity_index >= 1.0 - 1e-12
+    assert set(mapping.angle_to_gpu.tolist()) <= set(range(gpus))
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    sizes=st.lists(st.floats(min_value=0.1, max_value=20.0), min_size=1, max_size=256),
+    cus=st.integers(min_value=1, max_value=64),
+)
+def test_l3_conserves_and_balanced_wins(sizes, cus):
+    arr = np.asarray(sizes)
+    balanced = map_tracks_to_cus(arr, cus, balanced=True)
+    baseline = map_tracks_to_cus(arr, cus, balanced=False)
+    np.testing.assert_allclose(balanced.cu_loads.sum(), arr.sum())
+    np.testing.assert_allclose(baseline.cu_loads.sum(), arr.sum())
+    assert (
+        balanced.stats.uniformity_index
+        <= baseline.stats.uniformity_index + 1e-9
+    )

@@ -1,0 +1,68 @@
+"""Property-based tests for quadrature sets."""
+
+import math
+
+import numpy as np
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.errors import TrackingError
+from repro.quadrature import AzimuthalQuadrature, gauss_legendre_polar
+
+
+def build_quadrature(num_azim, width, height, spacing):
+    """Build, skipping inputs where the cyclic correction collapses
+    neighbouring angles (spacing comparable to the domain size) — the
+    quadrature rejects those explicitly."""
+    try:
+        return AzimuthalQuadrature(num_azim, width, height, spacing)
+    except TrackingError:
+        assume(False)
+
+dims = st.floats(min_value=0.5, max_value=50.0, allow_nan=False)
+spacings = st.floats(min_value=0.05, max_value=3.0, allow_nan=False)
+azims = st.sampled_from([4, 8, 12, 16, 32])
+
+
+@settings(max_examples=60, deadline=None)
+@given(num_azim=azims, width=dims, height=dims, spacing=spacings)
+def test_azimuthal_invariants(num_azim, width, height, spacing):
+    q = build_quadrature(num_azim, width, height, spacing)
+    # weights: positive, normalised
+    np.testing.assert_allclose(q.weights.sum(), 1.0, rtol=1e-12)
+    assert (q.weights > 0).all()
+    # angles strictly increasing in (0, pi)
+    assert (q.phi > 0).all() and (q.phi < math.pi).all()
+    assert (np.diff(q.phi) > 0).all()
+    # complementary symmetry
+    for a in range(q.num_angles):
+        b = q.complement(a)
+        assert abs(q.phi[a] + q.phi[b] - math.pi) < 1e-12
+        assert q.num_x[a] == q.num_x[b]
+    # counts at least 1, spacing positive and bounded by domain scale
+    assert (q.num_x >= 1).all() and (q.num_y >= 1).all()
+    assert (q.spacing > 0).all()
+    assert (q.spacing <= max(width, height) + 1e-12).all()
+
+
+@settings(max_examples=60, deadline=None)
+@given(num_azim=azims, width=dims, height=dims, spacing=spacings)
+def test_effective_spacing_consistent(num_azim, width, height, spacing):
+    """spacing == (W / num_x) sin(phi) == (H / num_y) cos(phi)."""
+    q = build_quadrature(num_azim, width, height, spacing)
+    for a in range(q.num_angles):
+        via_x = (width / q.num_x[a]) * abs(math.sin(q.phi[a]))
+        via_y = (height / q.num_y[a]) * abs(math.cos(q.phi[a]))
+        assert abs(via_x - q.spacing[a]) < 1e-10 * max(1.0, via_x)
+        assert abs(via_y - q.spacing[a]) < 1e-10 * max(1.0, via_y)
+
+
+@settings(max_examples=30, deadline=None)
+@given(half=st.integers(min_value=1, max_value=8))
+def test_gauss_legendre_moments(half):
+    """GL polar sets integrate mu^k exactly for k <= 2*half - 1."""
+    q = gauss_legendre_polar(2 * half)
+    mu = q.cos_theta
+    for k in range(2 * half):
+        numeric = float((q.weights * mu**k).sum())
+        exact = 1.0 / (k + 1)  # integral of mu^k over (0,1)
+        assert abs(numeric - exact) < 1e-10

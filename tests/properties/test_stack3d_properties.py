@@ -1,0 +1,80 @@
+"""Property-based tests for 3D track stacks and OTF segmentation."""
+
+import numpy as np
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.errors import TrackingError
+from repro.geometry import BoundaryCondition, Geometry, Lattice
+from repro.geometry.extruded import AxialMesh, ExtrudedGeometry
+from repro.geometry.universe import make_homogeneous_universe
+from repro.materials import Material
+from repro.tracks import TrackGenerator3D
+
+_WATER = Material("prop3d-water", sigma_t=[1.0], sigma_s=[[0.5]])
+
+dims = st.floats(min_value=1.0, max_value=6.0, allow_nan=False)
+heights = st.floats(min_value=0.8, max_value=5.0, allow_nan=False)
+spacings = st.floats(min_value=0.4, max_value=1.5, allow_nan=False)
+layer_counts = st.integers(min_value=1, max_value=3)
+
+
+def build(width, height_2d, z_height, layers, azim_spacing, polar_spacing,
+          bc_top=BoundaryCondition.REFLECTIVE):
+    u = make_homogeneous_universe(_WATER)
+    radial = Geometry(Lattice([[u]], width, height_2d))
+    g3 = ExtrudedGeometry(
+        radial, AxialMesh.uniform(0.0, z_height, layers),
+        boundary_zmin=BoundaryCondition.REFLECTIVE, boundary_zmax=bc_top,
+    )
+    try:
+        return TrackGenerator3D(
+            g3, num_azim=4, azim_spacing=azim_spacing,
+            polar_spacing=polar_spacing, num_polar=2,
+        ).generate()
+    except TrackingError:
+        assume(False)
+
+
+@settings(max_examples=20, deadline=None)
+@given(w=dims, h=dims, z=heights, layers=layer_counts, sp=spacings, pp=spacings)
+def test_volume_conservation(w, h, z, layers, sp, pp):
+    """Tracked 3D volumes reproduce every layer's analytic volume."""
+    tg = build(w, h, z, layers, sp, pp)
+    volumes = tg.fsr_volumes_3d()
+    expected = w * h * (z / layers)
+    np.testing.assert_allclose(volumes, expected, rtol=1e-8)
+
+
+@settings(max_examples=20, deadline=None)
+@given(w=dims, h=dims, z=heights, sp=spacings, pp=spacings)
+def test_reflective_3d_links_form_permutation(w, h, z, sp, pp):
+    tg = build(w, h, z, 1, sp, pp)
+    slots = set()
+    for t in tg.tracks3d:
+        assert t.link_fwd is not None and t.link_bwd is not None
+        slots.add((t.link_fwd.track, t.link_fwd.forward))
+        slots.add((t.link_bwd.track, t.link_bwd.forward))
+    assert len(slots) == 2 * len(tg.tracks3d)
+
+
+@settings(max_examples=20, deadline=None)
+@given(w=dims, h=dims, z=heights, sp=spacings, pp=spacings)
+def test_segment_lengths_sum_to_track_length(w, h, z, sp, pp):
+    tg = build(w, h, z, 2, sp, pp)
+    for t in tg.tracks3d:
+        _, lengths = tg.trace_track_3d(t)
+        assert abs(lengths.sum() - t.length) < 1e-8 * max(t.length, 1.0)
+        assert (lengths > 0).all()
+
+
+@settings(max_examples=15, deadline=None)
+@given(w=dims, h=dims, z=heights, sp=spacings, pp=spacings)
+def test_vacuum_top_marks_exits(w, h, z, sp, pp):
+    tg = build(w, h, z, 1, sp, pp, bc_top=BoundaryCondition.VACUUM)
+    top_exits = [
+        t for t in tg.tracks3d
+        if t.going_up and abs(t.z1 - z) < 1e-9 * max(z, 1.0)
+    ]
+    assume(top_exits)
+    for t in top_exits:
+        assert t.link_fwd is None and t.vacuum_end

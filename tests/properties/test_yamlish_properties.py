@@ -1,0 +1,107 @@
+"""Property-based round-trip tests for the YAML-subset parser."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.io.yamlish import loads
+
+# Scalars we can serialise unambiguously.
+scalars = st.one_of(
+    st.integers(min_value=-10**9, max_value=10**9),
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False),
+    st.booleans(),
+    st.text(alphabet="abcdefghijklmnopqrstuvwxyz_", min_size=1, max_size=12),
+)
+
+keys = st.text(alphabet="abcdefghijklmnopqrstuvwxyz_", min_size=1, max_size=10)
+
+
+def dump(value, indent=0):
+    """A minimal serialiser for the supported subset."""
+    pad = " " * indent
+    if isinstance(value, dict):
+        lines = []
+        for k, v in value.items():
+            if isinstance(v, (dict, list)) and v:
+                lines.append(f"{pad}{k}:")
+                lines.append(dump(v, indent + 2))
+            else:
+                lines.append(f"{pad}{k}: {scalar_str(v)}")
+        return "\n".join(lines)
+    if isinstance(value, list):
+        lines = []
+        for item in value:
+            if isinstance(item, (dict, list)) and item:
+                lines.append(f"{pad}-")
+                lines.append(dump(item, indent + 2))
+            else:
+                lines.append(f"{pad}- {scalar_str(item)}")
+        return "\n".join(lines)
+    return f"{pad}{scalar_str(value)}"
+
+
+def scalar_str(value):
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float):
+        return repr(value)
+    if isinstance(value, str):
+        return f'"{value}"'
+    if value is None:
+        return "null"
+    if isinstance(value, (dict, list)):
+        return "{}" if isinstance(value, dict) else "[]"
+    return str(value)
+
+
+def normalise(value):
+    """Collapse empty containers to the parser's representation."""
+    if isinstance(value, dict):
+        if not value:
+            return {}
+        return {k: normalise(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [normalise(v) for v in value]
+    if isinstance(value, float) and value == int(value) and abs(value) < 1e15:
+        # repr(2.0) == '2.0' parses back as float; fine. But repr of
+        # -0.0 etc. round-trips too; no change needed.
+        return value
+    return value
+
+
+documents = st.recursive(
+    st.dictionaries(keys, scalars, min_size=1, max_size=4),
+    lambda children: st.dictionaries(
+        keys, st.one_of(scalars, children, st.lists(scalars, min_size=1, max_size=4)),
+        min_size=1, max_size=4,
+    ),
+    max_leaves=12,
+)
+
+
+@settings(max_examples=80, deadline=None)
+@given(doc=documents)
+def test_roundtrip_documents(doc):
+    text = dump(doc)
+    parsed = loads(text)
+    assert parsed == normalise(doc)
+
+
+@settings(max_examples=80, deadline=None)
+@given(value=scalars)
+def test_roundtrip_scalars(value):
+    parsed = loads(f"key: {scalar_str(value)}")
+    assert parsed == {"key": value}
+
+
+@settings(max_examples=50, deadline=None)
+@given(items=st.lists(scalars, min_size=1, max_size=8))
+def test_roundtrip_block_sequences(items):
+    text = "\n".join(f"- {scalar_str(i)}" for i in items)
+    assert loads(text) == items
+
+
+@settings(max_examples=50, deadline=None)
+@given(items=st.lists(st.integers(-1000, 1000), min_size=0, max_size=8))
+def test_roundtrip_inline_lists(items):
+    text = "key: [" + ", ".join(str(i) for i in items) + "]"
+    assert loads(text) == {"key": items}

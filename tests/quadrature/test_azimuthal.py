@@ -1,0 +1,106 @@
+"""Tests for the azimuthal quadrature with cyclic correction."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import TrackingError
+from repro.quadrature import AzimuthalQuadrature
+
+
+class TestConstruction:
+    def test_angle_count(self):
+        q = AzimuthalQuadrature(8, 4.0, 3.0, 0.5)
+        assert q.num_angles == 4
+        assert q.phi.shape == (4,)
+
+    @pytest.mark.parametrize("bad", [0, 2, 6, -8])
+    def test_num_azim_validation(self, bad):
+        with pytest.raises(TrackingError):
+            AzimuthalQuadrature(bad, 1.0, 1.0, 0.1)
+
+    def test_domain_validation(self):
+        with pytest.raises(TrackingError):
+            AzimuthalQuadrature(4, 0.0, 1.0, 0.1)
+        with pytest.raises(TrackingError):
+            AzimuthalQuadrature(4, 1.0, 1.0, -0.1)
+
+    def test_arrays_readonly(self):
+        q = AzimuthalQuadrature(4, 2.0, 2.0, 0.5)
+        with pytest.raises(ValueError):
+            q.phi[0] = 0.0
+
+
+class TestAngles:
+    def test_angles_in_open_interval(self):
+        q = AzimuthalQuadrature(16, 5.0, 3.0, 0.2)
+        assert np.all(q.phi > 0.0)
+        assert np.all(q.phi < math.pi)
+        assert np.all(np.diff(q.phi) > 0.0)
+
+    def test_complementary_pairing(self):
+        q = AzimuthalQuadrature(8, 4.0, 3.0, 0.3)
+        for a in range(q.num_angles):
+            b = q.complement(a)
+            assert q.phi[a] + q.phi[b] == pytest.approx(math.pi)
+            assert q.spacing[a] == pytest.approx(q.spacing[b])
+            assert q.num_x[a] == q.num_x[b]
+
+    def test_corrected_near_desired(self):
+        """With fine spacing, corrected angles approach the nominal ones."""
+        q = AzimuthalQuadrature(8, 10.0, 10.0, 0.01)
+        desired = [(2 * math.pi / 8) * (0.5 + a) for a in range(2)]
+        for a, want in enumerate(desired):
+            assert q.phi[a] == pytest.approx(want, abs=0.02)
+
+    def test_direction_unit_vectors(self):
+        q = AzimuthalQuadrature(4, 2.0, 2.0, 0.5)
+        for a in range(q.num_angles):
+            ux, uy = q.direction(a)
+            assert math.hypot(ux, uy) == pytest.approx(1.0)
+            assert uy > 0.0  # all stored directions point up
+
+
+class TestSpacingAndCounts:
+    def test_counts_positive(self):
+        q = AzimuthalQuadrature(32, 64.26, 64.26, 0.05)
+        assert np.all(q.num_x >= 1)
+        assert np.all(q.num_y >= 1)
+
+    def test_spacing_close_to_requested_when_fine(self):
+        q = AzimuthalQuadrature(8, 20.0, 20.0, 0.05)
+        np.testing.assert_allclose(q.spacing, 0.05, rtol=0.1)
+
+    def test_finer_request_gives_more_tracks(self):
+        coarse = AzimuthalQuadrature(8, 10.0, 10.0, 0.5)
+        fine = AzimuthalQuadrature(8, 10.0, 10.0, 0.1)
+        assert fine.total_tracks > coarse.total_tracks
+
+    def test_total_tracks_eq2(self):
+        """Eq. (2): total = sum of per-angle counts."""
+        q = AzimuthalQuadrature(8, 4.0, 3.0, 0.3)
+        assert q.total_tracks == int(q.tracks_per_angle().sum())
+
+    def test_spacing_consistent_with_counts(self):
+        """spacing = (W / num_x) * sin(phi) by construction."""
+        q = AzimuthalQuadrature(8, 4.0, 3.0, 0.3)
+        for a in range(q.num_angles):
+            want = (4.0 / q.num_x[a]) * math.sin(q.phi[a])
+            assert q.spacing[a] == pytest.approx(want)
+
+
+class TestWeights:
+    def test_weights_sum_to_one(self):
+        for num_azim in (4, 8, 16, 32):
+            q = AzimuthalQuadrature(num_azim, 3.0, 5.0, 0.2)
+            assert q.weights.sum() == pytest.approx(1.0)
+
+    def test_weights_positive(self):
+        q = AzimuthalQuadrature(16, 3.0, 5.0, 0.2)
+        assert np.all(q.weights > 0.0)
+
+    def test_weights_symmetric_under_complement(self):
+        q = AzimuthalQuadrature(8, 4.0, 4.0, 0.3)
+        for a in range(q.num_angles):
+            assert q.weights[a] == pytest.approx(q.weights[q.complement(a)])

@@ -1,0 +1,86 @@
+"""Tests for polar quadrature sets."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TrackingError
+from repro.quadrature import PolarQuadrature, gauss_legendre_polar, tabuchi_yamamoto
+
+
+class TestTabuchiYamamoto:
+    @pytest.mark.parametrize("num_polar", [2, 4, 6])
+    def test_supported_orders(self, num_polar):
+        q = tabuchi_yamamoto(num_polar)
+        assert q.num_polar == num_polar
+        assert q.num_polar_half == num_polar // 2
+        assert q.weights.sum() == pytest.approx(1.0)
+
+    def test_known_single_angle(self):
+        q = tabuchi_yamamoto(2)
+        assert q.sin_theta[0] == pytest.approx(0.798184)
+        assert q.weights[0] == pytest.approx(1.0)
+
+    def test_ty3_values(self):
+        q = tabuchi_yamamoto(6)
+        np.testing.assert_allclose(
+            q.sin_theta, [0.166648, 0.537707, 0.932954], rtol=1e-6
+        )
+
+    def test_unsupported_order(self):
+        with pytest.raises(TrackingError):
+            tabuchi_yamamoto(8)
+        with pytest.raises(TrackingError):
+            tabuchi_yamamoto(3)
+
+    def test_sines_sorted_increasing(self):
+        q = tabuchi_yamamoto(6)
+        assert np.all(np.diff(q.sin_theta) > 0)
+
+
+class TestGaussLegendre:
+    @pytest.mark.parametrize("num_polar", [2, 4, 6, 8, 10])
+    def test_weights_normalised(self, num_polar):
+        q = gauss_legendre_polar(num_polar)
+        assert q.weights.sum() == pytest.approx(1.0)
+        assert q.num_polar == num_polar
+
+    def test_integrates_constant_exactly(self):
+        q = gauss_legendre_polar(4)
+        assert (q.weights * 1.0).sum() == pytest.approx(1.0)
+
+    def test_integrates_mu_exactly(self):
+        """GL nodes over mu in (0,1) integrate mu to 1/2 exactly."""
+        q = gauss_legendre_polar(4)
+        mu = q.cos_theta
+        assert (q.weights * mu).sum() == pytest.approx(0.5, rel=1e-12)
+
+    def test_integrates_mu_squared(self):
+        q = gauss_legendre_polar(6)
+        mu = q.cos_theta
+        assert (q.weights * mu**2).sum() == pytest.approx(1.0 / 3.0, rel=1e-12)
+
+    def test_odd_rejected(self):
+        with pytest.raises(TrackingError):
+            gauss_legendre_polar(5)
+
+
+class TestPolarQuadratureValidation:
+    def test_cos_consistent(self):
+        q = tabuchi_yamamoto(4)
+        np.testing.assert_allclose(q.sin_theta**2 + q.cos_theta**2, 1.0)
+
+    def test_bad_weight_sum(self):
+        with pytest.raises(TrackingError, match="sum"):
+            PolarQuadrature([0.5], [0.9])
+
+    def test_bad_sine_range(self):
+        with pytest.raises(TrackingError, match="\\(0, 1\\]"):
+            PolarQuadrature([1.5], [1.0])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(TrackingError):
+            PolarQuadrature([0.5, 0.9], [1.0])
+
+    def test_theta_method(self):
+        q = tabuchi_yamamoto(2)
+        assert q.theta()[0] == pytest.approx(np.arcsin(0.798184))

@@ -1,0 +1,71 @@
+"""Tests for the product quadrature and sweep weights."""
+
+import math
+
+import pytest
+
+from repro.constants import FOUR_PI
+from repro.quadrature import AzimuthalQuadrature, ProductQuadrature, tabuchi_yamamoto
+
+
+@pytest.fixture()
+def quadrature():
+    azim = AzimuthalQuadrature(8, 4.0, 3.0, 0.3)
+    return ProductQuadrature(azim, tabuchi_yamamoto(4))
+
+
+class TestTrackWeights:
+    def test_2d_weight_formula(self, quadrature):
+        q = quadrature
+        a, p = 1, 0
+        want = (
+            0.5
+            * FOUR_PI
+            * q.azimuthal.weights[a]
+            * q.polar.weights[p]
+            * q.azimuthal.spacing[a]
+            * q.polar.sin_theta[p]
+        )
+        assert q.track_weight(a, p) == pytest.approx(want)
+
+    def test_3d_weight_formula(self, quadrature):
+        q = quadrature
+        a, p = 0, 1
+        z_spacing = 0.17
+        want = (
+            0.25
+            * FOUR_PI
+            * q.azimuthal.weights[a]
+            * q.polar.weights[p]
+            * q.azimuthal.spacing[a]
+            * z_spacing
+        )
+        assert q.track_weight_3d(a, p, z_spacing) == pytest.approx(want)
+
+    def test_weights_positive(self, quadrature):
+        table = quadrature.weights_table()
+        assert (table > 0).all()
+        assert table.shape == (4, 2)
+
+    def test_weight_sum_identity(self, quadrature):
+        """Sum over angles of w_a w_p d_a sin(theta) equals the volume
+        normalisation constant used by the sweep derivation:
+
+        sum_{a,p} track_weight(a,p) * (1 / d_a) ... reduces to 2 pi when
+        the azimuthal/polar weights each sum to 1 and the geometric
+        factors are divided out.
+        """
+        q = quadrature
+        total = 0.0
+        for a in range(q.num_azim_half):
+            for p in range(q.num_polar_half):
+                w = q.track_weight(a, p)
+                total += w / (q.azimuthal.spacing[a] * q.polar.sin_theta[p])
+        assert total == pytest.approx(0.5 * FOUR_PI)
+
+    def test_complementary_symmetry(self, quadrature):
+        q = quadrature
+        for a in range(q.num_azim_half):
+            b = q.azimuthal.complement(a)
+            for p in range(q.num_polar_half):
+                assert q.track_weight(a, p) == pytest.approx(q.track_weight(b, p))

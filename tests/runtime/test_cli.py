@@ -1,0 +1,56 @@
+"""Tests for the newmoc-style CLI."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def config_file(tmp_path):
+    path = tmp_path / "config.yaml"
+    path.write_text(
+        "geometry: c5g7-mini\n"
+        "tracking:\n  num_azim: 4\n  azim_spacing: 0.5\n  num_polar: 2\n"
+        "solver:\n  max_iterations: 40\n"
+        "  keff_tolerance: 1.0e-4\n  source_tolerance: 1.0e-3\n"
+    )
+    return path
+
+
+class TestCli:
+    def test_successful_run(self, config_file, capsys):
+        code = main(["--config", str(config_file)])
+        out = capsys.readouterr().out
+        assert "k-effective" in out
+        assert "transport_solving" in out
+        assert code in (0, 2)  # 2 = ran but unconverged within 40 iters
+
+    def test_fission_map_flag(self, config_file, capsys):
+        main(["--config", str(config_file), "--fission-map", "--map-size", "10"])
+        out = capsys.readouterr().out
+        lines = out.splitlines()
+        # a 10-row block of map characters appears after the report
+        assert any(len(line) == 10 and set(line) <= set(" .:-=+*#%@") for line in lines)
+
+    def test_report_file(self, config_file, tmp_path, capsys):
+        report = tmp_path / "run.log"
+        main(["--config", str(config_file), "--report", str(report)])
+        capsys.readouterr()
+        assert report.exists()
+        assert "k-effective" in report.read_text()
+
+    def test_missing_config(self, tmp_path, capsys):
+        code = main(["--config", str(tmp_path / "nope.yaml")])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_invalid_config(self, tmp_path, capsys):
+        path = tmp_path / "bad.yaml"
+        path.write_text("tracking:\n  num_azim: 6\n")
+        code = main(["--config", str(path)])
+        assert code == 1
+        assert "multiple of 4" in capsys.readouterr().err
+
+    def test_requires_config_argument(self):
+        with pytest.raises(SystemExit):
+            main([])

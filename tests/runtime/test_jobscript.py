@@ -1,0 +1,59 @@
+"""Tests for the artifact-style Slurm script generator."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.io.config import config_from_dict
+from repro.runtime.jobscript import SlurmOptions, generate_slurm_script, write_slurm_script
+
+
+@pytest.fixture()
+def config():
+    return config_from_dict(
+        {"geometry": "c5g7", "decomposition": {"nx": 2, "ny": 2, "nz": 2}}
+    )
+
+
+class TestGeneration:
+    def test_ntasks_matches_decomposition(self, config):
+        """The appendix's constraint: NTASKS == domain count."""
+        script = generate_slurm_script(config, "config.yaml")
+        assert "#SBATCH -n 8" in script
+        assert "mpirun -oversubscribe -n 8" in script
+
+    def test_artifact_shape(self, config):
+        script = generate_slurm_script(config, "config.yaml")
+        assert script.startswith("#!/bin/bash")
+        assert "#SBATCH -J MOC" in script
+        assert "#SBATCH -o c5g7-8-%j.log" in script
+        assert "#SBATCH --gres=dcu:4" in script
+        assert "module purge" in script
+        assert "module load compiler/rocm/3.9.1" in script
+        assert 'DOMAIN={2.2.2}' in script
+
+    def test_config_path_quoted(self, config):
+        script = generate_slurm_script(config, "runs/my config.yaml")
+        assert '--config "runs/my config.yaml"' in script
+
+    def test_custom_options(self, config):
+        options = SlurmOptions(job_name="C5G7", partition="debug", gpus_per_node=8)
+        script = generate_slurm_script(config, "c.yaml", options)
+        assert "#SBATCH -J C5G7" in script
+        assert "#SBATCH -p debug" in script
+        assert "--gres=dcu:8" in script
+
+    def test_option_validation(self, config):
+        with pytest.raises(ConfigError):
+            generate_slurm_script(config, "c.yaml", SlurmOptions(gpus_per_node=0))
+        with pytest.raises(ConfigError):
+            generate_slurm_script(config, "c.yaml", SlurmOptions(job_name="two words"))
+
+    def test_write_to_file(self, config, tmp_path):
+        path = write_slurm_script(tmp_path / "slurm.job", config, "config.yaml")
+        assert path.exists()
+        assert path.read_text().startswith("#!/bin/bash")
+
+    def test_single_domain(self):
+        config = config_from_dict({"geometry": "c5g7-mini"})
+        script = generate_slurm_script(config, "config.yaml")
+        assert "#SBATCH -n 1" in script

@@ -1,0 +1,95 @@
+"""Tests for output writers (CSV, VTK, ASCII heat map)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SolverError
+from repro.runtime import (
+    ascii_heatmap,
+    write_fission_rates_csv,
+    write_vtk_structured_points,
+)
+from repro.runtime.output import pin_power_map
+
+
+class TestCSV:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "rates.csv"
+        write_fission_rates_csv(path, np.array([1.5, 0.0, 2.25]), names=["a", "b", "c"])
+        lines = path.read_text().strip().splitlines()
+        assert lines[0] == "fsr,name,rate"
+        assert lines[1].startswith("0,a,1.5")
+        assert len(lines) == 4
+
+    def test_without_names(self, tmp_path):
+        path = tmp_path / "rates.csv"
+        write_fission_rates_csv(path, np.array([1.0]))
+        assert ",," in path.read_text().splitlines()[1]
+
+
+class TestVTK:
+    def test_legacy_header(self, tmp_path):
+        path = tmp_path / "rates.vtk"
+        grid = np.arange(6.0).reshape(2, 3)
+        write_vtk_structured_points(path, grid, spacing=(0.5, 0.5))
+        text = path.read_text()
+        assert text.startswith("# vtk DataFile Version 3.0")
+        assert "DIMENSIONS 3 2 1" in text
+        assert "SCALARS fission_rate double 1" in text
+        assert "POINT_DATA 6" in text
+
+    def test_values_serialised(self, tmp_path):
+        path = tmp_path / "rates.vtk"
+        write_vtk_structured_points(path, np.array([[1.25]]))
+        assert "1.25000000e+00" in path.read_text()
+
+    def test_non_2d_rejected(self, tmp_path):
+        with pytest.raises(SolverError):
+            write_vtk_structured_points(tmp_path / "x.vtk", np.zeros(3))
+
+
+class TestHeatmap:
+    def test_shape_and_orientation(self):
+        grid = np.array([[0.0, 0.0], [1.0, 1.0]])  # top row has the max
+        art = ascii_heatmap(grid)
+        rows = art.splitlines()
+        assert len(rows) == 2
+        # rendering flips vertically: first rendered row is grid[-1]
+        assert rows[0] == "@@"
+        assert rows[1] == "  "
+
+    def test_zero_field(self):
+        art = ascii_heatmap(np.zeros((2, 2)))
+        assert set("".join(art.splitlines())) == {" "}
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(SolverError):
+            ascii_heatmap(np.zeros(4))
+
+
+class TestPinPowerMap:
+    def test_centre_peaked_for_central_fuel(self, uo2, moderator):
+        from repro.geometry import Geometry, Lattice
+        from repro.geometry.universe import make_homogeneous_universe
+        from repro.solver import SourceTerms
+
+        fuel = make_homogeneous_universe(uo2)
+        water = make_homogeneous_universe(moderator)
+        g = Geometry(Lattice([[water, fuel, water]], 1.0, 1.0))
+        terms = SourceTerms(list(g.fsr_materials))
+        flux = np.ones((g.num_fsrs, 7))
+        grid = pin_power_map(g, terms, flux, np.ones(g.num_fsrs), nx=9, ny=3)
+        assert grid.shape == (3, 9)
+        # central third carries the fission density
+        assert grid[:, 3:6].max() > 0
+        assert grid[:, :3].max() == 0.0
+
+    def test_flux_shape_check(self, uo2):
+        from repro.geometry import Geometry
+        from repro.geometry.universe import make_homogeneous_universe
+        from repro.solver import SourceTerms
+
+        g = Geometry(make_homogeneous_universe(uo2), bounds=(0, 0, 1, 1))
+        terms = SourceTerms(list(g.fsr_materials))
+        with pytest.raises(SolverError):
+            pin_power_map(g, terms, np.ones((5, 7)), np.ones(1), 2, 2)

@@ -1,0 +1,55 @@
+"""Tests for the pipeline stage machinery."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.runtime import PipelineState, StageName
+from repro.runtime.stages import STAGE_ORDER
+
+
+class TestStageOrder:
+    def test_five_stages_in_paper_order(self):
+        assert [s.value for s in STAGE_ORDER] == [
+            "read_configuration",
+            "geometry_construction",
+            "track_generation",
+            "transport_solving",
+            "output_generation",
+        ]
+
+
+class TestPipelineState:
+    def test_in_order_completion(self):
+        state = PipelineState()
+        for stage in STAGE_ORDER:
+            state.complete(stage, artifact=stage.value)
+        assert state.finished
+        assert state.artifact(StageName.TRANSPORT_SOLVING) == "transport_solving"
+
+    def test_out_of_order_rejected(self):
+        state = PipelineState()
+        with pytest.raises(ConfigError, match="out of order"):
+            state.complete(StageName.TRANSPORT_SOLVING, None)
+
+    def test_skipping_rejected(self):
+        state = PipelineState()
+        state.complete(StageName.READ_CONFIGURATION, {})
+        with pytest.raises(ConfigError):
+            state.complete(StageName.TRACK_GENERATION, None)
+
+    def test_extra_stage_after_finish_rejected(self):
+        state = PipelineState()
+        for stage in STAGE_ORDER:
+            state.complete(stage, None)
+        with pytest.raises(ConfigError):
+            state.complete(StageName.OUTPUT_GENERATION, None)
+
+    def test_artifact_of_missing_stage(self):
+        state = PipelineState()
+        with pytest.raises(ConfigError, match="has not completed"):
+            state.artifact(StageName.GEOMETRY_CONSTRUCTION)
+
+    def test_not_finished_midway(self):
+        state = PipelineState()
+        state.complete(StageName.READ_CONFIGURATION, {})
+        assert not state.finished

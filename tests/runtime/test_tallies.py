@@ -1,0 +1,109 @@
+"""Tests for pin/assembly fission-rate tallies."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SolverError
+from repro.geometry import Geometry, Lattice
+from repro.geometry.universe import make_homogeneous_universe
+from repro.runtime.tallies import (
+    PinRates,
+    assembly_fission_rates,
+    compare_pin_rates,
+    pin_fission_rates,
+)
+from repro.solver import SourceTerms
+
+
+@pytest.fixture()
+def lattice_problem(uo2, moderator):
+    fuel = make_homogeneous_universe(uo2)
+    water = make_homogeneous_universe(moderator)
+    rows = [[fuel, water], [water, fuel]]  # checkerboard
+    g = Geometry(Lattice(rows, 1.0, 1.0))
+    terms = SourceTerms(list(g.fsr_materials))
+    flux = np.ones((g.num_fsrs, 7))
+    volumes = np.ones(g.num_fsrs)
+    return g, terms, flux, volumes
+
+
+class TestPinRates:
+    def test_checkerboard_pattern(self, lattice_problem):
+        g, terms, flux, volumes = lattice_problem
+        pins = pin_fission_rates(g, terms, flux, volumes, pins_x=2, pins_y=2)
+        rates = pins.rates
+        # fuel on the main diagonal (bottom-left and top-right)
+        assert rates[0, 0] > 0 and rates[1, 1] > 0
+        assert rates[0, 1] == 0 and rates[1, 0] == 0
+
+    def test_fuel_pins_equal(self, lattice_problem):
+        g, terms, flux, volumes = lattice_problem
+        pins = pin_fission_rates(g, terms, flux, volumes, pins_x=2, pins_y=2)
+        assert pins.rates[0, 0] == pytest.approx(pins.rates[1, 1])
+
+    def test_normalised_unit_mean(self, lattice_problem):
+        g, terms, flux, volumes = lattice_problem
+        pins = pin_fission_rates(g, terms, flux, volumes, 2, 2)
+        norm = pins.normalized()
+        assert norm[norm > 0].mean() == pytest.approx(1.0)
+
+    def test_peak_location(self, lattice_problem):
+        g, terms, flux, volumes = lattice_problem
+        flux = flux.copy()
+        # boost flux in the top-right fuel FSR
+        hot = g.find_fsr(1.5, 1.5)
+        flux[hot] *= 3.0
+        pins = pin_fission_rates(g, terms, flux, volumes, 2, 2)
+        i, j, value = pins.peak()
+        assert (i, j) == (1, 1)
+        assert value > 1.0
+
+    def test_flux_shape_check(self, lattice_problem):
+        g, terms, _, volumes = lattice_problem
+        with pytest.raises(SolverError):
+            pin_fission_rates(g, terms, np.ones((3, 7)), volumes, 2, 2)
+
+    def test_invalid_grid(self, lattice_problem):
+        g, terms, flux, volumes = lattice_problem
+        with pytest.raises(SolverError):
+            pin_fission_rates(g, terms, flux, volumes, 0, 2)
+
+
+class TestAssemblyRates:
+    def test_aggregation(self):
+        rates = np.arange(16.0).reshape(4, 4)
+        pins = PinRates(rates=rates, pin_pitch_x=1.0, pin_pitch_y=1.0)
+        assemblies = assembly_fission_rates(pins, 2, 2)
+        assert assemblies.shape == (2, 2)
+        assert assemblies.sum() == pytest.approx(rates.sum())
+        assert assemblies[0, 0] == pytest.approx(rates[:2, :2].sum())
+
+    def test_grid_must_divide(self):
+        pins = PinRates(rates=np.ones((3, 4)), pin_pitch_x=1.0, pin_pitch_y=1.0)
+        with pytest.raises(SolverError):
+            assembly_fission_rates(pins, 2, 2)
+
+
+class TestComparison:
+    def test_identical_maps_zero_error(self):
+        rates = np.array([[1.0, 0.0], [0.0, 2.0]])
+        a = PinRates(rates=rates, pin_pitch_x=1.0, pin_pitch_y=1.0)
+        b = PinRates(rates=rates * 5.0, pin_pitch_x=1.0, pin_pitch_y=1.0)
+        # scaling cancels in the normalised comparison
+        assert compare_pin_rates(a, b) == pytest.approx(0.0, abs=1e-13)
+
+    def test_deviation_measured(self):
+        a = PinRates(np.array([[1.0, 1.0]]), 1.0, 1.0)
+        b = PinRates(np.array([[1.0, 1.2]]), 1.0, 1.0)
+        assert compare_pin_rates(a, b) > 0.05
+
+    def test_shape_mismatch(self):
+        a = PinRates(np.ones((2, 2)), 1.0, 1.0)
+        b = PinRates(np.ones((2, 3)), 1.0, 1.0)
+        with pytest.raises(SolverError):
+            compare_pin_rates(a, b)
+
+    def test_no_fueled_pins(self):
+        a = PinRates(np.zeros((2, 2)), 1.0, 1.0)
+        with pytest.raises(SolverError):
+            a.normalized()

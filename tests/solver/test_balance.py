@@ -1,0 +1,87 @@
+"""Tests for neutron-balance diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SolverError
+from repro.solver import (
+    MOCSolver,
+    SourceTerms,
+    compute_balance,
+    infinite_medium_keff_from_rates,
+)
+
+
+class TestBalanceReflective:
+    def test_reflective_solution_has_zero_leakage(self, reflective_box, two_group_fissile):
+        solver = MOCSolver.for_2d(
+            reflective_box, num_azim=4, azim_spacing=0.6, num_polar=2,
+            keff_tolerance=1e-8, source_tolerance=1e-7, max_iterations=2500,
+        )
+        result = solver.solve()
+        balance = compute_balance(
+            solver.terms, result.scalar_flux, solver.volumes, result.keff
+        )
+        assert abs(balance.leakage_fraction) < 1e-4
+
+    def test_rate_based_keff_matches_iteration(self, reflective_box):
+        solver = MOCSolver.for_2d(
+            reflective_box, num_azim=4, azim_spacing=0.6, num_polar=2,
+            keff_tolerance=1e-8, source_tolerance=1e-7, max_iterations=2500,
+        )
+        result = solver.solve()
+        k_rates = infinite_medium_keff_from_rates(
+            solver.terms, result.scalar_flux, solver.volumes
+        )
+        assert k_rates == pytest.approx(result.keff, rel=1e-4)
+
+
+class TestBalanceVacuum:
+    def test_vacuum_solution_leaks(self, vacuum_box, two_group_fissile):
+        solver = MOCSolver.for_2d(
+            vacuum_box, num_azim=4, azim_spacing=0.4, num_polar=2,
+            keff_tolerance=1e-7, source_tolerance=1e-6, max_iterations=1200,
+        )
+        result = solver.solve()
+        balance = compute_balance(
+            solver.terms, result.scalar_flux, solver.volumes, result.keff
+        )
+        # Small bare core: most produced neutrons leak.
+        assert balance.leakage > 0.0
+        assert balance.leakage_fraction > 0.3
+
+    def test_leakage_shrinks_with_size(self, two_group_fissile):
+        from repro.geometry import BoundaryCondition
+        from tests.conftest import make_box_geometry
+
+        bc = {s: BoundaryCondition.VACUUM for s in ("xmin", "xmax", "ymin", "ymax")}
+        fractions = []
+        for size in (2.0, 8.0):
+            g = make_box_geometry(two_group_fissile, width=size, height=size, boundary=bc)
+            solver = MOCSolver.for_2d(
+                g, num_azim=4, azim_spacing=size / 8, num_polar=2,
+                keff_tolerance=1e-6, source_tolerance=1e-5, max_iterations=800,
+            )
+            result = solver.solve()
+            balance = compute_balance(
+                solver.terms, result.scalar_flux, solver.volumes, result.keff
+            )
+            fractions.append(balance.leakage_fraction)
+        assert fractions[1] < fractions[0]
+
+
+class TestValidation:
+    def test_shape_checked(self, two_group_fissile):
+        terms = SourceTerms([two_group_fissile])
+        with pytest.raises(SolverError):
+            compute_balance(terms, np.ones((2, 2)), np.ones(1), 1.0)
+
+    def test_keff_checked(self, two_group_fissile):
+        terms = SourceTerms([two_group_fissile])
+        with pytest.raises(SolverError):
+            compute_balance(terms, np.ones((1, 2)), np.ones(1), 0.0)
+
+    def test_residual_zero_when_inferred(self, two_group_fissile):
+        terms = SourceTerms([two_group_fissile])
+        balance = compute_balance(terms, np.ones((1, 2)), np.ones(1), 0.9)
+        assert balance.balance_residual == pytest.approx(0.0, abs=1e-12)

@@ -1,0 +1,64 @@
+"""Tests for the convergence monitor."""
+
+import numpy as np
+import pytest
+
+from repro.solver import ConvergenceMonitor
+
+
+class TestConvergenceMonitor:
+    def test_first_iteration_never_converged(self):
+        mon = ConvergenceMonitor()
+        rec = mon.update(1.0, np.array([1.0, 2.0]))
+        assert rec.iteration == 1
+        assert not mon.converged
+
+    def test_converges_on_stable_source_and_k(self):
+        mon = ConvergenceMonitor(keff_tolerance=1e-6, source_tolerance=1e-5)
+        source = np.array([1.0, 2.0, 3.0])
+        mon.update(1.0, source)
+        mon.update(1.0 + 1e-8, source * (1 + 1e-7))
+        assert mon.converged
+
+    def test_not_converged_on_k_drift(self):
+        mon = ConvergenceMonitor(keff_tolerance=1e-6)
+        source = np.array([1.0, 1.0])
+        mon.update(1.0, source)
+        mon.update(1.01, source)
+        assert not mon.converged
+
+    def test_not_converged_on_source_change(self):
+        mon = ConvergenceMonitor(source_tolerance=1e-6)
+        mon.update(1.0, np.array([1.0, 1.0]))
+        mon.update(1.0, np.array([1.0, 1.5]))
+        assert not mon.converged
+
+    def test_residual_is_rms_of_relative_changes(self):
+        mon = ConvergenceMonitor()
+        mon.update(1.0, np.array([1.0, 2.0]))
+        rec = mon.update(1.0, np.array([1.1, 2.0]))
+        # relative changes: [0.1, 0.0] -> rms = 0.1/sqrt(2)
+        assert rec.source_residual == pytest.approx(np.sqrt((0.1**2 + 0.0) / 2))
+
+    def test_zero_source_regions_ignored(self):
+        mon = ConvergenceMonitor()
+        mon.update(1.0, np.array([0.0, 2.0]))
+        rec = mon.update(1.0, np.array([5.0, 2.0]))
+        assert rec.source_residual == 0.0  # only the nonzero entry counted
+
+    def test_history_accumulates(self):
+        mon = ConvergenceMonitor()
+        for i in range(5):
+            mon.update(1.0 + i * 1e-3, np.array([1.0]))
+        assert mon.num_iterations == 5
+        assert [r.iteration for r in mon.history] == [1, 2, 3, 4, 5]
+
+    def test_report_format(self):
+        mon = ConvergenceMonitor()
+        mon.update(1.2345, np.array([1.0]))
+        report = mon.report()
+        assert "keff" in report
+        assert "1.234500" in report
+
+    def test_empty_monitor_not_converged(self):
+        assert not ConvergenceMonitor().converged

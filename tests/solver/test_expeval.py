@@ -1,0 +1,62 @@
+"""Tests for the exponential evaluator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SolverError
+from repro.solver import ExponentialEvaluator
+from repro.solver.expeval import exact_f
+
+
+class TestExactF:
+    def test_values(self):
+        np.testing.assert_allclose(exact_f(np.array([0.0])), [0.0])
+        np.testing.assert_allclose(exact_f(np.array([1.0])), [1.0 - np.exp(-1.0)])
+
+    def test_small_argument_accuracy(self):
+        tau = np.array([1e-12])
+        # 1 - exp(-x) ~ x for tiny x; expm1 keeps full precision.
+        np.testing.assert_allclose(exact_f(tau), tau, rtol=1e-10)
+
+
+class TestEvaluator:
+    def test_error_bound_respected(self):
+        ev = ExponentialEvaluator(max_error=1e-8)
+        tau = np.linspace(0.0, ev.tau_max, 100_001)
+        err = np.abs(ev(tau) - exact_f(tau))
+        assert err.max() <= 1e-8 * 1.01
+
+    def test_tighter_tolerance_more_points(self):
+        loose = ExponentialEvaluator(max_error=1e-6)
+        tight = ExponentialEvaluator(max_error=1e-10)
+        assert tight.num_points > loose.num_points
+
+    def test_clamps_beyond_table(self):
+        ev = ExponentialEvaluator()
+        out = ev(np.array([ev.tau_max * 2.0, 100.0]))
+        np.testing.assert_allclose(out, 1.0)
+
+    def test_zero(self):
+        ev = ExponentialEvaluator()
+        assert ev(np.array([0.0]))[0] == pytest.approx(0.0, abs=1e-12)
+
+    def test_vector_shapes_preserved(self):
+        ev = ExponentialEvaluator()
+        tau = np.random.default_rng(0).uniform(0, 5, size=(3, 4, 5))
+        assert ev(tau).shape == (3, 4, 5)
+
+    def test_monotone_nondecreasing(self):
+        ev = ExponentialEvaluator(max_error=1e-8)
+        tau = np.linspace(0, 30, 5000)
+        values = ev(tau)
+        assert np.all(np.diff(values) >= -1e-12)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(SolverError):
+            ExponentialEvaluator(max_error=0.0)
+        with pytest.raises(SolverError):
+            ExponentialEvaluator(tau_max=-1.0)
+
+    def test_table_bytes_positive(self):
+        ev = ExponentialEvaluator()
+        assert ev.table_bytes() == ev.num_points * 16

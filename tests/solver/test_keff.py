@@ -1,0 +1,94 @@
+"""Tests for the power-iteration driver (with a mock sweep)."""
+
+import numpy as np
+import pytest
+
+from repro.constants import FOUR_PI
+from repro.errors import SolverError
+from repro.solver import KeffSolver, SourceTerms
+
+
+@pytest.fixture()
+def terms(two_group_fissile):
+    return SourceTerms([two_group_fissile, two_group_fissile])
+
+
+def infinite_medium_sweep(terms):
+    """A mock sweep that exactly reproduces the infinite-medium balance.
+
+    In an infinite homogeneous medium phi = Q / sigma_t (per 4pi), which
+    corresponds to a sweep whose finalize yields phi = 4 pi q with zero
+    delta-psi tally.
+    """
+
+    def sweep(reduced):
+        return np.zeros_like(reduced)
+
+    def finalize(tally, reduced, volumes):
+        return FOUR_PI * reduced + tally
+
+    return sweep, finalize
+
+
+class TestPowerIteration:
+    def test_recovers_analytic_k_inf(self, terms, two_group_fissile):
+        from repro.materials import infinite_medium_keff
+
+        sweep, finalize = infinite_medium_sweep(terms)
+        solver = KeffSolver(
+            terms, np.ones(2), sweep, finalize,
+            keff_tolerance=1e-10, source_tolerance=1e-9, max_iterations=2000,
+        )
+        result = solver.solve()
+        assert result.converged
+        assert result.keff == pytest.approx(
+            infinite_medium_keff(two_group_fissile), rel=1e-7
+        )
+
+    def test_flux_normalised_to_unit_production(self, terms):
+        sweep, finalize = infinite_medium_sweep(terms)
+        solver = KeffSolver(terms, np.ones(2), sweep, finalize, max_iterations=500)
+        result = solver.solve()
+        production = terms.fission_production(result.scalar_flux, np.ones(2))
+        assert production == pytest.approx(1.0, rel=1e-9)
+
+    def test_initial_flux_accepted(self, terms):
+        sweep, finalize = infinite_medium_sweep(terms)
+        solver = KeffSolver(terms, np.ones(2), sweep, finalize, max_iterations=500)
+        seeded = solver.solve(initial_flux=np.full((2, 2), 3.0))
+        default = solver.solve()
+        assert seeded.keff == pytest.approx(default.keff, rel=1e-6)
+
+    def test_max_iterations_respected(self, terms):
+        calls = []
+
+        def sweep(reduced):
+            calls.append(1)
+            return np.zeros_like(reduced)
+
+        def finalize(tally, reduced, volumes):
+            # oscillating flux never converges
+            return FOUR_PI * reduced * (1.0 + 0.5 * (-1) ** len(calls))
+
+        solver = KeffSolver(terms, np.ones(2), sweep, finalize, max_iterations=7)
+        result = solver.solve()
+        assert not result.converged
+        assert len(calls) == 7
+
+    def test_volume_shape_checked(self, terms):
+        sweep, finalize = infinite_medium_sweep(terms)
+        with pytest.raises(SolverError, match="volumes"):
+            KeffSolver(terms, np.ones(3), sweep, finalize)
+
+    def test_non_fissile_rejected(self, two_group_absorber):
+        terms = SourceTerms([two_group_absorber])
+        with pytest.raises(SolverError, match="fissile"):
+            KeffSolver(terms, np.ones(1), lambda q: q, lambda t, q, v: q)
+
+    def test_fission_rates_helper(self, terms):
+        sweep, finalize = infinite_medium_sweep(terms)
+        solver = KeffSolver(terms, np.ones(2), sweep, finalize, max_iterations=200)
+        result = solver.solve()
+        rates = result.fission_rates(terms, np.ones(2))
+        assert rates.shape == (2,)
+        assert (rates > 0).all()

@@ -1,0 +1,79 @@
+"""Tests for the MOCSolver facade (small end-to-end solves)."""
+
+import numpy as np
+import pytest
+
+from repro.materials import infinite_medium_keff
+from repro.solver import MOCSolver
+
+
+class TestFor2D:
+    def test_reflective_box_matches_k_inf(self, reflective_box, two_group_fissile):
+        solver = MOCSolver.for_2d(
+            reflective_box, num_azim=4, azim_spacing=0.6, num_polar=2,
+            keff_tolerance=1e-8, source_tolerance=1e-7, max_iterations=2000,
+        )
+        result = solver.solve()
+        assert result.converged
+        assert result.keff == pytest.approx(
+            infinite_medium_keff(two_group_fissile), rel=1e-5
+        )
+
+    def test_vacuum_box_subcritical(self, vacuum_box, two_group_fissile):
+        solver = MOCSolver.for_2d(
+            vacuum_box, num_azim=4, azim_spacing=0.4, num_polar=2,
+            keff_tolerance=1e-6, source_tolerance=1e-5, max_iterations=500,
+        )
+        result = solver.solve()
+        assert result.keff < infinite_medium_keff(two_group_fissile)
+
+    def test_fission_rates_unit_mean(self, reflective_box):
+        solver = MOCSolver.for_2d(
+            reflective_box, num_azim=4, azim_spacing=0.6, num_polar=2,
+            max_iterations=50,
+        )
+        result = solver.solve()
+        rates = solver.fission_rates(result)
+        positive = rates[rates > 0]
+        assert positive.mean() == pytest.approx(1.0)
+
+    def test_solve_result_metadata(self, reflective_box):
+        solver = MOCSolver.for_2d(
+            reflective_box, num_azim=4, azim_spacing=0.6, num_polar=2,
+            max_iterations=20,
+        )
+        result = solver.solve()
+        assert result.num_iterations <= 20
+        assert result.solve_seconds > 0
+        assert result.scalar_flux.shape == (reflective_box.num_fsrs, 2)
+
+
+class TestFor3D:
+    @pytest.mark.parametrize("storage", ["EXP", "OTF", "MANAGER"])
+    def test_storage_strategies_agree(self, small_geometry_3d, two_group_fissile, storage):
+        solver = MOCSolver.for_3d(
+            small_geometry_3d, num_azim=4, azim_spacing=0.8,
+            polar_spacing=0.8, num_polar=2, storage=storage,
+            keff_tolerance=1e-7, source_tolerance=1e-6, max_iterations=1500,
+        )
+        result = solver.solve()
+        assert result.converged
+        assert result.keff == pytest.approx(
+            infinite_medium_keff(two_group_fissile), rel=1e-4
+        )
+
+    def test_manager_respects_budget(self, small_geometry_3d):
+        solver = MOCSolver.for_3d(
+            small_geometry_3d, num_azim=4, azim_spacing=0.8,
+            polar_spacing=0.8, num_polar=2, storage="MANAGER",
+            resident_memory_bytes=500, max_iterations=5,
+        )
+        strategy = solver.storage_strategy
+        assert strategy.resident_memory_bytes() <= 500
+        assert 0 < strategy.num_resident < strategy.resident_mask.size
+
+    def test_unknown_storage_rejected(self, small_geometry_3d):
+        from repro.errors import SolverError
+
+        with pytest.raises(SolverError, match="unknown storage"):
+            MOCSolver.for_3d(small_geometry_3d, storage="CACHE")

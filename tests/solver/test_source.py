@@ -1,0 +1,91 @@
+"""Tests for the flat-source terms."""
+
+import numpy as np
+import pytest
+
+from repro.constants import FOUR_PI
+from repro.errors import SolverError
+from repro.solver import SourceTerms
+
+
+@pytest.fixture()
+def terms(two_group_fissile, two_group_absorber):
+    return SourceTerms([two_group_fissile, two_group_absorber, two_group_fissile])
+
+
+class TestConstruction:
+    def test_tables_gathered(self, terms, two_group_fissile):
+        assert terms.num_regions == 3
+        assert terms.num_groups == 2
+        np.testing.assert_array_equal(terms.sigma_t[0], two_group_fissile.sigma_t)
+        np.testing.assert_array_equal(terms.sigma_t[2], two_group_fissile.sigma_t)
+
+    def test_deduplication(self, terms):
+        # regions 0 and 2 share the material -> same index
+        assert terms.material_index[0] == terms.material_index[2]
+        assert terms.material_index[0] != terms.material_index[1]
+
+    def test_empty_rejected(self):
+        with pytest.raises(SolverError):
+            SourceTerms([])
+
+    def test_mixed_groups_rejected(self, two_group_fissile, uo2):
+        with pytest.raises(SolverError, match="mixed"):
+            SourceTerms([two_group_fissile, uo2])
+
+
+class TestFissionQuantities:
+    def test_fission_source(self, terms, two_group_fissile):
+        phi = np.ones((3, 2))
+        fs = terms.fission_source(phi)
+        want = two_group_fissile.nu_sigma_f.sum()
+        assert fs[0] == pytest.approx(want)
+        assert fs[1] == 0.0
+
+    def test_fission_production_weights_volumes(self, terms):
+        phi = np.ones((3, 2))
+        volumes = np.array([1.0, 5.0, 2.0])
+        prod = terms.fission_production(phi, volumes)
+        fs = terms.fission_source(phi)
+        assert prod == pytest.approx(fs @ volumes)
+
+    def test_fission_rate_uses_sigma_f(self, terms, two_group_fissile):
+        phi = np.ones((3, 2))
+        volumes = np.ones(3)
+        rates = terms.fission_rate(phi, volumes)
+        assert rates[0] == pytest.approx(two_group_fissile.sigma_f.sum())
+        assert rates[1] == 0.0
+
+
+class TestSources:
+    def test_total_source_components(self, terms, two_group_fissile):
+        phi = np.zeros((3, 2))
+        phi[0] = [1.0, 2.0]
+        q = terms.total_source(phi, keff=1.0)
+        mat = two_group_fissile
+        fission = (mat.nu_sigma_f * phi[0]).sum()
+        want_g0 = mat.sigma_s[0, 0] * 1.0 + mat.sigma_s[1, 0] * 2.0 + mat.chi[0] * fission
+        assert q[0, 0] == pytest.approx(want_g0)
+        # absorber region with zero flux has zero source
+        assert q[1].sum() == 0.0
+
+    def test_keff_scales_fission_term_only(self, terms):
+        phi = np.ones((3, 2))
+        q1 = terms.total_source(phi, keff=1.0)
+        q2 = terms.total_source(phi, keff=2.0)
+        # region 1 is non-fissile: identical source
+        np.testing.assert_allclose(q1[1], q2[1])
+        # region 0 source decreases with larger k
+        assert (q2[0] <= q1[0] + 1e-15).all()
+
+    def test_reduced_source_normalisation(self, terms):
+        phi = np.ones((3, 2))
+        q = terms.total_source(phi, 1.0)
+        reduced = terms.reduced_source(phi, 1.0)
+        np.testing.assert_allclose(
+            reduced, q / (FOUR_PI * terms.sigma_t_safe), rtol=1e-12
+        )
+
+    def test_invalid_keff(self, terms):
+        with pytest.raises(SolverError):
+            terms.total_source(np.ones((3, 2)), keff=0.0)

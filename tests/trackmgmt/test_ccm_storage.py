@@ -1,0 +1,72 @@
+"""Tests for CCM-compressed track storage."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import BoundaryCondition, Geometry, Lattice
+from repro.geometry.extruded import AxialMesh, ExtrudedGeometry
+from repro.geometry.universe import make_homogeneous_universe
+from repro.solver import SourceTerms, TransportSweep3D
+from repro.tracks import TrackGenerator3D
+from repro.trackmgmt import CCMStorage, ExplicitStorage, make_strategy
+
+
+@pytest.fixture()
+def modular_trackgen(uo2):
+    """A lattice of identical cells — CCM's best case."""
+    u = make_homogeneous_universe(uo2)
+    rows = [[u] * 4 for _ in range(3)]
+    radial = Geometry(Lattice(rows, 1.0, 1.0))
+    g3 = ExtrudedGeometry(
+        radial, AxialMesh.uniform(0.0, 2.0, 2),
+        boundary_zmax=BoundaryCondition.REFLECTIVE,
+    )
+    return TrackGenerator3D(
+        g3, num_azim=4, azim_spacing=0.4, polar_spacing=0.5, num_polar=2
+    ).generate()
+
+
+class TestCCMStorage:
+    def test_memory_below_explicit_on_modular_geometry(self, modular_trackgen):
+        ccm = CCMStorage(modular_trackgen)
+        assert ccm.resident_memory_bytes() < ccm.explicit_memory_bytes()
+        assert ccm.compression_ratio > 3.0
+
+    def test_same_physics_as_exp(self, modular_trackgen, two_group_fissile):
+        terms = SourceTerms(
+            [two_group_fissile] * modular_trackgen.geometry3d.num_fsrs
+        )
+        sweeper = TransportSweep3D(modular_trackgen, terms)
+        exp = ExplicitStorage(modular_trackgen)
+        ccm = CCMStorage(modular_trackgen)
+        q = np.full((terms.num_regions, 2), 0.3)
+        tally_exp = exp.sweep(sweeper, q)
+        sweeper.reset_fluxes()
+        tally_ccm = ccm.sweep(sweeper, q)
+        np.testing.assert_allclose(tally_exp, tally_ccm, rtol=1e-13)
+
+    def test_factory(self, modular_trackgen):
+        strategy = make_strategy("CCM", modular_trackgen)
+        assert strategy.name == "CCM"
+        assert isinstance(strategy, CCMStorage)
+
+    def test_full_solve(self, modular_trackgen, two_group_fissile):
+        """A 3D eigenvalue solve through MOCSolver with CCM storage."""
+        from repro.solver import MOCSolver
+
+        solver = MOCSolver.for_3d(
+            modular_trackgen.geometry3d, num_azim=4, azim_spacing=0.4,
+            polar_spacing=0.5, num_polar=2, storage="CCM",
+            keff_tolerance=1e-6, source_tolerance=1e-5, max_iterations=40,
+        )
+        result = solver.solve()
+        assert result.keff > 0
+        assert solver.storage_strategy.sweeps_served == result.num_iterations
+
+    def test_repr_mentions_compression(self, modular_trackgen):
+        assert "compression" in repr(CCMStorage(modular_trackgen))
+
+    def test_config_accepts_ccm(self):
+        from repro.io.config import SolverConfig
+
+        SolverConfig(storage_method="CCM").validate()

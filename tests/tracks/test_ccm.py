@@ -1,0 +1,91 @@
+"""Tests for the chord classification method."""
+
+import pytest
+
+from repro.geometry import BoundaryCondition, Geometry, Lattice
+from repro.geometry.extruded import AxialMesh, ExtrudedGeometry
+from repro.geometry.universe import make_homogeneous_universe
+from repro.tracks import TrackGenerator3D
+from repro.tracks.ccm import ccm_storage_bytes, classify_chords
+
+
+@pytest.fixture()
+def uniform_lattice_3d(uo2):
+    """A lattice of identical cells: chords repeat heavily."""
+    u = make_homogeneous_universe(uo2)
+    rows = [[u] * 4 for _ in range(3)]
+    radial = Geometry(Lattice(rows, 1.0, 1.0))
+    return ExtrudedGeometry(
+        radial, AxialMesh.uniform(0.0, 2.0, 2),
+        boundary_zmax=BoundaryCondition.REFLECTIVE,
+    )
+
+
+@pytest.fixture()
+def trackgen(uniform_lattice_3d):
+    return TrackGenerator3D(
+        uniform_lattice_3d, num_azim=4, azim_spacing=0.4, polar_spacing=0.5, num_polar=2
+    ).generate()
+
+
+class TestClassification:
+    def test_every_chord_classified(self, trackgen, uniform_lattice_3d):
+        classification = classify_chords(trackgen.chain_tables, uniform_lattice_3d)
+        total = sum(
+            table.num_intervals for table in trackgen.chain_tables.values()
+        )
+        assert classification.total_chords == total
+        for chain_index, table in trackgen.chain_tables.items():
+            assert classification.chain_class_maps[chain_index].shape == (
+                table.num_intervals,
+            )
+
+    def test_compression_on_modular_geometry(self, trackgen, uniform_lattice_3d):
+        """Identical lattice cells produce massive chord reuse."""
+        classification = classify_chords(trackgen.chain_tables, uniform_lattice_3d)
+        assert classification.compression_ratio > 3.0
+
+    def test_class_multiplicities_sum(self, trackgen, uniform_lattice_3d):
+        classification = classify_chords(trackgen.chain_tables, uniform_lattice_3d)
+        assert (
+            sum(c.multiplicity for c in classification.classes)
+            == classification.total_chords
+        )
+
+    def test_same_class_same_length(self, trackgen, uniform_lattice_3d):
+        classification = classify_chords(trackgen.chain_tables, uniform_lattice_3d)
+        for chain_index, table in trackgen.chain_tables.items():
+            ids = classification.chain_class_maps[chain_index]
+            import numpy as np
+
+            chord_lengths = np.diff(table.bounds)
+            for cid, length in zip(ids, chord_lengths):
+                assert classification.classes[cid].length == pytest.approx(
+                    float(length), rel=1e-6
+                )
+
+    def test_material_column_distinguishes(self, uo2, moderator):
+        """Chords over different axial material columns never share a class."""
+        a = make_homogeneous_universe(uo2)
+        b = make_homogeneous_universe(moderator)
+        radial = Geometry(Lattice([[a, b]], 1.0, 2.0))
+        g3 = ExtrudedGeometry(radial, AxialMesh.uniform(0, 1, 1),
+                              boundary_zmax=BoundaryCondition.REFLECTIVE)
+        tg = TrackGenerator3D(g3, num_azim=4, azim_spacing=0.5,
+                              polar_spacing=0.5, num_polar=2).generate()
+        classification = classify_chords(tg.chain_tables, g3)
+        columns = {c.material_column for c in classification.classes}
+        assert len(columns) == 2
+
+
+class TestStorage:
+    def test_ccm_storage_smaller_than_explicit(self, trackgen, uniform_lattice_3d):
+        classification = classify_chords(trackgen.chain_tables, uniform_lattice_3d)
+        explicit = classification.total_chords * 16
+        assert ccm_storage_bytes(classification) < explicit
+
+    def test_storage_formula(self, trackgen, uniform_lattice_3d):
+        c = classify_chords(trackgen.chain_tables, uniform_lattice_3d)
+        assert ccm_storage_bytes(c, bytes_per_chord=20) == (
+            c.num_classes * 20 + c.total_chords * 4
+        )

@@ -1,0 +1,65 @@
+"""Tests for the high-level track generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TrackingError
+from repro.tracks import TrackGenerator
+
+
+class TestTrackGenerator2D:
+    def test_requires_generate(self, reflective_box):
+        tg = TrackGenerator(reflective_box, num_azim=4, azim_spacing=0.5)
+        with pytest.raises(TrackingError, match="generate"):
+            _ = tg.tracks
+
+    def test_products_available_after_generate(self, small_trackgen):
+        assert small_trackgen.num_tracks > 0
+        assert small_trackgen.num_segments >= small_trackgen.num_tracks
+        assert len(small_trackgen.chains) > 0
+
+    def test_volumes_sum_to_area(self, small_trackgen):
+        g = small_trackgen.geometry
+        assert small_trackgen.fsr_volumes.sum() == pytest.approx(
+            g.width * g.height, rel=1e-9
+        )
+
+    def test_segment_angles_match_tracks(self, small_trackgen):
+        azim = small_trackgen.segment_angles()
+        segments = small_trackgen.segments
+        for t in small_trackgen.tracks[:20]:
+            lo, hi = segments.offsets[t.uid], segments.offsets[t.uid + 1]
+            assert (azim[lo:hi] == t.azim).all()
+
+    def test_generate_returns_self(self, reflective_box):
+        tg = TrackGenerator(reflective_box, num_azim=4, azim_spacing=0.5)
+        assert tg.generate() is tg
+
+
+class TestTrackGenerator3D:
+    def test_3d_products(self, small_trackgen_3d):
+        tg = small_trackgen_3d
+        assert tg.num_tracks_3d > 0
+        assert len(tg.stacks) == len(tg.chains) * tg.polar.num_polar_half
+        assert set(tg.chain_tables) == {c.index for c in tg.chains}
+
+    def test_volumes_3d_sum_to_volume(self, small_trackgen_3d):
+        g3 = small_trackgen_3d.geometry3d
+        total = g3.radial.width * g3.radial.height * g3.height
+        assert small_trackgen_3d.fsr_volumes_3d().sum() == pytest.approx(
+            total, rel=1e-9
+        )
+
+    def test_track_weights_positive(self, small_trackgen_3d):
+        for t in small_trackgen_3d.tracks3d[:50]:
+            assert small_trackgen_3d.track_weight_3d(t) > 0
+            assert small_trackgen_3d.track_volume_weight_3d(t) > 0
+
+    def test_volumes_cached(self, small_trackgen_3d):
+        a = small_trackgen_3d.fsr_volumes_3d()
+        b = small_trackgen_3d.fsr_volumes_3d()
+        assert a is b
+
+    def test_chain_closed_lookup(self, small_trackgen_3d):
+        for chain in small_trackgen_3d.chains:
+            assert small_trackgen_3d.is_chain_closed(chain.index) == chain.closed

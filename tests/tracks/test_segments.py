@@ -1,0 +1,74 @@
+"""Tests for the SegmentData CSR container."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TrackingError
+from repro.tracks import SegmentData
+
+
+@pytest.fixture()
+def segments():
+    return SegmentData.from_lists(
+        [
+            [(0, 1.0), (1, 2.0)],
+            [(1, 0.5)],
+            [],
+            [(2, 3.0), (0, 1.5), (2, 0.5)],
+        ]
+    )
+
+
+class TestConstruction:
+    def test_from_lists(self, segments):
+        assert segments.num_tracks == 4
+        assert segments.num_segments == 6
+        np.testing.assert_array_equal(segments.offsets, [0, 2, 3, 3, 6])
+
+    def test_counts(self, segments):
+        np.testing.assert_array_equal(segments.counts(), [2, 1, 0, 3])
+        assert segments.max_segments_per_track == 3
+
+    def test_invalid_offsets(self):
+        with pytest.raises(TrackingError):
+            SegmentData([1.0], [0], [0, 2])
+        with pytest.raises(TrackingError):
+            SegmentData([1.0], [0], [1, 1])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(TrackingError):
+            SegmentData([1.0, 2.0], [0], [0, 2])
+
+    def test_non_monotone_offsets(self):
+        with pytest.raises(TrackingError):
+            SegmentData([1.0, 1.0], [0, 0], [0, 2, 1])
+
+
+class TestAccess:
+    def test_track_segments_views(self, segments):
+        fsrs, lengths = segments.track_segments(3)
+        np.testing.assert_array_equal(fsrs, [2, 0, 2])
+        np.testing.assert_array_equal(lengths, [3.0, 1.5, 0.5])
+
+    def test_empty_track(self, segments):
+        fsrs, lengths = segments.track_segments(2)
+        assert fsrs.size == 0
+
+    def test_track_length(self, segments):
+        assert segments.track_length(0) == pytest.approx(3.0)
+        assert segments.track_length(2) == 0.0
+
+    def test_fsr_path_lengths(self, segments):
+        paths = segments.fsr_path_lengths(3)
+        np.testing.assert_allclose(paths, [2.5, 2.5, 3.5])
+
+    def test_weighted_path_lengths(self, segments):
+        weights = np.full(segments.num_segments, 2.0)
+        paths = segments.fsr_path_lengths(3, weights)
+        np.testing.assert_allclose(paths, [5.0, 5.0, 7.0])
+
+    def test_memory_bytes_counts_arrays(self, segments):
+        expected = (
+            segments.lengths.nbytes + segments.fsr_ids.nbytes + segments.offsets.nbytes
+        )
+        assert segments.memory_bytes() == expected
