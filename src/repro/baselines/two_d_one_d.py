@@ -33,6 +33,7 @@ from repro.errors import SolverError
 from repro.geometry.extruded import ExtrudedGeometry
 from repro.geometry.geometry import BoundaryCondition
 from repro.solver.convergence import ConvergenceMonitor
+from repro.solver.expeval import ExponentialEvaluator
 from repro.solver.source import SourceTerms
 from repro.solver.sweep2d import TransportSweep2D
 from repro.tracks.generator import TrackGenerator
@@ -65,6 +66,8 @@ class TwoDOneDSolver:
         source_tolerance: float = 1e-5,
         max_iterations: int = 500,
         leakage_relaxation: float = 0.7,
+        evaluator: "ExponentialEvaluator | None" = None,
+        backend: str | None = None,
     ) -> None:
         self.geometry3d = geometry3d
         radial = geometry3d.radial
@@ -76,6 +79,8 @@ class TwoDOneDSolver:
         self.volumes_2d = self.trackgen.fsr_volumes
         self.heights = geometry3d.axial_mesh.heights
         # Per-layer source terms and sweeps (materials differ by layer).
+        # All layer sweeps share the radial tracking, hence one sweep plan.
+        evaluator = evaluator or ExponentialEvaluator.shared()
         self.layer_terms: list[SourceTerms] = []
         self.layer_sweeps: list[TransportSweep2D] = []
         nz = self.num_layers
@@ -86,7 +91,9 @@ class TwoDOneDSolver:
             ]
             terms = SourceTerms(materials)
             self.layer_terms.append(terms)
-            self.layer_sweeps.append(TransportSweep2D(self.trackgen, terms))
+            self.layer_sweeps.append(
+                TransportSweep2D(self.trackgen, terms, evaluator, backend=backend)
+            )
         self.num_groups = self.layer_terms[0].num_groups
         self.keff_tolerance = keff_tolerance
         self.source_tolerance = source_tolerance

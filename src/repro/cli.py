@@ -12,11 +12,12 @@ that the paper's appendix analyses from log fragments.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 from pathlib import Path
 
 from repro.errors import ReproError
-from repro.io.config import load_config
+from repro.io.config import SWEEP_BACKENDS, load_config
 from repro.runtime.antmoc import AntMocApplication
 
 
@@ -46,6 +47,12 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="Also write the run report to this file.",
     )
+    parser.add_argument(
+        "--backend",
+        choices=SWEEP_BACKENDS,
+        help="Sweep-kernel backend, overriding the config's solver.sweep_backend "
+        "('auto' uses numba when installed, else numpy).",
+    )
     return parser
 
 
@@ -53,6 +60,11 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         config = load_config(args.config)
+        if args.backend:
+            config = dataclasses.replace(
+                config,
+                solver=dataclasses.replace(config.solver, sweep_backend=args.backend),
+            )
         app = AntMocApplication(config)
         result = app.run()
     except ReproError as exc:

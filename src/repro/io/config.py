@@ -22,6 +22,12 @@ TRACK_STORAGE_METHODS = ("EXP", "OTF", "MANAGER", "CCM")
 #: Axial segmentation algorithms supported for 3D tracks (Sec. 2.1).
 AXIAL_METHODS = ("OTF", "CCM")
 
+#: Sweep-kernel backends (``auto`` resolves to numba when importable).
+SWEEP_BACKENDS = ("auto", "numpy", "numba", "reference")
+
+#: Exponential-kernel evaluation modes.
+EXP_MODES = ("table", "exact")
+
 
 @dataclass(frozen=True)
 class TrackingConfig:
@@ -76,6 +82,12 @@ class SolverConfig:
     num_groups: int = 7
     storage_method: str = "MANAGER"
     resident_memory_bytes: int = DEFAULT_RESIDENT_MEMORY_BYTES
+    #: Sweep-kernel backend; ``auto`` means numba when available, else numpy.
+    sweep_backend: str = "auto"
+    #: Exponential kernel: interpolation ``table`` or ``exact`` expm1.
+    exp_mode: str = "table"
+    #: Maximum absolute interpolation error of the exponential table.
+    exp_table_max_error: float = 1.0e-8
 
     def validate(self) -> None:
         if self.max_iterations < 1:
@@ -90,6 +102,16 @@ class SolverConfig:
             )
         if self.resident_memory_bytes < 0:
             raise ConfigError("resident_memory_bytes must be non-negative")
+        if self.sweep_backend not in SWEEP_BACKENDS:
+            raise ConfigError(
+                f"sweep_backend must be one of {SWEEP_BACKENDS} (got {self.sweep_backend!r})"
+            )
+        if self.exp_mode not in EXP_MODES:
+            raise ConfigError(f"exp_mode must be one of {EXP_MODES} (got {self.exp_mode!r})")
+        if self.exp_table_max_error <= 0.0:
+            raise ConfigError(
+                f"exp_table_max_error must be positive (got {self.exp_table_max_error})"
+            )
 
 
 @dataclass(frozen=True)

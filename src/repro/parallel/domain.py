@@ -27,6 +27,7 @@ class DomainSolver:
         azim_spacing: float,
         num_polar: int,
         evaluator: ExponentialEvaluator | None = None,
+        backend: str | None = None,
     ) -> None:
         self.rank = int(rank)
         self.geometry = geometry
@@ -34,7 +35,7 @@ class DomainSolver:
             geometry, num_azim=num_azim, azim_spacing=azim_spacing, num_polar=num_polar
         ).generate()
         self.terms = SourceTerms(list(geometry.fsr_materials))
-        self.sweeper = TransportSweep2D(self.trackgen, self.terms, evaluator)
+        self.sweeper = TransportSweep2D(self.trackgen, self.terms, evaluator, backend=backend)
         self.volumes = self.trackgen.fsr_volumes
         self.fsr_offset = 0  # assigned by the driver
 

@@ -55,14 +55,16 @@ class DecomposedSolver:
         keff_tolerance: float = DEFAULT_KEFF_TOL,
         source_tolerance: float = DEFAULT_SOURCE_TOL,
         max_iterations: int = 500,
+        evaluator: ExponentialEvaluator | None = None,
+        backend: str | None = None,
     ) -> None:
         self.geometry = geometry
         sub_geometries = decompose_lattice_geometry(geometry, domains_x, domains_y)
-        evaluator = ExponentialEvaluator()
+        evaluator = evaluator or ExponentialEvaluator.shared()
         self.domains = [
             DomainSolver(
                 rank, sub, num_azim=num_azim, azim_spacing=azim_spacing,
-                num_polar=num_polar, evaluator=evaluator,
+                num_polar=num_polar, evaluator=evaluator, backend=backend,
             )
             for rank, sub in enumerate(sub_geometries)
         ]

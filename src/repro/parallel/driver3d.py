@@ -88,6 +88,8 @@ class ZDecomposedSolver:
         keff_tolerance: float = DEFAULT_KEFF_TOL,
         source_tolerance: float = DEFAULT_SOURCE_TOL,
         max_iterations: int = 500,
+        evaluator: ExponentialEvaluator | None = None,
+        backend: str | None = None,
     ) -> None:
         if num_domains < 1:
             raise DecompositionError("need at least one z-domain")
@@ -101,7 +103,7 @@ class ZDecomposedSolver:
             geometry3d.radial, num_azim=num_azim, azim_spacing=azim_spacing,
             num_polar=num_polar,
         ).generate()
-        evaluator = ExponentialEvaluator()
+        evaluator = evaluator or ExponentialEvaluator.shared()
 
         self.domains: list[dict] = []
         nz_global = geometry3d.num_layers
@@ -131,7 +133,7 @@ class ZDecomposedSolver:
             trackgen.adopt_radial(radial)
             trackgen.generate()
             terms = SourceTerms(list(slab_geom.fsr_materials))
-            sweeper = TransportSweep3D(trackgen, terms, evaluator)
+            sweeper = TransportSweep3D(trackgen, terms, evaluator, backend=backend)
             segments = trackgen.trace_all_3d()
             volumes = trackgen.fsr_volumes_3d(segments)
             self.domains.append(

@@ -22,6 +22,7 @@ from repro.io.logging_utils import StageTimer, get_logger
 from repro.parallel.driver import DecomposedResult, DecomposedSolver
 from repro.runtime.output import ascii_heatmap, pin_power_map, write_fission_rates_csv, write_vtk_structured_points
 from repro.runtime.stages import PipelineState, StageName
+from repro.solver.expeval import evaluator_from_config
 from repro.solver.keff import SolveResult
 from repro.solver.solver import MOCSolver
 from repro.materials.c5g7 import c5g7_library
@@ -130,6 +131,8 @@ class AntMocApplication:
                     keff_tolerance=cfg.solver.keff_tolerance,
                     source_tolerance=cfg.solver.source_tolerance,
                     max_iterations=cfg.solver.max_iterations,
+                    evaluator=evaluator_from_config(cfg.solver),
+                    backend=cfg.solver.sweep_backend,
                 )
                 self.pipeline.complete(StageName.TRACK_GENERATION, solver)
             with self.timer.stage(StageName.TRANSPORT_SOLVING.value):
@@ -148,6 +151,8 @@ class AntMocApplication:
                     keff_tolerance=cfg.solver.keff_tolerance,
                     source_tolerance=cfg.solver.source_tolerance,
                     max_iterations=cfg.solver.max_iterations,
+                    evaluator=evaluator_from_config(cfg.solver),
+                    backend=cfg.solver.sweep_backend,
                 )
                 self.pipeline.complete(StageName.TRACK_GENERATION, solver)
             with self.timer.stage(StageName.TRANSPORT_SOLVING.value):
@@ -211,6 +216,8 @@ class AntMocApplication:
                     keff_tolerance=cfg.solver.keff_tolerance,
                     source_tolerance=cfg.solver.source_tolerance,
                     max_iterations=cfg.solver.max_iterations,
+                    evaluator=evaluator_from_config(cfg.solver),
+                    backend=cfg.solver.sweep_backend,
                 )
                 self.pipeline.complete(StageName.TRACK_GENERATION, solver)
             with self.timer.stage(StageName.TRANSPORT_SOLVING.value):
@@ -240,6 +247,8 @@ class AntMocApplication:
                     keff_tolerance=cfg.solver.keff_tolerance,
                     source_tolerance=cfg.solver.source_tolerance,
                     max_iterations=cfg.solver.max_iterations,
+                    evaluator=evaluator_from_config(cfg.solver),
+                    backend=cfg.solver.sweep_backend,
                 )
                 self.pipeline.complete(StageName.TRACK_GENERATION, solver)
             with self.timer.stage(StageName.TRANSPORT_SOLVING.value):

@@ -1,6 +1,15 @@
 """Transport solver: exponential evaluation, sweeps, k-eff iteration."""
 
-from repro.solver.expeval import ExponentialEvaluator
+from repro.solver.backends import (
+    KernelBackend,
+    KernelTimings,
+    SweepPlan,
+    TrackTopology,
+    available_backends,
+    get_backend,
+    resolve_backend,
+)
+from repro.solver.expeval import ExponentialEvaluator, evaluator_from_config
 from repro.solver.source import SourceTerms
 from repro.solver.sweep2d import TransportSweep2D
 from repro.solver.sweep3d import TransportSweep3D
@@ -12,6 +21,14 @@ from repro.solver.solver import MOCSolver
 
 __all__ = [
     "ExponentialEvaluator",
+    "KernelBackend",
+    "KernelTimings",
+    "SweepPlan",
+    "TrackTopology",
+    "available_backends",
+    "evaluator_from_config",
+    "get_backend",
+    "resolve_backend",
     "SourceTerms",
     "TransportSweep2D",
     "TransportSweep3D",

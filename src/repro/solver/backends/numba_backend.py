@@ -1,0 +1,192 @@
+"""Optional Numba JIT sweep kernel (thread-per-track, Alg. 1 mapping).
+
+Mirrors ANT-MOC's GPU kernel structure: one (logical) thread walks one
+track's segments serially in each direction, all tracks in parallel
+(``numba.prange``), with the exponential evaluated from the interpolation
+table inline — the fused form of the device kernel. Per-segment ``dpsi``
+is written to disjoint slots, so the parallel loop is race-free; the FSR
+tally is reduced afterwards exactly as in the NumPy backend, keeping the
+two bitwise comparable.
+
+Numba is an optional extra (``pip install repro[jit]``). When it is not
+importable this module still imports fine; the registry simply reports the
+backend unavailable and selection falls back to ``numpy``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SolverError
+from repro.solver.backends.base import KernelBackend, SweepContext, tally_from_segments
+from repro.solver.backends.plan import SweepPlan
+
+try:  # pragma: no cover - exercised only where numba is installed
+    import numba  # noqa: F401
+
+    NUMBA_AVAILABLE = True
+except Exception:  # pragma: no cover - the common (dependency-light) case
+    NUMBA_AVAILABLE = False
+
+#: Compiled kernels, created on first use so importing this module stays
+#: cheap and dependency-free.
+_KERNELS: dict[str, object] = {}
+
+
+def _compile_kernels() -> dict[str, object]:  # pragma: no cover - needs numba
+    """JIT-compile the track-parallel sweep kernels once per process."""
+    import math
+
+    from numba import njit, prange
+
+    @njit(parallel=True, cache=False)
+    def sweep3d(
+        offsets, seg_fsr, seg_len, sigma_t, q,
+        slope, intercept, inv_spacing, num_points, use_table,
+        psi0, psi1, dpsi0, dpsi1,
+    ):
+        num_tracks = offsets.size - 1
+        num_groups = q.shape[1]
+        for t in prange(num_tracks):
+            lo = offsets[t]
+            hi = offsets[t + 1]
+            for g in range(num_groups):
+                cur = psi0[t, g]
+                for s in range(lo, hi):
+                    tau = sigma_t[seg_fsr[s], g] * seg_len[s]
+                    if use_table:
+                        k = int(tau * inv_spacing)
+                        if k > num_points - 1:
+                            k = num_points - 1
+                        e = slope[k] * tau + intercept[k]
+                    else:
+                        e = -math.expm1(-tau)
+                    d = (cur - q[seg_fsr[s], g]) * e
+                    cur -= d
+                    dpsi0[s, g] = d
+                psi0[t, g] = cur
+                cur = psi1[t, g]
+                for s in range(hi - 1, lo - 1, -1):
+                    tau = sigma_t[seg_fsr[s], g] * seg_len[s]
+                    if use_table:
+                        k = int(tau * inv_spacing)
+                        if k > num_points - 1:
+                            k = num_points - 1
+                        e = slope[k] * tau + intercept[k]
+                    else:
+                        e = -math.expm1(-tau)
+                    d = (cur - q[seg_fsr[s], g]) * e
+                    cur -= d
+                    dpsi1[s, g] = d
+                psi1[t, g] = cur
+
+    @njit(parallel=True, cache=False)
+    def sweep2d(
+        offsets, seg_fsr, seg_len, sigma_t, q, inv_sin, track_mask,
+        slope, intercept, inv_spacing, num_points, use_table,
+        psi0, psi1, dpsi0, dpsi1,
+    ):
+        num_tracks = offsets.size - 1
+        num_polar = inv_sin.size
+        num_groups = q.shape[1]
+        for t in prange(num_tracks):
+            if not track_mask[t]:
+                continue
+            lo = offsets[t]
+            hi = offsets[t + 1]
+            for p in range(num_polar):
+                for g in range(num_groups):
+                    cur = psi0[t, p, g]
+                    for s in range(lo, hi):
+                        tau = sigma_t[seg_fsr[s], g] * seg_len[s] * inv_sin[p]
+                        if use_table:
+                            k = int(tau * inv_spacing)
+                            if k > num_points - 1:
+                                k = num_points - 1
+                            e = slope[k] * tau + intercept[k]
+                        else:
+                            e = -math.expm1(-tau)
+                        d = (cur - q[seg_fsr[s], g]) * e
+                        cur -= d
+                        dpsi0[s, p, g] = d
+                    psi0[t, p, g] = cur
+                    cur = psi1[t, p, g]
+                    for s in range(hi - 1, lo - 1, -1):
+                        tau = sigma_t[seg_fsr[s], g] * seg_len[s] * inv_sin[p]
+                        if use_table:
+                            k = int(tau * inv_spacing)
+                            if k > num_points - 1:
+                                k = num_points - 1
+                            e = slope[k] * tau + intercept[k]
+                        else:
+                            e = -math.expm1(-tau)
+                        d = (cur - q[seg_fsr[s], g]) * e
+                        cur -= d
+                        dpsi1[s, p, g] = d
+                    psi1[t, p, g] = cur
+
+    return {"sweep3d": sweep3d, "sweep2d": sweep2d}
+
+
+def _kernels() -> dict[str, object]:  # pragma: no cover - needs numba
+    if not _KERNELS:
+        _KERNELS.update(_compile_kernels())
+    return _KERNELS
+
+
+class NumbaSweepBackend(KernelBackend):
+    """njit-compiled track-parallel kernel (optional, CPU-JIT stand-in
+    for the paper's one-GPU-thread-per-track mapping)."""
+
+    name = "numba"
+
+    def is_available(self) -> bool:
+        return NUMBA_AVAILABLE
+
+    def _require(self) -> dict[str, object]:
+        if not NUMBA_AVAILABLE:
+            raise SolverError(
+                "the 'numba' sweep backend requires numba "
+                "(pip install repro[jit]); select backend='numpy' instead"
+            )
+        return _kernels()
+
+    def sweep2d(
+        self, plan: SweepPlan, psi: list[np.ndarray], ctx: SweepContext
+    ) -> np.ndarray:  # pragma: no cover - needs numba
+        kernels = self._require()
+        num_polar, num_groups = psi[0].shape[1], psi[0].shape[2]
+        slope, intercept, spacing, use_table = ctx.evaluator.interp_table()
+        masked = ctx.track_mask is not None
+        if masked:
+            track_mask = np.ascontiguousarray(ctx.track_mask, dtype=np.bool_)
+        else:
+            track_mask = np.ones(plan.topology.num_tracks, dtype=np.bool_)
+        alloc = np.zeros if masked else np.empty
+        dpsi0 = alloc((plan.num_segments, num_polar, num_groups))
+        dpsi1 = alloc((plan.num_segments, num_polar, num_groups))
+        kernels["sweep2d"](
+            plan.offsets, plan.seg_fsr, plan.seg_len,
+            ctx.sigma_t, ctx.reduced_source, plan.topology.inv_sin, track_mask,
+            slope, intercept, 1.0 / spacing, slope.size, use_table,
+            psi[0], psi[1], dpsi0, dpsi1,
+        )
+        contrib = np.einsum("spg,sp->sg", dpsi0 + dpsi1, plan.seg_weights)
+        return tally_from_segments(contrib, plan.seg_fsr, ctx.num_fsrs)
+
+    def sweep3d(
+        self, plan: SweepPlan, psi: list[np.ndarray], ctx: SweepContext
+    ) -> np.ndarray:  # pragma: no cover - needs numba
+        kernels = self._require()
+        num_groups = psi[0].shape[1]
+        slope, intercept, spacing, use_table = ctx.evaluator.interp_table()
+        dpsi0 = np.empty((plan.num_segments, num_groups))
+        dpsi1 = np.empty((plan.num_segments, num_groups))
+        kernels["sweep3d"](
+            plan.offsets, plan.seg_fsr, plan.seg_len,
+            ctx.sigma_t, ctx.reduced_source,
+            slope, intercept, 1.0 / spacing, slope.size, use_table,
+            psi[0], psi[1], dpsi0, dpsi1,
+        )
+        contrib = (dpsi0 + dpsi1) * plan.seg_weights[:, None]
+        return tally_from_segments(contrib, plan.seg_fsr, ctx.num_fsrs)

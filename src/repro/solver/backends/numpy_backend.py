@@ -1,0 +1,140 @@
+"""Default NumPy sweep kernel, rewritten against the precompiled plan.
+
+Structural changes over the seed lockstep loop:
+
+* tracks are pre-sorted by descending segment count (``plan.track_order``)
+  so the active set at every lockstep position is a *prefix* of the sorted
+  flux array — the per-position flux gather/scatter of the seed loop
+  becomes an in-place operation on a contiguous view;
+* segments are pre-ordered position-major per direction, so the
+  exponential factors, FSR ids and ``dpsi`` store are all contiguous
+  slices; the only fancy index left in the inner loop is the per-sweep
+  source lookup;
+* the exponential attenuation factors are evaluated **once per solve**
+  (they depend only on cross sections and segment lengths, not on the
+  iterating flux) through the plan's cached position-major table;
+* the tally scatter (``np.add.at`` per position, the seed's dominant
+  cost) is deferred: per-segment ``dpsi`` is stored densely during the
+  traversal — each segment is visited exactly once per direction — and
+  reduced with one bincount per group at the end.
+
+Masked 2D sweeps (domain decomposition sweeping a track subset) take the
+plan's per-position gather columns instead: the prefix property does not
+survive an arbitrary track mask.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.solver.backends.base import KernelBackend, SweepContext, tally_from_segments
+from repro.solver.backends.plan import SweepPlan
+
+
+class NumpySweepBackend(KernelBackend):
+    """Vectorised lockstep sweep over precompiled SoA buffers."""
+
+    name = "numpy"
+
+    # ------------------------------------------------------------------- 2D
+
+    def sweep2d(
+        self, plan: SweepPlan, psi: list[np.ndarray], ctx: SweepContext
+    ) -> np.ndarray:
+        if ctx.track_mask is not None:
+            return self._sweep2d_masked(plan, psi, ctx)
+        expf = plan.pos_expf(ctx.sigma_t, ctx.evaluator)
+        num_polar, num_groups = psi[0].shape[1], psi[0].shape[2]
+        starts = plan.col_starts
+        inv_sin = plan.topology.inv_sin
+        tally = np.zeros((ctx.num_fsrs, num_groups))
+        for d in (0, 1):
+            cur = psi[d][plan.track_order]
+            fsr = plan.pos_fsr[d]
+            table = None if expf is None else expf[d]
+            dpsi = np.empty((plan.num_segments, num_polar, num_groups))
+            for i in range(plan.max_positions):
+                lo, hi = starts[i], starts[i + 1]
+                if lo == hi:
+                    break  # column widths only shrink
+                f = fsr[lo:hi]
+                if table is not None:
+                    e = table[lo:hi]
+                else:
+                    tau = (
+                        ctx.sigma_t[f][:, None, :]
+                        * plan.pos_len[d][lo:hi, None, None]
+                        * inv_sin[None, :, None]
+                    )
+                    e = ctx.evaluator(tau)
+                view = cur[: hi - lo]
+                dp = (view - ctx.reduced_source[f][:, None, :]) * e
+                view -= dp
+                dpsi[lo:hi] = dp
+            psi[d][plan.track_order] = cur
+            contrib = np.einsum("spg,sp->sg", dpsi, plan.pos_weights[d])
+            tally += tally_from_segments(contrib, fsr, ctx.num_fsrs)
+        return tally
+
+    def _sweep2d_masked(
+        self, plan: SweepPlan, psi: list[np.ndarray], ctx: SweepContext
+    ) -> np.ndarray:
+        expf = plan.segment_expf(ctx.sigma_t, ctx.evaluator)
+        num_polar, num_groups = psi[0].shape[1], psi[0].shape[2]
+        dpsi_seg = np.zeros((2, plan.num_segments, num_polar, num_groups))
+        inv_sin = plan.topology.inv_sin
+        for d in (0, 1):
+            psi_d = psi[d]
+            for rows, sids, fsr in plan.columns[d]:
+                keep = ctx.track_mask[rows]
+                if not keep.any():
+                    continue
+                rows, sids, fsr = rows[keep], sids[keep], fsr[keep]
+                if expf is not None:
+                    e = expf[sids]
+                else:
+                    tau = (
+                        ctx.sigma_t[fsr][:, None, :]
+                        * plan.seg_len[sids][:, None, None]
+                        * inv_sin[None, :, None]
+                    )
+                    e = ctx.evaluator(tau)
+                q = ctx.reduced_source[fsr][:, None, :]
+                cur = psi_d[rows]
+                dpsi = (cur - q) * e
+                psi_d[rows] = cur - dpsi
+                dpsi_seg[d, sids] = dpsi
+        contrib = np.einsum("spg,sp->sg", dpsi_seg[0] + dpsi_seg[1], plan.seg_weights)
+        return tally_from_segments(contrib, plan.seg_fsr, ctx.num_fsrs)
+
+    # ------------------------------------------------------------------- 3D
+
+    def sweep3d(
+        self, plan: SweepPlan, psi: list[np.ndarray], ctx: SweepContext
+    ) -> np.ndarray:
+        expf = plan.pos_expf(ctx.sigma_t, ctx.evaluator)
+        num_groups = psi[0].shape[1]
+        starts = plan.col_starts
+        tally = np.zeros((ctx.num_fsrs, num_groups))
+        for d in (0, 1):
+            cur = psi[d][plan.track_order]
+            fsr = plan.pos_fsr[d]
+            table = None if expf is None else expf[d]
+            dpsi = np.empty((plan.num_segments, num_groups))
+            for i in range(plan.max_positions):
+                lo, hi = starts[i], starts[i + 1]
+                if lo == hi:
+                    break  # column widths only shrink
+                f = fsr[lo:hi]
+                if table is not None:
+                    e = table[lo:hi]
+                else:
+                    e = ctx.evaluator(ctx.sigma_t[f] * plan.pos_len[d][lo:hi, None])
+                view = cur[: hi - lo]
+                dp = (view - ctx.reduced_source[f]) * e
+                view -= dp
+                dpsi[lo:hi] = dp
+            psi[d][plan.track_order] = cur
+            np.multiply(dpsi, plan.pos_weights[d][:, None], out=dpsi)
+            tally += tally_from_segments(dpsi, fsr, ctx.num_fsrs)
+        return tally

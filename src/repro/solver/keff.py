@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable
 
 import numpy as np
@@ -29,6 +29,11 @@ class SolveResult:
     num_iterations: int
     monitor: ConvergenceMonitor
     solve_seconds: float
+    #: Wall-time attribution per solver phase: ``source`` (reduced-source
+    #: update), ``sweep`` (transport kernel + storage strategy) and
+    #: ``finalize`` (tally -> scalar flux). Sweep-internal setup/kernel
+    #: split lives in the sweeper's own ``timings``.
+    phase_seconds: dict = field(default_factory=dict)
 
     def fission_rates(self, terms: SourceTerms, volumes: np.ndarray) -> np.ndarray:
         """Per-FSR fission rates of the converged flux (Fig. 7 output)."""
@@ -83,10 +88,18 @@ class KeffSolver:
         monitor = ConvergenceMonitor(
             keff_tolerance=self.keff_tolerance, source_tolerance=self.source_tolerance
         )
+        phases = {"source": 0.0, "sweep": 0.0, "finalize": 0.0}
         for _ in range(self.max_iterations):
+            t0 = time.perf_counter()
             reduced = terms.reduced_source(phi, keff)
+            t1 = time.perf_counter()
             tally = self.sweep(reduced)
+            t2 = time.perf_counter()
             phi_new = self.finalize(tally, reduced, self.volumes)
+            t3 = time.perf_counter()
+            phases["source"] += t1 - t0
+            phases["sweep"] += t2 - t1
+            phases["finalize"] += t3 - t2
             new_production = terms.fission_production(phi_new, self.volumes)
             if new_production <= 0.0:
                 raise SolverError("fission production vanished during iteration")
@@ -105,4 +118,5 @@ class KeffSolver:
             num_iterations=monitor.num_iterations,
             monitor=monitor,
             solve_seconds=elapsed,
+            phase_seconds=phases,
         )

@@ -52,13 +52,14 @@ class MOCSolver:
         source_tolerance: float = 1.0e-5,
         max_iterations: int = 500,
         evaluator: ExponentialEvaluator | None = None,
+        backend: str | None = None,
     ) -> "MOCSolver":
         """Build a 2D solver: tracking, sweep and power iteration."""
         trackgen = TrackGenerator(
             geometry, num_azim=num_azim, azim_spacing=azim_spacing, num_polar=num_polar
         ).generate()
         terms = SourceTerms(list(geometry.fsr_materials))
-        sweeper = TransportSweep2D(trackgen, terms, evaluator)
+        sweeper = TransportSweep2D(trackgen, terms, evaluator, backend=backend)
         volumes = trackgen.fsr_volumes
         keff_solver = KeffSolver(
             terms,
@@ -85,6 +86,7 @@ class MOCSolver:
         source_tolerance: float = 1.0e-5,
         max_iterations: int = 500,
         evaluator: ExponentialEvaluator | None = None,
+        backend: str | None = None,
     ) -> "MOCSolver":
         """Build a 3D solver with an EXP/OTF/MANAGER storage strategy."""
         from repro.trackmgmt import make_strategy
@@ -97,7 +99,7 @@ class MOCSolver:
             num_polar=num_polar,
         ).generate()
         terms = SourceTerms(list(geometry3d.fsr_materials))
-        sweeper = TransportSweep3D(trackgen, terms, evaluator)
+        sweeper = TransportSweep3D(trackgen, terms, evaluator, backend=backend)
         strategy = make_strategy(storage, trackgen, resident_memory_bytes=resident_memory_bytes)
         volumes = trackgen.fsr_volumes_3d(strategy.reference_segments())
 

@@ -1,43 +1,37 @@
 """Vectorised 2D transport sweep.
 
 The sweep mirrors ANT-MOC's GPU mapping (Algorithm 1): every (track,
-direction) traversal advances in lockstep, one segment position per step,
-with all traversals processed simultaneously as NumPy array operations —
-the CPU analogue of one GPU thread per track. Angular flux enters each
-track from a stored boundary array and exits into the linked track's
-storage for the next sweep (the Jacobi-style boundary update of Sec. 2.1).
+direction) traversal advances one segment per step, with the segment loop
+executed by a pluggable kernel backend (:mod:`repro.solver.backends`) over
+a precompiled :class:`~repro.solver.backends.plan.SweepPlan`. Angular flux
+enters each track from a stored boundary array and exits into the linked
+track's storage for the next sweep (the Jacobi-style boundary update of
+Sec. 2.1).
+
+Everything segment-layout-shaped (position-index matrices, gather lists,
+link tables, sweep weights) is built once per track layout — cached on the
+:class:`~repro.tracks.generator.TrackGenerator` — and shared by every
+sweep instance over the same tracking products.
 """
 
 from __future__ import annotations
+
+import time
 
 import numpy as np
 
 from repro.constants import FOUR_PI
 from repro.errors import SolverError
+from repro.solver.backends import (
+    KernelBackend,
+    KernelTimings,
+    SweepContext,
+    build_position_index,  # noqa: F401  (re-export; historical home)
+    resolve_backend,
+)
 from repro.solver.expeval import ExponentialEvaluator
 from repro.solver.source import SourceTerms
 from repro.tracks.generator import TrackGenerator
-
-
-def build_position_index(offsets: np.ndarray, reverse: bool) -> np.ndarray:
-    """CSR offsets -> dense (tracks, max_count) segment-id matrix, -1 padded.
-
-    Row ``t`` lists track ``t``'s segment ids in traversal order (reversed
-    when ``reverse``), so column ``i`` holds "the i-th segment of every
-    track" — the lockstep axis of the vectorised sweep.
-    """
-    counts = np.diff(offsets)
-    num_tracks = counts.size
-    max_count = int(counts.max()) if num_tracks else 0
-    index = np.full((num_tracks, max_count), -1, dtype=np.int64)
-    cols = np.arange(max_count)
-    mask = cols[None, :] < counts[:, None]
-    if reverse:
-        values = (offsets[1:] - 1)[:, None] - cols[None, :]
-    else:
-        values = offsets[:-1][:, None] + cols[None, :]
-    index[mask] = values[mask]
-    return index
 
 
 class TransportSweep2D:
@@ -48,50 +42,39 @@ class TransportSweep2D:
         trackgen: TrackGenerator,
         source_terms: SourceTerms,
         evaluator: ExponentialEvaluator | None = None,
+        backend: str | KernelBackend | None = None,
     ) -> None:
         self.trackgen = trackgen
         self.terms = source_terms
-        self.evaluator = evaluator or ExponentialEvaluator()
+        self.evaluator = evaluator or ExponentialEvaluator.shared()
+        self.backend = resolve_backend(backend)
+        self.timings = KernelTimings()
         geometry = trackgen.geometry
         if source_terms.num_regions != geometry.num_fsrs:
             raise SolverError(
                 f"source terms cover {source_terms.num_regions} regions, "
                 f"geometry has {geometry.num_fsrs} FSRs"
             )
-        segments = trackgen.segments
+        start = time.perf_counter()
+        self.plan = trackgen.sweep_plan()
+        self.timings.setup_seconds += time.perf_counter() - start
+        self.timings.num_plan_builds += 1
+        topology = self.plan.topology
         self.num_tracks = trackgen.num_tracks
         self.num_polar = trackgen.polar.num_polar_half
         self.num_groups = source_terms.num_groups
-        self.idx_fwd = build_position_index(segments.offsets, reverse=False)
-        self.idx_bwd = build_position_index(segments.offsets, reverse=True)
-        self.seg_fsr = segments.fsr_ids.astype(np.int64)
-        self.seg_len = segments.lengths
-        self.inv_sin = 1.0 / trackgen.polar.sin_theta  # (P,)
 
-        # Per-track sweep weights over polar indices, shape (T, P).
-        self.weights = np.empty((self.num_tracks, self.num_polar))
-        for t in trackgen.tracks:
-            for p in range(self.num_polar):
-                self.weights[t.uid, p] = trackgen.quadrature.track_weight(t.azim, p)
-
-        # Link tables: where outgoing flux of (track, dir) goes.
-        self.next_track = np.zeros((self.num_tracks, 2), dtype=np.int64)
-        self.next_dir = np.zeros((self.num_tracks, 2), dtype=np.int64)
-        self.terminal = np.zeros((self.num_tracks, 2), dtype=bool)  # vacuum or interface
-        self.interface = np.zeros((self.num_tracks, 2), dtype=bool)
-        for t in trackgen.tracks:
-            for d, (link, vac, iface) in enumerate(
-                (
-                    (t.link_fwd, t.vacuum_end, t.interface_end),
-                    (t.link_bwd, t.vacuum_start, t.interface_start),
-                )
-            ):
-                if link is None:
-                    self.terminal[t.uid, d] = True
-                    self.interface[t.uid, d] = iface
-                else:
-                    self.next_track[t.uid, d] = link.track
-                    self.next_dir[t.uid, d] = 0 if link.forward else 1
+        # Plan views kept as attributes for introspection/compatibility.
+        self.idx_fwd = self.plan.idx_fwd
+        self.idx_bwd = self.plan.idx_bwd
+        self.seg_fsr = self.plan.seg_fsr
+        self.seg_len = self.plan.seg_len
+        self.inv_sin = topology.inv_sin  # (P,)
+        self.weights = topology.weights  # (T, P)
+        self.next_track = topology.next_track
+        self.next_dir = topology.next_dir
+        self.terminal = topology.terminal  # vacuum or interface
+        self.interface = topology.interface
 
         #: Incoming angular flux per (track, dir, polar, group).
         self.psi_in = np.zeros((self.num_tracks, 2, self.num_polar, self.num_groups))
@@ -115,9 +98,6 @@ class TransportSweep2D:
         which :func:`~repro.loadbalance.l2_gpus.map_angles_to_gpus`
         guarantees); unmasked tracks' boundary fluxes are left untouched.
         """
-        num_fsrs = self.terms.num_regions
-        tally = np.zeros((num_fsrs, self.num_groups))
-        sigma_t = self.terms.sigma_t_safe
         if track_mask is not None:
             track_mask = np.asarray(track_mask, dtype=bool)
             if track_mask.shape != (self.num_tracks,):
@@ -126,31 +106,17 @@ class TransportSweep2D:
                 )
         # Work on copies: traversal state (T, P, G) per direction.
         psi = [self.psi_in[:, 0].copy(), self.psi_in[:, 1].copy()]
-        index = (self.idx_fwd, self.idx_bwd)
-        max_pos = self.idx_fwd.shape[1]
-        for i in range(max_pos):
-            for d in (0, 1):
-                idx = index[d][:, i]
-                valid = idx >= 0
-                if track_mask is not None:
-                    valid &= track_mask
-                if not valid.any():
-                    continue
-                sid = idx[valid]
-                fsr = self.seg_fsr[sid]
-                # tau: (V, P, G) = sigma_t (V,1,G) * l (V,1,1) / sin (1,P,1)
-                tau = (
-                    sigma_t[fsr][:, None, :]
-                    * self.seg_len[sid][:, None, None]
-                    * self.inv_sin[None, :, None]
-                )
-                exp_f = self.evaluator(tau)
-                q = reduced_source[fsr][:, None, :]  # (V, 1, G)
-                cur = psi[d][valid]
-                dpsi = (cur - q) * exp_f
-                psi[d][valid] = cur - dpsi
-                contrib = np.einsum("vp,vpg->vg", self.weights[valid], dpsi)
-                np.add.at(tally, fsr, contrib)
+        ctx = SweepContext(
+            reduced_source=reduced_source,
+            sigma_t=self.terms.sigma_t_safe,
+            evaluator=self.evaluator,
+            num_fsrs=self.terms.num_regions,
+            track_mask=track_mask,
+        )
+        start = time.perf_counter()
+        tally = self.backend.sweep2d(self.plan, psi, ctx)
+        self.timings.sweep_seconds += time.perf_counter() - start
+        self.timings.num_sweeps += 1
         # Exchange: outgoing flux becomes the linked traversal's incoming.
         if track_mask is None:
             new_in = np.zeros_like(self.psi_in)

@@ -5,19 +5,29 @@ but each 3D track carries a single (azimuthal, polar) direction and true 3D
 segment lengths, so no polar axis appears in the state arrays. The segment
 source is pluggable: the EXP strategy passes a cached
 :class:`~repro.tracks.segments.SegmentData`, while OTF/Manager strategies
-pass freshly (re)generated data each sweep — the sweep caches its derived
-index matrices per segment object so resident segments pay the setup once.
+pass freshly (re)generated data each sweep — plans are keyed by segment
+identity, and regenerations that keep the per-track layout reuse the
+previous plan's index matrices and gather lists via
+:meth:`~repro.solver.backends.plan.SweepPlan.rebind`.
 """
 
 from __future__ import annotations
+
+import time
 
 import numpy as np
 
 from repro.constants import FOUR_PI
 from repro.errors import SolverError
+from repro.solver.backends import (
+    KernelBackend,
+    KernelTimings,
+    SweepContext,
+    SweepPlan,
+    resolve_backend,
+)
 from repro.solver.expeval import ExponentialEvaluator
 from repro.solver.source import SourceTerms
-from repro.solver.sweep2d import build_position_index
 from repro.tracks.generator import TrackGenerator3D
 from repro.tracks.segments import SegmentData
 
@@ -30,38 +40,29 @@ class TransportSweep3D:
         trackgen: TrackGenerator3D,
         source_terms: SourceTerms,
         evaluator: ExponentialEvaluator | None = None,
+        backend: str | KernelBackend | None = None,
     ) -> None:
         self.trackgen = trackgen
         self.terms = source_terms
-        self.evaluator = evaluator or ExponentialEvaluator()
+        self.evaluator = evaluator or ExponentialEvaluator.shared()
+        self.backend = resolve_backend(backend)
+        self.timings = KernelTimings()
         if source_terms.num_regions != trackgen.geometry3d.num_fsrs:
             raise SolverError(
                 f"source terms cover {source_terms.num_regions} regions, "
                 f"3D geometry has {trackgen.geometry3d.num_fsrs} FSRs"
             )
-        tracks = trackgen.tracks3d
-        self.num_tracks = len(tracks)
+        start = time.perf_counter()
+        topology = trackgen.sweep_topology_3d()
+        self.timings.setup_seconds += time.perf_counter() - start
+        self.num_tracks = topology.num_tracks
         self.num_groups = source_terms.num_groups
 
-        self.weights = np.array([trackgen.track_weight_3d(t) for t in tracks])
-
-        self.next_track = np.zeros((self.num_tracks, 2), dtype=np.int64)
-        self.next_dir = np.zeros((self.num_tracks, 2), dtype=np.int64)
-        self.terminal = np.zeros((self.num_tracks, 2), dtype=bool)
-        self.interface = np.zeros((self.num_tracks, 2), dtype=bool)
-        for t in tracks:
-            for d, (link, vac, iface) in enumerate(
-                (
-                    (t.link_fwd, t.vacuum_end, t.interface_end),
-                    (t.link_bwd, t.vacuum_start, t.interface_start),
-                )
-            ):
-                if link is None:
-                    self.terminal[t.uid, d] = True
-                    self.interface[t.uid, d] = iface
-                else:
-                    self.next_track[t.uid, d] = link.track
-                    self.next_dir[t.uid, d] = 0 if link.forward else 1
+        self.weights = topology.weights
+        self.next_track = topology.next_track
+        self.next_dir = topology.next_dir
+        self.terminal = topology.terminal
+        self.interface = topology.interface
 
         self.psi_in = np.zeros((self.num_tracks, 2, self.num_groups))
         self.psi_out_last = np.zeros_like(self.psi_in)
@@ -73,44 +74,41 @@ class TransportSweep3D:
         self.psi_in.fill(0.0)
         self.psi_out_last.fill(0.0)
 
-    def _indices_for(self, segments: SegmentData) -> tuple[np.ndarray, np.ndarray]:
+    def plan_for(self, segments: SegmentData) -> SweepPlan:
+        """The (generator-cached) sweep plan for ``segments``."""
+        if segments.num_tracks != self.num_tracks:
+            raise SolverError(
+                f"segment data covers {segments.num_tracks} tracks, "
+                f"sweep has {self.num_tracks}"
+            )
         if segments is not self._cached_segments:
-            if segments.num_tracks != self.num_tracks:
-                raise SolverError(
-                    f"segment data covers {segments.num_tracks} tracks, "
-                    f"sweep has {self.num_tracks}"
-                )
-            self._idx_fwd = build_position_index(segments.offsets, reverse=False)
-            self._idx_bwd = build_position_index(segments.offsets, reverse=True)
+            start = time.perf_counter()
+            plan = self.trackgen.sweep_plan_3d(segments)
+            self.timings.setup_seconds += time.perf_counter() - start
+            self.timings.num_plan_builds += 1
             self._cached_segments = segments
-        assert self._idx_fwd is not None and self._idx_bwd is not None
-        return self._idx_fwd, self._idx_bwd
+            self._idx_fwd = plan.idx_fwd
+            self._idx_bwd = plan.idx_bwd
+        return self.trackgen.sweep_plan_3d(segments)
+
+    def _indices_for(self, segments: SegmentData) -> tuple[np.ndarray, np.ndarray]:
+        plan = self.plan_for(segments)
+        return plan.idx_fwd, plan.idx_bwd
 
     def sweep(self, segments: SegmentData, reduced_source: np.ndarray) -> np.ndarray:
         """One 3D transport sweep; returns the FSR tally ``(R, G)``."""
-        idx_fwd, idx_bwd = self._indices_for(segments)
-        seg_fsr = segments.fsr_ids.astype(np.int64)
-        seg_len = segments.lengths
-        sigma_t = self.terms.sigma_t_safe
-        tally = np.zeros((self.terms.num_regions, self.num_groups))
+        plan = self.plan_for(segments)
         psi = [self.psi_in[:, 0].copy(), self.psi_in[:, 1].copy()]
-        index = (idx_fwd, idx_bwd)
-        for i in range(idx_fwd.shape[1]):
-            for d in (0, 1):
-                idx = index[d][:, i]
-                valid = idx >= 0
-                if not valid.any():
-                    continue
-                sid = idx[valid]
-                fsr = seg_fsr[sid]
-                tau = sigma_t[fsr] * seg_len[sid][:, None]  # (V, G)
-                exp_f = self.evaluator(tau)
-                q = reduced_source[fsr]
-                cur = psi[d][valid]
-                dpsi = (cur - q) * exp_f
-                psi[d][valid] = cur - dpsi
-                contrib = self.weights[valid][:, None] * dpsi
-                np.add.at(tally, fsr, contrib)
+        ctx = SweepContext(
+            reduced_source=reduced_source,
+            sigma_t=self.terms.sigma_t_safe,
+            evaluator=self.evaluator,
+            num_fsrs=self.terms.num_regions,
+        )
+        start = time.perf_counter()
+        tally = self.backend.sweep3d(plan, psi, ctx)
+        self.timings.sweep_seconds += time.perf_counter() - start
+        self.timings.num_sweeps += 1
         new_in = np.zeros_like(self.psi_in)
         for d in (0, 1):
             self.psi_out_last[:, d] = psi[d]

@@ -46,6 +46,8 @@ class TrackGenerator:
         self._chains: list[Chain] | None = None
         self._segments: SegmentData | None = None
         self._volumes: np.ndarray | None = None
+        self._sweep_topology = None
+        self._sweep_plan = None
 
     # ------------------------------------------------------------ pipeline
 
@@ -109,6 +111,41 @@ class TrackGenerator:
         """Tracked FSR areas (2D 'volumes'), shape ``(num_fsrs,)``."""
         return self._require("_volumes")
 
+    # ------------------------------------------------------- sweep caching
+
+    def sweep_topology(self):
+        """Cached 2D :class:`~repro.solver.backends.plan.TrackTopology`.
+
+        Link tables and sweep weights depend only on the laydown, so every
+        sweep over this generator shares one topology instead of
+        rebuilding them with Python loops per sweeper construction.
+        """
+        if self._sweep_topology is None:
+            from repro.solver.backends.plan import TrackTopology
+
+            azim = np.fromiter(
+                (t.azim for t in self.tracks), dtype=np.int64, count=self.num_tracks
+            )
+            weights = self.quadrature.weights_table()[azim]
+            inv_sin = 1.0 / self.polar.sin_theta
+            self._sweep_topology = TrackTopology.from_tracks(
+                self.tracks, weights, inv_sin
+            )
+        return self._sweep_topology
+
+    def sweep_plan(self):
+        """Cached 2D :class:`~repro.solver.backends.plan.SweepPlan`.
+
+        The radial segmentation is traced once in :meth:`generate`, so the
+        plan over it is immutable and shared by every 2D sweep instance
+        (notably the per-plane sweeps of the 2D/1D baseline).
+        """
+        if self._sweep_plan is None:
+            from repro.solver.backends.plan import SweepPlan
+
+            self._sweep_plan = SweepPlan(self.sweep_topology(), self.segments)
+        return self._sweep_plan
+
     def segment_angles(self) -> np.ndarray:
         """Azimuthal index per 2D segment (for sweep weight lookups)."""
         segments = self.segments
@@ -138,6 +175,8 @@ class TrackGenerator3D(TrackGenerator):
         self._stacks: list[Stack3D] | None = None
         self._chain_tables: dict[int, ChainSegments] | None = None
         self._volumes3d: np.ndarray | None = None
+        self._sweep_topology3d = None
+        self._sweep_plan3d = None
 
     def adopt_radial(self, radial: TrackGenerator) -> "TrackGenerator3D":
         """Share another generator's radial products instead of rebuilding.
@@ -160,6 +199,8 @@ class TrackGenerator3D(TrackGenerator):
         self._chains = radial.chains
         self._segments = radial.segments
         self._volumes = radial.fsr_volumes
+        self._sweep_topology = radial._sweep_topology
+        self._sweep_plan = radial._sweep_plan
         return self
 
     def generate(self) -> "TrackGenerator3D":
@@ -198,6 +239,42 @@ class TrackGenerator3D(TrackGenerator):
 
     def is_chain_closed(self, chain_index: int) -> bool:
         return self.chains[chain_index].closed
+
+    # ------------------------------------------------------- sweep caching
+
+    def sweep_topology_3d(self):
+        """Cached 3D :class:`~repro.solver.backends.plan.TrackTopology`.
+
+        3D sweep weights and link tables depend only on the stack laydown,
+        never on segmentation, so OTF re-segmentation and repeated sweeper
+        construction all reuse one topology.
+        """
+        if self._sweep_topology3d is None:
+            from repro.solver.backends.plan import TrackTopology
+
+            tracks = self.tracks3d
+            weights = np.array([self.track_weight_3d(t) for t in tracks])
+            self._sweep_topology3d = TrackTopology.from_tracks(tracks, weights, None)
+        return self._sweep_topology3d
+
+    def sweep_plan_3d(self, segments: SegmentData):
+        """Cached 3D sweep plan for ``segments``.
+
+        Keyed by segment-object identity; when a *different* SegmentData
+        arrives (OTF/Manager regeneration) the previous plan's layout
+        products are reused via :meth:`SweepPlan.rebind` whenever the
+        per-track offsets match, so only the FSR/length gathers refresh.
+        """
+        plan = self._sweep_plan3d
+        if plan is None or plan.segments is not segments:
+            if plan is None:
+                from repro.solver.backends.plan import SweepPlan
+
+                plan = SweepPlan(self.sweep_topology_3d(), segments)
+            else:
+                plan = plan.rebind(segments)
+            self._sweep_plan3d = plan
+        return plan
 
     # --------------------------------------------------------- segmentation
 

@@ -21,6 +21,7 @@ FAST_EXAMPLES = [
 ]
 
 
+@pytest.mark.slow
 @pytest.mark.parametrize("script", FAST_EXAMPLES)
 def test_example_runs(script):
     result = subprocess.run(

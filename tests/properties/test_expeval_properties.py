@@ -46,3 +46,32 @@ def test_monotone(a, b):
     lo, hi = sorted((a, b))
     va, vb = _EVALUATOR(np.array([lo, hi]))
     assert vb >= va - 1e-12
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    rel=st.sampled_from([1e-3, 1e-4, 1e-5]),
+    tau=st.one_of(
+        st.floats(min_value=0.0, max_value=25.0, allow_nan=False),
+        st.floats(min_value=0.0, max_value=1e-6, allow_nan=False),
+        st.floats(min_value=0.0, max_value=1e-100, allow_nan=False),
+    ),
+)
+def test_relative_error_bounded_into_tau_zero(rel, tau):
+    """A table built with ``max_relative_error=r`` stays within ``r`` of
+    ``-expm1(-tau)`` in *relative* terms all the way into ``tau -> 0``,
+    where the absolute bound alone says nothing useful."""
+    evaluator = ExponentialEvaluator.shared(max_error=1e-6, max_relative_error=rel)
+    exact = -np.expm1(-tau)
+    approx = float(evaluator(np.array([tau]))[0])
+    if exact == 0.0:
+        assert approx == 0.0
+    else:
+        assert abs(approx - exact) <= rel * exact * 1.05
+
+
+@settings(max_examples=50, deadline=None)
+@given(tau=st.floats(min_value=0.0, max_value=50.0, allow_nan=False))
+def test_exact_mode_is_expm1(tau):
+    evaluator = ExponentialEvaluator.shared(mode="exact")
+    assert float(evaluator(np.array([tau]))[0]) == -np.expm1(-tau)

@@ -52,6 +52,7 @@ class TestDecomposed3D:
         assert result.decomposed
         assert result.comm_bytes > 0
 
+    @pytest.mark.slow
     def test_z_decomposed_matches_single(self):
         single = AntMocApplication(config_3d(
             solver={"max_iterations": 80, "keff_tolerance": 1e-5,
@@ -68,6 +69,7 @@ class TestDecomposed3D:
         with pytest.raises(ConfigError, match="axially"):
             AntMocApplication(config_3d(decomposition={"nx": 2})).run()
 
+    @pytest.mark.slow
     @pytest.mark.parametrize("storage", ["OTF", "MANAGER", "CCM"])
     def test_storage_methods_via_config(self, storage):
         result = AntMocApplication(config_3d(

@@ -30,16 +30,24 @@ class TestSweep3D:
         )
         np.testing.assert_allclose(phi, FOUR_PI * 0.25, rtol=1e-3)
 
-    def test_index_cache_by_identity(self, sweeper3d, small_trackgen_3d):
+    def test_plan_cache_by_identity(self, sweeper3d, small_trackgen_3d):
         segments = small_trackgen_3d.trace_all_3d()
         q = np.zeros((sweeper3d.terms.num_regions, 2))
         sweeper3d.sweep(segments, q)
+        plan_first = sweeper3d.plan_for(segments)
         idx_first = sweeper3d._idx_fwd
         sweeper3d.sweep(segments, q)
+        assert sweeper3d.plan_for(segments) is plan_first
         assert sweeper3d._idx_fwd is idx_first
+        # A fresh trace of the same geometry shares the per-track layout:
+        # the plan is rebound (new object, fresh FSR/length gathers) but
+        # the expensive position-index matrices carry over unchanged.
         other = small_trackgen_3d.trace_all_3d()
         sweeper3d.sweep(other, q)
-        assert sweeper3d._idx_fwd is not idx_first
+        plan_other = sweeper3d.plan_for(other)
+        assert plan_other is not plan_first
+        assert plan_other.segments is other
+        assert plan_other.idx_fwd is plan_first.idx_fwd
 
     def test_track_count_mismatch_rejected(self, sweeper3d):
         from repro.tracks import SegmentData
