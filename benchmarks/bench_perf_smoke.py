@@ -1,0 +1,87 @@
+"""Perf-smoke lane: cheap regression gates on the committed BENCH baselines.
+
+Runs the two quick benchmark entry points (``bench_tracking.py --quick``
+and ``bench_sweep_kernel.py --quick``) in fresh subprocesses and fails if
+a *speedup ratio* regressed more than :data:`TOLERANCE` against the quick
+case committed in ``BENCH_tracking.json`` / ``BENCH_sweep.json``.
+
+Ratios, never absolute seconds: wall-clock on a shared or virtualized host
+swings by integer factors with heap and cache state, but both sides of
+each ratio ride the same machine state, so the quotient is stable. The
+committed baselines are read *before* the quick runs rewrite the JSON.
+
+Select with ``-m perf``::
+
+    pytest benchmarks/bench_perf_smoke.py -m perf
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Maximum tolerated fractional drop of a speedup ratio vs its baseline.
+TOLERANCE = 0.25
+
+
+def _baseline(bench_json: str, case: str) -> dict:
+    path = RESULTS_DIR / bench_json
+    if not path.exists():
+        pytest.skip(f"no committed baseline {bench_json}; run the quick bench first")
+    data = json.loads(path.read_text(encoding="utf-8"))
+    record = data.get("cases", {}).get(case)
+    if record is None:
+        pytest.skip(f"baseline {bench_json} has no '{case}' case yet")
+    return record
+
+
+def _run_quick(script: str) -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, str(Path(__file__).parent / script), "--quick", "--json"],
+        capture_output=True, text=True, env=env, check=False,
+    )
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"{script} --quick failed ({proc.returncode}):\n{proc.stdout}\n{proc.stderr}"
+        )
+    return json.loads(proc.stdout)
+
+
+def _check(name: str, measured: float, baseline: float) -> None:
+    floor = baseline * (1.0 - TOLERANCE)
+    assert measured >= floor, (
+        f"{name} regressed: {measured:.2f}x vs baseline {baseline:.2f}x "
+        f"(floor {floor:.2f}x at {TOLERANCE:.0%} tolerance)"
+    )
+
+
+@pytest.mark.perf
+def test_tracking_quick_ratios_hold():
+    baseline = _baseline("BENCH_tracking.json", "quick")["ratios"]
+    record = _run_quick("bench_tracking.py")
+    assert record["segments_identical"], "quick tracking runs produced different segments"
+    _check("tracking cold_speedup", record["ratios"]["cold_speedup"], baseline["cold_speedup"])
+    _check("tracking warm_speedup", record["ratios"]["warm_speedup"], baseline["warm_speedup"])
+
+
+@pytest.mark.perf
+def test_sweep_quick_ratio_holds():
+    base_rows = _baseline("BENCH_sweep.json", "pin-cell-2d-quick")["backends"]
+    base_numpy = next(r for r in base_rows if r["backend"] == "numpy")
+    record = _run_quick("bench_sweep_kernel.py")
+    numpy_row = next(r for r in record["backends"] if r["backend"] == "numpy")
+    _check(
+        "sweep numpy speedup",
+        numpy_row["speedup_vs_reference"],
+        base_numpy["speedup_vs_reference"],
+    )

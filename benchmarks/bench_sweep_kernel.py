@@ -144,6 +144,69 @@ def test_sweep_kernel_3d_c5g7_coarse(reporter):
     )
 
 
+def run_quick_case() -> dict:
+    """Reduced pin-cell case for the perf-smoke lane (``bench_perf_smoke``).
+
+    In-process numpy-vs-reference ratio on a coarse laydown: both backends
+    time inside the same interpreter, so the ratio is far more stable than
+    either absolute number on a noisy host.
+    """
+    library = c5g7_library()
+    pin = make_pin_cell_universe(
+        0.54, library["UO2"], library["Moderator"], num_rings=2, num_sectors=4
+    )
+    geometry = Geometry(Lattice([[pin]], 1.26, 1.26), name="pin-cell-quick")
+    trackgen = TrackGenerator(
+        geometry, num_azim=8, azim_spacing=0.05, num_polar=4
+    ).generate()
+    terms = SourceTerms(list(geometry.fsr_materials))
+    volumes = trackgen.fsr_volumes
+
+    rows = []
+    for name in ("numpy", "reference"):
+        sweeper = TransportSweep2D(trackgen, terms, backend=name)
+        solver = KeffSolver(
+            terms, volumes,
+            sweep=sweeper.sweep,
+            finalize=sweeper.finalize_scalar_flux,
+            keff_tolerance=1e-14, source_tolerance=1e-14,
+            max_iterations=ITERATIONS,
+        )
+        sweeper.sweep(np.full((terms.num_regions, terms.num_groups), 0.1))
+        sweeper.reset_fluxes()
+        before = sweeper.timings.sweep_seconds
+        result = solver.solve()
+        sweep_seconds = sweeper.timings.sweep_seconds - before
+        rows.append(
+            {
+                "backend": name,
+                "keff": result.keff,
+                "sweep_seconds": sweep_seconds,
+                "segments_per_second": 2 * trackgen.num_segments * ITERATIONS / sweep_seconds,
+                "setup_seconds": sweeper.timings.setup_seconds,
+            }
+        )
+    return _finish_record("pin-cell-2d-quick", trackgen.num_segments, rows)
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description="Sweep-kernel benchmark")
+    parser.add_argument("--quick", action="store_true", help="reduced pin-cell case")
+    parser.add_argument("--json", action="store_true", help="print the case record as JSON")
+    args = parser.parse_args(argv)
+    if not args.quick:
+        parser.error("direct invocation supports --quick only; use pytest for the full cases")
+    record = run_quick_case()
+    if args.json:
+        print(json.dumps(record, indent=2))
+    else:
+        numpy_row = next(r for r in record["backends"] if r["backend"] == "numpy")
+        print(f"pin-cell-2d-quick: numpy {numpy_row['speedup_vs_reference']:.2f}x vs reference")
+    return 0
+
+
 @pytest.mark.slow
 def test_sweep_kernel_2d_pin_cell(reporter):
     """2D pin cell: per-polar kernel shape, finer angular resolution."""
@@ -184,3 +247,7 @@ def test_sweep_kernel_2d_pin_cell(reporter):
         )
     record = _finish_record("pin-cell-2d", trackgen.num_segments, rows)
     _report(reporter, record)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

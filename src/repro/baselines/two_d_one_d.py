@@ -68,13 +68,16 @@ class TwoDOneDSolver:
         leakage_relaxation: float = 0.7,
         evaluator: "ExponentialEvaluator | None" = None,
         backend: str | None = None,
+        tracer: str | None = None,
+        cache=None,
     ) -> None:
         self.geometry3d = geometry3d
         radial = geometry3d.radial
         self.num_layers = geometry3d.num_layers
         # One shared radial tracking (the 2D/1D hallmark: 2D data only).
         self.trackgen = TrackGenerator(
-            radial, num_azim=num_azim, azim_spacing=azim_spacing, num_polar=num_polar
+            radial, num_azim=num_azim, azim_spacing=azim_spacing,
+            num_polar=num_polar, tracer=tracer, cache=cache,
         ).generate()
         self.volumes_2d = self.trackgen.fsr_volumes
         self.heights = geometry3d.axial_mesh.heights

@@ -17,7 +17,7 @@ import sys
 from pathlib import Path
 
 from repro.errors import ReproError
-from repro.io.config import SWEEP_BACKENDS, load_config
+from repro.io.config import SWEEP_BACKENDS, TRACERS, load_config
 from repro.runtime.antmoc import AntMocApplication
 
 
@@ -53,6 +53,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="Sweep-kernel backend, overriding the config's solver.sweep_backend "
         "('auto' uses numba when installed, else numpy).",
     )
+    parser.add_argument(
+        "--tracer",
+        choices=TRACERS,
+        help="2D tracer, overriding the config's tracking.tracer "
+        "('auto' uses the batched wavefront tracer).",
+    )
+    parser.add_argument(
+        "--tracking-cache",
+        nargs="?",
+        const="",
+        metavar="DIR",
+        help="Reuse tracking products from the content-addressed cache. "
+        "An optional DIR overrides the cache directory (default: "
+        "$REPRO_CACHE_DIR or ~/.cache/repro).",
+    )
     return parser
 
 
@@ -64,6 +79,20 @@ def main(argv: list[str] | None = None) -> int:
             config = dataclasses.replace(
                 config,
                 solver=dataclasses.replace(config.solver, sweep_backend=args.backend),
+            )
+        if args.tracer:
+            config = dataclasses.replace(
+                config,
+                tracking=dataclasses.replace(config.tracking, tracer=args.tracer),
+            )
+        if args.tracking_cache is not None:
+            config = dataclasses.replace(
+                config,
+                tracking=dataclasses.replace(
+                    config.tracking,
+                    tracking_cache=True,
+                    cache_dir=args.tracking_cache or config.tracking.cache_dir,
+                ),
             )
         app = AntMocApplication(config)
         result = app.run()

@@ -25,6 +25,9 @@ AXIAL_METHODS = ("OTF", "CCM")
 #: Sweep-kernel backends (``auto`` resolves to numba when importable).
 SWEEP_BACKENDS = ("auto", "numpy", "numba", "reference")
 
+#: 2D tracers (``auto`` resolves to the wavefront ``batch`` tracer).
+TRACERS = ("auto", "batch", "reference")
+
 #: Exponential-kernel evaluation modes.
 EXP_MODES = ("table", "exact")
 
@@ -38,6 +41,12 @@ class TrackingConfig:
     azim_spacing: float = 0.5
     polar_spacing: float = 0.1
     axial_method: str = "OTF"
+    #: 2D tracer; ``auto`` means the batched wavefront tracer.
+    tracer: str = "auto"
+    #: Reuse tracking products from the content-addressed cache.
+    tracking_cache: bool = False
+    #: Cache directory override (default: ``REPRO_CACHE_DIR`` or ``~/.cache/repro``).
+    cache_dir: str | None = None
 
     def validate(self) -> None:
         if self.num_azim < 4 or self.num_azim % 4 != 0:
@@ -53,6 +62,10 @@ class TrackingConfig:
             raise ConfigError(f"polar_spacing must be positive (got {self.polar_spacing})")
         if self.axial_method not in AXIAL_METHODS:
             raise ConfigError(f"axial_method must be one of {AXIAL_METHODS} (got {self.axial_method!r})")
+        if self.tracer not in TRACERS:
+            raise ConfigError(f"tracer must be one of {TRACERS} (got {self.tracer!r})")
+        if self.cache_dir is not None and not isinstance(self.cache_dir, str):
+            raise ConfigError(f"cache_dir must be a string path (got {self.cache_dir!r})")
 
 
 @dataclass(frozen=True)

@@ -56,7 +56,14 @@ class StageTimer:
 
     @property
     def total(self) -> float:
-        return sum(self._durations.values())
+        """Sum over top-level stages.
+
+        ``parent/child`` rows are breakdowns of time already counted in
+        their parent stage, so they are excluded from the total.
+        """
+        return sum(
+            seconds for name, seconds in self._durations.items() if "/" not in name
+        )
 
     def as_dict(self) -> dict[str, float]:
         return {name: self._durations[name] for name in self._order}

@@ -28,11 +28,18 @@ class DomainSolver:
         num_polar: int,
         evaluator: ExponentialEvaluator | None = None,
         backend: str | None = None,
+        tracer: str | None = None,
+        cache=None,
     ) -> None:
         self.rank = int(rank)
         self.geometry = geometry
         self.trackgen = TrackGenerator(
-            geometry, num_azim=num_azim, azim_spacing=azim_spacing, num_polar=num_polar
+            geometry,
+            num_azim=num_azim,
+            azim_spacing=azim_spacing,
+            num_polar=num_polar,
+            tracer=tracer,
+            cache=cache,
         ).generate()
         self.terms = SourceTerms(list(geometry.fsr_materials))
         self.sweeper = TransportSweep2D(self.trackgen, self.terms, evaluator, backend=backend)

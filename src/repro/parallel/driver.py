@@ -57,6 +57,8 @@ class DecomposedSolver:
         max_iterations: int = 500,
         evaluator: ExponentialEvaluator | None = None,
         backend: str | None = None,
+        tracer: str | None = None,
+        cache=None,
     ) -> None:
         self.geometry = geometry
         sub_geometries = decompose_lattice_geometry(geometry, domains_x, domains_y)
@@ -65,6 +67,7 @@ class DecomposedSolver:
             DomainSolver(
                 rank, sub, num_azim=num_azim, azim_spacing=azim_spacing,
                 num_polar=num_polar, evaluator=evaluator, backend=backend,
+                tracer=tracer, cache=cache,
             )
             for rank, sub in enumerate(sub_geometries)
         ]

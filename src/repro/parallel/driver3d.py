@@ -90,6 +90,8 @@ class ZDecomposedSolver:
         max_iterations: int = 500,
         evaluator: ExponentialEvaluator | None = None,
         backend: str | None = None,
+        tracer: str | None = None,
+        cache=None,
     ) -> None:
         if num_domains < 1:
             raise DecompositionError("need at least one z-domain")
@@ -101,8 +103,9 @@ class ZDecomposedSolver:
         # One shared radial tracking for every slab.
         radial = TrackGenerator(
             geometry3d.radial, num_azim=num_azim, azim_spacing=azim_spacing,
-            num_polar=num_polar,
+            num_polar=num_polar, tracer=tracer, cache=cache,
         ).generate()
+        self.radial = radial
         evaluator = evaluator or ExponentialEvaluator.shared()
 
         self.domains: list[dict] = []
@@ -129,6 +132,7 @@ class ZDecomposedSolver:
             trackgen = TrackGenerator3D(
                 slab_geom, num_azim=num_azim, azim_spacing=azim_spacing,
                 polar_spacing=polar_spacing, num_polar=num_polar,
+                tracer=tracer, cache=cache,
             )
             trackgen.adopt_radial(radial)
             trackgen.generate()

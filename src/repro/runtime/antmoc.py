@@ -25,6 +25,7 @@ from repro.runtime.stages import PipelineState, StageName
 from repro.solver.expeval import evaluator_from_config
 from repro.solver.keff import SolveResult
 from repro.solver.solver import MOCSolver
+from repro.tracks.cache import resolve_cache
 from repro.materials.c5g7 import c5g7_library
 
 #: Registry of geometry builders addressable from config files. The mini
@@ -101,6 +102,32 @@ class AntMocApplication:
             )
         return GEOMETRY_BUILDERS[name]()
 
+    def _tracking_cache(self):
+        tracking = self.config.tracking
+        return resolve_cache(tracking.tracking_cache, tracking.cache_dir)
+
+    def _record_tracking_phases(self, timings_list) -> None:
+        """Break the track-generation stage down by pipeline phase.
+
+        Rows are named ``track_generation/<phase>`` so :class:`StageTimer`
+        excludes them from the total (the parent stage already counts this
+        time). Decomposed runs sum the per-domain breakdowns.
+        """
+        phases: dict[str, float] = {}
+        cache_hits = 0
+        for timings in timings_list:
+            for phase, seconds in timings.as_dict().items():
+                phases[phase] = phases.get(phase, 0.0) + seconds
+            cache_hits += bool(timings.cache_hit)
+        for phase, seconds in phases.items():
+            if seconds > 0.0:
+                self.timer.record(f"track_generation/{phase}", seconds)
+        if cache_hits:
+            self.logger.info(
+                "tracking cache: %d of %d generators restored from cache",
+                cache_hits, len(timings_list),
+            )
+
     def run(self) -> AntMocRunResult:
         """Execute all five stages and return the result bundle."""
         cfg = self.config
@@ -119,6 +146,7 @@ class AntMocApplication:
 
         decomposed = cfg.decomposition.nx * cfg.decomposition.ny > 1
         comm_bytes = 0
+        cache = self._tracking_cache()
         if decomposed:
             with self.timer.stage(StageName.TRACK_GENERATION.value):
                 solver = DecomposedSolver(
@@ -133,8 +161,11 @@ class AntMocApplication:
                     max_iterations=cfg.solver.max_iterations,
                     evaluator=evaluator_from_config(cfg.solver),
                     backend=cfg.solver.sweep_backend,
+                    tracer=cfg.tracking.tracer,
+                    cache=cache,
                 )
                 self.pipeline.complete(StageName.TRACK_GENERATION, solver)
+            self._record_tracking_phases([d.trackgen.timings for d in solver.domains])
             with self.timer.stage(StageName.TRANSPORT_SOLVING.value):
                 result: DecomposedResult | SolveResult = solver.solve()
                 self.pipeline.complete(StageName.TRANSPORT_SOLVING, result)
@@ -153,8 +184,11 @@ class AntMocApplication:
                     max_iterations=cfg.solver.max_iterations,
                     evaluator=evaluator_from_config(cfg.solver),
                     backend=cfg.solver.sweep_backend,
+                    tracer=cfg.tracking.tracer,
+                    cache=cache,
                 )
                 self.pipeline.complete(StageName.TRACK_GENERATION, solver)
+            self._record_tracking_phases([solver.trackgen.timings])
             with self.timer.stage(StageName.TRANSPORT_SOLVING.value):
                 result = solver.solve()
                 self.pipeline.complete(StageName.TRANSPORT_SOLVING, result)
@@ -204,6 +238,7 @@ class AntMocApplication:
                 "set decomposition nx = ny = 1 and use nz"
             )
         polar_spacing = cfg.tracking.polar_spacing
+        cache = self._tracking_cache()
         if decomposed:
             with self.timer.stage(StageName.TRACK_GENERATION.value):
                 solver = ZDecomposedSolver(
@@ -218,8 +253,13 @@ class AntMocApplication:
                     max_iterations=cfg.solver.max_iterations,
                     evaluator=evaluator_from_config(cfg.solver),
                     backend=cfg.solver.sweep_backend,
+                    tracer=cfg.tracking.tracer,
+                    cache=cache,
                 )
                 self.pipeline.complete(StageName.TRACK_GENERATION, solver)
+            self._record_tracking_phases(
+                [solver.radial.timings] + [d["trackgen"].timings for d in solver.domains]
+            )
             with self.timer.stage(StageName.TRANSPORT_SOLVING.value):
                 result = solver.solve()
                 self.pipeline.complete(StageName.TRANSPORT_SOLVING, result)
@@ -249,8 +289,11 @@ class AntMocApplication:
                     max_iterations=cfg.solver.max_iterations,
                     evaluator=evaluator_from_config(cfg.solver),
                     backend=cfg.solver.sweep_backend,
+                    tracer=cfg.tracking.tracer,
+                    cache=cache,
                 )
                 self.pipeline.complete(StageName.TRACK_GENERATION, solver)
+            self._record_tracking_phases([solver.trackgen.timings])
             with self.timer.stage(StageName.TRANSPORT_SOLVING.value):
                 result = solver.solve()
                 self.pipeline.complete(StageName.TRANSPORT_SOLVING, result)

@@ -53,10 +53,17 @@ class MOCSolver:
         max_iterations: int = 500,
         evaluator: ExponentialEvaluator | None = None,
         backend: str | None = None,
+        tracer: str | None = None,
+        cache=None,
     ) -> "MOCSolver":
         """Build a 2D solver: tracking, sweep and power iteration."""
         trackgen = TrackGenerator(
-            geometry, num_azim=num_azim, azim_spacing=azim_spacing, num_polar=num_polar
+            geometry,
+            num_azim=num_azim,
+            azim_spacing=azim_spacing,
+            num_polar=num_polar,
+            tracer=tracer,
+            cache=cache,
         ).generate()
         terms = SourceTerms(list(geometry.fsr_materials))
         sweeper = TransportSweep2D(trackgen, terms, evaluator, backend=backend)
@@ -87,6 +94,8 @@ class MOCSolver:
         max_iterations: int = 500,
         evaluator: ExponentialEvaluator | None = None,
         backend: str | None = None,
+        tracer: str | None = None,
+        cache=None,
     ) -> "MOCSolver":
         """Build a 3D solver with an EXP/OTF/MANAGER storage strategy."""
         from repro.trackmgmt import make_strategy
@@ -97,6 +106,8 @@ class MOCSolver:
             azim_spacing=azim_spacing,
             polar_spacing=polar_spacing,
             num_polar=num_polar,
+            tracer=tracer,
+            cache=cache,
         ).generate()
         terms = SourceTerms(list(geometry3d.fsr_materials))
         sweeper = TransportSweep3D(trackgen, terms, evaluator, backend=backend)

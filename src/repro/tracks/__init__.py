@@ -20,8 +20,16 @@ from repro.tracks.laydown import lay_tracks
 from repro.tracks.chains import link_tracks, build_chains, Chain
 from repro.tracks.raytrace2d import trace_all, trace_track
 from repro.tracks.stack3d import generate_3d_stacks, Stack3D
-from repro.tracks.raytrace3d import trace_3d_track, trace_3d_all, ChainSegments, chain_segments
-from repro.tracks.generator import TrackGenerator, TrackGenerator3D
+from repro.tracks.raytrace3d import (
+    ChainSegments,
+    build_chain_tables,
+    chain_segments,
+    trace_3d_all,
+    trace_3d_track,
+)
+from repro.tracks.tracers import get_tracer, register_tracer, resolve_tracer, tracer_names
+from repro.tracks.cache import TrackingCache, resolve_cache
+from repro.tracks.generator import TrackGenerator, TrackGenerator3D, TrackingTimings
 
 __all__ = [
     "Track2D",
@@ -39,7 +47,15 @@ __all__ = [
     "trace_3d_track",
     "trace_3d_all",
     "ChainSegments",
+    "build_chain_tables",
     "chain_segments",
     "TrackGenerator",
     "TrackGenerator3D",
+    "TrackingCache",
+    "TrackingTimings",
+    "get_tracer",
+    "register_tracer",
+    "resolve_cache",
+    "resolve_tracer",
+    "tracer_names",
 ]

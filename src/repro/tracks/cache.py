@@ -1,0 +1,204 @@
+"""Content-addressed cache of tracking products.
+
+Tracking setup (laydown, linking, chains, 2D segmentation, 3D stacks) is
+deterministic in the geometry and the tracking parameters, and the paper
+notes the products "could be restored during transport solving" (Sec. 2.1)
+— so repeated solves and benchmark reruns over the same problem can skip
+stage 3 entirely. This module keys the archives written by
+:mod:`repro.tracks.io` by a SHA-256 fingerprint of everything the products
+depend on:
+
+* the geometry's *structure* — surface parameters, region trees, cell
+  order, lattice layouts, bounds and boundary conditions. Object ids and
+  names are deliberately excluded (they are process-global counters), and
+  so are materials: tracking never looks at a material, so geometries
+  differing only in composition share cache entries;
+* the tracking parameters — azimuthal count and requested spacing, the
+  polar quadrature's angles and weights, and for 3D generators the polar
+  spacing, axial mesh edges and axial boundary conditions;
+* the archive :data:`~repro.tracks.io.FORMAT_VERSION`, so entries
+  invalidate themselves when the serialisation changes.
+
+Anything that changes any of these inputs changes the key — cache
+invalidation is automatic and stale entries are simply never addressed
+again. Entries live under ``~/.cache/repro`` by default, overridable via
+the ``cache_dir`` config field or the ``REPRO_CACHE_DIR`` environment
+variable. A corrupt or unreadable entry is treated as a miss (and
+re-written), never an error.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import tempfile
+from pathlib import Path
+
+from repro.geometry.cell import Cell
+from repro.geometry.lattice import Lattice
+from repro.geometry.region import Complement, Halfspace, Intersection, Region, Union
+from repro.geometry.surfaces import Plane2D, Surface, ZCylinder
+from repro.io.logging_utils import get_logger
+from repro.tracks.io import FORMAT_VERSION, load_tracking, save_tracking
+
+#: Environment override for the cache directory.
+CACHE_DIR_ENV_VAR = "REPRO_CACHE_DIR"
+
+_DEFAULT_CACHE_DIR = "~/.cache/repro"
+
+
+def default_cache_dir() -> Path:
+    """The cache root: ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``."""
+    return Path(os.environ.get(CACHE_DIR_ENV_VAR) or _DEFAULT_CACHE_DIR).expanduser()
+
+
+def _f(value: float) -> str:
+    """Exact (round-trippable) float spelling for fingerprints."""
+    return float(value).hex()
+
+
+def _surface_fingerprint(surface: Surface) -> str:
+    if isinstance(surface, Plane2D):
+        return f"P({_f(surface.a)},{_f(surface.b)},{_f(surface.c)})"
+    if isinstance(surface, ZCylinder):
+        return f"C({_f(surface.x0)},{_f(surface.y0)},{_f(surface.r)})"
+    # Unknown surface types fingerprint by type name and repr; collisions
+    # would only share entries between identically-printed surfaces.
+    return f"S[{type(surface).__name__}:{surface!r}]"
+
+
+def _region_fingerprint(region: Region) -> str:
+    if isinstance(region, Halfspace):
+        sign = "-" if region.halfspace_side < 0 else "+"
+        return sign + _surface_fingerprint(region.surface)
+    if isinstance(region, Intersection):
+        return "&(" + ",".join(_region_fingerprint(c) for c in region.children) + ")"
+    if isinstance(region, Union):
+        return "|(" + ",".join(_region_fingerprint(c) for c in region.children) + ")"
+    if isinstance(region, Complement):
+        return "~(" + _region_fingerprint(region.child) + ")"
+    surfaces = ",".join(_surface_fingerprint(s) for s in region.surfaces())
+    return f"R[{type(region).__name__}:{surfaces}]"
+
+
+def _node_fingerprint(node, memo: dict[int, str], counter: list[int]) -> str:
+    """Canonical structural spelling of a universe/lattice subtree.
+
+    Shared nodes are emitted once and referenced by a deterministic local
+    index thereafter (structure-derived, never the process-global ids).
+    """
+    key = id(node)
+    if key in memo:
+        return memo[key]
+    ref = f"#{counter[0]}"
+    counter[0] += 1
+    if isinstance(node, Lattice):
+        grid = ";".join(
+            _node_fingerprint(node.universes[j][i], memo, counter)
+            for j in range(node.ny)
+            for i in range(node.nx)
+        )
+        text = (
+            f"L({node.nx}x{node.ny},{_f(node.pitch_x)},{_f(node.pitch_y)},"
+            f"{_f(node.x0)},{_f(node.y0)},[{grid}])"
+        )
+    else:
+        cells = ";".join(_cell_fingerprint(cell, memo, counter) for cell in node.cells)
+        text = f"U([{cells}])"
+    memo[key] = ref
+    return ref + "=" + text
+
+
+def _cell_fingerprint(cell: Cell, memo: dict[int, str], counter: list[int]) -> str:
+    region = _region_fingerprint(cell.region)
+    if cell.is_material_cell:
+        return f"M({region})"  # materials intentionally excluded
+    return f"F({region},{_node_fingerprint(cell.fill, memo, counter)})"
+
+
+def geometry_fingerprint(geometry) -> str:
+    """Structural fingerprint of a radial geometry (bounds, BCs, tree)."""
+    bcs = ",".join(f"{side}={geometry.boundary[side].value}" for side in sorted(geometry.boundary))
+    bounds = ",".join(_f(v) for v in geometry.bounds)
+    tree = _node_fingerprint(geometry.root, {}, [0])
+    return f"geometry(bounds=[{bounds}],bc=[{bcs}],fsrs={geometry.num_fsrs},{tree})"
+
+
+def tracking_fingerprint(trackgen) -> str:
+    """Full cache-key text for a track generator (2D or 3D)."""
+    parts = [
+        f"format={FORMAT_VERSION}",
+        geometry_fingerprint(trackgen.geometry),
+        f"azim({trackgen.azimuthal.num_azim},{_f(trackgen.azimuthal.requested_spacing)})",
+        "polar("
+        + ",".join(_f(v) for v in trackgen.polar.sin_theta)
+        + ";"
+        + ",".join(_f(v) for v in trackgen.polar.weights)
+        + ")",
+    ]
+    geometry3d = getattr(trackgen, "geometry3d", None)
+    if geometry3d is not None:
+        edges = ",".join(_f(v) for v in geometry3d.axial_mesh.z_edges)
+        parts.append(
+            f"axial(spacing={_f(trackgen.polar_spacing)},edges=[{edges}],"
+            f"bc={geometry3d.boundary_zmin.value}/{geometry3d.boundary_zmax.value})"
+        )
+    return "|".join(parts)
+
+
+class TrackingCache:
+    """Content-addressed store of tracking archives.
+
+    ``load(trackgen)`` restores a hit into a non-generated generator and
+    returns whether it hit; ``store(trackgen)`` persists a generated one
+    (written to a temp file, then atomically renamed, so concurrent
+    processes never observe a partial archive).
+    """
+
+    def __init__(self, cache_dir: str | Path | None = None) -> None:
+        self.cache_dir = Path(cache_dir).expanduser() if cache_dir else default_cache_dir()
+        self._logger = get_logger("repro.tracks.cache")
+
+    def key_for(self, trackgen) -> str:
+        digest = hashlib.sha256(tracking_fingerprint(trackgen).encode()).hexdigest()
+        return digest
+
+    def path_for(self, trackgen) -> Path:
+        return self.cache_dir / f"tracking-{self.key_for(trackgen)}.npz"
+
+    def load(self, trackgen) -> bool:
+        """Restore a cached archive into ``trackgen``; False on miss."""
+        path = self.path_for(trackgen)
+        if not path.exists():
+            return False
+        try:
+            load_tracking(path, trackgen)
+        except Exception as exc:  # corrupt/stale entry: miss, not error
+            self._logger.warning("ignoring unreadable cache entry %s: %s", path, exc)
+            return False
+        self._logger.info("tracking cache hit: %s", path)
+        return True
+
+    def store(self, trackgen) -> Path:
+        """Persist ``trackgen``'s products; returns the entry path."""
+        path = self.path_for(trackgen)
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        # The suffix must stay ".npz" or np.savez would append one and the
+        # rename below would promote an empty file.
+        fd, tmp = tempfile.mkstemp(dir=self.cache_dir, suffix=".tmp.npz")
+        os.close(fd)
+        try:
+            save_tracking(tmp, trackgen)
+            os.replace(tmp, path)
+        finally:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+        self._logger.info("tracking cache store: %s", path)
+        return path
+
+
+def resolve_cache(
+    enabled: bool, cache_dir: str | Path | None = None
+) -> TrackingCache | None:
+    """Config/CLI helper: a :class:`TrackingCache` or ``None`` if disabled."""
+    return TrackingCache(cache_dir) if enabled else None

@@ -14,6 +14,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.errors import TrackingError
 from repro.geometry.geometry import BoundaryCondition, Geometry
 from repro.tracks.track import Track2D, TrackLink
@@ -60,12 +62,237 @@ def _mirror(ux: float, uy: float, side: str) -> tuple[float, float]:
     return ux, -uy
 
 
+#: Boundary side names in the order used by the vectorized linker.
+_SIDE_NAMES = ("xmin", "xmax", "ymin", "ymax")
+
+
 def link_tracks(tracks: list[Track2D], geometry: Geometry) -> None:
     """Fill the link/vacuum/interface attributes of every track in place.
 
     Raises :class:`~repro.errors.TrackingError` if a reflective or periodic
     end finds no partner — which indicates a broken cyclic laydown.
+
+    The pairing is computed as one vectorized hash join over all track
+    ends, replicating :class:`_PointMatcher` exactly (same bins, same scan
+    order, same nearest-candidate tie-break); :func:`_link_tracks_scalar`
+    keeps the walker form as a fallback and reference.
     """
+    if not tracks:
+        return
+    n = len(tracks)
+    scale = max(geometry.width, geometry.height)
+    tol = scale * 1e-6
+    quantum = max(scale * _MATCH_REL_TOL, 1e-13)
+    width = geometry.width
+    height = geometry.height
+
+    xy0 = np.array([(t.x0, t.y0) for t in tracks])
+    xy1 = np.array([(t.x1, t.y1) for t in tracks])
+    u = np.array([t.direction for t in tracks])
+    uids = np.array([t.uid for t in tracks], dtype=np.int64)
+    side_code = {name: i for i, name in enumerate(_SIDE_NAMES)}
+    side_f = np.array([side_code[t.end_side] for t in tracks], dtype=np.int64)
+    side_b = np.array([side_code[t.start_side] for t in tracks], dtype=np.int64)
+
+    # Entries: flux enters forward at the start point, backward at the end.
+    ex = np.concatenate([xy0[:, 0], xy1[:, 0]])
+    ey = np.concatenate([xy0[:, 1], xy1[:, 1]])
+    eux = np.concatenate([u[:, 0], -u[:, 0]])
+    euy = np.concatenate([u[:, 1], -u[:, 1]])
+    entry_uid = np.concatenate([uids, uids])
+    entry_fwd = np.concatenate(
+        [np.ones(n, dtype=bool), np.zeros(n, dtype=bool)]
+    )
+
+    # Queries: flux exits forward at the end point, backward at the start.
+    qx = np.concatenate([xy1[:, 0], xy0[:, 0]])
+    qy = np.concatenate([xy1[:, 1], xy0[:, 1]])
+    qux = np.concatenate([u[:, 0], -u[:, 0]])
+    quy = np.concatenate([u[:, 1], -u[:, 1]])
+    side = np.concatenate([side_f, side_b])
+
+    bcs = [geometry.boundary.get(name) for name in _SIDE_NAMES]
+    for code in np.unique(side).tolist():
+        bc = bcs[code]
+        if bc is None:
+            raise KeyError(_SIDE_NAMES[code])
+        if bc not in (
+            BoundaryCondition.VACUUM,
+            BoundaryCondition.INTERFACE,
+            BoundaryCondition.REFLECTIVE,
+            BoundaryCondition.PERIODIC,
+        ):  # pragma: no cover - exhaustive over enum
+            raise TrackingError(f"unhandled boundary condition {bc}")
+
+    def side_mask(bc: BoundaryCondition) -> np.ndarray:
+        return np.array([b is bc for b in bcs], dtype=bool)[side]
+
+    is_vac = side_mask(BoundaryCondition.VACUUM)
+    is_ifc = side_mask(BoundaryCondition.INTERFACE)
+    is_ref = side_mask(BoundaryCondition.REFLECTIVE)
+    is_per = side_mask(BoundaryCondition.PERIODIC)
+    match = is_ref | is_per
+
+    # Matched coordinates: reflective mirrors the direction in the side's
+    # plane; periodic shifts the point across the domain.
+    shift_x = np.array([width, -width, 0.0, 0.0])[side]
+    shift_y = np.array([0.0, 0.0, height, -height])[side]
+    flip = np.array(
+        [[-1.0, 1.0], [-1.0, 1.0], [1.0, -1.0], [1.0, -1.0]]
+    )[side]
+    mx = np.where(is_per, qx + shift_x, qx)[match]
+    my = np.where(is_per, qy + shift_y, qy)[match]
+    mux = np.where(is_ref, qux * flip[:, 0], qux)[match]
+    muy = np.where(is_ref, quy * flip[:, 1], quy)[match]
+
+    best = _match_entries(
+        ex, ey, eux, euy, mx, my, mux, muy, quantum, tol
+    )
+    if best is None:
+        # Key table would overflow packed int64 codes (pathological
+        # coordinate spread): fall back to the dict-based walker.
+        _link_tracks_scalar(tracks, geometry)
+        return
+
+    failed = np.flatnonzero(best < 0)
+    if failed.size:
+        # Report the same query the scalar walker would hit first: tracks
+        # in order, forward exit before backward exit.
+        q_index = np.flatnonzero(match)[failed]
+        first = q_index[np.argmin(q_index % n * 2 + q_index // n)]
+        j = int(first)
+        t = tracks[j % n]
+        bc = bcs[int(side[j])]
+        raise TrackingError(
+            f"track {t.uid}: no {bc.value} partner at ({qx[j]:.8g}, {qy[j]:.8g}) "
+            f"side {_SIDE_NAMES[int(side[j])]} direction ({qux[j]:.6g}, {quy[j]:.6g})"
+        )
+
+    links: list[TrackLink | None] = [None] * (2 * n)
+    match_rows = np.flatnonzero(match).tolist()
+    e_uid = entry_uid[best].tolist()
+    e_fwd = entry_fwd[best].tolist()
+    for row, target, forward in zip(match_rows, e_uid, e_fwd):
+        links[row] = TrackLink(target, forward)
+    vac = is_vac.tolist()
+    ifc = is_ifc.tolist()
+    for i, t in enumerate(tracks):
+        t.link_fwd = links[i]
+        t.vacuum_end = vac[i]
+        t.interface_end = ifc[i]
+        t.link_bwd = links[n + i]
+        t.vacuum_start = vac[n + i]
+        t.interface_start = ifc[n + i]
+
+
+def _match_entries(
+    ex: np.ndarray,
+    ey: np.ndarray,
+    eux: np.ndarray,
+    euy: np.ndarray,
+    mx: np.ndarray,
+    my: np.ndarray,
+    mux: np.ndarray,
+    muy: np.ndarray,
+    quantum: float,
+    tol: float,
+) -> np.ndarray | None:
+    """Nearest-entry index per query (or -1), batched.
+
+    Exactly the :meth:`_PointMatcher.find` scan: 4D quantized keys, the
+    3^4 neighbour-bin combinations in nested ``(-1, 0, +1)`` order,
+    direction filter ``|du| <= 1e-7``, nearest candidate by point distance
+    with ``<=`` tie-break (later-scanned candidates win ties). Returns
+    ``None`` when the packed key codes would overflow ``int64``.
+    """
+
+    def keys(x, y, ux, uy):
+        kx = np.round(x / quantum).astype(np.int64)
+        ky = np.round(y / quantum).astype(np.int64)
+        kux = np.round(ux / 1e-9).astype(np.int64)
+        kuy = np.round(uy / 1e-9).astype(np.int64)
+        return kx, ky, kux, kuy
+
+    e_keys = keys(ex, ey, eux, euy)
+    q_keys = keys(mx, my, mux, muy)
+
+    # Rank-compress each key dimension over the entry values; queries look
+    # up their (key + offset) ranks per dimension, missing values masked.
+    tables = [np.unique(k) for k in e_keys]
+    sizes = [int(t.size) for t in tables]
+    span = 1
+    for s in sizes:
+        span *= max(s, 1)
+    if span >= 1 << 62:
+        return None
+
+    e_code = np.zeros(ex.size, dtype=np.int64)
+    for table, size, k in zip(tables, sizes, e_keys):
+        e_code = e_code * size + np.searchsorted(table, k)
+    order = np.argsort(e_code, kind="stable")
+    e_sorted = e_code[order]
+
+    # Per dimension, the rank (and validity) of key-1, key, key+1.
+    ranks: list[dict[int, np.ndarray]] = []
+    valids: list[dict[int, np.ndarray]] = []
+    for table, k in zip(tables, q_keys):
+        r: dict[int, np.ndarray] = {}
+        v: dict[int, np.ndarray] = {}
+        for d in (-1, 0, 1):
+            val = k + d
+            pos = np.searchsorted(table, val)
+            pos = np.minimum(pos, table.size - 1)  # entries are never empty
+            v[d] = table[pos] == val
+            r[d] = pos
+        ranks.append(r)
+        valids.append(v)
+
+    nq = mx.size
+    best = np.full(nq, -1, dtype=np.int64)
+    best_d = np.full(nq, tol)
+    for dx in (-1, 0, 1):
+        for dy in (-1, 0, 1):
+            for du in (-1, 0, 1):
+                for dv in (-1, 0, 1):
+                    ok = (
+                        valids[0][dx]
+                        & valids[1][dy]
+                        & valids[2][du]
+                        & valids[3][dv]
+                    )
+                    if not ok.any():
+                        continue
+                    cand = (
+                        (ranks[0][dx] * sizes[1] + ranks[1][dy]) * sizes[2]
+                        + ranks[2][du]
+                    ) * sizes[3] + ranks[3][dv]
+                    lo = np.searchsorted(e_sorted, cand, side="left")
+                    hi = np.searchsorted(e_sorted, cand, side="right")
+                    active = ok & (lo < hi)
+                    if not active.any():
+                        continue
+                    # Bins may hold several entries; walk run positions in
+                    # insertion order (the stable sort preserves it).
+                    offset = 0
+                    while True:
+                        idx = lo + offset
+                        active &= idx < hi
+                        if not active.any():
+                            break
+                        e = order[np.where(active, idx, 0)]
+                        dir_ok = (np.abs(eux[e] - mux) <= 1e-7) & (
+                            np.abs(euy[e] - muy) <= 1e-7
+                        )
+                        d = np.hypot(ex[e] - mx, ey[e] - my)
+                        upd = active & dir_ok & (d <= best_d)
+                        best_d[upd] = d[upd]
+                        best[upd] = e[upd]
+                        offset += 1
+    return best
+
+
+def _link_tracks_scalar(tracks: list[Track2D], geometry: Geometry) -> None:
+    """Dict-based reference implementation of :func:`link_tracks`."""
     scale = max(geometry.width, geometry.height)
     tol = scale * 1e-6
     entries = _PointMatcher(scale)

@@ -9,6 +9,9 @@ strategies of Sec. 4.1 choose between.
 
 from __future__ import annotations
 
+import time
+from dataclasses import dataclass, field
+
 import numpy as np
 
 from repro.errors import TrackingError
@@ -19,10 +22,44 @@ from repro.quadrature.polar import PolarQuadrature, tabuchi_yamamoto
 from repro.quadrature.product import ProductQuadrature
 from repro.tracks.chains import Chain, build_chains, link_tracks
 from repro.tracks.raytrace2d import trace_all
-from repro.tracks.raytrace3d import ChainSegments, chain_segments, trace_3d_all, trace_3d_track
+from repro.tracks.raytrace3d import (
+    ChainSegments,
+    build_chain_tables,
+    trace_3d_all,
+    trace_3d_track,
+)
 from repro.tracks.segments import SegmentData
-from repro.tracks.stack3d import Stack3D, generate_3d_stacks
+from repro.tracks.stack3d import Stack3D, generate_3d_stacks, link_3d_stacks
 from repro.tracks.track import Track2D, Track3D
+
+
+@dataclass
+class TrackingTimings:
+    """Wall-clock breakdown of one ``generate()`` call by pipeline phase.
+
+    ``laydown`` covers 2D laydown and linking; ``trace2d`` the radial
+    segmentation (and tracked volumes); ``chain`` chain construction plus
+    the per-chain segment tables; ``stack`` the 3D stack laydown; ``link``
+    the 3D stack linking; ``cache`` any tracking-cache probe/store time.
+    """
+
+    laydown_seconds: float = 0.0
+    trace2d_seconds: float = 0.0
+    chain_seconds: float = 0.0
+    stack_seconds: float = 0.0
+    link_seconds: float = 0.0
+    cache_seconds: float = 0.0
+    cache_hit: bool = field(default=False)
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "laydown": self.laydown_seconds,
+            "trace2d": self.trace2d_seconds,
+            "chain": self.chain_seconds,
+            "stack": self.stack_seconds,
+            "link": self.link_seconds,
+            "cache": self.cache_seconds,
+        }
 
 
 class TrackGenerator:
@@ -35,6 +72,8 @@ class TrackGenerator:
         azim_spacing: float,
         polar: PolarQuadrature | None = None,
         num_polar: int = 4,
+        tracer: str | None = None,
+        cache=None,
     ) -> None:
         self.geometry = geometry
         self.azimuthal = AzimuthalQuadrature(
@@ -42,6 +81,9 @@ class TrackGenerator:
         )
         self.polar = polar if polar is not None else tabuchi_yamamoto(num_polar)
         self.quadrature = ProductQuadrature(self.azimuthal, self.polar)
+        self.tracer = tracer
+        self.cache = cache
+        self.timings = TrackingTimings()
         self._tracks: list[Track2D] | None = None
         self._chains: list[Chain] | None = None
         self._segments: SegmentData | None = None
@@ -51,15 +93,42 @@ class TrackGenerator:
 
     # ------------------------------------------------------------ pipeline
 
-    def generate(self) -> "TrackGenerator":
-        """Run laydown, linking, chain construction and 2D ray tracing."""
+    def _cache_load(self) -> bool:
+        t0 = time.perf_counter()
+        hit = self.cache.load(self)
+        self.timings.cache_seconds += time.perf_counter() - t0
+        self.timings.cache_hit = hit
+        return hit
+
+    def _cache_store(self) -> None:
+        t0 = time.perf_counter()
+        self.cache.store(self)
+        self.timings.cache_seconds += time.perf_counter() - t0
+
+    def _generate_radial(self) -> None:
         from repro.tracks.laydown import lay_tracks
 
+        timings = self.timings
+        t0 = time.perf_counter()
         self._tracks = lay_tracks(self.geometry, self.azimuthal)
         link_tracks(self._tracks, self.geometry)
+        t1 = time.perf_counter()
+        timings.laydown_seconds += t1 - t0
         self._chains = build_chains(self._tracks)
-        self._segments = trace_all(self.geometry, self._tracks)
+        t2 = time.perf_counter()
+        timings.chain_seconds += t2 - t1
+        self._segments = trace_all(self.geometry, self._tracks, tracer=self.tracer)
         self._volumes = self._tracked_volumes()
+        timings.trace2d_seconds += time.perf_counter() - t2
+
+    def generate(self) -> "TrackGenerator":
+        """Run laydown, linking, chain construction and 2D ray tracing."""
+        self.timings = TrackingTimings()
+        if self.cache is not None and self._cache_load():
+            return self
+        self._generate_radial()
+        if self.cache is not None:
+            self._cache_store()
         return self
 
     def _require(self, attr: str):
@@ -167,8 +236,18 @@ class TrackGenerator3D(TrackGenerator):
         polar_spacing: float,
         polar: PolarQuadrature | None = None,
         num_polar: int = 4,
+        tracer: str | None = None,
+        cache=None,
     ) -> None:
-        super().__init__(geometry3d.radial, num_azim, azim_spacing, polar=polar, num_polar=num_polar)
+        super().__init__(
+            geometry3d.radial,
+            num_azim,
+            azim_spacing,
+            polar=polar,
+            num_polar=num_polar,
+            tracer=tracer,
+            cache=cache,
+        )
         self.geometry3d = geometry3d
         self.polar_spacing = float(polar_spacing)
         self._tracks3d: list[Track3D] | None = None
@@ -204,9 +283,15 @@ class TrackGenerator3D(TrackGenerator):
         return self
 
     def generate(self) -> "TrackGenerator3D":
-        if self._tracks is None:
-            super().generate()
+        adopted = self._tracks is not None
+        self.timings = TrackingTimings()
+        if self.cache is not None and self._cache_load():
+            return self
+        if not adopted:
+            self._generate_radial()
         mesh = self.geometry3d.axial_mesh
+        timings = self.timings
+        t0 = time.perf_counter()
         self._tracks3d, self._stacks = generate_3d_stacks(
             self.chains,
             self.polar,
@@ -215,10 +300,25 @@ class TrackGenerator3D(TrackGenerator):
             mesh.zmax,
             bc_zmin=self.geometry3d.boundary_zmin,
             bc_zmax=self.geometry3d.boundary_zmax,
+            link=False,
         )
-        self._chain_tables = {
-            c.index: chain_segments(c, self.tracks, self.segments) for c in self.chains
-        }
+        t1 = time.perf_counter()
+        timings.stack_seconds += t1 - t0
+        link_3d_stacks(
+            self._tracks3d,
+            self._stacks,
+            self.chains,
+            mesh.zmin,
+            mesh.zmax,
+            bc_zmin=self.geometry3d.boundary_zmin,
+            bc_zmax=self.geometry3d.boundary_zmax,
+        )
+        t2 = time.perf_counter()
+        timings.link_seconds += t2 - t1
+        self._chain_tables = build_chain_tables(self.chains, self.tracks, self.segments)
+        timings.chain_seconds += time.perf_counter() - t2
+        if self.cache is not None:
+            self._cache_store()
         return self
 
     @property

@@ -14,6 +14,7 @@ mis-tracking.
 
 from __future__ import annotations
 
+from itertools import repeat
 from pathlib import Path
 
 import numpy as np
@@ -49,6 +50,14 @@ def _link_from_code(code: int) -> TrackLink | None:
     if code == _NO_LINK:
         return None
     return TrackLink(track=code // 2, forward=(code % 2 == 0))
+
+
+def _links_from_codes(codes: np.ndarray) -> list[TrackLink | None]:
+    """Decode a whole link array at once (hot path of archive restore)."""
+    return [
+        None if code < 0 else TrackLink(code >> 1, (code & 1) == 0)
+        for code in codes.tolist()
+    ]
 
 
 def save_tracking(path: str | Path, trackgen) -> Path:
@@ -133,30 +142,33 @@ def load_tracking(path: str | Path, trackgen) -> None:
     if int(archive["num_fsrs"][0]) != trackgen.geometry.num_fsrs:
         raise TrackingError("archive FSR count does not match the geometry")
 
+    # Rebuild the track objects with one C-level ``map`` per list: every
+    # constructor argument is a plain-python column (``tolist`` round-trips
+    # float64 exactly), so no per-item indexing or attribute writes remain.
     xyxy = archive["t2_xyxy"]
-    phi = archive["t2_phi"]
-    azim = archive["t2_azim"]
-    flags = archive["t2_flags"].astype(bool)
-    link_fwd = archive["t2_link_fwd"]
-    link_bwd = archive["t2_link_bwd"]
-    tracks: list[Track2D] = []
-    for uid in range(xyxy.shape[0]):
-        t = Track2D(
-            uid=uid,
-            azim=int(azim[uid]),
-            x0=float(xyxy[uid, 0]),
-            y0=float(xyxy[uid, 1]),
-            x1=float(xyxy[uid, 2]),
-            y1=float(xyxy[uid, 3]),
-            phi=float(phi[uid]),
+    flags = archive["t2_flags"] != 0
+    n2 = xyxy.shape[0]
+    tracks: list[Track2D] = list(
+        map(
+            Track2D,
+            range(n2),
+            archive["t2_azim"].tolist(),
+            xyxy[:, 0].tolist(),
+            xyxy[:, 1].tolist(),
+            xyxy[:, 2].tolist(),
+            xyxy[:, 3].tolist(),
+            archive["t2_phi"].tolist(),
+            repeat(0),  # index_in_azim (laydown metadata, not archived)
+            _links_from_codes(archive["t2_link_fwd"]),
+            _links_from_codes(archive["t2_link_bwd"]),
+            repeat(""),  # start_side
+            repeat(""),  # end_side
+            flags[:, 0].tolist(),
+            flags[:, 1].tolist(),
+            flags[:, 2].tolist(),
+            flags[:, 3].tolist(),
         )
-        t.link_fwd = _link_from_code(int(link_fwd[uid]))
-        t.link_bwd = _link_from_code(int(link_bwd[uid]))
-        t.vacuum_start, t.vacuum_end, t.interface_start, t.interface_end = (
-            bool(flags[uid, 0]), bool(flags[uid, 1]),
-            bool(flags[uid, 2]), bool(flags[uid, 3]),
-        )
-        tracks.append(t)
+    )
     trackgen._tracks = tracks
     trackgen._segments = SegmentData(
         archive["s2_lengths"], archive["s2_fsr"], archive["s2_offsets"]
@@ -166,10 +178,17 @@ def load_tracking(path: str | Path, trackgen) -> None:
     closed = archive["chain_closed"].astype(bool)
     chain_azim = archive["chain_azim"]
     iface = archive["chain_iface"].astype(bool)
+    # Rows are written grouped by chain; a stable sort + searchsorted
+    # recovers each group without an O(chains * rows) scan.
+    order = np.argsort(elements[:, 0], kind="stable")
+    grouped = elements[order]
+    group_lo = np.searchsorted(grouped[:, 0], np.arange(closed.size), side="left")
+    group_hi = np.searchsorted(grouped[:, 0], np.arange(closed.size), side="right")
+    grouped_rows = grouped.tolist()
     chains: list[Chain] = []
     for index in range(closed.size):
-        rows = elements[elements[:, 0] == index]
-        elems = [(int(uid), bool(fwd)) for _, uid, fwd in rows]
+        rows = grouped_rows[group_lo[index] : group_hi[index]]
+        elems = [(uid, bool(fwd)) for _, uid, fwd in rows]
         offsets, total = [], 0.0
         for uid, _ in elems:
             offsets.append(total)
@@ -190,34 +209,32 @@ def load_tracking(path: str | Path, trackgen) -> None:
     trackgen._volumes = trackgen._tracked_volumes()
 
     if "t3_szsz" in archive and hasattr(trackgen, "_tracks3d"):
+        # Same column-wise rebuild; members are hoisted out of the map
+        # because NpzFile.__getitem__ decompresses whole members per access.
         szsz = archive["t3_szsz"]
-        t3_flags = archive["t3_flags"].astype(bool)
-        t3_fwd = archive["t3_link_fwd"]
-        t3_bwd = archive["t3_link_bwd"]
-        tracks3d: list[Track3D] = []
-        for uid in range(szsz.shape[0]):
-            t = Track3D(
-                uid=uid,
-                chain=int(archive["t3_chain"][uid]),
-                polar=int(archive["t3_polar"][uid]),
-                s0=float(szsz[uid, 0]),
-                z0=float(szsz[uid, 1]),
-                s1=float(szsz[uid, 2]),
-                z1=float(szsz[uid, 3]),
-                theta=float(archive["t3_theta"][uid]),
-                z_spacing=float(archive["t3_zspacing"][uid]),
+        t3_flags = archive["t3_flags"] != 0
+        n3 = szsz.shape[0]
+        trackgen._tracks3d = list(
+            map(
+                Track3D,
+                range(n3),
+                archive["t3_chain"].tolist(),
+                archive["t3_polar"].tolist(),
+                szsz[:, 0].tolist(),
+                szsz[:, 1].tolist(),
+                szsz[:, 2].tolist(),
+                szsz[:, 3].tolist(),
+                archive["t3_theta"].tolist(),
+                archive["t3_zspacing"].tolist(),
+                _links_from_codes(archive["t3_link_fwd"]),
+                _links_from_codes(archive["t3_link_bwd"]),
+                t3_flags[:, 0].tolist(),
+                t3_flags[:, 1].tolist(),
+                t3_flags[:, 2].tolist(),
+                t3_flags[:, 3].tolist(),
             )
-            t.link_fwd = _link_from_code(int(t3_fwd[uid]))
-            t.link_bwd = _link_from_code(int(t3_bwd[uid]))
-            t.vacuum_start, t.vacuum_end, t.interface_start, t.interface_end = (
-                bool(t3_flags[uid, 0]), bool(t3_flags[uid, 1]),
-                bool(t3_flags[uid, 2]), bool(t3_flags[uid, 3]),
-            )
-            tracks3d.append(t)
-        trackgen._tracks3d = tracks3d
+        )
         trackgen._stacks = []  # stacks are laydown metadata, not needed post-restore
-        from repro.tracks.raytrace3d import chain_segments
+        from repro.tracks.raytrace3d import build_chain_tables
 
-        trackgen._chain_tables = {
-            c.index: chain_segments(c, tracks, trackgen._segments) for c in chains
-        }
+        trackgen._chain_tables = build_chain_tables(chains, tracks, trackgen._segments)

@@ -152,81 +152,217 @@ def _stack_tracks_closed(
     return tracks, stack
 
 
-def _link_stack(
-    tracks: list[Track3D],
-    stack: Stack3D,
-    chain: Chain,
-    length: float,
+def link_3d_stacks(
+    all_tracks: list[Track3D],
+    stacks: list[Stack3D],
+    chains: list[Chain],
     zmin: float,
     zmax: float,
-    bc_zmin: BoundaryCondition,
-    bc_zmax: BoundaryCondition,
+    bc_zmin: BoundaryCondition = BoundaryCondition.REFLECTIVE,
+    bc_zmax: BoundaryCondition = BoundaryCondition.VACUUM,
 ) -> None:
-    """Link 3D track ends inside one stack (z reflections, chain ends).
+    """Link every 3D track's ends (z reflections, chain ends) in one pass.
 
     Directions in ``(s, z)`` space are characterised by the pair of signs
     ``(ds_sign, dz_sign)``; reflection at a z-plane flips ``dz_sign`` only.
+
+    Endpoints are quantized onto per-stack grids of ``quantum``-sized bins
+    and the reflective pairing is a single vectorised hash join over *all*
+    stacks at once (a per-stack join spends more time in numpy dispatch
+    than in work — stacks hold only tens of tracks). A key is the tuple
+    ``(stack, k0, k1, ds_sign, dz_sign)``; since the quantized coordinates
+    span up to ~2**31 bins each, the tuple cannot be packed directly into
+    an int64, so ``(stack, k0)`` is rank-compressed through ``np.unique``
+    first and the compact rank packed with the remaining fields. Every
+    query probes its 3x3 key neighbourhood with ``searchsorted`` in the
+    same scan order as the original per-stack dict probe, so ties resolve
+    identically. Two endpoints quantizing to the same key would silently
+    shadow each other in a hash join, so duplicates are detected and
+    reported as a :class:`TrackingError` with the offending uids.
     """
-    by_uid = {uid: tracks[uid] for uid in stack.track_uids}
-    quantum = max(length, zmax - zmin) * 1e-9
-    z_tol = (zmax - zmin) * 1e-9
+    import numpy as np
 
-    def key(s: float, z: float, ds_sign: int, dz_sign: int) -> tuple[int, int, int, int]:
-        s_red = s % length if stack.closed else s
-        if stack.closed and abs(s_red - length) < quantum:
-            s_red = 0.0
-        return (round(s_red / quantum), round(z / quantum), ds_sign, dz_sign)
+    for bc in (bc_zmin, bc_zmax):
+        if bc not in (
+            BoundaryCondition.VACUUM,
+            BoundaryCondition.INTERFACE,
+            BoundaryCondition.REFLECTIVE,
+        ):
+            raise TrackingError(f"unsupported axial boundary condition {bc}")
+    if not stacks:
+        return
+    num_stacks = len(stacks)
+    height = zmax - zmin
+    z_tol = height * 1e-9
 
-    entries: dict[tuple[int, int, int, int], TrackLink] = {}
-    for uid in stack.track_uids:
-        t = by_uid[uid]
-        dz_sign = 1 if t.going_up else -1
-        entries[key(t.s0, t.z0, 1, dz_sign)] = TrackLink(uid, True)
-        entries[key(t.s1, t.z1, -1, -dz_sign)] = TrackLink(uid, False)
+    # Membership order: stack-major, tracks in stack order (uids are global
+    # indices into all_tracks).
+    uid = np.concatenate([np.asarray(st.track_uids, dtype=np.int64) for st in stacks])
+    counts = np.array([len(st.track_uids) for st in stacks], dtype=np.int64)
+    stack_of = np.repeat(np.arange(num_stacks, dtype=np.int64), counts)
+    m = uid.size
 
-    def find(s: float, z: float, ds_sign: int, dz_sign: int) -> TrackLink | None:
-        k0, k1, k2, k3 = key(s, z, ds_sign, dz_sign)
-        for a in (k0 - 1, k0, k0 + 1):
-            for b in (k1 - 1, k1, k1 + 1):
-                link = entries.get((a, b, k2, k3))
-                if link is not None:
-                    return link
-        return None
+    # One pass over the track list, then a fancy-index gather to member
+    # order (cheaper than four per-uid attribute scans).
+    szsz = np.array([(t.s0, t.z0, t.s1, t.z1) for t in all_tracks])
+    member = szsz[uid]
+    s0, z0, s1, z1 = member[:, 0], member[:, 1], member[:, 2], member[:, 3]
+    dz_sign = np.where(z1 > z0, 1, -1).astype(np.int64)
 
-    def resolve(
-        uid: int, s: float, z: float, ds_sign: int, dz_sign: int
-    ) -> tuple[TrackLink | None, bool, bool]:
-        """(link, vacuum, interface) for flux exiting at (s, z)."""
-        on_zmax = abs(z - zmax) < z_tol
-        on_zmin = abs(z - zmin) < z_tol
-        if on_zmax and dz_sign > 0:
-            bc = bc_zmax
-        elif on_zmin and dz_sign < 0:
-            bc = bc_zmin
-        else:
-            # Radial chain end (s = 0 or s = L on an open chain).
-            at_end = s > length / 2.0
-            interface = chain.ends_at_interface if at_end else chain.starts_at_interface
-            return None, not interface, interface
-        if bc is BoundaryCondition.VACUUM:
-            return None, True, False
-        if bc is BoundaryCondition.INTERFACE:
-            return None, False, True
-        if bc is BoundaryCondition.REFLECTIVE:
-            link = find(s, z, ds_sign, -dz_sign)
-            if link is None:
-                raise TrackingError(
-                    f"3D track {uid}: no reflective partner at "
-                    f"(s={s:.8g}, z={z:.8g}) direction ({ds_sign}, {-dz_sign})"
+    # Per-stack constants, gathered to membership order.
+    length_st = np.array([chains[st.chain].length for st in stacks])
+    closed_st = np.array([st.closed for st in stacks], dtype=bool)
+    quantum_st = np.maximum(length_st, height) * 1e-9
+    starts_ifc_st = np.array(
+        [chains[st.chain].starts_at_interface for st in stacks], dtype=bool
+    )
+    ends_ifc_st = np.array(
+        [chains[st.chain].ends_at_interface for st in stacks], dtype=bool
+    )
+    length_m = length_st[stack_of]
+    closed_m = closed_st[stack_of]
+    quantum_m = quantum_st[stack_of]
+
+    def qkey(
+        s: np.ndarray, z: np.ndarray, length: np.ndarray,
+        closed: np.ndarray, quantum: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        # Same arithmetic as the scalar per-stack quantization: closed
+        # chains reduce s modulo the chain length with a near-length snap.
+        s_mod = np.mod(s, length)
+        s_mod = np.where(np.abs(s_mod - length) < quantum, 0.0, s_mod)
+        s_red = np.where(closed, s_mod, s)
+        return (
+            np.round(s_red / quantum).astype(np.int64),
+            np.round(z / quantum).astype(np.int64),
+        )
+
+    # Entries: forward flux enters a track at its start, backward at its end.
+    k0_start, k1_start = qkey(s0, z0, length_m, closed_m, quantum_m)
+    k0_end, k1_end = qkey(s1, z1, length_m, closed_m, quantum_m)
+    ek0 = np.concatenate([k0_start, k0_end])
+    ek1 = np.concatenate([k1_start, k1_end])
+    eds = np.concatenate([np.ones(m, dtype=np.int64), -np.ones(m, dtype=np.int64)])
+    edz = np.concatenate([dz_sign, -dz_sign])
+    estack = np.concatenate([stack_of, stack_of])
+    entry_uid = np.concatenate([uid, uid])
+    entry_forward = np.concatenate([np.ones(m, dtype=bool), np.zeros(m, dtype=bool)])
+
+    # Queries: only exits landing on a *reflective* z-plane look up a
+    # partner; everything else resolves to vacuum/interface flags below.
+    # Forward exits sit at (s1, z1) going (+1, dz); backward at (s0, z0)
+    # going (-1, -dz). The reflected probe direction flips dz.
+    q_s = np.concatenate([s1, s0])
+    q_z = np.concatenate([z1, z0])
+    q_ds = np.concatenate([np.ones(m, dtype=np.int64), -np.ones(m, dtype=np.int64)])
+    q_dz = np.concatenate([dz_sign, -dz_sign])
+    q_stack = estack
+    q_member = np.concatenate([np.arange(m), np.arange(m)])
+
+    on_zmax = (np.abs(q_z - zmax) < z_tol) & (q_dz > 0)
+    on_zmin = (np.abs(q_z - zmin) < z_tol) & (q_dz < 0)
+    radial = ~(on_zmax | on_zmin)
+    reflective = (on_zmax & (bc_zmax is BoundaryCondition.REFLECTIVE)) | (
+        on_zmin & (bc_zmin is BoundaryCondition.REFLECTIVE)
+    )
+
+    entry_of_query = np.full(2 * m, -1, dtype=np.int64)
+    ref = np.flatnonzero(reflective)
+    if ref.size:
+        member_ref = q_member[ref]
+        rk0, rk1 = qkey(
+            q_s[ref], q_z[ref], length_m[member_ref],
+            closed_m[member_ref], quantum_m[member_ref],
+        )
+        rds = q_ds[ref]
+        rdz = -q_dz[ref]  # reflection flips dz
+        rstack = q_stack[ref]
+
+        # Rank-compress (stack, k0) over entries plus all candidate probe
+        # columns so the full key fits one exact int64.
+        def col(stack: np.ndarray, a: np.ndarray) -> np.ndarray:
+            return stack * (1 << 33) + (a + 2)
+
+        cols = [col(estack, ek0)] + [col(rstack, rk0 + da) for da in (-1, 0, 1)]
+        uniq, inv = np.unique(np.concatenate(cols), return_inverse=True)
+        if uniq.size >= 1 << 24 or max(
+            int(np.abs(ek1).max(initial=0)), int(np.abs(rk1).max(initial=0))
+        ) >= (1 << 35) - 2:
+            raise TrackingError("3D linking key table overflow")
+        r_e = inv[: ek0.size]
+        r_qm1, r_q0, r_qp1 = np.split(inv[ek0.size :], 3)
+        rank_q = {-1: r_qm1, 0: r_q0, 1: r_qp1}
+
+        def pack(rank: np.ndarray, b: np.ndarray, ds: np.ndarray, dz: np.ndarray) -> np.ndarray:
+            # rank < 2**24, |b| < 2**35: fields stay disjoint below 2**63.
+            return (rank << 38) + ((b + (1 << 35)) << 2) + (ds > 0) * 2 + (dz > 0)
+
+        codes = pack(r_e, ek1, eds, edz)
+        order = np.argsort(codes, kind="stable")
+        sorted_codes = codes[order]
+        dup = np.flatnonzero(sorted_codes[1:] == sorted_codes[:-1])
+        if dup.size:
+            a, b = entry_uid[order[dup[0]]], entry_uid[order[dup[0] + 1]]
+            st = stacks[int(estack[order[dup[0]]])]
+            raise TrackingError(
+                f"3D tracks {int(a)} and {int(b)} (chain {st.chain}, polar "
+                f"{st.polar}): endpoints quantize to the same linking key; "
+                f"stack spacing is below the quantization resolution"
+            )
+
+        found = np.full(ref.size, -1, dtype=np.int64)
+        for da in (-1, 0, 1):
+            for db in (-1, 0, 1):
+                open_q = found < 0
+                if not open_q.any():
+                    break
+                cand = pack(rank_q[da][open_q], rk1[open_q] + db, rds[open_q], rdz[open_q])
+                pos = np.searchsorted(sorted_codes, cand)
+                hit = (pos < sorted_codes.size) & (
+                    sorted_codes[np.minimum(pos, sorted_codes.size - 1)] == cand
                 )
-            return link, False, False
-        raise TrackingError(f"unsupported axial boundary condition {bc}")
+                targets = np.flatnonzero(open_q)[hit]
+                found[targets] = order[pos[hit]]
+        if (found < 0).any():
+            j = int(ref[int(np.argmax(found < 0))])
+            raise TrackingError(
+                f"3D track {int(uid[q_member[j]])}: no reflective partner at "
+                f"(s={q_s[j]:.8g}, z={q_z[j]:.8g}) direction "
+                f"({int(q_ds[j])}, {int(-q_dz[j])})"
+            )
+        entry_of_query[ref] = found
 
-    for uid in stack.track_uids:
-        t = by_uid[uid]
-        dz_sign = 1 if t.going_up else -1
-        t.link_fwd, t.vacuum_end, t.interface_end = resolve(uid, t.s1, t.z1, 1, dz_sign)
-        t.link_bwd, t.vacuum_start, t.interface_start = resolve(uid, t.s0, t.z0, -1, -dz_sign)
+    # Boundary flags. Radial chain ends (s = 0 or s = L on an open chain)
+    # couple through the 2D chain, marked interface/vacuum per chain flags.
+    at_end = q_s > length_m[q_member] / 2.0
+    radial_ifc = np.where(
+        at_end, ends_ifc_st[q_stack], starts_ifc_st[q_stack]
+    )
+    vacuum = np.zeros(2 * m, dtype=bool)
+    interface = np.zeros(2 * m, dtype=bool)
+    interface[radial] = radial_ifc[radial]
+    vacuum[radial] = ~radial_ifc[radial]
+    for mask, bc in ((on_zmax, bc_zmax), (on_zmin, bc_zmin)):
+        if bc is BoundaryCondition.VACUUM:
+            vacuum[mask] = True
+        elif bc is BoundaryCondition.INTERFACE:
+            interface[mask] = True
+
+    has = entry_of_query >= 0
+    link_uid = np.where(has, entry_uid[entry_of_query], -1)
+    link_fwd_flag = entry_forward[entry_of_query] & has
+    links = [
+        TrackLink(u, bool(f)) if u >= 0 else None
+        for u, f in zip(link_uid.tolist(), link_fwd_flag.tolist())
+    ]
+    vac_l = vacuum.tolist()
+    ifc_l = interface.tolist()
+    for i, u in enumerate(uid.tolist()):
+        t = all_tracks[u]
+        t.link_fwd = links[i]
+        t.vacuum_end, t.interface_end = vac_l[i], ifc_l[i]
+        t.link_bwd = links[m + i]
+        t.vacuum_start, t.interface_start = vac_l[m + i], ifc_l[m + i]
 
 
 def generate_3d_stacks(
@@ -237,12 +373,15 @@ def generate_3d_stacks(
     zmax: float,
     bc_zmin: BoundaryCondition = BoundaryCondition.REFLECTIVE,
     bc_zmax: BoundaryCondition = BoundaryCondition.VACUUM,
+    link: bool = True,
 ) -> tuple[list[Track3D], list[Stack3D]]:
-    """Generate and link all 3D tracks for every (chain, polar) pair.
+    """Generate (and by default link) all 3D tracks per (chain, polar) pair.
 
     Polar angles are corrected per chain (chains have different lengths),
     mirroring how ANT-MOC's axial laydown ties the effective polar angle
     to the track-chain geometry. The quadrature *weights* stay global.
+    Pass ``link=False`` to defer linking to :func:`link_3d_stacks` (the
+    track generator does, so the two phases are timed separately).
     """
     if polar_spacing <= 0.0:
         raise TrackingError(f"polar spacing must be positive (got {polar_spacing})")
@@ -266,6 +405,7 @@ def generate_3d_stacks(
                     chain, p, alpha_eff, n_s, n_z, chain.length, zmin, zmax, len(all_tracks)
                 )
             all_tracks.extend(tracks)
-            _link_stack(all_tracks, stack, chain, chain.length, zmin, zmax, bc_zmin, bc_zmax)
             stacks.append(stack)
+    if link:
+        link_3d_stacks(all_tracks, stacks, chains, zmin, zmax, bc_zmin, bc_zmax)
     return all_tracks, stacks

@@ -13,7 +13,7 @@ import math
 from dataclasses import dataclass, field
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TrackLink:
     """Where outgoing flux goes when a track traversal ends.
 
@@ -27,7 +27,7 @@ class TrackLink:
     forward: bool
 
 
-@dataclass
+@dataclass(slots=True)
 class Track2D:
     """A 2D track: directed chord of the domain at azimuthal angle ``phi``.
 
@@ -78,7 +78,7 @@ class Track2D:
         )
 
 
-@dataclass
+@dataclass(slots=True)
 class Track3D:
     """A 3D track within one chain's ``(s, z)`` space.
 

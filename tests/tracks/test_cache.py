@@ -1,0 +1,137 @@
+"""Tests for the content-addressed tracking cache."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Geometry, Lattice
+from repro.geometry.universe import make_pin_cell_universe
+from repro.tracks import TrackGenerator, TrackGenerator3D
+from repro.tracks.cache import (
+    CACHE_DIR_ENV_VAR,
+    TrackingCache,
+    default_cache_dir,
+    resolve_cache,
+    tracking_fingerprint,
+)
+
+
+def make_pin_geometry(fuel, moderator, radius=0.54):
+    pin = make_pin_cell_universe(radius, fuel, moderator, num_rings=2, num_sectors=4)
+    return Geometry(Lattice([[pin]], 1.26, 1.26), name="cache-pin")
+
+
+def make_generator(geometry, cache, spacing=0.3):
+    return TrackGenerator(geometry, num_azim=4, azim_spacing=spacing, cache=cache)
+
+
+class TestHitAndMiss:
+    def test_cold_store_then_warm_hit(self, uo2, moderator, tmp_path):
+        cache = TrackingCache(tmp_path)
+        g = make_pin_geometry(uo2, moderator)
+        cold = make_generator(g, cache).generate()
+        assert not cold.timings.cache_hit
+        assert cache.path_for(cold).exists()
+
+        warm = make_generator(g, cache).generate()
+        assert warm.timings.cache_hit
+        assert np.array_equal(cold.segments.offsets, warm.segments.offsets)
+        assert np.array_equal(cold.segments.fsr_ids, warm.segments.fsr_ids)
+        assert np.array_equal(cold.segments.lengths, warm.segments.lengths)
+        np.testing.assert_array_equal(cold.fsr_volumes, warm.fsr_volumes)
+        assert len(cold.tracks) == len(warm.tracks)
+        for a, b in zip(cold.tracks, warm.tracks):
+            assert (a.x0, a.y0, a.x1, a.y1, a.phi) == (b.x0, b.y0, b.x1, b.y1, b.phi)
+            assert (a.link_fwd, a.link_bwd) == (b.link_fwd, b.link_bwd)
+        assert len(cold.chains) == len(warm.chains)
+        for a, b in zip(cold.chains, warm.chains):
+            assert a.elements == b.elements
+            assert a.closed == b.closed
+
+    def test_corrupt_entry_is_a_miss(self, uo2, moderator, tmp_path):
+        cache = TrackingCache(tmp_path)
+        g = make_pin_geometry(uo2, moderator)
+        cold = make_generator(g, cache).generate()
+        path = cache.path_for(cold)
+        path.write_bytes(b"not an npz archive")
+
+        regen = make_generator(g, cache).generate()
+        assert not regen.timings.cache_hit  # corrupt entry ignored, rebuilt
+        assert np.array_equal(cold.segments.lengths, regen.segments.lengths)
+        # The rebuilt entry replaced the corrupt one and is loadable again.
+        warm = make_generator(g, cache).generate()
+        assert warm.timings.cache_hit
+
+
+class TestKeying:
+    def test_parameters_change_the_key(self, uo2, moderator, tmp_path):
+        cache = TrackingCache(tmp_path)
+        g = make_pin_geometry(uo2, moderator)
+        a = make_generator(g, cache, spacing=0.3)
+        b = make_generator(g, cache, spacing=0.2)
+        assert cache.key_for(a) != cache.key_for(b)
+
+    def test_geometry_change_invalidates(self, uo2, moderator, tmp_path):
+        cache = TrackingCache(tmp_path)
+        a = make_generator(make_pin_geometry(uo2, moderator, radius=0.54), cache)
+        b = make_generator(make_pin_geometry(uo2, moderator, radius=0.50), cache)
+        assert cache.key_for(a) != cache.key_for(b)
+
+    def test_materials_do_not_affect_the_key(self, uo2, moderator, mox87, tmp_path):
+        """Tracking never reads materials, so compositions share entries."""
+        cache = TrackingCache(tmp_path)
+        a = make_generator(make_pin_geometry(uo2, moderator), cache)
+        b = make_generator(make_pin_geometry(mox87, moderator), cache)
+        assert cache.key_for(a) == cache.key_for(b)
+
+    def test_fingerprint_ignores_names(self, uo2, moderator):
+        g1 = make_pin_geometry(uo2, moderator)
+        g2 = make_pin_geometry(uo2, moderator)
+        a = TrackGenerator(g1, num_azim=4, azim_spacing=0.3)
+        b = TrackGenerator(g2, num_azim=4, azim_spacing=0.3)
+        assert tracking_fingerprint(a) == tracking_fingerprint(b)
+
+
+class TestConfiguration:
+    def test_env_var_overrides_default_dir(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(CACHE_DIR_ENV_VAR, str(tmp_path / "env-cache"))
+        assert default_cache_dir() == tmp_path / "env-cache"
+        assert TrackingCache().cache_dir == tmp_path / "env-cache"
+
+    def test_resolve_cache(self, tmp_path):
+        assert resolve_cache(False) is None
+        assert resolve_cache(False, tmp_path) is None
+        cache = resolve_cache(True, tmp_path)
+        assert isinstance(cache, TrackingCache)
+        assert cache.cache_dir == tmp_path
+
+
+class TestThreeD:
+    def test_3d_roundtrip(self, small_geometry_3d, tmp_path):
+        cache = TrackingCache(tmp_path)
+
+        def build():
+            return TrackGenerator3D(
+                small_geometry_3d, num_azim=4, azim_spacing=0.8,
+                polar_spacing=0.8, num_polar=2, cache=cache,
+            ).generate()
+
+        cold = build()
+        assert not cold.timings.cache_hit
+        warm = build()
+        assert warm.timings.cache_hit
+        assert len(cold.tracks3d) == len(warm.tracks3d)
+        for a, b in zip(cold.tracks3d, warm.tracks3d):
+            assert (a.s0, a.z0, a.s1, a.z1, a.theta) == (b.s0, b.z0, b.s1, b.z1, b.theta)
+            assert (a.link_fwd, a.link_bwd) == (b.link_fwd, b.link_bwd)
+            assert (a.vacuum_start, a.vacuum_end) == (b.vacuum_start, b.vacuum_end)
+        # Chain tables are rebuilt from the restored 2D products by the
+        # same builder, so the radial breakpoints agree bitwise.
+        for index, table in cold.chain_tables.items():
+            restored = warm.chain_tables[index]
+            assert np.array_equal(table.fsrs, restored.fsrs)
+            assert np.array_equal(table.bounds, restored.bounds)
+        ref = cold.trace_all_3d()
+        out = warm.trace_all_3d()
+        assert np.array_equal(ref.offsets, out.offsets)
+        assert np.array_equal(ref.fsr_ids, out.fsr_ids)
+        assert np.array_equal(ref.lengths, out.lengths)
