@@ -75,6 +75,26 @@ def test_tracking_quick_ratios_hold():
 
 
 @pytest.mark.perf
+def test_engine_quick_ratio_holds():
+    """The mp engine's relative scaling must not regress.
+
+    On a single-core host every worker count serializes onto one CPU, so
+    the measured ratios reflect scheduler noise, not the engine — the gate
+    only runs with 2+ cores. The bitwise-identity flags are checked
+    unconditionally: they must hold on any machine.
+    """
+    baseline = _baseline("BENCH_engine.json", "quick")
+    record = _run_quick("bench_engine_scaling.py")
+    assert record["bitwise_identical"], "engines disagreed on k-eff"
+    assert record["comm_identical"], "engines disagreed on traffic totals"
+    cpus = os.cpu_count() or 1
+    if cpus < 2:
+        pytest.skip(f"{cpus} cpu(s): mp scaling ratios are not meaningful")
+    for key in ("speedup_2w", "speedup_4w"):
+        _check(f"engine {key}", record["ratios"][key], baseline["ratios"][key])
+
+
+@pytest.mark.perf
 def test_sweep_quick_ratio_holds():
     base_rows = _baseline("BENCH_sweep.json", "pin-cell-2d-quick")["backends"]
     base_numpy = next(r for r in base_rows if r["backend"] == "numpy")

@@ -17,7 +17,7 @@ import sys
 from pathlib import Path
 
 from repro.errors import ReproError
-from repro.io.config import SWEEP_BACKENDS, TRACERS, load_config
+from repro.io.config import ENGINES, SWEEP_BACKENDS, TRACERS, load_config
 from repro.runtime.antmoc import AntMocApplication
 
 
@@ -60,6 +60,19 @@ def build_parser() -> argparse.ArgumentParser:
         "('auto' uses the batched wavefront tracer).",
     )
     parser.add_argument(
+        "--engine",
+        choices=ENGINES,
+        help="Execution engine for decomposed solves, overriding the config's "
+        "decomposition.engine ('auto' defers to $REPRO_ENGINE, 'mp' sweeps "
+        "subdomains on real worker processes).",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        metavar="N",
+        help="Worker processes for the mp engine (default: one per subdomain).",
+    )
+    parser.add_argument(
         "--tracking-cache",
         nargs="?",
         const="",
@@ -85,6 +98,14 @@ def main(argv: list[str] | None = None) -> int:
                 config,
                 tracking=dataclasses.replace(config.tracking, tracer=args.tracer),
             )
+        if args.engine or args.workers is not None:
+            decomposition = dataclasses.replace(
+                config.decomposition,
+                engine=args.engine or config.decomposition.engine,
+                workers=args.workers if args.workers is not None
+                else config.decomposition.workers,
+            )
+            config = dataclasses.replace(config, decomposition=decomposition)
         if args.tracking_cache is not None:
             config = dataclasses.replace(
                 config,

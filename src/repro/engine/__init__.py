@@ -1,0 +1,45 @@
+"""Execution engines for decomposed transport solves.
+
+The communicator/engine layer behind the decomposed drivers
+(:mod:`repro.parallel.driver`, :mod:`repro.parallel.driver3d`):
+
+* ``inproc`` — the deterministic in-process simulator over
+  :class:`~repro.parallel.comm.SimComm`, kept as the equivalence oracle;
+* ``mp`` — real OS worker processes sweeping subdomains in parallel,
+  with the halo and the global flux in shared-memory SoA buffers.
+
+Both engines execute the same ``Route``/``InterfaceExchange`` tables and
+produce identical results and :class:`~repro.parallel.comm.CommStats`
+traffic, so every accounting test runs unchanged against either.
+"""
+
+from repro.engine.base import EngineResult, ExecutionEngine
+from repro.engine.inproc import InprocEngine
+from repro.engine.mp import MpCommunicator, MpEngine
+from repro.engine.problem import DecomposedProblem, Problem2D, Problem3D, RoutePack
+from repro.engine.registry import (
+    DEFAULT_ENGINE,
+    ENGINE_ENV_VAR,
+    engine_names,
+    register_engine,
+    resolve_engine,
+)
+from repro.engine.shm import ShmArena
+
+__all__ = [
+    "DEFAULT_ENGINE",
+    "ENGINE_ENV_VAR",
+    "DecomposedProblem",
+    "EngineResult",
+    "ExecutionEngine",
+    "InprocEngine",
+    "MpCommunicator",
+    "MpEngine",
+    "Problem2D",
+    "Problem3D",
+    "RoutePack",
+    "ShmArena",
+    "engine_names",
+    "register_engine",
+    "resolve_engine",
+]

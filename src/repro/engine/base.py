@@ -1,0 +1,64 @@
+"""Execution-engine abstractions for decomposed transport solves.
+
+An :class:`ExecutionEngine` runs the stage-4 eigenvalue iteration of a
+spatially decomposed problem (2D lattice cuts or 3D axial slabs) and
+carries boundary angular flux along the precomputed
+``Route``/``InterfaceExchange`` tables. Engines differ only in *how* the
+subdomain sweeps execute and how the halo moves:
+
+* ``inproc`` — the deterministic single-process simulator (the historical
+  behaviour, kept as the equivalence oracle);
+* ``mp`` — real OS worker processes over ``multiprocessing.shared_memory``
+  SoA buffers with a barrier-phased halo exchange (the paper's Buffered
+  Synchronous scheme).
+
+Both consume the same :class:`~repro.engine.problem.DecomposedProblem`
+adapter and the same routing tables, so traffic accounting and results are
+engine-independent by construction.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.solver.convergence import ConvergenceMonitor
+
+
+@dataclass
+class EngineResult:
+    """Engine-agnostic outcome of a decomposed eigenvalue solve."""
+
+    keff: float
+    scalar_flux: np.ndarray  # global (R_total, G), domain-blocked
+    converged: bool
+    num_iterations: int
+    monitor: ConvergenceMonitor
+    solve_seconds: float
+    #: Number of OS processes that executed sweeps (1 for ``inproc``).
+    num_workers: int = 1
+    #: Per-worker ``(worker_id, stage -> seconds)`` timing payloads.
+    worker_timers: list[tuple[int, dict[str, float]]] = field(default_factory=list)
+
+
+class ExecutionEngine(ABC):
+    """One way of executing a decomposed transport solve."""
+
+    #: Registry name; concrete engines override.
+    name: str = "?"
+
+    @abstractmethod
+    def create_communicator(self, size: int) -> Any:
+        """Build this engine's communicator over ``size`` ranks.
+
+        The returned object always exposes ``.size`` and ``.stats``
+        (a :class:`~repro.parallel.comm.CommStats`), so the Eq. (7)
+        traffic-accounting tests run unchanged against every engine.
+        """
+
+    @abstractmethod
+    def solve(self, problem, comm) -> EngineResult:
+        """Run the eigenvalue iteration of ``problem`` to convergence."""

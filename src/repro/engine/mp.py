@@ -1,0 +1,282 @@
+"""Real multiprocess execution engine: domain-parallel sweeps over shared memory.
+
+The paper's operating mode is one MPI rank per subdomain sweeping in
+parallel with near-neighbour boundary-flux exchange. This engine is the
+host-side realisation of that scheme: subdomains are assigned round-robin
+to ``fork``-ed OS worker processes, the global scalar flux and the halo
+live in :class:`~repro.engine.shm.ShmArena` SoA buffers, and each
+iteration runs two barrier phases (the Buffered Synchronous scheme):
+
+1. *sweep* — every worker sweeps its subdomains from the stored incoming
+   boundary flux, writes the new local scalar flux into the shared global
+   array, and packs outgoing interface flux into the shared halo buffer;
+2. *exchange + reduce* — after the barrier, workers unpack their incoming
+   halo slots (a subdomain "only updates its incoming angular flux at the
+   end of a source computation"), while the parent reduces fission
+   production in rank order, updates the eigenvalue, normalises the flux
+   and checks convergence.
+
+Reductions happen in exactly the simulator's rank order, halo slots carry
+exactly the simulator's values, and traffic is accounted along the same
+route tables — so the ``mp`` engine reproduces ``inproc`` results
+*bitwise*, while the sweeps really execute on separate cores.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+import traceback
+from threading import BrokenBarrierError
+
+import numpy as np
+
+from repro.engine.base import EngineResult, ExecutionEngine
+from repro.engine.problem import DecomposedProblem, RoutePack
+from repro.engine.shm import ShmArena
+from repro.errors import CommunicationError, SolverError
+from repro.io.logging_utils import StageTimer, get_logger
+from repro.parallel.comm import CommStats, account_allreduce
+from repro.solver.convergence import ConvergenceMonitor
+
+#: Control-word slots (float64): stop flag, current eigenvalue.
+_STOP, _KEFF = 0, 1
+
+
+class MpCommunicator:
+    """Traffic accounting for the multiprocess engine.
+
+    The halo moves through shared memory, not messages, but the engine
+    tallies the *equivalent* traffic along the route tables so the Eq. (7)
+    accounting tests see identical :class:`CommStats` across engines.
+    """
+
+    name = "mp"
+
+    def __init__(self, size: int) -> None:
+        if size < 1:
+            raise CommunicationError(f"communicator size must be >= 1 (got {size})")
+        self.size = int(size)
+        self.stats = CommStats()
+
+    def allreduce_account(self) -> None:
+        account_allreduce(self.stats, self.size)
+
+
+def _worker_loop(problem, pack, wid, owned, phi, phi_new, halo, control,
+                 barrier, queue, timeout):
+    """Worker body: barrier-phased sweep/exchange until the stop flag."""
+    timer = StageTimer()
+    try:
+        while True:
+            barrier.wait(timeout)
+            if control[_STOP]:
+                break
+            keff = float(control[_KEFF])
+            with timer.stage("worker_sweep"):
+                for d in owned:
+                    problem.block(d, phi_new)[:] = problem.sweep_domain(
+                        d, problem.block(d, phi), keff
+                    )
+                    idx, tracks, dirs = pack.outgoing(d)
+                    if idx.size:
+                        halo[idx] = problem.sweeper(d).psi_out_last[tracks, dirs]
+            barrier.wait(timeout)
+            with timer.stage("worker_exchange"):
+                for d in owned:
+                    idx, tracks, dirs = pack.incoming(d)
+                    if idx.size:
+                        problem.sweeper(d).psi_in[tracks, dirs] = halo[idx]
+        queue.put(("timers", wid, timer.as_dict()))
+    except Exception:
+        queue.put(("error", wid, traceback.format_exc()))
+        try:
+            barrier.abort()
+        except Exception:
+            pass
+        raise SystemExit(1)
+
+
+class MpEngine(ExecutionEngine):
+    """Shared-memory domain-parallel engine over forked worker processes."""
+
+    name = "mp"
+
+    def __init__(self, workers: int | None = None, barrier_timeout: float = 600.0) -> None:
+        self.workers = workers
+        self.barrier_timeout = float(barrier_timeout)
+        self._logger = get_logger("repro.engine.mp")
+
+    def create_communicator(self, size: int) -> MpCommunicator:
+        return MpCommunicator(size)
+
+    def resolve_workers(self, num_domains: int) -> int:
+        """Worker count: requested (or one per domain), capped by domains."""
+        requested = self.workers or num_domains
+        return max(1, min(int(requested), num_domains))
+
+    def _raise_worker_failure(self, queue, procs) -> None:
+        """A barrier broke: surface whichever worker error caused it."""
+        errors = [
+            f"worker {wid}:\n{payload}"
+            for kind, wid, payload in _drain(queue, 5.0)
+            if kind == "error"
+        ]
+        detail = "\n".join(errors) if errors else "worker died without a report"
+        raise SolverError(f"mp engine worker failure:\n{detail}")
+
+    def _wait(self, barrier, queue, procs) -> None:
+        try:
+            barrier.wait(self.barrier_timeout)
+        except BrokenBarrierError:
+            self._raise_worker_failure(queue, procs)
+
+    def solve(self, problem: DecomposedProblem, comm: MpCommunicator) -> EngineResult:
+        ctx_methods = multiprocessing.get_all_start_methods()
+        if "fork" not in ctx_methods:
+            raise SolverError(
+                "the mp engine needs the 'fork' start method (workers inherit "
+                f"tracking products and sweep plans); platform offers {ctx_methods}"
+            )
+        ctx = multiprocessing.get_context("fork")
+        start = time.perf_counter()
+        D = problem.num_domains
+        W = self.resolve_workers(D)
+        pack = RoutePack(problem)
+        slot = pack.slot_shape if pack.num_routes else problem.slot_shape
+        arena = ShmArena(
+            {
+                "phi": (problem.num_fsrs_total, problem.num_groups),
+                "phi_new": (problem.num_fsrs_total, problem.num_groups),
+                "halo": (max(pack.num_routes, 1),) + tuple(slot),
+                "control": (2,),
+            }
+        )
+        phi, phi_new = arena["phi"], arena["phi_new"]
+        control = arena["control"]
+        barrier = ctx.Barrier(W + 1)
+        queue = ctx.SimpleQueue()
+        owned = [[d for d in range(D) if d % W == w] for w in range(W)]
+        procs = [
+            ctx.Process(
+                target=_worker_loop,
+                args=(problem, pack, w, owned[w], phi, phi_new, arena["halo"],
+                      control, barrier, queue, self.barrier_timeout),
+                daemon=True,
+                name=f"repro-mp-worker-{w}",
+            )
+            for w in range(W)
+        ]
+        self._logger.info(
+            "mp engine: %d domains over %d workers (%s shared)",
+            D, W, _fmt_bytes(arena.nbytes),
+        )
+        worker_timers: list[tuple[int, dict[str, float]]] = []
+        try:
+            for proc in procs:
+                proc.start()
+            phi.fill(1.0)
+            production = self._allreduce(problem, comm, phi)
+            if production <= 0.0:
+                raise SolverError("initial flux produces no fission neutrons")
+            phi /= production
+            keff = 1.0
+            monitor = ConvergenceMonitor(
+                keff_tolerance=problem.keff_tolerance,
+                source_tolerance=problem.source_tolerance,
+            )
+            for _ in range(problem.max_iterations):
+                control[_KEFF] = keff
+                control[_STOP] = 0.0
+                self._wait(barrier, queue, procs)  # release the sweep phase
+                self._wait(barrier, queue, procs)  # sweeps + halo writes done
+                pack.account_iteration(comm.stats)
+                new_production = self._allreduce(problem, comm, phi_new)
+                if new_production <= 0.0:
+                    raise SolverError("fission production vanished")
+                keff = keff * new_production
+                np.divide(phi_new, new_production, out=phi)
+                fission = np.concatenate(
+                    [
+                        problem.fission_source(d, problem.block(d, phi))
+                        for d in range(D)
+                    ]
+                )
+                monitor.update(keff, fission)
+                if monitor.converged:
+                    break
+            control[_STOP] = 1.0
+            self._wait(barrier, queue, procs)  # workers observe stop and exit
+            scalar_flux = phi.copy()
+            worker_timers = self._collect_timers(queue, procs, W)
+            return EngineResult(
+                keff=keff,
+                scalar_flux=scalar_flux,
+                converged=monitor.converged,
+                num_iterations=monitor.num_iterations,
+                monitor=monitor,
+                solve_seconds=time.perf_counter() - start,
+                num_workers=W,
+                worker_timers=worker_timers,
+            )
+        finally:
+            control[_STOP] = 1.0
+            if any(proc.is_alive() for proc in procs):
+                barrier.abort()
+            for proc in procs:
+                proc.join(timeout=5.0)
+            for proc in procs:
+                if proc.is_alive():  # pragma: no cover - crash cleanup
+                    proc.terminate()
+                    proc.join(timeout=5.0)
+            del phi, phi_new, control
+            arena.close(unlink=True)
+
+    def _allreduce(self, problem: DecomposedProblem, comm: MpCommunicator,
+                   flux: np.ndarray) -> float:
+        """Fission production summed in rank order, with traffic accounting.
+
+        Matches ``SimComm.allreduce`` over the same per-rank list: ``sum``
+        of the contributions in ascending rank order, plus the modelled
+        recursive-doubling byte counts.
+        """
+        values = [
+            problem.production(d, problem.block(d, flux))
+            for d in range(problem.num_domains)
+        ]
+        comm.allreduce_account()
+        return sum(values)
+
+    def _collect_timers(self, queue, procs, expected: int):
+        timers: list[tuple[int, dict[str, float]]] = []
+        for kind, wid, payload in _drain(queue, 10.0, expected):
+            if kind == "timers":
+                timers.append((wid, payload))
+            else:
+                raise SolverError(f"mp engine worker {wid} failed:\n{payload}")
+        return sorted(timers)
+
+
+def _drain(queue, timeout: float, expected: int | None = None):
+    """Collect queued worker messages, polling ``empty()`` (SimpleQueue has
+    no timed ``get``; an unconditional get could hang on a dead worker)."""
+    messages = []
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if queue.empty():
+            if messages and (expected is None or len(messages) >= expected):
+                break
+            time.sleep(0.005)
+            continue
+        messages.append(queue.get())
+        if expected is not None and len(messages) >= expected:
+            break
+    return messages
+
+
+def _fmt_bytes(n: int) -> str:
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if n < 1024 or unit == "GiB":
+            return f"{n:.0f}{unit}" if unit == "B" else f"{n:.1f}{unit}"
+        n /= 1024
+    return f"{n}B"  # pragma: no cover

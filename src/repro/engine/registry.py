@@ -1,0 +1,65 @@
+"""Execution-engine registry and selection policy.
+
+Mirrors the sweep-backend and tracer registries: engines register by name,
+selection order is explicit argument > ``REPRO_ENGINE`` environment
+variable > default. Unlike the sweep backends there is no silent fallback
+— asking for an engine the platform cannot run (``mp`` without ``fork``)
+fails loudly at solve time, because the execution semantics the user asked
+for (real parallel processes) cannot be substituted quietly.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable
+
+from repro.engine.base import ExecutionEngine
+from repro.engine.inproc import InprocEngine
+from repro.engine.mp import MpEngine
+from repro.errors import ConfigError
+
+#: Environment override consulted when no engine is requested explicitly.
+ENGINE_ENV_VAR = "REPRO_ENGINE"
+
+#: Default engine when nothing is configured anywhere.
+DEFAULT_ENGINE = "inproc"
+
+_REGISTRY: dict[str, Callable[..., ExecutionEngine]] = {}
+
+
+def register_engine(name: str, factory: Callable[..., ExecutionEngine]) -> None:
+    """Add an engine factory to the registry (last registration wins)."""
+    _REGISTRY[name] = factory
+
+
+register_engine("inproc", lambda workers=None: InprocEngine())
+register_engine("mp", lambda workers=None: MpEngine(workers=workers))
+
+
+def engine_names() -> tuple[str, ...]:
+    """Registered engine names, ``inproc`` (the default/oracle) first."""
+    return tuple(sorted(_REGISTRY, key=lambda n: (n != DEFAULT_ENGINE, n)))
+
+
+def resolve_engine(
+    requested: str | ExecutionEngine | None = None,
+    workers: int | None = None,
+) -> ExecutionEngine:
+    """Select the execution engine: argument > env var > default.
+
+    ``None``, ``""`` and ``"auto"`` all mean "not requested" — the config
+    default is ``auto`` precisely so :data:`ENGINE_ENV_VAR` can apply.
+    """
+    if isinstance(requested, ExecutionEngine):
+        return requested
+    if requested is not None and requested.strip().lower() == "auto":
+        requested = None
+    name = requested or os.environ.get(ENGINE_ENV_VAR) or DEFAULT_ENGINE
+    name = name.strip().lower()
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown execution engine {name!r}; registered: {sorted(_REGISTRY)}"
+        ) from None
+    return factory(workers=workers)

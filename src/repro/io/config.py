@@ -28,6 +28,12 @@ SWEEP_BACKENDS = ("auto", "numpy", "numba", "reference")
 #: 2D tracers (``auto`` resolves to the wavefront ``batch`` tracer).
 TRACERS = ("auto", "batch", "reference")
 
+#: Execution engines for decomposed solves (:mod:`repro.engine`):
+#: ``auto`` defers to ``REPRO_ENGINE`` (default ``inproc``), ``inproc`` is
+#: the deterministic single-process simulator, ``mp`` runs subdomains on
+#: real OS worker processes over shared memory.
+ENGINES = ("auto", "inproc", "mp")
+
 #: Exponential-kernel evaluation modes.
 EXP_MODES = ("table", "exact")
 
@@ -75,6 +81,10 @@ class DecompositionConfig:
     nx: int = 1
     ny: int = 1
     nz: int = 1
+    #: Execution engine for decomposed solves (see :data:`ENGINES`).
+    engine: str = "auto"
+    #: Worker processes for the ``mp`` engine; 0 means one per subdomain.
+    workers: int = 0
 
     @property
     def num_domains(self) -> int:
@@ -83,6 +93,10 @@ class DecompositionConfig:
     def validate(self) -> None:
         if min(self.nx, self.ny, self.nz) < 1:
             raise ConfigError(f"domain grid must be positive in each axis (got {self.nx}x{self.ny}x{self.nz})")
+        if self.engine not in ENGINES:
+            raise ConfigError(f"engine must be one of {ENGINES} (got {self.engine!r})")
+        if self.workers < 0:
+            raise ConfigError(f"workers must be >= 0 (got {self.workers})")
 
 
 @dataclass(frozen=True)

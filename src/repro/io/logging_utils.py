@@ -10,7 +10,7 @@ from __future__ import annotations
 import logging
 import time
 from contextlib import contextmanager
-from typing import Iterator
+from typing import Iterator, Mapping
 
 
 def get_logger(name: str = "repro", level: str = "INFO") -> logging.Logger:
@@ -67,6 +67,41 @@ class StageTimer:
 
     def as_dict(self) -> dict[str, float]:
         return {name: self._durations[name] for name in self._order}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, float]) -> "StageTimer":
+        """Rebuild a timer from an :meth:`as_dict` payload (cross-process)."""
+        timer = cls()
+        for name, seconds in payload.items():
+            timer.record(name, seconds)
+        return timer
+
+    def merge(
+        self,
+        other: "StageTimer | Mapping[str, float]",
+        mode: str = "sum",
+        prefix: str = "",
+    ) -> "StageTimer":
+        """Fold another timer (or its serialized payload) into this one.
+
+        Stage names are kept verbatim (optionally prefixed), never
+        renumbered or clobbered: ``sum`` accumulates durations per stage,
+        ``max`` keeps the per-stage maximum. Worker timers aggregate into a
+        parent report with one ``merge(..., "sum")`` pass for total CPU
+        seconds and one ``merge(..., "max")`` pass for the critical path —
+        the two are reported explicitly because on a work-balanced
+        decomposition they differ by roughly the worker count.
+        """
+        if mode not in ("sum", "max"):
+            raise ValueError(f"merge mode must be 'sum' or 'max' (got {mode!r})")
+        payload = other.as_dict() if isinstance(other, StageTimer) else dict(other)
+        for name, seconds in payload.items():
+            key = prefix + name
+            if mode == "sum" or key not in self._durations:
+                self.record(key, float(seconds))
+            else:
+                self._durations[key] = max(self._durations[key], float(seconds))
+        return self
 
     def report(self) -> str:
         """Render a per-stage timing table like ANT-MOC's log fragments."""

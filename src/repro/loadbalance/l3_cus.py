@@ -39,10 +39,12 @@ def map_tracks_to_cus(
 ) -> L3Mapping:
     """Map tracks (by per-track segment counts) onto CUs.
 
-    ``balanced`` applies sort + serpentine dealing; otherwise each CU gets
-    a contiguous block of tracks in their given (laydown) order — the GPU
-    block-scheduling baseline, which inherits the spatial correlation of
-    track sizes along the laydown.
+    ``balanced`` applies sort + serpentine dealing (falling back to the
+    block schedule on the rare size patterns where dealing is flatter on
+    paper but lumpier in fact); otherwise each CU gets a contiguous block
+    of tracks in their given (laydown) order — the GPU block-scheduling
+    baseline, which inherits the spatial correlation of track sizes along
+    the laydown.
     """
     counts = np.asarray(segment_counts, dtype=np.float64)
     if counts.ndim != 1:
@@ -59,6 +61,7 @@ def map_tracks_to_cus(
             cu_loads=np.zeros(num_cus),
             stats=LoadStats.from_loads(np.zeros(num_cus) + 1e-300),
         )
+    chunked = (np.arange(num_tracks, dtype=np.int64) * num_cus) // num_tracks
     if balanced:
         order = np.argsort(-counts, kind="stable")
         period = 2 * num_cus
@@ -66,9 +69,17 @@ def map_tracks_to_cus(
             phase = rank % period
             cu = phase if phase < num_cus else period - 1 - phase
             track_to_cu[track] = cu
+        # Serpentine dealing is a heuristic: adversarial size patterns
+        # (e.g. [1,1,1,1,2] over 2 CUs) can make it lose to the very block
+        # schedule it is meant to improve on. Balanced mode keeps whichever
+        # of the two is flatter, so it never regresses below the baseline.
+        serp_max = np.bincount(track_to_cu, weights=counts, minlength=num_cus).max()
+        chunk_max = np.bincount(chunked, weights=counts, minlength=num_cus).max()
+        if chunk_max < serp_max:
+            track_to_cu = chunked
     else:
         # Contiguous blocks: track i goes to CU floor(i * C / N).
-        track_to_cu = (np.arange(num_tracks, dtype=np.int64) * num_cus) // num_tracks
+        track_to_cu = chunked
     cu_loads = np.bincount(track_to_cu, weights=counts, minlength=num_cus)
     return L3Mapping(
         track_to_cu=track_to_cu,

@@ -5,8 +5,10 @@ Two layers, matching the reproduction strategy in DESIGN.md:
 * a *functional* layer (:mod:`~repro.parallel.comm`,
   :mod:`~repro.parallel.domain`, :mod:`~repro.parallel.exchange`,
   :mod:`~repro.parallel.driver`) that actually runs spatially decomposed
-  MOC solves through an in-process message-passing communicator — the
-  Jacobi-style boundary-flux exchange of paper Sec. 2.1/3.1;
+  MOC solves — the Jacobi-style boundary-flux exchange of paper
+  Sec. 2.1/3.1 — through a pluggable execution engine
+  (:mod:`repro.engine`): the in-process deterministic communicator, or
+  real worker processes over shared memory;
 * a *timing* layer (:mod:`~repro.parallel.timeline`) that executes the
   paper-scale experiments (Figs. 9, 11, 12) on the simulated cluster,
   driven by the Sec. 3.3 performance model.

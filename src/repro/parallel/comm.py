@@ -36,6 +36,19 @@ class CommStats:
         self.per_pair_bytes[(src, dst)] += nbytes
 
 
+def account_allreduce(stats: CommStats, size: int) -> None:
+    """Tally one allreduce's modelled traffic into ``stats``.
+
+    Models a recursive-doubling allreduce: ``log2(size)`` rounds of 8-byte
+    ring exchanges per rank. Shared by :class:`SimComm` and the real
+    multiprocess engine so both produce identical byte counts.
+    """
+    rounds = max(1, (size - 1).bit_length())
+    for _ in range(rounds):
+        for rank in range(size):
+            stats.record(rank, (rank + 1) % size, 8)
+
+
 def _payload_bytes(payload: Any) -> int:
     if isinstance(payload, np.ndarray):
         return int(payload.nbytes)
@@ -115,10 +128,7 @@ class SimComm:
             raise CommunicationError(
                 f"allreduce needs one value per rank ({len(values)} != {self.size})"
             )
-        rounds = max(1, (self.size - 1).bit_length())
-        for _ in range(rounds):
-            for rank in range(self.size):
-                self.stats.record(rank, (rank + 1) % self.size, 8)
+        account_allreduce(self.stats, self.size)
         return op(values)
 
     def allgather(self, values: list[Any]) -> list[Any]:

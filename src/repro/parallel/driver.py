@@ -2,17 +2,22 @@
 
 Runs the paper's stage-4 loop over a spatially decomposed 2D problem:
 every subdomain sweeps from its stored incoming boundary flux, outgoing
-interface fluxes are exchanged through the simulated communicator, the
+interface fluxes are exchanged along the precomputed routing table, the
 eigenvalue is updated from a global reduction, and the cycle repeats until
 the fission source converges. One sweep per rank per iteration, boundary
 flux updated at iteration boundaries — exactly the Point-Jacobi behaviour
 described in Sec. 2.1.
+
+*How* the iteration executes is delegated to a pluggable execution engine
+(:mod:`repro.engine`): ``inproc`` runs every sweep sequentially through
+the deterministic simulated communicator, ``mp`` distributes subdomains
+over real OS worker processes with a shared-memory halo exchange. Both
+produce identical results and traffic accounting.
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -20,7 +25,6 @@ from repro.constants import DEFAULT_KEFF_TOL, DEFAULT_SOURCE_TOL
 from repro.errors import DecompositionError, SolverError
 from repro.geometry.decomposition import decompose_lattice_geometry
 from repro.geometry.geometry import Geometry
-from repro.parallel.comm import SimComm
 from repro.parallel.domain import DomainSolver
 from repro.parallel.exchange import InterfaceExchange, match_interface_tracks
 from repro.solver.convergence import ConvergenceMonitor
@@ -39,6 +43,10 @@ class DecomposedResult:
     solve_seconds: float
     comm_bytes: int
     comm_messages: int
+    engine: str = "inproc"
+    num_workers: int = 1
+    #: Per-worker ``(worker_id, stage -> seconds)`` payloads (``mp`` only).
+    worker_timers: list = field(default_factory=list)
 
 
 class DecomposedSolver:
@@ -59,6 +67,8 @@ class DecomposedSolver:
         backend: str | None = None,
         tracer: str | None = None,
         cache=None,
+        engine: str | None = None,
+        workers: int | None = None,
     ) -> None:
         self.geometry = geometry
         sub_geometries = decompose_lattice_geometry(geometry, domains_x, domains_y)
@@ -79,7 +89,10 @@ class DecomposedSolver:
         self.exchange: InterfaceExchange = match_interface_tracks(
             [d.trackgen for d in self.domains]
         )
-        self.comm = SimComm(len(self.domains))
+        from repro.engine import resolve_engine
+
+        self.engine = resolve_engine(engine, workers=workers)
+        self.comm = self.engine.create_communicator(len(self.domains))
         self.keff_tolerance = keff_tolerance
         self.source_tolerance = source_tolerance
         self.max_iterations = int(max_iterations)
@@ -94,79 +107,22 @@ class DecomposedSolver:
     def _local_block(self, dom: DomainSolver, global_array: np.ndarray) -> np.ndarray:
         return global_array[dom.fsr_offset : dom.fsr_offset + dom.num_fsrs]
 
-    def _exchange_boundary_flux(self) -> None:
-        """Route every interface slot's outgoing flux via the communicator."""
-        for route in self.exchange.routes:
-            flux = self.domains[route.src_domain].outgoing_flux(route.src_track, route.src_dir)
-            self.comm.send(
-                route.src_domain,
-                route.dst_domain,
-                flux.copy(),
-                tag=(route.dst_track, route.dst_dir),
-            )
-        self.comm.deliver()
-        for route in self.exchange.routes:
-            flux = self.comm.recv(
-                route.dst_domain, route.src_domain, tag=(route.dst_track, route.dst_dir)
-            )
-            self.domains[route.dst_domain].set_incoming_flux(
-                route.dst_track, route.dst_dir, flux
-            )
-
     def solve(self) -> DecomposedResult:
-        start = time.perf_counter()
-        num_groups = self.domains[0].terms.num_groups
-        phi = np.ones((self.num_fsrs_total, num_groups))
-        production = self.comm.allreduce(
-            [
-                d.terms.fission_production(self._local_block(d, phi), d.volumes)
-                for d in self.domains
-            ]
-        )
-        if production <= 0.0:
-            raise SolverError("initial flux produces no fission neutrons")
-        phi /= production
-        keff = 1.0
-        monitor = ConvergenceMonitor(
-            keff_tolerance=self.keff_tolerance, source_tolerance=self.source_tolerance
-        )
-        for _ in range(self.max_iterations):
-            phi_new = np.empty_like(phi)
-            for dom in self.domains:
-                local_phi = self._local_block(dom, phi)
-                reduced = dom.terms.reduced_source(local_phi, keff)
-                tally = dom.sweep(reduced)
-                self._local_block(dom, phi_new)[:] = dom.finalize(tally, reduced)
-            self._exchange_boundary_flux()
-            new_production = self.comm.allreduce(
-                [
-                    d.terms.fission_production(self._local_block(d, phi_new), d.volumes)
-                    for d in self.domains
-                ]
-            )
-            if new_production <= 0.0:
-                raise SolverError("fission production vanished")
-            keff = keff * new_production
-            phi = phi_new / new_production
-            fission_source = np.concatenate(
-                [
-                    d.terms.fission_source(self._local_block(d, phi))
-                    for d in self.domains
-                ]
-            )
-            monitor.update(keff, fission_source)
-            if monitor.converged:
-                break
-        elapsed = time.perf_counter() - start
+        from repro.engine import Problem2D
+
+        result = self.engine.solve(Problem2D(self), self.comm)
         return DecomposedResult(
-            keff=keff,
-            scalar_flux=phi,
-            converged=monitor.converged,
-            num_iterations=monitor.num_iterations,
-            monitor=monitor,
-            solve_seconds=elapsed,
+            keff=result.keff,
+            scalar_flux=result.scalar_flux,
+            converged=result.converged,
+            num_iterations=result.num_iterations,
+            monitor=result.monitor,
+            solve_seconds=result.solve_seconds,
             comm_bytes=self.comm.stats.bytes_sent,
             comm_messages=self.comm.stats.messages_sent,
+            engine=self.engine.name,
+            num_workers=result.num_workers,
+            worker_timers=result.worker_timers,
         )
 
     def fission_rates(self, result: DecomposedResult) -> np.ndarray:

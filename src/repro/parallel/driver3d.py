@@ -4,8 +4,9 @@ The cuboid decomposition of Sec. 3.2 cuts the reactor in all three axes;
 this driver implements the axial cuts end-to-end with *real* 3D sweeps:
 the extruded geometry is split into stacked z-slabs, each slab runs the
 full 3D MOC machinery over the **shared** radial tracking, and boundary
-angular flux crosses the slab interfaces through the simulated
-communicator each iteration (Jacobi, as in the 2D driver).
+angular flux crosses the slab interfaces through the pluggable execution
+engine each iteration (Jacobi, as in the 2D driver) — in-process via the
+simulated communicator, or across real worker processes via shared memory.
 
 Sharing one radial tracking between slabs is what modular ray tracing
 guarantees on congruent subdomains: every slab sees identical chains, so
@@ -17,8 +18,7 @@ length and polar spacing, not the slab height).
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -26,7 +26,6 @@ from repro.constants import DEFAULT_KEFF_TOL, DEFAULT_SOURCE_TOL
 from repro.errors import DecompositionError, SolverError
 from repro.geometry.extruded import AxialMesh, ExtrudedGeometry
 from repro.geometry.geometry import BoundaryCondition
-from repro.parallel.comm import SimComm
 from repro.solver.convergence import ConvergenceMonitor
 from repro.solver.expeval import ExponentialEvaluator
 from repro.solver.source import SourceTerms
@@ -58,6 +57,10 @@ class ZDecomposedResult:
     solve_seconds: float
     comm_bytes: int
     comm_messages: int
+    engine: str = "inproc"
+    num_workers: int = 1
+    #: Per-worker ``(worker_id, stage -> seconds)`` payloads (``mp`` only).
+    worker_timers: list = field(default_factory=list)
 
 
 def _slab_meshes(mesh: AxialMesh, num_domains: int) -> list[AxialMesh]:
@@ -75,7 +78,7 @@ def _slab_meshes(mesh: AxialMesh, num_domains: int) -> list[AxialMesh]:
 
 
 class ZDecomposedSolver:
-    """Axially decomposed 3D MOC eigenvalue solver over simulated MPI."""
+    """Axially decomposed 3D MOC eigenvalue solver over a pluggable engine."""
 
     def __init__(
         self,
@@ -92,6 +95,8 @@ class ZDecomposedSolver:
         backend: str | None = None,
         tracer: str | None = None,
         cache=None,
+        engine: str | None = None,
+        workers: int | None = None,
     ) -> None:
         if num_domains < 1:
             raise DecompositionError("need at least one z-domain")
@@ -155,7 +160,10 @@ class ZDecomposedSolver:
         self.num_fsrs_total = offset
         self.num_groups = self.domains[0]["terms"].num_groups
         self.routes = self._match_interfaces()
-        self.comm = SimComm(num_domains)
+        from repro.engine import resolve_engine
+
+        self.engine = resolve_engine(engine, workers=workers)
+        self.comm = self.engine.create_communicator(num_domains)
         self.keff_tolerance = keff_tolerance
         self.source_tolerance = source_tolerance
         self.max_iterations = int(max_iterations)
@@ -256,78 +264,20 @@ class ZDecomposedSolver:
         dom = self.domains[d]
         return array[dom["fsr_offset"] : dom["fsr_offset"] + dom["geometry"].num_fsrs]
 
-    def _exchange(self) -> None:
-        for route in self.routes:
-            flux = self.domains[route.src_domain]["sweeper"].psi_out_last[
-                route.src_track, route.src_dir
-            ]
-            self.comm.send(
-                route.src_domain, route.dst_domain, flux.copy(),
-                tag=(route.dst_track, route.dst_dir),
-            )
-        self.comm.deliver()
-        for route in self.routes:
-            flux = self.comm.recv(
-                route.dst_domain, route.src_domain, tag=(route.dst_track, route.dst_dir)
-            )
-            self.domains[route.dst_domain]["sweeper"].set_interface_flux(
-                route.dst_track, route.dst_dir, flux
-            )
-
     def solve(self) -> ZDecomposedResult:
-        start = time.perf_counter()
-        phi = np.ones((self.num_fsrs_total, self.num_groups))
-        production = self.comm.allreduce(
-            [
-                d["terms"].fission_production(self._local_block(i, phi), d["volumes"])
-                for i, d in enumerate(self.domains)
-            ]
-        )
-        if production <= 0.0:
-            raise SolverError("initial flux produces no fission neutrons")
-        phi /= production
-        keff = 1.0
-        monitor = ConvergenceMonitor(
-            keff_tolerance=self.keff_tolerance, source_tolerance=self.source_tolerance
-        )
-        for _ in range(self.max_iterations):
-            phi_new = np.empty_like(phi)
-            for i, dom in enumerate(self.domains):
-                local_phi = self._local_block(i, phi)
-                reduced = dom["terms"].reduced_source(local_phi, keff)
-                tally = dom["sweeper"].sweep(dom["segments"], reduced)
-                self._local_block(i, phi_new)[:] = dom["sweeper"].finalize_scalar_flux(
-                    tally, reduced, dom["volumes"]
-                )
-            self._exchange()
-            new_production = self.comm.allreduce(
-                [
-                    d["terms"].fission_production(
-                        self._local_block(i, phi_new), d["volumes"]
-                    )
-                    for i, d in enumerate(self.domains)
-                ]
-            )
-            if new_production <= 0.0:
-                raise SolverError("fission production vanished")
-            keff = keff * new_production
-            phi = phi_new / new_production
-            fission = np.concatenate(
-                [
-                    d["terms"].fission_source(self._local_block(i, phi))
-                    for i, d in enumerate(self.domains)
-                ]
-            )
-            monitor.update(keff, fission)
-            if monitor.converged:
-                break
+        from repro.engine import Problem3D
+
+        result = self.engine.solve(Problem3D(self), self.comm)
         return ZDecomposedResult(
-            keff=keff,
-            scalar_flux=phi,
-            converged=monitor.converged,
-            num_iterations=monitor.num_iterations,
-            monitor=monitor,
-            solve_seconds=time.perf_counter() - start,
+            keff=result.keff,
+            scalar_flux=result.scalar_flux,
+            converged=result.converged,
+            num_iterations=result.num_iterations,
+            monitor=result.monitor,
+            solve_seconds=result.solve_seconds,
             comm_bytes=self.comm.stats.bytes_sent,
             comm_messages=self.comm.stats.messages_sent,
+            engine=self.engine.name,
+            num_workers=result.num_workers,
+            worker_timers=result.worker_timers,
         )

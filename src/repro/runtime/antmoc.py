@@ -128,6 +128,36 @@ class AntMocApplication:
                 cache_hits, len(timings_list),
             )
 
+    def _record_worker_timers(self, result) -> None:
+        """Roll per-worker stage timers into the run log (``mp`` engine).
+
+        Each worker stage contributes two ``transport_solving/…`` rows:
+        ``_sum`` (total CPU seconds across workers) and ``_max`` (critical
+        path — the slowest worker). Both are reported because on a balanced
+        decomposition they differ by roughly the worker count; neither adds
+        to the total (the parent stage already counts wall-clock time).
+        """
+        timers = getattr(result, "worker_timers", None)
+        if not timers:
+            return
+        total = StageTimer()
+        peak = StageTimer()
+        for _worker_id, payload in timers:
+            total.merge(payload, mode="sum")
+            peak.merge(payload, mode="max")
+        parent = StageName.TRANSPORT_SOLVING.value
+        for name, seconds in total.as_dict().items():
+            self.timer.record(f"{parent}/{name}_sum", seconds)
+        for name, seconds in peak.as_dict().items():
+            self.timer.record(f"{parent}/{name}_max", seconds)
+        self.logger.info(
+            "engine %s: %d worker(s), sweep sum %.4fs / max %.4fs",
+            getattr(result, "engine", "?"),
+            getattr(result, "num_workers", 1),
+            total.duration("worker_sweep"),
+            peak.duration("worker_sweep"),
+        )
+
     def run(self) -> AntMocRunResult:
         """Execute all five stages and return the result bundle."""
         cfg = self.config
@@ -163,12 +193,15 @@ class AntMocApplication:
                     backend=cfg.solver.sweep_backend,
                     tracer=cfg.tracking.tracer,
                     cache=cache,
+                    engine=cfg.decomposition.engine,
+                    workers=cfg.decomposition.workers or None,
                 )
                 self.pipeline.complete(StageName.TRACK_GENERATION, solver)
             self._record_tracking_phases([d.trackgen.timings for d in solver.domains])
             with self.timer.stage(StageName.TRANSPORT_SOLVING.value):
                 result: DecomposedResult | SolveResult = solver.solve()
                 self.pipeline.complete(StageName.TRANSPORT_SOLVING, result)
+            self._record_worker_timers(result)
             rates = solver.fission_rates(result)  # type: ignore[arg-type]
             flux = result.scalar_flux
             comm_bytes = result.comm_bytes  # type: ignore[union-attr]
@@ -255,6 +288,8 @@ class AntMocApplication:
                     backend=cfg.solver.sweep_backend,
                     tracer=cfg.tracking.tracer,
                     cache=cache,
+                    engine=cfg.decomposition.engine,
+                    workers=cfg.decomposition.workers or None,
                 )
                 self.pipeline.complete(StageName.TRACK_GENERATION, solver)
             self._record_tracking_phases(
@@ -263,6 +298,7 @@ class AntMocApplication:
             with self.timer.stage(StageName.TRANSPORT_SOLVING.value):
                 result = solver.solve()
                 self.pipeline.complete(StageName.TRANSPORT_SOLVING, result)
+            self._record_worker_timers(result)
             comm_bytes = result.comm_bytes
             flux = result.scalar_flux
             rates = np.concatenate(

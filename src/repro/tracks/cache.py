@@ -32,6 +32,7 @@ from __future__ import annotations
 import hashlib
 import os
 import tempfile
+import time
 from pathlib import Path
 
 from repro.geometry.cell import Cell
@@ -146,13 +147,28 @@ def tracking_fingerprint(trackgen) -> str:
     return "|".join(parts)
 
 
+#: A writer lock older than this is assumed to belong to a crashed
+#: process and is broken. Writing an archive takes well under a second.
+LOCK_STALE_SECONDS = 60.0
+
+_LOCK_POLL_SECONDS = 0.02
+
+
 class TrackingCache:
     """Content-addressed store of tracking archives.
 
     ``load(trackgen)`` restores a hit into a non-generated generator and
-    returns whether it hit; ``store(trackgen)`` persists a generated one
-    (written to a temp file, then atomically renamed, so concurrent
-    processes never observe a partial archive).
+    returns whether it hit; ``store(trackgen)`` persists a generated one.
+
+    Stores are safe under concurrent writers, in three layers: entries are
+    content-addressed, so a key that already exists is simply skipped
+    (first wins — any two writers of one key hold identical products); a
+    per-key lockfile (``O_CREAT|O_EXCL``, broken when older than
+    :data:`LOCK_STALE_SECONDS`) serialises the writers that do race, so
+    the archive is built once, not N times; and the archive is written to
+    a temp file then atomically renamed, so even lockless writers — e.g.
+    after a lock timeout — can only replace a complete entry with an
+    identical one, never expose a partial archive.
     """
 
     def __init__(self, cache_dir: str | Path | None = None) -> None:
@@ -174,25 +190,77 @@ class TrackingCache:
         try:
             load_tracking(path, trackgen)
         except Exception as exc:  # corrupt/stale entry: miss, not error
-            self._logger.warning("ignoring unreadable cache entry %s: %s", path, exc)
+            self._logger.warning("evicting unreadable cache entry %s: %s", path, exc)
+            # Writers only ever rename complete archives into place, so an
+            # unreadable entry is external damage; evict it or the
+            # first-wins store() would preserve it forever.
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
             return False
         self._logger.info("tracking cache hit: %s", path)
         return True
 
-    def store(self, trackgen) -> Path:
+    def _acquire_lock(self, path: Path, timeout: float) -> Path | None:
+        """Best-effort per-key writer lock; ``None`` after ``timeout``.
+
+        A ``None`` return is not an error: the caller proceeds locklessly
+        and the atomic rename keeps the entry consistent regardless.
+        """
+        lock = path.with_suffix(".lock")
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                fd = os.open(lock, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                try:
+                    age = time.time() - lock.stat().st_mtime
+                except OSError:
+                    continue  # holder released between open and stat
+                if age > LOCK_STALE_SECONDS:
+                    self._logger.warning("breaking stale cache lock %s", lock)
+                    try:
+                        os.unlink(lock)
+                    except OSError:
+                        pass
+                    continue
+                if time.monotonic() >= deadline:
+                    return None
+                time.sleep(_LOCK_POLL_SECONDS)
+            else:
+                os.write(fd, f"{os.getpid()}\n".encode())
+                os.close(fd)
+                return lock
+
+    def store(self, trackgen, lock_timeout: float = LOCK_STALE_SECONDS) -> Path:
         """Persist ``trackgen``'s products; returns the entry path."""
         path = self.path_for(trackgen)
+        if path.exists():
+            # Content-addressed: whoever got here first wrote these exact
+            # products already.
+            return path
         self.cache_dir.mkdir(parents=True, exist_ok=True)
-        # The suffix must stay ".npz" or np.savez would append one and the
-        # rename below would promote an empty file.
-        fd, tmp = tempfile.mkstemp(dir=self.cache_dir, suffix=".tmp.npz")
-        os.close(fd)
+        lock = self._acquire_lock(path, lock_timeout)
         try:
-            save_tracking(tmp, trackgen)
-            os.replace(tmp, path)
+            if path.exists():  # a racing writer finished while we waited
+                return path
+            # The suffix must stay ".npz" or np.savez would append one and
+            # the rename below would promote an empty file.
+            fd, tmp = tempfile.mkstemp(dir=self.cache_dir, suffix=".tmp.npz")
+            os.close(fd)
+            try:
+                save_tracking(tmp, trackgen)
+                os.replace(tmp, path)
+            finally:
+                if os.path.exists(tmp):
+                    os.unlink(tmp)
         finally:
-            if os.path.exists(tmp):
-                os.unlink(tmp)
+            if lock is not None:
+                try:
+                    os.unlink(lock)
+                except OSError:
+                    pass
         self._logger.info("tracking cache store: %s", path)
         return path
 

@@ -1,0 +1,117 @@
+"""Behavioural tests of the multiprocess engine and its shared arena."""
+
+import multiprocessing
+
+import numpy as np
+import pytest
+
+from repro.engine import MpEngine, Problem2D, ShmArena
+from repro.errors import CommunicationError, SolverError
+from repro.geometry import Geometry, Lattice
+from repro.geometry.universe import make_homogeneous_universe
+from repro.parallel import DecomposedSolver
+
+needs_fork = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="mp engine requires the fork start method",
+)
+
+
+@pytest.fixture()
+def grid_2x1(two_group_fissile):
+    u = make_homogeneous_universe(two_group_fissile)
+    return Geometry(Lattice([[u, u]], 1.5, 1.5))
+
+
+class TestShmArena:
+    def test_fields_shaped_zeroed_and_aligned(self):
+        arena = ShmArena({"a": (3, 4), "b": (7,)})
+        try:
+            assert arena["a"].shape == (3, 4)
+            assert arena["b"].shape == (7,)
+            assert not arena["a"].any() and not arena["b"].any()
+            for name in ("a", "b"):
+                view = arena[name]
+                assert view.ctypes.data % 64 == 0
+                assert view.dtype == np.float64
+            a = arena["a"]
+            a[1, 2] = 5.0
+            assert arena["a"][1, 2] == 5.0  # views alias one buffer
+        finally:
+            del a
+            arena.close(unlink=True)
+
+    def test_unknown_field_rejected(self):
+        arena = ShmArena({"a": (2,)})
+        try:
+            with pytest.raises(KeyError):
+                arena["missing"]
+        finally:
+            arena.close(unlink=True)
+
+    def test_double_close_is_safe(self):
+        arena = ShmArena({"a": (2,)})
+        arena.close(unlink=True)
+        arena.close(unlink=True)
+
+
+class TestMpMechanics:
+    def test_communicator_size_validated(self):
+        with pytest.raises(CommunicationError):
+            MpEngine().create_communicator(0)
+
+    @needs_fork
+    def test_single_domain_no_routes(self, two_group_fissile):
+        """One domain, empty route table: the degenerate halo still works."""
+        u = make_homogeneous_universe(two_group_fissile)
+        geometry = Geometry(Lattice([[u]], 1.5, 1.5))
+        solver = DecomposedSolver(
+            geometry, 1, 1, num_azim=4, azim_spacing=0.5, num_polar=2,
+            max_iterations=15, engine="mp",
+        )
+        assert solver.exchange.num_routes == 0
+        result = solver.solve()
+        assert result.num_workers == 1
+        assert result.keff > 0
+
+    @needs_fork
+    def test_worker_timers_collected(self, grid_2x1):
+        solver = DecomposedSolver(
+            grid_2x1, 2, 1, num_azim=4, azim_spacing=0.5, num_polar=2,
+            max_iterations=8, engine="mp", workers=2,
+        )
+        result = solver.solve()
+        assert [wid for wid, _ in result.worker_timers] == [0, 1]
+        for _wid, payload in result.worker_timers:
+            assert set(payload) == {"worker_sweep", "worker_exchange"}
+            assert payload["worker_sweep"] > 0.0
+
+    @needs_fork
+    def test_worker_exception_surfaces_as_solver_error(self, grid_2x1):
+        """A sweep crash in a forked worker must reach the parent as a
+        SolverError carrying the worker traceback, not a hang."""
+
+        class ExplodingProblem(Problem2D):
+            def sweep_domain(self, d, phi_block, keff):
+                if d == 1:
+                    raise RuntimeError("injected sweep failure")
+                return super().sweep_domain(d, phi_block, keff)
+
+        solver = DecomposedSolver(
+            grid_2x1, 2, 1, num_azim=4, azim_spacing=0.5, num_polar=2,
+            max_iterations=5, engine="mp",
+        )
+        engine = MpEngine(workers=2, barrier_timeout=30.0)
+        with pytest.raises(SolverError, match="injected sweep failure"):
+            engine.solve(ExplodingProblem(solver), engine.create_communicator(2))
+
+    def test_fork_requirement_reported(self, grid_2x1, monkeypatch):
+        monkeypatch.setattr(
+            multiprocessing, "get_all_start_methods", lambda: ["spawn"]
+        )
+        solver = DecomposedSolver(
+            grid_2x1, 2, 1, num_azim=4, azim_spacing=0.5, num_polar=2,
+            max_iterations=2, engine="mp",
+        )
+        with pytest.raises(SolverError, match="fork"):
+            solver.solve()

@@ -1,0 +1,75 @@
+"""Engine registry and selection policy."""
+
+import pytest
+
+from repro.engine import (
+    DEFAULT_ENGINE,
+    ENGINE_ENV_VAR,
+    InprocEngine,
+    MpEngine,
+    engine_names,
+    resolve_engine,
+)
+from repro.errors import ConfigError
+
+
+class TestResolution:
+    def test_default_is_inproc(self, monkeypatch):
+        monkeypatch.delenv(ENGINE_ENV_VAR, raising=False)
+        assert isinstance(resolve_engine(None), InprocEngine)
+        assert DEFAULT_ENGINE == "inproc"
+
+    def test_explicit_argument(self):
+        assert isinstance(resolve_engine("mp"), MpEngine)
+        assert isinstance(resolve_engine("inproc"), InprocEngine)
+
+    def test_env_var_consulted(self, monkeypatch):
+        monkeypatch.setenv(ENGINE_ENV_VAR, "mp")
+        assert isinstance(resolve_engine(None), MpEngine)
+
+    def test_auto_means_unset(self, monkeypatch):
+        # The config default is "auto" so the env var can still apply.
+        monkeypatch.delenv(ENGINE_ENV_VAR, raising=False)
+        assert isinstance(resolve_engine("auto"), InprocEngine)
+        monkeypatch.setenv(ENGINE_ENV_VAR, "mp")
+        assert isinstance(resolve_engine(" AUTO "), MpEngine)
+
+    def test_argument_beats_env_var(self, monkeypatch):
+        monkeypatch.setenv(ENGINE_ENV_VAR, "mp")
+        assert isinstance(resolve_engine("inproc"), InprocEngine)
+
+    def test_instance_passthrough(self):
+        engine = MpEngine(workers=3)
+        assert resolve_engine(engine) is engine
+
+    def test_name_normalised(self):
+        assert isinstance(resolve_engine("  MP "), MpEngine)
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ConfigError, match="unknown execution engine"):
+            resolve_engine("cuda")
+
+    def test_workers_forwarded(self):
+        engine = resolve_engine("mp", workers=2)
+        assert isinstance(engine, MpEngine)
+        assert engine.workers == 2
+
+    def test_names_list_default_first(self):
+        names = engine_names()
+        assert names[0] == "inproc"
+        assert "mp" in names
+
+
+class TestWorkerResolution:
+    @pytest.mark.parametrize(
+        "requested,domains,expected",
+        [
+            (None, 4, 4),  # one worker per domain by default
+            (2, 4, 2),
+            (8, 4, 4),  # never more workers than domains
+            (1, 4, 1),
+            (None, 1, 1),
+        ],
+    )
+    def test_clamped_to_domains(self, requested, domains, expected):
+        assert MpEngine(workers=requested).resolve_workers(domains) == expected

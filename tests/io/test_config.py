@@ -51,6 +51,22 @@ class TestDecompositionConfig:
         with pytest.raises(ConfigError):
             DecompositionConfig(0, 1, 1).validate()
 
+    def test_engine_defaults(self):
+        cfg = DecompositionConfig()
+        assert cfg.engine == "auto"  # defers to REPRO_ENGINE, then inproc
+        assert cfg.workers == 0  # one worker per subdomain
+
+    def test_engine_whitelist(self):
+        DecompositionConfig(engine="mp").validate()
+        DecompositionConfig(engine="inproc").validate()
+        with pytest.raises(ConfigError, match="engine"):
+            DecompositionConfig(engine="cuda").validate()
+
+    def test_workers_non_negative(self):
+        DecompositionConfig(engine="mp", workers=3).validate()
+        with pytest.raises(ConfigError, match="workers"):
+            DecompositionConfig(workers=-1).validate()
+
 
 class TestSolverConfig:
     def test_storage_methods(self):

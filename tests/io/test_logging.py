@@ -2,6 +2,8 @@
 
 import time
 
+import pytest
+
 from repro.io.logging_utils import StageTimer, get_logger
 
 
@@ -52,6 +54,53 @@ class TestStageTimer:
             pass
         assert timer.duration("failing") >= 0.0
         assert "failing" in timer.as_dict()
+
+
+class TestMerge:
+    def test_from_dict_round_trip(self):
+        timer = StageTimer()
+        timer.record("sweep", 1.5)
+        timer.record("exchange", 0.5)
+        rebuilt = StageTimer.from_dict(timer.as_dict())
+        assert rebuilt.as_dict() == timer.as_dict()
+
+    def test_sum_accumulates_per_stage(self):
+        total = StageTimer()
+        for seconds in (1.0, 2.0, 4.0):
+            total.merge({"worker_sweep": seconds, "worker_exchange": 0.1})
+        assert total.duration("worker_sweep") == 7.0
+        assert total.duration("worker_exchange") == pytest.approx(0.3)
+        assert list(total.as_dict()) == ["worker_sweep", "worker_exchange"]
+
+    def test_max_keeps_critical_path(self):
+        peak = StageTimer()
+        for seconds in (1.0, 4.0, 2.0):
+            peak.merge({"worker_sweep": seconds}, mode="max")
+        assert peak.duration("worker_sweep") == 4.0
+
+    def test_names_not_clobbered(self):
+        """Merging never renames or drops stages the target already holds."""
+        timer = StageTimer()
+        timer.record("solve", 1.0)
+        timer.merge({"sweep": 2.0}, mode="max")
+        assert timer.as_dict() == {"solve": 1.0, "sweep": 2.0}
+
+    def test_merge_accepts_timer_and_prefix(self):
+        worker = StageTimer()
+        worker.record("sweep", 2.0)
+        parent = StageTimer()
+        parent.merge(worker, prefix="transport/")
+        assert parent.duration("transport/sweep") == 2.0
+        # ``parent/child`` rows stay out of the total by convention.
+        assert parent.total == 0.0
+
+    def test_merge_returns_self_for_chaining(self):
+        timer = StageTimer()
+        assert timer.merge({"a": 1.0}) is timer
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ValueError, match="merge mode"):
+            StageTimer().merge({"a": 1.0}, mode="mean")
 
 
 class TestLogger:

@@ -1,0 +1,85 @@
+"""Concurrent-writer safety of the tracking cache.
+
+N forked processes hammer one content-addressed key; the invariants are
+that exactly one valid entry survives, it stays loadable throughout, and
+no temp files or lockfiles are left behind.
+"""
+
+import multiprocessing
+import os
+
+import pytest
+
+from repro.tracks import TrackGenerator
+from repro.tracks.cache import TrackingCache
+
+needs_fork = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="stress test forks writer processes",
+)
+
+
+@pytest.fixture()
+def cache(tmp_path):
+    return TrackingCache(tmp_path / "cache")
+
+
+def _hammer(cache, trackgen, stores_per_proc):
+    for _ in range(stores_per_proc):
+        path = cache.store(trackgen)
+        assert path.exists()
+    raise SystemExit(0)
+
+
+class TestConcurrentStore:
+    @needs_fork
+    def test_many_writers_one_key(self, cache, small_trackgen, reflective_box):
+        ctx = multiprocessing.get_context("fork")
+        procs = [
+            ctx.Process(target=_hammer, args=(cache, small_trackgen, 5))
+            for _ in range(6)
+        ]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join(timeout=120)
+            assert p.exitcode == 0
+
+        entries = sorted(cache.cache_dir.glob("*"))
+        assert [e.name for e in entries] == [cache.path_for(small_trackgen).name]
+        # The surviving entry restores cleanly.
+        fresh = TrackGenerator(
+            reflective_box, num_azim=8, azim_spacing=0.5, num_polar=4
+        )
+        assert cache.load(fresh)
+        assert len(fresh.tracks) == len(small_trackgen.tracks)
+
+    def test_existing_entry_not_rewritten(self, cache, small_trackgen):
+        first = cache.store(small_trackgen)
+        stamp = os.stat(first).st_mtime_ns
+        second = cache.store(small_trackgen)
+        assert second == first
+        assert os.stat(first).st_mtime_ns == stamp  # first wins, no rewrite
+
+    def test_stale_lock_broken(self, cache, small_trackgen):
+        path = cache.path_for(small_trackgen)
+        cache.cache_dir.mkdir(parents=True, exist_ok=True)
+        lock = path.with_suffix(".lock")
+        lock.write_text("999999\n")
+        ancient = 10_000
+        os.utime(lock, (ancient, ancient))
+        stored = cache.store(small_trackgen)
+        assert stored.exists()
+        assert not lock.exists()
+
+    def test_fresh_lock_times_out_but_store_succeeds(self, cache, small_trackgen):
+        """A held (fresh) lock delays, then the writer proceeds locklessly;
+        the atomic rename keeps that correct."""
+        path = cache.path_for(small_trackgen)
+        cache.cache_dir.mkdir(parents=True, exist_ok=True)
+        lock = path.with_suffix(".lock")
+        lock.write_text("1\n")  # held by a "live" process that never releases
+        stored = cache.store(small_trackgen, lock_timeout=0.1)
+        assert stored.exists()
+        assert lock.exists()  # not ours to remove
+        lock.unlink()
