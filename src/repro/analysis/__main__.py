@@ -1,0 +1,76 @@
+"""CLI: ``python -m repro.analysis [paths...]``.
+
+Exit status: 0 clean, 1 findings, 2 tool error (unparseable source, bad
+selection). ``--format json`` emits one object per finding for CI
+annotation tooling; ``--list-rules`` documents every rule id and its
+rationale (the same ids the suppression pragmas take).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.analysis import all_rules, registered_checkers
+from repro.analysis.core import analyze_paths
+from repro.errors import AnalysisError
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Run the repo-specific static-analysis suite.",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="Files or directories to analyze (default: src).",
+    )
+    parser.add_argument(
+        "--select", action="append", metavar="NAME",
+        help="Only run the named checkers/rules (repeatable).",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="Finding output format (default text).",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="List every registered checker and rule, then exit.",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        for name, checker in sorted(registered_checkers().items()):
+            print(name)
+            for rule, rationale in checker.rules.items():
+                print(f"  {rule:<24s} {rationale}")
+        return 0
+    try:
+        findings = analyze_paths(args.paths, select=args.select)
+    except AnalysisError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(json.dumps([finding.__dict__ for finding in findings], indent=2))
+    else:
+        for finding in findings:
+            print(finding.render())
+    if findings:
+        print(
+            f"{len(findings)} finding(s) across "
+            f"{len({f.path for f in findings})} file(s); "
+            f"rules: {sorted({f.rule for f in findings})}",
+            file=sys.stderr,
+        )
+        return 1
+    checkers = len(registered_checkers())
+    print(f"clean: {checkers} checkers, {len(all_rules())} rules, 0 findings")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,27 @@
+"""Built-in checkers; importing this package registers them all.
+
+Third-party or test checkers register the same way:
+
+    from repro.analysis import Checker, register_checker
+
+    class MyChecker(Checker):
+        name = "my-checker"
+        rules = {"my-rule": "why this matters"}
+        def check(self, src): ...
+
+    register_checker(MyChecker())
+"""
+
+from __future__ import annotations
+
+from repro.analysis.checkers.determinism import DeterminismChecker
+from repro.analysis.checkers.float_comparison import FloatComparisonChecker
+from repro.analysis.checkers.registry_hygiene import RegistryHygieneChecker
+from repro.analysis.checkers.silent_fallback import SilentFallbackChecker
+
+__all__ = [
+    "DeterminismChecker",
+    "FloatComparisonChecker",
+    "RegistryHygieneChecker",
+    "SilentFallbackChecker",
+]

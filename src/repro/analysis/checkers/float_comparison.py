@@ -1,0 +1,58 @@
+"""Float-comparison checker: exact equality only where bitwise is meant.
+
+The repo makes *deliberate* bitwise claims (``result.keff == oracle.keff``
+in the cross-engine suite) and those live in designated equivalence
+modules that opt out with ``# repro: ignore-file[float-eq]``. Everywhere
+else, ``==``/``!=`` against a float literal is a latent tolerance bug —
+the MOC sweep accumulates in float64 and no physical quantity lands on an
+exact literal. One rule:
+
+* ``float-eq`` — no ``==``/``!=`` comparison where an operand is a float
+  literal. Use ``math.isclose``/``np.isclose`` with an explicit tolerance,
+  an ordered guard (``<=``), or suppress with a rationale when comparing
+  against an exact sentinel that was *assigned*, never computed.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.core import Checker, Finding, SourceFile, register_checker
+
+
+def _is_float_literal(node: ast.expr) -> bool:
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        node = node.operand
+    return isinstance(node, ast.Constant) and isinstance(node.value, float)
+
+
+class FloatComparisonChecker(Checker):
+    name = "float-comparison"
+    rules = {
+        "float-eq": (
+            "exact ==/!= against a float literal outside the designated "
+            "bitwise-equivalence modules; use isclose or an ordered guard"
+        ),
+    }
+
+    def check(self, src: SourceFile) -> Iterable[Finding]:
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if _is_float_literal(left) or _is_float_literal(right):
+                    yield self.finding(
+                        src, node, "float-eq",
+                        "exact float comparison; accumulated float64 values "
+                        "never land on a literal — use math.isclose/np.isclose "
+                        "or an ordered guard, or suppress with a rationale if "
+                        "the value is an assigned sentinel",
+                    )
+                    break
+
+
+register_checker(FloatComparisonChecker())

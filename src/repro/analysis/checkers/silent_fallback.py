@@ -1,0 +1,88 @@
+"""Silent-fallback checker: no failure may vanish without a trace.
+
+MC/DC-style Python transport codes live or die by failure visibility: a
+worker that swallows an exception leaves a barrier waiting forever, and a
+backend that silently degrades invalidates every benchmark number taken
+afterwards. Two rules:
+
+* ``bare-except`` — ``except:`` catches ``KeyboardInterrupt`` and
+  ``SystemExit`` too; there is never a reason for it in library code.
+* ``silent-except`` — ``except Exception`` / ``except BaseException``
+  handlers must either re-raise (a :mod:`repro.errors` type, ideally) or
+  log/warn before suppressing, so the fallback is observable in the run
+  log the paper's appendix analyses.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.checkers.common import dotted_name
+from repro.analysis.core import Checker, Finding, SourceFile, register_checker
+
+#: Catch-all exception type names (matched on the final attribute too, so
+#: ``builtins.Exception`` is caught).
+BROAD_TYPES = frozenset({"Exception", "BaseException"})
+
+#: Method names whose call counts as "the failure was made visible".
+LOG_METHODS = frozenset(
+    {"debug", "info", "warning", "error", "exception", "critical", "warn"}
+)
+
+
+def _catches_broad(handler: ast.ExceptHandler) -> bool:
+    types = handler.type.elts if isinstance(handler.type, ast.Tuple) else [handler.type]
+    for node in types:
+        name = dotted_name(node)
+        if name and name.split(".")[-1] in BROAD_TYPES:
+            return True
+    return False
+
+
+def _is_visible(handler: ast.ExceptHandler) -> bool:
+    """Whether the handler re-raises, logs, warns, or reports the error."""
+    for stmt in handler.body:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Raise):
+                return True
+            if isinstance(node, ast.Call):
+                name = dotted_name(node.func)
+                if name and name.split(".")[-1] in LOG_METHODS:
+                    return True
+    return False
+
+
+class SilentFallbackChecker(Checker):
+    name = "silent-fallback"
+    rules = {
+        "bare-except": (
+            "bare except catches KeyboardInterrupt/SystemExit; name the "
+            "exception types (a repro.errors type where possible)"
+        ),
+        "silent-except": (
+            "broad except swallows the failure without logging or "
+            "re-raising; log via logging_utils or raise a repro.errors type"
+        ),
+    }
+
+    def check(self, src: SourceFile) -> Iterable[Finding]:
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.finding(
+                    src, node, "bare-except",
+                    "bare 'except:' — name the exception types; this catches "
+                    "KeyboardInterrupt and SystemExit too",
+                )
+            elif _catches_broad(node) and not _is_visible(node):
+                yield self.finding(
+                    src, node, "silent-except",
+                    "'except Exception' that neither logs nor re-raises — the "
+                    "fallback is invisible in the run log; narrow the type or "
+                    "log before suppressing",
+                )
+
+
+register_checker(SilentFallbackChecker())

@@ -1,0 +1,218 @@
+"""Checker framework: source model, suppressions, registry, runner.
+
+A :class:`Checker` inspects one parsed :class:`SourceFile` and yields
+:class:`Finding` objects. The runner parses each file once, hands the same
+tree to every registered checker, then filters findings through the
+suppression comments:
+
+* ``# repro: ignore[rule-a,rule-b]`` on the offending line suppresses the
+  named rules for that line only (``# repro: ignore`` suppresses all);
+* ``# repro: ignore-file[rule-a]`` anywhere in a module suppresses the
+  named rules for the whole file — this is how the designated
+  bitwise-equivalence modules opt out of ``float-eq``.
+
+Suppressions are deliberately explicit: they are grep-able, reviewed like
+code, and each one documents a conscious exception to an invariant.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from repro.errors import AnalysisError
+
+#: Inline suppression: ``# repro: ignore`` or ``# repro: ignore[a,b]``.
+_LINE_PRAGMA = re.compile(r"#\s*repro:\s*ignore(?:\[([\w\-*, ]*)\])?")
+
+#: Whole-file suppression: ``# repro: ignore-file[a,b]``.
+_FILE_PRAGMA = re.compile(r"#\s*repro:\s*ignore-file\[([\w\-*, ]*)\]")
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col + 1}: [{self.rule}] {self.message}"
+
+
+class SourceFile:
+    """A parsed module plus the suppression pragmas found in its text."""
+
+    def __init__(self, path: str, text: str) -> None:
+        self.path = str(path)
+        self.text = text
+        try:
+            self.tree = ast.parse(text, filename=self.path)
+        except SyntaxError as exc:
+            raise AnalysisError(f"cannot parse {self.path}: {exc}") from exc
+        self.line_ignores: dict[int, set[str]] = {}
+        self.file_ignores: set[str] = set()
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            if "#" not in line:
+                continue
+            match = _FILE_PRAGMA.search(line)
+            if match:
+                self.file_ignores.update(_split_rules(match.group(1)))
+                continue
+            match = _LINE_PRAGMA.search(line)
+            if match:
+                rules = _split_rules(match.group(1)) if match.group(1) else {"*"}
+                self.line_ignores.setdefault(lineno, set()).update(rules)
+
+    @property
+    def module(self) -> str:
+        """Dotted module path, anchored at the ``repro`` package when present."""
+        parts = Path(self.path).with_suffix("").parts
+        if "repro" in parts:
+            parts = parts[parts.index("repro"):]
+        return ".".join(parts)
+
+    def in_packages(self, packages: Sequence[str]) -> bool:
+        """Whether this module lives under any ``repro.<pkg>`` in ``packages``."""
+        module = self.module
+        return any(
+            module == f"repro.{pkg}" or module.startswith(f"repro.{pkg}.")
+            for pkg in packages
+        )
+
+    def suppressed(self, finding: Finding) -> bool:
+        if finding.rule in self.file_ignores or "*" in self.file_ignores:
+            return True
+        rules = self.line_ignores.get(finding.line, ())
+        return finding.rule in rules or "*" in rules
+
+
+class Checker(ABC):
+    """One invariant, expressed as an AST inspection.
+
+    Concrete checkers declare a registry ``name`` and a ``rules`` mapping
+    (rule-id -> one-line rationale); every emitted :class:`Finding` must
+    use one of the declared rule ids, which is what the suppression
+    pragmas and ``--select`` match against.
+    """
+
+    name: str = "?"
+    rules: Mapping[str, str] = {}
+
+    @abstractmethod
+    def check(self, src: SourceFile) -> Iterable[Finding]:
+        """Yield findings for ``src``; suppression filtering happens later."""
+
+    def finding(self, src: SourceFile, node: ast.AST, rule: str, message: str) -> Finding:
+        if rule not in self.rules:
+            raise AnalysisError(
+                f"checker {self.name!r} emitted undeclared rule {rule!r}"
+            )
+        return Finding(
+            path=src.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule=rule,
+            message=message,
+        )
+
+
+_CHECKERS: dict[str, Checker] = {}
+
+
+def register_checker(checker: Checker) -> Checker:
+    """Add a checker to the registry (fails fast on duplicate rule ids)."""
+    for name, existing in _CHECKERS.items():
+        if name != checker.name:
+            clash = set(existing.rules) & set(checker.rules)
+            if clash:
+                raise AnalysisError(
+                    f"checker {checker.name!r} redeclares rule ids {sorted(clash)} "
+                    f"already owned by {name!r}"
+                )
+    _CHECKERS[checker.name] = checker
+    return checker
+
+
+def registered_checkers() -> dict[str, Checker]:
+    return dict(_CHECKERS)
+
+
+def all_rules() -> dict[str, str]:
+    """Every registered rule id -> its rationale line."""
+    rules: dict[str, str] = {}
+    for checker in _CHECKERS.values():
+        rules.update(checker.rules)
+    return rules
+
+
+def _split_rules(raw: str) -> set[str]:
+    return {part.strip() for part in raw.split(",") if part.strip()}
+
+
+def _select_checkers(select: Sequence[str] | None) -> list[Checker]:
+    if not select:
+        return list(_CHECKERS.values())
+    wanted = set(select)
+    unknown = wanted - set(_CHECKERS) - set(all_rules())
+    if unknown:
+        raise AnalysisError(
+            f"unknown checker/rule selection {sorted(unknown)}; "
+            f"checkers: {sorted(_CHECKERS)}, rules: {sorted(all_rules())}"
+        )
+    return [
+        checker
+        for name, checker in _CHECKERS.items()
+        if name in wanted or set(checker.rules) & wanted
+    ]
+
+
+def analyze_tree(src: SourceFile, select: Sequence[str] | None = None) -> list[Finding]:
+    """Run the (selected) checkers over one parsed source file."""
+    findings: list[Finding] = []
+    rule_filter = set(select) if select else None
+    for checker in _select_checkers(select):
+        for finding in checker.check(src):
+            if rule_filter and not (
+                checker.name in rule_filter or finding.rule in rule_filter
+            ):
+                continue
+            if not src.suppressed(finding):
+                findings.append(finding)
+    return sorted(findings)
+
+
+def analyze_source(
+    text: str, path: str = "repro/snippet.py", select: Sequence[str] | None = None
+) -> list[Finding]:
+    """Analyze a source string (the test-corpus entry point)."""
+    return analyze_tree(SourceFile(path, text), select=select)
+
+
+def iter_python_files(paths: Sequence[str | Path]) -> Iterator[Path]:
+    """Expand files/directories into a sorted stream of ``.py`` files."""
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            yield from sorted(p for p in path.rglob("*.py") if p.is_file())
+        elif path.suffix == ".py" and path.is_file():
+            yield path
+        else:
+            raise AnalysisError(f"not a python file or directory: {path}")
+
+
+def analyze_paths(
+    paths: Sequence[str | Path], select: Sequence[str] | None = None
+) -> list[Finding]:
+    findings: list[Finding] = []
+    for path in iter_python_files(paths):
+        src = SourceFile(str(path), path.read_text(encoding="utf-8"))
+        findings.extend(analyze_tree(src, select=select))
+    return findings

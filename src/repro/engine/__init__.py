@@ -24,6 +24,12 @@ from repro.engine.registry import (
     register_engine,
     resolve_engine,
 )
+from repro.engine.sanitize import (
+    FaultSpec,
+    SanitizedMpEngine,
+    SanitizerReport,
+    analyze_events,
+)
 from repro.engine.shm import ShmArena
 
 __all__ = [
@@ -32,13 +38,17 @@ __all__ = [
     "DecomposedProblem",
     "EngineResult",
     "ExecutionEngine",
+    "FaultSpec",
     "InprocEngine",
     "MpCommunicator",
     "MpEngine",
     "Problem2D",
     "Problem3D",
     "RoutePack",
+    "SanitizedMpEngine",
+    "SanitizerReport",
     "ShmArena",
+    "analyze_events",
     "engine_names",
     "register_engine",
     "resolve_engine",

@@ -42,6 +42,8 @@ class EngineResult:
     num_workers: int = 1
     #: Per-worker ``(worker_id, stage -> seconds)`` timing payloads.
     worker_timers: list[tuple[int, dict[str, float]]] = field(default_factory=list)
+    #: Race-sanitizer report (``mp-sanitize`` engine only, else ``None``).
+    sanitizer: Any = None
 
 
 class ExecutionEngine(ABC):

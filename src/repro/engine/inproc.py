@@ -11,13 +11,12 @@ reduction.
 
 from __future__ import annotations
 
-import time
-
 import numpy as np
 
 from repro.engine.base import EngineResult, ExecutionEngine
 from repro.engine.problem import DecomposedProblem
 from repro.errors import SolverError
+from repro.io.logging_utils import StageTimer
 from repro.parallel.comm import SimComm
 from repro.solver.convergence import ConvergenceMonitor
 
@@ -47,45 +46,46 @@ class InprocEngine(ExecutionEngine):
             problem.set_incoming_flux(route, flux)
 
     def solve(self, problem: DecomposedProblem, comm: SimComm) -> EngineResult:
-        start = time.perf_counter()
-        ranks = range(problem.num_domains)
-        phi = np.ones((problem.num_fsrs_total, problem.num_groups))
-        production = comm.allreduce(
-            [problem.production(d, problem.block(d, phi)) for d in ranks]
-        )
-        if production <= 0.0:
-            raise SolverError("initial flux produces no fission neutrons")
-        phi /= production
-        keff = 1.0
-        monitor = ConvergenceMonitor(
-            keff_tolerance=problem.keff_tolerance,
-            source_tolerance=problem.source_tolerance,
-        )
-        for _ in range(problem.max_iterations):
-            phi_new = np.empty_like(phi)
-            for d in ranks:
-                problem.block(d, phi_new)[:] = problem.sweep_domain(
-                    d, problem.block(d, phi), keff
+        timer = StageTimer()
+        with timer.stage("engine_solve"):
+            ranks = range(problem.num_domains)
+            phi = np.ones((problem.num_fsrs_total, problem.num_groups))
+            production = comm.allreduce(
+                [problem.production(d, problem.block(d, phi)) for d in ranks]
+            )
+            if production <= 0.0:
+                raise SolverError("initial flux produces no fission neutrons")
+            phi /= production
+            keff = 1.0
+            monitor = ConvergenceMonitor(
+                keff_tolerance=problem.keff_tolerance,
+                source_tolerance=problem.source_tolerance,
+            )
+            for _ in range(problem.max_iterations):
+                phi_new = np.empty_like(phi)
+                for d in ranks:
+                    problem.block(d, phi_new)[:] = problem.sweep_domain(
+                        d, problem.block(d, phi), keff
+                    )
+                self._exchange(problem, comm)
+                new_production = comm.allreduce(
+                    [problem.production(d, problem.block(d, phi_new)) for d in ranks]
                 )
-            self._exchange(problem, comm)
-            new_production = comm.allreduce(
-                [problem.production(d, problem.block(d, phi_new)) for d in ranks]
-            )
-            if new_production <= 0.0:
-                raise SolverError("fission production vanished")
-            keff = keff * new_production
-            phi = phi_new / new_production
-            fission = np.concatenate(
-                [problem.fission_source(d, problem.block(d, phi)) for d in ranks]
-            )
-            monitor.update(keff, fission)
-            if monitor.converged:
-                break
+                if new_production <= 0.0:
+                    raise SolverError("fission production vanished")
+                keff = keff * new_production
+                phi = phi_new / new_production
+                fission = np.concatenate(
+                    [problem.fission_source(d, problem.block(d, phi)) for d in ranks]
+                )
+                monitor.update(keff, fission)
+                if monitor.converged:
+                    break
         return EngineResult(
             keff=keff,
             scalar_flux=phi,
             converged=monitor.converged,
             num_iterations=monitor.num_iterations,
             monitor=monitor,
-            solve_seconds=time.perf_counter() - start,
+            solve_seconds=timer.duration("engine_solve"),
         )

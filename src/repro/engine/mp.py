@@ -34,13 +34,27 @@ import numpy as np
 from repro.engine.base import EngineResult, ExecutionEngine
 from repro.engine.problem import DecomposedProblem, RoutePack
 from repro.engine.shm import ShmArena
-from repro.errors import CommunicationError, SolverError
+from repro.errors import CommunicationError, ReproError, SolverError
 from repro.io.logging_utils import StageTimer, get_logger
 from repro.parallel.comm import CommStats, account_allreduce
 from repro.solver.convergence import ConvergenceMonitor
 
 #: Control-word slots (float64): stop flag, current eigenvalue.
 _STOP, _KEFF = 0, 1
+
+#: What a sweep can realistically throw in a worker: library errors, a
+#: broken/aborted barrier, numpy shape/value problems, or OS-level faults.
+#: Deliberately not ``Exception`` — a programming error (``TypeError``,
+#: ``AttributeError``) should crash the worker loudly, not be repackaged.
+WORKER_ERRORS = (
+    ReproError,
+    BrokenBarrierError,
+    ArithmeticError,
+    ValueError,
+    IndexError,
+    OSError,
+    RuntimeError,
+)
 
 
 class MpCommunicator:
@@ -61,6 +75,22 @@ class MpCommunicator:
 
     def allreduce_account(self) -> None:
         account_allreduce(self.stats, self.size)
+
+
+def _abort_barrier(barrier, wid: int) -> None:
+    """Break the barrier so siblings and the parent stop waiting.
+
+    Abort can itself fail during teardown (the barrier's lock or
+    semaphore already torn down by a dying sibling); that failure is
+    logged and suppressed — the worker is exiting either way, and the
+    parent's barrier timeout still fires.
+    """
+    try:
+        barrier.abort()
+    except (ValueError, OSError, RuntimeError) as exc:
+        get_logger("repro.engine.mp").warning(
+            "worker %d could not abort the barrier during teardown: %s", wid, exc
+        )
 
 
 def _worker_loop(problem, pack, wid, owned, phi, phi_new, halo, control,
@@ -88,24 +118,48 @@ def _worker_loop(problem, pack, wid, owned, phi, phi_new, halo, control,
                     if idx.size:
                         problem.sweeper(d).psi_in[tracks, dirs] = halo[idx]
         queue.put(("timers", wid, timer.as_dict()))
-    except Exception:
+    except WORKER_ERRORS as exc:
+        get_logger("repro.engine.mp").error("worker %d failed: %s", wid, exc)
         queue.put(("error", wid, traceback.format_exc()))
-        try:
-            barrier.abort()
-        except Exception:
-            pass
+        _abort_barrier(barrier, wid)
         raise SystemExit(1)
 
 
 class MpEngine(ExecutionEngine):
-    """Shared-memory domain-parallel engine over forked worker processes."""
+    """Shared-memory domain-parallel engine over forked worker processes.
+
+    Subclass hooks (used by the race-sanitizing wrapper in
+    :mod:`repro.engine.sanitize`): :meth:`_worker_target` picks the worker
+    body, :meth:`_worker_extra_args` appends per-worker arguments,
+    :meth:`_prepare_solve` runs once the worker count is known,
+    :attr:`_messages_per_worker` sizes the end-of-run queue drain, and
+    :meth:`_result_extras` folds extra payload kinds into the result.
+    """
 
     name = "mp"
+
+    #: Messages each healthy worker enqueues at shutdown ("timers", ...).
+    _messages_per_worker = 1
 
     def __init__(self, workers: int | None = None, barrier_timeout: float = 600.0) -> None:
         self.workers = workers
         self.barrier_timeout = float(barrier_timeout)
         self._logger = get_logger("repro.engine.mp")
+
+    def _worker_target(self):
+        """The function each worker process runs."""
+        return _worker_loop
+
+    def _worker_extra_args(self, wid: int) -> tuple:
+        """Arguments appended to worker ``wid``'s standard argument list."""
+        return ()
+
+    def _prepare_solve(self, problem: DecomposedProblem, num_workers: int) -> None:
+        """Called once per solve after the worker count is resolved."""
+
+    def _result_extras(self, payloads: dict[str, dict[int, object]]) -> dict:
+        """Extra :class:`EngineResult` fields from collected worker payloads."""
+        return {}
 
     def create_communicator(self, size: int) -> MpCommunicator:
         return MpCommunicator(size)
@@ -139,9 +193,10 @@ class MpEngine(ExecutionEngine):
                 f"tracking products and sweep plans); platform offers {ctx_methods}"
             )
         ctx = multiprocessing.get_context("fork")
-        start = time.perf_counter()
+        timer = StageTimer()
         D = problem.num_domains
         W = self.resolve_workers(D)
+        self._prepare_solve(problem, W)
         pack = RoutePack(problem)
         slot = pack.slot_shape if pack.num_routes else problem.slot_shape
         arena = ShmArena(
@@ -159,65 +214,70 @@ class MpEngine(ExecutionEngine):
         owned = [[d for d in range(D) if d % W == w] for w in range(W)]
         procs = [
             ctx.Process(
-                target=_worker_loop,
+                target=self._worker_target(),
                 args=(problem, pack, w, owned[w], phi, phi_new, arena["halo"],
-                      control, barrier, queue, self.barrier_timeout),
+                      control, barrier, queue, self.barrier_timeout)
+                + self._worker_extra_args(w),
                 daemon=True,
-                name=f"repro-mp-worker-{w}",
+                name=f"repro-{self.name}-worker-{w}",
             )
             for w in range(W)
         ]
         self._logger.info(
-            "mp engine: %d domains over %d workers (%s shared)",
-            D, W, _fmt_bytes(arena.nbytes),
+            "%s engine: %d domains over %d workers (%s shared)",
+            self.name, D, W, _fmt_bytes(arena.nbytes),
         )
-        worker_timers: list[tuple[int, dict[str, float]]] = []
         try:
-            for proc in procs:
-                proc.start()
-            phi.fill(1.0)
-            production = self._allreduce(problem, comm, phi)
-            if production <= 0.0:
-                raise SolverError("initial flux produces no fission neutrons")
-            phi /= production
-            keff = 1.0
-            monitor = ConvergenceMonitor(
-                keff_tolerance=problem.keff_tolerance,
-                source_tolerance=problem.source_tolerance,
-            )
-            for _ in range(problem.max_iterations):
-                control[_KEFF] = keff
-                control[_STOP] = 0.0
-                self._wait(barrier, queue, procs)  # release the sweep phase
-                self._wait(barrier, queue, procs)  # sweeps + halo writes done
-                pack.account_iteration(comm.stats)
-                new_production = self._allreduce(problem, comm, phi_new)
-                if new_production <= 0.0:
-                    raise SolverError("fission production vanished")
-                keff = keff * new_production
-                np.divide(phi_new, new_production, out=phi)
-                fission = np.concatenate(
-                    [
-                        problem.fission_source(d, problem.block(d, phi))
-                        for d in range(D)
-                    ]
+            with timer.stage("engine_solve"):
+                for proc in procs:
+                    proc.start()
+                phi.fill(1.0)
+                production = self._allreduce(problem, comm, phi)
+                if production <= 0.0:
+                    raise SolverError("initial flux produces no fission neutrons")
+                phi /= production
+                keff = 1.0
+                monitor = ConvergenceMonitor(
+                    keff_tolerance=problem.keff_tolerance,
+                    source_tolerance=problem.source_tolerance,
                 )
-                monitor.update(keff, fission)
-                if monitor.converged:
-                    break
-            control[_STOP] = 1.0
-            self._wait(barrier, queue, procs)  # workers observe stop and exit
-            scalar_flux = phi.copy()
-            worker_timers = self._collect_timers(queue, procs, W)
+                for _ in range(problem.max_iterations):
+                    control[_KEFF] = keff
+                    control[_STOP] = 0.0
+                    self._wait(barrier, queue, procs)  # release the sweep phase
+                    self._wait(barrier, queue, procs)  # sweeps + halo writes done
+                    pack.account_iteration(comm.stats)
+                    new_production = self._allreduce(problem, comm, phi_new)
+                    if new_production <= 0.0:
+                        raise SolverError("fission production vanished")
+                    keff = keff * new_production
+                    np.divide(phi_new, new_production, out=phi)
+                    fission = np.concatenate(
+                        [
+                            problem.fission_source(d, problem.block(d, phi))
+                            for d in range(D)
+                        ]
+                    )
+                    monitor.update(keff, fission)
+                    if monitor.converged:
+                        break
+                control[_STOP] = 1.0
+                self._wait(barrier, queue, procs)  # workers observe stop and exit
+                scalar_flux = phi.copy()
+                payloads = self._collect_payloads(queue, procs, W)
             return EngineResult(
                 keff=keff,
                 scalar_flux=scalar_flux,
                 converged=monitor.converged,
                 num_iterations=monitor.num_iterations,
                 monitor=monitor,
-                solve_seconds=time.perf_counter() - start,
+                solve_seconds=timer.duration("engine_solve"),
                 num_workers=W,
-                worker_timers=worker_timers,
+                worker_timers=sorted(
+                    (wid, payload)
+                    for wid, payload in payloads.get("timers", {}).items()
+                ),
+                **self._result_extras(payloads),
             )
         finally:
             control[_STOP] = 1.0
@@ -247,14 +307,17 @@ class MpEngine(ExecutionEngine):
         comm.allreduce_account()
         return sum(values)
 
-    def _collect_timers(self, queue, procs, expected: int):
-        timers: list[tuple[int, dict[str, float]]] = []
+    def _collect_payloads(
+        self, queue, procs, num_workers: int
+    ) -> dict[str, dict[int, object]]:
+        """Drain end-of-run worker messages, grouped by payload kind."""
+        payloads: dict[str, dict[int, object]] = {}
+        expected = self._messages_per_worker * num_workers
         for kind, wid, payload in _drain(queue, 10.0, expected):
-            if kind == "timers":
-                timers.append((wid, payload))
-            else:
-                raise SolverError(f"mp engine worker {wid} failed:\n{payload}")
-        return sorted(timers)
+            if kind == "error":
+                raise SolverError(f"{self.name} engine worker {wid} failed:\n{payload}")
+            payloads.setdefault(kind, {})[wid] = payload
+        return payloads
 
 
 def _drain(queue, timeout: float, expected: int | None = None):

@@ -16,6 +16,7 @@ from typing import Callable
 from repro.engine.base import ExecutionEngine
 from repro.engine.inproc import InprocEngine
 from repro.engine.mp import MpEngine
+from repro.engine.sanitize import SanitizedMpEngine
 from repro.errors import ConfigError
 
 #: Environment override consulted when no engine is requested explicitly.
@@ -34,6 +35,9 @@ def register_engine(name: str, factory: Callable[..., ExecutionEngine]) -> None:
 
 register_engine("inproc", lambda workers=None: InprocEngine())
 register_engine("mp", lambda workers=None: MpEngine(workers=workers))
+register_engine(
+    "mp-sanitize", lambda workers=None: SanitizedMpEngine(workers=workers)
+)
 
 
 def engine_names() -> tuple[str, ...]:

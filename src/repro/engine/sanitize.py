@@ -1,0 +1,364 @@
+"""Shm barrier-phase race sanitizer: ``--engine=mp-sanitize``.
+
+The ``mp`` engine's only safety argument used to be "the equivalence
+tests pass". This module turns the barrier protocol itself into a checked
+artifact: :class:`SanitizedMpEngine` runs the *identical* numeric schedule
+as ``mp`` (results stay bitwise equal to ``inproc``), but every shared
+read/write goes through a :class:`TrackedField` that records an
+:class:`AccessEvent` tagged ``(worker, barrier-epoch, array, slice)`` into
+a per-worker :class:`AccessLog`. After the solve, :func:`analyze_events`
+checks two protocol invariants over the merged logs:
+
+* **same-epoch overlap** — no two workers may touch overlapping slices of
+  the same shared array within one barrier epoch when either access is a
+  write (the Buffered Synchronous scheme separates producers and
+  consumers by a barrier, so any same-epoch overlap is a race);
+* **published halo reads** — a halo slot read during an exchange phase
+  must have been written during the immediately preceding sweep phase
+  (epoch ``e-1``); reading anything else consumes stale or in-flight data.
+
+Epochs count barrier *passages in program order*, so the verdict is a
+deterministic function of the schedule, not of thread timing — a clean
+run reports zero findings every time, and the seeded fault-injection mode
+(:class:`FaultSpec`), which makes one worker skip the mid-iteration
+barrier and exchange early (with a compensating wait afterwards, so the
+run still terminates), trips both detectors every time.
+"""
+
+from __future__ import annotations
+
+import traceback
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from repro.engine.mp import _STOP, _KEFF, WORKER_ERRORS, MpEngine, _abort_barrier
+from repro.errors import SanitizerError
+from repro.io.logging_utils import StageTimer, get_logger
+
+
+@dataclass(frozen=True)
+class AccessEvent:
+    """One shared-memory access: who, when (barrier epoch), what, where."""
+
+    worker: int
+    epoch: int
+    kind: str  # "r" | "w"
+    array: str
+    indices: tuple[int, ...]
+
+
+class AccessLog:
+    """Per-worker event log; the epoch advances at every barrier passage."""
+
+    def __init__(self, worker: int) -> None:
+        self.worker = int(worker)
+        self.epoch = 0
+        self.events: list[AccessEvent] = []
+
+    def advance(self) -> None:
+        self.epoch += 1
+
+    def record(self, kind: str, array: str, indices: Iterable[int]) -> None:
+        self.events.append(
+            AccessEvent(
+                worker=self.worker,
+                epoch=self.epoch,
+                kind=kind,
+                array=array,
+                indices=tuple(int(i) for i in indices),
+            )
+        )
+
+
+class TrackedField:
+    """A shared array view whose accesses are recorded in an AccessLog.
+
+    The instrumented worker loop reads/writes shared fields only through
+    these two methods, so the event log is complete by construction for
+    the arrays it wraps.
+    """
+
+    def __init__(self, name: str, array: np.ndarray, log: AccessLog) -> None:
+        self.name = name
+        self.array = array
+        self.log = log
+
+    def _rows(self, key) -> Iterable[int]:
+        if isinstance(key, slice):
+            return range(*key.indices(self.array.shape[0]))
+        if isinstance(key, np.ndarray):
+            return key.tolist()
+        return (int(key),)
+
+    def get(self, key) -> np.ndarray:
+        self.log.record("r", self.name, self._rows(key))
+        return self.array[key]
+
+    def set(self, key, value) -> None:
+        self.log.record("w", self.name, self._rows(key))
+        self.array[key] = value
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Deterministic barrier-skip fault: which worker, which iteration."""
+
+    worker: int
+    iteration: int = 0
+
+    @classmethod
+    def from_seed(cls, seed: int, num_workers: int) -> "FaultSpec":
+        """Seeded fault site: the worker is drawn, the iteration is the
+        first (always executed, so the detector test cannot flake)."""
+        rng = np.random.default_rng(seed)
+        return cls(worker=int(rng.integers(num_workers)), iteration=0)
+
+
+@dataclass(frozen=True)
+class RaceFinding:
+    """One detected protocol violation."""
+
+    rule: str  # "same-epoch-overlap" | "unpublished-read"
+    array: str
+    epoch: int
+    workers: tuple[int, ...]
+    indices: tuple[int, ...]  # offending slice sample (sorted, capped)
+
+    def render(self) -> str:
+        sample = ", ".join(map(str, self.indices[:8]))
+        more = "" if len(self.indices) <= 8 else f", ... ({len(self.indices)} total)"
+        return (
+            f"[{self.rule}] array={self.array!r} epoch={self.epoch} "
+            f"workers={self.workers} indices=[{sample}{more}]"
+        )
+
+
+@dataclass
+class SanitizerReport:
+    """Outcome of one sanitized solve."""
+
+    num_events: int
+    num_workers: int
+    findings: list[RaceFinding] = field(default_factory=list)
+    fault: FaultSpec | None = None
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def render(self) -> str:
+        head = (
+            f"shm sanitizer: {self.num_events} events over "
+            f"{self.num_workers} workers, {len(self.findings)} finding(s)"
+            + (f", injected fault {self.fault}" if self.fault else "")
+        )
+        return "\n".join([head, *(f.render() for f in self.findings)])
+
+
+def _cap(indices: Iterable[int], limit: int = 64) -> tuple[int, ...]:
+    return tuple(sorted(indices)[:limit])
+
+
+def analyze_events(
+    events_by_worker: Mapping[int, list[AccessEvent]],
+    fault: FaultSpec | None = None,
+) -> SanitizerReport:
+    """Check the merged per-worker logs against the barrier protocol."""
+    merged = [event for events in events_by_worker.values() for event in events]
+    findings: list[RaceFinding] = []
+
+    by_array_epoch: dict[tuple[str, int], list[AccessEvent]] = {}
+    for event in merged:
+        by_array_epoch.setdefault((event.array, event.epoch), []).append(event)
+
+    # Rule 1: cross-worker overlapping slices within one epoch, any write.
+    for (array, epoch), group in sorted(by_array_epoch.items()):
+        # Aggregate per worker: the union each worker wrote / read here.
+        writes: dict[int, set[int]] = {}
+        touches: dict[int, set[int]] = {}
+        for event in group:
+            touches.setdefault(event.worker, set()).update(event.indices)
+            if event.kind == "w":
+                writes.setdefault(event.worker, set()).update(event.indices)
+        for writer, written in sorted(writes.items()):
+            for other, touched in sorted(touches.items()):
+                if other == writer:
+                    continue
+                overlap = written & touched
+                if overlap:
+                    findings.append(
+                        RaceFinding(
+                            rule="same-epoch-overlap",
+                            array=array,
+                            epoch=epoch,
+                            workers=tuple(sorted((writer, other))),
+                            indices=_cap(overlap),
+                        )
+                    )
+
+    # Rule 2: halo reads must consume slots published in the previous epoch.
+    for (array, epoch), group in sorted(by_array_epoch.items()):
+        if array != "halo":
+            continue
+        published: set[int] = set()
+        for event in by_array_epoch.get((array, epoch - 1), []):
+            if event.kind == "w":
+                published.update(event.indices)
+        for event in group:
+            if event.kind != "r":
+                continue
+            stale = set(event.indices) - published
+            if stale:
+                findings.append(
+                    RaceFinding(
+                        rule="unpublished-read",
+                        array=array,
+                        epoch=epoch,
+                        workers=(event.worker,),
+                        indices=_cap(stale),
+                    )
+                )
+
+    # Deduplicate: a fault typically trips both views of the same overlap.
+    unique = sorted(set(findings), key=lambda f: (f.rule, f.array, f.epoch, f.workers))
+    return SanitizerReport(
+        num_events=len(merged),
+        num_workers=len(events_by_worker),
+        findings=unique,
+        fault=fault,
+    )
+
+
+def _sanitized_worker_loop(problem, pack, wid, owned, phi, phi_new, halo, control,
+                           barrier, queue, timeout, fault):
+    """Instrumented twin of ``mp._worker_loop``.
+
+    Performs the *same* numeric operations in the same order (keeping
+    ``mp-sanitize`` bitwise equal to ``inproc``), but routes every shared
+    access through a :class:`TrackedField` and advances the epoch counter
+    at each barrier passage. When ``fault`` names this worker and the
+    current iteration, the mid-iteration barrier is skipped: the exchange
+    runs early (the injected race) and a compensating wait afterwards
+    restores barrier parity so the run still terminates cleanly.
+    """
+    timer = StageTimer()
+    log = AccessLog(wid)
+    t_phi = TrackedField("phi", phi, log)
+    t_phi_new = TrackedField("phi_new", phi_new, log)
+    t_halo = TrackedField("halo", halo, log)
+    t_control = TrackedField("control", control, log)
+    row_index = np.arange(problem.num_fsrs_total)
+    rows = {
+        d: slice(int(problem.block(d, row_index)[0]),
+                 int(problem.block(d, row_index)[-1]) + 1)
+        for d in owned
+    }
+
+    def wait() -> None:
+        barrier.wait(timeout)
+        log.advance()
+
+    try:
+        iteration = 0
+        while True:
+            wait()
+            if t_control.get(_STOP):
+                break
+            keff = float(t_control.get(_KEFF))
+            with timer.stage("worker_sweep"):
+                for d in owned:
+                    t_phi_new.set(
+                        rows[d],
+                        problem.sweep_domain(d, t_phi.get(rows[d]), keff),
+                    )
+                    idx, tracks, dirs = pack.outgoing(d)
+                    if idx.size:
+                        t_halo.set(idx, problem.sweeper(d).psi_out_last[tracks, dirs])
+            inject = (
+                fault is not None
+                and fault.worker == wid
+                and fault.iteration == iteration
+            )
+            if not inject:
+                wait()
+            with timer.stage("worker_exchange"):
+                for d in owned:
+                    idx, tracks, dirs = pack.incoming(d)
+                    if idx.size:
+                        problem.sweeper(d).psi_in[tracks, dirs] = t_halo.get(idx)
+            if inject:
+                wait()  # compensating wait restores barrier parity
+            iteration += 1
+        queue.put(("events", wid, log.events))
+        queue.put(("timers", wid, timer.as_dict()))
+    except WORKER_ERRORS as exc:
+        get_logger("repro.engine.sanitize").error(
+            "sanitized worker %d failed: %s", wid, exc
+        )
+        queue.put(("error", wid, traceback.format_exc()))
+        _abort_barrier(barrier, wid)
+        raise SystemExit(1)
+
+
+class SanitizedMpEngine(MpEngine):
+    """The ``mp`` engine under the shm race sanitizer.
+
+    Identical schedule and results; every shared access logged and the
+    barrier protocol checked post-solve. The report lands on
+    ``EngineResult.sanitizer`` (and flows through the decomposed drivers'
+    results). ``fault_seed``/``fault`` enable the deliberate barrier-skip
+    used to prove the detector fires; leave both unset for clean audits.
+    """
+
+    name = "mp-sanitize"
+
+    #: Each worker enqueues ("events", ...) then ("timers", ...).
+    _messages_per_worker = 2
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        barrier_timeout: float = 600.0,
+        fault_seed: int | None = None,
+        fault: FaultSpec | None = None,
+    ) -> None:
+        super().__init__(workers=workers, barrier_timeout=barrier_timeout)
+        if fault is not None and fault_seed is not None:
+            raise SanitizerError("pass either fault or fault_seed, not both")
+        self._fault_seed = fault_seed
+        self._fault = fault
+        self._logger = get_logger("repro.engine.sanitize")
+
+    def _worker_target(self):
+        return _sanitized_worker_loop
+
+    def _prepare_solve(self, problem, num_workers: int) -> None:
+        if self._fault is None and self._fault_seed is not None:
+            self._fault = FaultSpec.from_seed(self._fault_seed, num_workers)
+        if self._fault is not None:
+            if not 0 <= self._fault.worker < num_workers:
+                raise SanitizerError(
+                    f"fault names worker {self._fault.worker} but only "
+                    f"{num_workers} workers run"
+                )
+            if self._fault.iteration < 0:
+                raise SanitizerError("fault iteration must be >= 0")
+            self._logger.warning(
+                "injecting barrier-skip fault: worker %d, iteration %d",
+                self._fault.worker, self._fault.iteration,
+            )
+
+    def _worker_extra_args(self, wid: int) -> tuple:
+        return (self._fault,)
+
+    def _result_extras(self, payloads: dict[str, dict[int, object]]) -> dict:
+        report = analyze_events(payloads.get("events", {}), fault=self._fault)
+        if report.clean:
+            self._logger.info(
+                "shm sanitizer clean: %d events, 0 findings", report.num_events
+            )
+        else:
+            self._logger.error("shm sanitizer findings:\n%s", report.render())
+        return {"sanitizer": report}

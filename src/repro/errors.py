@@ -46,6 +46,17 @@ class CommunicationError(ReproError):
     (mismatched send/recv, deadlock, message to unknown rank)."""
 
 
+class AnalysisError(ReproError):
+    """The static-analysis suite itself failed (unparseable source, bad
+    rule selection, a checker emitting an undeclared rule id)."""
+
+
+class SanitizerError(ReproError):
+    """The shm race sanitizer detected a protocol violation (same-epoch
+    overlapping access, read of an unpublished halo region) or was
+    misconfigured (fault spec naming a worker that does not exist)."""
+
+
 class OutOfMemoryError(HardwareModelError):
     """A simulated allocation exceeded a device's memory capacity.
 

@@ -68,7 +68,9 @@ class Plane2D(Surface):
 
     def __init__(self, a: float, b: float, c: float, name: str = "") -> None:
         norm = math.hypot(a, b)
-        if norm == 0.0:
+        # Exact degenerate-input guard: hypot(a, b) is 0.0 iff a == b == 0,
+        # and both come straight from the caller, never from arithmetic.
+        if norm == 0.0:  # repro: ignore[float-eq]
             raise ValueError("degenerate plane: a = b = 0")
         super().__init__(name)
         # Normalise so evaluate() returns true signed distance.

@@ -31,8 +31,10 @@ TRACERS = ("auto", "batch", "reference")
 #: Execution engines for decomposed solves (:mod:`repro.engine`):
 #: ``auto`` defers to ``REPRO_ENGINE`` (default ``inproc``), ``inproc`` is
 #: the deterministic single-process simulator, ``mp`` runs subdomains on
-#: real OS worker processes over shared memory.
-ENGINES = ("auto", "inproc", "mp")
+#: real OS worker processes over shared memory, ``mp-sanitize`` is ``mp``
+#: under the shm barrier-phase race sanitizer (identical results, every
+#: shared access audited against the barrier protocol).
+ENGINES = ("auto", "inproc", "mp", "mp-sanitize")
 
 #: Exponential-kernel evaluation modes.
 EXP_MODES = ("table", "exact")

@@ -107,7 +107,7 @@ class ThreeLevelMapper:
         block-scheduled baseline imbalanced at the CU level.
         """
         n = self.tracks_per_gpu_sample
-        if self.heterogeneity == 0.0:
+        if self.heterogeneity <= 0.0:
             sizes = np.ones(n)
         else:
             # Smooth profile: random low-frequency Fourier modes.

@@ -47,6 +47,8 @@ class DecomposedResult:
     num_workers: int = 1
     #: Per-worker ``(worker_id, stage -> seconds)`` payloads (``mp`` only).
     worker_timers: list = field(default_factory=list)
+    #: Race-sanitizer report (``mp-sanitize`` engine only, else ``None``).
+    sanitizer: object = None
 
 
 class DecomposedSolver:
@@ -123,6 +125,7 @@ class DecomposedSolver:
             engine=self.engine.name,
             num_workers=result.num_workers,
             worker_timers=result.worker_timers,
+            sanitizer=result.sanitizer,
         )
 
     def fission_rates(self, result: DecomposedResult) -> np.ndarray:

@@ -61,6 +61,8 @@ class ZDecomposedResult:
     num_workers: int = 1
     #: Per-worker ``(worker_id, stage -> seconds)`` payloads (``mp`` only).
     worker_timers: list = field(default_factory=list)
+    #: Race-sanitizer report (``mp-sanitize`` engine only, else ``None``).
+    sanitizer: object = None
 
 
 def _slab_meshes(mesh: AxialMesh, num_domains: int) -> list[AxialMesh]:
@@ -280,4 +282,5 @@ class ZDecomposedSolver:
             engine=self.engine.name,
             num_workers=result.num_workers,
             worker_timers=result.worker_timers,
+            sanitizer=result.sanitizer,
         )

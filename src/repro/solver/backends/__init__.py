@@ -22,7 +22,7 @@ import os
 from repro.errors import SolverError
 from repro.io.logging_utils import get_logger
 from repro.solver.backends.base import KernelBackend, KernelTimings, SweepContext
-from repro.solver.backends.numba_backend import NumbaSweepBackend
+from repro.solver.backends.numba_backend import NUMBA_IMPORT_ERROR, NumbaSweepBackend
 from repro.solver.backends.numpy_backend import NumpySweepBackend
 from repro.solver.backends.plan import SweepPlan, TrackTopology, build_position_index
 from repro.solver.backends.reference_backend import ReferenceSweepBackend
@@ -68,25 +68,45 @@ def get_backend(name: str) -> KernelBackend:
         ) from None
 
 
+def _warn_fallback(requested: str, resolved: str, reason: str) -> None:
+    """One-time structured fallback notice: which backend actually runs."""
+    global _warned_fallback
+    if _warned_fallback:
+        return
+    _warned_fallback = True
+    get_logger("repro.solver.backends").warning(
+        "sweep backend fallback: requested=%r resolved=%r reason=%r "
+        "(install the numba extra — pip install repro[jit] — or select "
+        "backend='numpy' explicitly to silence this)",
+        requested, resolved, reason,
+    )
+
+
 def resolve_backend(
     requested: str | KernelBackend | None = None,
 ) -> KernelBackend:
     """Select the sweep kernel: argument > env var > default, with the
-    documented graceful fallback to ``numpy`` when numba is missing."""
-    global _warned_fallback
+    documented graceful fallback to ``numpy`` when numba is missing.
+
+    Any fallback is announced once per process with the import failure
+    reason, so a benchmark log always records which kernel really ran."""
     if isinstance(requested, KernelBackend):
         return requested
     name = requested or os.environ.get(BACKEND_ENV_VAR) or DEFAULT_BACKEND
     name = name.strip().lower()
     if name == "auto":
-        name = "numba" if _REGISTRY["numba"].is_available() else "numpy"
+        if _REGISTRY["numba"].is_available():
+            name = "numba"
+        else:
+            _warn_fallback(
+                "auto", "numpy", NUMBA_IMPORT_ERROR or "numba unavailable"
+            )
+            name = "numpy"
     backend = get_backend(name)
     if not backend.is_available():
-        if not _warned_fallback:
-            get_logger("repro.solver.backends").warning(
-                "sweep backend %r unavailable; falling back to 'numpy'", name
-            )
-            _warned_fallback = True
+        _warn_fallback(
+            name, "numpy", NUMBA_IMPORT_ERROR or f"backend {name!r} unavailable"
+        )
         backend = _REGISTRY["numpy"]
     return backend
 

@@ -25,8 +25,12 @@ try:  # pragma: no cover - exercised only where numba is installed
     import numba  # noqa: F401
 
     NUMBA_AVAILABLE = True
-except Exception:  # pragma: no cover - the common (dependency-light) case
+    NUMBA_IMPORT_ERROR: str | None = None
+except ImportError as _exc:  # pragma: no cover - the dependency-light case
     NUMBA_AVAILABLE = False
+    #: Why numba failed to import — surfaced by the registry's one-time
+    #: fallback warning so users know which backend actually ran.
+    NUMBA_IMPORT_ERROR = str(_exc)
 
 #: Compiled kernels, created on first use so importing this module stays
 #: cheap and dependency-free.

@@ -215,7 +215,10 @@ class TrackingCache:
                 fd = os.open(lock, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
             except FileExistsError:
                 try:
-                    age = time.time() - lock.stat().st_mtime
+                    # Wall clock is required here: lock staleness compares
+                    # against the filesystem's st_mtime, which perf_counter
+                    # cannot be compared with. Never feeds solver numerics.
+                    age = time.time() - lock.stat().st_mtime  # repro: ignore[wall-clock]
                 except OSError:
                     continue  # holder released between open and stat
                 if age > LOCK_STALE_SECONDS:

@@ -1,0 +1,72 @@
+"""Determinism checker corpus: every rule pinned by a bad and a good snippet."""
+
+from repro.analysis import analyze_source
+
+HOT = "src/repro/solver/sweep.py"
+ENGINE = "src/repro/engine/custom.py"
+COLD = "src/repro/perfmodel/model.py"
+
+
+def rules(text, path):
+    return sorted({f.rule for f in analyze_source(text, path=path)})
+
+
+class TestWallClock:
+    def test_time_time_in_hot_path_flagged(self):
+        assert rules("import time\nt = time.time()\n", HOT) == ["wall-clock"]
+
+    def test_datetime_now_in_hot_path_flagged(self):
+        text = "import datetime\nstamp = datetime.datetime.now()\n"
+        assert rules(text, HOT) == ["wall-clock"]
+
+    def test_aliased_import_still_caught(self):
+        text = "from time import time as wall\nt = wall()\n"
+        assert rules(text, HOT) == ["wall-clock"]
+
+    def test_outside_hot_packages_not_flagged(self):
+        assert rules("import time\nt = time.time()\n", COLD) == []
+
+    def test_monotonic_not_flagged(self):
+        assert rules("import time\nd = time.monotonic()\n", HOT) == []
+
+
+class TestUnseededRng:
+    def test_global_numpy_rng_flagged(self):
+        text = "import numpy as np\nx = np.random.rand(4)\n"
+        assert rules(text, HOT) == ["unseeded-rng"]
+
+    def test_unseeded_default_rng_flagged(self):
+        text = "import numpy as np\nrng = np.random.default_rng()\n"
+        assert rules(text, HOT) == ["unseeded-rng"]
+
+    def test_none_seed_flagged(self):
+        text = "import numpy as np\nrng = np.random.default_rng(None)\n"
+        assert rules(text, HOT) == ["unseeded-rng"]
+
+    def test_seeded_default_rng_ok(self):
+        text = "import numpy as np\nrng = np.random.default_rng(1234)\n"
+        assert rules(text, HOT) == []
+
+    def test_seed_keyword_ok(self):
+        text = "import numpy as np\nrng = np.random.default_rng(seed=7)\n"
+        assert rules(text, HOT) == []
+
+    def test_stdlib_random_flagged(self):
+        assert rules("import random\nx = random.random()\n", HOT) == ["unseeded-rng"]
+
+
+class TestRawPerfCounter:
+    def test_perf_counter_in_engine_flagged(self):
+        text = "import time\nstart = time.perf_counter()\n"
+        assert rules(text, ENGINE) == ["raw-perf-counter"]
+
+    def test_perf_counter_outside_engine_allowed(self):
+        text = "import time\nstart = time.perf_counter()\n"
+        assert rules(text, HOT) == []
+
+    def test_suppression_with_rationale(self):
+        text = (
+            "import time\n"
+            "start = time.perf_counter()  # repro: ignore[raw-perf-counter]\n"
+        )
+        assert rules(text, ENGINE) == []

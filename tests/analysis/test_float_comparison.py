@@ -1,0 +1,40 @@
+"""Float-comparison checker corpus."""
+
+from repro.analysis import analyze_source
+
+
+def rules(text):
+    return sorted({f.rule for f in analyze_source(text)})
+
+
+class TestFloatEq:
+    def test_eq_against_float_literal_flagged(self):
+        assert rules("done = residual == 0.0\n") == ["float-eq"]
+
+    def test_noteq_against_float_literal_flagged(self):
+        assert rules("if keff != 1.0:\n    pass\n") == ["float-eq"]
+
+    def test_negative_literal_flagged(self):
+        assert rules("flag = x == -1.5\n") == ["float-eq"]
+
+    def test_chained_comparison_flagged(self):
+        assert rules("ok = a < b == 0.5\n") == ["float-eq"]
+
+    def test_int_literal_not_flagged(self):
+        assert rules("done = count == 0\n") == []
+
+    def test_ordered_guard_not_flagged(self):
+        assert rules("if residual <= 0.0:\n    pass\n") == []
+
+    def test_variable_comparison_not_flagged(self):
+        # Variable == variable may be a deliberate bitwise claim; the rule
+        # only targets literals, where a tolerance was almost surely meant.
+        assert rules("same = a == b\n") == []
+
+    def test_suppression_for_assigned_sentinel(self):
+        text = "if norm == 0.0:  # repro: ignore[float-eq]\n    pass\n"
+        assert rules(text) == []
+
+    def test_file_optout_for_equivalence_module(self):
+        text = "# repro: ignore-file[float-eq]\nassert keff == 1.0\n"
+        assert rules(text) == []

@@ -1,0 +1,157 @@
+"""Framework mechanics: suppressions, selection, CLI, registration guards."""
+
+import pytest
+
+from repro.analysis import (
+    Checker,
+    Finding,
+    analyze_source,
+    register_checker,
+    registered_checkers,
+)
+from repro.analysis.core import SourceFile, analyze_paths, iter_python_files
+from repro.analysis.__main__ import main
+from repro.errors import AnalysisError, ReproError
+
+#: A snippet every silent-fallback corpus hates: broad swallow, no trace.
+BAD = """
+try:
+    risky()
+except Exception:
+    pass
+"""
+
+GOOD = """
+try:
+    risky()
+except ValueError:
+    pass
+"""
+
+
+class TestSuppressions:
+    def test_line_pragma_suppresses_named_rule(self):
+        text = "try:\n    f()\nexcept Exception:  # repro: ignore[silent-except]\n    pass\n"
+        assert analyze_source(text) == []
+
+    def test_line_pragma_with_wrong_rule_does_not_suppress(self):
+        text = "try:\n    f()\nexcept Exception:  # repro: ignore[float-eq]\n    pass\n"
+        assert [f.rule for f in analyze_source(text)] == ["silent-except"]
+
+    def test_bare_line_pragma_suppresses_everything(self):
+        text = "try:\n    f()\nexcept Exception:  # repro: ignore\n    pass\n"
+        assert analyze_source(text) == []
+
+    def test_file_pragma_suppresses_whole_module(self):
+        text = "# repro: ignore-file[silent-except]\n" + BAD
+        assert analyze_source(text) == []
+
+    def test_file_pragma_leaves_other_rules_armed(self):
+        text = "# repro: ignore-file[float-eq]\n" + BAD
+        assert [f.rule for f in analyze_source(text)] == ["silent-except"]
+
+
+class TestSelection:
+    def test_select_by_checker_name(self):
+        text = BAD + "\nflag = x == 0.25\n"
+        findings = analyze_source(text, select=["float-comparison"])
+        assert [f.rule for f in findings] == ["float-eq"]
+
+    def test_select_by_rule_id(self):
+        text = BAD + "\nflag = x == 0.25\n"
+        findings = analyze_source(text, select=["silent-except"])
+        assert [f.rule for f in findings] == ["silent-except"]
+
+    def test_unknown_selection_raises(self):
+        with pytest.raises(AnalysisError, match="unknown checker/rule"):
+            analyze_source(GOOD, select=["no-such-rule"])
+
+
+class TestSourceFile:
+    def test_module_anchored_at_repro(self):
+        src = SourceFile("src/repro/solver/keff.py", "x = 1\n")
+        assert src.module == "repro.solver.keff"
+        assert src.in_packages(("solver",))
+        assert not src.in_packages(("tracks",))
+
+    def test_unparseable_source_raises_analysis_error(self):
+        with pytest.raises(AnalysisError, match="cannot parse"):
+            SourceFile("bad.py", "def broken(:\n")
+        assert issubclass(AnalysisError, ReproError)
+
+
+class TestRegistration:
+    def test_duplicate_rule_id_rejected(self):
+        class Clash(Checker):
+            name = "clash-checker"
+            rules = {"float-eq": "stolen id"}
+
+            def check(self, src):
+                return []
+
+        with pytest.raises(AnalysisError, match="redeclares rule ids"):
+            register_checker(Clash())
+
+    def test_undeclared_rule_emission_rejected(self):
+        class Rogue(Checker):
+            name = "rogue"
+            rules = {"rogue-rule": "fine"}
+
+            def check(self, src):
+                yield self.finding(src, src.tree, "not-mine", "boom")
+
+        src = SourceFile("repro/x.py", "x = 1\n")
+        with pytest.raises(AnalysisError, match="undeclared rule"):
+            list(Rogue().check(src))
+
+    def test_builtin_checkers_registered(self):
+        names = set(registered_checkers())
+        assert {
+            "determinism",
+            "silent-fallback",
+            "registry-hygiene",
+            "float-comparison",
+        } <= names
+
+
+class TestPathsAndCli:
+    def test_iter_python_files_rejects_non_python(self, tmp_path):
+        other = tmp_path / "notes.txt"
+        other.write_text("hi")
+        with pytest.raises(AnalysisError, match="not a python file"):
+            list(iter_python_files([other]))
+
+    def test_analyze_paths_walks_directories(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "bad.py").write_text(BAD)
+        (tmp_path / "pkg" / "good.py").write_text(GOOD)
+        findings = analyze_paths([tmp_path])
+        assert [f.rule for f in findings] == ["silent-except"]
+        assert findings[0].path.endswith("bad.py")
+
+    def test_cli_exit_codes(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text(BAD)
+        good = tmp_path / "good.py"
+        good.write_text(GOOD)
+        assert main([str(good)]) == 0
+        assert "clean" in capsys.readouterr().out
+        assert main([str(bad)]) == 1
+        assert "silent-except" in capsys.readouterr().out
+        assert main([str(tmp_path / "missing.py")]) == 2
+
+    def test_cli_json_format(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text(BAD)
+        assert main([str(bad), "--format", "json"]) == 1
+        out = capsys.readouterr().out
+        assert '"rule": "silent-except"' in out
+
+    def test_cli_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "determinism" in out and "float-eq" in out
+
+    def test_findings_sort_and_render(self):
+        finding = Finding(path="a.py", line=3, col=4, rule="r", message="m")
+        assert finding.render() == "a.py:3:5: [r] m"

@@ -1,0 +1,67 @@
+"""Registry-hygiene checker corpus."""
+
+from repro.analysis import analyze_source
+
+
+def rules(text):
+    return sorted({f.rule for f in analyze_source(text)})
+
+
+class TestKeyLiteral:
+    def test_computed_key_flagged(self):
+        text = "register_engine('mp' + suffix, factory)\n"
+        assert rules(text) == ["registry-key-literal"]
+
+    def test_fstring_key_flagged(self):
+        text = "register_engine(f'mp-{n}', factory)\n"
+        assert rules(text) == ["registry-key-literal"]
+
+    def test_literal_key_ok(self):
+        assert rules("register_engine('mp', factory)\n") == []
+
+    def test_object_style_registration_ok(self):
+        # register_backend(NumpySweepBackend()) carries its key as the
+        # object's `name` attribute — not a computed-key violation.
+        assert rules("register_backend(NumpySweepBackend())\n") == []
+
+
+class TestNameConstant:
+    def test_concrete_subclass_without_name_flagged(self):
+        text = "class MyEngine(ExecutionEngine):\n    pass\n"
+        assert rules(text) == ["registry-name-constant"]
+
+    def test_name_from_expression_flagged(self):
+        text = "class MyEngine(ExecutionEngine):\n    name = PREFIX + 'x'\n"
+        assert rules(text) == ["registry-name-constant"]
+
+    def test_literal_name_ok(self):
+        text = "class MyEngine(ExecutionEngine):\n    name = 'mine'\n"
+        assert rules(text) == []
+
+    def test_annotated_literal_name_ok(self):
+        text = "class MyEngine(ExecutionEngine):\n    name: str = 'mine'\n"
+        assert rules(text) == []
+
+    def test_abstract_intermediate_exempt(self):
+        text = (
+            "class Base(ExecutionEngine):\n"
+            "    @abstractmethod\n"
+            "    def solve(self):\n"
+            "        ...\n"
+        )
+        assert rules(text) == []
+
+    def test_unrelated_class_ignored(self):
+        assert rules("class Plain:\n    pass\n") == []
+
+
+class TestGetFallback:
+    def test_registry_get_flagged(self):
+        text = "backend = _REGISTRY.get(name, default)\n"
+        assert rules(text) == ["registry-get-fallback"]
+
+    def test_plain_dict_get_not_flagged(self):
+        assert rules("value = options.get('tol', 1e-6)\n") == []
+
+    def test_registry_indexing_ok(self):
+        assert rules("backend = _REGISTRY[name]\n") == []

@@ -1,0 +1,26 @@
+"""The shipped tree passes its own linter — the acceptance gate for PR 4."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.analysis.core import analyze_paths
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+def test_src_tree_is_clean():
+    findings = analyze_paths([REPO / "src"])
+    assert findings == [], "\n".join(f.render() for f in findings)
+
+
+def test_cli_exits_zero_on_src():
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.analysis", "src"],
+        cwd=REPO,
+        capture_output=True,
+        text=True,
+        env={"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin:/bin"},
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "0 findings" in proc.stdout

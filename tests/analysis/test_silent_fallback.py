@@ -1,0 +1,58 @@
+"""Silent-fallback checker corpus."""
+
+from repro.analysis import analyze_source
+
+
+def rules(text):
+    return sorted({f.rule for f in analyze_source(text)})
+
+
+class TestBareExcept:
+    def test_bare_except_always_flagged(self):
+        text = "try:\n    f()\nexcept:\n    log.error('x')\n"
+        assert "bare-except" in rules(text)
+
+    def test_named_except_not_bare(self):
+        text = "try:\n    f()\nexcept ValueError:\n    pass\n"
+        assert rules(text) == []
+
+
+class TestSilentExcept:
+    def test_swallowing_exception_flagged(self):
+        text = "try:\n    f()\nexcept Exception:\n    pass\n"
+        assert rules(text) == ["silent-except"]
+
+    def test_swallowing_base_exception_flagged(self):
+        text = "try:\n    f()\nexcept BaseException as exc:\n    result = None\n"
+        assert rules(text) == ["silent-except"]
+
+    def test_broad_type_in_tuple_flagged(self):
+        text = "try:\n    f()\nexcept (ValueError, Exception):\n    pass\n"
+        assert rules(text) == ["silent-except"]
+
+    def test_logging_makes_it_visible(self):
+        text = (
+            "try:\n    f()\nexcept Exception as exc:\n"
+            "    logger.warning('fallback: %s', exc)\n"
+        )
+        assert rules(text) == []
+
+    def test_reraise_makes_it_visible(self):
+        text = (
+            "try:\n    f()\nexcept Exception as exc:\n"
+            "    raise SolverError('wrapped') from exc\n"
+        )
+        assert rules(text) == []
+
+    def test_warnings_warn_counts(self):
+        text = (
+            "import warnings\ntry:\n    f()\nexcept Exception:\n"
+            "    warnings.warn('degraded')\n"
+        )
+        assert rules(text) == []
+
+    def test_narrow_silent_handler_allowed(self):
+        # Narrow types may suppress silently — that is a deliberate,
+        # reviewable decision about one specific failure mode.
+        text = "try:\n    f()\nexcept FileNotFoundError:\n    pass\n"
+        assert rules(text) == []

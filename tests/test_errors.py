@@ -1,0 +1,95 @@
+"""The repro.errors taxonomy and fail-fast config validation paths.
+
+Two contracts: every library failure mode derives from ``ReproError`` (so
+callers can catch library errors without masking programming errors), and
+unknown registry/config keys raise *documented* error types — never a raw
+``KeyError`` escaping a registry dict.
+"""
+
+import pytest
+
+import repro.errors as errors
+from repro.engine.registry import engine_names, resolve_engine
+from repro.errors import (
+    AnalysisError,
+    ConfigError,
+    HardwareModelError,
+    OutOfMemoryError,
+    ReproError,
+    SanitizerError,
+    SolverError,
+    TrackingError,
+)
+from repro.io.config import DecompositionConfig, ENGINES, TrackingConfig
+from repro.solver.backends import get_backend
+from repro.tracks.tracers import get_tracer
+
+LEAF_ERRORS = [
+    errors.ConfigError,
+    errors.GeometryError,
+    errors.TrackingError,
+    errors.SolverError,
+    errors.DecompositionError,
+    errors.HardwareModelError,
+    errors.CommunicationError,
+    errors.AnalysisError,
+    errors.SanitizerError,
+]
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("exc", LEAF_ERRORS)
+    def test_every_error_derives_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+        assert issubclass(exc, Exception)
+
+    def test_repro_error_does_not_mask_programming_errors(self):
+        assert not issubclass(TypeError, ReproError)
+        assert not issubclass(KeyError, ReproError)
+
+    def test_analysis_and_sanitizer_errors_are_catchable_as_repro(self):
+        with pytest.raises(ReproError):
+            raise AnalysisError("lint framework failure")
+        with pytest.raises(ReproError):
+            raise SanitizerError("bad fault spec")
+
+    def test_out_of_memory_error_carries_accounting(self):
+        exc = OutOfMemoryError(requested=100, capacity=80, in_use=30, what="tracks")
+        assert isinstance(exc, HardwareModelError)
+        assert (exc.requested, exc.capacity, exc.in_use) == (100, 80, 30)
+        assert "tracks" in str(exc)
+        assert "50 B free" in str(exc)
+
+
+class TestUnknownEngineKeys:
+    def test_resolve_engine_raises_config_error_not_keyerror(self):
+        with pytest.raises(ConfigError, match="unknown execution engine"):
+            resolve_engine("gpu-cluster")
+
+    def test_decomposition_config_rejects_unknown_engine(self):
+        cfg = DecompositionConfig(engine="gpu-cluster")
+        with pytest.raises(ConfigError, match="engine must be one of"):
+            cfg.validate()
+
+    def test_config_engines_matches_registry(self):
+        # Whatever the CLI advertises must actually resolve.
+        assert set(ENGINES) == {"auto", *engine_names()}
+        for name in ENGINES:
+            assert resolve_engine(name) is not None
+
+
+class TestUnknownBackendKeys:
+    def test_get_backend_raises_solver_error_not_keyerror(self):
+        with pytest.raises(SolverError, match="unknown sweep backend"):
+            get_backend("cuda")
+
+
+class TestUnknownTracerKeys:
+    def test_get_tracer_raises_tracking_error_not_keyerror(self):
+        with pytest.raises(TrackingError, match="nonsuch"):
+            get_tracer("nonsuch")
+
+    def test_tracking_config_rejects_unknown_tracer(self):
+        cfg = TrackingConfig(tracer="nonsuch")
+        with pytest.raises(ConfigError, match="tracer must be one of"):
+            cfg.validate()
