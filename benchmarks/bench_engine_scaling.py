@@ -21,11 +21,16 @@ the entry point used by the perf-smoke lane (``bench_perf_smoke.py``).
 from __future__ import annotations
 
 import argparse
-import json
 import os
 import subprocess
 import sys
 from pathlib import Path
+
+from repro.observability.exporters import (
+    dump_record,
+    merge_benchmark_record,
+    parse_record,
+)
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 RESULTS_DIR = Path(__file__).parent / "results"
@@ -78,7 +83,7 @@ def _run_worker(args: argparse.Namespace) -> None:
     sweep_seconds = [
         payload.get("worker_sweep", 0.0) for _wid, payload in result.worker_timers
     ]
-    print(json.dumps({
+    print(dump_record({
         "engine": engine,
         "workers": result.num_workers,
         "solve_seconds": result.solve_seconds,
@@ -107,24 +112,12 @@ def _spawn(workers: int, config: dict) -> dict:
             f"engine worker ({workers}) failed ({proc.returncode}):\n"
             f"{proc.stdout}\n{proc.stderr}"
         )
-    return json.loads(proc.stdout.strip().splitlines()[-1])
+    return parse_record(proc.stdout.strip().splitlines()[-1])
 
 
 # ---------------------------------------------------------------------------
 # Record assembly.
 # ---------------------------------------------------------------------------
-
-def _merge_json(case_record: dict) -> None:
-    RESULTS_DIR.mkdir(exist_ok=True)
-    data: dict = {"benchmark": "engine-scaling", "cases": {}}
-    if BENCH_JSON.exists():
-        try:
-            data = json.loads(BENCH_JSON.read_text(encoding="utf-8"))
-        except json.JSONDecodeError:
-            pass
-    data.setdefault("cases", {})[case_record["case"]] = case_record
-    BENCH_JSON.write_text(json.dumps(data, indent=2) + "\n", encoding="utf-8")
-
 
 def run_case(case: str) -> dict:
     """Measure the oracle and every worker count in fresh subprocesses."""
@@ -162,7 +155,7 @@ def run_case(case: str) -> dict:
             for w in WORKER_COUNTS
         },
     }
-    _merge_json(record)
+    merge_benchmark_record(BENCH_JSON, record, benchmark="engine-scaling")
     return record
 
 
@@ -238,7 +231,7 @@ def main(argv: list[str] | None = None) -> int:
 
     record = run_case("quick" if args.quick else "full")
     if args.json:
-        print(json.dumps(record, indent=2))
+        print(dump_record(record, indent=2))
     else:
         ratios = ", ".join(
             f"{w}w {record['ratios'][f'speedup_{w}w']:.2f}x" for w in WORKER_COUNTS

@@ -17,13 +17,14 @@ Select with ``-m perf``::
 
 from __future__ import annotations
 
-import json
 import os
 import subprocess
 import sys
 from pathlib import Path
 
 import pytest
+
+from repro.observability.exporters import parse_record, read_record
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 RESULTS_DIR = Path(__file__).parent / "results"
@@ -36,7 +37,7 @@ def _baseline(bench_json: str, case: str) -> dict:
     path = RESULTS_DIR / bench_json
     if not path.exists():
         pytest.skip(f"no committed baseline {bench_json}; run the quick bench first")
-    data = json.loads(path.read_text(encoding="utf-8"))
+    data = read_record(path)
     record = data.get("cases", {}).get(case)
     if record is None:
         pytest.skip(f"baseline {bench_json} has no '{case}' case yet")
@@ -54,7 +55,7 @@ def _run_quick(script: str) -> dict:
         raise RuntimeError(
             f"{script} --quick failed ({proc.returncode}):\n{proc.stdout}\n{proc.stderr}"
         )
-    return json.loads(proc.stdout)
+    return parse_record(proc.stdout)
 
 
 def _check(name: str, measured: float, baseline: float) -> None:

@@ -16,11 +16,12 @@ two cases) alongside the human-readable reporter table.
 
 from __future__ import annotations
 
-import json
 from pathlib import Path
 
 import numpy as np
 import pytest
+
+from repro.observability.exporters import dump_record, merge_benchmark_record
 
 from repro.geometry import Geometry, Lattice
 from repro.geometry.c5g7 import C5G7Spec, build_c5g7_3d
@@ -46,18 +47,6 @@ def _backends_under_test() -> list[str]:
     if available_backends().get("numba"):
         names.insert(1, "numba")
     return names
-
-
-def _merge_json(case_record: dict) -> None:
-    RESULTS_DIR.mkdir(exist_ok=True)
-    data: dict = {"benchmark": "sweep_kernel", "cases": {}}
-    if BENCH_JSON.exists():
-        try:
-            data = json.loads(BENCH_JSON.read_text(encoding="utf-8"))
-        except json.JSONDecodeError:
-            pass
-    data.setdefault("cases", {})[case_record["case"]] = case_record
-    BENCH_JSON.write_text(json.dumps(data, indent=2) + "\n", encoding="utf-8")
 
 
 def _report(reporter, record: dict) -> None:
@@ -88,7 +77,7 @@ def _finish_record(case: str, num_segments: int, rows: list[dict]) -> dict:
         "iterations": ITERATIONS,
         "backends": rows,
     }
-    _merge_json(record)
+    merge_benchmark_record(BENCH_JSON, record, benchmark="sweep_kernel")
     keffs = [r["keff"] for r in rows]
     assert max(keffs) - min(keffs) < 1e-10, f"backends disagree on keff: {keffs}"
     return record
@@ -200,7 +189,7 @@ def main(argv=None) -> int:
         parser.error("direct invocation supports --quick only; use pytest for the full cases")
     record = run_quick_case()
     if args.json:
-        print(json.dumps(record, indent=2))
+        print(dump_record(record, indent=2))
     else:
         numpy_row = next(r for r in record["backends"] if r["backend"] == "numpy")
         print(f"pin-cell-2d-quick: numpy {numpy_row['speedup_vs_reference']:.2f}x vs reference")

@@ -27,12 +27,17 @@ from __future__ import annotations
 
 import argparse
 import hashlib
-import json
 import os
 import subprocess
 import sys
 import tempfile
 from pathlib import Path
+
+from repro.observability.exporters import (
+    dump_record,
+    merge_benchmark_record,
+    parse_record,
+)
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 RESULTS_DIR = Path(__file__).parent / "results"
@@ -124,7 +129,7 @@ def _run_worker(args: argparse.Namespace) -> None:
         raise SystemExit("warm run missed the cache")
     if mode in ("reference", "batch") and record["cache_hit"]:
         raise SystemExit(f"{mode} run unexpectedly hit a cache")
-    print(json.dumps(record))
+    print(dump_record(record))
 
 
 def _spawn(mode: str, config: dict, cache_dir: str) -> dict:
@@ -145,24 +150,12 @@ def _spawn(mode: str, config: dict, cache_dir: str) -> dict:
         raise RuntimeError(
             f"worker {mode} failed ({proc.returncode}):\n{proc.stdout}\n{proc.stderr}"
         )
-    return json.loads(proc.stdout.strip().splitlines()[-1])
+    return parse_record(proc.stdout.strip().splitlines()[-1])
 
 
 # ---------------------------------------------------------------------------
 # Record assembly.
 # ---------------------------------------------------------------------------
-
-def _merge_json(case_record: dict) -> None:
-    RESULTS_DIR.mkdir(exist_ok=True)
-    data: dict = {"benchmark": "tracking", "cases": {}}
-    if BENCH_JSON.exists():
-        try:
-            data = json.loads(BENCH_JSON.read_text(encoding="utf-8"))
-        except json.JSONDecodeError:
-            pass
-    data.setdefault("cases", {})[case_record["case"]] = case_record
-    BENCH_JSON.write_text(json.dumps(data, indent=2) + "\n", encoding="utf-8")
-
 
 def run_case(case: str) -> dict:
     """Measure all four modes of one configuration in fresh subprocesses."""
@@ -192,7 +185,7 @@ def run_case(case: str) -> dict:
             / max(runs["batch"]["seconds"], 1e-12),
         },
     }
-    _merge_json(record)
+    merge_benchmark_record(BENCH_JSON, record, benchmark="tracking")
     return record
 
 
@@ -301,7 +294,7 @@ def main(argv: list[str] | None = None) -> int:
 
     record = run_case("quick" if args.quick else "full")
     if args.json:
-        print(json.dumps(record, indent=2))
+        print(dump_record(record, indent=2))
     else:
         ratios = record["ratios"]
         print(

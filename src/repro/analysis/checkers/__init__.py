@@ -16,12 +16,14 @@ from __future__ import annotations
 
 from repro.analysis.checkers.determinism import DeterminismChecker
 from repro.analysis.checkers.float_comparison import FloatComparisonChecker
+from repro.analysis.checkers.metrics_io import MetricsIoChecker
 from repro.analysis.checkers.registry_hygiene import RegistryHygieneChecker
 from repro.analysis.checkers.silent_fallback import SilentFallbackChecker
 
 __all__ = [
     "DeterminismChecker",
     "FloatComparisonChecker",
+    "MetricsIoChecker",
     "RegistryHygieneChecker",
     "SilentFallbackChecker",
 ]

@@ -14,10 +14,10 @@ from __future__ import annotations
 import argparse
 import dataclasses
 import sys
-from pathlib import Path
 
 from repro.errors import ReproError
-from repro.io.config import ENGINES, SWEEP_BACKENDS, TRACERS, load_config
+from repro.io.config import ENGINES, REPORT_FORMATS, SWEEP_BACKENDS, TRACERS, load_config
+from repro.observability.exporters import resolve_report_spec, write_report
 from repro.runtime.antmoc import AntMocApplication
 
 
@@ -44,8 +44,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--report",
-        metavar="PATH",
-        help="Also write the run report to this file.",
+        metavar="SPEC",
+        help="Write the schema-versioned run report. SPEC is a format "
+        f"({', '.join(REPORT_FORMATS)}), 'format:path', or a bare path whose "
+        "suffix picks the format (unknown suffixes mean text). Overrides the "
+        "config's output.report and the REPRO_REPORT environment variable.",
     )
     parser.add_argument(
         "--backend",
@@ -132,8 +135,14 @@ def main(argv: list[str] | None = None) -> int:
             print(app.render_fission_map(result, size=args.map_size))
         except ReproError as exc:
             print(f"(fission map unavailable: {exc})")
-    if args.report:
-        Path(args.report).write_text(report + "\n", encoding="utf-8")
+    spec = resolve_report_spec(args.report, config.output.report)
+    if spec is not None and result.run_report is not None:
+        try:
+            written = write_report(result.run_report, spec)
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        print(f"run report written to {written}")
     return 0 if result.converged else 2
 
 

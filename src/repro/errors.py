@@ -51,6 +51,11 @@ class AnalysisError(ReproError):
     rule selection, a checker emitting an undeclared rule id)."""
 
 
+class ObservabilityError(ReproError):
+    """The telemetry layer detected an inconsistency (malformed span tree,
+    unknown counter name, unreadable or schema-incompatible run report)."""
+
+
 class SanitizerError(ReproError):
     """The shm race sanitizer detected a protocol violation (same-epoch
     overlapping access, read of an unpublished halo region) or was

@@ -39,6 +39,11 @@ ENGINES = ("auto", "inproc", "mp", "mp-sanitize")
 #: Exponential-kernel evaluation modes.
 EXP_MODES = ("table", "exact")
 
+#: Run-report exporter formats (:mod:`repro.observability.exporters`).
+#: A report spec is a bare format, ``format:path``, or a bare path whose
+#: suffix selects the format (unknown suffixes mean ``text``).
+REPORT_FORMATS = ("json", "jsonl", "text")
+
 
 @dataclass(frozen=True)
 class TrackingConfig:
@@ -166,10 +171,21 @@ class OutputConfig:
     fission_rates_path: str | None = None
     vtk_path: str | None = None
     log_level: str = "INFO"
+    #: Run-report spec (see :data:`REPORT_FORMATS`); ``None`` defers to the
+    #: ``--report`` CLI flag and the ``REPRO_REPORT`` environment variable.
+    report: str | None = None
 
     def validate(self) -> None:
         if self.log_level.upper() not in ("DEBUG", "INFO", "WARNING", "ERROR"):
             raise ConfigError(f"unknown log_level {self.log_level!r}")
+        if self.report is not None:
+            if not isinstance(self.report, str) or not self.report.strip():
+                raise ConfigError("output.report must be a non-empty spec string")
+            head, sep, tail = self.report.partition(":")
+            if sep and head in REPORT_FORMATS and not tail:
+                raise ConfigError(
+                    f"output.report {self.report!r} names a format but an empty path"
+                )
 
 
 @dataclass(frozen=True)

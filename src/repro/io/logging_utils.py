@@ -26,7 +26,17 @@ def get_logger(name: str = "repro", level: str = "INFO") -> logging.Logger:
 
 
 class StageTimer:
-    """Accumulates named stage durations, mirroring ANT-MOC's run log."""
+    """Accumulates named stage durations, mirroring ANT-MOC's run log.
+
+    **Accumulate semantics.** Every entry point — :meth:`stage`,
+    :meth:`record`, :meth:`merge` — *adds* to the named row; nothing ever
+    overwrites. Re-entering ``stage("transport_solving")`` or calling
+    ``record`` twice with the same name yields the sum of the
+    contributions, which is what a restarted or multi-pass run should
+    report. The flip side: reusing one timer across *logically separate*
+    runs double-counts — a fresh run needs a fresh timer or an explicit
+    :meth:`reset` (pinned by ``tests/io/test_logging.py``).
+    """
 
     def __init__(self) -> None:
         self._durations: dict[str, float] = {}
@@ -45,11 +55,20 @@ class StageTimer:
             self._durations[name] += elapsed
 
     def record(self, name: str, seconds: float) -> None:
-        """Record an externally measured (or simulated) duration."""
+        """Accumulate an externally measured (or simulated) duration."""
         if name not in self._durations:
             self._order.append(name)
             self._durations[name] = 0.0
         self._durations[name] += float(seconds)
+
+    def reset(self) -> None:
+        """Drop every recorded row, returning the timer to its fresh state.
+
+        Use this when reusing a timer across logically separate runs —
+        without it the accumulate semantics double-count the earlier run.
+        """
+        self._durations.clear()
+        self._order.clear()
 
     def duration(self, name: str) -> float:
         return self._durations.get(name, 0.0)

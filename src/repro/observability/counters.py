@@ -1,0 +1,108 @@
+"""Typed counters for the paper's workload terms.
+
+Every counter the report schema admits is declared in
+:data:`COUNTER_SCHEMA` — incrementing an undeclared name raises, so a
+typo'd counter can never silently vanish from the regression goldens.
+All counters are non-negative integers and merge by elementwise addition,
+which makes :meth:`CounterSet.merge` associative and commutative across
+worker reports (pinned by hypothesis in
+``tests/observability/test_properties.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping
+
+from repro.errors import ObservabilityError
+
+#: Every admissible counter name -> what it measures. The ordering here is
+#: the canonical report ordering (goldens pin the name set).
+COUNTER_SCHEMA: dict[str, str] = {
+    "tracks_2d": "radial 2D tracks laid down across all domains",
+    "tracks_3d": "3D tracks laid down across all domains (0 for 2D solves)",
+    "segments_2d": "radial 2D segments traced across all domains",
+    "segments_3d": "3D segments traced across all domains (0 for 2D solves)",
+    "segments_swept": (
+        "directional segment traversals summed over transport iterations "
+        "(2 directions x swept segments x iterations)"
+    ),
+    "tracking_cache_hits": "track generators restored from the tracking cache",
+    "tracking_cache_misses": "track generators built despite an enabled cache",
+    "halo_bytes": (
+        "bytes exchanged between ranks: boundary angular flux plus modelled "
+        "collective traffic (CommStats.bytes_sent)"
+    ),
+    "halo_messages": "messages exchanged between ranks (CommStats.messages_sent)",
+    "allreduce_calls": "global eigenvalue/production allreduce invocations",
+    "fsr_count": "flat source regions in the solved geometry",
+    "iteration_count": "transport iterations executed",
+    "num_domains": "spatial subdomains in the decomposition (1 if undecomposed)",
+    "num_workers": "OS processes that executed sweeps (1 for inproc)",
+}
+
+
+class CounterSet:
+    """A typed bag of named non-negative integer counters."""
+
+    def __init__(self, values: Mapping[str, int] | None = None) -> None:
+        self._values: dict[str, int] = {}
+        if values:
+            for name, value in values.items():
+                self.add(name, value)
+
+    def _check(self, name: str, amount: int) -> int:
+        if name not in COUNTER_SCHEMA:
+            raise ObservabilityError(
+                f"unknown counter {name!r}; declared counters: "
+                f"{sorted(COUNTER_SCHEMA)}"
+            )
+        amount = int(amount)
+        if amount < 0:
+            raise ObservabilityError(f"counter {name!r} increment must be >= 0 (got {amount})")
+        return amount
+
+    def add(self, name: str, amount: int = 1) -> None:
+        """Accumulate ``amount`` into ``name`` (declared names only)."""
+        amount = self._check(name, amount)
+        self._values[name] = self._values.get(name, 0) + amount
+
+    def __getitem__(self, name: str) -> int:
+        if name not in COUNTER_SCHEMA:
+            raise ObservabilityError(f"unknown counter {name!r}")
+        return self._values.get(name, 0)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._values
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.to_dict())
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, CounterSet):
+            return self.to_dict() == other.to_dict()
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"CounterSet({self.to_dict()!r})"
+
+    def to_dict(self) -> dict[str, int]:
+        """Recorded counters in canonical (schema) order."""
+        return {
+            name: self._values[name]
+            for name in COUNTER_SCHEMA
+            if name in self._values
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, int]) -> "CounterSet":
+        return cls(payload)
+
+    def merge(self, other: "CounterSet | Mapping[str, int]") -> "CounterSet":
+        """Elementwise addition — associative and commutative by design."""
+        payload = other.to_dict() if isinstance(other, CounterSet) else other
+        for name, value in payload.items():
+            self.add(name, value)
+        return self

@@ -1,0 +1,166 @@
+"""Tolerance-gated comparison of run reports and benchmark records.
+
+Two classes of difference come out of a comparison:
+
+* **significant** — numeric results (k-eff compared *bitwise* through its
+  ``float.hex`` spelling unless a tolerance is given), counters, schema
+  version. These make ``python -m repro.report diff`` exit non-zero: the
+  two runs did different work or got different answers.
+* **informational** — manifest provenance (different host, different git
+  revision) and timings (stages, spans). Two honest runs of the same
+  configuration differ here; the diff prints them but they never fail a
+  comparison.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.observability.record import RunReport
+from repro.observability.spans import Span
+
+
+@dataclass(frozen=True)
+class DiffEntry:
+    """One observed difference between two reports."""
+
+    path: str
+    left: Any
+    right: Any
+    significant: bool
+
+    def __str__(self) -> str:
+        marker = "!" if self.significant else "~"
+        return f"{marker} {self.path}: {self.left!r} -> {self.right!r}"
+
+
+def _close(a: float, b: float, rtol: float, atol: float) -> bool:
+    if rtol == 0.0 and atol == 0.0:  # repro: ignore[float-eq] — assigned sentinel: zero tolerances select bitwise mode
+        return a == b  # repro: ignore[float-eq] — bitwise mode compares exactly by contract
+    return math.isclose(a, b, rel_tol=rtol, abs_tol=atol)
+
+
+def _span_index(spans: list[Span], prefix: str = "") -> dict[str, float | None]:
+    rows: dict[str, float | None] = {}
+    for span in spans:
+        path = f"{prefix}/{span.name}" if prefix else span.name
+        rows[path] = span.seconds
+        rows.update(_span_index(span.children, path))
+    return rows
+
+
+def diff_reports(
+    left: RunReport,
+    right: RunReport,
+    rtol: float = 0.0,
+    atol: float = 0.0,
+) -> list[DiffEntry]:
+    """All differences between two run reports, significant first."""
+    entries: list[DiffEntry] = []
+
+    if left.schema_version != right.schema_version:
+        entries.append(DiffEntry(
+            "schema_version", left.schema_version, right.schema_version, True
+        ))
+
+    lres, rres = left.results.to_dict(), right.results.to_dict()
+    if rtol == 0.0 and atol == 0.0:  # repro: ignore[float-eq] — assigned sentinel: zero tolerances select bitwise mode
+        if lres["keff_hex"] != rres["keff_hex"]:
+            entries.append(DiffEntry(
+                "results.keff", lres["keff_hex"], rres["keff_hex"], True
+            ))
+    elif not _close(lres["keff"], rres["keff"], rtol, atol):
+        entries.append(DiffEntry("results.keff", lres["keff"], rres["keff"], True))
+    for key in ("converged", "num_iterations"):
+        if lres[key] != rres[key]:
+            entries.append(DiffEntry(f"results.{key}", lres[key], rres[key], True))
+
+    lcnt, rcnt = left.counters.to_dict(), right.counters.to_dict()
+    for name in sorted(set(lcnt) | set(rcnt)):
+        lval, rval = lcnt.get(name), rcnt.get(name)
+        if lval != rval:
+            entries.append(DiffEntry(f"counters.{name}", lval, rval, True))
+
+    lman, rman = left.manifest.to_dict(), right.manifest.to_dict()
+    for key in sorted(set(lman) | set(rman)):
+        lval, rval = lman.get(key), rman.get(key)
+        if lval != rval:
+            entries.append(DiffEntry(f"manifest.{key}", lval, rval, False))
+
+    for name in sorted(set(left.stages) | set(right.stages)):
+        lval, rval = left.stages.get(name), right.stages.get(name)
+        if lval != rval:
+            entries.append(DiffEntry(f"stages.{name}", lval, rval, False))
+
+    lspans, rspans = _span_index(left.spans), _span_index(right.spans)
+    for path in sorted(set(lspans) | set(rspans)):
+        lval, rval = lspans.get(path, "<absent>"), rspans.get(path, "<absent>")
+        if lval != rval:
+            entries.append(DiffEntry(f"spans.{path}", lval, rval, False))
+
+    entries.sort(key=lambda e: (not e.significant, e.path))
+    return entries
+
+
+def diff_records(
+    left: Any,
+    right: Any,
+    rtol: float = 0.0,
+    atol: float = 0.0,
+    path: str = "",
+) -> list[DiffEntry]:
+    """Generic structural diff for benchmark records (all significant)."""
+    here = path or "<root>"
+    if isinstance(left, Mapping) and isinstance(right, Mapping):
+        entries: list[DiffEntry] = []
+        for key in sorted(set(left) | set(right), key=str):
+            child = f"{path}.{key}" if path else str(key)
+            if key not in left:
+                entries.append(DiffEntry(child, "<absent>", right[key], True))
+            elif key not in right:
+                entries.append(DiffEntry(child, left[key], "<absent>", True))
+            else:
+                entries.extend(diff_records(left[key], right[key], rtol, atol, child))
+        return entries
+    if isinstance(left, (list, tuple)) and isinstance(right, (list, tuple)):
+        if len(left) != len(right):
+            return [DiffEntry(f"{here}.length", len(left), len(right), True)]
+        entries = []
+        for i, (lval, rval) in enumerate(zip(left, right)):
+            entries.extend(diff_records(lval, rval, rtol, atol, f"{path}[{i}]"))
+        return entries
+    if isinstance(left, bool) != isinstance(right, bool):
+        # Python would call True == 1; for records that's a schema change.
+        return [DiffEntry(here, left, right, True)]
+    if (
+        isinstance(left, (int, float)) and not isinstance(left, bool)
+        and isinstance(right, (int, float)) and not isinstance(right, bool)
+    ):
+        if not _close(float(left), float(right), rtol, atol):
+            return [DiffEntry(here, left, right, True)]
+        return []
+    if left != right:
+        return [DiffEntry(here, left, right, True)]
+    return []
+
+
+def has_significant(entries: list[DiffEntry]) -> bool:
+    return any(entry.significant for entry in entries)
+
+
+def format_diff(entries: list[DiffEntry]) -> str:
+    """Pretty text: significant block, then informational block."""
+    if not entries:
+        return "reports are identical\n"
+    lines: list[str] = []
+    significant = [e for e in entries if e.significant]
+    informational = [e for e in entries if not e.significant]
+    if significant:
+        lines.append(f"{len(significant)} significant difference(s):")
+        lines.extend(f"  {entry}" for entry in significant)
+    if informational:
+        lines.append(f"{len(informational)} informational difference(s):")
+        lines.extend(f"  {entry}" for entry in informational)
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,110 @@
+"""The per-run observation context: timer + spans + counters + manifest.
+
+:class:`Observation` is what the application actually holds. It keeps the
+legacy :class:`~repro.io.logging_utils.StageTimer` (whose flat rows the
+run-log renderer and many tests consume) and the structured
+:class:`~repro.observability.spans.SpanRecorder` in lock-step: a region
+timed through :meth:`Observation.stage` lands in both with the *same*
+measured seconds, so the flat table and the span tree can never disagree.
+
+Observation is strictly passive — it reads solver state and clocks, never
+feeds anything back into the numerics. That is the layer's hard
+invariant: k-eff and flux are bitwise identical with observability on or
+off (``tests/observability/test_bitwise_neutrality.py``).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Mapping
+
+from repro.errors import ObservabilityError
+from repro.io.logging_utils import StageTimer
+from repro.observability.counters import CounterSet
+from repro.observability.manifest import RunManifest
+from repro.observability.record import RunReport, RunResults
+from repro.observability.spans import Span, SpanRecorder
+
+#: Root container holding one child span tree per engine worker. Worker
+#: stage times are CPU seconds on other processes' clocks, so they live
+#: outside the wall-clock pipeline spans (their sum may legitimately
+#: exceed the ``transport_solving`` wall time).
+WORKERS_ROOT = "workers"
+
+
+class Observation:
+    """Everything one run records: stages, spans, counters, manifest."""
+
+    def __init__(self, manifest: RunManifest | None = None) -> None:
+        self.timer = StageTimer()
+        self.spans = SpanRecorder()
+        self.counters = CounterSet()
+        self.manifest = manifest
+
+    # ------------------------------------------------------------- timing
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        """Time a region into both the flat timer and the span tree.
+
+        The timer row receives exactly the seconds the span measured, so
+        ``timer.as_dict()[name]`` equals the span's duration (to the last
+        bit) — the goldens rely on the two views never diverging.
+        """
+        with self.spans.span(name) as node:
+            before = node.seconds or 0.0
+            yield
+        self.timer.record(name, (node.seconds or 0.0) - before)
+
+    def record(self, path: str, seconds: float) -> None:
+        """Record an externally measured duration in both views.
+
+        ``path`` uses the timer's ``parent/child`` convention; the span
+        recorder nests it under the matching parents, creating containers
+        where needed.
+        """
+        self.timer.record(path, seconds)
+        self.spans.record(path, seconds)
+
+    def record_worker(self, worker_id: int, payload: Mapping[str, float]) -> None:
+        """File one worker's stage timings under ``workers/worker-<id>``."""
+        self.spans.container(WORKERS_ROOT)
+        for name, seconds in payload.items():
+            self.spans.record(f"{WORKERS_ROOT}/worker-{int(worker_id)}/{name}", seconds)
+
+    # ----------------------------------------------------------- counters
+
+    def count(self, name: str, amount: int = 1) -> None:
+        self.counters.add(name, amount)
+
+    # ------------------------------------------------------------- report
+
+    def build_report(
+        self,
+        keff: float,
+        converged: bool,
+        num_iterations: int,
+    ) -> RunReport:
+        """Assemble and validate the schema-versioned run report."""
+        if self.manifest is None:
+            raise ObservabilityError(
+                "observation has no manifest; attach RunManifest.collect(config) "
+                "before building a report"
+            )
+        self.spans.validate()
+        report = RunReport(
+            manifest=self.manifest,
+            results=RunResults(
+                keff=float(keff),
+                converged=bool(converged),
+                num_iterations=int(num_iterations),
+            ),
+            counters=self.counters,
+            stages=self.timer.as_dict(),
+            spans=self.spans.roots,
+        )
+        report.validate()
+        return report
+
+    def worker_span(self, worker_id: int) -> Span | None:
+        return self.spans.find(f"{WORKERS_ROOT}/worker-{int(worker_id)}")

@@ -1,0 +1,128 @@
+"""The schema-versioned run report: one solve, fully described.
+
+A :class:`RunReport` bundles the four observability products — manifest,
+numeric results, counters and the span forest — into a single validated
+record. The ``keff_hex`` field carries ``float.hex()`` of the eigenvalue
+so a report diff can prove *bitwise* equality, not merely
+round-trip-through-decimal equality.
+
+Reports are plain dicts once serialised; :meth:`RunReport.from_dict`
+re-validates schema version and structure so a stale or hand-edited file
+fails loudly instead of producing a silently wrong diff.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+from repro.errors import ObservabilityError
+from repro.observability.counters import CounterSet
+from repro.observability.manifest import RunManifest
+from repro.observability.spans import Span, validate_span_tree
+
+#: Bumped whenever the report layout changes incompatibly. Goldens pin
+#: this, so a bump forces a deliberate golden refresh.
+SCHEMA_VERSION = 1
+
+#: Discriminator so exporters/loaders can reject arbitrary JSON files.
+REPORT_KIND = "repro-run-report"
+
+
+@dataclass
+class RunResults:
+    """Numeric outcome of the solve (the bitwise-sensitive part)."""
+
+    keff: float
+    converged: bool
+    num_iterations: int
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "keff": self.keff,
+            "keff_hex": float(self.keff).hex(),
+            "converged": bool(self.converged),
+            "num_iterations": int(self.num_iterations),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "RunResults":
+        try:
+            keff = float(payload["keff"])
+            keff_hex = payload.get("keff_hex")
+            if keff_hex is not None:
+                keff = float.fromhex(str(keff_hex))
+            return cls(
+                keff=keff,
+                converged=bool(payload["converged"]),
+                num_iterations=int(payload["num_iterations"]),
+            )
+        except (KeyError, ValueError) as exc:
+            raise ObservabilityError(f"malformed results block: {exc}") from None
+
+
+@dataclass
+class RunReport:
+    """Everything one solve reports, in one schema-versioned record."""
+
+    manifest: RunManifest
+    results: RunResults
+    counters: CounterSet = field(default_factory=CounterSet)
+    stages: dict[str, float] = field(default_factory=dict)
+    spans: list[Span] = field(default_factory=list)
+    schema_version: int = SCHEMA_VERSION
+
+    def validate(self) -> None:
+        """Raise :class:`ObservabilityError` on structural problems."""
+        if self.schema_version != SCHEMA_VERSION:
+            raise ObservabilityError(
+                f"report schema version {self.schema_version} is not the "
+                f"supported version {SCHEMA_VERSION}"
+            )
+        for name, seconds in self.stages.items():
+            if float(seconds) < 0.0:
+                raise ObservabilityError(f"negative stage duration {name!r}")
+        validate_span_tree(self.spans)
+
+    def to_dict(self) -> dict[str, Any]:
+        self.validate()
+        return {
+            "schema_version": self.schema_version,
+            "kind": REPORT_KIND,
+            "manifest": self.manifest.to_dict(),
+            "results": self.results.to_dict(),
+            "counters": self.counters.to_dict(),
+            "stages": {k: float(v) for k, v in self.stages.items()},
+            "spans": [span.to_dict() for span in self.spans],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "RunReport":
+        if not isinstance(payload, Mapping):
+            raise ObservabilityError(
+                f"run report must be a mapping, got {type(payload).__name__}"
+            )
+        kind = payload.get("kind")
+        if kind != REPORT_KIND:
+            raise ObservabilityError(
+                f"not a run report (kind={kind!r}, expected {REPORT_KIND!r})"
+            )
+        version = payload.get("schema_version")
+        if version != SCHEMA_VERSION:
+            raise ObservabilityError(
+                f"unsupported report schema version {version!r} "
+                f"(this build reads version {SCHEMA_VERSION})"
+            )
+        spans_payload = payload.get("spans", ())
+        if not isinstance(spans_payload, Sequence) or isinstance(spans_payload, (str, bytes)):
+            raise ObservabilityError("report 'spans' must be a list")
+        report = cls(
+            manifest=RunManifest.from_dict(payload.get("manifest", {})),
+            results=RunResults.from_dict(payload.get("results", {})),
+            counters=CounterSet.from_dict(payload.get("counters", {})),
+            stages={str(k): float(v) for k, v in payload.get("stages", {}).items()},
+            spans=[Span.from_dict(p) for p in spans_payload],
+            schema_version=int(version),
+        )
+        report.validate()
+        return report

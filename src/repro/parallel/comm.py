@@ -28,6 +28,10 @@ class CommStats:
 
     messages_sent: int = 0
     bytes_sent: int = 0
+    #: Global collective invocations (the eigenvalue/production updates);
+    #: counted separately so the run report's ``allreduce_calls`` counter
+    #: does not have to reverse-engineer it from ring-message totals.
+    allreduce_calls: int = 0
     per_pair_bytes: dict[tuple[int, int], int] = field(default_factory=lambda: defaultdict(int))
 
     def record(self, src: int, dst: int, nbytes: int) -> None:
@@ -43,6 +47,7 @@ def account_allreduce(stats: CommStats, size: int) -> None:
     ring exchanges per rank. Shared by :class:`SimComm` and the real
     multiprocess engine so both produce identical byte counts.
     """
+    stats.allreduce_calls += 1
     rounds = max(1, (size - 1).bit_length())
     for _ in range(rounds):
         for rank in range(size):

@@ -57,6 +57,7 @@ class ZDecomposedResult:
     solve_seconds: float
     comm_bytes: int
     comm_messages: int
+    comm_allreduce_calls: int = 0
     engine: str = "inproc"
     num_workers: int = 1
     #: Per-worker ``(worker_id, stage -> seconds)`` payloads (``mp`` only).
@@ -279,6 +280,7 @@ class ZDecomposedSolver:
             solve_seconds=result.solve_seconds,
             comm_bytes=self.comm.stats.bytes_sent,
             comm_messages=self.comm.stats.messages_sent,
+            comm_allreduce_calls=self.comm.stats.allreduce_calls,
             engine=self.engine.name,
             num_workers=result.num_workers,
             worker_timers=result.worker_timers,

@@ -19,6 +19,7 @@ from repro.geometry.c5g7 import C5G7Spec, build_c5g7_geometry
 from repro.geometry.geometry import Geometry
 from repro.io.config import RunConfig, load_config
 from repro.io.logging_utils import StageTimer, get_logger
+from repro.observability import Observation, RunManifest, RunReport
 from repro.parallel.driver import DecomposedResult, DecomposedSolver
 from repro.runtime.output import ascii_heatmap, pin_power_map, write_fission_rates_csv, write_vtk_structured_points
 from repro.runtime.stages import PipelineState, StageName
@@ -69,6 +70,8 @@ class AntMocRunResult:
     pipeline: PipelineState
     decomposed: bool
     comm_bytes: int = 0
+    #: Schema-versioned observability record (manifest, counters, spans).
+    run_report: RunReport | None = None
 
     def report(self) -> str:
         lines = [
@@ -87,7 +90,10 @@ class AntMocApplication:
     def __init__(self, config: RunConfig) -> None:
         self.config = config.validate()
         self.logger = get_logger("repro.antmoc", config.output.log_level)
-        self.timer = StageTimer()
+        self.obs = Observation(manifest=RunManifest.collect(self.config))
+        # The flat timer stays the run-log surface; it is the same object
+        # the observation keeps in lock-step with its span tree.
+        self.timer = self.obs.timer
         self.pipeline = PipelineState()
 
     @classmethod
@@ -106,12 +112,15 @@ class AntMocApplication:
         tracking = self.config.tracking
         return resolve_cache(tracking.tracking_cache, tracking.cache_dir)
 
-    def _record_tracking_phases(self, timings_list) -> None:
+    def _record_tracking_phases(self, timings_list, cache_enabled: bool = False) -> None:
         """Break the track-generation stage down by pipeline phase.
 
         Rows are named ``track_generation/<phase>`` so :class:`StageTimer`
         excludes them from the total (the parent stage already counts this
-        time). Decomposed runs sum the per-domain breakdowns.
+        time); the observation mirrors them as child spans of the
+        ``track_generation`` span. Decomposed runs sum the per-domain
+        breakdowns. With the tracking cache enabled, per-generator
+        hits/misses land in the run report's counters.
         """
         phases: dict[str, float] = {}
         cache_hits = 0
@@ -121,7 +130,10 @@ class AntMocApplication:
             cache_hits += bool(timings.cache_hit)
         for phase, seconds in phases.items():
             if seconds > 0.0:
-                self.timer.record(f"track_generation/{phase}", seconds)
+                self.obs.record(f"track_generation/{phase}", seconds)
+        if cache_enabled:
+            self.obs.count("tracking_cache_hits", cache_hits)
+            self.obs.count("tracking_cache_misses", len(timings_list) - cache_hits)
         if cache_hits:
             self.logger.info(
                 "tracking cache: %d of %d generators restored from cache",
@@ -142,9 +154,10 @@ class AntMocApplication:
             return
         total = StageTimer()
         peak = StageTimer()
-        for _worker_id, payload in timers:
+        for worker_id, payload in timers:
             total.merge(payload, mode="sum")
             peak.merge(payload, mode="max")
+            self.obs.record_worker(worker_id, payload)
         parent = StageName.TRANSPORT_SOLVING.value
         for name, seconds in total.as_dict().items():
             self.timer.record(f"{parent}/{name}_sum", seconds)
@@ -158,13 +171,61 @@ class AntMocApplication:
             peak.duration("worker_sweep"),
         )
 
+    def _record_solve_phases(self, result) -> None:
+        """Break transport solving down by kernel phase (single-domain).
+
+        ``SolveResult.phase_seconds`` is measured inside the solve, so the
+        rows nest under ``transport_solving`` in both the timer table and
+        the span tree without breaking the children-fit invariant.
+        """
+        for phase, seconds in (getattr(result, "phase_seconds", None) or {}).items():
+            if seconds > 0.0:
+                self.obs.record(
+                    f"{StageName.TRANSPORT_SOLVING.value}/{phase}", seconds
+                )
+
+    def _count_comm(self, stats) -> None:
+        """Wire :class:`~repro.parallel.comm.CommStats` into the counters."""
+        self.obs.count("halo_bytes", stats.bytes_sent)
+        self.obs.count("halo_messages", stats.messages_sent)
+        self.obs.count("allreduce_calls", stats.allreduce_calls)
+
+    def _count_workload(
+        self,
+        result,
+        num_fsrs: int,
+        num_domains: int,
+        tracks_2d: int,
+        segments_2d: int,
+        tracks_3d: int = 0,
+        segments_3d: int = 0,
+    ) -> None:
+        """Record the paper's workload terms for this solve.
+
+        ``segments_swept`` counts directional traversals: two directions
+        per swept segment per transport iteration, over the dimensionality
+        actually swept (3D segments for extruded solves). The counts are
+        derived from tracking products and iteration counts only, so every
+        engine reports identical values for the same configuration.
+        """
+        self.obs.count("tracks_2d", tracks_2d)
+        self.obs.count("segments_2d", segments_2d)
+        self.obs.count("tracks_3d", tracks_3d)
+        self.obs.count("segments_3d", segments_3d)
+        swept = segments_3d if segments_3d else segments_2d
+        self.obs.count("segments_swept", 2 * swept * result.num_iterations)
+        self.obs.count("fsr_count", num_fsrs)
+        self.obs.count("iteration_count", result.num_iterations)
+        self.obs.count("num_domains", num_domains)
+        self.obs.count("num_workers", getattr(result, "num_workers", 1))
+
     def run(self) -> AntMocRunResult:
         """Execute all five stages and return the result bundle."""
         cfg = self.config
-        with self.timer.stage(StageName.READ_CONFIGURATION.value):
+        with self.obs.stage(StageName.READ_CONFIGURATION.value):
             self.pipeline.complete(StageName.READ_CONFIGURATION, cfg)
 
-        with self.timer.stage(StageName.GEOMETRY_CONSTRUCTION.value):
+        with self.obs.stage(StageName.GEOMETRY_CONSTRUCTION.value):
             geometry = self._build_geometry()
             self.pipeline.complete(StageName.GEOMETRY_CONSTRUCTION, geometry)
         self.logger.info("geometry %s: %d FSRs", cfg.geometry, geometry.num_fsrs)
@@ -178,7 +239,7 @@ class AntMocApplication:
         comm_bytes = 0
         cache = self._tracking_cache()
         if decomposed:
-            with self.timer.stage(StageName.TRACK_GENERATION.value):
+            with self.obs.stage(StageName.TRACK_GENERATION.value):
                 solver = DecomposedSolver(
                     geometry,
                     cfg.decomposition.nx,
@@ -197,16 +258,27 @@ class AntMocApplication:
                     workers=cfg.decomposition.workers or None,
                 )
                 self.pipeline.complete(StageName.TRACK_GENERATION, solver)
-            self._record_tracking_phases([d.trackgen.timings for d in solver.domains])
-            with self.timer.stage(StageName.TRANSPORT_SOLVING.value):
+            self._record_tracking_phases(
+                [d.trackgen.timings for d in solver.domains],
+                cache_enabled=cache is not None,
+            )
+            with self.obs.stage(StageName.TRANSPORT_SOLVING.value):
                 result: DecomposedResult | SolveResult = solver.solve()
                 self.pipeline.complete(StageName.TRANSPORT_SOLVING, result)
             self._record_worker_timers(result)
+            self._count_comm(solver.comm.stats)
+            self._count_workload(
+                result,
+                num_fsrs=geometry.num_fsrs,
+                num_domains=len(solver.domains),
+                tracks_2d=sum(d.trackgen.num_tracks for d in solver.domains),
+                segments_2d=sum(d.trackgen.num_segments for d in solver.domains),
+            )
             rates = solver.fission_rates(result)  # type: ignore[arg-type]
             flux = result.scalar_flux
             comm_bytes = result.comm_bytes  # type: ignore[union-attr]
         else:
-            with self.timer.stage(StageName.TRACK_GENERATION.value):
+            with self.obs.stage(StageName.TRACK_GENERATION.value):
                 solver = MOCSolver.for_2d(
                     geometry,
                     num_azim=cfg.tracking.num_azim,
@@ -221,14 +293,24 @@ class AntMocApplication:
                     cache=cache,
                 )
                 self.pipeline.complete(StageName.TRACK_GENERATION, solver)
-            self._record_tracking_phases([solver.trackgen.timings])
-            with self.timer.stage(StageName.TRANSPORT_SOLVING.value):
+            self._record_tracking_phases(
+                [solver.trackgen.timings], cache_enabled=cache is not None
+            )
+            with self.obs.stage(StageName.TRANSPORT_SOLVING.value):
                 result = solver.solve()
                 self.pipeline.complete(StageName.TRANSPORT_SOLVING, result)
+            self._record_solve_phases(result)
+            self._count_workload(
+                result,
+                num_fsrs=geometry.num_fsrs,
+                num_domains=1,
+                tracks_2d=solver.trackgen.num_tracks,
+                segments_2d=solver.trackgen.num_segments,
+            )
             rates = solver.fission_rates(result)
             flux = result.scalar_flux
 
-        with self.timer.stage(StageName.OUTPUT_GENERATION.value):
+        with self.obs.stage(StageName.OUTPUT_GENERATION.value):
             outputs: dict[str, str] = {}
             if cfg.output.fission_rates_path:
                 write_fission_rates_csv(cfg.output.fission_rates_path, rates)
@@ -252,6 +334,9 @@ class AntMocApplication:
             pipeline=self.pipeline,
             decomposed=decomposed,
             comm_bytes=comm_bytes,
+            run_report=self.obs.build_report(
+                result.keff, result.converged, result.num_iterations
+            ),
         )
 
     def _run_3d(self, geometry3d) -> AntMocRunResult:
@@ -273,7 +358,7 @@ class AntMocApplication:
         polar_spacing = cfg.tracking.polar_spacing
         cache = self._tracking_cache()
         if decomposed:
-            with self.timer.stage(StageName.TRACK_GENERATION.value):
+            with self.obs.stage(StageName.TRACK_GENERATION.value):
                 solver = ZDecomposedSolver(
                     geometry3d,
                     num_domains=cfg.decomposition.nz,
@@ -293,12 +378,23 @@ class AntMocApplication:
                 )
                 self.pipeline.complete(StageName.TRACK_GENERATION, solver)
             self._record_tracking_phases(
-                [solver.radial.timings] + [d["trackgen"].timings for d in solver.domains]
+                [solver.radial.timings] + [d["trackgen"].timings for d in solver.domains],
+                cache_enabled=cache is not None,
             )
-            with self.timer.stage(StageName.TRANSPORT_SOLVING.value):
+            with self.obs.stage(StageName.TRANSPORT_SOLVING.value):
                 result = solver.solve()
                 self.pipeline.complete(StageName.TRANSPORT_SOLVING, result)
             self._record_worker_timers(result)
+            self._count_comm(solver.comm.stats)
+            self._count_workload(
+                result,
+                num_fsrs=geometry3d.num_fsrs,
+                num_domains=solver.num_domains,
+                tracks_2d=solver.radial.num_tracks,
+                segments_2d=solver.radial.num_segments,
+                tracks_3d=sum(d["trackgen"].num_tracks_3d for d in solver.domains),
+                segments_3d=sum(d["segments"].num_segments for d in solver.domains),
+            )
             comm_bytes = result.comm_bytes
             flux = result.scalar_flux
             rates = np.concatenate(
@@ -311,7 +407,7 @@ class AntMocApplication:
                 ]
             )
         else:
-            with self.timer.stage(StageName.TRACK_GENERATION.value):
+            with self.obs.stage(StageName.TRACK_GENERATION.value):
                 solver = MOCSolver.for_3d(
                     geometry3d,
                     num_azim=cfg.tracking.num_azim,
@@ -329,16 +425,28 @@ class AntMocApplication:
                     cache=cache,
                 )
                 self.pipeline.complete(StageName.TRACK_GENERATION, solver)
-            self._record_tracking_phases([solver.trackgen.timings])
-            with self.timer.stage(StageName.TRANSPORT_SOLVING.value):
+            self._record_tracking_phases(
+                [solver.trackgen.timings], cache_enabled=cache is not None
+            )
+            with self.obs.stage(StageName.TRANSPORT_SOLVING.value):
                 result = solver.solve()
                 self.pipeline.complete(StageName.TRANSPORT_SOLVING, result)
+            self._record_solve_phases(result)
+            self._count_workload(
+                result,
+                num_fsrs=geometry3d.num_fsrs,
+                num_domains=1,
+                tracks_2d=solver.trackgen.num_tracks,
+                segments_2d=solver.trackgen.num_segments,
+                tracks_3d=solver.trackgen.num_tracks_3d,
+                segments_3d=solver.storage_strategy.reference_segments().num_segments,
+            )
             flux = result.scalar_flux
             rates = solver.terms.fission_rate(flux, solver.volumes)
         fissile = rates > 0
         if fissile.any():
             rates = rates / rates[fissile].mean()
-        with self.timer.stage(StageName.OUTPUT_GENERATION.value):
+        with self.obs.stage(StageName.OUTPUT_GENERATION.value):
             outputs: dict[str, str] = {}
             if cfg.output.fission_rates_path:
                 write_fission_rates_csv(cfg.output.fission_rates_path, rates)
@@ -354,6 +462,9 @@ class AntMocApplication:
             pipeline=self.pipeline,
             decomposed=decomposed,
             comm_bytes=comm_bytes,
+            run_report=self.obs.build_report(
+                result.keff, result.converged, result.num_iterations
+            ),
         )
 
     def render_fission_map(self, result: AntMocRunResult, size: int = 48) -> str:

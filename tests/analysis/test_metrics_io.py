@@ -1,0 +1,87 @@
+"""Corpus tests for the metrics-IO checker (raw-metrics-dump)."""
+
+from repro.analysis.core import analyze_source
+
+
+def _rules(findings):
+    return [f.rule for f in findings]
+
+
+class TestRawMetricsDump:
+    def test_json_dumps_flagged_in_repro_module(self):
+        findings = analyze_source(
+            "import json\njson.dumps({'keff': 1.0})\n",
+            path="repro/solver/solver.py",
+            select=["metrics-io"],
+        )
+        assert _rules(findings) == ["raw-metrics-dump"]
+
+    def test_json_dump_flagged_in_benchmarks(self):
+        findings = analyze_source(
+            "import json\n"
+            "def save(record, fh):\n"
+            "    json.dump(record, fh)\n",
+            path="benchmarks/bench_thing.py",
+            select=["metrics-io"],
+        )
+        assert _rules(findings) == ["raw-metrics-dump"]
+
+    def test_aliased_import_resolved(self):
+        findings = analyze_source(
+            "from json import dumps\ndumps({'a': 1})\n",
+            path="repro/runtime/antmoc.py",
+            select=["metrics-io"],
+        )
+        assert _rules(findings) == ["raw-metrics-dump"]
+
+    def test_exporter_module_exempt(self):
+        findings = analyze_source(
+            "import json\njson.dumps({'a': 1})\n",
+            path="src/repro/observability/exporters.py",
+            select=["metrics-io"],
+        )
+        assert findings == []
+
+    def test_analysis_package_exempt(self):
+        findings = analyze_source(
+            "import json\njson.dumps([1, 2])\n",
+            path="src/repro/analysis/__main__.py",
+            select=["metrics-io"],
+        )
+        assert findings == []
+
+    def test_modules_outside_anchors_exempt(self):
+        findings = analyze_source(
+            "import json\njson.dumps({'a': 1})\n",
+            path="tests/test_helper.py",
+            select=["metrics-io"],
+        )
+        assert findings == []
+
+    def test_json_loads_not_flagged(self):
+        """The rule polices the write path; reads are parse_record's job
+        but plain ``json.loads`` is not a metrics *sink*."""
+        findings = analyze_source(
+            "import json\njson.loads('{}')\n",
+            path="repro/io/config.py",
+            select=["metrics-io"],
+        )
+        assert findings == []
+
+    def test_pragma_suppresses(self):
+        findings = analyze_source(
+            "import json\n"
+            "json.dumps({'a': 1})  # repro: ignore[raw-metrics-dump] — not metrics\n",
+            path="repro/solver/solver.py",
+            select=["metrics-io"],
+        )
+        assert findings == []
+
+    def test_exporter_helpers_pass(self):
+        findings = analyze_source(
+            "from repro.observability.exporters import dump_record\n"
+            "print(dump_record({'case': 'quick'}))\n",
+            path="benchmarks/bench_thing.py",
+            select=["metrics-io"],
+        )
+        assert findings == []

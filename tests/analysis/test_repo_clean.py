@@ -14,9 +14,16 @@ def test_src_tree_is_clean():
     assert findings == [], "\n".join(f.render() for f in findings)
 
 
+def test_benchmarks_tree_is_clean():
+    """Benchmarks write records through the exporters, so the metrics-io
+    rule (and everything else) holds there too."""
+    findings = analyze_paths([REPO / "benchmarks"])
+    assert findings == [], "\n".join(f.render() for f in findings)
+
+
 def test_cli_exits_zero_on_src():
     proc = subprocess.run(
-        [sys.executable, "-m", "repro.analysis", "src"],
+        [sys.executable, "-m", "repro.analysis", "src", "benchmarks"],
         cwd=REPO,
         capture_output=True,
         text=True,

@@ -18,6 +18,22 @@ from repro.materials import Material, c5g7_library
 from repro.tracks import TrackGenerator, TrackGenerator3D
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-goldens",
+        action="store_true",
+        default=False,
+        help="rewrite tests/goldens/*.json from the current solver output "
+        "instead of comparing against them",
+    )
+
+
+@pytest.fixture()
+def update_goldens(request):
+    """Whether this run should regenerate the golden records."""
+    return request.config.getoption("--update-goldens")
+
+
 @pytest.fixture(scope="session")
 def library():
     return c5g7_library()

@@ -1,0 +1,58 @@
+"""Unit tests for the typed counter set."""
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.observability import COUNTER_SCHEMA, CounterSet
+
+
+class TestCounterSet:
+    def test_add_and_read(self):
+        counters = CounterSet()
+        counters.add("tracks_2d", 10)
+        counters.add("tracks_2d", 5)
+        assert counters["tracks_2d"] == 15
+
+    def test_unrecorded_counter_reads_zero(self):
+        assert CounterSet()["fsr_count"] == 0
+
+    def test_unknown_name_rejected_on_add(self):
+        with pytest.raises(ObservabilityError, match="unknown counter"):
+            CounterSet().add("typo_counter", 1)
+
+    def test_unknown_name_rejected_on_read(self):
+        with pytest.raises(ObservabilityError, match="unknown counter"):
+            CounterSet()["typo_counter"]
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ObservabilityError, match=">= 0"):
+            CounterSet().add("tracks_2d", -1)
+
+    def test_to_dict_in_schema_order(self):
+        counters = CounterSet()
+        counters.add("fsr_count", 3)
+        counters.add("tracks_2d", 1)
+        schema_order = list(COUNTER_SCHEMA)
+        names = list(counters.to_dict())
+        assert names == sorted(names, key=schema_order.index)
+
+    def test_round_trip(self):
+        counters = CounterSet({"tracks_2d": 4, "halo_bytes": 100})
+        assert CounterSet.from_dict(counters.to_dict()) == counters
+
+    def test_merge_adds_elementwise(self):
+        a = CounterSet({"tracks_2d": 1, "halo_bytes": 10})
+        b = CounterSet({"tracks_2d": 2, "fsr_count": 7})
+        a.merge(b)
+        assert a.to_dict() == {"tracks_2d": 3, "halo_bytes": 10, "fsr_count": 7}
+
+    def test_contains_len_iter(self):
+        counters = CounterSet({"tracks_2d": 1})
+        assert "tracks_2d" in counters
+        assert "fsr_count" not in counters
+        assert len(counters) == 1
+        assert list(counters) == ["tracks_2d"]
+
+    def test_schema_names_are_documented(self):
+        for name, description in COUNTER_SCHEMA.items():
+            assert name and description

@@ -1,0 +1,125 @@
+"""Unit tests for report/record diffing and its significance policy."""
+
+import dataclasses
+
+import pytest
+
+from repro.observability.counters import CounterSet
+from repro.observability.diff import (
+    diff_records,
+    diff_reports,
+    format_diff,
+    has_significant,
+)
+from repro.observability.record import RunResults
+from tests.observability.test_record import make_report
+
+
+def perturbed(report, delta=1e-6):
+    return dataclasses.replace(
+        report,
+        results=RunResults(
+            keff=report.results.keff + delta,
+            converged=report.results.converged,
+            num_iterations=report.results.num_iterations,
+        ),
+    )
+
+
+class TestDiffReports:
+    def test_identical_reports_clean(self, manifest):
+        report = make_report(manifest)
+        entries = diff_reports(report, make_report(manifest))
+        assert entries == []
+        assert format_diff(entries) == "reports are identical\n"
+
+    def test_keff_perturbation_is_significant(self, manifest):
+        left = make_report(manifest)
+        entries = diff_reports(left, perturbed(left))
+        assert has_significant(entries)
+        assert any(e.path == "results.keff" and e.significant for e in entries)
+
+    def test_bitwise_mode_catches_one_ulp(self, manifest):
+        import math
+
+        left = make_report(manifest)
+        bumped = math.nextafter(left.results.keff, 2.0) - left.results.keff
+        right = perturbed(left, delta=bumped)
+        assert has_significant(diff_reports(left, right))
+
+    def test_tolerance_forgives_small_keff_drift(self, manifest):
+        left = make_report(manifest)
+        right = perturbed(left, delta=1e-9)
+        assert not has_significant(diff_reports(left, right, rtol=1e-6))
+        assert has_significant(diff_reports(left, right, rtol=1e-12, atol=1e-12))
+
+    def test_counter_difference_is_significant(self, manifest):
+        left = make_report(manifest)
+        right = make_report(manifest, counters=CounterSet({"fsr_count": 10}))
+        entries = diff_reports(left, right)
+        significant = {e.path for e in entries if e.significant}
+        assert "counters.fsr_count" in significant
+        assert "counters.tracks_2d" in significant
+
+    def test_timing_differences_are_informational(self, manifest):
+        left = make_report(manifest)
+        right = make_report(manifest, stages={"transport_solving": 99.0})
+        entries = diff_reports(left, right)
+        assert not has_significant(entries)
+        assert any(e.path.startswith("stages.") for e in entries)
+
+    def test_manifest_differences_are_informational(self, manifest):
+        other = dataclasses.replace(manifest, git_rev="other-rev")
+        entries = diff_reports(make_report(manifest), make_report(other))
+        assert not has_significant(entries)
+        assert any(e.path == "manifest.git_rev" for e in entries)
+
+    def test_significant_sorted_first(self, manifest):
+        left = make_report(manifest)
+        right = make_report(
+            dataclasses.replace(manifest, git_rev="other"),
+            counters=CounterSet({"fsr_count": 1}),
+        )
+        entries = diff_reports(left, right)
+        flags = [e.significant for e in entries]
+        assert flags == sorted(flags, reverse=True)
+
+
+class TestDiffRecords:
+    def test_equal_records_clean(self):
+        record = {"case": "quick", "ratios": {"speedup": 1.5}, "rows": [1, 2]}
+        assert diff_records(record, dict(record)) == []
+
+    def test_nested_value_difference(self):
+        left = {"ratios": {"speedup": 1.5}}
+        right = {"ratios": {"speedup": 2.0}}
+        entries = diff_records(left, right)
+        assert [e.path for e in entries] == ["ratios.speedup"]
+
+    def test_missing_key_reported(self):
+        entries = diff_records({"a": 1}, {})
+        assert entries[0].right == "<absent>"
+
+    def test_length_mismatch_reported(self):
+        entries = diff_records({"rows": [1]}, {"rows": [1, 2]})
+        assert entries[0].path.endswith("length")
+
+    def test_float_tolerance(self):
+        assert diff_records({"x": 1.0}, {"x": 1.0 + 1e-12}, rtol=1e-9) == []
+        assert diff_records({"x": 1.0}, {"x": 1.0 + 1e-12}) != []
+
+    def test_bool_not_coerced_to_number(self):
+        assert diff_records({"x": True}, {"x": 1}) != []
+
+
+class TestFormatDiff:
+    def test_blocks_and_markers(self, manifest):
+        left = make_report(manifest)
+        right = make_report(
+            dataclasses.replace(manifest, git_rev="other"),
+            counters=CounterSet({"fsr_count": 1}),
+        )
+        text = format_diff(diff_reports(left, right))
+        assert "significant difference(s):" in text
+        assert "informational difference(s):" in text
+        assert "! " in text and "~ " in text

@@ -1,0 +1,74 @@
+"""Unit tests for the Observation context (timer + spans + counters)."""
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.observability import Observation
+from repro.observability.observe import WORKERS_ROOT
+
+
+class TestStageLockStep:
+    def test_timer_row_equals_span_seconds_exactly(self, manifest):
+        obs = Observation(manifest=manifest)
+        with obs.stage("solve"):
+            pass
+        assert obs.timer.duration("solve") == obs.spans.find("solve").seconds
+
+    def test_reentry_accumulates_in_both_views(self, manifest):
+        obs = Observation(manifest=manifest)
+        with obs.stage("solve"):
+            pass
+        with obs.stage("solve"):
+            pass
+        assert len(obs.spans.roots) == 1
+        assert obs.timer.duration("solve") == obs.spans.find("solve").seconds
+
+    def test_record_lands_in_both_views(self, manifest):
+        obs = Observation(manifest=manifest)
+        obs.record("track_generation/trace2d", 1.25)
+        assert obs.timer.duration("track_generation/trace2d") == 1.25
+        assert obs.spans.find("track_generation/trace2d").seconds == 1.25
+
+
+class TestWorkers:
+    def test_worker_timings_grouped_under_workers_root(self, manifest):
+        obs = Observation(manifest=manifest)
+        obs.record_worker(0, {"worker_sweep": 1.0, "worker_exchange": 0.25})
+        obs.record_worker(1, {"worker_sweep": 2.0})
+        root = obs.spans.find(WORKERS_ROOT)
+        assert root.seconds is None  # container: other processes' clocks
+        assert obs.worker_span(0).child("worker_sweep").seconds == 1.0
+        assert obs.worker_span(1).child("worker_sweep").seconds == 2.0
+        assert obs.worker_span(2) is None
+
+
+class TestCountersAndReport:
+    def test_count_accumulates(self, manifest):
+        obs = Observation(manifest=manifest)
+        obs.count("tracks_2d", 10)
+        obs.count("tracks_2d", 5)
+        assert obs.counters["tracks_2d"] == 15
+
+    def test_build_report_without_manifest_rejected(self):
+        obs = Observation()
+        with pytest.raises(ObservabilityError, match="no manifest"):
+            obs.build_report(1.0, True, 3)
+
+    def test_build_report_validates_and_bundles(self, manifest):
+        obs = Observation(manifest=manifest)
+        with obs.stage("transport_solving"):
+            pass
+        obs.count("fsr_count", 9)
+        report = obs.build_report(1.18, True, 12)
+        assert report.results.num_iterations == 12
+        assert report.counters["fsr_count"] == 9
+        assert "transport_solving" in report.stages
+        assert report.manifest is manifest
+
+    def test_build_report_rejects_open_span(self, manifest):
+        obs = Observation(manifest=manifest)
+        ctx = obs.spans.span("open")
+        ctx.__enter__()
+        with pytest.raises(ObservabilityError, match="still open"):
+            obs.build_report(1.0, True, 1)
+        ctx.__exit__(None, None, None)

@@ -1,0 +1,150 @@
+"""Hypothesis properties for the observability invariants.
+
+* span forests built through the recorder are always well-formed (no
+  orphans, no duplicate siblings, children fit inside measured parents)
+  and their totals are additive under ``merge("sum")``;
+* counter merge is associative and commutative — the algebra the
+  per-worker report aggregation relies on.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.observability import COUNTER_SCHEMA, CounterSet, SpanRecorder
+
+# ---------------------------------------------------------------------------
+# Strategies.
+# ---------------------------------------------------------------------------
+
+counter_dicts = st.dictionaries(
+    st.sampled_from(sorted(COUNTER_SCHEMA)),
+    st.integers(min_value=0, max_value=10**12),
+    max_size=len(COUNTER_SCHEMA),
+)
+
+_names = st.sampled_from(["a", "b", "c", "d", "e"])
+_paths = st.lists(_names, min_size=1, max_size=3).map(tuple)
+_durations = st.floats(min_value=0.0, max_value=1e6, allow_nan=False)
+span_rows = st.lists(st.tuples(_paths, _durations), max_size=10)
+
+
+def _leaf_rows(rows):
+    """Keep rows whose paths never sit on another row's interior.
+
+    The recorder stores durations at leaves and creates containers for
+    interior components; a duration recorded at what is also an interior
+    node of another path could legitimately exceed it. Filtering to
+    prefix-free paths models how the application records phase rows.
+    """
+    kept: list[tuple[tuple[str, ...], float]] = []
+    for path, seconds in rows:
+        conflict = any(
+            path != other and (path[: len(other)] == other or other[: len(path)] == path)
+            for other, _ in kept
+        )
+        if not conflict:
+            kept.append((path, seconds))
+    return kept
+
+
+def _build(rows) -> SpanRecorder:
+    rec = SpanRecorder()
+    for path, seconds in rows:
+        rec.record("/".join(path), seconds)
+    return rec
+
+
+def _flat(rec: SpanRecorder) -> dict[str, float]:
+    return {
+        row["path"]: row["seconds"]
+        for row in rec.to_rows()
+        if row["seconds"] is not None
+    }
+
+
+# ---------------------------------------------------------------------------
+# Span properties.
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=200)
+@given(rows=span_rows)
+def test_recorded_forests_are_well_formed(rows):
+    rec = _build(_leaf_rows(rows))
+    rec.validate()  # no orphans, no duplicate siblings, children fit
+
+
+@settings(max_examples=200)
+@given(rows=span_rows)
+def test_totals_additive_over_recorded_durations(rows):
+    kept = _leaf_rows(rows)
+    rec = _build(kept)
+    assert math.isclose(
+        rec.total(), sum(seconds for _, seconds in kept), rel_tol=1e-9, abs_tol=1e-6
+    )
+
+
+@settings(max_examples=100)
+@given(rows_a=span_rows, rows_b=span_rows)
+def test_span_merge_sum_additive_and_commutative(rows_a, rows_b):
+    kept_a, kept_b = _leaf_rows(rows_a), _leaf_rows(rows_b)
+    ab = _flat(_build(kept_a).merge(_build(kept_b)))
+    ba = _flat(_build(kept_b).merge(_build(kept_a)))
+    assert set(ab) == set(ba)
+    for path in ab:
+        assert math.isclose(ab[path], ba[path], rel_tol=1e-9, abs_tol=1e-9)
+    # Additive: each path carries the sum of both sides' contributions.
+    solo_a, solo_b = _flat(_build(kept_a)), _flat(_build(kept_b))
+    for path in ab:
+        expected = solo_a.get(path, 0.0) + solo_b.get(path, 0.0)
+        assert math.isclose(ab[path], expected, rel_tol=1e-9, abs_tol=1e-9)
+
+
+@settings(max_examples=100)
+@given(rows_a=span_rows, rows_b=span_rows, rows_c=span_rows)
+def test_span_merge_sum_associative(rows_a, rows_b, rows_c):
+    builds = [_leaf_rows(r) for r in (rows_a, rows_b, rows_c)]
+    left = _flat(
+        _build(builds[0]).merge(_build(builds[1])).merge(_build(builds[2]))
+    )
+    right = _flat(
+        _build(builds[0]).merge(_build(builds[1]).merge(_build(builds[2])))
+    )
+    assert set(left) == set(right)
+    for path in left:
+        assert math.isclose(left[path], right[path], rel_tol=1e-9, abs_tol=1e-9)
+
+
+# ---------------------------------------------------------------------------
+# Counter properties.
+# ---------------------------------------------------------------------------
+
+@given(a=counter_dicts, b=counter_dicts)
+def test_counter_merge_commutative(a, b):
+    ab = CounterSet(a).merge(CounterSet(b))
+    ba = CounterSet(b).merge(CounterSet(a))
+    assert ab == ba
+
+
+@given(a=counter_dicts, b=counter_dicts, c=counter_dicts)
+def test_counter_merge_associative(a, b, c):
+    left = CounterSet(a).merge(CounterSet(b)).merge(CounterSet(c))
+    right = CounterSet(a).merge(CounterSet(b).merge(CounterSet(c)))
+    assert left == right
+
+
+@given(a=counter_dicts)
+def test_counter_merge_identity(a):
+    assert CounterSet(a).merge(CounterSet()) == CounterSet(a)
+
+
+@given(a=counter_dicts, b=counter_dicts)
+def test_counter_merge_matches_elementwise_sum(a, b):
+    merged = CounterSet(a).merge(CounterSet(b)).to_dict()
+    for name in set(a) | set(b):
+        expected = a.get(name, 0) + b.get(name, 0)
+        if expected:
+            assert merged[name] == expected

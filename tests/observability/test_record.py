@@ -1,0 +1,83 @@
+"""Unit tests for the schema-versioned run report record."""
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.observability import RunReport, SCHEMA_VERSION, Span
+from repro.observability.counters import CounterSet
+from repro.observability.record import REPORT_KIND, RunResults
+
+
+def make_report(manifest, **overrides):
+    kwargs = dict(
+        manifest=manifest,
+        results=RunResults(keff=1.1803398875, converged=True, num_iterations=12),
+        counters=CounterSet({"fsr_count": 9, "tracks_2d": 40}),
+        stages={"transport_solving": 0.25, "track_generation": 0.1},
+        spans=[Span("transport_solving", 0.25)],
+    )
+    kwargs.update(overrides)
+    return RunReport(**kwargs)
+
+
+class TestRunResults:
+    def test_hex_round_trip_is_bitwise(self):
+        results = RunResults(keff=1.0 / 3.0, converged=False, num_iterations=7)
+        rebuilt = RunResults.from_dict(results.to_dict())
+        assert rebuilt.keff.hex() == results.keff.hex()
+        assert rebuilt == results
+
+    def test_hex_preferred_over_decimal(self):
+        payload = {
+            "keff": 999.0,  # stale decimal spelling
+            "keff_hex": (1.25).hex(),
+            "converged": True,
+            "num_iterations": 1,
+        }
+        assert RunResults.from_dict(payload).keff == 1.25
+
+    def test_malformed_rejected(self):
+        with pytest.raises(ObservabilityError, match="malformed results"):
+            RunResults.from_dict({"keff": 1.0})
+
+
+class TestRunReport:
+    def test_round_trip(self, manifest):
+        report = make_report(manifest)
+        rebuilt = RunReport.from_dict(report.to_dict())
+        assert rebuilt.results == report.results
+        assert rebuilt.counters == report.counters
+        assert rebuilt.stages == report.stages
+        assert rebuilt.spans == report.spans
+        assert rebuilt.manifest == report.manifest
+
+    def test_to_dict_carries_kind_and_version(self, manifest):
+        payload = make_report(manifest).to_dict()
+        assert payload["kind"] == REPORT_KIND
+        assert payload["schema_version"] == SCHEMA_VERSION
+
+    def test_wrong_kind_rejected(self, manifest):
+        payload = make_report(manifest).to_dict()
+        payload["kind"] = "something-else"
+        with pytest.raises(ObservabilityError, match="not a run report"):
+            RunReport.from_dict(payload)
+
+    def test_wrong_version_rejected(self, manifest):
+        payload = make_report(manifest).to_dict()
+        payload["schema_version"] = SCHEMA_VERSION + 1
+        with pytest.raises(ObservabilityError, match="schema version"):
+            RunReport.from_dict(payload)
+
+    def test_negative_stage_rejected(self, manifest):
+        report = make_report(manifest, stages={"solve": -1.0})
+        with pytest.raises(ObservabilityError, match="negative stage"):
+            report.validate()
+
+    def test_malformed_span_forest_rejected(self, manifest):
+        report = make_report(manifest, spans=[Span("a", 1.0), Span("a", 1.0)])
+        with pytest.raises(ObservabilityError, match="duplicate root"):
+            report.validate()
+
+    def test_non_mapping_rejected(self):
+        with pytest.raises(ObservabilityError, match="must be a mapping"):
+            RunReport.from_dict([1, 2, 3])

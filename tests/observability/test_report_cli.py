@@ -1,0 +1,106 @@
+"""``python -m repro.report`` CLI: show, diff, exit codes.
+
+Exit-code contract: 0 = identical or informational-only differences,
+1 = significant differences, 2 = an ObservabilityError (unreadable or
+malformed input).
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.observability.exporters import write_record, write_report
+from repro.report import main
+from tests.observability.test_record import make_report
+
+
+@pytest.fixture()
+def report(manifest):
+    return make_report(manifest)
+
+
+def write_json(report, tmp_path, stem):
+    return write_report(report, "json", default_dir=tmp_path, stem=stem)
+
+
+class TestShow:
+    def test_show_renders_text_table(self, report, tmp_path, capsys):
+        path = write_json(report, tmp_path, "run")
+        assert main(["show", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "k-eff" in out
+        assert "transport_solving" in out
+
+    def test_show_reads_jsonl(self, report, tmp_path, capsys):
+        path = write_report(report, "jsonl", default_dir=tmp_path, stem="run")
+        assert main(["show", str(path)]) == 0
+        assert "k-eff" in capsys.readouterr().out
+
+    def test_show_missing_file_exits_2(self, tmp_path, capsys):
+        assert main(["show", str(tmp_path / "nope.json")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestDiffReports:
+    def test_identical_reports_exit_0(self, report, tmp_path, capsys):
+        a = write_json(report, tmp_path, "a")
+        b = write_json(report, tmp_path, "b")
+        assert main(["diff", str(a), str(b)]) == 0
+        assert "reports are identical" in capsys.readouterr().out
+
+    def test_perturbed_keff_exits_1(self, report, tmp_path, capsys):
+        results = dataclasses.replace(report.results, keff=report.results.keff + 1e-6)
+        other = dataclasses.replace(report, results=results)
+        a = write_json(report, tmp_path, "a")
+        b = write_json(other, tmp_path, "b")
+        assert main(["diff", str(a), str(b)]) == 1
+        out = capsys.readouterr().out
+        assert "significant" in out
+        assert "results.keff" in out
+
+    def test_tolerance_forgives_small_drift(self, report, tmp_path):
+        results = dataclasses.replace(report.results, keff=report.results.keff + 1e-12)
+        other = dataclasses.replace(report, results=results)
+        a = write_json(report, tmp_path, "a")
+        b = write_json(other, tmp_path, "b")
+        assert main(["diff", str(a), str(b)]) == 1  # bitwise by default
+        assert main(["diff", "--rtol", "1e-9", str(a), str(b)]) == 0
+
+    def test_timing_only_differences_exit_0(self, report, tmp_path, capsys):
+        other = dataclasses.replace(
+            report, stages={**report.stages, "transport_solving": 0.5}
+        )
+        a = write_json(report, tmp_path, "a")
+        b = write_json(other, tmp_path, "b")
+        assert main(["diff", str(a), str(b)]) == 0
+        assert "informational" in capsys.readouterr().out
+
+
+class TestDiffRecords:
+    def test_plain_records_diffed_structurally(self, tmp_path, capsys):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        write_record(a, {"case": "x", "keff": 1.0})
+        write_record(b, {"case": "x", "keff": 2.0})
+        assert main(["diff", str(a), str(b)]) == 1
+        assert "keff" in capsys.readouterr().out
+
+    def test_identical_records_exit_0(self, tmp_path):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        write_record(a, {"case": "x", "n": 3})
+        write_record(b, {"case": "x", "n": 3})
+        assert main(["diff", str(a), str(b)]) == 0
+
+    def test_record_tolerance_flag(self, tmp_path):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        write_record(a, {"t": 1.0})
+        write_record(b, {"t": 1.0 + 1e-12})
+        assert main(["diff", str(a), str(b)]) == 1
+        assert main(["diff", "--atol", "1e-9", str(a), str(b)]) == 0
+
+    def test_unreadable_record_exits_2(self, tmp_path, capsys):
+        a = tmp_path / "a.json"
+        a.write_text("{not json")
+        b = tmp_path / "b.json"
+        write_record(b, {"n": 1})
+        assert main(["diff", str(a), str(b)]) == 2
+        assert "error:" in capsys.readouterr().err

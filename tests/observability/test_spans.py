@@ -1,0 +1,157 @@
+"""Unit tests for spans: recorder semantics, validation, merge."""
+
+import time
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.observability import Span, SpanRecorder, validate_span_tree
+
+
+class TestSpanBasics:
+    def test_duration_measured(self):
+        span = Span("a", seconds=1.5)
+        assert span.duration() == 1.5
+
+    def test_container_duration_is_child_sum(self):
+        span = Span("a", children=[Span("b", 1.0), Span("c", 2.0)])
+        assert span.seconds is None
+        assert span.duration() == 3.0
+
+    def test_round_trip(self):
+        span = Span("a", seconds=1.0, children=[Span("b", 0.5)])
+        rebuilt = Span.from_dict(span.to_dict())
+        assert rebuilt == span
+
+    def test_from_dict_rejects_nameless(self):
+        with pytest.raises(ObservabilityError, match="without a name"):
+            Span.from_dict({"seconds": 1.0})
+
+    def test_child_lookup(self):
+        span = Span("a", children=[Span("b", 0.5)])
+        assert span.child("b").seconds == 0.5
+        assert span.child("missing") is None
+
+
+class TestValidateSpanTree:
+    def test_valid_forest_passes(self):
+        validate_span_tree([
+            Span("a", 2.0, children=[Span("b", 0.5), Span("c", 1.0)]),
+            Span("d", 1.0),
+        ])
+
+    def test_duplicate_roots_rejected(self):
+        with pytest.raises(ObservabilityError, match="duplicate root"):
+            validate_span_tree([Span("a", 1.0), Span("a", 2.0)])
+
+    def test_duplicate_children_rejected(self):
+        with pytest.raises(ObservabilityError, match="duplicate child"):
+            validate_span_tree([Span("a", children=[Span("b", 1.0), Span("b", 1.0)])])
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ObservabilityError, match="negative"):
+            validate_span_tree([Span("a", -0.1)])
+
+    def test_slash_in_name_rejected(self):
+        with pytest.raises(ObservabilityError, match="invalid span name"):
+            validate_span_tree([Span("a/b", 1.0)])
+
+    def test_children_exceeding_measured_parent_rejected(self):
+        with pytest.raises(ObservabilityError, match="exceeding"):
+            validate_span_tree([Span("a", 1.0, children=[Span("b", 2.0)])])
+
+    def test_container_parent_exempt_from_fit(self):
+        validate_span_tree([Span("a", None, children=[Span("b", 1e9)])])
+
+
+class TestSpanRecorder:
+    def test_nested_spans_build_tree(self):
+        rec = SpanRecorder()
+        with rec.span("outer"):
+            with rec.span("inner"):
+                time.sleep(0.001)
+        rec.validate()
+        outer = rec.find("outer")
+        assert outer.seconds >= outer.child("inner").seconds > 0.0
+
+    def test_reentry_accumulates_no_duplicate_sibling(self):
+        rec = SpanRecorder()
+        with rec.span("s"):
+            pass
+        with rec.span("s"):
+            pass
+        assert len(rec.roots) == 1
+        rec.validate()
+
+    def test_record_creates_containers(self):
+        rec = SpanRecorder()
+        rec.record("a/b/c", 1.0)
+        assert rec.find("a").seconds is None
+        assert rec.find("a/b").seconds is None
+        assert rec.find("a/b/c").seconds == 1.0
+        assert rec.total() == 1.0
+
+    def test_record_accumulates_at_leaf(self):
+        rec = SpanRecorder()
+        rec.record("a/b", 1.0)
+        rec.record("a/b", 0.5)
+        assert rec.find("a/b").seconds == 1.5
+
+    def test_record_negative_rejected(self):
+        with pytest.raises(ObservabilityError, match="negative"):
+            SpanRecorder().record("a", -1.0)
+
+    def test_record_empty_path_rejected(self):
+        with pytest.raises(ObservabilityError, match="empty span path"):
+            SpanRecorder().record("//", 1.0)
+
+    def test_validate_rejects_open_span(self):
+        rec = SpanRecorder()
+        ctx = rec.span("open")
+        ctx.__enter__()
+        with pytest.raises(ObservabilityError, match="still open"):
+            rec.validate()
+        ctx.__exit__(None, None, None)
+        rec.validate()
+
+    def test_to_rows_depth_first(self):
+        rec = SpanRecorder()
+        rec.record("a/b", 1.0)
+        rec.record("c", 2.0)
+        assert [row["path"] for row in rec.to_rows()] == ["a", "a/b", "c"]
+
+    def test_dicts_round_trip(self):
+        rec = SpanRecorder()
+        rec.record("a/b", 1.0)
+        rebuilt = SpanRecorder.from_dicts(rec.to_dicts())
+        assert rebuilt.to_rows() == rec.to_rows()
+
+
+class TestMerge:
+    def _flat(self, rec):
+        return {row["path"]: row["seconds"] for row in rec.to_rows()}
+
+    def test_sum_accumulates_by_path(self):
+        a, b = SpanRecorder(), SpanRecorder()
+        a.record("x/y", 1.0)
+        b.record("x/y", 2.0)
+        b.record("x/z", 4.0)
+        merged = self._flat(a.merge(b))
+        assert merged["x/y"] == 3.0
+        assert merged["x/z"] == 4.0
+
+    def test_max_keeps_critical_path(self):
+        a, b = SpanRecorder(), SpanRecorder()
+        a.record("x", 1.0)
+        b.record("x", 5.0)
+        assert self._flat(a.merge(b, mode="max"))["x"] == 5.0
+
+    def test_containers_stay_containers(self):
+        a, b = SpanRecorder(), SpanRecorder()
+        a.record("x/y", 1.0)
+        b.record("x/y", 1.0)
+        assert a.merge(b).find("x").seconds is None
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ObservabilityError, match="merge mode"):
+            SpanRecorder().merge(SpanRecorder(), mode="mean")

@@ -41,8 +41,16 @@ class TestSingleDomainRun:
         assert top_level == {s.value for s in StageName}
         assert timings["transport_solving"] > 0
         breakdowns = {name for name in timings if "/" in name}
-        assert breakdowns, "tracking phase rows missing"
-        assert all(name.startswith("track_generation/") for name in breakdowns)
+        assert any(name.startswith("track_generation/") for name in breakdowns), (
+            "tracking phase rows missing"
+        )
+        assert any(name.startswith("transport_solving/") for name in breakdowns), (
+            "solver phase rows missing"
+        )
+        assert all(
+            name.startswith(("track_generation/", "transport_solving/"))
+            for name in breakdowns
+        )
 
     def test_fission_rates_normalised(self, result_app):
         result, _ = result_app
