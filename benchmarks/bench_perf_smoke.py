@@ -91,7 +91,7 @@ def test_engine_quick_ratio_holds():
     cpus = os.cpu_count() or 1
     if cpus < 2:
         pytest.skip(f"{cpus} cpu(s): mp scaling ratios are not meaningful")
-    for key in ("speedup_2w", "speedup_4w"):
+    for key in ("speedup_2w", "speedup_4w", "async_speedup_2w", "async_speedup_4w"):
         _check(f"engine {key}", record["ratios"][key], baseline["ratios"][key])
 
 

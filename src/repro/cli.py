@@ -76,6 +76,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="Worker processes for the mp engine (default: one per subdomain).",
     )
     parser.add_argument(
+        "--engine-timeout",
+        type=float,
+        metavar="SECONDS",
+        help="Engine wait timeout (barrier phases, mailbox waits), overriding "
+        "the config's decomposition.timeout and $REPRO_ENGINE_TIMEOUT.",
+    )
+    parser.add_argument(
         "--tracking-cache",
         nargs="?",
         const="",
@@ -101,14 +108,17 @@ def main(argv: list[str] | None = None) -> int:
                 config,
                 tracking=dataclasses.replace(config.tracking, tracer=args.tracer),
             )
-        if args.engine or args.workers is not None:
+        if args.engine or args.workers is not None or args.engine_timeout is not None:
             decomposition = dataclasses.replace(
                 config.decomposition,
                 engine=args.engine or config.decomposition.engine,
                 workers=args.workers if args.workers is not None
                 else config.decomposition.workers,
+                timeout=args.engine_timeout if args.engine_timeout is not None
+                else config.decomposition.timeout,
             )
             config = dataclasses.replace(config, decomposition=decomposition)
+            config.decomposition.validate()
         if args.tracking_cache is not None:
             config = dataclasses.replace(
                 config,

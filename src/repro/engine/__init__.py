@@ -6,17 +6,31 @@ The communicator/engine layer behind the decomposed drivers
 * ``inproc`` — the deterministic in-process simulator over
   :class:`~repro.parallel.comm.SimComm`, kept as the equivalence oracle;
 * ``mp`` — real OS worker processes sweeping subdomains in parallel,
-  with the halo and the global flux in shared-memory SoA buffers.
+  with the halo and the global flux in shared-memory SoA buffers;
+* ``mp-async`` — the same worker pool under per-edge epoch-tagged halo
+  mailboxes (dependency-driven, no global barriers).
 
-Both engines execute the same ``Route``/``InterfaceExchange`` tables and
+All engines execute the same ``Route``/``InterfaceExchange`` tables and
 produce identical results and :class:`~repro.parallel.comm.CommStats`
-traffic, so every accounting test runs unchanged against either.
+traffic, so every accounting test runs unchanged against any of them.
 """
 
-from repro.engine.base import EngineResult, ExecutionEngine
+from repro.engine.async_mp import AsyncMpEngine
+from repro.engine.base import (
+    ENGINE_TIMEOUT_ENV_VAR,
+    EngineResult,
+    ExecutionEngine,
+    resolve_engine_timeout,
+)
 from repro.engine.inproc import InprocEngine
 from repro.engine.mp import MpCommunicator, MpEngine
-from repro.engine.problem import DecomposedProblem, Problem2D, Problem3D, RoutePack
+from repro.engine.problem import (
+    DecomposedProblem,
+    EdgePack,
+    Problem2D,
+    Problem3D,
+    RoutePack,
+)
 from repro.engine.registry import (
     DEFAULT_ENGINE,
     ENGINE_ENV_VAR,
@@ -26,6 +40,7 @@ from repro.engine.registry import (
 )
 from repro.engine.sanitize import (
     FaultSpec,
+    SanitizedAsyncMpEngine,
     SanitizedMpEngine,
     SanitizerReport,
     analyze_events,
@@ -35,7 +50,10 @@ from repro.engine.shm import ShmArena
 __all__ = [
     "DEFAULT_ENGINE",
     "ENGINE_ENV_VAR",
+    "ENGINE_TIMEOUT_ENV_VAR",
+    "AsyncMpEngine",
     "DecomposedProblem",
+    "EdgePack",
     "EngineResult",
     "ExecutionEngine",
     "FaultSpec",
@@ -45,6 +63,7 @@ __all__ = [
     "Problem2D",
     "Problem3D",
     "RoutePack",
+    "SanitizedAsyncMpEngine",
     "SanitizedMpEngine",
     "SanitizerReport",
     "ShmArena",
@@ -52,4 +71,5 @@ __all__ = [
     "engine_names",
     "register_engine",
     "resolve_engine",
+    "resolve_engine_timeout",
 ]

@@ -1,0 +1,367 @@
+"""Dependency-driven async multiprocess engine: ``--engine=mp-async``.
+
+The Buffered Synchronous scheme (:mod:`repro.engine.mp`) runs two global
+``Barrier(W+1)`` phases per iteration, so every worker serializes on the
+slowest one twice per epoch and the parent performs the whole production
+reduction, flux normalisation and fission tally serially while the pool
+idles. This engine replaces both barriers with per-neighbour dependency
+tracking, the host-side analogue of the paper's communication/compute
+overlap on multi-GPU nodes:
+
+* **per-edge mailboxes** — the halo is double-buffered per directed
+  domain-to-domain edge (:class:`~repro.engine.problem.EdgePack`); the
+  producer packs an edge's slots the moment the source domain's sweep
+  block completes, then publishes a monotonic epoch sequence number
+  (seqlock-style: payload first, counter second, so a counter that reads
+  ``>= t`` guarantees iteration ``t-1``'s payload is fully visible);
+* **lazy unpack** — a consumer waits only for the epoch counters of the
+  edges entering the domain it is about to sweep, unpacking on first
+  read; workers never wait on non-neighbours, and a worker whose inputs
+  are already published starts its next sweep immediately;
+* **grant/harvest eigenvalue loop** — the parent never touches the flux:
+  workers normalise their own blocks and tally their own fission source
+  and production, the parent only sums the per-domain productions in rank
+  order (keeping k-eff bitwise equal to ``inproc``) and publishes a
+  *grant* word ``(keff, norm, stop-mode, epoch)`` that releases the next
+  iteration. Convergence is checked one grant behind the workers, so the
+  check overlaps the next sweep; on early convergence exactly one
+  speculative sweep is discarded (it writes only ``phi_new``, ``halo``
+  and ``prod`` — never the published flux — and is never accounted).
+
+Double-buffer safety: a worker needs grant ``t+1`` to start iteration
+``t+1``, and the parent issues that grant only after *every* worker
+finished iteration ``t`` — so a producer can never rewrite the halo
+parity a lagging consumer still has to read. Results stay bitwise equal
+to ``inproc``/``mp``: identical float op order, identical route tables,
+identical traffic accounting.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+import traceback
+
+import numpy as np
+
+from repro.engine.mp import (
+    WORKER_ERRORS,
+    MpEngine,
+    _fmt_bytes,
+    _maybe_pin_worker,
+)
+from repro.engine.problem import DecomposedProblem, EdgePack
+from repro.engine.base import EngineResult
+from repro.engine.shm import ShmArena
+from repro.errors import CommunicationError, SolverError
+from repro.io.logging_utils import StageTimer, get_logger
+from repro.solver.convergence import ConvergenceMonitor
+
+#: Grant-word slots (float64): epoch counter, eigenvalue, normalisation,
+#: stop mode. The parent writes the payload slots first and the epoch
+#: last; workers read the payload only after observing the epoch.
+_EPOCH, _KEFF, _PNORM, _STOP = 0, 1, 2, 3
+
+#: Stop modes carried in the grant word.
+RUN, FINAL, HALT = 0, 1, 2
+
+#: Poll backoff for mailbox/grant waits: start near-spinning, back off
+#: exponentially to 1 ms so oversubscribed boxes (more workers than
+#: cores) don't starve the producers they are waiting on.
+_POLL_MIN, _POLL_MAX = 1e-5, 1e-3
+
+
+def _wait_value(array, index, threshold, timeout, desc):
+    """Poll ``array[index] >= threshold``; True if it blocked at all."""
+    if array[index] >= threshold:
+        return False
+    deadline = time.monotonic() + timeout
+    delay = _POLL_MIN
+    while array[index] < threshold:
+        if time.monotonic() > deadline:
+            raise CommunicationError(
+                f"timed out after {timeout}s waiting for {desc}"
+            )
+        time.sleep(delay)
+        delay = min(delay * 2.0, _POLL_MAX)
+    return True
+
+
+def _async_worker_loop(problem, pack, wid, owned, fields, queue, timeout, pin):
+    """Worker body: grant-gated sweeps with per-edge mailbox waits.
+
+    Local iteration ``t`` consumes grant ``t+1``, normalises the previous
+    sweep (publishing ``fission_seq``), then per owned domain waits for
+    that domain's in-edges to reach epoch ``t``, unpacks them from the
+    ``(t-1) % 2`` halo parity, sweeps, packs its out-edges into parity
+    ``t % 2`` and publishes their counters, and finally publishes its own
+    ``worker_seq``. The stop mode is checked *before* the normalise
+    (``HALT``: a speculative iteration whose results must not clobber the
+    converged flux) and after it (``FINAL``: normalise-only last grant).
+    """
+    timer = StageTimer()
+    halo = fields["halo"]
+    phi, phi_new = fields["phi"], fields["phi_new"]
+    fission, prod = fields["fission"], fields["prod"]
+    edge_seq, grant = fields["edge_seq"], fields["grant"]
+    worker_seq, fission_seq = fields["worker_seq"], fields["fission_seq"]
+    stalls = 0
+    overlapped = 0
+    try:
+        _maybe_pin_worker(wid, pin)
+        t = 0
+        while True:
+            with timer.stage("worker_grant_wait"):
+                _wait_value(grant, _EPOCH, t + 1, timeout, f"grant {t + 1}")
+            mode = int(grant[_STOP])
+            keff = float(grant[_KEFF])
+            pnorm = float(grant[_PNORM])
+            if mode == HALT:
+                break
+            if t > 0:
+                with timer.stage("worker_normalize"):
+                    for d in owned:
+                        block = problem.block(d, phi)
+                        np.divide(problem.block(d, phi_new), pnorm, out=block)
+                        problem.block(d, fission)[:] = problem.fission_source(
+                            d, block
+                        )
+                fission_seq[wid] = t
+            if mode == FINAL:
+                break
+            iteration_stalled = False
+            for d in owned:
+                if t > 0:
+                    for e in pack.in_edges(d):
+                        if edge_seq[e] < t:
+                            with timer.stage("worker_halo_wait"):
+                                _wait_value(
+                                    edge_seq, e, t, timeout,
+                                    f"edge {pack.edge_pairs[e]} epoch {t}",
+                                )
+                            stalls += 1
+                            iteration_stalled = True
+                        with timer.stage("worker_exchange"):
+                            tracks, dirs = pack.edge_target(e)
+                            problem.sweeper(d).psi_in[tracks, dirs] = halo[
+                                (t - 1) % 2, pack.edge_routes(e)
+                            ]
+                with timer.stage("worker_sweep"):
+                    problem.block(d, phi_new)[:] = problem.sweep_domain(
+                        d, problem.block(d, phi), keff
+                    )
+                    for e in pack.out_edges(d):
+                        tracks, dirs = pack.edge_source(e)
+                        halo[t % 2, pack.edge_routes(e)] = problem.sweeper(
+                            d
+                        ).psi_out_last[tracks, dirs]
+                        edge_seq[e] = t + 1  # publish after the payload
+            with timer.stage("worker_sweep"):
+                for d in owned:
+                    prod[d] = problem.production(d, problem.block(d, phi_new))
+            if t > 0 and not iteration_stalled:
+                overlapped += 1
+            worker_seq[wid] = t + 1
+            t += 1
+        queue.put(
+            (
+                "commx",
+                wid,
+                {
+                    "halo_wait_ns": int(
+                        round(timer.duration("worker_halo_wait") * 1e9)
+                    ),
+                    "neighbor_stalls": stalls,
+                    "epochs_overlapped": overlapped,
+                },
+            )
+        )
+        queue.put(("timers", wid, timer.as_dict()))
+    except WORKER_ERRORS as exc:
+        get_logger("repro.engine.async_mp").error(
+            "async worker %d failed: %s", wid, exc
+        )
+        queue.put(("error", wid, traceback.format_exc()))
+        raise SystemExit(1)
+
+
+class AsyncMpEngine(MpEngine):
+    """Mailbox/epoch multiprocess engine (dependency-driven halo exchange).
+
+    Inherits the worker-pool mechanics of :class:`MpEngine` (fork checks,
+    worker resolution, payload collection, failure surfacing, the
+    sanitizer subclass hooks) and replaces the barrier-phased ``solve``
+    with the grant/harvest protocol described in the module docstring.
+    """
+
+    name = "mp-async"
+
+    #: Each worker enqueues ("commx", ...) then ("timers", ...).
+    _messages_per_worker = 2
+
+    def _worker_target(self):
+        return _async_worker_loop
+
+    def _result_extras(self, payloads: dict[str, dict[int, object]]) -> dict:
+        totals = {"halo_wait_ns": 0, "neighbor_stalls": 0, "epochs_overlapped": 0}
+        for counters in payloads.get("commx", {}).values():
+            for name in totals:
+                totals[name] += int(counters[name])  # type: ignore[index]
+        return {"comm_counters": totals}
+
+    def _parent_wait_all(self, array, threshold: int, queue, procs,
+                         desc: str) -> None:
+        """Poll ``all(array >= threshold)``; a dead worker fails fast."""
+        if np.all(array >= threshold):
+            return
+        deadline = time.monotonic() + self.timeout
+        delay = _POLL_MIN
+        while not np.all(array >= threshold):
+            if time.monotonic() > deadline:
+                raise SolverError(
+                    f"{self.name} engine timed out after {self.timeout}s "
+                    f"waiting for {desc}"
+                )
+            if any((not p.is_alive()) and p.exitcode for p in procs):
+                self._raise_worker_failure(queue, procs)
+            time.sleep(delay)
+            delay = min(delay * 2.0, _POLL_MAX)
+
+    def solve(self, problem: DecomposedProblem, comm) -> EngineResult:
+        ctx_methods = multiprocessing.get_all_start_methods()
+        if "fork" not in ctx_methods:
+            raise SolverError(
+                "the mp-async engine needs the 'fork' start method (workers "
+                "inherit tracking products and sweep plans); platform offers "
+                f"{ctx_methods}"
+            )
+        ctx = multiprocessing.get_context("fork")
+        timer = StageTimer()
+        D = problem.num_domains
+        W = self.resolve_workers(D)
+        self._prepare_solve(problem, W)
+        pack = EdgePack(problem)
+        slot = pack.slot_shape if pack.num_routes else problem.slot_shape
+        arena = ShmArena(
+            {
+                "phi": (problem.num_fsrs_total, problem.num_groups),
+                "phi_new": (problem.num_fsrs_total, problem.num_groups),
+                "halo": (2, max(pack.num_routes, 1)) + tuple(slot),
+                "fission": (problem.num_fsrs_total,),
+                "prod": (D,),
+                "edge_seq": (max(pack.num_edges, 1),),
+                "worker_seq": (W,),
+                "fission_seq": (W,),
+                "grant": (4,),
+            }
+        )
+        phi, phi_new = arena["phi"], arena["phi_new"]
+        fission, prod = arena["fission"], arena["prod"]
+        worker_seq, fission_seq = arena["worker_seq"], arena["fission_seq"]
+        grant = arena["grant"]
+        fields = {
+            "phi": phi,
+            "phi_new": phi_new,
+            "halo": arena["halo"],
+            "fission": fission,
+            "prod": prod,
+            "edge_seq": arena["edge_seq"],
+            "worker_seq": worker_seq,
+            "fission_seq": fission_seq,
+            "grant": grant,
+        }
+        queue = ctx.SimpleQueue()
+        owned = [[d for d in range(D) if d % W == w] for w in range(W)]
+        procs = [
+            ctx.Process(
+                target=self._worker_target(),
+                args=(problem, pack, w, owned[w], fields, queue, self.timeout,
+                      self.pin_workers)
+                + self._worker_extra_args(w),
+                daemon=True,
+                name=f"repro-{self.name}-worker-{w}",
+            )
+            for w in range(W)
+        ]
+
+        def issue(epoch: int, keff: float, pnorm: float, mode: int) -> None:
+            # Seqlock publish: payload slots first, epoch counter last.
+            grant[_KEFF] = keff
+            grant[_PNORM] = pnorm
+            grant[_STOP] = float(mode)
+            grant[_EPOCH] = float(epoch)
+
+        self._logger.info(
+            "%s engine: %d domains over %d workers, %d edges (%s shared)",
+            self.name, D, W, pack.num_edges, _fmt_bytes(arena.nbytes),
+        )
+        try:
+            with timer.stage("engine_solve"):
+                for proc in procs:
+                    proc.start()
+                phi.fill(1.0)
+                production = self._allreduce(problem, comm, phi)
+                if production <= 0.0:
+                    raise SolverError("initial flux produces no fission neutrons")
+                phi /= production
+                keff = 1.0
+                monitor = ConvergenceMonitor(
+                    keff_tolerance=problem.keff_tolerance,
+                    source_tolerance=problem.source_tolerance,
+                )
+                issue(1, keff, 1.0, RUN)
+                for t in range(problem.max_iterations):
+                    self._parent_wait_all(
+                        worker_seq, t + 1, queue, procs,
+                        f"sweeps of iteration {t}",
+                    )
+                    new_production = sum(float(prod[d]) for d in range(D))
+                    comm.allreduce_account()
+                    pack.account_iteration(comm.stats)
+                    if new_production <= 0.0:
+                        raise SolverError("fission production vanished")
+                    keff = keff * new_production
+                    last = t + 1 >= problem.max_iterations
+                    issue(t + 2, keff, new_production, FINAL if last else RUN)
+                    self._parent_wait_all(
+                        fission_seq, t + 1, queue, procs,
+                        f"fission tally of iteration {t}",
+                    )
+                    monitor.update(keff, fission.copy())
+                    if last:
+                        break
+                    if monitor.converged:
+                        # Workers are one speculative sweep ahead; let it
+                        # finish and discard it at the next grant wait.
+                        issue(t + 3, keff, new_production, HALT)
+                        break
+                scalar_flux = phi.copy()
+                payloads = self._collect_payloads(queue, procs, W)
+            return EngineResult(
+                keff=keff,
+                scalar_flux=scalar_flux,
+                converged=monitor.converged,
+                num_iterations=monitor.num_iterations,
+                monitor=monitor,
+                solve_seconds=timer.duration("engine_solve"),
+                num_workers=W,
+                worker_timers=sorted(
+                    (wid, payload)
+                    for wid, payload in payloads.get("timers", {}).items()
+                ),
+                **self._result_extras(payloads),
+            )
+        finally:
+            # Unblock any surviving worker: a HALT grant far in the future
+            # satisfies every pending grant wait and stops the loop.
+            issue(int(grant[_EPOCH]) + problem.max_iterations + 2,
+                  float(grant[_KEFF]), float(grant[_PNORM]), HALT)
+            for proc in procs:
+                proc.join(timeout=5.0)
+            for proc in procs:
+                if proc.is_alive():  # pragma: no cover - crash cleanup
+                    proc.terminate()
+                    proc.join(timeout=5.0)
+            del phi, phi_new, fission, prod, worker_seq, fission_seq, grant
+            del fields
+            arena.close(unlink=True)

@@ -10,22 +10,59 @@ subdomain sweeps execute and how the halo moves:
   behaviour, kept as the equivalence oracle);
 * ``mp`` — real OS worker processes over ``multiprocessing.shared_memory``
   SoA buffers with a barrier-phased halo exchange (the paper's Buffered
-  Synchronous scheme).
+  Synchronous scheme);
+* ``mp-async`` — the same worker pool under the dependency-driven mailbox
+  protocol: per-edge epoch-tagged halo mailboxes instead of global
+  barriers, so a worker only ever waits on its own neighbours.
 
-Both consume the same :class:`~repro.engine.problem.DecomposedProblem`
+All consume the same :class:`~repro.engine.problem.DecomposedProblem`
 adapter and the same routing tables, so traffic accounting and results are
 engine-independent by construction.
 """
 
 from __future__ import annotations
 
+import os
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import Any
 
 import numpy as np
 
+from repro.errors import ConfigError
 from repro.solver.convergence import ConvergenceMonitor
+
+#: Environment override for the engine wait timeout (seconds). Consulted
+#: when neither the CLI nor the config provides one — the resolution order
+#: is CLI > config > environment > :data:`DEFAULT_ENGINE_TIMEOUT`.
+ENGINE_TIMEOUT_ENV_VAR = "REPRO_ENGINE_TIMEOUT"
+
+#: Fallback wait timeout (seconds) for barrier phases and mailbox waits.
+DEFAULT_ENGINE_TIMEOUT = 600.0
+
+
+def resolve_engine_timeout(explicit: float | None = None) -> float:
+    """Resolve the engine wait timeout: explicit value > env var > default.
+
+    Both sources are validated the same way — a non-positive or
+    unparseable timeout raises :class:`~repro.errors.ConfigError` rather
+    than silently producing an engine that can never time out.
+    """
+    if explicit is None:
+        raw = os.environ.get(ENGINE_TIMEOUT_ENV_VAR)
+        if raw is None or not raw.strip():
+            return DEFAULT_ENGINE_TIMEOUT
+        try:
+            explicit = float(raw)
+        except ValueError:
+            raise ConfigError(
+                f"{ENGINE_TIMEOUT_ENV_VAR} must be a number of seconds "
+                f"(got {raw!r})"
+            ) from None
+    timeout = float(explicit)
+    if not timeout > 0.0:
+        raise ConfigError(f"engine timeout must be positive (got {timeout})")
+    return timeout
 
 
 @dataclass
@@ -44,6 +81,10 @@ class EngineResult:
     worker_timers: list[tuple[int, dict[str, float]]] = field(default_factory=list)
     #: Race-sanitizer report (``mp-sanitize`` engine only, else ``None``).
     sanitizer: Any = None
+    #: Engine-side communication counters (``mp-async`` only): totals of
+    #: ``halo_wait_ns``, ``neighbor_stalls`` and ``epochs_overlapped``
+    #: summed across workers, fed into the observability CounterSet.
+    comm_counters: dict[str, int] = field(default_factory=dict)
 
 
 class ExecutionEngine(ABC):

@@ -25,13 +25,15 @@ route tables — so the ``mp`` engine reproduces ``inproc`` results
 from __future__ import annotations
 
 import multiprocessing
+import os
+import signal
 import time
 import traceback
 from threading import BrokenBarrierError
 
 import numpy as np
 
-from repro.engine.base import EngineResult, ExecutionEngine
+from repro.engine.base import EngineResult, ExecutionEngine, resolve_engine_timeout
 from repro.engine.problem import DecomposedProblem, RoutePack
 from repro.engine.shm import ShmArena
 from repro.errors import CommunicationError, ReproError, SolverError
@@ -77,6 +79,45 @@ class MpCommunicator:
         account_allreduce(self.stats, self.size)
 
 
+def _maybe_pin_worker(wid: int, pin: bool) -> None:
+    """Pin this worker process to one CPU of the parent's affinity mask.
+
+    Workers are assigned round-robin over the allowed CPUs, so on a box
+    with at least as many cores as workers each sweep process owns a core
+    and the scheduler stops migrating them mid-iteration. Platforms
+    without ``sched_setaffinity`` (macOS) log and run unpinned — pinning
+    is a performance hint, not a correctness requirement.
+    """
+    if not pin:
+        return
+    logger = get_logger("repro.engine.mp")
+    if not hasattr(os, "sched_setaffinity"):  # pragma: no cover - non-Linux
+        logger.warning("worker %d: CPU pinning unsupported on this platform", wid)
+        return
+    allowed = sorted(os.sched_getaffinity(0))
+    cpu = allowed[wid % len(allowed)]
+    try:
+        os.sched_setaffinity(0, {cpu})
+    except OSError as exc:  # pragma: no cover - exotic cgroup configs
+        logger.warning("worker %d: could not pin to CPU %d: %s", wid, cpu, exc)
+        return
+    logger.info("worker %d pinned to CPU %d", wid, cpu)
+
+
+def _describe_exit(exitcode: int | None) -> str:
+    """Human-readable form of a ``Process.exitcode``."""
+    if exitcode is None:
+        return "still running"
+    if exitcode < 0:
+        signum = -exitcode
+        try:
+            name = signal.Signals(signum).name
+        except ValueError:
+            name = f"signal {signum}"
+        return f"killed by {name}"
+    return f"exit code {exitcode}"
+
+
 def _abort_barrier(barrier, wid: int) -> None:
     """Break the barrier so siblings and the parent stop waiting.
 
@@ -94,10 +135,11 @@ def _abort_barrier(barrier, wid: int) -> None:
 
 
 def _worker_loop(problem, pack, wid, owned, phi, phi_new, halo, control,
-                 barrier, queue, timeout):
+                 barrier, queue, timeout, pin):
     """Worker body: barrier-phased sweep/exchange until the stop flag."""
     timer = StageTimer()
     try:
+        _maybe_pin_worker(wid, pin)
         while True:
             barrier.wait(timeout)
             if control[_STOP]:
@@ -141,9 +183,15 @@ class MpEngine(ExecutionEngine):
     #: Messages each healthy worker enqueues at shutdown ("timers", ...).
     _messages_per_worker = 1
 
-    def __init__(self, workers: int | None = None, barrier_timeout: float = 600.0) -> None:
+    def __init__(
+        self,
+        workers: int | None = None,
+        timeout: float | None = None,
+        pin_workers: bool = False,
+    ) -> None:
         self.workers = workers
-        self.barrier_timeout = float(barrier_timeout)
+        self.timeout = resolve_engine_timeout(timeout)
+        self.pin_workers = bool(pin_workers)
         self._logger = get_logger("repro.engine.mp")
 
     def _worker_target(self):
@@ -169,19 +217,57 @@ class MpEngine(ExecutionEngine):
         requested = self.workers or num_domains
         return max(1, min(int(requested), num_domains))
 
-    def _raise_worker_failure(self, queue, procs) -> None:
-        """A barrier broke: surface whichever worker error caused it."""
-        errors = [
-            f"worker {wid}:\n{payload}"
-            for kind, wid, payload in _drain(queue, 5.0)
-            if kind == "error"
+    def _raise_worker_failure(self, queue, procs, window: float = 5.0) -> None:
+        """A wait broke: surface the worker error that actually caused it.
+
+        The error queue is drained *before* giving up on the window, and a
+        worker that died without enqueueing anything (``SIGKILL``, a hard
+        crash) is identified by its exit status instead of being reported
+        as an anonymous timeout. Tracebacks carrying a real exception are
+        listed ahead of sibling ``BrokenBarrierError`` noise — when one
+        worker raises, its siblings' barriers break too, and the original
+        failure must not be buried under their teardown reports.
+        """
+        deadline = time.monotonic() + window
+        reports: dict[int, str] = {}
+        while time.monotonic() < deadline:
+            while not queue.empty():
+                kind, wid, payload = queue.get()
+                if kind == "error":
+                    reports.setdefault(int(wid), str(payload))
+            if reports:
+                break
+            dead = [p for p in procs if not p.is_alive() and p.exitcode]
+            if dead and queue.empty():
+                break  # died without a report; nothing more is coming
+            time.sleep(0.005)
+        # One last sweep: reports enqueued between the checks above.
+        while not queue.empty():
+            kind, wid, payload = queue.get()
+            if kind == "error":
+                reports.setdefault(int(wid), str(payload))
+        primary = [
+            f"worker {wid}:\n{text}"
+            for wid, text in sorted(reports.items())
+            if "BrokenBarrierError" not in text
         ]
-        detail = "\n".join(errors) if errors else "worker died without a report"
-        raise SolverError(f"mp engine worker failure:\n{detail}")
+        secondary = [
+            f"worker {wid}:\n{text}"
+            for wid, text in sorted(reports.items())
+            if "BrokenBarrierError" in text
+        ]
+        silent = [
+            f"worker {wid} died without a report ({_describe_exit(proc.exitcode)})"
+            for wid, proc in enumerate(procs)
+            if not proc.is_alive() and proc.exitcode and wid not in reports
+        ]
+        lines = primary + silent + secondary
+        detail = "\n".join(lines) if lines else "worker died without a report"
+        raise SolverError(f"{self.name} engine worker failure:\n{detail}")
 
     def _wait(self, barrier, queue, procs) -> None:
         try:
-            barrier.wait(self.barrier_timeout)
+            barrier.wait(self.timeout)
         except BrokenBarrierError:
             self._raise_worker_failure(queue, procs)
 
@@ -216,7 +302,7 @@ class MpEngine(ExecutionEngine):
             ctx.Process(
                 target=self._worker_target(),
                 args=(problem, pack, w, owned[w], phi, phi_new, arena["halo"],
-                      control, barrier, queue, self.barrier_timeout)
+                      control, barrier, queue, self.timeout, self.pin_workers)
                 + self._worker_extra_args(w),
                 daemon=True,
                 name=f"repro-{self.name}-worker-{w}",
@@ -313,22 +399,28 @@ class MpEngine(ExecutionEngine):
         """Drain end-of-run worker messages, grouped by payload kind."""
         payloads: dict[str, dict[int, object]] = {}
         expected = self._messages_per_worker * num_workers
-        for kind, wid, payload in _drain(queue, 10.0, expected):
+        for kind, wid, payload in _drain(queue, 10.0, expected, procs):
             if kind == "error":
                 raise SolverError(f"{self.name} engine worker {wid} failed:\n{payload}")
             payloads.setdefault(kind, {})[wid] = payload
         return payloads
 
 
-def _drain(queue, timeout: float, expected: int | None = None):
+def _drain(queue, timeout: float, expected: int | None = None, procs=()):
     """Collect queued worker messages, polling ``empty()`` (SimpleQueue has
-    no timed ``get``; an unconditional get could hang on a dead worker)."""
+    no timed ``get``; an unconditional get could hang on a dead worker).
+    Stops early once every worker process has exited and the queue is
+    empty — no message can arrive from a dead sender, so waiting out the
+    window would only delay the failure report."""
     messages = []
     deadline = time.monotonic() + timeout
     while time.monotonic() < deadline:
         if queue.empty():
             if messages and (expected is None or len(messages) >= expected):
                 break
+            if procs and all(not p.is_alive() for p in procs):
+                if queue.empty():  # re-check: a message may have landed
+                    break
             time.sleep(0.005)
             continue
         messages.append(queue.get())

@@ -10,7 +10,11 @@ engine implementation serves both drivers.
 :class:`RoutePack` precompiles the route table into per-domain index
 arrays for vectorised halo packing/unpacking, plus the per-pair traffic
 totals that keep the ``mp`` engine's :class:`~repro.parallel.comm.CommStats`
-bitwise identical to the ``inproc`` simulator's.
+bitwise identical to the ``inproc`` simulator's. :class:`EdgePack` refines
+the same table down to directed domain-to-domain *edges* — the dependency
+granularity of the ``mp-async`` mailbox protocol, where each edge carries
+its own epoch sequence number and a consumer only waits for the edges it
+actually reads.
 """
 
 from __future__ import annotations
@@ -200,3 +204,71 @@ class RoutePack:
         stats.bytes_sent += self.num_routes * self.slot_bytes
         for pair, n in self.pair_counts.items():
             stats.per_pair_bytes[pair] += n * self.slot_bytes
+
+
+class EdgePack(RoutePack):
+    """Route table grouped by directed domain-to-domain edge.
+
+    The mailbox protocol synchronises per *edge* ``(src_domain,
+    dst_domain)``: the producer packs one edge's slots as soon as the
+    source domain's sweep finishes and publishes the edge's epoch counter;
+    a consumer waits only for the epoch counters of the edges entering the
+    domain it is about to sweep. The pack precompiles, per edge, the halo
+    slot indices plus the source/destination ``(track, dir)`` gather and
+    scatter arrays, and per domain the edge ids it produces and consumes.
+    Edge ids are assigned in sorted ``(src, dst)`` order so the layout is
+    deterministic across processes.
+    """
+
+    def __init__(self, problem: DecomposedProblem) -> None:
+        super().__init__(problem)
+        by_edge: dict[tuple[int, int], list[int]] = {}
+        for i, r in enumerate(problem.routes):
+            by_edge.setdefault((r.src_domain, r.dst_domain), []).append(i)
+        self.edge_pairs: tuple[tuple[int, int], ...] = tuple(sorted(by_edge))
+        self.num_edges = len(self.edge_pairs)
+        routes = problem.routes
+        self._edge_routes: list[np.ndarray] = []
+        self._edge_src: list[tuple[np.ndarray, np.ndarray]] = []
+        self._edge_dst: list[tuple[np.ndarray, np.ndarray]] = []
+        out_edges: dict[int, list[int]] = {}
+        in_edges: dict[int, list[int]] = {}
+        for e, pair in enumerate(self.edge_pairs):
+            idx = by_edge[pair]
+            self._edge_routes.append(np.array(idx, dtype=np.intp))
+            self._edge_src.append(
+                (
+                    np.array([routes[i].src_track for i in idx], dtype=np.intp),
+                    np.array([routes[i].src_dir for i in idx], dtype=np.intp),
+                )
+            )
+            self._edge_dst.append(
+                (
+                    np.array([routes[i].dst_track for i in idx], dtype=np.intp),
+                    np.array([routes[i].dst_dir for i in idx], dtype=np.intp),
+                )
+            )
+            out_edges.setdefault(pair[0], []).append(e)
+            in_edges.setdefault(pair[1], []).append(e)
+        self._out_edges = {d: tuple(es) for d, es in out_edges.items()}
+        self._in_edges = {d: tuple(es) for d, es in in_edges.items()}
+
+    def out_edges(self, d: int) -> tuple[int, ...]:
+        """Edge ids whose halo slots domain ``d`` produces."""
+        return self._out_edges.get(d, ())
+
+    def in_edges(self, d: int) -> tuple[int, ...]:
+        """Edge ids whose halo slots domain ``d`` consumes."""
+        return self._in_edges.get(d, ())
+
+    def edge_routes(self, e: int) -> np.ndarray:
+        """Halo slot (route) indices carried by edge ``e``."""
+        return self._edge_routes[e]
+
+    def edge_source(self, e: int) -> tuple[np.ndarray, np.ndarray]:
+        """``(tracks, dirs)`` gather indices packing edge ``e``'s slots."""
+        return self._edge_src[e]
+
+    def edge_target(self, e: int) -> tuple[np.ndarray, np.ndarray]:
+        """``(tracks, dirs)`` scatter indices unpacking edge ``e``'s slots."""
+        return self._edge_dst[e]

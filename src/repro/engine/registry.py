@@ -13,11 +13,26 @@ from __future__ import annotations
 import os
 from typing import Callable
 
-from repro.engine.base import ExecutionEngine
+from repro.engine.async_mp import AsyncMpEngine
+from repro.engine.base import (
+    ENGINE_TIMEOUT_ENV_VAR,
+    ExecutionEngine,
+    resolve_engine_timeout,
+)
 from repro.engine.inproc import InprocEngine
 from repro.engine.mp import MpEngine
-from repro.engine.sanitize import SanitizedMpEngine
+from repro.engine.sanitize import SanitizedAsyncMpEngine, SanitizedMpEngine
 from repro.errors import ConfigError
+
+__all__ = [
+    "DEFAULT_ENGINE",
+    "ENGINE_ENV_VAR",
+    "ENGINE_TIMEOUT_ENV_VAR",
+    "engine_names",
+    "register_engine",
+    "resolve_engine",
+    "resolve_engine_timeout",
+]
 
 #: Environment override consulted when no engine is requested explicitly.
 ENGINE_ENV_VAR = "REPRO_ENGINE"
@@ -29,14 +44,41 @@ _REGISTRY: dict[str, Callable[..., ExecutionEngine]] = {}
 
 
 def register_engine(name: str, factory: Callable[..., ExecutionEngine]) -> None:
-    """Add an engine factory to the registry (last registration wins)."""
+    """Add an engine factory to the registry (last registration wins).
+
+    Factories accept the keyword arguments ``workers``, ``timeout`` and
+    ``pin_workers`` (engines that have no use for one simply ignore it —
+    ``inproc`` has no worker pool to time out or pin).
+    """
     _REGISTRY[name] = factory
 
 
-register_engine("inproc", lambda workers=None: InprocEngine())
-register_engine("mp", lambda workers=None: MpEngine(workers=workers))
 register_engine(
-    "mp-sanitize", lambda workers=None: SanitizedMpEngine(workers=workers)
+    "inproc", lambda workers=None, timeout=None, pin_workers=False: InprocEngine()
+)
+register_engine(
+    "mp",
+    lambda workers=None, timeout=None, pin_workers=False: MpEngine(
+        workers=workers, timeout=timeout, pin_workers=pin_workers
+    ),
+)
+register_engine(
+    "mp-sanitize",
+    lambda workers=None, timeout=None, pin_workers=False: SanitizedMpEngine(
+        workers=workers, timeout=timeout, pin_workers=pin_workers
+    ),
+)
+register_engine(
+    "mp-async",
+    lambda workers=None, timeout=None, pin_workers=False: AsyncMpEngine(
+        workers=workers, timeout=timeout, pin_workers=pin_workers
+    ),
+)
+register_engine(
+    "mp-async-sanitize",
+    lambda workers=None, timeout=None, pin_workers=False: SanitizedAsyncMpEngine(
+        workers=workers, timeout=timeout, pin_workers=pin_workers
+    ),
 )
 
 
@@ -48,11 +90,15 @@ def engine_names() -> tuple[str, ...]:
 def resolve_engine(
     requested: str | ExecutionEngine | None = None,
     workers: int | None = None,
+    timeout: float | None = None,
+    pin_workers: bool = False,
 ) -> ExecutionEngine:
     """Select the execution engine: argument > env var > default.
 
     ``None``, ``""`` and ``"auto"`` all mean "not requested" — the config
     default is ``auto`` precisely so :data:`ENGINE_ENV_VAR` can apply.
+    ``timeout`` is the already-merged CLI/config value (``None`` lets the
+    engine consult :data:`ENGINE_TIMEOUT_ENV_VAR`, then the default).
     """
     if isinstance(requested, ExecutionEngine):
         return requested
@@ -66,4 +112,4 @@ def resolve_engine(
         raise ConfigError(
             f"unknown execution engine {name!r}; registered: {sorted(_REGISTRY)}"
         ) from None
-    return factory(workers=workers)
+    return factory(workers=workers, timeout=timeout, pin_workers=pin_workers)

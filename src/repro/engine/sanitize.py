@@ -23,6 +23,15 @@ run reports zero findings every time, and the seeded fault-injection mode
 (:class:`FaultSpec`), which makes one worker skip the mid-iteration
 barrier and exchange early (with a compensating wait afterwards, so the
 run still terminates), trips both detectors every time.
+
+The same analyzer also audits the ``mp-async`` mailbox protocol
+(:class:`SanitizedAsyncMpEngine`, ``--engine=mp-async-sanitize``): there
+the epoch is the worker's local iteration and halo slots are logged as
+parity-flattened indices, under which rule 2 becomes exactly the
+mailbox's published-before-read invariant — every slot a consumer unpacks
+at iteration ``t`` must have been packed (into the other parity) at
+iteration ``t-1``. The async fault injection unpacks from the *current*
+parity instead, tripping both rules deterministically.
 """
 
 from __future__ import annotations
@@ -33,7 +42,16 @@ from typing import Iterable, Mapping
 
 import numpy as np
 
-from repro.engine.mp import _STOP, _KEFF, WORKER_ERRORS, MpEngine, _abort_barrier
+from repro.engine import async_mp
+from repro.engine.async_mp import AsyncMpEngine, _wait_value
+from repro.engine.mp import (
+    _STOP,
+    _KEFF,
+    WORKER_ERRORS,
+    MpEngine,
+    _abort_barrier,
+    _maybe_pin_worker,
+)
 from repro.errors import SanitizerError
 from repro.io.logging_utils import StageTimer, get_logger
 
@@ -232,7 +250,7 @@ def analyze_events(
 
 
 def _sanitized_worker_loop(problem, pack, wid, owned, phi, phi_new, halo, control,
-                           barrier, queue, timeout, fault):
+                           barrier, queue, timeout, pin, fault):
     """Instrumented twin of ``mp._worker_loop``.
 
     Performs the *same* numeric operations in the same order (keeping
@@ -261,6 +279,7 @@ def _sanitized_worker_loop(problem, pack, wid, owned, phi, phi_new, halo, contro
         log.advance()
 
     try:
+        _maybe_pin_worker(wid, pin)
         iteration = 0
         while True:
             wait()
@@ -320,11 +339,12 @@ class SanitizedMpEngine(MpEngine):
     def __init__(
         self,
         workers: int | None = None,
-        barrier_timeout: float = 600.0,
+        timeout: float | None = None,
+        pin_workers: bool = False,
         fault_seed: int | None = None,
         fault: FaultSpec | None = None,
     ) -> None:
-        super().__init__(workers=workers, barrier_timeout=barrier_timeout)
+        super().__init__(workers=workers, timeout=timeout, pin_workers=pin_workers)
         if fault is not None and fault_seed is not None:
             raise SanitizerError("pass either fault or fault_seed, not both")
         self._fault_seed = fault_seed
@@ -362,3 +382,210 @@ class SanitizedMpEngine(MpEngine):
         else:
             self._logger.error("shm sanitizer findings:\n%s", report.render())
         return {"sanitizer": report}
+
+
+def _sanitized_async_worker_loop(problem, pack, wid, owned, fields, queue,
+                                 timeout, pin, fault):
+    """Instrumented twin of ``async_mp._async_worker_loop``.
+
+    Same numeric schedule (``mp-async-sanitize`` stays bitwise equal to
+    ``inproc``), but flux and halo accesses are recorded into an
+    :class:`AccessLog` whose epoch is the worker's *local iteration* —
+    under the mailbox protocol epochs are per-worker program order, not
+    barrier passages. Halo slots are logged as flattened
+    ``parity * num_routes + route`` indices, which maps the double buffer
+    onto the analyzer's existing rules: a clean schedule reads at epoch
+    ``t`` exactly the flat slots written at epoch ``t-1`` (rule 2, the
+    published-before-read invariant) and never overlaps a same-epoch
+    write (rule 1). The grant word and the sequence counters are *not*
+    tracked: they are the synchronization cells themselves, written by
+    the (unlogged) parent or read concurrently by design; their
+    correctness is exactly what rule 2 checks through the halo.
+
+    The injected fault (``fault.worker`` at ``fault.iteration``) skips the
+    per-edge epoch waits and unpacks from the *current* parity — the
+    buffer producers are writing this very iteration — which deterministically
+    trips both detectors.
+    """
+    timer = StageTimer()
+    log = AccessLog(wid)
+    halo = fields["halo"]
+    num_slots = halo.shape[1]
+    halo_flat = halo.reshape((2 * num_slots,) + halo.shape[2:])
+    t_phi = TrackedField("phi", fields["phi"], log)
+    t_phi_new = TrackedField("phi_new", fields["phi_new"], log)
+    t_halo = TrackedField("halo", halo_flat, log)
+    phi, phi_new = fields["phi"], fields["phi_new"]
+    fission, prod = fields["fission"], fields["prod"]
+    edge_seq, grant = fields["edge_seq"], fields["grant"]
+    worker_seq, fission_seq = fields["worker_seq"], fields["fission_seq"]
+    row_index = np.arange(problem.num_fsrs_total)
+    rows = {
+        d: slice(int(problem.block(d, row_index)[0]),
+                 int(problem.block(d, row_index)[-1]) + 1)
+        for d in owned
+    }
+    stalls = 0
+    overlapped = 0
+    try:
+        _maybe_pin_worker(wid, pin)
+        t = 0
+        while True:
+            with timer.stage("worker_grant_wait"):
+                _wait_value(grant, async_mp._EPOCH, t + 1, timeout,
+                            f"grant {t + 1}")
+            mode = int(grant[async_mp._STOP])
+            keff = float(grant[async_mp._KEFF])
+            pnorm = float(grant[async_mp._PNORM])
+            if mode == async_mp.HALT:
+                break
+            if t > 0:
+                with timer.stage("worker_normalize"):
+                    for d in owned:
+                        t_phi.set(
+                            rows[d],
+                            np.divide(t_phi_new.get(rows[d]), pnorm),
+                        )
+                        problem.block(d, fission)[:] = problem.fission_source(
+                            d, phi[rows[d]]
+                        )
+                fission_seq[wid] = t
+            if mode == async_mp.FINAL:
+                break
+            inject = (
+                fault is not None
+                and fault.worker == wid
+                and fault.iteration == t
+            )
+            iteration_stalled = False
+            for d in owned:
+                if t > 0:
+                    for e in pack.in_edges(d):
+                        if not inject and edge_seq[e] < t:
+                            with timer.stage("worker_halo_wait"):
+                                _wait_value(
+                                    edge_seq, e, t, timeout,
+                                    f"edge {pack.edge_pairs[e]} epoch {t}",
+                                )
+                            stalls += 1
+                            iteration_stalled = True
+                        parity = t % 2 if inject else (t - 1) % 2
+                        with timer.stage("worker_exchange"):
+                            tracks, dirs = pack.edge_target(e)
+                            flat = parity * num_slots + pack.edge_routes(e)
+                            problem.sweeper(d).psi_in[tracks, dirs] = (
+                                t_halo.get(flat)
+                            )
+                with timer.stage("worker_sweep"):
+                    t_phi_new.set(
+                        rows[d],
+                        problem.sweep_domain(d, t_phi.get(rows[d]), keff),
+                    )
+                    for e in pack.out_edges(d):
+                        tracks, dirs = pack.edge_source(e)
+                        flat = (t % 2) * num_slots + pack.edge_routes(e)
+                        t_halo.set(
+                            flat, problem.sweeper(d).psi_out_last[tracks, dirs]
+                        )
+                        edge_seq[e] = t + 1  # publish after the payload
+            with timer.stage("worker_sweep"):
+                for d in owned:
+                    prod[d] = problem.production(d, phi_new[rows[d]])
+            if t > 0 and not iteration_stalled:
+                overlapped += 1
+            worker_seq[wid] = t + 1
+            log.advance()
+            t += 1
+        queue.put(("events", wid, log.events))
+        queue.put(
+            (
+                "commx",
+                wid,
+                {
+                    "halo_wait_ns": int(
+                        round(timer.duration("worker_halo_wait") * 1e9)
+                    ),
+                    "neighbor_stalls": stalls,
+                    "epochs_overlapped": overlapped,
+                },
+            )
+        )
+        queue.put(("timers", wid, timer.as_dict()))
+    except WORKER_ERRORS as exc:
+        get_logger("repro.engine.sanitize").error(
+            "sanitized async worker %d failed: %s", wid, exc
+        )
+        queue.put(("error", wid, traceback.format_exc()))
+        raise SystemExit(1)
+
+
+class SanitizedAsyncMpEngine(AsyncMpEngine):
+    """The ``mp-async`` engine under the shm race sanitizer.
+
+    Identical grant/mailbox schedule and bitwise-identical results; every
+    flux and halo access is logged with the worker's local iteration as
+    the epoch and checked post-solve by :func:`analyze_events` — rule 2
+    over the parity-flattened halo indices *is* the mailbox protocol's
+    published-before-read invariant. ``fault_seed``/``fault`` inject the
+    deliberate wrong-parity unpack used to prove the detectors fire; the
+    fault iteration must be >= 1 because iteration 0 consumes no halo.
+    """
+
+    name = "mp-async-sanitize"
+
+    #: Each worker enqueues ("events", ...), ("commx", ...), ("timers", ...).
+    _messages_per_worker = 3
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        timeout: float | None = None,
+        pin_workers: bool = False,
+        fault_seed: int | None = None,
+        fault: FaultSpec | None = None,
+    ) -> None:
+        super().__init__(workers=workers, timeout=timeout, pin_workers=pin_workers)
+        if fault is not None and fault_seed is not None:
+            raise SanitizerError("pass either fault or fault_seed, not both")
+        self._fault_seed = fault_seed
+        self._fault = fault
+        self._logger = get_logger("repro.engine.sanitize")
+
+    def _worker_target(self):
+        return _sanitized_async_worker_loop
+
+    def _prepare_solve(self, problem, num_workers: int) -> None:
+        if self._fault is None and self._fault_seed is not None:
+            seeded = FaultSpec.from_seed(self._fault_seed, num_workers)
+            self._fault = FaultSpec(worker=seeded.worker, iteration=1)
+        if self._fault is not None:
+            if not 0 <= self._fault.worker < num_workers:
+                raise SanitizerError(
+                    f"fault names worker {self._fault.worker} but only "
+                    f"{num_workers} workers run"
+                )
+            if self._fault.iteration < 1:
+                raise SanitizerError(
+                    "mailbox fault iteration must be >= 1 "
+                    "(iteration 0 consumes no halo)"
+                )
+            self._logger.warning(
+                "injecting wrong-parity mailbox fault: worker %d, iteration %d",
+                self._fault.worker, self._fault.iteration,
+            )
+
+    def _worker_extra_args(self, wid: int) -> tuple:
+        return (self._fault,)
+
+    def _result_extras(self, payloads: dict[str, dict[int, object]]) -> dict:
+        extras = super()._result_extras(payloads)
+        report = analyze_events(payloads.get("events", {}), fault=self._fault)
+        if report.clean:
+            self._logger.info(
+                "shm sanitizer clean (mailbox protocol): %d events, 0 findings",
+                report.num_events,
+            )
+        else:
+            self._logger.error("shm sanitizer findings:\n%s", report.render())
+        extras["sanitizer"] = report
+        return extras

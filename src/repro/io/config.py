@@ -31,10 +31,13 @@ TRACERS = ("auto", "batch", "reference")
 #: Execution engines for decomposed solves (:mod:`repro.engine`):
 #: ``auto`` defers to ``REPRO_ENGINE`` (default ``inproc``), ``inproc`` is
 #: the deterministic single-process simulator, ``mp`` runs subdomains on
-#: real OS worker processes over shared memory, ``mp-sanitize`` is ``mp``
-#: under the shm barrier-phase race sanitizer (identical results, every
-#: shared access audited against the barrier protocol).
-ENGINES = ("auto", "inproc", "mp", "mp-sanitize")
+#: real OS worker processes over shared memory with barrier-phased halo
+#: exchange, ``mp-async`` replaces the barriers with per-edge epoch-tagged
+#: halo mailboxes (dependency-driven, communication overlapped with
+#: compute), and the ``*-sanitize`` variants run the same schedules under
+#: the shm race sanitizer (identical results, every shared access audited
+#: against the protocol).
+ENGINES = ("auto", "inproc", "mp", "mp-sanitize", "mp-async", "mp-async-sanitize")
 
 #: Exponential-kernel evaluation modes.
 EXP_MODES = ("table", "exact")
@@ -92,6 +95,12 @@ class DecompositionConfig:
     engine: str = "auto"
     #: Worker processes for the ``mp`` engine; 0 means one per subdomain.
     workers: int = 0
+    #: Engine wait timeout in seconds (barrier phases, mailbox waits).
+    #: ``None`` defers to ``REPRO_ENGINE_TIMEOUT``, then the built-in
+    #: default; the resolution order is CLI > config > env > default.
+    timeout: float | None = None
+    #: Pin each worker process to one CPU (``os.sched_setaffinity``).
+    pin_workers: bool = False
 
     @property
     def num_domains(self) -> int:
@@ -104,6 +113,13 @@ class DecompositionConfig:
             raise ConfigError(f"engine must be one of {ENGINES} (got {self.engine!r})")
         if self.workers < 0:
             raise ConfigError(f"workers must be >= 0 (got {self.workers})")
+        if self.timeout is not None:
+            if not isinstance(self.timeout, (int, float)) or isinstance(self.timeout, bool):
+                raise ConfigError(f"decomposition.timeout must be a number of seconds (got {self.timeout!r})")
+            if not self.timeout > 0:
+                raise ConfigError(f"decomposition.timeout must be positive (got {self.timeout})")
+        if not isinstance(self.pin_workers, bool):
+            raise ConfigError(f"decomposition.pin_workers must be a boolean (got {self.pin_workers!r})")
 
 
 @dataclass(frozen=True)

@@ -38,6 +38,19 @@ COUNTER_SCHEMA: dict[str, str] = {
     "iteration_count": "transport iterations executed",
     "num_domains": "spatial subdomains in the decomposition (1 if undecomposed)",
     "num_workers": "OS processes that executed sweeps (1 for inproc)",
+    "halo_wait_ns": (
+        "nanoseconds workers spent blocked on neighbour mailbox epochs "
+        "(mp-async engines; an engine property, not a workload term)"
+    ),
+    "neighbor_stalls": (
+        "per-edge mailbox waits that actually blocked (mp-async engines; "
+        "an engine property, not a workload term)"
+    ),
+    "epochs_overlapped": (
+        "worker iterations whose halo inputs were already published on "
+        "first check, i.e. communication fully hidden behind compute "
+        "(mp-async engines; an engine property, not a workload term)"
+    ),
 }
 
 

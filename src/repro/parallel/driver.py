@@ -50,6 +50,8 @@ class DecomposedResult:
     worker_timers: list = field(default_factory=list)
     #: Race-sanitizer report (``mp-sanitize`` engine only, else ``None``).
     sanitizer: object = None
+    #: Engine-side comm counters (``mp-async`` only, else empty).
+    comm_counters: dict = field(default_factory=dict)
 
 
 class DecomposedSolver:
@@ -72,6 +74,8 @@ class DecomposedSolver:
         cache=None,
         engine: str | None = None,
         workers: int | None = None,
+        timeout: float | None = None,
+        pin_workers: bool = False,
     ) -> None:
         self.geometry = geometry
         sub_geometries = decompose_lattice_geometry(geometry, domains_x, domains_y)
@@ -94,7 +98,9 @@ class DecomposedSolver:
         )
         from repro.engine import resolve_engine
 
-        self.engine = resolve_engine(engine, workers=workers)
+        self.engine = resolve_engine(
+            engine, workers=workers, timeout=timeout, pin_workers=pin_workers
+        )
         self.comm = self.engine.create_communicator(len(self.domains))
         self.keff_tolerance = keff_tolerance
         self.source_tolerance = source_tolerance
@@ -128,6 +134,7 @@ class DecomposedSolver:
             num_workers=result.num_workers,
             worker_timers=result.worker_timers,
             sanitizer=result.sanitizer,
+            comm_counters=result.comm_counters,
         )
 
     def fission_rates(self, result: DecomposedResult) -> np.ndarray:

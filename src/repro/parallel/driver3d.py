@@ -64,6 +64,8 @@ class ZDecomposedResult:
     worker_timers: list = field(default_factory=list)
     #: Race-sanitizer report (``mp-sanitize`` engine only, else ``None``).
     sanitizer: object = None
+    #: Engine-side comm counters (``mp-async`` only, else empty).
+    comm_counters: dict = field(default_factory=dict)
 
 
 def _slab_meshes(mesh: AxialMesh, num_domains: int) -> list[AxialMesh]:
@@ -100,6 +102,8 @@ class ZDecomposedSolver:
         cache=None,
         engine: str | None = None,
         workers: int | None = None,
+        timeout: float | None = None,
+        pin_workers: bool = False,
     ) -> None:
         if num_domains < 1:
             raise DecompositionError("need at least one z-domain")
@@ -165,7 +169,9 @@ class ZDecomposedSolver:
         self.routes = self._match_interfaces()
         from repro.engine import resolve_engine
 
-        self.engine = resolve_engine(engine, workers=workers)
+        self.engine = resolve_engine(
+            engine, workers=workers, timeout=timeout, pin_workers=pin_workers
+        )
         self.comm = self.engine.create_communicator(num_domains)
         self.keff_tolerance = keff_tolerance
         self.source_tolerance = source_tolerance
@@ -285,4 +291,5 @@ class ZDecomposedSolver:
             num_workers=result.num_workers,
             worker_timers=result.worker_timers,
             sanitizer=result.sanitizer,
+            comm_counters=result.comm_counters,
         )

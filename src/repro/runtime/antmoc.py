@@ -190,6 +190,16 @@ class AntMocApplication:
         self.obs.count("halo_messages", stats.messages_sent)
         self.obs.count("allreduce_calls", stats.allreduce_calls)
 
+    def _count_engine_comm(self, result) -> None:
+        """Engine-side counters (``mp-async`` mailbox waits/overlap).
+
+        These describe *how* the engine ran, not the workload — they are
+        timing-dependent and engine-specific, so cross-engine equivalence
+        tests exclude them the same way they exclude ``num_workers``.
+        """
+        for name, value in (getattr(result, "comm_counters", None) or {}).items():
+            self.obs.count(name, value)
+
     def _count_workload(
         self,
         result,
@@ -256,6 +266,8 @@ class AntMocApplication:
                     cache=cache,
                     engine=cfg.decomposition.engine,
                     workers=cfg.decomposition.workers or None,
+                    timeout=cfg.decomposition.timeout,
+                    pin_workers=cfg.decomposition.pin_workers,
                 )
                 self.pipeline.complete(StageName.TRACK_GENERATION, solver)
             self._record_tracking_phases(
@@ -267,6 +279,7 @@ class AntMocApplication:
                 self.pipeline.complete(StageName.TRANSPORT_SOLVING, result)
             self._record_worker_timers(result)
             self._count_comm(solver.comm.stats)
+            self._count_engine_comm(result)
             self._count_workload(
                 result,
                 num_fsrs=geometry.num_fsrs,
@@ -375,6 +388,8 @@ class AntMocApplication:
                     cache=cache,
                     engine=cfg.decomposition.engine,
                     workers=cfg.decomposition.workers or None,
+                    timeout=cfg.decomposition.timeout,
+                    pin_workers=cfg.decomposition.pin_workers,
                 )
                 self.pipeline.complete(StageName.TRACK_GENERATION, solver)
             self._record_tracking_phases(
@@ -386,6 +401,7 @@ class AntMocApplication:
                 self.pipeline.complete(StageName.TRANSPORT_SOLVING, result)
             self._record_worker_timers(result)
             self._count_comm(solver.comm.stats)
+            self._count_engine_comm(result)
             self._count_workload(
                 result,
                 num_fsrs=geometry3d.num_fsrs,

@@ -1,11 +1,14 @@
-"""Cross-engine equivalence: ``mp`` must reproduce ``inproc`` bitwise.
+"""Cross-engine equivalence: the mp engines must reproduce ``inproc`` bitwise.
 
-The inproc simulator is the correctness oracle; the mp engine executes the
-same Route/InterfaceExchange tables on real worker processes over shared
-memory. Every configuration here asserts *bitwise* agreement — identical
-k-eff (far stronger than the 1e-10 acceptance bound), ``np.array_equal``
-scalar flux, and identical CommStats traffic — across worker counts and
-both decomposition styles (2D lattice grid, 3D axial stack).
+The inproc simulator is the correctness oracle; the ``mp`` engine executes
+the same Route/InterfaceExchange tables on real worker processes over
+shared memory, and the ``mp-async`` engine re-executes them again under
+the relaxed mailbox/epoch protocol (no global barriers, workers normalise
+their own flux). Every configuration here asserts *bitwise* agreement —
+identical k-eff (far stronger than the 1e-10 acceptance bound),
+``np.array_equal`` scalar flux, and identical CommStats traffic — across
+both process engines, worker counts and both decomposition styles (2D
+lattice grid, 3D axial stack).
 """
 
 import numpy as np
@@ -64,26 +67,33 @@ def assert_equivalent(oracle_pair, candidate_pair):
     assert solver.comm.stats.per_pair_bytes == oracle_solver.comm.stats.per_pair_bytes
 
 
+#: Both real-process engines must be interchangeable with the simulator.
+MP_ENGINES = ("mp", "mp-async")
+
+
 class TestPinCell2D:
-    def test_mp_matches_inproc_2x2(self, pin_lattice):
+    @pytest.mark.parametrize("engine", MP_ENGINES)
+    def test_engine_matches_inproc_2x2(self, pin_lattice, engine):
         oracle = solve_2d(pin_lattice, "inproc")
-        candidate = solve_2d(pin_lattice, "mp")
-        assert candidate[1].engine == "mp"
+        candidate = solve_2d(pin_lattice, engine)
+        assert candidate[1].engine == engine
         assert candidate[1].num_workers == 4
         assert_equivalent(oracle, candidate)
 
+    @pytest.mark.parametrize("engine", MP_ENGINES)
     @pytest.mark.parametrize("workers", [1, 2, 3])
-    def test_worker_count_is_invisible(self, pin_lattice, workers):
+    def test_worker_count_is_invisible(self, pin_lattice, engine, workers):
         """Round-robin domain placement must not leak into the numbers."""
         oracle = solve_2d(pin_lattice, "inproc")
-        candidate = solve_2d(pin_lattice, "mp", workers=workers)
+        candidate = solve_2d(pin_lattice, engine, workers=workers)
         assert candidate[1].num_workers == workers
         assert_equivalent(oracle, candidate)
 
 
 class TestAxial3D:
-    def test_mp_matches_inproc_z2_heterogeneous(
-        self, two_group_fissile, two_group_absorber
+    @pytest.mark.parametrize("engine", MP_ENGINES)
+    def test_engine_matches_inproc_z2_heterogeneous(
+        self, two_group_fissile, two_group_absorber, engine
     ):
         """Axially heterogeneous, leaking stack split across 2 z-domains."""
         layer_map = reflector_layer_map(two_group_absorber, {2, 3})
@@ -92,19 +102,21 @@ class TestAxial3D:
             bc_top=BoundaryCondition.VACUUM, layer_material=layer_map,
         )
         oracle = solve_3d(g3, "inproc")
-        candidate = solve_3d(g3, "mp")
+        candidate = solve_3d(g3, engine)
         assert_equivalent(oracle, candidate)
 
-    def test_mp_matches_inproc_z4_two_workers(self, two_group_fissile):
+    @pytest.mark.parametrize("engine", MP_ENGINES)
+    def test_engine_matches_inproc_z4_two_workers(self, two_group_fissile, engine):
         g3 = extruded(two_group_fissile, layers=4)
         oracle = solve_3d(g3, "inproc", num_domains=4)
-        candidate = solve_3d(g3, "mp", num_domains=4, workers=2)
+        candidate = solve_3d(g3, engine, num_domains=4, workers=2)
         assert candidate[1].num_workers == 2
         assert_equivalent(oracle, candidate)
 
 
 class TestC5G73D:
-    def test_mp_matches_inproc_on_coarse_c5g7(self):
+    @pytest.mark.parametrize("engine", MP_ENGINES)
+    def test_engine_matches_inproc_on_coarse_c5g7(self, engine):
         """The paper's benchmark problem, coarse: full C5G7 3D material
         heterogeneity (7 groups, fuel + axial reflector) over a z=2
         decomposition."""
@@ -121,5 +133,5 @@ class TestC5G73D:
             )
 
         oracle = solve_3d(build(), "inproc", max_iterations=6)
-        candidate = solve_3d(build(), "mp", max_iterations=6)
+        candidate = solve_3d(build(), engine, max_iterations=6)
         assert_equivalent(oracle, candidate)

@@ -1,11 +1,12 @@
-"""Behavioural tests of the multiprocess engine and its shared arena."""
+"""Behavioural tests of the multiprocess engine (arena tests: test_shm.py)."""
 
 import multiprocessing
+import os
+import signal
 
-import numpy as np
 import pytest
 
-from repro.engine import MpEngine, Problem2D, ShmArena
+from repro.engine import MpEngine, Problem2D
 from repro.errors import CommunicationError, SolverError
 from repro.geometry import Geometry, Lattice
 from repro.geometry.universe import make_homogeneous_universe
@@ -21,38 +22,6 @@ needs_fork = pytest.mark.skipif(
 def grid_2x1(two_group_fissile):
     u = make_homogeneous_universe(two_group_fissile)
     return Geometry(Lattice([[u, u]], 1.5, 1.5))
-
-
-class TestShmArena:
-    def test_fields_shaped_zeroed_and_aligned(self):
-        arena = ShmArena({"a": (3, 4), "b": (7,)})
-        try:
-            assert arena["a"].shape == (3, 4)
-            assert arena["b"].shape == (7,)
-            assert not arena["a"].any() and not arena["b"].any()
-            for name in ("a", "b"):
-                view = arena[name]
-                assert view.ctypes.data % 64 == 0
-                assert view.dtype == np.float64
-            a = arena["a"]
-            a[1, 2] = 5.0
-            assert arena["a"][1, 2] == 5.0  # views alias one buffer
-        finally:
-            del a
-            arena.close(unlink=True)
-
-    def test_unknown_field_rejected(self):
-        arena = ShmArena({"a": (2,)})
-        try:
-            with pytest.raises(KeyError):
-                arena["missing"]
-        finally:
-            arena.close(unlink=True)
-
-    def test_double_close_is_safe(self):
-        arena = ShmArena({"a": (2,)})
-        arena.close(unlink=True)
-        arena.close(unlink=True)
 
 
 class TestMpMechanics:
@@ -101,9 +70,52 @@ class TestMpMechanics:
             grid_2x1, 2, 1, num_azim=4, azim_spacing=0.5, num_polar=2,
             max_iterations=5, engine="mp",
         )
-        engine = MpEngine(workers=2, barrier_timeout=30.0)
+        engine = MpEngine(workers=2, timeout=30.0)
         with pytest.raises(SolverError, match="injected sweep failure"):
             engine.solve(ExplodingProblem(solver), engine.create_communicator(2))
+
+    @needs_fork
+    def test_traceback_ordered_before_barrier_noise(self, grid_2x1):
+        """When one worker raises, its siblings' barriers break too; the
+        original traceback must lead the report, not the teardown noise."""
+
+        class ExplodingProblem(Problem2D):
+            def sweep_domain(self, d, phi_block, keff):
+                if d == 1:
+                    raise RuntimeError("injected sweep failure")
+                return super().sweep_domain(d, phi_block, keff)
+
+        solver = DecomposedSolver(
+            grid_2x1, 2, 1, num_azim=4, azim_spacing=0.5, num_polar=2,
+            max_iterations=5, engine="mp",
+        )
+        engine = MpEngine(workers=2, timeout=30.0)
+        with pytest.raises(SolverError) as excinfo:
+            engine.solve(ExplodingProblem(solver), engine.create_communicator(2))
+        text = str(excinfo.value)
+        cause = text.index("injected sweep failure")
+        if "BrokenBarrierError" in text:
+            assert cause < text.index("BrokenBarrierError")
+
+    @needs_fork
+    def test_killed_worker_identified_promptly(self, grid_2x1):
+        """A worker killed mid-epoch (SIGKILL: no exception, no queue
+        message) must surface as a SolverError naming the dead worker and
+        its signal — within the configured timeout, not a hang."""
+
+        class SuicidalProblem(Problem2D):
+            def sweep_domain(self, d, phi_block, keff):
+                if d == 1:
+                    os.kill(os.getpid(), signal.SIGKILL)
+                return super().sweep_domain(d, phi_block, keff)
+
+        solver = DecomposedSolver(
+            grid_2x1, 2, 1, num_azim=4, azim_spacing=0.5, num_polar=2,
+            max_iterations=5, engine="mp",
+        )
+        engine = MpEngine(workers=2, timeout=5.0)
+        with pytest.raises(SolverError, match=r"worker 1 died .*SIGKILL"):
+            engine.solve(SuicidalProblem(solver), engine.create_communicator(2))
 
     def test_fork_requirement_reported(self, grid_2x1, monkeypatch):
         monkeypatch.setattr(

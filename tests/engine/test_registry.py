@@ -1,15 +1,20 @@
-"""Engine registry and selection policy."""
+"""Engine registry, selection policy, and engine-timeout resolution."""
 
 import pytest
 
 from repro.engine import (
     DEFAULT_ENGINE,
     ENGINE_ENV_VAR,
+    ENGINE_TIMEOUT_ENV_VAR,
+    AsyncMpEngine,
     InprocEngine,
     MpEngine,
+    SanitizedAsyncMpEngine,
     engine_names,
     resolve_engine,
+    resolve_engine_timeout,
 )
+from repro.engine.base import DEFAULT_ENGINE_TIMEOUT
 from repro.errors import ConfigError
 
 
@@ -58,6 +63,62 @@ class TestResolution:
         names = engine_names()
         assert names[0] == "inproc"
         assert "mp" in names
+        assert "mp-async" in names
+        assert "mp-async-sanitize" in names
+
+    def test_async_engines_resolve_by_name(self):
+        assert isinstance(resolve_engine("mp-async"), AsyncMpEngine)
+        assert isinstance(
+            resolve_engine("mp-async-sanitize"), SanitizedAsyncMpEngine
+        )
+
+    @pytest.mark.parametrize("name", ["mp", "mp-async"])
+    def test_timeout_and_pinning_forwarded(self, name):
+        engine = resolve_engine(name, workers=2, timeout=42.0, pin_workers=True)
+        assert engine.workers == 2
+        assert engine.timeout == 42.0
+        assert engine.pin_workers is True
+
+    def test_inproc_ignores_process_options(self):
+        engine = resolve_engine("inproc", workers=4, timeout=1.0, pin_workers=True)
+        assert isinstance(engine, InprocEngine)
+
+
+class TestTimeoutResolution:
+    """CLI/config (explicit) > $REPRO_ENGINE_TIMEOUT > built-in default."""
+
+    def test_default_without_env(self, monkeypatch):
+        monkeypatch.delenv(ENGINE_TIMEOUT_ENV_VAR, raising=False)
+        assert resolve_engine_timeout() == DEFAULT_ENGINE_TIMEOUT
+
+    def test_env_var_consulted(self, monkeypatch):
+        monkeypatch.setenv(ENGINE_TIMEOUT_ENV_VAR, "123.5")
+        assert resolve_engine_timeout() == 123.5
+
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv(ENGINE_TIMEOUT_ENV_VAR, "123.5")
+        assert resolve_engine_timeout(7.0) == 7.0
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0])
+    def test_non_positive_explicit_rejected(self, bad):
+        with pytest.raises(ConfigError, match="must be positive"):
+            resolve_engine_timeout(bad)
+
+    def test_non_positive_env_rejected(self, monkeypatch):
+        monkeypatch.setenv(ENGINE_TIMEOUT_ENV_VAR, "-3")
+        with pytest.raises(ConfigError, match="must be positive"):
+            resolve_engine_timeout()
+
+    def test_unparseable_env_rejected(self, monkeypatch):
+        monkeypatch.setenv(ENGINE_TIMEOUT_ENV_VAR, "soon")
+        with pytest.raises(ConfigError, match="number of seconds"):
+            resolve_engine_timeout()
+
+    def test_engines_resolve_timeout_at_construction(self, monkeypatch):
+        monkeypatch.setenv(ENGINE_TIMEOUT_ENV_VAR, "55")
+        assert MpEngine().timeout == 55.0
+        assert AsyncMpEngine().timeout == 55.0
+        assert AsyncMpEngine(timeout=9.0).timeout == 9.0
 
 
 class TestWorkerResolution:

@@ -1,6 +1,6 @@
 """The shm race sanitizer: clean audits stay bitwise, injected faults fire.
 
-Three claims pinned here, matching the PR's acceptance criteria:
+Four claims pinned here, matching the PR's acceptance criteria:
 
 1. ``mp-sanitize`` on the 2D pin lattice reports **zero** race events and
    is bitwise identical to ``inproc`` — instrumentation must not perturb
@@ -8,13 +8,22 @@ Three claims pinned here, matching the PR's acceptance criteria:
 2. the seeded barrier-skip fault injection makes the detector fire —
    both the same-epoch-overlap and the unpublished-read rule;
 3. the epoch analysis itself behaves on hand-built event logs, so the
-   detector's semantics are testable without spawning processes.
+   detector's semantics are testable without spawning processes;
+4. the same detector proves the *relaxed* mailbox/epoch protocol of
+   ``mp-async`` race-free (``mp-async-sanitize`` clean + bitwise), while a
+   wrong-parity mailbox fault — reading the halo buffer the producers are
+   currently writing — trips both rules.
 """
 
 import numpy as np
 import pytest
 
-from repro.engine import FaultSpec, SanitizedMpEngine, analyze_events
+from repro.engine import (
+    FaultSpec,
+    SanitizedAsyncMpEngine,
+    SanitizedMpEngine,
+    analyze_events,
+)
 from repro.engine.registry import resolve_engine
 from repro.engine.sanitize import AccessEvent
 from repro.errors import SanitizerError
@@ -119,6 +128,11 @@ class TestRegistry:
         assert isinstance(engine, SanitizedMpEngine)
         assert engine.name == "mp-sanitize"
 
+    def test_mp_async_sanitize_resolves_by_name(self):
+        engine = resolve_engine("mp-async-sanitize")
+        assert isinstance(engine, SanitizedAsyncMpEngine)
+        assert engine.name == "mp-async-sanitize"
+
 
 class TestCleanAudit:
     def test_pin_lattice_clean_and_bitwise(self, pin_lattice):
@@ -171,10 +185,86 @@ class TestFaultInjection:
         assert result.sanitizer.fault == fault
 
 
+class TestAsyncCleanAudit:
+    """The mailbox/epoch protocol of ``mp-async`` proven race-free."""
+
+    def test_pin_lattice_clean_and_bitwise(self, pin_lattice):
+        """Acceptance: the relaxed protocol (no global barriers, seqlock
+        mailbox publishes) logs zero findings and stays bitwise."""
+        _, oracle = solve_2d(pin_lattice, "inproc")
+        _, result = solve_2d(pin_lattice, "mp-async-sanitize")
+        assert result.engine == "mp-async-sanitize"
+        assert result.keff == oracle.keff
+        assert np.array_equal(result.scalar_flux, oracle.scalar_flux)
+        assert result.num_iterations == oracle.num_iterations
+        report = result.sanitizer
+        assert report is not None
+        assert report.clean, report.render()
+        assert report.num_events > 0
+        assert report.fault is None
+        # The instrumented run still reports the protocol counters.
+        assert set(result.comm_counters) == {
+            "halo_wait_ns", "neighbor_stalls", "epochs_overlapped"
+        }
+
+    def test_axial_3d_clean_and_bitwise(self, two_group_fissile):
+        g3 = extruded(two_group_fissile, layers=4)
+        _, oracle = solve_3d(g3, "inproc", num_domains=4)
+        _, result = solve_3d(g3, "mp-async-sanitize", num_domains=4, workers=2)
+        assert result.keff == oracle.keff
+        assert np.array_equal(result.scalar_flux, oracle.scalar_flux)
+        assert result.sanitizer.clean, result.sanitizer.render()
+
+
+class TestAsyncFaultInjection:
+    """Negative control: a wrong-parity unpack must trip both detectors."""
+
+    def test_wrong_parity_unpack_fires_both_rules(self, pin_lattice):
+        engine = SanitizedAsyncMpEngine(
+            workers=2, fault=FaultSpec(worker=0, iteration=1)
+        )
+        _, result = solve_2d(pin_lattice, engine, workers=2)
+        report = result.sanitizer
+        assert not report.clean
+        rules = {f.rule for f in report.findings}
+        assert "same-epoch-overlap" in rules
+        assert "unpublished-read" in rules
+        assert report.fault == FaultSpec(worker=0, iteration=1)
+
+    def test_seeded_fault_lands_on_halo_iteration(self, pin_lattice):
+        """A seed always maps to iteration 1 — iteration 0 reads no halo,
+        so a seeded fault there would be a vacuous negative control."""
+        engine = SanitizedAsyncMpEngine(workers=2, fault_seed=1234)
+        _, result = solve_2d(pin_lattice, engine, workers=2)
+        report = result.sanitizer
+        assert not report.clean
+        assert report.fault.iteration == 1
+        assert report.fault.worker == FaultSpec.from_seed(1234, 2).worker
+
+    def test_iteration_zero_fault_rejected(self, pin_lattice):
+        engine = SanitizedAsyncMpEngine(
+            workers=2, fault=FaultSpec(worker=0, iteration=0)
+        )
+        with pytest.raises(SanitizerError, match="iteration 0 consumes no halo"):
+            solve_2d(pin_lattice, engine, workers=2)
+
+    def test_fault_worker_out_of_range_rejected(self, pin_lattice):
+        engine = SanitizedAsyncMpEngine(workers=2, fault=FaultSpec(worker=7, iteration=1))
+        with pytest.raises(SanitizerError, match="worker 7"):
+            solve_2d(pin_lattice, engine, workers=2)
+
+    def test_fault_and_seed_are_mutually_exclusive(self):
+        with pytest.raises(SanitizerError, match="not both"):
+            SanitizedAsyncMpEngine(
+                workers=2, fault_seed=1, fault=FaultSpec(worker=0, iteration=1)
+            )
+
+
 @pytest.mark.slow
 class TestC5G7Audit:
-    def test_c5g7_coarse_clean_and_bitwise(self):
-        """The paper's benchmark, coarse: the sanitizer must stay silent
+    @pytest.mark.parametrize("engine", ["mp-sanitize", "mp-async-sanitize"])
+    def test_c5g7_coarse_clean_and_bitwise(self, engine):
+        """The paper's benchmark, coarse: both sanitizers must stay silent
         and bitwise on full C5G7 3D heterogeneity over a z decomposition."""
         from repro.geometry.c5g7 import C5G7Spec, build_c5g7_3d
         from repro.materials.c5g7 import c5g7_library
@@ -189,7 +279,7 @@ class TestC5G7Audit:
             )
 
         _, oracle = solve_3d(build(), "inproc", max_iterations=6)
-        _, result = solve_3d(build(), "mp-sanitize", max_iterations=6)
+        _, result = solve_3d(build(), engine, max_iterations=6)
         assert result.keff == oracle.keff
         assert np.array_equal(result.scalar_flux, oracle.scalar_flux)
         assert result.sanitizer.clean, result.sanitizer.render()

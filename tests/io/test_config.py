@@ -59,6 +59,8 @@ class TestDecompositionConfig:
     def test_engine_whitelist(self):
         DecompositionConfig(engine="mp").validate()
         DecompositionConfig(engine="inproc").validate()
+        DecompositionConfig(engine="mp-async").validate()
+        DecompositionConfig(engine="mp-async-sanitize").validate()
         with pytest.raises(ConfigError, match="engine"):
             DecompositionConfig(engine="cuda").validate()
 
@@ -66,6 +68,31 @@ class TestDecompositionConfig:
         DecompositionConfig(engine="mp", workers=3).validate()
         with pytest.raises(ConfigError, match="workers"):
             DecompositionConfig(workers=-1).validate()
+
+    def test_timeout_defaults_to_unset(self):
+        cfg = DecompositionConfig()
+        cfg.validate()
+        assert cfg.timeout is None
+        assert cfg.pin_workers is False
+
+    def test_timeout_positive(self):
+        DecompositionConfig(timeout=30.0).validate()
+        DecompositionConfig(timeout=1).validate()
+
+    @pytest.mark.parametrize("bad", [0, 0.0, -5.0])
+    def test_timeout_non_positive_rejected(self, bad):
+        with pytest.raises(ConfigError, match="timeout"):
+            DecompositionConfig(timeout=bad).validate()
+
+    @pytest.mark.parametrize("bad", ["60", True])
+    def test_timeout_must_be_a_number(self, bad):
+        with pytest.raises(ConfigError, match="timeout"):
+            DecompositionConfig(timeout=bad).validate()
+
+    def test_pin_workers_must_be_bool(self):
+        DecompositionConfig(pin_workers=True).validate()
+        with pytest.raises(ConfigError, match="pin_workers"):
+            DecompositionConfig(pin_workers=1).validate()
 
 
 class TestSolverConfig:

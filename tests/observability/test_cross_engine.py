@@ -1,6 +1,8 @@
 """Cross-engine report equivalence: the counters describe the *workload*,
 so every execution engine must report the same numbers for the same
-decomposed solve — only ``num_workers`` (an engine property) may differ.
+decomposed solve — only the engine properties (``num_workers`` and the
+mp-async mailbox counters ``halo_wait_ns``/``neighbor_stalls``/
+``epochs_overlapped``) may differ.
 """
 
 import pytest
@@ -8,7 +10,16 @@ import pytest
 from repro.runtime import AntMocApplication
 from tests.observability.conftest import mini_2d_config
 
-ENGINES = ("inproc", "mp", "mp-sanitize")
+ENGINES = ("inproc", "mp", "mp-sanitize", "mp-async")
+
+#: Engine properties: timing- and protocol-dependent, excluded from the
+#: workload comparison.
+ENGINE_COUNTERS = (
+    "num_workers",
+    "halo_wait_ns",
+    "neighbor_stalls",
+    "epochs_overlapped",
+)
 
 
 def run_with_engine(engine):
@@ -25,7 +36,8 @@ def engine_results():
 
 def workload_counters(result):
     counters = result.run_report.counters.to_dict()
-    counters.pop("num_workers", None)  # engine property, not workload
+    for name in ENGINE_COUNTERS:
+        counters.pop(name, None)
     return counters
 
 
@@ -49,8 +61,17 @@ class TestCrossEngineEquivalence:
             assert counters["allreduce_calls"] > 0, engine
             assert counters["num_domains"] == 9, engine
 
+    def test_async_engine_reports_mailbox_counters(self, engine_results):
+        counters = engine_results["mp-async"].run_report.counters
+        for name in ("halo_wait_ns", "neighbor_stalls", "epochs_overlapped"):
+            assert name in counters, name
+        # The barrier engines never emit the mailbox counters.
+        for engine in ("inproc", "mp", "mp-sanitize"):
+            others = engine_results[engine].run_report.counters
+            assert "epochs_overlapped" not in others, engine
+
     def test_mp_engines_report_worker_spans(self, engine_results):
-        for engine in ("mp", "mp-sanitize"):
+        for engine in ("mp", "mp-sanitize", "mp-async"):
             report = engine_results[engine].run_report
             workers = next((s for s in report.spans if s.name == "workers"), None)
             assert workers is not None, f"{engine} run has no workers span group"

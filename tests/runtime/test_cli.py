@@ -54,3 +54,13 @@ class TestCli:
     def test_requires_config_argument(self):
         with pytest.raises(SystemExit):
             main([])
+
+    def test_engine_timeout_flag_accepted(self, config_file, capsys):
+        code = main(["--config", str(config_file), "--engine-timeout", "90"])
+        assert code in (0, 2)
+        assert "k-effective" in capsys.readouterr().out
+
+    def test_non_positive_engine_timeout_rejected(self, config_file, capsys):
+        code = main(["--config", str(config_file), "--engine-timeout", "-5"])
+        assert code == 1
+        assert "timeout" in capsys.readouterr().err
