@@ -1,0 +1,312 @@
+"""CMFD convergence benchmark (the BENCH_cmfd record).
+
+Solves each profile twice — plain power iteration and CMFD-accelerated —
+and records transport-sweep counts, eigenvalues and wall times. The
+headline quantity is the *iteration ratio* (sweeps without / sweeps with
+acceleration): sweep counts are bitwise deterministic on any host, so
+the tentpole floor (at least 3x fewer sweeps at the same k-eff) is a
+hard assertion, not a tolerance-banded timing.
+
+Profiles:
+
+- ``pins-5x5-2d``  — a water-reflected fuel island with vacuum
+  boundaries (quick; dominance ratio near one, the worst case for plain
+  power iteration);
+- ``stack-3d``     — an axially reflected 2-group fuel stack leaking
+  through the top (quick);
+- ``c5g7-mini-2d`` — the paper's mini 2D C5G7 core (full only);
+- ``c5g7-3d``      — the coarse 3D C5G7 core with axial reflector
+  (full only).
+
+Results merge into ``benchmarks/results/BENCH_cmfd.json``. Running the
+module directly with ``--quick`` measures the two quick profiles and is
+the entry point used by the perf-smoke lane (``bench_perf_smoke.py``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from pathlib import Path
+
+from repro.observability.exporters import dump_record, merge_benchmark_record
+
+RESULTS_DIR = Path(__file__).parent / "results"
+BENCH_JSON = RESULTS_DIR / "BENCH_cmfd.json"
+
+#: The tentpole floor: accelerated solves need at most a third of the
+#: sweeps. Iteration counts are deterministic, so this is exact.
+MIN_ITERATION_RATIO = 3.0
+
+#: Eigenvalue agreement between the two solves. Both stop on the same
+#: keff/source tolerances (1e-7 / 1e-6), so the converged answers agree
+#: to the iteration tolerance, not to machine precision.
+MAX_KEFF_DELTA = 5.0e-6
+
+CASES = {
+    "quick": ("pins-5x5-2d", "stack-3d"),
+    "full": ("pins-5x5-2d", "stack-3d", "c5g7-mini-2d", "c5g7-3d"),
+}
+
+
+# ---------------------------------------------------------------------------
+# Profiles: (name) -> a solve(cmfd) callable returning a SolveResult.
+# ---------------------------------------------------------------------------
+
+def _pins_5x5_2d():
+    from repro.geometry import BoundaryCondition, Geometry, Lattice
+    from repro.geometry.universe import (
+        make_homogeneous_universe,
+        make_pin_cell_universe,
+    )
+    from repro.materials import c5g7_library
+    from repro.solver.solver import MOCSolver
+
+    library = c5g7_library()
+    pin = make_pin_cell_universe(
+        0.54, library["UO2"], library["Moderator"], num_rings=2, num_sectors=4
+    )
+    water = make_homogeneous_universe(library["Moderator"])
+    row_w = [water] * 5
+    row_f = [water, pin, pin, pin, water]
+    bc = {s: BoundaryCondition.VACUUM for s in ("xmin", "xmax", "ymin", "ymax")}
+    geometry = Geometry(
+        Lattice([row_w, row_f, row_f, row_f, row_w], 1.26, 1.26),
+        boundary=bc, name="pins-5x5",
+    )
+
+    def solve(cmfd):
+        return MOCSolver.for_2d(
+            geometry, num_azim=4, azim_spacing=0.4, num_polar=2,
+            keff_tolerance=1e-7, source_tolerance=1e-6,
+            max_iterations=900, cmfd=cmfd,
+        ).solve()
+
+    return solve
+
+
+def _stack_3d():
+    from repro.geometry import BoundaryCondition, Geometry, Lattice
+    from repro.geometry.extruded import (
+        AxialMesh,
+        ExtrudedGeometry,
+        reflector_layer_map,
+    )
+    from repro.geometry.universe import make_homogeneous_universe
+    from repro.materials import Material
+    from repro.solver.solver import MOCSolver
+
+    fissile = Material(
+        "fissile-2g",
+        sigma_t=[0.30, 0.80],
+        sigma_s=[[0.20, 0.05], [0.00, 0.60]],
+        nu_sigma_f=[0.008, 0.25],
+        sigma_f=[0.003, 0.10],
+        chi=[1.0, 0.0],
+    )
+    absorber = Material(
+        "absorber-2g", sigma_t=[0.40, 1.20], sigma_s=[[0.25, 0.05], [0.00, 0.70]]
+    )
+    radial = Geometry(Lattice([[make_homogeneous_universe(fissile)]], 3.0, 2.0))
+    g3 = ExtrudedGeometry(
+        radial, AxialMesh.uniform(0.0, 16.0, 8),
+        layer_material=reflector_layer_map(absorber, {6, 7}),
+        boundary_zmin=BoundaryCondition.REFLECTIVE,
+        boundary_zmax=BoundaryCondition.VACUUM,
+    )
+
+    def solve(cmfd):
+        return MOCSolver.for_3d(
+            g3, num_azim=4, azim_spacing=0.7, polar_spacing=0.7, num_polar=2,
+            keff_tolerance=1e-7, source_tolerance=1e-6,
+            max_iterations=900, cmfd=cmfd,
+        ).solve()
+
+    return solve
+
+
+def _c5g7_mini_2d():
+    from repro.geometry.c5g7 import C5G7Spec, build_c5g7_geometry
+    from repro.materials import c5g7_library
+    from repro.solver.solver import MOCSolver
+
+    geometry = build_c5g7_geometry(
+        c5g7_library(), C5G7Spec(pins_per_assembly=3, reflector_refinement=3)
+    )
+
+    def solve(cmfd):
+        return MOCSolver.for_2d(
+            geometry, num_azim=4, azim_spacing=0.3, num_polar=2,
+            keff_tolerance=1e-7, source_tolerance=1e-6,
+            max_iterations=900, cmfd=cmfd,
+        ).solve()
+
+    return solve
+
+
+def _c5g7_3d():
+    from repro.geometry.c5g7 import C5G7Spec, build_c5g7_3d
+    from repro.materials import c5g7_library
+    from repro.solver.solver import MOCSolver
+
+    g3 = build_c5g7_3d(
+        c5g7_library(),
+        C5G7Spec(
+            pins_per_assembly=3, reflector_refinement=2,
+            fuel_layers=2, reflector_layers=2,
+        ),
+    )
+
+    def solve(cmfd):
+        return MOCSolver.for_3d(
+            g3, num_azim=4, azim_spacing=0.7, polar_spacing=0.7, num_polar=2,
+            keff_tolerance=1e-7, source_tolerance=1e-6,
+            max_iterations=900, cmfd=cmfd,
+        ).solve()
+
+    return solve
+
+
+PROFILES = {
+    "pins-5x5-2d": _pins_5x5_2d,
+    "stack-3d": _stack_3d,
+    "c5g7-mini-2d": _c5g7_mini_2d,
+    "c5g7-3d": _c5g7_3d,
+}
+
+
+# ---------------------------------------------------------------------------
+# Record assembly.
+# ---------------------------------------------------------------------------
+
+def measure_profile(name: str) -> dict:
+    """One profile, solved plain then accelerated."""
+    solve = PROFILES[name]()
+    runs = {}
+    for key, cmfd in (("off", None), ("on", True)):
+        t0 = time.perf_counter()
+        result = solve(cmfd)
+        seconds = time.perf_counter() - t0
+        if not result.converged:
+            raise RuntimeError(f"{name} (cmfd={key}) did not converge")
+        runs[key] = {
+            "iterations": result.num_iterations,
+            "keff": result.keff,
+            "seconds": round(seconds, 3),
+            "cmfd_stats": result.cmfd_stats,
+        }
+    return {
+        "iterations": {k: runs[k]["iterations"] for k in runs},
+        "keff": {k: runs[k]["keff"] for k in runs},
+        "seconds": {k: runs[k]["seconds"] for k in runs},
+        "cmfd_iterations": runs["on"]["cmfd_stats"].get("cmfd_iterations", 0),
+        "iteration_ratio": runs["off"]["iterations"] / runs["on"]["iterations"],
+        "keff_delta": abs(runs["on"]["keff"] - runs["off"]["keff"]),
+        "time_ratio": runs["off"]["seconds"] / max(runs["on"]["seconds"], 1e-12),
+    }
+
+
+def run_case(case: str) -> dict:
+    profiles = {name: measure_profile(name) for name in CASES[case]}
+    record = {
+        "case": case,
+        "profiles": profiles,
+        "ratios": {
+            "min_iteration_ratio": min(
+                p["iteration_ratio"] for p in profiles.values()
+            ),
+        },
+    }
+    merge_benchmark_record(BENCH_JSON, record, benchmark="cmfd")
+    return record
+
+
+def _report(reporter, record: dict) -> None:
+    reporter.line(f"case: {record['case']}")
+    reporter.table(
+        ["profile", "sweeps off", "sweeps on", "ratio", "dk", "time off", "time on"],
+        [
+            [
+                name,
+                p["iterations"]["off"],
+                p["iterations"]["on"],
+                f"{p['iteration_ratio']:.2f}x",
+                f"{p['keff_delta']:.1e}",
+                f"{p['seconds']['off']:.2f}s",
+                f"{p['seconds']['on']:.2f}s",
+            ]
+            for name, p in record["profiles"].items()
+        ],
+        widths=[16, 12, 11, 8, 10, 10, 10],
+    )
+    reporter.line(
+        f"min iteration ratio: {record['ratios']['min_iteration_ratio']:.2f}x "
+        f"(floor {MIN_ITERATION_RATIO:.0f}x)"
+    )
+
+
+def check_record(record: dict) -> None:
+    """The acceptance assertions shared by the bench and the smoke lane."""
+    for name, profile in record["profiles"].items():
+        ratio = profile["iteration_ratio"]
+        assert ratio >= MIN_ITERATION_RATIO, (
+            f"{name}: CMFD saved only {ratio:.2f}x sweeps "
+            f"({profile['iterations']['off']} -> {profile['iterations']['on']}, "
+            f"floor {MIN_ITERATION_RATIO:.0f}x)"
+        )
+        assert profile["keff_delta"] <= MAX_KEFF_DELTA, (
+            f"{name}: accelerated k-eff drifted {profile['keff_delta']:.2e} "
+            f"(bound {MAX_KEFF_DELTA:.0e})"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Pytest entry points.
+# ---------------------------------------------------------------------------
+
+try:
+    import pytest
+except ImportError:  # direct invocation needs no pytest
+    pytest = None
+
+
+if pytest is not None:
+
+    @pytest.mark.slow
+    def test_cmfd_convergence_full(reporter):
+        """Full configuration: the C5G7 profiles the tentpole claim cites."""
+        record = run_case("full")
+        _report(reporter, record)
+        check_record(record)
+
+    def test_cmfd_convergence_quick(reporter):
+        record = run_case("quick")
+        _report(reporter, record)
+        check_record(record)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="measure the quick profiles only"
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="print the case record as JSON"
+    )
+    args = parser.parse_args(argv)
+    record = run_case("quick" if args.quick else "full")
+    if args.json:
+        print(dump_record(record, indent=2))
+    else:
+        for name, profile in record["profiles"].items():
+            print(
+                f"{name}: {profile['iterations']['off']} -> "
+                f"{profile['iterations']['on']} sweeps "
+                f"({profile['iteration_ratio']:.2f}x, dk={profile['keff_delta']:.1e})"
+            )
+    check_record(record)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

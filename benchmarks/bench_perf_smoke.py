@@ -106,3 +106,33 @@ def test_sweep_quick_ratio_holds():
         numpy_row["speedup_vs_reference"],
         base_numpy["speedup_vs_reference"],
     )
+
+
+@pytest.mark.perf
+def test_cmfd_quick_iteration_ratio_holds():
+    """CMFD must keep saving at least 3x the transport sweeps.
+
+    Sweep counts are bitwise deterministic, so unlike the timing gates
+    this one needs no tolerance band: the quick profiles are re-solved
+    and every iteration ratio is held to the committed baseline's floor
+    and to the absolute 3x tentpole floor. A regression here means the
+    acceleration itself degraded, not that the host was noisy.
+    """
+    baseline = _baseline("BENCH_cmfd.json", "quick")["profiles"]
+    record = _run_quick("bench_cmfd_convergence.py")
+    for name, profile in record["profiles"].items():
+        ratio = profile["iteration_ratio"]
+        assert ratio >= 3.0, (
+            f"{name}: CMFD saved only {ratio:.2f}x sweeps "
+            f"({profile['iterations']['off']} -> {profile['iterations']['on']})"
+        )
+        base = baseline.get(name)
+        if base is not None:
+            assert profile["iterations"] == base["iterations"], (
+                f"{name}: sweep counts moved from the committed baseline "
+                f"{base['iterations']} to {profile['iterations']} — "
+                f"deterministic counts only change when the numerics change"
+            )
+        assert profile["keff_delta"] <= 5.0e-6, (
+            f"{name}: accelerated k-eff drifted {profile['keff_delta']:.2e}"
+        )

@@ -83,6 +83,14 @@ def build_parser() -> argparse.ArgumentParser:
         "the config's decomposition.timeout and $REPRO_ENGINE_TIMEOUT.",
     )
     parser.add_argument(
+        "--cmfd",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help="Enable (--cmfd) or disable (--no-cmfd) CMFD acceleration of "
+        "the eigenvalue iteration, overriding the config's solver.cmfd "
+        "block and the REPRO_CMFD environment variable.",
+    )
+    parser.add_argument(
         "--tracking-cache",
         nargs="?",
         const="",
@@ -119,6 +127,14 @@ def main(argv: list[str] | None = None) -> int:
             )
             config = dataclasses.replace(config, decomposition=decomposition)
             config.decomposition.validate()
+        if args.cmfd is not None:
+            config = dataclasses.replace(
+                config,
+                solver=dataclasses.replace(
+                    config.solver,
+                    cmfd=dataclasses.replace(config.solver.cmfd, enabled=args.cmfd),
+                ),
+            )
         if args.tracking_cache is not None:
             config = dataclasses.replace(
                 config,

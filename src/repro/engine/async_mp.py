@@ -55,6 +55,7 @@ from repro.engine.base import EngineResult
 from repro.engine.shm import ShmArena
 from repro.errors import CommunicationError, SolverError
 from repro.io.logging_utils import StageTimer, get_logger
+from repro.solver.cmfd import CmfdStats, apply_engine_cmfd
 from repro.solver.convergence import ConvergenceMonitor
 
 #: Grant-word slots (float64): epoch counter, eigenvalue, normalisation,
@@ -105,6 +106,8 @@ def _async_worker_loop(problem, pack, wid, owned, fields, queue, timeout, pin):
     fission, prod = fields["fission"], fields["prod"]
     edge_seq, grant = fields["edge_seq"], fields["grant"]
     worker_seq, fission_seq = fields["worker_seq"], fields["fission_seq"]
+    cmfd = problem.cmfd
+    currents, factors = fields.get("currents"), fields.get("factors")
     stalls = 0
     overlapped = 0
     try:
@@ -123,6 +126,11 @@ def _async_worker_loop(problem, pack, wid, owned, fields, queue, timeout, pin):
                     for d in owned:
                         block = problem.block(d, phi)
                         np.divide(problem.block(d, phi_new), pnorm, out=block)
+                        if cmfd is not None:
+                            # CMFD prolongation: same divide-then-multiply
+                            # element order as the inproc reference, so the
+                            # flux stays bitwise equal with acceleration on.
+                            block *= factors[problem.block(d, cmfd.cellmap)]
                         problem.block(d, fission)[:] = problem.fission_source(
                             d, block
                         )
@@ -146,10 +154,29 @@ def _async_worker_loop(problem, pack, wid, owned, fields, queue, timeout, pin):
                             problem.sweeper(d).psi_in[tracks, dirs] = halo[
                                 (t - 1) % 2, pack.edge_routes(e)
                             ]
+                    if cmfd is not None:
+                        # Rescale the stored boundary flux by the grant's
+                        # prolongation factors (published before grant t+1,
+                        # i.e. the factors of iteration t-1) — after the
+                        # in-edge unpack so received slots are scaled too,
+                        # matching inproc's end-of-iteration rescale.
+                        with timer.stage("worker_exchange"):
+                            sweeper = problem.sweeper(d)
+                            sweeper.current_tally.scale_boundary_flux(
+                                sweeper.psi_in, factors
+                            )
                 with timer.stage("worker_sweep"):
                     problem.block(d, phi_new)[:] = problem.sweep_domain(
                         d, problem.block(d, phi), keff
                     )
+                    if cmfd is not None:
+                        # Publish before worker_seq: the parent reads the
+                        # coarse tallies only after every worker_seq >= t+1,
+                        # and grants t+2 only after the coarse solve, so
+                        # the single buffer is never overwritten early.
+                        cmfd.domain_rows(currents, d)[:] = problem.sweeper(
+                            d
+                        ).current_tally.take()
                     for e in pack.out_edges(d):
                         tracks, dirs = pack.edge_source(e)
                         halo[t % 2, pack.edge_routes(e)] = problem.sweeper(
@@ -242,23 +269,29 @@ class AsyncMpEngine(MpEngine):
         self._prepare_solve(problem, W)
         pack = EdgePack(problem)
         slot = pack.slot_shape if pack.num_routes else problem.slot_shape
-        arena = ShmArena(
-            {
-                "phi": (problem.num_fsrs_total, problem.num_groups),
-                "phi_new": (problem.num_fsrs_total, problem.num_groups),
-                "halo": (2, max(pack.num_routes, 1)) + tuple(slot),
-                "fission": (problem.num_fsrs_total,),
-                "prod": (D,),
-                "edge_seq": (max(pack.num_edges, 1),),
-                "worker_seq": (W,),
-                "fission_seq": (W,),
-                "grant": (4,),
-            }
-        )
+        cmfd = problem.cmfd
+        cmfd_stats = CmfdStats() if cmfd is not None else None
+        shapes = {
+            "phi": (problem.num_fsrs_total, problem.num_groups),
+            "phi_new": (problem.num_fsrs_total, problem.num_groups),
+            "halo": (2, max(pack.num_routes, 1)) + tuple(slot),
+            "fission": (problem.num_fsrs_total,),
+            "prod": (D,),
+            "edge_seq": (max(pack.num_edges, 1),),
+            "worker_seq": (W,),
+            "fission_seq": (W,),
+            "grant": (4,),
+        }
+        if cmfd is not None:
+            shapes["currents"] = (max(cmfd.total_pair_rows, 1), problem.num_groups)
+            shapes["factors"] = (cmfd.num_cells, problem.num_groups)
+        arena = ShmArena(shapes)
         phi, phi_new = arena["phi"], arena["phi_new"]
         fission, prod = arena["fission"], arena["prod"]
         worker_seq, fission_seq = arena["worker_seq"], arena["fission_seq"]
         grant = arena["grant"]
+        currents = arena["currents"] if cmfd is not None else None
+        factors = arena["factors"] if cmfd is not None else None
         fields = {
             "phi": phi,
             "phi_new": phi_new,
@@ -270,6 +303,9 @@ class AsyncMpEngine(MpEngine):
             "fission_seq": fission_seq,
             "grant": grant,
         }
+        if cmfd is not None:
+            fields["currents"] = currents
+            fields["factors"] = factors
         queue = ctx.SimpleQueue()
         owned = [[d for d in range(D) if d % W == w] for w in range(W)]
         procs = [
@@ -321,6 +357,21 @@ class AsyncMpEngine(MpEngine):
                     if new_production <= 0.0:
                         raise SolverError("fission production vanished")
                     keff = keff * new_production
+                    if cmfd is not None:
+                        # The coarse solve is parent-side work between the
+                        # harvest and the next grant: workers consume the
+                        # published factors (and the grant's k_cmfd) in the
+                        # normalize phase that the grant releases.
+                        with timer.stage("engine_solve/cmfd"):
+                            rows = [
+                                cmfd.domain_rows(currents, d) for d in range(D)
+                            ]
+                            keff, mult, step = apply_engine_cmfd(
+                                cmfd, problem, rows, phi_new, new_production,
+                                keff,
+                            )
+                            factors[:] = mult
+                            cmfd_stats.record(step, 0.0)
                     last = t + 1 >= problem.max_iterations
                     issue(t + 2, keff, new_production, FINAL if last else RUN)
                     self._parent_wait_all(
@@ -337,6 +388,8 @@ class AsyncMpEngine(MpEngine):
                         break
                 scalar_flux = phi.copy()
                 payloads = self._collect_payloads(queue, procs, W)
+            if cmfd_stats is not None:
+                cmfd_stats.seconds = timer.duration("engine_solve/cmfd")
             return EngineResult(
                 keff=keff,
                 scalar_flux=scalar_flux,
@@ -344,6 +397,7 @@ class AsyncMpEngine(MpEngine):
                 num_iterations=monitor.num_iterations,
                 monitor=monitor,
                 solve_seconds=timer.duration("engine_solve"),
+                cmfd_stats=cmfd_stats.as_dict() if cmfd_stats is not None else {},
                 num_workers=W,
                 worker_timers=sorted(
                     (wid, payload)
@@ -363,5 +417,5 @@ class AsyncMpEngine(MpEngine):
                     proc.terminate()
                     proc.join(timeout=5.0)
             del phi, phi_new, fission, prod, worker_seq, fission_seq, grant
-            del fields
+            del currents, factors, fields
             arena.close(unlink=True)

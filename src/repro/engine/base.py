@@ -85,6 +85,9 @@ class EngineResult:
     #: ``halo_wait_ns``, ``neighbor_stalls`` and ``epochs_overlapped``
     #: summed across workers, fed into the observability CounterSet.
     comm_counters: dict[str, int] = field(default_factory=dict)
+    #: CMFD accelerator bookkeeping (``cmfd_solves``/``cmfd_iterations``/
+    #: ``cmfd_skips``/``cmfd_seconds``); empty dict when CMFD is off.
+    cmfd_stats: dict[str, float] = field(default_factory=dict)
 
 
 class ExecutionEngine(ABC):

@@ -18,6 +18,7 @@ from repro.engine.problem import DecomposedProblem
 from repro.errors import SolverError
 from repro.io.logging_utils import StageTimer
 from repro.parallel.comm import SimComm
+from repro.solver.cmfd import CmfdStats, apply_engine_cmfd
 from repro.solver.convergence import ConvergenceMonitor
 
 
@@ -47,6 +48,8 @@ class InprocEngine(ExecutionEngine):
 
     def solve(self, problem: DecomposedProblem, comm: SimComm) -> EngineResult:
         timer = StageTimer()
+        cmfd = problem.cmfd
+        cmfd_stats = CmfdStats() if cmfd is not None else None
         with timer.stage("engine_solve"):
             ranks = range(problem.num_domains)
             phi = np.ones((problem.num_fsrs_total, problem.num_groups))
@@ -75,12 +78,29 @@ class InprocEngine(ExecutionEngine):
                     raise SolverError("fission production vanished")
                 keff = keff * new_production
                 phi = phi_new / new_production
+                if cmfd is not None:
+                    with timer.stage("engine_solve/cmfd"):
+                        rows = [
+                            problem.sweeper(d).current_tally.take() for d in ranks
+                        ]
+                        keff, factors, step = apply_engine_cmfd(
+                            cmfd, problem, rows, phi_new, new_production, keff
+                        )
+                        phi *= factors[cmfd.cellmap]
+                        for d in ranks:
+                            sweeper = problem.sweeper(d)
+                            sweeper.current_tally.scale_boundary_flux(
+                                sweeper.psi_in, factors
+                            )
+                        cmfd_stats.record(step, 0.0)
                 fission = np.concatenate(
                     [problem.fission_source(d, problem.block(d, phi)) for d in ranks]
                 )
                 monitor.update(keff, fission)
                 if monitor.converged:
                     break
+        if cmfd_stats is not None:
+            cmfd_stats.seconds = timer.duration("engine_solve/cmfd")
         return EngineResult(
             keff=keff,
             scalar_flux=phi,
@@ -88,4 +108,5 @@ class InprocEngine(ExecutionEngine):
             num_iterations=monitor.num_iterations,
             monitor=monitor,
             solve_seconds=timer.duration("engine_solve"),
+            cmfd_stats=cmfd_stats.as_dict() if cmfd_stats is not None else {},
         )

@@ -39,6 +39,7 @@ from repro.engine.shm import ShmArena
 from repro.errors import CommunicationError, ReproError, SolverError
 from repro.io.logging_utils import StageTimer, get_logger
 from repro.parallel.comm import CommStats, account_allreduce
+from repro.solver.cmfd import CmfdStats, apply_engine_cmfd
 from repro.solver.convergence import ConvergenceMonitor
 
 #: Control-word slots (float64): stop flag, current eigenvalue.
@@ -135,9 +136,19 @@ def _abort_barrier(barrier, wid: int) -> None:
 
 
 def _worker_loop(problem, pack, wid, owned, phi, phi_new, halo, control,
-                 barrier, queue, timeout, pin):
-    """Worker body: barrier-phased sweep/exchange until the stop flag."""
+                 barrier, queue, timeout, pin, currents, factors):
+    """Worker body: barrier-phased sweep/exchange until the stop flag.
+
+    With CMFD on, a worker's sweep phase also rescales its domains' stored
+    boundary flux by the previous iteration's prolongation factors (the
+    parent published them before releasing this barrier — ``psi_in`` is
+    process-private after fork, so only the worker can do this) and writes
+    each domain's current tally into its shared ``currents`` rows for the
+    parent's rank-ordered reduction.
+    """
     timer = StageTimer()
+    cmfd = problem.cmfd
+    iteration = 0
     try:
         _maybe_pin_worker(wid, pin)
         while True:
@@ -147,18 +158,28 @@ def _worker_loop(problem, pack, wid, owned, phi, phi_new, halo, control,
             keff = float(control[_KEFF])
             with timer.stage("worker_sweep"):
                 for d in owned:
+                    sweeper = problem.sweeper(d)
+                    if cmfd is not None and iteration > 0:
+                        sweeper.current_tally.scale_boundary_flux(
+                            sweeper.psi_in, factors
+                        )
                     problem.block(d, phi_new)[:] = problem.sweep_domain(
                         d, problem.block(d, phi), keff
                     )
+                    if cmfd is not None:
+                        cmfd.domain_rows(currents, d)[:] = (
+                            sweeper.current_tally.take()
+                        )
                     idx, tracks, dirs = pack.outgoing(d)
                     if idx.size:
-                        halo[idx] = problem.sweeper(d).psi_out_last[tracks, dirs]
+                        halo[idx] = sweeper.psi_out_last[tracks, dirs]
             barrier.wait(timeout)
             with timer.stage("worker_exchange"):
                 for d in owned:
                     idx, tracks, dirs = pack.incoming(d)
                     if idx.size:
                         problem.sweeper(d).psi_in[tracks, dirs] = halo[idx]
+            iteration += 1
         queue.put(("timers", wid, timer.as_dict()))
     except WORKER_ERRORS as exc:
         get_logger("repro.engine.mp").error("worker %d failed: %s", wid, exc)
@@ -285,16 +306,24 @@ class MpEngine(ExecutionEngine):
         self._prepare_solve(problem, W)
         pack = RoutePack(problem)
         slot = pack.slot_shape if pack.num_routes else problem.slot_shape
-        arena = ShmArena(
-            {
-                "phi": (problem.num_fsrs_total, problem.num_groups),
-                "phi_new": (problem.num_fsrs_total, problem.num_groups),
-                "halo": (max(pack.num_routes, 1),) + tuple(slot),
-                "control": (2,),
-            }
-        )
+        cmfd = problem.cmfd
+        shapes = {
+            "phi": (problem.num_fsrs_total, problem.num_groups),
+            "phi_new": (problem.num_fsrs_total, problem.num_groups),
+            "halo": (max(pack.num_routes, 1),) + tuple(slot),
+            "control": (2,),
+        }
+        if cmfd is not None:
+            shapes["currents"] = (
+                max(cmfd.total_pair_rows, 1), problem.num_groups
+            )
+            shapes["factors"] = (cmfd.num_cells, problem.num_groups)
+        arena = ShmArena(shapes)
         phi, phi_new = arena["phi"], arena["phi_new"]
         control = arena["control"]
+        currents = arena["currents"] if cmfd is not None else None
+        factors = arena["factors"] if cmfd is not None else None
+        cmfd_stats = CmfdStats() if cmfd is not None else None
         barrier = ctx.Barrier(W + 1)
         queue = ctx.SimpleQueue()
         owned = [[d for d in range(D) if d % W == w] for w in range(W)]
@@ -302,7 +331,8 @@ class MpEngine(ExecutionEngine):
             ctx.Process(
                 target=self._worker_target(),
                 args=(problem, pack, w, owned[w], phi, phi_new, arena["halo"],
-                      control, barrier, queue, self.timeout, self.pin_workers)
+                      control, barrier, queue, self.timeout, self.pin_workers,
+                      currents, factors)
                 + self._worker_extra_args(w),
                 daemon=True,
                 name=f"repro-{self.name}-worker-{w}",
@@ -338,6 +368,18 @@ class MpEngine(ExecutionEngine):
                         raise SolverError("fission production vanished")
                     keff = keff * new_production
                     np.divide(phi_new, new_production, out=phi)
+                    if cmfd is not None:
+                        with timer.stage("engine_solve/cmfd"):
+                            rows = [
+                                cmfd.domain_rows(currents, d) for d in range(D)
+                            ]
+                            keff, mult, step = apply_engine_cmfd(
+                                cmfd, problem, rows, phi_new, new_production,
+                                keff,
+                            )
+                            phi *= mult[cmfd.cellmap]
+                            factors[:] = mult
+                            cmfd_stats.record(step, 0.0)
                     fission = np.concatenate(
                         [
                             problem.fission_source(d, problem.block(d, phi))
@@ -351,6 +393,8 @@ class MpEngine(ExecutionEngine):
                 self._wait(barrier, queue, procs)  # workers observe stop and exit
                 scalar_flux = phi.copy()
                 payloads = self._collect_payloads(queue, procs, W)
+            if cmfd_stats is not None:
+                cmfd_stats.seconds = timer.duration("engine_solve/cmfd")
             return EngineResult(
                 keff=keff,
                 scalar_flux=scalar_flux,
@@ -363,6 +407,7 @@ class MpEngine(ExecutionEngine):
                     (wid, payload)
                     for wid, payload in payloads.get("timers", {}).items()
                 ),
+                cmfd_stats=cmfd_stats.as_dict() if cmfd_stats is not None else {},
                 **self._result_extras(payloads),
             )
         finally:
@@ -375,7 +420,7 @@ class MpEngine(ExecutionEngine):
                 if proc.is_alive():  # pragma: no cover - crash cleanup
                     proc.terminate()
                     proc.join(timeout=5.0)
-            del phi, phi_new, control
+            del phi, phi_new, control, currents, factors
             arena.close(unlink=True)
 
     def _allreduce(self, problem: DecomposedProblem, comm: MpCommunicator,

@@ -38,6 +38,14 @@ class DecomposedProblem(ABC):
     max_iterations: int
     keff_tolerance: float
     source_tolerance: float
+    #: Global coarse CMFD problem (:class:`~repro.solver.cmfd.CmfdProblem`)
+    #: when the driver enabled acceleration, else ``None``. Engines that
+    #: see one run the coarse solve between sweeps: per-domain current
+    #: tallies (``sweeper(d).current_tally``) reduce in rank order, the
+    #: prolongation multiplies the normalised flux, and each domain's
+    #: stored boundary flux is rescaled — all deterministic, so every
+    #: engine stays bitwise-equal with CMFD on.
+    cmfd = None
 
     @abstractmethod
     def block(self, d: int, array: np.ndarray) -> np.ndarray:
@@ -87,6 +95,7 @@ class Problem2D(DecomposedProblem):
         self.max_iterations = solver.max_iterations
         self.keff_tolerance = solver.keff_tolerance
         self.source_tolerance = solver.source_tolerance
+        self.cmfd = getattr(solver, "cmfd_problem", None)
 
     def block(self, d: int, array: np.ndarray) -> np.ndarray:
         dom = self._solver.domains[d]
@@ -121,6 +130,7 @@ class Problem3D(DecomposedProblem):
         self.max_iterations = solver.max_iterations
         self.keff_tolerance = solver.keff_tolerance
         self.source_tolerance = solver.source_tolerance
+        self.cmfd = getattr(solver, "cmfd_problem", None)
 
     def block(self, d: int, array: np.ndarray) -> np.ndarray:
         dom = self._solver.domains[d]

@@ -250,16 +250,22 @@ def analyze_events(
 
 
 def _sanitized_worker_loop(problem, pack, wid, owned, phi, phi_new, halo, control,
-                           barrier, queue, timeout, pin, fault):
+                           barrier, queue, timeout, pin, currents, factors,
+                           fault):
     """Instrumented twin of ``mp._worker_loop``.
 
     Performs the *same* numeric operations in the same order (keeping
     ``mp-sanitize`` bitwise equal to ``inproc``), but routes every shared
     access through a :class:`TrackedField` and advances the epoch counter
-    at each barrier passage. When ``fault`` names this worker and the
-    current iteration, the mid-iteration barrier is skipped: the exchange
-    runs early (the injected race) and a compensating wait afterwards
-    restores barrier parity so the run still terminates cleanly.
+    at each barrier passage. The CMFD ``currents``/``factors`` fields are
+    deliberately *untracked*: like the control word, they are
+    parent-synchronized single-writer cells (the worker writes its own
+    ``currents`` rows, only the parent writes ``factors``, both separated
+    by barriers), so the barrier rules have nothing to say about them.
+    When ``fault`` names this worker and the current iteration, the
+    mid-iteration barrier is skipped: the exchange runs early (the
+    injected race) and a compensating wait afterwards restores barrier
+    parity so the run still terminates cleanly.
     """
     timer = StageTimer()
     log = AccessLog(wid)
@@ -267,6 +273,7 @@ def _sanitized_worker_loop(problem, pack, wid, owned, phi, phi_new, halo, contro
     t_phi_new = TrackedField("phi_new", phi_new, log)
     t_halo = TrackedField("halo", halo, log)
     t_control = TrackedField("control", control, log)
+    cmfd = problem.cmfd
     row_index = np.arange(problem.num_fsrs_total)
     rows = {
         d: slice(int(problem.block(d, row_index)[0]),
@@ -288,13 +295,22 @@ def _sanitized_worker_loop(problem, pack, wid, owned, phi, phi_new, halo, contro
             keff = float(t_control.get(_KEFF))
             with timer.stage("worker_sweep"):
                 for d in owned:
+                    sweeper = problem.sweeper(d)
+                    if cmfd is not None and iteration > 0:
+                        sweeper.current_tally.scale_boundary_flux(
+                            sweeper.psi_in, factors
+                        )
                     t_phi_new.set(
                         rows[d],
                         problem.sweep_domain(d, t_phi.get(rows[d]), keff),
                     )
+                    if cmfd is not None:
+                        cmfd.domain_rows(currents, d)[:] = (
+                            sweeper.current_tally.take()
+                        )
                     idx, tracks, dirs = pack.outgoing(d)
                     if idx.size:
-                        t_halo.set(idx, problem.sweeper(d).psi_out_last[tracks, dirs])
+                        t_halo.set(idx, sweeper.psi_out_last[tracks, dirs])
             inject = (
                 fault is not None
                 and fault.worker == wid
@@ -397,9 +413,11 @@ def _sanitized_async_worker_loop(problem, pack, wid, owned, fields, queue,
     onto the analyzer's existing rules: a clean schedule reads at epoch
     ``t`` exactly the flat slots written at epoch ``t-1`` (rule 2, the
     published-before-read invariant) and never overlaps a same-epoch
-    write (rule 1). The grant word and the sequence counters are *not*
-    tracked: they are the synchronization cells themselves, written by
-    the (unlogged) parent or read concurrently by design; their
+    write (rule 1). The grant word, the sequence counters and the CMFD
+    ``currents``/``factors`` fields are *not* tracked: they are the
+    synchronization cells themselves or parent-synchronized single-writer
+    cells (only the parent writes ``factors``; a worker writes only its
+    own ``currents`` rows, both ordered by the grant protocol); their
     correctness is exactly what rule 2 checks through the halo.
 
     The injected fault (``fault.worker`` at ``fault.iteration``) skips the
@@ -419,6 +437,8 @@ def _sanitized_async_worker_loop(problem, pack, wid, owned, fields, queue,
     fission, prod = fields["fission"], fields["prod"]
     edge_seq, grant = fields["edge_seq"], fields["grant"]
     worker_seq, fission_seq = fields["worker_seq"], fields["fission_seq"]
+    cmfd = problem.cmfd
+    currents, factors = fields.get("currents"), fields.get("factors")
     row_index = np.arange(problem.num_fsrs_total)
     rows = {
         d: slice(int(problem.block(d, row_index)[0]),
@@ -446,6 +466,14 @@ def _sanitized_async_worker_loop(problem, pack, wid, owned, fields, queue,
                             rows[d],
                             np.divide(t_phi_new.get(rows[d]), pnorm),
                         )
+                        if cmfd is not None:
+                            # Divide-then-multiply, same element order as
+                            # the live async worker — bitwise identical.
+                            t_phi.set(
+                                rows[d],
+                                t_phi.get(rows[d])
+                                * factors[problem.block(d, cmfd.cellmap)],
+                            )
                         problem.block(d, fission)[:] = problem.fission_source(
                             d, phi[rows[d]]
                         )
@@ -476,11 +504,21 @@ def _sanitized_async_worker_loop(problem, pack, wid, owned, fields, queue,
                             problem.sweeper(d).psi_in[tracks, dirs] = (
                                 t_halo.get(flat)
                             )
+                    if cmfd is not None:
+                        with timer.stage("worker_exchange"):
+                            sweeper = problem.sweeper(d)
+                            sweeper.current_tally.scale_boundary_flux(
+                                sweeper.psi_in, factors
+                            )
                 with timer.stage("worker_sweep"):
                     t_phi_new.set(
                         rows[d],
                         problem.sweep_domain(d, t_phi.get(rows[d]), keff),
                     )
+                    if cmfd is not None:
+                        cmfd.domain_rows(currents, d)[:] = problem.sweeper(
+                            d
+                        ).current_tally.take()
                     for e in pack.out_edges(d):
                         tracks, dirs = pack.edge_source(e)
                         flat = (t % 2) * num_slots + pack.edge_routes(e)

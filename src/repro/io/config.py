@@ -123,6 +123,49 @@ class DecompositionConfig:
 
 
 @dataclass(frozen=True)
+class CmfdConfig:
+    """CMFD acceleration controls (``solver.cmfd`` block).
+
+    ``enabled`` is tri-state: ``None`` defers to the ``REPRO_CMFD``
+    environment variable (the resolution order is CLI > config > env >
+    off). The remaining fields mirror
+    :class:`~repro.solver.cmfd.CmfdOptions`, which consumes this object
+    duck-typed once the switch resolves to on.
+    """
+
+    enabled: bool | None = None
+    #: Coarse cells along x/y; 0 means one per root-lattice cell.
+    mesh_x: int = 0
+    mesh_y: int = 0
+    #: Coarse layers along z; 0 means one per global axial layer (3D only).
+    mesh_z: int = 0
+    #: Relative tolerance on the coarse eigenvalue iteration.
+    tolerance: float = 1.0e-12
+    #: Inner power-iteration cap; exhaustion skips the acceleration step.
+    max_inner_iterations: int = 20000
+    #: Prolongation under-relaxation factor in (0, 1].
+    relaxation: float = 0.5
+
+    def validate(self) -> None:
+        if self.enabled is not None and not isinstance(self.enabled, bool):
+            raise ConfigError(
+                f"solver.cmfd.enabled must be a boolean (got {self.enabled!r})"
+            )
+        if min(self.mesh_x, self.mesh_y, self.mesh_z) < 0:
+            raise ConfigError("solver.cmfd mesh dimensions must be non-negative")
+        if not isinstance(self.tolerance, (int, float)) or not self.tolerance > 0:
+            raise ConfigError(
+                f"solver.cmfd.tolerance must be positive (got {self.tolerance!r})"
+            )
+        if self.max_inner_iterations < 1:
+            raise ConfigError("solver.cmfd.max_inner_iterations must be >= 1")
+        if not 0.0 < self.relaxation <= 1.0:
+            raise ConfigError(
+                f"solver.cmfd.relaxation must be in (0, 1] (got {self.relaxation})"
+            )
+
+
+@dataclass(frozen=True)
 class SolverConfig:
     """Transport-solve controls (stage 4)."""
 
@@ -138,8 +181,12 @@ class SolverConfig:
     exp_mode: str = "table"
     #: Maximum absolute interpolation error of the exponential table.
     exp_table_max_error: float = 1.0e-8
+    #: CMFD acceleration block (see :class:`CmfdConfig`); also accepts a
+    #: bare boolean in config files as shorthand for ``{enabled: ...}``.
+    cmfd: CmfdConfig = field(default_factory=CmfdConfig)
 
     def validate(self) -> None:
+        self.cmfd.validate()
         if self.max_iterations < 1:
             raise ConfigError(f"max_iterations must be >= 1 (got {self.max_iterations})")
         if self.keff_tolerance <= 0 or self.source_tolerance <= 0:
@@ -241,6 +288,16 @@ def _build_section(cls: type, data: Mapping[str, Any], section: str) -> Any:
     unknown = set(data) - fields
     if unknown:
         raise ConfigError(f"unknown keys in section {section!r}: {sorted(unknown)}")
+    if cls is SolverConfig and "cmfd" in data:
+        data = dict(data)
+        cmfd = data["cmfd"]
+        if isinstance(cmfd, bool):
+            cmfd = {"enabled": cmfd}
+        if cmfd is None:
+            cmfd = {}
+        if not isinstance(cmfd, Mapping):
+            raise ConfigError("solver.cmfd must be a mapping or a boolean")
+        data["cmfd"] = _build_section(CmfdConfig, cmfd, "solver.cmfd")
     return cls(**data)
 
 

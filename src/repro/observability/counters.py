@@ -36,6 +36,15 @@ COUNTER_SCHEMA: dict[str, str] = {
     "allreduce_calls": "global eigenvalue/production allreduce invocations",
     "fsr_count": "flat source regions in the solved geometry",
     "iteration_count": "transport iterations executed",
+    "moc_iterations": (
+        "full MOC transport sweeps executed — the quantity CMFD "
+        "acceleration minimises; pinned so convergence regressions diff"
+    ),
+    "cmfd_solves": "coarse-mesh CMFD eigenvalue solves run (0 when off)",
+    "cmfd_iterations": (
+        "coarse-mesh inner power iterations summed over CMFD solves "
+        "(0 when acceleration is off)"
+    ),
     "num_domains": "spatial subdomains in the decomposition (1 if undecomposed)",
     "num_workers": "OS processes that executed sweeps (1 for inproc)",
     "halo_wait_ns": (

@@ -84,6 +84,7 @@ class Observation:
         keff: float,
         converged: bool,
         num_iterations: int,
+        dominance_ratio: float | None = None,
     ) -> RunReport:
         """Assemble and validate the schema-versioned run report."""
         if self.manifest is None:
@@ -98,6 +99,7 @@ class Observation:
                 keff=float(keff),
                 converged=bool(converged),
                 num_iterations=int(num_iterations),
+                dominance_ratio=dominance_ratio,
             ),
             counters=self.counters,
             stages=self.timer.as_dict(),

@@ -36,6 +36,12 @@ class RunResults:
     keff: float
     converged: bool
     num_iterations: int
+    #: Estimated dominance ratio of the iteration operator (the standard
+    #: diagnostic for how much low-order acceleration is buying); ``None``
+    #: when the solve produced too little history to estimate it. A
+    #: diagnostic, not a pinned result — the diff treats it as
+    #: informational.
+    dominance_ratio: float | None = None
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -43,6 +49,9 @@ class RunResults:
             "keff_hex": float(self.keff).hex(),
             "converged": bool(self.converged),
             "num_iterations": int(self.num_iterations),
+            "dominance_ratio": (
+                None if self.dominance_ratio is None else float(self.dominance_ratio)
+            ),
         }
 
     @classmethod
@@ -52,10 +61,12 @@ class RunResults:
             keff_hex = payload.get("keff_hex")
             if keff_hex is not None:
                 keff = float.fromhex(str(keff_hex))
+            ratio = payload.get("dominance_ratio")
             return cls(
                 keff=keff,
                 converged=bool(payload["converged"]),
                 num_iterations=int(payload["num_iterations"]),
+                dominance_ratio=None if ratio is None else float(ratio),
             )
         except (KeyError, ValueError) as exc:
             raise ObservabilityError(f"malformed results block: {exc}") from None

@@ -27,6 +27,15 @@ from repro.geometry.decomposition import decompose_lattice_geometry
 from repro.geometry.geometry import Geometry
 from repro.parallel.domain import DomainSolver
 from repro.parallel.exchange import InterfaceExchange, match_interface_tracks
+from repro.solver.cmfd import (
+    CmfdProblem,
+    bin_fsrs,
+    build_coarse_mesh,
+    coerce_cmfd,
+    local_exit_destinations,
+    mesh_spec_for,
+    traversal_entry_cells,
+)
 from repro.solver.convergence import ConvergenceMonitor
 from repro.solver.expeval import ExponentialEvaluator
 
@@ -52,6 +61,8 @@ class DecomposedResult:
     sanitizer: object = None
     #: Engine-side comm counters (``mp-async`` only, else empty).
     comm_counters: dict = field(default_factory=dict)
+    #: CMFD accelerator bookkeeping (empty dict when CMFD is off).
+    cmfd_stats: dict = field(default_factory=dict)
 
 
 class DecomposedSolver:
@@ -76,6 +87,7 @@ class DecomposedSolver:
         workers: int | None = None,
         timeout: float | None = None,
         pin_workers: bool = False,
+        cmfd=None,
     ) -> None:
         self.geometry = geometry
         sub_geometries = decompose_lattice_geometry(geometry, domains_x, domains_y)
@@ -108,6 +120,53 @@ class DecomposedSolver:
         self.volumes = np.concatenate([d.volumes for d in self.domains])
         if not any(np.any(d.terms.nu_sigma_f > 0) for d in self.domains):
             raise SolverError("no fissile region in any domain")
+        self.cmfd_problem: CmfdProblem | None = None
+        options = coerce_cmfd(cmfd)
+        if options is not None:
+            self._setup_cmfd(options)
+
+    def _setup_cmfd(self, options) -> None:
+        """Build the *global* coarse overlay across the decomposition.
+
+        Sub-lattices keep absolute coordinates, so every domain bins its
+        FSRs against the same global mesh spec; bins concatenate in rank
+        order into the global cell map. Interface track ends — locally
+        terminal, hence vacuum to :func:`local_exit_destinations` — are
+        resolved through the route table into the entry cell of the
+        matched remote slot, which is what keeps the per-face net current
+        (and therefore the coarse solve) identical across engines.
+        """
+        spec = mesh_spec_for(self.geometry, options)
+        mesh = build_coarse_mesh(
+            spec, [bin_fsrs(d.geometry, spec) for d in self.domains]
+        )
+        cells = [self._local_block(d, mesh.cellmap) for d in self.domains]
+        entries = [
+            traversal_entry_cells(d.sweeper.plan, cells[r])
+            for r, d in enumerate(self.domains)
+        ]
+        exit_dst = [
+            local_exit_destinations(d.sweeper.plan, cells[r])
+            for r, d in enumerate(self.domains)
+        ]
+        for route in self.exchange.routes:
+            exit_dst[route.src_domain][route.src_track, route.src_dir] = entries[
+                route.dst_domain
+            ][route.dst_track, route.dst_dir]
+        for r, dom in enumerate(self.domains):
+            dom.sweeper.enable_cmfd_tally(cells[r], exit_dst[r])
+        self.cmfd_problem = CmfdProblem(
+            mesh,
+            np.concatenate([d.terms.sigma_t for d in self.domains]),
+            np.concatenate([d.terms.sigma_s for d in self.domains]),
+            np.concatenate([d.terms.nu_sigma_f for d in self.domains]),
+            np.concatenate([d.terms.chi for d in self.domains]),
+            self.volumes,
+            options,
+        )
+        self.cmfd_problem.finalize_pairs(
+            [d.sweeper.current_tally.pairs for d in self.domains]
+        )
 
     @property
     def num_domains(self) -> int:
@@ -135,6 +194,7 @@ class DecomposedSolver:
             worker_timers=result.worker_timers,
             sanitizer=result.sanitizer,
             comm_counters=result.comm_counters,
+            cmfd_stats=result.cmfd_stats,
         )
 
     def fission_rates(self, result: DecomposedResult) -> np.ndarray:

@@ -26,6 +26,16 @@ from repro.constants import DEFAULT_KEFF_TOL, DEFAULT_SOURCE_TOL
 from repro.errors import DecompositionError, SolverError
 from repro.geometry.extruded import AxialMesh, ExtrudedGeometry
 from repro.geometry.geometry import BoundaryCondition
+from repro.solver.cmfd import (
+    CmfdProblem,
+    CurrentTally,
+    bin_fsrs_3d,
+    build_coarse_mesh,
+    coerce_cmfd,
+    local_exit_destinations,
+    mesh_spec_for_3d,
+    traversal_entry_cells,
+)
 from repro.solver.convergence import ConvergenceMonitor
 from repro.solver.expeval import ExponentialEvaluator
 from repro.solver.source import SourceTerms
@@ -66,6 +76,8 @@ class ZDecomposedResult:
     sanitizer: object = None
     #: Engine-side comm counters (``mp-async`` only, else empty).
     comm_counters: dict = field(default_factory=dict)
+    #: CMFD accelerator bookkeeping (empty dict when CMFD is off).
+    cmfd_stats: dict = field(default_factory=dict)
 
 
 def _slab_meshes(mesh: AxialMesh, num_domains: int) -> list[AxialMesh]:
@@ -104,6 +116,7 @@ class ZDecomposedSolver:
         workers: int | None = None,
         timeout: float | None = None,
         pin_workers: bool = False,
+        cmfd=None,
     ) -> None:
         if num_domains < 1:
             raise DecompositionError("need at least one z-domain")
@@ -179,6 +192,55 @@ class ZDecomposedSolver:
         self.volumes = np.concatenate([d["volumes"] for d in self.domains])
         if not any(np.any(d["terms"].nu_sigma_f > 0) for d in self.domains):
             raise SolverError("no fissile region in any z-domain")
+        self.cmfd_problem: CmfdProblem | None = None
+        options = coerce_cmfd(cmfd)
+        if options is not None:
+            self._setup_cmfd(options)
+
+    def _setup_cmfd(self, options) -> None:
+        """Global coarse overlay across the z-slabs.
+
+        Slab axial meshes carry absolute z, so each slab bins its 3D FSRs
+        straight into the global coarse grid; slab interface track ends
+        resolve to the entry cell of the matched remote slot through the
+        :class:`Route3D` table. Tallies are attached pre-built — the
+        z-decomposed driver traces its segments once, so the plan is fixed
+        for the whole solve.
+        """
+        spec = mesh_spec_for_3d(self.geometry3d, options)
+        mesh = build_coarse_mesh(
+            spec, [bin_fsrs_3d(d["geometry"], spec) for d in self.domains]
+        )
+        cells = [
+            self._local_block(r, mesh.cellmap) for r in range(self.num_domains)
+        ]
+        plans = [d["sweeper"].plan_for(d["segments"]) for d in self.domains]
+        entries = [
+            traversal_entry_cells(plan, cell) for plan, cell in zip(plans, cells)
+        ]
+        exit_dst = [
+            local_exit_destinations(plan, cell) for plan, cell in zip(plans, cells)
+        ]
+        for route in self.routes:
+            exit_dst[route.src_domain][route.src_track, route.src_dir] = entries[
+                route.dst_domain
+            ][route.dst_track, route.dst_dir]
+        for r, dom in enumerate(self.domains):
+            dom["sweeper"].attach_cmfd_tally(
+                CurrentTally(plans[r], cells[r], exit_dst[r], self.num_groups)
+            )
+        self.cmfd_problem = CmfdProblem(
+            mesh,
+            np.concatenate([d["terms"].sigma_t for d in self.domains]),
+            np.concatenate([d["terms"].sigma_s for d in self.domains]),
+            np.concatenate([d["terms"].nu_sigma_f for d in self.domains]),
+            np.concatenate([d["terms"].chi for d in self.domains]),
+            self.volumes,
+            options,
+        )
+        self.cmfd_problem.finalize_pairs(
+            [d["sweeper"].current_tally.pairs for d in self.domains]
+        )
 
     def _global_layer_map(self, layer_offset: int):
         """Map a slab's local layer to the global extruded material."""
@@ -292,4 +354,5 @@ class ZDecomposedSolver:
             worker_timers=result.worker_timers,
             sanitizer=result.sanitizer,
             comm_counters=result.comm_counters,
+            cmfd_stats=result.cmfd_stats,
         )

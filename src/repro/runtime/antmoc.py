@@ -23,6 +23,7 @@ from repro.observability import Observation, RunManifest, RunReport
 from repro.parallel.driver import DecomposedResult, DecomposedSolver
 from repro.runtime.output import ascii_heatmap, pin_power_map, write_fission_rates_csv, write_vtk_structured_points
 from repro.runtime.stages import PipelineState, StageName
+from repro.solver.cmfd import resolve_cmfd_enabled
 from repro.solver.expeval import evaluator_from_config
 from repro.solver.keff import SolveResult
 from repro.solver.solver import MOCSolver
@@ -111,6 +112,14 @@ class AntMocApplication:
     def _tracking_cache(self):
         tracking = self.config.tracking
         return resolve_cache(tracking.tracking_cache, tracking.cache_dir)
+
+    def _cmfd_setting(self):
+        """The ``cmfd`` argument for solver construction: the config's
+        ``solver.cmfd`` block when the switch resolves to on (CLI override
+        already folded into ``enabled``, then ``REPRO_CMFD``), else
+        ``None`` — the unaccelerated path stays untouched."""
+        cmfd = self.config.solver.cmfd
+        return cmfd if resolve_cmfd_enabled(cmfd.enabled) else None
 
     def _record_tracking_phases(self, timings_list, cache_enabled: bool = False) -> None:
         """Break the track-generation stage down by pipeline phase.
@@ -226,8 +235,25 @@ class AntMocApplication:
         self.obs.count("segments_swept", 2 * swept * result.num_iterations)
         self.obs.count("fsr_count", num_fsrs)
         self.obs.count("iteration_count", result.num_iterations)
+        self.obs.count("moc_iterations", result.num_iterations)
         self.obs.count("num_domains", num_domains)
         self.obs.count("num_workers", getattr(result, "num_workers", 1))
+        self._count_cmfd(result)
+
+    def _count_cmfd(self, result) -> None:
+        """CMFD accelerator terms: iteration counters land in the pinned
+        counter set (always recorded, 0 when acceleration is off, so the
+        with/without delta is a first-class regression diff); the coarse
+        solve's wall time lands as a ``transport_solving/cmfd`` breakdown
+        row (excluded from the total like every other breakdown)."""
+        stats = getattr(result, "cmfd_stats", None) or {}
+        self.obs.count("cmfd_solves", int(stats.get("cmfd_solves", 0)))
+        self.obs.count("cmfd_iterations", int(stats.get("cmfd_iterations", 0)))
+        seconds = float(stats.get("cmfd_seconds", 0.0))
+        if seconds > 0.0:
+            self.obs.record(
+                f"{StageName.TRANSPORT_SOLVING.value}/cmfd", seconds
+            )
 
     def run(self) -> AntMocRunResult:
         """Execute all five stages and return the result bundle."""
@@ -268,6 +294,7 @@ class AntMocApplication:
                     workers=cfg.decomposition.workers or None,
                     timeout=cfg.decomposition.timeout,
                     pin_workers=cfg.decomposition.pin_workers,
+                    cmfd=self._cmfd_setting(),
                 )
                 self.pipeline.complete(StageName.TRACK_GENERATION, solver)
             self._record_tracking_phases(
@@ -304,6 +331,7 @@ class AntMocApplication:
                     backend=cfg.solver.sweep_backend,
                     tracer=cfg.tracking.tracer,
                     cache=cache,
+                    cmfd=self._cmfd_setting(),
                 )
                 self.pipeline.complete(StageName.TRACK_GENERATION, solver)
             self._record_tracking_phases(
@@ -348,7 +376,8 @@ class AntMocApplication:
             decomposed=decomposed,
             comm_bytes=comm_bytes,
             run_report=self.obs.build_report(
-                result.keff, result.converged, result.num_iterations
+                result.keff, result.converged, result.num_iterations,
+                dominance_ratio=result.monitor.dominance_ratio,
             ),
         )
 
@@ -390,6 +419,7 @@ class AntMocApplication:
                     workers=cfg.decomposition.workers or None,
                     timeout=cfg.decomposition.timeout,
                     pin_workers=cfg.decomposition.pin_workers,
+                    cmfd=self._cmfd_setting(),
                 )
                 self.pipeline.complete(StageName.TRACK_GENERATION, solver)
             self._record_tracking_phases(
@@ -439,6 +469,7 @@ class AntMocApplication:
                     backend=cfg.solver.sweep_backend,
                     tracer=cfg.tracking.tracer,
                     cache=cache,
+                    cmfd=self._cmfd_setting(),
                 )
                 self.pipeline.complete(StageName.TRACK_GENERATION, solver)
             self._record_tracking_phases(
@@ -479,7 +510,8 @@ class AntMocApplication:
             decomposed=decomposed,
             comm_bytes=comm_bytes,
             run_report=self.obs.build_report(
-                result.keff, result.converged, result.num_iterations
+                result.keff, result.converged, result.num_iterations,
+                dominance_ratio=result.monitor.dominance_ratio,
             ),
         )
 

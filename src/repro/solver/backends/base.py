@@ -30,6 +30,10 @@ class SweepContext:
     evaluator: object
     num_fsrs: int
     track_mask: np.ndarray | None = None
+    #: Optional :class:`~repro.solver.cmfd.CurrentCapture`: kernels write
+    #: the post-segment angular flux of the listed tracks at each position
+    #: into its buffers (coarse-face crossings for the CMFD current tally).
+    capture: object | None = None
 
 
 @dataclass

@@ -155,9 +155,23 @@ class NumbaSweepBackend(KernelBackend):
             )
         return _kernels()
 
+    def _capture_fallback(self):  # pragma: no cover - needs numba
+        """CMFD current capture is not compiled into the JIT kernels;
+        sweeps that tally coarse currents run the numpy kernel instead
+        (bitwise-comparable tallies, same plan)."""
+        from repro.solver.backends.numpy_backend import NumpySweepBackend
+
+        fallback = getattr(self, "_numpy_backend", None)
+        if fallback is None:
+            fallback = NumpySweepBackend()
+            self._numpy_backend = fallback
+        return fallback
+
     def sweep2d(
         self, plan: SweepPlan, psi: list[np.ndarray], ctx: SweepContext
     ) -> np.ndarray:  # pragma: no cover - needs numba
+        if ctx.capture is not None:
+            return self._capture_fallback().sweep2d(plan, psi, ctx)
         kernels = self._require()
         num_polar, num_groups = psi[0].shape[1], psi[0].shape[2]
         slope, intercept, spacing, use_table = ctx.evaluator.interp_table()
@@ -181,6 +195,8 @@ class NumbaSweepBackend(KernelBackend):
     def sweep3d(
         self, plan: SweepPlan, psi: list[np.ndarray], ctx: SweepContext
     ) -> np.ndarray:  # pragma: no cover - needs numba
+        if ctx.capture is not None:
+            return self._capture_fallback().sweep3d(plan, psi, ctx)
         kernels = self._require()
         num_groups = psi[0].shape[1]
         slope, intercept, spacing, use_table = ctx.evaluator.interp_table()

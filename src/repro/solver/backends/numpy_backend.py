@@ -47,6 +47,7 @@ class NumpySweepBackend(KernelBackend):
         num_polar, num_groups = psi[0].shape[1], psi[0].shape[2]
         starts = plan.col_starts
         inv_sin = plan.topology.inv_sin
+        capture = ctx.capture
         tally = np.zeros((ctx.num_fsrs, num_groups))
         for d in (0, 1):
             cur = psi[d][plan.track_order]
@@ -71,6 +72,12 @@ class NumpySweepBackend(KernelBackend):
                 dp = (view - ctx.reduced_source[f][:, None, :]) * e
                 view -= dp
                 dpsi[lo:hi] = dp
+                if capture is not None:
+                    rows = capture.rows[d][i]
+                    if rows.size:
+                        # A crossing after position i implies the track has
+                        # >= i + 2 segments, so its prefix row is in view.
+                        capture.out[d][capture.dest[d][i]] = view[rows]
             psi[d][plan.track_order] = cur
             contrib = np.einsum("spg,sp->sg", dpsi, plan.pos_weights[d])
             tally += tally_from_segments(contrib, fsr, ctx.num_fsrs)
@@ -79,6 +86,10 @@ class NumpySweepBackend(KernelBackend):
     def _sweep2d_masked(
         self, plan: SweepPlan, psi: list[np.ndarray], ctx: SweepContext
     ) -> np.ndarray:
+        if ctx.capture is not None:
+            from repro.errors import SolverError
+
+            raise SolverError("CMFD current capture does not support masked sweeps")
         expf = plan.segment_expf(ctx.sigma_t, ctx.evaluator)
         num_polar, num_groups = psi[0].shape[1], psi[0].shape[2]
         dpsi_seg = np.zeros((2, plan.num_segments, num_polar, num_groups))
@@ -115,6 +126,7 @@ class NumpySweepBackend(KernelBackend):
         expf = plan.pos_expf(ctx.sigma_t, ctx.evaluator)
         num_groups = psi[0].shape[1]
         starts = plan.col_starts
+        capture = ctx.capture
         tally = np.zeros((ctx.num_fsrs, num_groups))
         for d in (0, 1):
             cur = psi[d][plan.track_order]
@@ -134,6 +146,10 @@ class NumpySweepBackend(KernelBackend):
                 dp = (view - ctx.reduced_source[f]) * e
                 view -= dp
                 dpsi[lo:hi] = dp
+                if capture is not None:
+                    rows = capture.rows[d][i]
+                    if rows.size:
+                        capture.out[d][capture.dest[d][i]] = view[rows]
             psi[d][plan.track_order] = cur
             np.multiply(dpsi, plan.pos_weights[d][:, None], out=dpsi)
             tally += tally_from_segments(dpsi, fsr, ctx.num_fsrs)

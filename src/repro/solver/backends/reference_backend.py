@@ -49,6 +49,10 @@ class ReferenceSweepBackend(KernelBackend):
                 cur = psi[d][valid]
                 dpsi = (cur - q) * exp_f
                 psi[d][valid] = cur - dpsi
+                if ctx.capture is not None:
+                    tracks = ctx.capture.track_rows[d][i]
+                    if tracks.size:
+                        ctx.capture.out[d][ctx.capture.dest[d][i]] = psi[d][tracks]
                 contrib = np.einsum("vp,vpg->vg", weights[valid], dpsi)
                 np.add.at(tally, fsr, contrib)
         return tally
@@ -75,6 +79,10 @@ class ReferenceSweepBackend(KernelBackend):
                 cur = psi[d][valid]
                 dpsi = (cur - q) * exp_f
                 psi[d][valid] = cur - dpsi
+                if ctx.capture is not None:
+                    tracks = ctx.capture.track_rows[d][i]
+                    if tracks.size:
+                        ctx.capture.out[d][ctx.capture.dest[d][i]] = psi[d][tracks]
                 contrib = weights[valid][:, None] * dpsi
                 np.add.at(tally, fsr, contrib)
         return tally

@@ -68,6 +68,27 @@ class ConvergenceMonitor:
     def num_iterations(self) -> int:
         return len(self.history)
 
+    @property
+    def dominance_ratio(self) -> float | None:
+        """Estimated dominance ratio of the iteration operator.
+
+        Power-iteration error contracts asymptotically by the ratio of the
+        second to the first eigenvalue; successive fission-source residual
+        norms estimate it directly (``e_{n+1} / e_n``). ``None`` until two
+        finite residuals exist or when the estimate is degenerate.
+        """
+        finite = [
+            rec.source_residual
+            for rec in self.history
+            if np.isfinite(rec.source_residual) and rec.source_residual > 0.0
+        ]
+        if len(finite) < 2:
+            return None
+        ratio = finite[-1] / finite[-2]
+        if not np.isfinite(ratio):
+            return None
+        return float(ratio)
+
     def report(self) -> str:
         lines = ["iter        keff      dk          source-res"]
         for rec in self.history:

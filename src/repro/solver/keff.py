@@ -10,6 +10,7 @@ import numpy as np
 
 from repro.constants import DEFAULT_KEFF_TOL, DEFAULT_SOURCE_TOL
 from repro.errors import SolverError
+from repro.io.logging_utils import get_logger
 from repro.solver.convergence import ConvergenceMonitor
 from repro.solver.source import SourceTerms
 
@@ -34,6 +35,9 @@ class SolveResult:
     #: ``finalize`` (tally -> scalar flux). Sweep-internal setup/kernel
     #: split lives in the sweeper's own ``timings``.
     phase_seconds: dict = field(default_factory=dict)
+    #: Accelerator bookkeeping (``cmfd_solves``/``cmfd_iterations``/
+    #: ``cmfd_skips``/``cmfd_seconds``); empty when no accelerator ran.
+    cmfd_stats: dict = field(default_factory=dict)
 
     def fission_rates(self, terms: SourceTerms, volumes: np.ndarray) -> np.ndarray:
         """Per-FSR fission rates of the converged flux (Fig. 7 output)."""
@@ -57,6 +61,7 @@ class KeffSolver:
         keff_tolerance: float = DEFAULT_KEFF_TOL,
         source_tolerance: float = DEFAULT_SOURCE_TOL,
         max_iterations: int = 500,
+        accelerator=None,
     ) -> None:
         self.terms = terms
         self.volumes = np.asarray(volumes, dtype=np.float64)
@@ -69,6 +74,11 @@ class KeffSolver:
         self.keff_tolerance = keff_tolerance
         self.source_tolerance = source_tolerance
         self.max_iterations = int(max_iterations)
+        #: Optional low-order accelerator (e.g. a CMFD
+        #: :class:`~repro.solver.cmfd.CmfdAccelerator`): called once per
+        #: power iteration with ``(phi_new, phi, keff)``, may rescale
+        #: ``phi`` in place, and returns the updated eigenvalue estimate.
+        self.accelerator = accelerator
         if not np.any(terms.nu_sigma_f > 0.0):
             raise SolverError("no fissile region present; k-eigenvalue undefined")
 
@@ -107,10 +117,25 @@ class KeffSolver:
             # production of the new flux *is* the multiplication ratio.
             keff = keff * new_production
             phi = phi_new / new_production
+            if self.accelerator is not None:
+                keff = self.accelerator.apply(phi_new, phi, keff)
             monitor.update(keff, terms.fission_source(phi))
             if monitor.converged:
                 break
         elapsed = time.perf_counter() - start
+        if not monitor.converged:
+            get_logger("repro.solver").warning(
+                "k-eigenvalue solve stopped unconverged after %d iterations "
+                "(max_iterations=%d): keff_change=%.3e (tol %.1e), "
+                "source_residual=%.3e (tol %.1e)",
+                monitor.num_iterations,
+                self.max_iterations,
+                monitor.history[-1].keff_change if monitor.history else float("inf"),
+                self.keff_tolerance,
+                monitor.history[-1].source_residual if monitor.history else float("inf"),
+                self.source_tolerance,
+            )
+        stats = getattr(self.accelerator, "stats", None)
         return SolveResult(
             keff=keff,
             scalar_flux=phi.copy(),
@@ -119,4 +144,5 @@ class KeffSolver:
             monitor=monitor,
             solve_seconds=elapsed,
             phase_seconds=phases,
+            cmfd_stats=stats.as_dict() if stats is not None else {},
         )

@@ -14,6 +14,17 @@ import numpy as np
 from repro.errors import SolverError
 from repro.geometry.extruded import ExtrudedGeometry
 from repro.geometry.geometry import Geometry
+from repro.solver.cmfd import (
+    CmfdAccelerator,
+    CmfdProblem,
+    bin_fsrs,
+    bin_fsrs_3d,
+    build_coarse_mesh,
+    coerce_cmfd,
+    local_exit_destinations,
+    mesh_spec_for,
+    mesh_spec_for_3d,
+)
 from repro.solver.expeval import ExponentialEvaluator
 from repro.solver.keff import KeffSolver, SolveResult
 from repro.solver.source import SourceTerms
@@ -55,6 +66,7 @@ class MOCSolver:
         backend: str | None = None,
         tracer: str | None = None,
         cache=None,
+        cmfd=None,
     ) -> "MOCSolver":
         """Build a 2D solver: tracking, sweep and power iteration."""
         trackgen = TrackGenerator(
@@ -68,6 +80,19 @@ class MOCSolver:
         terms = SourceTerms(list(geometry.fsr_materials))
         sweeper = TransportSweep2D(trackgen, terms, evaluator, backend=backend)
         volumes = trackgen.fsr_volumes
+        accelerator = None
+        options = coerce_cmfd(cmfd)
+        if options is not None:
+            spec = mesh_spec_for(geometry, options)
+            mesh = build_coarse_mesh(spec, [bin_fsrs(geometry, spec)])
+            sweeper.enable_cmfd_tally(
+                mesh.cellmap, local_exit_destinations(sweeper.plan, mesh.cellmap)
+            )
+            coarse = CmfdProblem(
+                mesh, terms.sigma_t, terms.sigma_s, terms.nu_sigma_f,
+                terms.chi, volumes, options,
+            )
+            accelerator = CmfdAccelerator(coarse, sweeper, terms, volumes)
         keff_solver = KeffSolver(
             terms,
             volumes,
@@ -76,6 +101,7 @@ class MOCSolver:
             keff_tolerance=keff_tolerance,
             source_tolerance=source_tolerance,
             max_iterations=max_iterations,
+            accelerator=accelerator,
         )
         return cls(terms, volumes, keff_solver, sweeper, trackgen)
 
@@ -96,6 +122,7 @@ class MOCSolver:
         backend: str | None = None,
         tracer: str | None = None,
         cache=None,
+        cmfd=None,
     ) -> "MOCSolver":
         """Build a 3D solver with an EXP/OTF/MANAGER storage strategy."""
         from repro.trackmgmt import make_strategy
@@ -113,6 +140,20 @@ class MOCSolver:
         sweeper = TransportSweep3D(trackgen, terms, evaluator, backend=backend)
         strategy = make_strategy(storage, trackgen, resident_memory_bytes=resident_memory_bytes)
         volumes = trackgen.fsr_volumes_3d(strategy.reference_segments())
+        accelerator = None
+        options = coerce_cmfd(cmfd)
+        if options is not None:
+            spec = mesh_spec_for_3d(geometry3d, options)
+            mesh = build_coarse_mesh(spec, [bin_fsrs_3d(geometry3d, spec)])
+            # The tally itself is built lazily per sweep plan: OTF/Manager
+            # strategies regenerate segments, so crossings are rediscovered
+            # from whatever layout each sweep actually uses.
+            sweeper.enable_cmfd_tally(mesh.cellmap)
+            coarse = CmfdProblem(
+                mesh, terms.sigma_t, terms.sigma_s, terms.nu_sigma_f,
+                terms.chi, volumes, options,
+            )
+            accelerator = CmfdAccelerator(coarse, sweeper, terms, volumes)
 
         def sweep(reduced: np.ndarray) -> np.ndarray:
             return strategy.sweep(sweeper, reduced)
@@ -125,6 +166,7 @@ class MOCSolver:
             keff_tolerance=keff_tolerance,
             source_tolerance=source_tolerance,
             max_iterations=max_iterations,
+            accelerator=accelerator,
         )
         solver = cls(terms, volumes, keff_solver, sweeper, trackgen)
         solver.storage_strategy = strategy  # type: ignore[attr-defined]

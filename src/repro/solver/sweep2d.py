@@ -80,6 +80,17 @@ class TransportSweep2D:
         self.psi_in = np.zeros((self.num_tracks, 2, self.num_polar, self.num_groups))
         #: Outgoing flux captured at interface ends during the last sweep.
         self.psi_out_last = np.zeros_like(self.psi_in)
+        #: Optional CMFD coarse-face current tally, attached by the solver.
+        self.current_tally = None
+
+    def enable_cmfd_tally(self, cell_of_fsr: np.ndarray, exit_dst: np.ndarray) -> None:
+        """Attach a CMFD current tally over the given FSR -> coarse-cell
+        map and per-traversal-end destination cells."""
+        from repro.solver.cmfd import CurrentTally
+
+        self.current_tally = CurrentTally(
+            self.plan, cell_of_fsr, exit_dst, self.num_groups
+        )
 
     def reset_fluxes(self) -> None:
         self.psi_in.fill(0.0)
@@ -104,6 +115,11 @@ class TransportSweep2D:
                 raise SolverError(
                     f"track mask shape {track_mask.shape} != ({self.num_tracks},)"
                 )
+        if track_mask is not None and self.current_tally is not None:
+            raise SolverError(
+                "CMFD current tallying is incompatible with masked sweeps "
+                "(the L2 angle decomposition); disable one of the two"
+            )
         # Work on copies: traversal state (T, P, G) per direction.
         psi = [self.psi_in[:, 0].copy(), self.psi_in[:, 1].copy()]
         ctx = SweepContext(
@@ -112,11 +128,16 @@ class TransportSweep2D:
             evaluator=self.evaluator,
             num_fsrs=self.terms.num_regions,
             track_mask=track_mask,
+            capture=None if self.current_tally is None else self.current_tally.capture,
         )
         start = time.perf_counter()
         tally = self.backend.sweep2d(self.plan, psi, ctx)
         self.timings.sweep_seconds += time.perf_counter() - start
         self.timings.num_sweeps += 1
+        if self.current_tally is not None:
+            # psi now holds each traversal's exit flux: fold captured
+            # crossings and track-end exits into the coarse-face currents.
+            self.current_tally.accumulate(psi)
         # Exchange: outgoing flux becomes the linked traversal's incoming.
         if track_mask is None:
             new_in = np.zeros_like(self.psi_in)

@@ -69,6 +69,39 @@ class TransportSweep3D:
         self._cached_segments: SegmentData | None = None
         self._idx_fwd: np.ndarray | None = None
         self._idx_bwd: np.ndarray | None = None
+        #: CMFD current tally — either attached pre-built (z-decomposed
+        #: drivers, which resolve interface destinations from their Route
+        #: tables) or built lazily per plan from a cell map (single-domain
+        #: solves, where OTF/Manager strategies regenerate segments).
+        self.current_tally = None
+        self._cmfd_cells: np.ndarray | None = None
+        self._cmfd_tally_plan = None
+
+    def attach_cmfd_tally(self, tally) -> None:
+        """Attach a pre-built :class:`~repro.solver.cmfd.CurrentTally`."""
+        self.current_tally = tally
+        self._cmfd_cells = None
+
+    def enable_cmfd_tally(self, cell_of_fsr: np.ndarray) -> None:
+        """Tally coarse currents lazily over whatever plan each sweep
+        uses; track-end destinations come from the local link tables
+        (single-domain: every non-linked end is vacuum)."""
+        self._cmfd_cells = np.asarray(cell_of_fsr, dtype=np.int64)
+
+    def _cmfd_tally_for(self, plan: SweepPlan):
+        if self._cmfd_cells is None:
+            return self.current_tally
+        if self.current_tally is None or plan is not self._cmfd_tally_plan:
+            from repro.solver.cmfd import CurrentTally, local_exit_destinations
+
+            self.current_tally = CurrentTally(
+                plan,
+                self._cmfd_cells,
+                local_exit_destinations(plan, self._cmfd_cells),
+                self.num_groups,
+            )
+            self._cmfd_tally_plan = plan
+        return self.current_tally
 
     def reset_fluxes(self) -> None:
         self.psi_in.fill(0.0)
@@ -98,17 +131,23 @@ class TransportSweep3D:
     def sweep(self, segments: SegmentData, reduced_source: np.ndarray) -> np.ndarray:
         """One 3D transport sweep; returns the FSR tally ``(R, G)``."""
         plan = self.plan_for(segments)
+        current_tally = self._cmfd_tally_for(plan)
         psi = [self.psi_in[:, 0].copy(), self.psi_in[:, 1].copy()]
         ctx = SweepContext(
             reduced_source=reduced_source,
             sigma_t=self.terms.sigma_t_safe,
             evaluator=self.evaluator,
             num_fsrs=self.terms.num_regions,
+            capture=None if current_tally is None else current_tally.capture,
         )
         start = time.perf_counter()
         tally = self.backend.sweep3d(plan, psi, ctx)
         self.timings.sweep_seconds += time.perf_counter() - start
         self.timings.num_sweeps += 1
+        if current_tally is not None:
+            # psi now holds each traversal's exit flux: fold captured
+            # crossings and track-end exits into the coarse-face currents.
+            current_tally.accumulate(psi)
         new_in = np.zeros_like(self.psi_in)
         for d in (0, 1):
             self.psi_out_last[:, d] = psi[d]

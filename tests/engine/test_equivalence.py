@@ -39,19 +39,21 @@ def pin_lattice(uo2, moderator):
     return Geometry(Lattice([[pin, pin], [pin, pin]], 1.26, 1.26), name="pin-2x2")
 
 
-def solve_2d(geometry, engine, workers=None, max_iterations=12):
+def solve_2d(geometry, engine, workers=None, max_iterations=12, cmfd=False):
     solver = DecomposedSolver(
         geometry, 2, 2, num_azim=4, azim_spacing=0.5, num_polar=2,
         max_iterations=max_iterations, engine=engine, workers=workers,
+        cmfd=cmfd,
     )
     return solver, solver.solve()
 
 
-def solve_3d(geometry3d, engine, num_domains=2, workers=None, max_iterations=8):
+def solve_3d(geometry3d, engine, num_domains=2, workers=None, max_iterations=8,
+             cmfd=False):
     solver = ZDecomposedSolver(
         geometry3d, num_domains=num_domains, num_azim=4, azim_spacing=0.7,
         polar_spacing=0.7, num_polar=2, max_iterations=max_iterations,
-        engine=engine, workers=workers,
+        engine=engine, workers=workers, cmfd=cmfd,
     )
     return solver, solver.solve()
 
@@ -65,6 +67,8 @@ def assert_equivalent(oracle_pair, candidate_pair):
     assert result.comm_bytes == oracle.comm_bytes
     assert result.comm_messages == oracle.comm_messages
     assert solver.comm.stats.per_pair_bytes == oracle_solver.comm.stats.per_pair_bytes
+    for key in ("cmfd_solves", "cmfd_iterations", "cmfd_skips"):
+        assert result.cmfd_stats.get(key) == oracle.cmfd_stats.get(key)
 
 
 #: Both real-process engines must be interchangeable with the simulator.
@@ -135,3 +139,46 @@ class TestC5G73D:
         oracle = solve_3d(build(), "inproc", max_iterations=6)
         candidate = solve_3d(build(), engine, max_iterations=6)
         assert_equivalent(oracle, candidate)
+
+
+class TestCmfdEquivalence:
+    """With the accelerator on, every engine must still be bitwise
+    interchangeable: the coarse tallies are reduced in rank order and the
+    coarse solve runs on the parent, so the prolonged flux — and therefore
+    the whole accelerated trajectory — is identical across engines."""
+
+    @pytest.mark.parametrize("engine", MP_ENGINES)
+    def test_2d_accelerated_matches_inproc(self, pin_lattice, engine):
+        oracle = solve_2d(pin_lattice, "inproc", cmfd=True)
+        candidate = solve_2d(pin_lattice, engine, cmfd=True)
+        assert oracle[1].cmfd_stats["cmfd_solves"] == oracle[1].num_iterations
+        assert_equivalent(oracle, candidate)
+
+    @pytest.mark.parametrize("engine", MP_ENGINES)
+    def test_2d_accelerated_two_workers(self, pin_lattice, engine):
+        oracle = solve_2d(pin_lattice, "inproc", cmfd=True)
+        candidate = solve_2d(pin_lattice, engine, workers=2, cmfd=True)
+        assert candidate[1].num_workers == 2
+        assert_equivalent(oracle, candidate)
+
+    @pytest.mark.parametrize("engine", MP_ENGINES)
+    def test_3d_accelerated_matches_inproc(
+        self, two_group_fissile, two_group_absorber, engine
+    ):
+        layer_map = reflector_layer_map(two_group_absorber, {2, 3})
+        g3 = extruded(
+            two_group_fissile, layers=4, height=8.0,
+            bc_top=BoundaryCondition.VACUUM, layer_material=layer_map,
+        )
+        oracle = solve_3d(g3, "inproc", cmfd=True)
+        candidate = solve_3d(g3, engine, cmfd=True)
+        assert oracle[1].cmfd_stats["cmfd_solves"] == oracle[1].num_iterations
+        assert_equivalent(oracle, candidate)
+
+    def test_accelerated_differs_from_unaccelerated(self, pin_lattice):
+        """Sanity guard: cmfd=True must actually change the trajectory,
+        otherwise the parametrisation above proves nothing."""
+        plain = solve_2d(pin_lattice, "inproc")[1]
+        fast = solve_2d(pin_lattice, "inproc", cmfd=True)[1]
+        assert fast.cmfd_stats and not plain.cmfd_stats
+        assert fast.keff != plain.keff

@@ -4,6 +4,7 @@ import pytest
 
 from repro.errors import ConfigError
 from repro.io.config import (
+    CmfdConfig,
     DecompositionConfig,
     LoadBalanceConfig,
     OutputConfig,
@@ -109,6 +110,57 @@ class TestSolverConfig:
     def test_iterations_positive(self):
         with pytest.raises(ConfigError):
             SolverConfig(max_iterations=0).validate()
+
+
+class TestCmfdConfig:
+    def test_defaults_are_tristate_off(self):
+        cfg = SolverConfig()
+        assert cfg.cmfd.enabled is None  # defer to $REPRO_CMFD, then off
+        cfg.validate()
+
+    def test_mapping_block(self):
+        cfg = config_from_dict(
+            {"solver": {"cmfd": {"enabled": True, "mesh_x": 9, "mesh_y": 9}}}
+        )
+        assert cfg.solver.cmfd.enabled is True
+        assert (cfg.solver.cmfd.mesh_x, cfg.solver.cmfd.mesh_y) == (9, 9)
+
+    @pytest.mark.parametrize("flag", [True, False])
+    def test_boolean_shorthand(self, flag):
+        cfg = config_from_dict({"solver": {"cmfd": flag}})
+        assert cfg.solver.cmfd.enabled is flag
+        # shorthand keeps the default mesh (one cell per root lattice cell)
+        assert cfg.solver.cmfd.mesh_x == 0
+
+    def test_null_block_keeps_defaults(self):
+        cfg = config_from_dict({"solver": {"cmfd": None}})
+        assert cfg.solver.cmfd == CmfdConfig()
+
+    def test_non_mapping_rejected(self):
+        with pytest.raises(ConfigError, match="cmfd"):
+            config_from_dict({"solver": {"cmfd": [1, 2]}})
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ConfigError, match="unknown keys"):
+            config_from_dict({"solver": {"cmfd": {"mesh_w": 3}}})
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"mesh_x": -1},
+            {"tolerance": 0.0},
+            {"max_inner_iterations": 0},
+            {"relaxation": 0.0},
+            {"relaxation": 1.1},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigError):
+            CmfdConfig(**kwargs).validate()
+
+    def test_solver_validate_recurses(self):
+        with pytest.raises(ConfigError):
+            SolverConfig(cmfd=CmfdConfig(relaxation=-0.5)).validate()
 
 
 class TestLoadBalanceConfig:

@@ -60,5 +60,52 @@ class TestConvergenceMonitor:
         assert "keff" in report
         assert "1.234500" in report
 
+
+class TestDominanceRatio:
+    def fed(self, residual_factors):
+        """A monitor fed sources whose successive relative changes shrink
+        by the given factors (residual_n+1 = factor * residual_n)."""
+        mon = ConvergenceMonitor()
+        source = np.array([1.0])
+        mon.update(1.0, source)
+        step = 0.1
+        for factor in residual_factors:
+            source = source * (1.0 + step)
+            mon.update(1.0, source)
+            step *= factor
+        return mon
+
+    def test_none_without_history(self):
+        assert ConvergenceMonitor().dominance_ratio is None
+
+    def test_none_with_single_residual(self):
+        mon = ConvergenceMonitor()
+        mon.update(1.0, np.array([1.0]))
+        mon.update(1.0, np.array([1.1]))
+        # Only one finite residual (the first is inf).
+        assert mon.dominance_ratio is None
+
+    def test_ratio_of_successive_residuals(self):
+        mon = ConvergenceMonitor()
+        mon.update(1.0, np.array([1.0]))
+        mon.update(1.0, np.array([2.0]))   # residual 1.0
+        mon.update(1.0, np.array([3.0]))   # residual 0.5
+        assert mon.dominance_ratio == pytest.approx(0.5)
+
+    def test_tracks_the_error_contraction_rate(self):
+        """A geometric error sequence with ratio sigma estimates sigma."""
+        mon = self.fed([0.9] * 6)
+        assert mon.dominance_ratio == pytest.approx(0.9, rel=1e-6)
+
+    def test_stalled_source_yields_none(self):
+        """A bitwise-stalled source gives zero residuals — degenerate, so
+        the estimate declines to answer rather than return 0/0."""
+        mon = ConvergenceMonitor()
+        source = np.array([1.0])
+        mon.update(1.0, source)
+        mon.update(1.0, source)
+        mon.update(1.0, source)
+        assert mon.dominance_ratio is None
+
     def test_empty_monitor_not_converged(self):
         assert not ConvergenceMonitor().converged

@@ -60,6 +60,45 @@ class TestInfiniteMediumFixedSource:
         assert with_fission > expected_no_fission * terms_f.num_regions * 0.999
 
 
+class TestKeffEquivalence:
+    def test_eigenmode_source_reproduces_eigenmode_flux(
+        self, vacuum_box, two_group_fissile
+    ):
+        """Fixed-source and k-eigenvalue solves agree on a subcritical
+        configuration: the eigenpair (k, phi0) satisfies
+        ``(M - F) phi0 = (1/k - 1) F phi0``, so driving the fixed-source
+        solver with ``Q = (1/k - 1) chi F(phi0)`` over the *same* sweeps
+        must return phi0 itself — not merely something proportional."""
+        from repro.solver import KeffSolver, TransportSweep2D
+        from repro.tracks import TrackGenerator
+
+        tg = TrackGenerator(
+            vacuum_box, num_azim=4, azim_spacing=0.6, num_polar=2
+        ).generate()
+        terms = SourceTerms([two_group_fissile] * vacuum_box.num_fsrs)
+        sweeper = TransportSweep2D(tg, terms)
+        eigen = KeffSolver(
+            terms, tg.fsr_volumes, sweeper.sweep, sweeper.finalize_scalar_flux,
+            keff_tolerance=1e-10, source_tolerance=1e-9, max_iterations=3000,
+        ).solve()
+        assert eigen.converged
+        assert eigen.keff < 1.0  # the identity needs a subcritical system
+        phi0 = eigen.scalar_flux
+
+        q = (1.0 / eigen.keff - 1.0) * terms.chi * terms.fission_source(phi0)[:, None]
+        solver = FixedSourceSolver(
+            terms, tg.fsr_volumes, sweeper.sweep, sweeper.finalize_scalar_flux,
+            flux_tolerance=1e-10, max_iterations=8000,
+        )
+        result = solver.solve(q)
+        assert result.converged
+        np.testing.assert_allclose(result.scalar_flux, phi0, rtol=1e-6)
+        # The recovered flux carries the eigenmode's fission production too.
+        assert terms.fission_production(result.scalar_flux, tg.fsr_volumes) == (
+            pytest.approx(terms.fission_production(phi0, tg.fsr_volumes), rel=1e-7)
+        )
+
+
 class TestLeakageProblems:
     def test_vacuum_flux_below_infinite_medium(self, vacuum_box, two_group_fissile):
         solver, terms = build_solver(vacuum_box, two_group_fissile, spacing=0.4)

@@ -75,6 +75,50 @@ class TestPowerIteration:
         assert not result.converged
         assert len(calls) == 7
 
+    @staticmethod
+    def _solve_captured(solver, caplog):
+        """Run a solve with caplog's handler attached to the library
+        logger (it does not propagate to root, so ``at_level`` alone sees
+        nothing)."""
+        import logging
+
+        logger = logging.getLogger("repro.solver")
+        logger.addHandler(caplog.handler)
+        try:
+            with caplog.at_level("WARNING", logger="repro.solver"):
+                return solver.solve()
+        finally:
+            logger.removeHandler(caplog.handler)
+
+    def test_exhaustion_logs_structured_warning(self, terms, caplog):
+        """Stopping at max_iterations must warn with the residuals and the
+        tolerances, so an unconverged k never passes silently."""
+        calls = []
+
+        def sweep(reduced):
+            calls.append(1)
+            return np.zeros_like(reduced)
+
+        def finalize(tally, reduced, volumes):
+            return FOUR_PI * reduced * (1.0 + 0.5 * (-1) ** len(calls))
+
+        solver = KeffSolver(terms, np.ones(2), sweep, finalize, max_iterations=5)
+        result = self._solve_captured(solver, caplog)
+        assert not result.converged
+        messages = [r.getMessage() for r in caplog.records]
+        warning = next(m for m in messages if "unconverged" in m)
+        assert "5 iterations" in warning
+        assert "max_iterations=5" in warning
+        assert "keff_change=" in warning
+        assert "source_residual=" in warning
+
+    def test_converged_solve_does_not_warn(self, terms, caplog):
+        sweep, finalize = infinite_medium_sweep(terms)
+        solver = KeffSolver(terms, np.ones(2), sweep, finalize, max_iterations=500)
+        result = self._solve_captured(solver, caplog)
+        assert result.converged
+        assert not [r for r in caplog.records if "unconverged" in r.getMessage()]
+
     def test_volume_shape_checked(self, terms):
         sweep, finalize = infinite_medium_sweep(terms)
         with pytest.raises(SolverError, match="volumes"):
