@@ -1,0 +1,243 @@
+"""Solve-service load benchmark (the BENCH_serve record).
+
+Measures the serve farm the way a tenant sees it — through real sockets:
+
+* **Reuse-path speedup.** One cold solve of a c5g7-mini request, then a
+  run of exact-manifest repeats. The repeats are answered from the
+  manifest-keyed report cache without sweeping, and the acceptance floor
+  (:data:`MIN_HIT_SPEEDUP`) requires the median hit to beat the cold
+  solve by at least 20x *including* the full wire round-trip.
+* **Concurrent multi-client load.** N client threads, each with its own
+  connection, hammer the server with requests drawn round-robin from a
+  small pool of distinct manifests. The distinct payloads differ only in
+  an unreachable tolerance, so every request sweeps identical work — the
+  measured spread is pure service behaviour, not workload noise. The
+  record reports requests/sec, client-side p50/p99 latency, mean queue
+  wait from the served reports' ``serve/queued`` stage, and the report
+  cache's hit rate.
+
+Results merge into ``benchmarks/results/BENCH_serve.json``. The non-slow
+``test_serve_load_smoke`` runs the quick case in CI; the slow
+``test_serve_load`` is the full record.
+"""
+
+from __future__ import annotations
+
+import os
+import statistics
+import threading
+import time
+from pathlib import Path
+
+from repro.errors import ReproError
+from repro.observability.exporters import merge_benchmark_record
+from repro.serve import ServeClient, ServeOptions, SolveServer
+
+RESULTS_DIR = Path(__file__).parent / "results"
+BENCH_JSON = RESULTS_DIR / "BENCH_serve.json"
+
+#: Acceptance floor: a report-cache hit (manifest-identical repeat) must
+#: be at least this much faster than the cold solve, measured end-to-end
+#: through the socket.
+MIN_HIT_SPEEDUP = 20.0
+
+CONFIGS = {
+    "full": {
+        "max_iterations": 8,
+        "hit_samples": 25,
+        "clients": 4,
+        "requests_per_client": 12,
+        "distinct_manifests": 4,
+    },
+    "quick": {
+        "max_iterations": 5,
+        "hit_samples": 10,
+        "clients": 3,
+        "requests_per_client": 6,
+        "distinct_manifests": 3,
+    },
+}
+
+
+def _payload(max_iterations: int, variant: int = 0) -> dict:
+    """A deterministic mini request; ``variant`` perturbs an unreachable
+    tolerance so distinct manifests still sweep identical work."""
+    return {
+        "geometry": "c5g7-mini",
+        "tracking": {"num_azim": 4, "azim_spacing": 0.5, "num_polar": 2},
+        "solver": {
+            "max_iterations": max_iterations,
+            "keff_tolerance": 1e-14 * (1 + variant),
+            "source_tolerance": 1e-14,
+        },
+    }
+
+
+def _percentile(sorted_values: list[float], fraction: float) -> float:
+    index = min(len(sorted_values) - 1, round(fraction * (len(sorted_values) - 1)))
+    return sorted_values[index]
+
+
+def _client_worker(address, payloads, requests, latencies, queue_waits, errors):
+    try:
+        with ServeClient(address) as client:
+            for i in range(requests):
+                payload = payloads[i % len(payloads)]
+                started = time.perf_counter()
+                response = client.solve(payload)
+                latencies.append(time.perf_counter() - started)
+                queue_waits.append(response["report"]["stages"]["serve/queued"])
+    except (ReproError, OSError, KeyError) as exc:  # recorded, then failed on
+        errors.append(repr(exc))
+
+
+def run_case(case: str) -> dict:
+    config = CONFIGS[case]
+    options = ServeOptions(
+        solver_threads=2,
+        max_queue_depth=128,
+        report_cache_size=64,
+    )
+    with SolveServer("127.0.0.1:0", options=options) as server:
+        address = server.address
+        base = _payload(config["max_iterations"])
+
+        with ServeClient(address) as client:
+            started = time.perf_counter()
+            cold = client.solve(base)
+            cold_seconds = time.perf_counter() - started
+            assert not cold["cache_hit"]
+
+            hit_samples = []
+            for _ in range(config["hit_samples"]):
+                started = time.perf_counter()
+                repeat = client.solve(base)
+                hit_samples.append(time.perf_counter() - started)
+                assert repeat["cache_hit"]
+                assert repeat["keff_hex"] == cold["keff_hex"]
+                assert repeat["flux_sha256"] == cold["flux_sha256"]
+        hit_seconds = statistics.median(hit_samples)
+
+        payloads = [
+            _payload(config["max_iterations"], variant)
+            for variant in range(config["distinct_manifests"])
+        ]
+        latencies: list[float] = []
+        queue_waits: list[float] = []
+        errors: list[str] = []
+        threads = [
+            threading.Thread(
+                target=_client_worker,
+                args=(
+                    address,
+                    payloads,
+                    config["requests_per_client"],
+                    latencies,
+                    queue_waits,
+                    errors,
+                ),
+            )
+            for _ in range(config["clients"])
+        ]
+        wall_started = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        wall_seconds = time.perf_counter() - wall_started
+        cache_stats = server.service.report_cache.stats()
+
+    ordered = sorted(latencies)
+    total_requests = config["clients"] * config["requests_per_client"]
+    lookups = cache_stats["hits"] + cache_stats["misses"]
+    record = {
+        "case": case,
+        "config": config,
+        "cpus": os.cpu_count(),
+        "cold_solve_seconds": round(cold_seconds, 4),
+        "hit_median_seconds": round(hit_seconds, 6),
+        "hit_speedup": round(cold_seconds / max(hit_seconds, 1e-9), 1),
+        "concurrent": {
+            "clients": config["clients"],
+            "total_requests": total_requests,
+            "errors": errors,
+            "wall_seconds": round(wall_seconds, 4),
+            "requests_per_sec": round(len(latencies) / max(wall_seconds, 1e-9), 2),
+            "p50_latency_ms": round(_percentile(ordered, 0.50) * 1e3, 3),
+            "p99_latency_ms": round(_percentile(ordered, 0.99) * 1e3, 3),
+            "mean_queue_wait_ms": round(
+                statistics.fmean(queue_waits) * 1e3, 3
+            ) if queue_waits else None,
+        },
+        "report_cache": {
+            **cache_stats,
+            "hit_rate": round(cache_stats["hits"] / max(lookups, 1), 3),
+        },
+    }
+    merge_benchmark_record(BENCH_JSON, record, benchmark="serve-load")
+    return record
+
+
+def _report(reporter, record: dict) -> None:
+    concurrent = record["concurrent"]
+    reporter.line(
+        f"case: {record['case']}  ({record['cpus']} cpus, "
+        f"{concurrent['clients']} clients x "
+        f"{record['config']['requests_per_client']} requests)"
+    )
+    reporter.table(
+        ["metric", "value"],
+        [
+            ["cold solve (s)", f"{record['cold_solve_seconds']:.4f}"],
+            ["hit median (s)", f"{record['hit_median_seconds']:.6f}"],
+            ["hit speedup", f"{record['hit_speedup']:.1f}x"],
+            ["requests/sec", f"{concurrent['requests_per_sec']:.2f}"],
+            ["p50 latency (ms)", f"{concurrent['p50_latency_ms']:.3f}"],
+            ["p99 latency (ms)", f"{concurrent['p99_latency_ms']:.3f}"],
+            ["queue wait (ms)", f"{concurrent['mean_queue_wait_ms']}"],
+            ["cache hit rate", f"{record['report_cache']['hit_rate']:.3f}"],
+        ],
+        widths=[20, 14],
+    )
+
+
+def _assert_acceptance(record: dict) -> None:
+    assert not record["concurrent"]["errors"], record["concurrent"]["errors"]
+    speedup = record["hit_speedup"]
+    assert speedup >= MIN_HIT_SPEEDUP, (
+        f"report-cache hit only {speedup:.1f}x faster than the cold solve "
+        f"(floor {MIN_HIT_SPEEDUP}x)"
+    )
+    # Round-robin over a small manifest pool: everything after the first
+    # pass should hit, so the rate must clear one-half comfortably.
+    assert record["report_cache"]["hit_rate"] > 0.5, record["report_cache"]
+
+
+try:
+    import pytest
+except ImportError:  # pragma: no cover - direct invocation
+    pytest = None
+
+
+if pytest is not None:
+
+    @pytest.mark.slow
+    def test_serve_load(reporter):
+        """Full serve-farm load record: reuse speedup + concurrent tenants."""
+        record = run_case("full")
+        _report(reporter, record)
+        _assert_acceptance(record)
+
+    def test_serve_load_smoke(reporter):
+        """CI-sized load story; same acceptance floors, smaller counts."""
+        record = run_case("quick")
+        _report(reporter, record)
+        _assert_acceptance(record)
+
+
+if __name__ == "__main__":
+    import sys
+
+    result = run_case(sys.argv[1] if len(sys.argv) > 1 else "full")
+    print(f"record merged into {BENCH_JSON}")
+    print(result)

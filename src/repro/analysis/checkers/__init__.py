@@ -14,6 +14,7 @@ Third-party or test checkers register the same way:
 
 from __future__ import annotations
 
+from repro.analysis.checkers.blocking_sleep import BlockingSleepChecker
 from repro.analysis.checkers.determinism import DeterminismChecker
 from repro.analysis.checkers.float_comparison import FloatComparisonChecker
 from repro.analysis.checkers.metrics_io import MetricsIoChecker
@@ -21,6 +22,7 @@ from repro.analysis.checkers.registry_hygiene import RegistryHygieneChecker
 from repro.analysis.checkers.silent_fallback import SilentFallbackChecker
 
 __all__ = [
+    "BlockingSleepChecker",
     "DeterminismChecker",
     "FloatComparisonChecker",
     "MetricsIoChecker",

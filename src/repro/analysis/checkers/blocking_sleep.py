@@ -1,0 +1,70 @@
+"""Blocking-sleep checker: resident hot paths must not poll with sleep.
+
+:mod:`repro.serve` keeps a solver farm resident and multiplexes many
+requests over a handful of threads; :mod:`repro.engine` parents coordinate
+live worker pools. In both, a ``time.sleep`` polling loop converts an
+event the OS could deliver instantly into added latency (up to one poll
+period per wakeup, multiplied across a request's waits) and keeps cores
+busy on oversubscribed boxes. The waiting primitives these paths must use
+instead all exist: ``threading.Event``/``Condition`` waits, timed
+``queue.get``, ``selectors``/socket timeouts — each wakes exactly when
+the awaited state changes.
+
+One rule:
+
+* ``blocking-sleep`` — no ``time.sleep`` inside a loop in ``repro.serve``
+  or ``repro.engine``. A sleep *outside* a loop (a one-shot delay) is not
+  a polling pattern and is left alone. The only sanctioned in-loop sleeps
+  are the engines' seqlock spin-waits over lock-free shared memory, where
+  no waitable primitive exists by design — those carry explicit
+  ``# repro: ignore[blocking-sleep]`` pragmas stating that rationale.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.checkers.common import import_aliases, resolve_call, walk_calls
+from repro.analysis.core import Checker, Finding, SourceFile, register_checker
+
+#: Packages that host resident processes (servers, engine parents).
+RESIDENT_PACKAGES = ("serve", "engine")
+
+_LOOPS = (ast.While, ast.For, ast.AsyncFor)
+
+
+class BlockingSleepChecker(Checker):
+    name = "blocking-sleep"
+    rules = {
+        "blocking-sleep": (
+            "time.sleep polling loop in a resident hot path; wait on an "
+            "event/condition/selector or a timed queue get instead"
+        ),
+    }
+
+    def check(self, src: SourceFile) -> Iterable[Finding]:
+        if not src.in_packages(RESIDENT_PACKAGES):
+            return
+        aliases = import_aliases(src.tree)
+        seen: set[tuple[int, int]] = set()
+        for node in ast.walk(src.tree):
+            if not isinstance(node, _LOOPS):
+                continue
+            for call in walk_calls(node):
+                if resolve_call(call, aliases) != "time.sleep":
+                    continue
+                where = (call.lineno, call.col_offset)
+                if where in seen:  # nested loops reach the same call twice
+                    continue
+                seen.add(where)
+                yield self.finding(
+                    src, call, "blocking-sleep",
+                    f"time.sleep inside a loop in {src.module}; resident "
+                    "paths must block in a waitable primitive (Event/"
+                    "Condition wait, timed queue get, selector) so wakeups "
+                    "track the awaited state, not a poll period",
+                )
+
+
+register_checker(BlockingSleepChecker())

@@ -83,7 +83,11 @@ def _wait_value(array, index, threshold, timeout, desc):
             raise CommunicationError(
                 f"timed out after {timeout}s waiting for {desc}"
             )
-        time.sleep(delay)
+        # Seqlock spin-wait: the counter lives in lock-free shared memory
+        # with no waitable primitive attached (an OS condition here would
+        # reintroduce the cross-process locking the mailbox design
+        # removes), so a bounded exponential backoff is the wait.
+        time.sleep(delay)  # repro: ignore[blocking-sleep]
         delay = min(delay * 2.0, _POLL_MAX)
     return True
 
@@ -251,7 +255,9 @@ class AsyncMpEngine(MpEngine):
                 )
             if any((not p.is_alive()) and p.exitcode for p in procs):
                 self._raise_worker_failure(queue, procs)
-            time.sleep(delay)
+            # Same seqlock spin as _wait_value: worker_seq/fission_seq are
+            # bare shm counters published without any waitable primitive.
+            time.sleep(delay)  # repro: ignore[blocking-sleep]
             delay = min(delay * 2.0, _POLL_MAX)
 
     def solve(self, problem: DecomposedProblem, comm) -> EngineResult:
@@ -285,7 +291,7 @@ class AsyncMpEngine(MpEngine):
         if cmfd is not None:
             shapes["currents"] = (max(cmfd.total_pair_rows, 1), problem.num_groups)
             shapes["factors"] = (cmfd.num_cells, problem.num_groups)
-        arena = ShmArena(shapes)
+        arena, arena_hit = self._acquire_arena(shapes)
         phi, phi_new = arena["phi"], arena["phi_new"]
         fission, prod = arena["fission"], arena["prod"]
         worker_seq, fission_seq = arena["worker_seq"], arena["fission_seq"]
@@ -306,7 +312,7 @@ class AsyncMpEngine(MpEngine):
         if cmfd is not None:
             fields["currents"] = currents
             fields["factors"] = factors
-        queue = ctx.SimpleQueue()
+        queue = ctx.Queue()
         owned = [[d for d in range(D) if d % W == w] for w in range(W)]
         procs = [
             ctx.Process(
@@ -390,6 +396,7 @@ class AsyncMpEngine(MpEngine):
                 payloads = self._collect_payloads(queue, procs, W)
             if cmfd_stats is not None:
                 cmfd_stats.seconds = timer.duration("engine_solve/cmfd")
+            extras = self._merge_arena_counters(self._result_extras(payloads), arena_hit)
             return EngineResult(
                 keff=keff,
                 scalar_flux=scalar_flux,
@@ -403,7 +410,7 @@ class AsyncMpEngine(MpEngine):
                     (wid, payload)
                     for wid, payload in payloads.get("timers", {}).items()
                 ),
-                **self._result_extras(payloads),
+                **extras,
             )
         finally:
             # Unblock any surviving worker: a HALT grant far in the future
@@ -418,4 +425,4 @@ class AsyncMpEngine(MpEngine):
                     proc.join(timeout=5.0)
             del phi, phi_new, fission, prod, worker_seq, fission_seq, grant
             del currents, factors, fields
-            arena.close(unlink=True)
+            self._release_arena(arena)

@@ -29,6 +29,7 @@ import os
 import signal
 import time
 import traceback
+from queue import Empty
 from threading import BrokenBarrierError
 
 import numpy as np
@@ -213,7 +214,35 @@ class MpEngine(ExecutionEngine):
         self.workers = workers
         self.timeout = resolve_engine_timeout(timeout)
         self.pin_workers = bool(pin_workers)
+        #: Optional :class:`~repro.engine.pool.ArenaPool` recycling the
+        #: shared segments across solves (attached by an EnginePool host;
+        #: ``None`` keeps the batch per-solve map/unlink behaviour).
+        self.arena_pool = None
         self._logger = get_logger("repro.engine.mp")
+
+    def _acquire_arena(self, shapes: dict) -> tuple[ShmArena, bool]:
+        """A zeroed arena for ``shapes``: pooled when a host attached a
+        pool (second element reports a reuse hit), else freshly mapped."""
+        if self.arena_pool is None:
+            return ShmArena(shapes), False
+        return self.arena_pool.acquire(shapes)
+
+    def _release_arena(self, arena: ShmArena) -> None:
+        if self.arena_pool is None:
+            arena.close(unlink=True)
+        else:
+            self.arena_pool.release(arena)
+
+    def _merge_arena_counters(self, extras: dict, hit: bool) -> dict:
+        """Fold this solve's arena reuse into the result's comm counters
+        (only when pooled — batch runs keep their counter set unchanged)."""
+        if self.arena_pool is None:
+            return extras
+        counters = dict(extras.get("comm_counters") or {})
+        counters["arena_reuse_hits"] = int(hit)
+        counters["arena_reuse_misses"] = int(not hit)
+        extras["comm_counters"] = counters
+        return extras
 
     def _worker_target(self):
         """The function each worker process runs."""
@@ -248,23 +277,29 @@ class MpEngine(ExecutionEngine):
         listed ahead of sibling ``BrokenBarrierError`` noise — when one
         worker raises, its siblings' barriers break too, and the original
         failure must not be buried under their teardown reports.
+
+        Waiting blocks in the queue's timed ``get`` (the pipe read wakes
+        us the moment a report lands) — never a sleep/poll loop.
         """
         deadline = time.monotonic() + window
         reports: dict[int, str] = {}
         while time.monotonic() < deadline:
-            while not queue.empty():
-                kind, wid, payload = queue.get()
-                if kind == "error":
-                    reports.setdefault(int(wid), str(payload))
-            if reports:
-                break
-            dead = [p for p in procs if not p.is_alive() and p.exitcode]
-            if dead and queue.empty():
-                break  # died without a report; nothing more is coming
-            time.sleep(0.005)
+            try:
+                kind, wid, payload = queue.get(timeout=0.2)
+            except Empty:
+                if reports:
+                    break  # collected the racing siblings too; report now
+                if any(not p.is_alive() and p.exitcode for p in procs):
+                    break  # died without a report; nothing more is coming
+                continue
+            if kind == "error":
+                reports.setdefault(int(wid), str(payload))
         # One last sweep: reports enqueued between the checks above.
-        while not queue.empty():
-            kind, wid, payload = queue.get()
+        while True:
+            try:
+                kind, wid, payload = queue.get_nowait()
+            except Empty:
+                break
             if kind == "error":
                 reports.setdefault(int(wid), str(payload))
         primary = [
@@ -318,14 +353,14 @@ class MpEngine(ExecutionEngine):
                 max(cmfd.total_pair_rows, 1), problem.num_groups
             )
             shapes["factors"] = (cmfd.num_cells, problem.num_groups)
-        arena = ShmArena(shapes)
+        arena, arena_hit = self._acquire_arena(shapes)
         phi, phi_new = arena["phi"], arena["phi_new"]
         control = arena["control"]
         currents = arena["currents"] if cmfd is not None else None
         factors = arena["factors"] if cmfd is not None else None
         cmfd_stats = CmfdStats() if cmfd is not None else None
         barrier = ctx.Barrier(W + 1)
-        queue = ctx.SimpleQueue()
+        queue = ctx.Queue()
         owned = [[d for d in range(D) if d % W == w] for w in range(W)]
         procs = [
             ctx.Process(
@@ -395,6 +430,7 @@ class MpEngine(ExecutionEngine):
                 payloads = self._collect_payloads(queue, procs, W)
             if cmfd_stats is not None:
                 cmfd_stats.seconds = timer.duration("engine_solve/cmfd")
+            extras = self._merge_arena_counters(self._result_extras(payloads), arena_hit)
             return EngineResult(
                 keff=keff,
                 scalar_flux=scalar_flux,
@@ -408,7 +444,7 @@ class MpEngine(ExecutionEngine):
                     for wid, payload in payloads.get("timers", {}).items()
                 ),
                 cmfd_stats=cmfd_stats.as_dict() if cmfd_stats is not None else {},
-                **self._result_extras(payloads),
+                **extras,
             )
         finally:
             control[_STOP] = 1.0
@@ -421,7 +457,7 @@ class MpEngine(ExecutionEngine):
                     proc.terminate()
                     proc.join(timeout=5.0)
             del phi, phi_new, control, currents, factors
-            arena.close(unlink=True)
+            self._release_arena(arena)
 
     def _allreduce(self, problem: DecomposedProblem, comm: MpCommunicator,
                    flux: np.ndarray) -> float:
@@ -452,25 +488,26 @@ class MpEngine(ExecutionEngine):
 
 
 def _drain(queue, timeout: float, expected: int | None = None, procs=()):
-    """Collect queued worker messages, polling ``empty()`` (SimpleQueue has
-    no timed ``get``; an unconditional get could hang on a dead worker).
-    Stops early once every worker process has exited and the queue is
-    empty — no message can arrive from a dead sender, so waiting out the
-    window would only delay the failure report."""
+    """Collect queued worker messages, blocking in timed ``get`` calls
+    (the pipe read wakes us the moment a message lands — no poll loop).
+    Stops early once every worker process has exited and a short grace
+    ``get`` (the feeder thread may still be flushing) comes back empty —
+    no message can arrive from a dead sender, so waiting out the window
+    would only delay the failure report."""
     messages = []
     deadline = time.monotonic() + timeout
-    while time.monotonic() < deadline:
-        if queue.empty():
-            if messages and (expected is None or len(messages) >= expected):
-                break
-            if procs and all(not p.is_alive() for p in procs):
-                if queue.empty():  # re-check: a message may have landed
-                    break
-            time.sleep(0.005)
-            continue
-        messages.append(queue.get())
-        if expected is not None and len(messages) >= expected:
+    while expected is None or len(messages) < expected:
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
             break
+        all_dead = bool(procs) and all(not p.is_alive() for p in procs)
+        try:
+            # Capped at 0.2 s so a worker dying mid-wait is noticed on the
+            # next liveness check instead of after the whole window.
+            messages.append(queue.get(timeout=min(remaining, 0.2)))
+        except Empty:
+            if all_dead or (expected is None and messages):
+                break
     return messages
 
 

@@ -62,6 +62,16 @@ class SanitizerError(ReproError):
     misconfigured (fault spec naming a worker that does not exist)."""
 
 
+class ServeError(ReproError):
+    """The solve service failed (malformed request, protocol violation,
+    job executed out of its lifecycle order, server unreachable)."""
+
+
+class AdmissionError(ServeError):
+    """A solve request was refused admission (queue at capacity, service
+    draining or shut down). The request was never executed."""
+
+
 class OutOfMemoryError(HardwareModelError):
     """A simulated allocation exceeded a device's memory capacity.
 

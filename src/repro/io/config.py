@@ -63,6 +63,11 @@ class TrackingConfig:
     tracking_cache: bool = False
     #: Cache directory override (default: ``REPRO_CACHE_DIR`` or ``~/.cache/repro``).
     cache_dir: str | None = None
+    #: Writer-lock window in seconds for the tracking cache: both the
+    #: stale-break threshold and the store wait budget. ``None`` means the
+    #: built-in default (:data:`repro.tracks.cache.LOCK_STALE_SECONDS`);
+    #: long-lived server processes should raise it.
+    cache_lock_timeout: float | None = None
 
     def validate(self) -> None:
         if self.num_azim < 4 or self.num_azim % 4 != 0:
@@ -82,6 +87,20 @@ class TrackingConfig:
             raise ConfigError(f"tracer must be one of {TRACERS} (got {self.tracer!r})")
         if self.cache_dir is not None and not isinstance(self.cache_dir, str):
             raise ConfigError(f"cache_dir must be a string path (got {self.cache_dir!r})")
+        if self.cache_lock_timeout is not None:
+            bad_type = not isinstance(self.cache_lock_timeout, (int, float)) or isinstance(
+                self.cache_lock_timeout, bool
+            )
+            if bad_type:
+                raise ConfigError(
+                    "tracking.cache_lock_timeout must be a number of seconds "
+                    f"(got {self.cache_lock_timeout!r})"
+                )
+            if not self.cache_lock_timeout > 0:
+                raise ConfigError(
+                    "tracking.cache_lock_timeout must be positive "
+                    f"(got {self.cache_lock_timeout})"
+                )
 
 
 @dataclass(frozen=True)

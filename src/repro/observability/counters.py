@@ -60,7 +60,47 @@ COUNTER_SCHEMA: dict[str, str] = {
         "first check, i.e. communication fully hidden behind compute "
         "(mp-async engines; an engine property, not a workload term)"
     ),
+    "serve_requests": (
+        "solve requests this report answers (1 per served request; absent "
+        "for CLI solves — a service-only key, excluded from solve "
+        "equivalence comparisons)"
+    ),
+    "report_cache_hits": (
+        "requests answered from the manifest-keyed report cache without "
+        "sweeping (service-only key)"
+    ),
+    "report_cache_misses": (
+        "requests that executed a fresh solve because no cached report "
+        "matched their manifest (service-only key)"
+    ),
+    "report_cache_evictions": (
+        "LRU evictions this request caused when its report was stored "
+        "(service-only key)"
+    ),
+    "arena_reuse_hits": (
+        "shared-memory arenas re-mapped from the resident engine pool "
+        "instead of being created (an engine property, service-only key)"
+    ),
+    "arena_reuse_misses": (
+        "shared-memory arenas created because the pool held no matching "
+        "layout (an engine property, service-only key)"
+    ),
 }
+
+#: Counter names that describe the *service* layer (request reuse, warm
+#: pools), never the solved workload. A served report is bitwise-equal to
+#: the same config solved via the CLI *modulo these keys* — equivalence
+#: comparisons and the report diff's significance rules exclude them.
+SERVICE_ONLY_COUNTERS = frozenset(
+    {
+        "serve_requests",
+        "report_cache_hits",
+        "report_cache_misses",
+        "report_cache_evictions",
+        "arena_reuse_hits",
+        "arena_reuse_misses",
+    }
+)
 
 
 class CounterSet:

@@ -9,8 +9,10 @@ ANT-MOC artifact's run logs report them.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
+from typing import Callable, Iterator
 
 import numpy as np
 
@@ -86,9 +88,34 @@ class AntMocRunResult:
 
 
 class AntMocApplication:
-    """One configured ANT-MOC run."""
+    """One configured ANT-MOC run.
 
-    def __init__(self, config: RunConfig) -> None:
+    The keyword-only hosting hooks exist for :mod:`repro.serve`, which
+    runs many applications inside one resident process. None of them may
+    change what is solved — the manifest (and therefore the service's
+    reuse keys) is collected from ``config`` alone:
+
+    * ``engine`` — a pre-built :class:`~repro.engine.base.ExecutionEngine`
+      instance used instead of resolving ``decomposition.engine`` by name,
+      so a warm pooled engine (with its shared-memory arenas already
+      mapped) serves the solve.
+    * ``tracking_cache`` — a shared :class:`~repro.tracks.cache.TrackingCache`
+      used instead of building one from the config. Only honoured when the
+      config enables the cache; a host cannot switch caching on for a
+      request that asked for it off.
+    * ``stage_hook`` — called with each stage name as it begins, letting a
+      host mirror pipeline progress (e.g. job lifecycle states) without
+      touching the observation.
+    """
+
+    def __init__(
+        self,
+        config: RunConfig,
+        *,
+        engine=None,
+        tracking_cache=None,
+        stage_hook: Callable[[str], None] | None = None,
+    ) -> None:
         self.config = config.validate()
         self.logger = get_logger("repro.antmoc", config.output.log_level)
         self.obs = Observation(manifest=RunManifest.collect(self.config))
@@ -96,6 +123,17 @@ class AntMocApplication:
         # the observation keeps in lock-step with its span tree.
         self.timer = self.obs.timer
         self.pipeline = PipelineState()
+        self._engine_override = engine
+        self._cache_override = tracking_cache
+        self._stage_hook = stage_hook
+
+    @contextmanager
+    def _stage(self, name: str) -> Iterator[None]:
+        """An observation stage, announced to the host's ``stage_hook``."""
+        if self._stage_hook is not None:
+            self._stage_hook(name)
+        with self.obs.stage(name):
+            yield
 
     @classmethod
     def from_config_file(cls, path: str | Path) -> "AntMocApplication":
@@ -111,7 +149,22 @@ class AntMocApplication:
 
     def _tracking_cache(self):
         tracking = self.config.tracking
-        return resolve_cache(tracking.tracking_cache, tracking.cache_dir)
+        if tracking.tracking_cache and self._cache_override is not None:
+            return self._cache_override
+        return resolve_cache(
+            tracking.tracking_cache,
+            tracking.cache_dir,
+            lock_timeout=tracking.cache_lock_timeout,
+        )
+
+    def _engine_setting(self):
+        """The ``engine`` argument for decomposed solver construction: a
+        host-provided warm engine instance when one was injected (it flows
+        through :func:`~repro.engine.registry.resolve_engine` unchanged),
+        else the config's engine name."""
+        if self._engine_override is not None:
+            return self._engine_override
+        return self.config.decomposition.engine
 
     def _cmfd_setting(self):
         """The ``cmfd`` argument for solver construction: the config's
@@ -258,10 +311,10 @@ class AntMocApplication:
     def run(self) -> AntMocRunResult:
         """Execute all five stages and return the result bundle."""
         cfg = self.config
-        with self.obs.stage(StageName.READ_CONFIGURATION.value):
+        with self._stage(StageName.READ_CONFIGURATION.value):
             self.pipeline.complete(StageName.READ_CONFIGURATION, cfg)
 
-        with self.obs.stage(StageName.GEOMETRY_CONSTRUCTION.value):
+        with self._stage(StageName.GEOMETRY_CONSTRUCTION.value):
             geometry = self._build_geometry()
             self.pipeline.complete(StageName.GEOMETRY_CONSTRUCTION, geometry)
         self.logger.info("geometry %s: %d FSRs", cfg.geometry, geometry.num_fsrs)
@@ -275,7 +328,7 @@ class AntMocApplication:
         comm_bytes = 0
         cache = self._tracking_cache()
         if decomposed:
-            with self.obs.stage(StageName.TRACK_GENERATION.value):
+            with self._stage(StageName.TRACK_GENERATION.value):
                 solver = DecomposedSolver(
                     geometry,
                     cfg.decomposition.nx,
@@ -290,7 +343,7 @@ class AntMocApplication:
                     backend=cfg.solver.sweep_backend,
                     tracer=cfg.tracking.tracer,
                     cache=cache,
-                    engine=cfg.decomposition.engine,
+                    engine=self._engine_setting(),
                     workers=cfg.decomposition.workers or None,
                     timeout=cfg.decomposition.timeout,
                     pin_workers=cfg.decomposition.pin_workers,
@@ -301,7 +354,7 @@ class AntMocApplication:
                 [d.trackgen.timings for d in solver.domains],
                 cache_enabled=cache is not None,
             )
-            with self.obs.stage(StageName.TRANSPORT_SOLVING.value):
+            with self._stage(StageName.TRANSPORT_SOLVING.value):
                 result: DecomposedResult | SolveResult = solver.solve()
                 self.pipeline.complete(StageName.TRANSPORT_SOLVING, result)
             self._record_worker_timers(result)
@@ -318,7 +371,7 @@ class AntMocApplication:
             flux = result.scalar_flux
             comm_bytes = result.comm_bytes  # type: ignore[union-attr]
         else:
-            with self.obs.stage(StageName.TRACK_GENERATION.value):
+            with self._stage(StageName.TRACK_GENERATION.value):
                 solver = MOCSolver.for_2d(
                     geometry,
                     num_azim=cfg.tracking.num_azim,
@@ -337,7 +390,7 @@ class AntMocApplication:
             self._record_tracking_phases(
                 [solver.trackgen.timings], cache_enabled=cache is not None
             )
-            with self.obs.stage(StageName.TRANSPORT_SOLVING.value):
+            with self._stage(StageName.TRANSPORT_SOLVING.value):
                 result = solver.solve()
                 self.pipeline.complete(StageName.TRANSPORT_SOLVING, result)
             self._record_solve_phases(result)
@@ -351,7 +404,7 @@ class AntMocApplication:
             rates = solver.fission_rates(result)
             flux = result.scalar_flux
 
-        with self.obs.stage(StageName.OUTPUT_GENERATION.value):
+        with self._stage(StageName.OUTPUT_GENERATION.value):
             outputs: dict[str, str] = {}
             if cfg.output.fission_rates_path:
                 write_fission_rates_csv(cfg.output.fission_rates_path, rates)
@@ -400,7 +453,7 @@ class AntMocApplication:
         polar_spacing = cfg.tracking.polar_spacing
         cache = self._tracking_cache()
         if decomposed:
-            with self.obs.stage(StageName.TRACK_GENERATION.value):
+            with self._stage(StageName.TRACK_GENERATION.value):
                 solver = ZDecomposedSolver(
                     geometry3d,
                     num_domains=cfg.decomposition.nz,
@@ -415,7 +468,7 @@ class AntMocApplication:
                     backend=cfg.solver.sweep_backend,
                     tracer=cfg.tracking.tracer,
                     cache=cache,
-                    engine=cfg.decomposition.engine,
+                    engine=self._engine_setting(),
                     workers=cfg.decomposition.workers or None,
                     timeout=cfg.decomposition.timeout,
                     pin_workers=cfg.decomposition.pin_workers,
@@ -426,7 +479,7 @@ class AntMocApplication:
                 [solver.radial.timings] + [d["trackgen"].timings for d in solver.domains],
                 cache_enabled=cache is not None,
             )
-            with self.obs.stage(StageName.TRANSPORT_SOLVING.value):
+            with self._stage(StageName.TRANSPORT_SOLVING.value):
                 result = solver.solve()
                 self.pipeline.complete(StageName.TRANSPORT_SOLVING, result)
             self._record_worker_timers(result)
@@ -453,7 +506,7 @@ class AntMocApplication:
                 ]
             )
         else:
-            with self.obs.stage(StageName.TRACK_GENERATION.value):
+            with self._stage(StageName.TRACK_GENERATION.value):
                 solver = MOCSolver.for_3d(
                     geometry3d,
                     num_azim=cfg.tracking.num_azim,
@@ -475,7 +528,7 @@ class AntMocApplication:
             self._record_tracking_phases(
                 [solver.trackgen.timings], cache_enabled=cache is not None
             )
-            with self.obs.stage(StageName.TRANSPORT_SOLVING.value):
+            with self._stage(StageName.TRANSPORT_SOLVING.value):
                 result = solver.solve()
                 self.pipeline.complete(StageName.TRANSPORT_SOLVING, result)
             self._record_solve_phases(result)
@@ -493,7 +546,7 @@ class AntMocApplication:
         fissile = rates > 0
         if fissile.any():
             rates = rates / rates[fissile].mean()
-        with self.obs.stage(StageName.OUTPUT_GENERATION.value):
+        with self._stage(StageName.OUTPUT_GENERATION.value):
             outputs: dict[str, str] = {}
             if cfg.output.fission_rates_path:
                 write_fission_rates_csv(cfg.output.fission_rates_path, rates)

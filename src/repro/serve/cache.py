@@ -1,0 +1,101 @@
+"""Manifest-keyed LRU cache of finished run reports.
+
+The key is :func:`~repro.observability.manifest.config_hash` over the
+request's full validated configuration — the same hash the
+:class:`~repro.observability.manifest.RunManifest` pins — so two requests
+share an entry exactly when a report diff would call them the same run.
+Entries store the *pristine* report payload (the ``to_dict`` form, before
+any service annotation) plus a private copy of the scalar flux; hits
+rebuild a fresh :class:`~repro.observability.record.RunReport` from the
+payload, so no caller can mutate the cached truth.
+
+Capacity is LRU-bounded; ``put`` reports how many evictions the insert
+caused so the service can attribute them to the request that triggered
+them (the ``report_cache_evictions`` counter).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.observability.record import RunReport
+
+
+@dataclass
+class CacheEntry:
+    """One cached solve: report payload + the flux the report describes."""
+
+    report_payload: dict[str, Any]
+    scalar_flux: np.ndarray
+
+    def report(self) -> RunReport:
+        """A fresh, independently mutable report built from the payload."""
+        return RunReport.from_dict(self.report_payload)
+
+    def flux(self) -> np.ndarray:
+        return self.scalar_flux.copy()
+
+
+class ReportCache:
+    """Thread-safe LRU of :class:`CacheEntry` keyed by config hash."""
+
+    def __init__(self, capacity: int = 32) -> None:
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0 (got {capacity})")
+        self.capacity = int(capacity)
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[str, CacheEntry]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: str) -> CacheEntry | None:
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
+
+    def put(self, key: str, entry: CacheEntry) -> int:
+        """Insert (or refresh) ``key``; returns evictions this caused."""
+        evicted = 0
+        with self._lock:
+            if self.capacity == 0:
+                return 0
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                evicted += 1
+            self.evictions += evicted
+        return evicted
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "size": len(self._entries),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()

@@ -1,0 +1,117 @@
+"""Client for the solve server's JSON-lines protocol.
+
+:class:`ServeClient` keeps one connection open and pipelines requests
+over it (the server answers in order per connection). It is deliberately
+thin: every helper is a one-line wrapper over :meth:`request`, and the
+response dictionaries are returned as-is so callers see exactly the wire
+payloads documented in :mod:`repro.serve.protocol`.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import Any, Mapping
+
+from repro.errors import ServeError
+from repro.serve import protocol
+from repro.serve.server import parse_address
+
+
+class ServeClient:
+    """A blocking client over TCP or a Unix socket.
+
+    Thread-safe: a lock serializes request/response pairs, so one client
+    may be shared by several submitting threads (each call still blocks
+    for its own response).
+    """
+
+    def __init__(self, address: str, timeout: float | None = 300.0) -> None:
+        self.address = address
+        kind, target = parse_address(address)
+        try:
+            if kind == "unix":
+                self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+                self._sock.settimeout(timeout)
+                self._sock.connect(target)
+            else:
+                self._sock = socket.create_connection(target, timeout=timeout)
+        except OSError as exc:
+            raise ServeError(f"cannot reach solve server at {address}: {exc}") from None
+        self._file = self._sock.makefile("rwb")
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------ plumbing
+
+    def request(self, payload: Mapping[str, Any]) -> dict[str, Any]:
+        """Send one request line, block for its response line."""
+        data = protocol.encode(payload)
+        with self._lock:
+            try:
+                self._file.write(data)
+                self._file.flush()
+                line = self._file.readline()
+            except OSError as exc:
+                raise ServeError(f"solve server connection failed: {exc}") from None
+        if not line:
+            raise ServeError("solve server closed the connection")
+        return protocol.decode(line)
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------- verbs
+
+    def ping(self) -> dict[str, Any]:
+        return self.request({"op": "ping"})
+
+    def stats(self) -> dict[str, Any]:
+        return self.request({"op": "stats"})["stats"]
+
+    def job(self, job_id: str) -> dict[str, Any]:
+        response = self.request({"op": "job", "job_id": job_id})
+        if not response.get("ok"):
+            raise ServeError(response.get("error", "job lookup failed"))
+        return response["job"]
+
+    def solve(
+        self,
+        config: Mapping[str, Any],
+        priority: int = 0,
+        timeout: float | None = None,
+        tag: str | None = None,
+        wait: bool = True,
+        wait_timeout: float | None = None,
+    ) -> dict[str, Any]:
+        """Submit a solve; raises :class:`ServeError` unless it came back
+        ``done`` (or is still pending with ``wait=False``)."""
+        request: dict[str, Any] = {
+            "op": "solve",
+            "config": dict(config),
+            "priority": priority,
+            "wait": wait,
+        }
+        if timeout is not None:
+            request["timeout"] = timeout
+        if tag is not None:
+            request["tag"] = tag
+        if wait_timeout is not None:
+            request["wait_timeout"] = wait_timeout
+        response = self.request(request)
+        terminal = response.get("state") in {"done", "failed", "rejected", "timed-out"}
+        if not response.get("ok") and (wait or terminal):
+            detail = response.get("error") or f"job ended {response.get('state')!r}"
+            raise ServeError(f"served solve failed: {detail}")
+        return response
+
+    def shutdown(self, drain: bool = True) -> dict[str, Any]:
+        return self.request({"op": "shutdown", "drain": drain})

@@ -1,0 +1,99 @@
+"""Admission-controlled priority queue feeding the solver threads.
+
+Ordering is ``(-priority, sequence)``: higher priority first, strict FIFO
+within a priority level (the monotonic sequence number breaks ties, so
+two equal-priority requests can never reorder). Admission control is a
+hard bound on queue depth — a full queue *rejects* rather than blocks,
+because a service that blocks producers converts overload into unbounded
+client latency instead of a fast, explicit signal.
+
+All waiting happens inside a :class:`threading.Condition` (the
+``blocking-sleep`` lint rule forbids sleep-polling in this package, and
+the queue is why nothing here needs it): consumers block in ``wait`` and
+are woken exactly when a job arrives or the queue closes.
+
+``close()`` is the graceful-shutdown half: it stops admissions
+immediately while consumers drain the backlog; ``take`` returns ``None``
+once the queue is both closed and empty, which is the solver threads'
+exit signal.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+
+from repro.errors import AdmissionError
+from repro.serve.jobs import SolveJob
+
+#: Default bound on undispatched requests.
+DEFAULT_MAX_DEPTH = 64
+
+
+class JobQueue:
+    """Bounded thread-safe priority queue of :class:`SolveJob`."""
+
+    def __init__(self, max_depth: int = DEFAULT_MAX_DEPTH) -> None:
+        if max_depth < 1:
+            raise AdmissionError(f"queue depth bound must be >= 1 (got {max_depth})")
+        self.max_depth = int(max_depth)
+        self._heap: list[tuple[int, int, SolveJob]] = []
+        self._seq = itertools.count()
+        self._cond = threading.Condition()
+        self._open = True
+
+    def put(self, job: SolveJob) -> None:
+        """Admit ``job`` or raise :class:`AdmissionError` (full/closed)."""
+        with self._cond:
+            if not self._open:
+                raise AdmissionError(
+                    f"service is shutting down; job {job.job_id} rejected"
+                )
+            if len(self._heap) >= self.max_depth:
+                raise AdmissionError(
+                    f"queue at capacity ({self.max_depth} pending); "
+                    f"job {job.job_id} rejected"
+                )
+            heapq.heappush(self._heap, (-job.priority, next(self._seq), job))
+            self._cond.notify()
+
+    def take(self, timeout: float | None = None) -> SolveJob | None:
+        """Highest-priority job, FIFO within priority; blocks when empty.
+
+        Returns ``None`` when the queue is closed and drained (the
+        consumer's exit signal), or when ``timeout`` elapses first.
+        """
+        with self._cond:
+            self._cond.wait_for(lambda: self._heap or not self._open, timeout)
+            if not self._heap:
+                return None
+            return heapq.heappop(self._heap)[2]
+
+    def close(self) -> list[SolveJob]:
+        """Stop admissions; return the backlog (still takeable, in order).
+
+        Callers draining gracefully ignore the return value and keep
+        taking until ``None``; callers aborting use it to reject every
+        pending job explicitly.
+        """
+        with self._cond:
+            self._open = False
+            self._cond.notify_all()
+            return [entry[2] for entry in sorted(self._heap)]
+
+    def clear(self) -> list[SolveJob]:
+        """Drop and return every pending job (abortive shutdown)."""
+        with self._cond:
+            backlog = [entry[2] for entry in sorted(self._heap)]
+            self._heap.clear()
+            return backlog
+
+    @property
+    def closed(self) -> bool:
+        with self._cond:
+            return not self._open
+
+    def __len__(self) -> int:
+        with self._cond:
+            return len(self._heap)

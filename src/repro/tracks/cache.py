@@ -147,8 +147,10 @@ def tracking_fingerprint(trackgen) -> str:
     return "|".join(parts)
 
 
-#: A writer lock older than this is assumed to belong to a crashed
-#: process and is broken. Writing an archive takes well under a second.
+#: Default writer-lock window: a lock older than this is assumed to
+#: belong to a crashed process and is broken. Writing an archive takes
+#: well under a second, but long-lived server processes may hold entries
+#: open far longer — override per cache via ``tracking.cache_lock_timeout``.
 LOCK_STALE_SECONDS = 60.0
 
 _LOCK_POLL_SECONDS = 0.02
@@ -169,10 +171,22 @@ class TrackingCache:
     a temp file then atomically renamed, so even lockless writers — e.g.
     after a lock timeout — can only replace a complete entry with an
     identical one, never expose a partial archive.
+
+    ``lock_timeout`` is both the stale-break threshold (a competing lock
+    older than this is broken) and the default wait budget of
+    :meth:`store` — one window, because breaking a peer's lock before
+    giving up on our own would be incoherent.
     """
 
-    def __init__(self, cache_dir: str | Path | None = None) -> None:
+    def __init__(
+        self,
+        cache_dir: str | Path | None = None,
+        lock_timeout: float | None = None,
+    ) -> None:
         self.cache_dir = Path(cache_dir).expanduser() if cache_dir else default_cache_dir()
+        self.lock_timeout = LOCK_STALE_SECONDS if lock_timeout is None else float(lock_timeout)
+        if self.lock_timeout <= 0.0:
+            raise ValueError(f"lock_timeout must be positive (got {self.lock_timeout})")
         self._logger = get_logger("repro.tracks.cache")
 
     def key_for(self, trackgen) -> str:
@@ -221,7 +235,7 @@ class TrackingCache:
                     age = time.time() - lock.stat().st_mtime  # repro: ignore[wall-clock]
                 except OSError:
                     continue  # holder released between open and stat
-                if age > LOCK_STALE_SECONDS:
+                if age > self.lock_timeout:
                     self._logger.warning("breaking stale cache lock %s", lock)
                     try:
                         os.unlink(lock)
@@ -236,8 +250,10 @@ class TrackingCache:
                 os.close(fd)
                 return lock
 
-    def store(self, trackgen, lock_timeout: float = LOCK_STALE_SECONDS) -> Path:
+    def store(self, trackgen, lock_timeout: float | None = None) -> Path:
         """Persist ``trackgen``'s products; returns the entry path."""
+        if lock_timeout is None:
+            lock_timeout = self.lock_timeout
         path = self.path_for(trackgen)
         if path.exists():
             # Content-addressed: whoever got here first wrote these exact
@@ -269,7 +285,9 @@ class TrackingCache:
 
 
 def resolve_cache(
-    enabled: bool, cache_dir: str | Path | None = None
+    enabled: bool,
+    cache_dir: str | Path | None = None,
+    lock_timeout: float | None = None,
 ) -> TrackingCache | None:
     """Config/CLI helper: a :class:`TrackingCache` or ``None`` if disabled."""
-    return TrackingCache(cache_dir) if enabled else None
+    return TrackingCache(cache_dir, lock_timeout=lock_timeout) if enabled else None

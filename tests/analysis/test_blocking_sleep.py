@@ -1,0 +1,114 @@
+"""Blocking-sleep checker corpus: polling loops flagged, sanctioned waits not."""
+
+from repro.analysis import analyze_source
+
+SERVE = "src/repro/serve/server.py"
+ENGINE = "src/repro/engine/custom.py"
+COLD = "src/repro/perfmodel/model.py"
+
+
+def rules(text, path):
+    return sorted({f.rule for f in analyze_source(text, path=path)})
+
+
+class TestPollingLoopsFlagged:
+    def test_while_poll_in_serve_flagged(self):
+        text = (
+            "import time\n"
+            "def wait(job):\n"
+            "    while not job.done:\n"
+            "        time.sleep(0.01)\n"
+        )
+        assert rules(text, SERVE) == ["blocking-sleep"]
+
+    def test_while_poll_in_engine_flagged(self):
+        text = (
+            "import time\n"
+            "def drain(queue):\n"
+            "    while not queue.empty():\n"
+            "        time.sleep(0.005)\n"
+        )
+        assert rules(text, ENGINE) == ["blocking-sleep"]
+
+    def test_for_loop_retry_poll_flagged(self):
+        text = (
+            "import time\n"
+            "def retry(check):\n"
+            "    for _ in range(100):\n"
+            "        if check():\n"
+            "            return True\n"
+            "        time.sleep(0.1)\n"
+            "    return False\n"
+        )
+        assert rules(text, SERVE) == ["blocking-sleep"]
+
+    def test_aliased_import_still_caught(self):
+        text = (
+            "from time import sleep as snooze\n"
+            "def wait(flag):\n"
+            "    while not flag.is_set():\n"
+            "        snooze(0.01)\n"
+        )
+        assert rules(text, SERVE) == ["blocking-sleep"]
+
+    def test_nested_loop_reported_once(self):
+        text = (
+            "import time\n"
+            "def wait(jobs):\n"
+            "    while jobs:\n"
+            "        for job in jobs:\n"
+            "            time.sleep(0.01)\n"
+        )
+        findings = [
+            f for f in analyze_source(text, path=SERVE) if f.rule == "blocking-sleep"
+        ]
+        assert len(findings) == 1
+
+
+class TestSanctionedPatternsClean:
+    def test_outside_resident_packages_not_flagged(self):
+        text = (
+            "import time\n"
+            "def wait(job):\n"
+            "    while not job.done:\n"
+            "        time.sleep(0.01)\n"
+        )
+        assert rules(text, COLD) == []
+
+    def test_one_shot_sleep_outside_loop_not_flagged(self):
+        text = "import time\n\ndef backoff():\n    time.sleep(0.5)\n"
+        assert rules(text, SERVE) == []
+
+    def test_condition_wait_loop_not_flagged(self):
+        text = (
+            "def take(self):\n"
+            "    with self._cond:\n"
+            "        while not self._items:\n"
+            "            self._cond.wait(1.0)\n"
+            "        return self._items.pop()\n"
+        )
+        assert rules(text, SERVE) == []
+
+    def test_timed_queue_get_loop_not_flagged(self):
+        text = (
+            "from queue import Empty\n"
+            "def drain(q, n):\n"
+            "    out = []\n"
+            "    while len(out) < n:\n"
+            "        try:\n"
+            "            out.append(q.get(timeout=0.2))\n"
+            "        except Empty:\n"
+            "            break\n"
+            "    return out\n"
+        )
+        assert rules(text, ENGINE) == []
+
+    def test_suppression_with_rationale(self):
+        text = (
+            "import time\n"
+            "def spin(array, index, threshold):\n"
+            "    # seqlock over lock-free shm: no waitable primitive exists\n"
+            "    while array[index] < threshold:\n"
+            "        time.sleep(1e-5)  # repro: ignore[blocking-sleep]\n"
+        )
+        assert rules(text, ENGINE) == []

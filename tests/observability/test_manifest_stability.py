@@ -1,0 +1,90 @@
+"""Manifest hash stability: across processes and key orderings.
+
+The serve report cache and the tracking cache both trust
+:func:`~repro.observability.manifest.config_hash` as a cross-process,
+cross-session identity. That only holds if the hash is a pure function
+of the configuration *content* — independent of dict insertion order,
+of which process computes it, and of hash randomization
+(``PYTHONHASHSEED``). These tests pin all three.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.io.config import config_from_dict
+from repro.observability.manifest import RunManifest, config_hash
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+#: A config spelled twice with scrambled key orders at every level.
+_ORDER_A = {
+    "geometry": "c5g7-mini",
+    "tracking": {"num_azim": 4, "azim_spacing": 0.5, "num_polar": 2},
+    "solver": {"max_iterations": 5, "keff_tolerance": 1e-14},
+}
+_ORDER_B = {
+    "solver": {"keff_tolerance": 1e-14, "max_iterations": 5},
+    "tracking": {"num_polar": 2, "azim_spacing": 0.5, "num_azim": 4},
+    "geometry": "c5g7-mini",
+}
+
+_CHILD_SCRIPT = """\
+import sys
+from repro.io.config import config_from_dict
+from repro.observability.manifest import config_hash
+payload = {
+    "solver": {"keff_tolerance": 1e-14, "max_iterations": 5},
+    "tracking": {"num_polar": 2, "azim_spacing": 0.5, "num_azim": 4},
+    "geometry": "c5g7-mini",
+}
+print(config_hash(config_from_dict(payload).to_dict()))
+"""
+
+
+def _child_hash(extra_env=None):
+    env = dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src"))
+    env.update(extra_env or {})
+    output = subprocess.run(
+        [sys.executable, "-c", _CHILD_SCRIPT],
+        capture_output=True,
+        text=True,
+        check=True,
+        env=env,
+        cwd=REPO_ROOT,
+    )
+    return output.stdout.strip()
+
+
+class TestKeyOrdering:
+    def test_raw_payload_order_is_canonicalised(self):
+        assert config_hash(_ORDER_A) == config_hash(_ORDER_B)
+
+    def test_validated_config_order_is_canonicalised(self):
+        hash_a = config_hash(config_from_dict(_ORDER_A).to_dict())
+        hash_b = config_hash(config_from_dict(_ORDER_B).to_dict())
+        assert hash_a == hash_b
+
+    def test_content_changes_change_the_hash(self):
+        changed = {**_ORDER_A, "geometry": "c5g7-small"}
+        assert config_hash(_ORDER_A) != config_hash(changed)
+
+
+class TestCrossProcess:
+    def test_subprocess_agrees_with_parent(self):
+        parent = config_hash(config_from_dict(_ORDER_A).to_dict())
+        assert _child_hash() == parent
+
+    def test_hash_randomization_is_irrelevant(self):
+        assert _child_hash({"PYTHONHASHSEED": "1"}) == _child_hash(
+            {"PYTHONHASHSEED": "424242"}
+        )
+
+    def test_manifest_collect_round_trips_through_a_process(self):
+        manifest = RunManifest.collect(config_from_dict(_ORDER_A))
+        rebuilt = RunManifest.from_dict(manifest.to_dict())
+        assert rebuilt.config_hash == manifest.config_hash
+        assert _child_hash() == manifest.config_hash

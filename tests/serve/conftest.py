@@ -1,0 +1,50 @@
+"""Shared fixtures for the serve suite: tiny payloads, live services."""
+
+from __future__ import annotations
+
+import copy
+
+import pytest
+
+from repro.serve import ServeOptions, SolveService
+
+#: A deterministic c5g7-mini request: tolerances far below reach, so the
+#: solve always runs exactly ``max_iterations`` iterations.
+BASE_PAYLOAD = {
+    "geometry": "c5g7-mini",
+    "tracking": {"num_azim": 4, "azim_spacing": 0.5, "num_polar": 2},
+    "solver": {
+        "max_iterations": 5,
+        "keff_tolerance": 1e-14,
+        "source_tolerance": 1e-14,
+    },
+}
+
+
+def solve_payload(**overrides):
+    """A fresh request dict; keyword sections replace top-level entries."""
+    payload = copy.deepcopy(BASE_PAYLOAD)
+    payload.update(overrides)
+    return payload
+
+
+@pytest.fixture()
+def payload():
+    return solve_payload()
+
+
+@pytest.fixture()
+def service():
+    svc = SolveService(ServeOptions(solver_threads=2, report_cache_size=8))
+    svc.start()
+    yield svc
+    svc.close()
+
+
+@pytest.fixture()
+def idle_service():
+    """A service whose solver threads were never started: jobs stay
+    queued, which makes admission control and deadlines deterministic."""
+    svc = SolveService(ServeOptions(solver_threads=1, max_queue_depth=3))
+    yield svc
+    svc.close(drain=False)

@@ -1,0 +1,118 @@
+"""The job lifecycle state machine: every edge, and only those edges."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve import JOB_TRANSITIONS, JobState, SolveJob
+from repro.serve.jobs import TERMINAL_STATES
+
+from .conftest import solve_payload
+
+
+def make_job(**kwargs):
+    from repro.io.config import config_from_dict
+
+    return SolveJob("job-000001", config_from_dict(solve_payload()), **kwargs)
+
+
+class TestStateMachine:
+    def test_full_solve_path(self):
+        job = make_job()
+        for state in (
+            JobState.ADMITTED,
+            JobState.TRACING,
+            JobState.SWEEPING,
+            JobState.DONE,
+        ):
+            job.transition(state)
+        assert job.state is JobState.DONE
+
+    def test_cache_hit_shortcut_skips_tracing_and_sweeping(self):
+        job = make_job()
+        job.transition(JobState.ADMITTED)
+        job.transition(JobState.DONE)
+        assert job.done
+
+    @pytest.mark.parametrize(
+        "path",
+        [
+            (JobState.SWEEPING,),  # queued cannot start sweeping
+            (JobState.TRACING,),  # queued must be admitted first
+            (JobState.ADMITTED, JobState.ADMITTED),  # no self-loops
+            (JobState.DONE,),  # queued cannot finish directly
+            (JobState.REJECTED, JobState.ADMITTED),  # no resurrection
+        ],
+    )
+    def test_illegal_paths_raise(self, path):
+        job = make_job()
+        with pytest.raises(ServeError, match="illegal transition"):
+            for state in path:
+                job.transition(state)
+
+    def test_terminal_states_allow_nothing(self):
+        for terminal in TERMINAL_STATES:
+            assert JOB_TRANSITIONS[terminal] == frozenset()
+
+    def test_every_nonterminal_reaches_a_terminal(self):
+        for state, nexts in JOB_TRANSITIONS.items():
+            if state in TERMINAL_STATES:
+                continue
+            assert nexts & TERMINAL_STATES, state
+
+    def test_finish_requires_terminal_state(self):
+        job = make_job()
+        with pytest.raises(ServeError, match="terminal"):
+            job.finish(JobState.TRACING)
+
+
+class TestWaiting:
+    def test_wait_returns_terminal_state(self):
+        job = make_job()
+
+        def finisher():
+            job.transition(JobState.ADMITTED)
+            job.finish(JobState.DONE, cache_hit=True)
+
+        thread = threading.Thread(target=finisher)
+        thread.start()
+        assert job.wait(timeout=10.0) is JobState.DONE
+        thread.join()
+        assert job.cache_hit
+
+    def test_wait_timeout_raises(self):
+        job = make_job()
+        with pytest.raises(ServeError, match="still queued"):
+            job.wait(timeout=0.01)
+
+    def test_wait_on_already_terminal_job_returns_immediately(self):
+        job = make_job()
+        job.finish(JobState.REJECTED, error="full")
+        assert job.wait(timeout=0.01) is JobState.REJECTED
+
+
+class TestRequestShape:
+    def test_deadline_derives_from_timeout(self):
+        job = make_job(timeout=30.0)
+        assert job.deadline == pytest.approx(job.enqueued_at + 30.0)
+        assert make_job().deadline is None
+
+    def test_nonpositive_timeout_rejected(self):
+        with pytest.raises(ServeError, match="positive"):
+            make_job(timeout=0.0)
+
+    def test_describe_is_wire_shaped(self):
+        job = make_job(priority=3, tag="bench")
+        job.finish(JobState.REJECTED, error="queue at capacity")
+        summary = job.describe()
+        assert summary == {
+            "job_id": "job-000001",
+            "state": "rejected",
+            "priority": 3,
+            "tag": "bench",
+            "cache_hit": False,
+            "error": "queue at capacity",
+        }

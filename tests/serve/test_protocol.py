@@ -1,0 +1,75 @@
+"""Wire codec: JSON-lines framing, digests, response shapes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ServeError
+from repro.io.config import config_from_dict
+from repro.serve import JobState, SolveJob
+from repro.serve import protocol
+
+from .conftest import solve_payload
+
+
+class TestFraming:
+    def test_round_trip(self):
+        payload = {"op": "solve", "priority": 3, "config": {"geometry": "x"}}
+        line = protocol.encode(payload)
+        assert line.endswith(b"\n")
+        assert line.count(b"\n") == 1  # one request per line, always
+        assert protocol.decode(line[:-1]) == payload
+
+    def test_decode_rejects_non_objects(self):
+        with pytest.raises(ServeError, match="JSON object"):
+            protocol.decode("[1, 2, 3]")
+
+    def test_decode_rejects_malformed_json(self):
+        with pytest.raises(ServeError, match="not valid JSON"):
+            protocol.decode("{nope")
+
+    def test_decode_rejects_non_utf8(self):
+        with pytest.raises(ServeError, match="not UTF-8"):
+            protocol.decode(b"\xff\xfe{}")
+
+
+class TestFluxDigest:
+    def test_deterministic_and_value_sensitive(self):
+        flux = np.linspace(0.0, 1.0, 28).reshape(4, 7)
+        assert protocol.flux_digest(flux) == protocol.flux_digest(flux.copy())
+        bumped = flux.copy()
+        bumped[0, 0] = np.nextafter(bumped[0, 0], 2.0)
+        assert protocol.flux_digest(flux) != protocol.flux_digest(bumped)
+
+    def test_noncontiguous_input_matches_contiguous(self):
+        flux = np.arange(28.0).reshape(4, 7)
+        assert protocol.flux_digest(flux[:, ::1]) == protocol.flux_digest(
+            np.ascontiguousarray(flux)
+        )
+
+
+class TestResponses:
+    def test_solve_response_for_unfinished_job_has_no_results(self):
+        job = SolveJob("job-000009", config_from_dict(solve_payload()))
+        response = protocol.solve_response(job)
+        assert response["ok"] is False
+        assert response["state"] == "queued"
+        assert "keff" not in response
+        assert "report" not in response
+
+    def test_solve_response_for_rejected_job_carries_the_reason(self):
+        job = SolveJob("job-000010", config_from_dict(solve_payload()))
+        job.finish(JobState.REJECTED, error="queue at capacity")
+        response = protocol.solve_response(job)
+        assert response["ok"] is False
+        assert response["state"] == "rejected"
+        assert "capacity" in response["error"]
+
+    def test_error_response_shape(self):
+        response = protocol.error_response("boom")
+        assert response == {
+            "ok": False,
+            "protocol": protocol.PROTOCOL_VERSION,
+            "error": "boom",
+        }

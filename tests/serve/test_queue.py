@@ -1,0 +1,125 @@
+"""Admission control and scheduling order of the job queue."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import AdmissionError
+from repro.io.config import config_from_dict
+from repro.serve import JobQueue, SolveJob
+
+from .conftest import solve_payload
+
+CONFIG = config_from_dict(solve_payload())
+
+
+def job(job_id, priority=0):
+    return SolveJob(job_id, CONFIG, priority=priority)
+
+
+class TestOrdering:
+    def test_higher_priority_first(self):
+        queue = JobQueue()
+        queue.put(job("a", priority=0))
+        queue.put(job("b", priority=5))
+        queue.put(job("c", priority=1))
+        assert [queue.take().job_id for _ in range(3)] == ["b", "c", "a"]
+
+    def test_fifo_within_priority(self):
+        queue = JobQueue()
+        for name in "abcd":
+            queue.put(job(name, priority=7))
+        assert [queue.take().job_id for _ in range(4)] == list("abcd")
+
+    def test_negative_priority_sorts_last(self):
+        queue = JobQueue()
+        queue.put(job("background", priority=-1))
+        queue.put(job("normal", priority=0))
+        assert queue.take().job_id == "normal"
+
+
+class TestAdmissionControl:
+    def test_full_queue_rejects(self):
+        queue = JobQueue(max_depth=2)
+        queue.put(job("a"))
+        queue.put(job("b"))
+        with pytest.raises(AdmissionError, match="capacity"):
+            queue.put(job("c"))
+        assert len(queue) == 2
+
+    def test_taking_frees_capacity(self):
+        queue = JobQueue(max_depth=1)
+        queue.put(job("a"))
+        queue.take()
+        queue.put(job("b"))  # does not raise
+
+    def test_closed_queue_rejects(self):
+        queue = JobQueue()
+        queue.close()
+        with pytest.raises(AdmissionError, match="shutting down"):
+            queue.put(job("late"))
+
+    def test_depth_bound_must_be_positive(self):
+        with pytest.raises(AdmissionError):
+            JobQueue(max_depth=0)
+
+
+class TestShutdown:
+    def test_take_returns_none_when_closed_and_drained(self):
+        queue = JobQueue()
+        queue.put(job("a"))
+        queue.close()
+        assert queue.take().job_id == "a"  # backlog still drains
+        assert queue.take() is None
+
+    def test_close_returns_backlog_in_schedule_order(self):
+        queue = JobQueue()
+        queue.put(job("low", priority=0))
+        queue.put(job("high", priority=9))
+        backlog = queue.close()
+        assert [j.job_id for j in backlog] == ["high", "low"]
+
+    def test_clear_empties_the_queue(self):
+        queue = JobQueue()
+        queue.put(job("a"))
+        queue.put(job("b"))
+        dropped = queue.clear()
+        assert len(dropped) == 2
+        assert len(queue) == 0
+
+    def test_close_wakes_blocked_consumers(self):
+        queue = JobQueue()
+        results = []
+
+        def consumer():
+            results.append(queue.take())
+
+        thread = threading.Thread(target=consumer)
+        thread.start()
+        queue.close()
+        thread.join(timeout=10.0)
+        assert not thread.is_alive()
+        assert results == [None]
+
+    def test_take_timeout_returns_none(self):
+        queue = JobQueue()
+        assert queue.take(timeout=0.01) is None
+        assert not queue.closed
+
+
+class TestHandoff:
+    def test_put_wakes_blocked_consumer(self):
+        queue = JobQueue()
+        results = []
+
+        def consumer():
+            results.append(queue.take())
+
+        thread = threading.Thread(target=consumer)
+        thread.start()
+        queue.put(job("wakeup"))
+        thread.join(timeout=10.0)
+        assert not thread.is_alive()
+        assert results[0].job_id == "wakeup"
