@@ -22,14 +22,21 @@ from __future__ import annotations
 from repro.analysis.core import (
     Checker,
     Finding,
+    ProjectChecker,
     SourceFile,
     all_rules,
+    analyze_files,
+    analyze_paths,
     analyze_source,
     analyze_tree,
+    find_root,
     iter_python_files,
+    load_files,
     register_checker,
     registered_checkers,
+    suppression_warnings,
 )
+from repro.analysis.visitor import VisitorChecker, run_visitors
 
 # Importing the package registers the built-in checkers.
 from repro.analysis import checkers as _checkers  # noqa: E402,F401  (registration side effect)
@@ -37,11 +44,19 @@ from repro.analysis import checkers as _checkers  # noqa: E402,F401  (registrati
 __all__ = [
     "Checker",
     "Finding",
+    "ProjectChecker",
     "SourceFile",
+    "VisitorChecker",
     "all_rules",
+    "analyze_files",
+    "analyze_paths",
     "analyze_source",
     "analyze_tree",
+    "find_root",
     "iter_python_files",
+    "load_files",
     "register_checker",
     "registered_checkers",
+    "run_visitors",
+    "suppression_warnings",
 ]

@@ -1,9 +1,15 @@
 """CLI: ``python -m repro.analysis [paths...]``.
 
 Exit status: 0 clean, 1 findings, 2 tool error (unparseable source, bad
-selection). ``--format json`` emits one object per finding for CI
-annotation tooling; ``--list-rules`` documents every rule id and its
-rationale (the same ids the suppression pragmas take).
+selection, unreadable baseline). ``--format json`` emits one object per
+finding for ad-hoc tooling; ``--format sarif`` emits a SARIF 2.1.0 run
+for CI inline annotations; ``--list-rules`` documents every rule id and
+its rationale (the same ids the suppression pragmas take).
+
+``--baseline FILE`` subtracts a grandfathered-findings snapshot (written
+with ``--write-baseline FILE``) so a new rule can land gating only *new*
+violations; ``--rule NAME`` narrows the run to single rule ids, while
+``--select NAME`` also accepts whole checker names.
 """
 
 from __future__ import annotations
@@ -13,7 +19,18 @@ import json
 import sys
 
 from repro.analysis import all_rules, registered_checkers
-from repro.analysis.core import analyze_paths
+from repro.analysis.baseline import (
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.core import (
+    analyze_files,
+    find_root,
+    load_files,
+    suppression_warnings,
+)
+from repro.analysis.sarif import to_sarif
 from repro.errors import AnalysisError
 
 
@@ -31,8 +48,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="Only run the named checkers/rules (repeatable).",
     )
     parser.add_argument(
-        "--format", choices=("text", "json"), default="text",
+        "--rule", action="append", metavar="NAME",
+        help="Only report the named rule ids (repeatable).",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json", "sarif"), default="text",
         help="Finding output format (default text).",
+    )
+    parser.add_argument(
+        "--baseline", metavar="FILE",
+        help="Subtract grandfathered findings recorded in FILE.",
+    )
+    parser.add_argument(
+        "--write-baseline", metavar="FILE",
+        help="Snapshot this run's findings to FILE and exit 0.",
     )
     parser.add_argument(
         "--list-rules", action="store_true",
@@ -49,13 +78,42 @@ def main(argv: list[str] | None = None) -> int:
             for rule, rationale in checker.rules.items():
                 print(f"  {rule:<24s} {rationale}")
         return 0
+    select = list(args.select or [])
+    if args.rule:
+        known_rules = all_rules()
+        unknown = [rule for rule in args.rule if rule not in known_rules]
+        if unknown:
+            print(
+                f"error: unknown rule id(s) {sorted(unknown)}; "
+                f"see --list-rules",
+                file=sys.stderr,
+            )
+            return 2
+        select.extend(args.rule)
     try:
-        findings = analyze_paths(args.paths, select=args.select)
+        files = load_files(args.paths)
+        findings = analyze_files(
+            files, find_root(args.paths), select=select or None
+        )
+        if args.baseline:
+            findings = apply_baseline(findings, load_baseline(args.baseline))
     except AnalysisError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    for warning in suppression_warnings(files):
+        print(f"warning: {warning}", file=sys.stderr)
+    if args.write_baseline:
+        write_baseline(args.write_baseline, findings)
+        print(
+            f"baseline: wrote {len(findings)} finding(s) to "
+            f"{args.write_baseline}",
+            file=sys.stderr,
+        )
+        return 0
     if args.format == "json":
-        print(json.dumps([finding.__dict__ for finding in findings], indent=2))
+        print(json.dumps([vars(finding) for finding in findings], indent=2))
+    elif args.format == "sarif":
+        print(json.dumps(to_sarif(findings, all_rules()), indent=2))
     else:
         for finding in findings:
             print(finding.render())
@@ -68,7 +126,8 @@ def main(argv: list[str] | None = None) -> int:
         )
         return 1
     checkers = len(registered_checkers())
-    print(f"clean: {checkers} checkers, {len(all_rules())} rules, 0 findings")
+    if args.format == "text":
+        print(f"clean: {checkers} checkers, {len(all_rules())} rules, 0 findings")
     return 0
 
 

@@ -1,0 +1,85 @@
+"""Findings baseline: grandfather known findings, flag only new ones.
+
+A baseline file is a JSON snapshot of accepted findings. Matching is a
+*multiset* over ``(path, rule, message)`` — deliberately excluding line
+numbers, so unrelated edits that shift a grandfathered finding up or down
+do not resurrect it, while a second instance of the same violation in the
+same file still fails the gate. ``--write-baseline`` snapshots the
+current run; ``--baseline`` subtracts the snapshot from the current run.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis.core import Finding
+from repro.errors import AnalysisError
+
+_VERSION = 1
+
+_Key = tuple[str, str, str]
+
+
+def _key(path: str, rule: str, message: str) -> _Key:
+    # Paths are normalised to forward slashes so a baseline written on one
+    # platform filters runs on another.
+    return (path.replace("\\", "/"), rule, message)
+
+
+def write_baseline(path: str | Path, findings: Sequence[Finding]) -> None:
+    payload = {
+        "version": _VERSION,
+        "findings": [
+            {"path": f.path.replace("\\", "/"), "rule": f.rule, "message": f.message}
+            for f in sorted(findings)
+        ],
+    }
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def load_baseline(path: str | Path) -> Counter[_Key]:
+    """Parse a baseline file into its grandfathered-finding multiset."""
+    source = Path(path)
+    try:
+        payload = json.loads(source.read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise AnalysisError(f"cannot read baseline {source}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise AnalysisError(f"malformed baseline {source}: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("version") != _VERSION:
+        raise AnalysisError(
+            f"baseline {source} has unsupported version "
+            f"{payload.get('version') if isinstance(payload, dict) else '?'}"
+        )
+    entries = payload.get("findings")
+    if not isinstance(entries, list):
+        raise AnalysisError(f"baseline {source} lacks a findings list")
+    keys: Counter[_Key] = Counter()
+    for entry in entries:
+        if not isinstance(entry, dict):
+            raise AnalysisError(f"baseline {source} has a non-object entry")
+        try:
+            keys[_key(entry["path"], entry["rule"], entry["message"])] += 1
+        except KeyError as exc:
+            raise AnalysisError(
+                f"baseline {source} entry missing field {exc}"
+            ) from exc
+    return keys
+
+
+def apply_baseline(
+    findings: Sequence[Finding], baseline: Counter[_Key]
+) -> list[Finding]:
+    """Findings not covered by the baseline multiset, order preserved."""
+    budget = Counter(baseline)
+    fresh: list[Finding] = []
+    for finding in findings:
+        key = _key(finding.path, finding.rule, finding.message)
+        if budget[key] > 0:
+            budget[key] -= 1
+        else:
+            fresh.append(finding)
+    return fresh

@@ -15,17 +15,23 @@ Third-party or test checkers register the same way:
 from __future__ import annotations
 
 from repro.analysis.checkers.blocking_sleep import BlockingSleepChecker
+from repro.analysis.checkers.config_consistency import ConfigConsistencyChecker
+from repro.analysis.checkers.counter_schema import CounterSchemaChecker
 from repro.analysis.checkers.determinism import DeterminismChecker
 from repro.analysis.checkers.float_comparison import FloatComparisonChecker
 from repro.analysis.checkers.metrics_io import MetricsIoChecker
 from repro.analysis.checkers.registry_hygiene import RegistryHygieneChecker
+from repro.analysis.checkers.shm_protocol import ShmProtocolChecker
 from repro.analysis.checkers.silent_fallback import SilentFallbackChecker
 
 __all__ = [
     "BlockingSleepChecker",
+    "ConfigConsistencyChecker",
+    "CounterSchemaChecker",
     "DeterminismChecker",
     "FloatComparisonChecker",
     "MetricsIoChecker",
     "RegistryHygieneChecker",
+    "ShmProtocolChecker",
     "SilentFallbackChecker",
 ]

@@ -25,16 +25,15 @@ from __future__ import annotations
 import ast
 from typing import Iterable
 
-from repro.analysis.checkers.common import import_aliases, resolve_call, walk_calls
-from repro.analysis.core import Checker, Finding, SourceFile, register_checker
+from repro.analysis.checkers.common import import_aliases, resolve_call
+from repro.analysis.core import Finding, SourceFile, register_checker
+from repro.analysis.visitor import Ancestors, VisitorChecker, in_loop
 
 #: Packages that host resident processes (servers, engine parents).
 RESIDENT_PACKAGES = ("serve", "engine")
 
-_LOOPS = (ast.While, ast.For, ast.AsyncFor)
 
-
-class BlockingSleepChecker(Checker):
+class BlockingSleepChecker(VisitorChecker):
     name = "blocking-sleep"
     rules = {
         "blocking-sleep": (
@@ -43,28 +42,26 @@ class BlockingSleepChecker(Checker):
         ),
     }
 
-    def check(self, src: SourceFile) -> Iterable[Finding]:
+    def start_file(self, src: SourceFile) -> bool:
         if not src.in_packages(RESIDENT_PACKAGES):
+            return False
+        self._aliases = import_aliases(src.tree)
+        return True
+
+    def visit_Call(
+        self, src: SourceFile, node: ast.Call, ancestors: Ancestors
+    ) -> Iterable[Finding]:
+        if not in_loop(ancestors):
             return
-        aliases = import_aliases(src.tree)
-        seen: set[tuple[int, int]] = set()
-        for node in ast.walk(src.tree):
-            if not isinstance(node, _LOOPS):
-                continue
-            for call in walk_calls(node):
-                if resolve_call(call, aliases) != "time.sleep":
-                    continue
-                where = (call.lineno, call.col_offset)
-                if where in seen:  # nested loops reach the same call twice
-                    continue
-                seen.add(where)
-                yield self.finding(
-                    src, call, "blocking-sleep",
-                    f"time.sleep inside a loop in {src.module}; resident "
-                    "paths must block in a waitable primitive (Event/"
-                    "Condition wait, timed queue get, selector) so wakeups "
-                    "track the awaited state, not a poll period",
-                )
+        if resolve_call(node, self._aliases) != "time.sleep":
+            return
+        yield self.finding(
+            src, node, "blocking-sleep",
+            f"time.sleep inside a loop in {src.module}; resident "
+            "paths must block in a waitable primitive (Event/"
+            "Condition wait, timed queue get, selector) so wakeups "
+            "track the awaited state, not a poll period",
+        )
 
 
 register_checker(BlockingSleepChecker())

@@ -1,0 +1,159 @@
+"""Counter-schema checker: increments and the closed schema must match.
+
+:mod:`repro.observability.counters` declares ``COUNTER_SCHEMA`` as the
+closed set of counter names — ``CounterSet.add`` raises on anything else
+at run time. That runtime guard only fires on the code path that
+increments the rogue counter; this checker closes the loop statically,
+in both directions:
+
+* ``counter-undeclared`` — an increment site (``obs.count("name", n)``
+  or ``report.counters.add("name", n)``) names a counter the schema does
+  not declare: the line is a latent ``ObservabilityError``;
+* ``counter-unincremented`` — a schema entry no source file ever names:
+  a counter that will report zero forever, which reads as "measured and
+  idle" when the truth is "never wired up".
+
+Increment detection is literal-based: calls routed through a variable
+name (the generic ``obs.count(name, value)`` passthroughs) are invisible
+to it, so the reverse rule accepts *any* string literal occurrence of a
+schema name outside the schema module as evidence of wiring — engine
+code stages counters in dict literals (``{"halo_wait_ns": 0}``) before
+the passthrough flushes them. The reverse rule is also gated on having
+seen at least one increment site, so single-file runs that never load
+the instrumented modules do not report the whole schema as dead.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+from repro.analysis.core import (
+    Finding,
+    ProjectChecker,
+    SourceFile,
+    register_checker,
+)
+
+#: Module declaring the closed counter schema.
+SCHEMA_MODULE = "repro.observability.counters"
+
+
+def _schema_entries(tree: ast.AST) -> dict[str, int]:
+    """COUNTER_SCHEMA dict-literal keys mapped to their line numbers."""
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Assign):
+            continue
+        targets = [t.id for t in node.targets if isinstance(t, ast.Name)]
+        if "COUNTER_SCHEMA" not in targets or not isinstance(
+            node.value, ast.Dict
+        ):
+            continue
+        return {
+            key.value: key.lineno
+            for key in node.value.keys
+            if isinstance(key, ast.Constant) and isinstance(key.value, str)
+        }
+    return {}
+
+
+def _increment_sites(tree: ast.AST) -> Iterator[tuple[str, ast.Call]]:
+    """(counter-name, call) for each literal counter increment.
+
+    Two shapes count:
+
+    * ``<recv>.count("name", value)`` — exactly two positional args, so
+      plain ``str.count("x")`` substring searches stay invisible;
+    * ``<recv>.add("name", ...)`` where the receiver chain ends in a
+      name containing ``counter`` (``report.counters.add``), so set and
+      matcher ``.add`` calls stay invisible.
+    """
+    for node in ast.walk(tree):
+        if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
+            continue
+        first = node.args[0] if node.args else None
+        if not (isinstance(first, ast.Constant) and isinstance(first.value, str)):
+            continue
+        if node.func.attr == "count" and len(node.args) == 2:
+            yield first.value, node
+        elif node.func.attr == "add" and "counter" in _receiver_tail(node.func):
+            yield first.value, node
+
+
+def _receiver_tail(func: ast.Attribute) -> str:
+    owner = func.value
+    if isinstance(owner, ast.Attribute):
+        return owner.attr
+    if isinstance(owner, ast.Name):
+        return owner.id
+    return ""
+
+
+class CounterSchemaChecker(ProjectChecker):
+    name = "counter-schema"
+    rules = {
+        "counter-undeclared": (
+            "counter incremented but absent from COUNTER_SCHEMA; the "
+            "closed schema would raise ObservabilityError at run time"
+        ),
+        "counter-unincremented": (
+            "COUNTER_SCHEMA entry no source ever names; a counter that "
+            "cannot move reads as 'measured and idle' in every report"
+        ),
+    }
+
+    def check_project(
+        self, files: Sequence[SourceFile], root: Path
+    ) -> Iterable[Finding]:
+        schema_src = next(
+            (src for src in files if src.module == SCHEMA_MODULE), None
+        )
+        if schema_src is None:
+            return
+        schema = _schema_entries(schema_src.tree)
+        if not schema:
+            return
+
+        mentioned: set[str] = set()
+        any_sites = False
+        for src in files:
+            if src is schema_src:
+                continue
+            for node in ast.walk(src.tree):
+                if isinstance(node, ast.Constant) and isinstance(
+                    node.value, str
+                ):
+                    mentioned.add(node.value)
+            for name, call in _increment_sites(src.tree):
+                any_sites = True
+                if name not in schema:
+                    yield self.finding(
+                        src,
+                        call,
+                        "counter-undeclared",
+                        f"counter '{name}' is incremented here but not "
+                        "declared in COUNTER_SCHEMA; CounterSet.add would "
+                        "raise ObservabilityError",
+                    )
+
+        if not any_sites:
+            return
+        for name, line in sorted(schema.items(), key=lambda kv: kv[1]):
+            if name not in mentioned:
+                yield self.finding(
+                    schema_src,
+                    _schema_anchor(line),
+                    "counter-unincremented",
+                    f"COUNTER_SCHEMA entry '{name}' is never named by any "
+                    "analyzed source; wire up an increment or drop the "
+                    "entry",
+                )
+
+
+def _schema_anchor(line: int) -> ast.AST:
+    """Node-like anchor for findings on a schema dict-literal line."""
+    return ast.Pass(lineno=line, col_offset=0, end_lineno=line, end_col_offset=0)
+
+
+register_checker(CounterSchemaChecker())

@@ -24,8 +24,9 @@ from __future__ import annotations
 import ast
 from typing import Iterable, Iterator
 
-from repro.analysis.checkers.common import import_aliases, resolve_call, walk_calls
-from repro.analysis.core import Checker, Finding, SourceFile, register_checker
+from repro.analysis.checkers.common import import_aliases, resolve_call
+from repro.analysis.core import Finding, SourceFile, register_checker
+from repro.analysis.visitor import Ancestors, VisitorChecker
 
 #: Packages whose modules feed the bitwise-reproducible solve path.
 HOT_PACKAGES = ("solver", "tracks", "engine", "loadbalance")
@@ -73,7 +74,7 @@ def _is_unseeded(call: ast.Call) -> bool:
     return isinstance(first, ast.Constant) and first.value is None
 
 
-class DeterminismChecker(Checker):
+class DeterminismChecker(VisitorChecker):
     name = "determinism"
     rules = {
         "wall-clock": (
@@ -90,16 +91,20 @@ class DeterminismChecker(Checker):
         ),
     }
 
-    def check(self, src: SourceFile) -> Iterable[Finding]:
+    def start_file(self, src: SourceFile) -> bool:
         if not src.in_packages(HOT_PACKAGES):
+            return False
+        self._in_engine = src.in_packages(("engine",))
+        self._aliases = import_aliases(src.tree)
+        return True
+
+    def visit_Call(
+        self, src: SourceFile, node: ast.Call, ancestors: Ancestors
+    ) -> Iterable[Finding]:
+        target = resolve_call(node, self._aliases)
+        if target is None:
             return
-        in_engine = src.in_packages(("engine",))
-        aliases = import_aliases(src.tree)
-        for call in walk_calls(src.tree):
-            target = resolve_call(call, aliases)
-            if target is None:
-                continue
-            yield from self._check_call(src, call, target, in_engine)
+        yield from self._check_call(src, node, target, self._in_engine)
 
     def _check_call(
         self, src: SourceFile, call: ast.Call, target: str, in_engine: bool

@@ -18,7 +18,8 @@ from __future__ import annotations
 import ast
 from typing import Iterable
 
-from repro.analysis.core import Checker, Finding, SourceFile, register_checker
+from repro.analysis.core import Finding, SourceFile, register_checker
+from repro.analysis.visitor import Ancestors, VisitorChecker
 
 
 def _is_float_literal(node: ast.expr) -> bool:
@@ -27,7 +28,7 @@ def _is_float_literal(node: ast.expr) -> bool:
     return isinstance(node, ast.Constant) and isinstance(node.value, float)
 
 
-class FloatComparisonChecker(Checker):
+class FloatComparisonChecker(VisitorChecker):
     name = "float-comparison"
     rules = {
         "float-eq": (
@@ -36,23 +37,22 @@ class FloatComparisonChecker(Checker):
         ),
     }
 
-    def check(self, src: SourceFile) -> Iterable[Finding]:
-        for node in ast.walk(src.tree):
-            if not isinstance(node, ast.Compare):
+    def visit_Compare(
+        self, src: SourceFile, node: ast.Compare, ancestors: Ancestors
+    ) -> Iterable[Finding]:
+        operands = [node.left, *node.comparators]
+        for op, left, right in zip(node.ops, operands, operands[1:]):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
                 continue
-            operands = [node.left, *node.comparators]
-            for op, left, right in zip(node.ops, operands, operands[1:]):
-                if not isinstance(op, (ast.Eq, ast.NotEq)):
-                    continue
-                if _is_float_literal(left) or _is_float_literal(right):
-                    yield self.finding(
-                        src, node, "float-eq",
-                        "exact float comparison; accumulated float64 values "
-                        "never land on a literal — use math.isclose/np.isclose "
-                        "or an ordered guard, or suppress with a rationale if "
-                        "the value is an assigned sentinel",
-                    )
-                    break
+            if _is_float_literal(left) or _is_float_literal(right):
+                yield self.finding(
+                    src, node, "float-eq",
+                    "exact float comparison; accumulated float64 values "
+                    "never land on a literal — use math.isclose/np.isclose "
+                    "or an ordered guard, or suppress with a rationale if "
+                    "the value is an assigned sentinel",
+                )
+                break
 
 
 register_checker(FloatComparisonChecker())

@@ -24,11 +24,13 @@ on the call line.
 
 from __future__ import annotations
 
+import ast
 from pathlib import Path
 from typing import Iterable
 
-from repro.analysis.checkers.common import import_aliases, resolve_call, walk_calls
-from repro.analysis.core import Checker, Finding, SourceFile, register_checker
+from repro.analysis.checkers.common import import_aliases, resolve_call
+from repro.analysis.core import Finding, SourceFile, register_checker
+from repro.analysis.visitor import Ancestors, VisitorChecker
 
 #: Serialisation entry points (canonical names after alias expansion).
 DUMP_CALLS = frozenset({"json.dump", "json.dumps"})
@@ -52,7 +54,7 @@ def _anchored_module(path: str) -> str | None:
     return None
 
 
-class MetricsIoChecker(Checker):
+class MetricsIoChecker(VisitorChecker):
     name = "metrics-io"
     rules = {
         "raw-metrics-dump": (
@@ -62,24 +64,29 @@ class MetricsIoChecker(Checker):
         ),
     }
 
-    def check(self, src: SourceFile) -> Iterable[Finding]:
+    def start_file(self, src: SourceFile) -> bool:
         module = _anchored_module(src.path)
         if module is None or module == EXPORTER_MODULE:
-            return
+            return False
         if any(
             module == pkg or module.startswith(f"{pkg}.") for pkg in EXEMPT_PACKAGES
         ):
-            return
-        aliases = import_aliases(src.tree)
-        for call in walk_calls(src.tree):
-            target = resolve_call(call, aliases)
-            if target in DUMP_CALLS:
-                yield self.finding(
-                    src, call, "raw-metrics-dump",
-                    f"direct {target}() in {module}; write metrics through "
-                    "repro.observability.exporters (dump_record / write_record "
-                    "/ merge_benchmark_record or an Exporter)",
-                )
+            return False
+        self._module = module
+        self._aliases = import_aliases(src.tree)
+        return True
+
+    def visit_Call(
+        self, src: SourceFile, node: ast.Call, ancestors: Ancestors
+    ) -> Iterable[Finding]:
+        target = resolve_call(node, self._aliases)
+        if target in DUMP_CALLS:
+            yield self.finding(
+                src, node, "raw-metrics-dump",
+                f"direct {target}() in {self._module}; write metrics through "
+                "repro.observability.exporters (dump_record / write_record "
+                "/ merge_benchmark_record or an Exporter)",
+            )
 
 
 register_checker(MetricsIoChecker())

@@ -22,7 +22,8 @@ import ast
 from typing import Iterable
 
 from repro.analysis.checkers.common import dotted_name
-from repro.analysis.core import Checker, Finding, SourceFile, register_checker
+from repro.analysis.core import Finding, SourceFile, register_checker
+from repro.analysis.visitor import Ancestors, VisitorChecker
 
 #: Base classes whose concrete subclasses are registry-registrable.
 REGISTRABLE_BASES = frozenset(
@@ -62,7 +63,7 @@ def _declares_literal_name(node: ast.ClassDef) -> bool:
     return False
 
 
-class RegistryHygieneChecker(Checker):
+class RegistryHygieneChecker(VisitorChecker):
     name = "registry-hygiene"
     rules = {
         "registry-key-literal": (
@@ -79,12 +80,15 @@ class RegistryHygieneChecker(Checker):
         ),
     }
 
-    def check(self, src: SourceFile) -> Iterable[Finding]:
-        for node in ast.walk(src.tree):
-            if isinstance(node, ast.Call):
-                yield from self._check_call(src, node)
-            elif isinstance(node, ast.ClassDef):
-                yield from self._check_class(src, node)
+    def visit_Call(
+        self, src: SourceFile, node: ast.Call, ancestors: Ancestors
+    ) -> Iterable[Finding]:
+        yield from self._check_call(src, node)
+
+    def visit_ClassDef(
+        self, src: SourceFile, node: ast.ClassDef, ancestors: Ancestors
+    ) -> Iterable[Finding]:
+        yield from self._check_class(src, node)
 
     def _check_call(self, src: SourceFile, node: ast.Call) -> Iterable[Finding]:
         name = dotted_name(node.func)

@@ -19,7 +19,8 @@ import ast
 from typing import Iterable
 
 from repro.analysis.checkers.common import dotted_name
-from repro.analysis.core import Checker, Finding, SourceFile, register_checker
+from repro.analysis.core import Finding, SourceFile, register_checker
+from repro.analysis.visitor import Ancestors, VisitorChecker
 
 #: Catch-all exception type names (matched on the final attribute too, so
 #: ``builtins.Exception`` is caught).
@@ -53,7 +54,7 @@ def _is_visible(handler: ast.ExceptHandler) -> bool:
     return False
 
 
-class SilentFallbackChecker(Checker):
+class SilentFallbackChecker(VisitorChecker):
     name = "silent-fallback"
     rules = {
         "bare-except": (
@@ -66,23 +67,22 @@ class SilentFallbackChecker(Checker):
         ),
     }
 
-    def check(self, src: SourceFile) -> Iterable[Finding]:
-        for node in ast.walk(src.tree):
-            if not isinstance(node, ast.ExceptHandler):
-                continue
-            if node.type is None:
-                yield self.finding(
-                    src, node, "bare-except",
-                    "bare 'except:' — name the exception types; this catches "
-                    "KeyboardInterrupt and SystemExit too",
-                )
-            elif _catches_broad(node) and not _is_visible(node):
-                yield self.finding(
-                    src, node, "silent-except",
-                    "'except Exception' that neither logs nor re-raises — the "
-                    "fallback is invisible in the run log; narrow the type or "
-                    "log before suppressing",
-                )
+    def visit_ExceptHandler(
+        self, src: SourceFile, node: ast.ExceptHandler, ancestors: Ancestors
+    ) -> Iterable[Finding]:
+        if node.type is None:
+            yield self.finding(
+                src, node, "bare-except",
+                "bare 'except:' — name the exception types; this catches "
+                "KeyboardInterrupt and SystemExit too",
+            )
+        elif _catches_broad(node) and not _is_visible(node):
+            yield self.finding(
+                src, node, "silent-except",
+                "'except Exception' that neither logs nor re-raises — the "
+                "fallback is invisible in the run log; narrow the type or "
+                "log before suppressing",
+            )
 
 
 register_checker(SilentFallbackChecker())

@@ -18,7 +18,9 @@ code, and each one documents a conscious exception to an invariant.
 from __future__ import annotations
 
 import ast
+import io
 import re
+import tokenize
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from pathlib import Path
@@ -26,22 +28,35 @@ from typing import Iterable, Iterator, Mapping, Sequence
 
 from repro.errors import AnalysisError
 
-#: Inline suppression: ``# repro: ignore`` or ``# repro: ignore[a,b]``.
-_LINE_PRAGMA = re.compile(r"#\s*repro:\s*ignore(?:\[([\w\-*, ]*)\])?")
+#: Inline suppression: "repro: ignore" or "repro: ignore[a,b]" comments.
+#: The lookahead keeps it from also matching the ignore-file form, so
+#: both pragma kinds can share one physical line.
+_LINE_PRAGMA = re.compile(r"#\s*repro:\s*ignore(?!-file)(?:\[([\w\-*, ]*)\])?")
 
-#: Whole-file suppression: ``# repro: ignore-file[a,b]``.
+#: Whole-file suppression: "repro: ignore-file[a,b]" comments.
 _FILE_PRAGMA = re.compile(r"#\s*repro:\s*ignore-file\[([\w\-*, ]*)\]")
 
 
 @dataclass(frozen=True, order=True)
 class Finding:
-    """One rule violation at a source location."""
+    """One rule violation at a source location.
+
+    ``end_line`` covers multi-line statements: a suppression pragma on any
+    physical line of the span silences the finding. ``0`` means "same as
+    ``line``" (the historical single-line behaviour).
+    """
 
     path: str
     line: int
     col: int
     rule: str
     message: str
+    end_line: int = 0
+
+    @property
+    def span(self) -> range:
+        """Physical lines this finding covers (inclusive)."""
+        return range(self.line, max(self.line, self.end_line) + 1)
 
     def render(self) -> str:
         return f"{self.path}:{self.line}:{self.col + 1}: [{self.rule}] {self.message}"
@@ -56,20 +71,36 @@ class SourceFile:
         try:
             self.tree = ast.parse(text, filename=self.path)
         except SyntaxError as exc:
-            raise AnalysisError(f"cannot parse {self.path}: {exc}") from exc
+            where = f"{self.path}:{exc.lineno or 0}"
+            raise AnalysisError(f"cannot parse {where}: {exc.msg}") from exc
+        except ValueError as exc:  # e.g. source containing null bytes
+            raise AnalysisError(f"cannot parse {self.path}:0: {exc}") from exc
         self.line_ignores: dict[int, set[str]] = {}
         self.file_ignores: set[str] = set()
-        for lineno, line in enumerate(text.splitlines(), start=1):
-            if "#" not in line:
-                continue
-            match = _FILE_PRAGMA.search(line)
-            if match:
-                self.file_ignores.update(_split_rules(match.group(1)))
-                continue
-            match = _LINE_PRAGMA.search(line)
-            if match:
+        #: Every rule name mentioned by a pragma, with its line — feeds the
+        #: unknown-rule warnings (a typo'd pragma must not silently pass).
+        self.pragma_mentions: list[tuple[int, str]] = []
+        # Pragmas only count inside real comment tokens: a docstring that
+        # *documents* the pragma syntax must neither suppress nor warn.
+        for lineno, comment in _comments(text):
+            for match in _FILE_PRAGMA.finditer(comment):
+                rules = _split_rules(match.group(1))
+                self.file_ignores.update(rules)
+                self.pragma_mentions.extend((lineno, r) for r in rules)
+            for match in _LINE_PRAGMA.finditer(comment):
                 rules = _split_rules(match.group(1)) if match.group(1) else {"*"}
                 self.line_ignores.setdefault(lineno, set()).update(rules)
+                self.pragma_mentions.extend((lineno, r) for r in rules)
+        # Simple (non-compound) statement spans: a pragma on any physical
+        # line of a statement suppresses findings anchored anywhere in it,
+        # even when the checker's node covers only part of the statement.
+        self._stmt_spans: list[tuple[int, int]] = [
+            (node.lineno, node.end_lineno or node.lineno)
+            for node in ast.walk(self.tree)
+            if isinstance(node, ast.stmt)
+            and not hasattr(node, "body")
+            and not isinstance(node, ast.Match)
+        ]
 
     @property
     def module(self) -> str:
@@ -90,8 +121,28 @@ class SourceFile:
     def suppressed(self, finding: Finding) -> bool:
         if finding.rule in self.file_ignores or "*" in self.file_ignores:
             return True
-        rules = self.line_ignores.get(finding.line, ())
-        return finding.rule in rules or "*" in rules
+        lines = set(finding.span) | set(self._logical_span(finding.line))
+        for lineno in lines:
+            rules = self.line_ignores.get(lineno, ())
+            if finding.rule in rules or "*" in rules:
+                return True
+        return False
+
+    def _logical_span(self, line: int) -> range:
+        """Lines of the smallest simple statement covering ``line``.
+
+        Compound statements are excluded on purpose: a pragma inside an
+        if-body must not silence a finding anchored on the if-test.
+        """
+        best: tuple[int, int] | None = None
+        for start, end in self._stmt_spans:
+            if start <= line <= end and (
+                best is None or end - start < best[1] - best[0]
+            ):
+                best = (start, end)
+        if best is None:
+            return range(line, line + 1)
+        return range(best[0], best[1] + 1)
 
 
 class Checker(ABC):
@@ -115,13 +166,42 @@ class Checker(ABC):
             raise AnalysisError(
                 f"checker {self.name!r} emitted undeclared rule {rule!r}"
             )
+        line = getattr(node, "lineno", 1)
+        end_line = getattr(node, "end_lineno", None) or line
+        # Compound statements report only their header span: a pragma in
+        # the body should not silence a finding anchored on the header.
+        body = getattr(node, "body", None)
+        if isinstance(body, list) and body:
+            end_line = max(line, getattr(body[0], "lineno", line) - 1)
         return Finding(
             path=src.path,
-            line=getattr(node, "lineno", 1),
+            line=line,
             col=getattr(node, "col_offset", 0),
             rule=rule,
             message=message,
+            end_line=end_line,
         )
+
+
+class ProjectChecker(Checker):
+    """A checker needing the whole analyzed file set at once.
+
+    Per-file checkers see one module; cross-consistency rules (config keys
+    vs. yaml/docs, counter names vs. the closed schema) need every parsed
+    source plus non-Python project files. The runner calls
+    :meth:`check_project` once per analysis run with all parsed sources
+    and the repository root; findings are suppression-filtered against
+    whichever source file they anchor in.
+    """
+
+    def check(self, src: SourceFile) -> Iterable[Finding]:
+        return ()
+
+    @abstractmethod
+    def check_project(
+        self, files: Sequence[SourceFile], root: Path
+    ) -> Iterable[Finding]:
+        """Yield findings across ``files``; ``root`` is the repo root."""
 
 
 _CHECKERS: dict[str, Checker] = {}
@@ -157,6 +237,20 @@ def _split_rules(raw: str) -> set[str]:
     return {part.strip() for part in raw.split(",") if part.strip()}
 
 
+def _comments(text: str) -> list[tuple[int, str]]:
+    """``(lineno, comment_text)`` for every real comment token."""
+    out: list[tuple[int, str]] = []
+    try:
+        for tok in tokenize.generate_tokens(io.StringIO(text).readline):
+            if tok.type == tokenize.COMMENT:
+                out.append((tok.start[0], tok.string))
+    except (tokenize.TokenError, IndentationError):
+        # ast.parse already accepted the file; a tokenizer hiccup should
+        # degrade to "no pragmas", not crash the run.
+        pass
+    return out
+
+
 def _select_checkers(select: Sequence[str] | None) -> list[Checker]:
     if not select:
         return list(_CHECKERS.values())
@@ -175,18 +269,87 @@ def _select_checkers(select: Sequence[str] | None) -> list[Checker]:
 
 
 def analyze_tree(src: SourceFile, select: Sequence[str] | None = None) -> list[Finding]:
-    """Run the (selected) checkers over one parsed source file."""
+    """Run the (selected) per-file checkers over one parsed source file."""
+    # Local import: visitor builds on the framework types defined here.
+    from repro.analysis.visitor import VisitorChecker, run_visitors
+
     findings: list[Finding] = []
     rule_filter = set(select) if select else None
+    selected = _select_checkers(select)
+    visitors = [c for c in selected if isinstance(c, VisitorChecker)]
+    legacy = [
+        c
+        for c in selected
+        if not isinstance(c, (VisitorChecker, ProjectChecker))
+    ]
+    # One tree walk serves every visitor checker; rule attribution for the
+    # --select filter comes from registry ownership of the finding's rule.
+    owners = {rule: c.name for c in _CHECKERS.values() for rule in c.rules}
+    raw: list[Finding] = list(run_visitors(src, visitors))
+    for checker in legacy:
+        raw.extend(checker.check(src))
+    for finding in raw:
+        if rule_filter and not (
+            owners.get(finding.rule) in rule_filter
+            or finding.rule in rule_filter
+        ):
+            continue
+        if not src.suppressed(finding):
+            findings.append(finding)
+    return sorted(findings)
+
+
+def analyze_project(
+    files: Sequence[SourceFile],
+    root: Path,
+    select: Sequence[str] | None = None,
+) -> list[Finding]:
+    """Run the (selected) project-wide checkers over the full file set."""
+    findings: list[Finding] = []
+    rule_filter = set(select) if select else None
+    by_path = {src.path: src for src in files}
     for checker in _select_checkers(select):
-        for finding in checker.check(src):
+        if not isinstance(checker, ProjectChecker):
+            continue
+        for finding in checker.check_project(files, root):
             if rule_filter and not (
                 checker.name in rule_filter or finding.rule in rule_filter
             ):
                 continue
-            if not src.suppressed(finding):
+            src = by_path.get(finding.path)
+            if src is None or not src.suppressed(finding):
                 findings.append(finding)
     return sorted(findings)
+
+
+def find_root(paths: Sequence[str | Path]) -> Path:
+    """Repository root for project checkers: nearest ancestor of the first
+    analyzed path holding a ``pyproject.toml`` (cwd as a fallback)."""
+    start = Path(paths[0]).resolve() if paths else Path.cwd()
+    if start.is_file():
+        start = start.parent
+    for candidate in (start, *start.parents):
+        if (candidate / "pyproject.toml").is_file():
+            return candidate
+    return Path.cwd()
+
+
+def suppression_warnings(files: Sequence[SourceFile]) -> list[str]:
+    """Pragmas naming rules nobody registered — almost certainly typos.
+
+    These warn rather than fail so a pragma for a checker that was since
+    retired does not brick the lint lane, but they must not silently pass.
+    """
+    known = set(all_rules()) | set(_CHECKERS) | {"*"}
+    warnings: list[str] = []
+    for src in files:
+        for lineno, rule in src.pragma_mentions:
+            if rule not in known:
+                warnings.append(
+                    f"{src.path}:{lineno}: suppression pragma names unknown "
+                    f"rule {rule!r}"
+                )
+    return warnings
 
 
 def analyze_source(
@@ -208,11 +371,35 @@ def iter_python_files(paths: Sequence[str | Path]) -> Iterator[Path]:
             raise AnalysisError(f"not a python file or directory: {path}")
 
 
-def analyze_paths(
-    paths: Sequence[str | Path], select: Sequence[str] | None = None
-) -> list[Finding]:
-    findings: list[Finding] = []
+def load_files(paths: Sequence[str | Path]) -> list[SourceFile]:
+    """Parse every python file under ``paths``."""
+    files: list[SourceFile] = []
     for path in iter_python_files(paths):
-        src = SourceFile(str(path), path.read_text(encoding="utf-8"))
+        try:
+            text = path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            raise AnalysisError(f"cannot read {path}:0: {exc}") from exc
+        files.append(SourceFile(str(path), text))
+    return files
+
+
+def analyze_files(
+    files: Sequence[SourceFile],
+    root: Path,
+    select: Sequence[str] | None = None,
+) -> list[Finding]:
+    """Per-file checkers over each source, then project checkers over all."""
+    findings: list[Finding] = []
+    for src in files:
         findings.extend(analyze_tree(src, select=select))
-    return findings
+    findings.extend(analyze_project(files, root, select=select))
+    return sorted(findings)
+
+
+def analyze_paths(
+    paths: Sequence[str | Path],
+    select: Sequence[str] | None = None,
+    root: Path | None = None,
+) -> list[Finding]:
+    files = load_files(paths)
+    return analyze_files(files, root or find_root(paths), select=select)

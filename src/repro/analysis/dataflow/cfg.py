@@ -1,0 +1,262 @@
+"""Statement-level control-flow graphs for Python functions.
+
+A :class:`Cfg` has one node per *simple* statement plus one header node
+per compound statement (the ``if``/``while`` test, the ``for`` iterator,
+the ``with`` context expression). Edges follow execution order: loop
+bodies carry a back edge to their header, ``break``/``continue`` route to
+the loop exit/header, ``return``/``raise`` route to the synthetic exit
+node. ``try`` is modelled conservatively — every statement of the body
+may transfer to every handler — which keeps *must* analyses sound (a
+fact is only guaranteed if it holds on the exceptional paths too).
+
+The graph deliberately stays at statement granularity: the protocol
+checkers reason about whole statements ("this statement publishes the
+epoch counter", "this one writes the halo payload"), so basic-block
+compression would only obscure the mapping from finding to source line.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+#: Statement kinds a node can carry (useful for debugging and tests).
+KIND_STMT = "stmt"
+KIND_TEST = "test"
+KIND_ITER = "iter"
+KIND_ENTRY = "entry"
+KIND_EXIT = "exit"
+
+FunctionNode = ast.FunctionDef | ast.AsyncFunctionDef
+
+
+@dataclass
+class CfgNode:
+    """One program point: a simple statement or a compound-stmt header."""
+
+    id: int
+    stmt: ast.AST | None
+    kind: str = KIND_STMT
+
+    @property
+    def line(self) -> int:
+        return getattr(self.stmt, "lineno", 0)
+
+
+@dataclass
+class Cfg:
+    """Control-flow graph of one function body."""
+
+    func: FunctionNode
+    nodes: list[CfgNode] = field(default_factory=list)
+    succ: dict[int, set[int]] = field(default_factory=dict)
+    entry: int = 0
+    exit: int = 0
+
+    def node(self, node_id: int) -> CfgNode:
+        return self.nodes[node_id]
+
+    def predecessors(self) -> dict[int, set[int]]:
+        preds: dict[int, set[int]] = {n.id: set() for n in self.nodes}
+        for src, dsts in self.succ.items():
+            for dst in dsts:
+                preds[dst].add(src)
+        return preds
+
+    def statement_nodes(self) -> Iterator[CfgNode]:
+        """Nodes that carry an AST statement (skips entry/exit)."""
+        for node in self.nodes:
+            if node.stmt is not None:
+                yield node
+
+
+@dataclass
+class _LoopCtx:
+    header: int
+    breaks: set[int] = field(default_factory=set)
+
+
+class _Builder:
+    """Recursive CFG construction with frontier threading.
+
+    ``_sequence`` consumes a statement list given the set of predecessor
+    nodes whose fall-through reaches it, and returns the frontier of
+    nodes that fall through past the list's end.
+    """
+
+    def __init__(self, func: FunctionNode) -> None:
+        self.cfg = Cfg(func=func)
+        self._entry = self._new(None, KIND_ENTRY)
+        self._exit_node = self._new(None, KIND_EXIT)
+        self.cfg.entry = self._entry
+        self.cfg.exit = self._exit_node
+        self._loops: list[_LoopCtx] = []
+
+    def build(self) -> Cfg:
+        exits = self._sequence(self.cfg.func.body, {self._entry})
+        for node_id in exits:
+            self._edge(node_id, self._exit_node)
+        return self.cfg
+
+    def _new(self, stmt: ast.AST | None, kind: str = KIND_STMT) -> int:
+        node = CfgNode(id=len(self.cfg.nodes), stmt=stmt, kind=kind)
+        self.cfg.nodes.append(node)
+        self.cfg.succ[node.id] = set()
+        return node.id
+
+    def _edge(self, src: int, dst: int) -> None:
+        self.cfg.succ[src].add(dst)
+
+    def _link(self, preds: set[int], node_id: int) -> None:
+        for pred in preds:
+            self._edge(pred, node_id)
+
+    def _sequence(self, stmts: Sequence[ast.stmt], preds: set[int]) -> set[int]:
+        frontier = set(preds)
+        for stmt in stmts:
+            frontier = self._statement(stmt, frontier)
+        return frontier
+
+    def _statement(self, stmt: ast.stmt, preds: set[int]) -> set[int]:
+        if isinstance(stmt, ast.If):
+            return self._if(stmt, preds)
+        if isinstance(stmt, ast.While):
+            return self._while(stmt, preds)
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            return self._for(stmt, preds)
+        if isinstance(stmt, ast.Try):
+            return self._try(stmt, preds)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            header = self._new(stmt, KIND_TEST)
+            self._link(preds, header)
+            return self._sequence(stmt.body, {header})
+        if isinstance(stmt, ast.Match):
+            return self._match(stmt, preds)
+        # Simple statement (nested function/class defs are opaque here).
+        node_id = self._new(stmt)
+        self._link(preds, node_id)
+        if isinstance(stmt, (ast.Return, ast.Raise)):
+            self._edge(node_id, self._exit_node)
+            return set()
+        if isinstance(stmt, ast.Break):
+            if self._loops:
+                self._loops[-1].breaks.add(node_id)
+            return set()
+        if isinstance(stmt, ast.Continue):
+            if self._loops:
+                self._edge(node_id, self._loops[-1].header)
+            return set()
+        return {node_id}
+
+    def _if(self, stmt: ast.If, preds: set[int]) -> set[int]:
+        test = self._new(stmt, KIND_TEST)
+        self._link(preds, test)
+        body_exits = self._sequence(stmt.body, {test})
+        if stmt.orelse:
+            else_exits = self._sequence(stmt.orelse, {test})
+        else:
+            else_exits = {test}
+        return body_exits | else_exits
+
+    def _while(self, stmt: ast.While, preds: set[int]) -> set[int]:
+        header = self._new(stmt, KIND_TEST)
+        self._link(preds, header)
+        ctx = _LoopCtx(header=header)
+        self._loops.append(ctx)
+        body_exits = self._sequence(stmt.body, {header})
+        self._loops.pop()
+        for node_id in body_exits:
+            self._edge(node_id, header)  # back edge
+        exits: set[int] = set(ctx.breaks)
+        infinite = isinstance(stmt.test, ast.Constant) and bool(stmt.test.value)
+        if not infinite:
+            exits.add(header)
+        if stmt.orelse:
+            exits |= self._sequence(stmt.orelse, {header} if not infinite else set())
+        return exits
+
+    def _for(self, stmt: ast.For | ast.AsyncFor, preds: set[int]) -> set[int]:
+        header = self._new(stmt, KIND_ITER)
+        self._link(preds, header)
+        ctx = _LoopCtx(header=header)
+        self._loops.append(ctx)
+        body_exits = self._sequence(stmt.body, {header})
+        self._loops.pop()
+        for node_id in body_exits:
+            self._edge(node_id, header)  # back edge
+        exits = {header} | ctx.breaks
+        if stmt.orelse:
+            exits |= self._sequence(stmt.orelse, {header})
+        return exits
+
+    def _try(self, stmt: ast.Try, preds: set[int]) -> set[int]:
+        before = len(self.cfg.nodes)
+        body_exits = self._sequence(stmt.body, preds)
+        body_nodes = set(range(before, len(self.cfg.nodes)))
+        exits = set(body_exits)
+        # Any body statement may raise into any handler: conservative
+        # dispatch edges keep must-analyses honest about partial effects.
+        handler_preds = set(preds) | body_nodes
+        for handler in stmt.handlers:
+            exits |= self._sequence(handler.body, set(handler_preds))
+        if stmt.orelse:
+            exits |= self._sequence(stmt.orelse, body_exits)
+            exits -= body_exits
+        if stmt.finalbody:
+            exits = self._sequence(stmt.finalbody, exits)
+        return exits
+
+    def _match(self, stmt: ast.Match, preds: set[int]) -> set[int]:
+        subject = self._new(stmt, KIND_TEST)
+        self._link(preds, subject)
+        exits: set[int] = set()
+        wildcard = False
+        for case in stmt.cases:
+            exits |= self._sequence(case.body, {subject})
+            if isinstance(case.pattern, ast.MatchAs) and case.pattern.pattern is None:
+                wildcard = True
+        if not wildcard:
+            exits.add(subject)
+        return exits
+
+
+def build_cfg(func: FunctionNode) -> Cfg:
+    """Build the statement-level CFG of ``func``'s body."""
+    return _Builder(func).build()
+
+
+def node_parts(node: CfgNode) -> list[ast.AST]:
+    """The AST fragments a node *itself* evaluates.
+
+    Header nodes carry their whole compound statement for line reporting,
+    but they only evaluate the test / iterator / context expressions —
+    transfer functions must not walk into the body (those statements have
+    their own nodes).
+    """
+    stmt = node.stmt
+    if stmt is None:
+        return []
+    if isinstance(stmt, (ast.If, ast.While)):
+        return [stmt.test]
+    if isinstance(stmt, (ast.For, ast.AsyncFor)):
+        return [stmt.target, stmt.iter]
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        parts: list[ast.AST] = []
+        for item in stmt.items:
+            parts.append(item.context_expr)
+            if item.optional_vars is not None:
+                parts.append(item.optional_vars)
+        return parts
+    if isinstance(stmt, ast.Match):
+        return [stmt.subject]
+    if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+        return []  # nested definitions are opaque program points
+    return [stmt]
+
+
+def iter_functions(tree: ast.AST) -> Iterator[FunctionNode]:
+    """Every function definition in ``tree``, including nested ones."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node

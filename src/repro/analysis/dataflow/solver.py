@@ -1,0 +1,104 @@
+"""Generic forward dataflow fixpoint over a statement-level CFG.
+
+One worklist engine serves both analysis polarities the protocol
+checkers need:
+
+* *may* (``join="union"``) — "a halo write since the last barrier may
+  reach this read" — starts from ``frozenset()`` everywhere and grows;
+* *must* (``join="intersection"``) — "a payload write since the last
+  epoch bump reaches this publish on **every** path" — starts from the
+  ⊤ element (``None``, meaning "all facts") on unvisited nodes and
+  shrinks as paths merge.
+
+Transfers are per-node gen/kill pairs supplied by the caller, so the
+engine knows nothing about the shm protocol: the checker's program-point
+model (which statements publish, which write payloads, which pass
+barriers) is entirely in the ``transfer`` callback.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Mapping
+
+from repro.analysis.dataflow.cfg import Cfg, CfgNode
+
+Fact = frozenset[str]
+#: gen/kill for one node; ``kill`` removes facts first, then ``gen`` adds.
+Transfer = Callable[[CfgNode], tuple[Fact, Fact]]
+
+#: ⊤ for must-analyses: "every fact holds" on a not-yet-reached path.
+TOP = None
+
+
+def _join_union(values: list[Fact | None]) -> Fact:
+    out: set[str] = set()
+    for value in values:
+        if value:
+            out |= value
+    return frozenset(out)
+
+
+def _join_intersection(values: list[Fact | None]) -> Fact | None:
+    # An unvisited predecessor contributes ⊤ (the identity) only while it
+    # is still unvisited; the worklist revisits us when it gains a value.
+    seen = [value for value in values if value is not TOP]
+    if not seen:
+        return TOP
+    out = set(seen[0])
+    for value in seen[1:]:
+        out &= value
+    return frozenset(out)
+
+
+def solve_forward(
+    cfg: Cfg,
+    transfer: Transfer,
+    entry_fact: Fact = frozenset(),
+    join: str = "union",
+) -> Mapping[int, Fact | None]:
+    """Fixpoint IN-sets for every node of ``cfg``.
+
+    Returns the fact set *entering* each node (before its own gen/kill),
+    which is the program point the checkers ask questions at ("was the
+    payload written before this publish executes?"). Nodes unreachable
+    from the entry are reported as ``None`` (⊤) — an unreachable publish
+    cannot violate an ordering rule, so callers skip them.
+    """
+    if join not in ("union", "intersection"):
+        raise ValueError(f"unknown join {join!r}")
+    must = join == "intersection"
+    preds = cfg.predecessors()
+    in_facts: dict[int, Fact | None] = {
+        node.id: (TOP if must else frozenset()) for node in cfg.nodes
+    }
+    out_facts: dict[int, Fact | None] = dict(in_facts)
+    in_facts[cfg.entry] = entry_fact
+    out_facts[cfg.entry] = entry_fact
+
+    worklist: deque[int] = deque(
+        node.id for node in cfg.nodes if node.id != cfg.entry
+    )
+    on_list = set(worklist)
+    while worklist:
+        node_id = worklist.popleft()
+        on_list.discard(node_id)
+        node = cfg.node(node_id)
+        incoming = [out_facts[p] for p in preds[node_id]]
+        if must:
+            new_in = _join_intersection(incoming) if incoming else TOP
+        else:
+            new_in = _join_union(incoming)
+        in_facts[node_id] = new_in
+        if new_in is TOP:
+            new_out: Fact | None = TOP
+        else:
+            gen, kill = transfer(node)
+            new_out = frozenset((new_in - kill) | gen)
+        if new_out != out_facts[node_id]:
+            out_facts[node_id] = new_out
+            for succ in cfg.succ[node_id]:
+                if succ not in on_list:
+                    worklist.append(succ)
+                    on_list.add(succ)
+    return dict(in_facts)

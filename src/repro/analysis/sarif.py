@@ -1,0 +1,82 @@
+"""SARIF 2.1.0 export for the analysis suite.
+
+SARIF is the interchange format GitHub code scanning ingests: uploading a
+run makes every finding an inline PR annotation with the rule's rationale
+attached. The emitted document keeps to the stable core of the schema —
+one run, one driver, one result per finding — so any SARIF consumer can
+render it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+from repro.analysis.core import Finding
+
+_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+_VERSION = "2.1.0"
+
+
+def _region(finding: Finding) -> dict[str, int]:
+    region = {
+        "startLine": max(finding.line, 1),
+        "startColumn": finding.col + 1,
+    }
+    if finding.end_line > finding.line:
+        region["endLine"] = finding.end_line
+    return region
+
+
+def to_sarif(
+    findings: Sequence[Finding], rules: Mapping[str, str]
+) -> dict[str, Any]:
+    """Build the SARIF document for one analysis run.
+
+    ``rules`` maps rule id -> rationale; every registered rule is listed
+    (not just fired ones) so code scanning keeps rule metadata stable
+    across runs.
+    """
+    rule_ids = sorted(rules)
+    rule_index = {rule_id: i for i, rule_id in enumerate(rule_ids)}
+    results: list[dict[str, Any]] = []
+    for finding in findings:
+        result: dict[str, Any] = {
+            "ruleId": finding.rule,
+            "level": "error",
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": finding.path.replace("\\", "/"),
+                            "uriBaseId": "%SRCROOT%",
+                        },
+                        "region": _region(finding),
+                    }
+                }
+            ],
+        }
+        if finding.rule in rule_index:
+            result["ruleIndex"] = rule_index[finding.rule]
+        results.append(result)
+    return {
+        "$schema": _SCHEMA,
+        "version": _VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro.analysis",
+                        "rules": [
+                            {
+                                "id": rule_id,
+                                "shortDescription": {"text": rules[rule_id]},
+                            }
+                            for rule_id in rule_ids
+                        ],
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }

@@ -322,7 +322,12 @@ def _sanitized_worker_loop(problem, pack, wid, owned, phi, phi_new, halo, contro
                 for d in owned:
                     idx, tracks, dirs = pack.incoming(d)
                     if idx.size:
-                        problem.sweeper(d).psi_in[tracks, dirs] = t_halo.get(idx)
+                        # Deliberate fault injection: on the injected
+                        # iteration the barrier before this read is
+                        # skipped so the sanitizer can prove it detects
+                        # the resulting torn halo.
+                        psi = t_halo.get(idx)  # repro: ignore[shm-missing-barrier]
+                        problem.sweeper(d).psi_in[tracks, dirs] = psi
             if inject:
                 wait()  # compensating wait restores barrier parity
             iteration += 1

@@ -1,0 +1,140 @@
+"""CLI output formats, rule filtering, and baselines.
+
+The lint lane consumes these three surfaces: ``--format sarif`` feeds CI
+inline annotations, ``--rule`` narrows a run while landing a new rule,
+and ``--baseline`` grandfathers existing findings so only regressions
+gate. The tests pin exit codes and the exact shapes tooling parses.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis import all_rules, analyze_source
+from repro.analysis.__main__ import main
+from repro.analysis.baseline import (
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.sarif import to_sarif
+from repro.errors import AnalysisError
+
+BAD = "try:\n    f()\nexcept Exception:\n    pass\n"
+BAD_TWO_RULES = BAD + "flag = x == 0.25\n"
+
+
+class TestSarif:
+    def test_sarif_shape(self):
+        findings = analyze_source(BAD)
+        doc = to_sarif(findings, all_rules())
+        assert doc["version"] == "2.1.0"
+        (run,) = doc["runs"]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "repro.analysis"
+        rule_ids = [rule["id"] for rule in driver["rules"]]
+        assert rule_ids == sorted(rule_ids)
+        assert "silent-except" in rule_ids
+        (result,) = run["results"]
+        assert result["ruleId"] == "silent-except"
+        assert result["level"] == "error"
+        loc = result["locations"][0]["physicalLocation"]
+        assert loc["artifactLocation"]["uriBaseId"] == "%SRCROOT%"
+        assert loc["region"]["startLine"] == 3
+        # ruleIndex must point at the rule inside the driver list.
+        assert driver["rules"][result["ruleIndex"]]["id"] == "silent-except"
+
+    def test_sarif_empty_run_still_lists_rules(self):
+        doc = to_sarif([], all_rules())
+        (run,) = doc["runs"]
+        assert run["results"] == []
+        assert run["tool"]["driver"]["rules"]
+
+    def test_cli_sarif_format(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text(BAD)
+        assert main([str(bad), "--format", "sarif"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["runs"][0]["results"][0]["ruleId"] == "silent-except"
+
+
+class TestRuleFlag:
+    def test_rule_narrows_to_single_rule(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text(BAD_TWO_RULES)
+        assert main([str(bad), "--rule", "float-eq"]) == 1
+        out = capsys.readouterr().out
+        assert "float-eq" in out
+        assert "silent-except" not in out
+
+    def test_unknown_rule_exits_2(self, tmp_path, capsys):
+        good = tmp_path / "good.py"
+        good.write_text("x = 1\n")
+        assert main([str(good), "--rule", "no-such-rule"]) == 2
+        assert "unknown rule id" in capsys.readouterr().err
+
+    def test_checker_name_rejected_by_rule_flag(self, tmp_path, capsys):
+        # --rule takes rule ids only; whole checker names go to --select.
+        good = tmp_path / "good.py"
+        good.write_text("x = 1\n")
+        assert main([str(good), "--rule", "float-comparison"]) == 2
+
+
+class TestBaseline:
+    def test_round_trip_subtracts_grandfathered(self, tmp_path):
+        findings = analyze_source(BAD_TWO_RULES)
+        assert len(findings) == 2
+        baseline_file = tmp_path / "baseline.json"
+        write_baseline(baseline_file, findings)
+        remaining = apply_baseline(findings, load_baseline(baseline_file))
+        assert remaining == []
+
+    def test_new_findings_survive_baseline(self, tmp_path):
+        old = analyze_source(BAD)
+        baseline_file = tmp_path / "baseline.json"
+        write_baseline(baseline_file, old)
+        new = analyze_source(BAD_TWO_RULES)
+        remaining = apply_baseline(new, load_baseline(baseline_file))
+        assert [f.rule for f in remaining] == ["float-eq"]
+
+    def test_baseline_is_line_number_insensitive(self, tmp_path):
+        # Shifting code down a file must not resurrect grandfathered
+        # findings: keys are (path, rule, message), never line numbers.
+        old = analyze_source(BAD)
+        baseline_file = tmp_path / "baseline.json"
+        write_baseline(baseline_file, old)
+        shifted = analyze_source("import os\n\n\n" + BAD)
+        assert apply_baseline(shifted, load_baseline(baseline_file)) == []
+
+    def test_corrupt_baseline_raises(self, tmp_path):
+        baseline_file = tmp_path / "baseline.json"
+        baseline_file.write_text("{not json")
+        with pytest.raises(AnalysisError, match="baseline"):
+            load_baseline(baseline_file)
+
+    def test_cli_write_then_apply(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text(BAD)
+        baseline_file = tmp_path / "baseline.json"
+        assert main([str(bad), "--write-baseline", str(baseline_file)]) == 0
+        capsys.readouterr()
+        assert main([str(bad), "--baseline", str(baseline_file)]) == 0
+        assert main([str(bad)]) == 1
+
+    def test_cli_missing_baseline_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text(BAD)
+        assert main([str(bad), "--baseline", str(tmp_path / "nope.json")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestSyntaxErrorExit:
+    def test_unparseable_file_exits_2_with_location(self, tmp_path, capsys):
+        broken = tmp_path / "broken.py"
+        broken.write_text("def f(:\n    pass\n")
+        # Exit code 2 (tool error), not an uncaught SyntaxError traceback.
+        assert main([str(broken)]) == 2
+        err = capsys.readouterr().err
+        assert "error: cannot parse" in err
+        assert "broken.py" in err
+        assert ":1:" in err  # line number of the syntax error

@@ -1,0 +1,115 @@
+"""Suppression-pragma corner cases.
+
+The pragmas are load-bearing (they are the only sanctioned way to keep a
+deliberate protocol violation out of the lint gate), so their edge
+behaviour is pinned: both pragma kinds sharing one comment, findings on
+multi-line statements, pragmas inside strings (which must do nothing),
+and typo'd rule names (which must warn, not silently disarm).
+"""
+
+from repro.analysis import analyze_source
+from repro.analysis.core import SourceFile, suppression_warnings
+
+BAD_EXCEPT = "try:\n    f()\nexcept Exception:\n    pass\n"
+
+
+class TestBothPragmasOneLine:
+    def test_line_and_file_pragma_share_a_comment(self):
+        # Each pragma carries its own `#`; the line pragma's lookahead
+        # must not swallow the ignore-file form. The file pragma disarms
+        # float-eq module-wide, the line pragma disarms silent-except on
+        # its own line.
+        text = (
+            "try:\n"
+            "    f()\n"
+            "except Exception:  "
+            "# repro: ignore[silent-except]  # repro: ignore-file[float-eq]\n"
+            "    pass\n"
+            "flag = x == 0.25\n"
+            "other = y == 0.5\n"
+        )
+        assert analyze_source(text) == []
+
+    def test_file_pragma_alone_does_not_suppress_line_rules(self):
+        text = (
+            "try:\n"
+            "    f()\n"
+            "except Exception:  # repro: ignore-file[float-eq]\n"
+            "    pass\n"
+        )
+        assert [f.rule for f in analyze_source(text)] == ["silent-except"]
+
+
+class TestMultiLineStatements:
+    def test_pragma_on_last_line_of_multiline_statement(self):
+        # The finding anchors at the comparison's first line; the pragma
+        # sits two lines down inside the same expression. The finding's
+        # span must cover the whole statement for the pragma to bind.
+        text = (
+            "flag = (\n"
+            "    x\n"
+            "    == 0.25  # repro: ignore[float-eq]\n"
+            ")\n"
+        )
+        assert analyze_source(text) == []
+
+    def test_pragma_on_first_line_of_multiline_statement(self):
+        text = (
+            "flag = (  # repro: ignore[float-eq]\n"
+            "    x\n"
+            "    == 0.25\n"
+            ")\n"
+        )
+        assert analyze_source(text) == []
+
+    def test_compound_statement_span_stops_at_header(self):
+        # A pragma inside an if-body must NOT suppress a finding on the
+        # if-test: compound statements report their header span only.
+        text = (
+            "if x == 0.25:\n"
+            "    y = 1  # repro: ignore[float-eq]\n"
+        )
+        assert [f.rule for f in analyze_source(text)] == ["float-eq"]
+
+
+class TestPragmasInStrings:
+    def test_docstring_pragma_does_not_suppress(self):
+        # Pragmas are comments; the same text inside a docstring is
+        # documentation and must leave the checker armed.
+        text = (
+            '"""Example: # repro: ignore-file[silent-except]."""\n'
+            + BAD_EXCEPT
+        )
+        assert [f.rule for f in analyze_source(text)] == ["silent-except"]
+
+    def test_string_literal_pragma_does_not_warn(self):
+        src = SourceFile(
+            "repro/x.py",
+            'HELP = "# repro: ignore[definitely-not-a-rule]"\n',
+        )
+        assert suppression_warnings([src]) == []
+
+
+class TestUnknownRuleWarnings:
+    def test_typo_rule_warns_with_location(self):
+        src = SourceFile(
+            "repro/x.py",
+            "x = 1  # repro: ignore[silent-excpet]\n",  # typo'd id
+        )
+        (warning,) = suppression_warnings([src])
+        assert "repro/x.py:1" in warning
+        assert "silent-excpet" in warning
+
+    def test_known_rule_and_checker_names_do_not_warn(self):
+        src = SourceFile(
+            "repro/x.py",
+            "x = 1  # repro: ignore[float-eq]\n"
+            "y = 2  # repro: ignore[determinism]\n"  # checker name: valid
+            "z = 3  # repro: ignore\n",  # bare pragma: no rule mentioned
+        )
+        assert suppression_warnings([src]) == []
+
+    def test_unknown_rule_still_fails_to_suppress_known_finding(self):
+        text = "flag = x == 0.25  # repro: ignore[float-equality]\n"
+        findings = analyze_source(text)
+        assert [f.rule for f in findings] == ["float-eq"]
