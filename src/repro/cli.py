@@ -5,6 +5,11 @@ the same entry point for the reproduction:
 
     python -m repro --config config.yaml [--fission-map] [--report PATH]
 
+A config with a ``scenarios:`` block is solved through the batched
+multi-state driver instead:
+
+    python -m repro solve-batch --config config.yaml [--serial] ...
+
 The run log mirrors the artifact's: per-stage timings and storage figures
 that the paper's appendix analyses from log fragments.
 """
@@ -50,6 +55,56 @@ def build_parser() -> argparse.ArgumentParser:
         "suffix picks the format (unknown suffixes mean text). Overrides the "
         "config's output.report and the REPRO_REPORT environment variable.",
     )
+    _add_override_arguments(parser)
+    parser.add_argument(
+        "--submit",
+        metavar="ADDRESS",
+        help="Submit the (fully overridden) configuration to a running solve "
+        "server ('host:port' or 'unix:/path', see python -m repro.serve) "
+        "instead of solving locally. Results are bitwise-identical to a "
+        "local run; an exact-manifest repeat is answered from the server's "
+        "report cache without sweeping.",
+    )
+    parser.add_argument(
+        "--priority",
+        type=int,
+        default=0,
+        help="Scheduling priority for --submit (higher runs earlier; "
+        "FIFO within a priority level; default %(default)s).",
+    )
+    return parser
+
+
+def build_batch_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro solve-batch",
+        description="Solve every scenario state of a config over ONE shared "
+        "track laydown (batched on the numpy backend, per-state sequential "
+        "fallback elsewhere).",
+    )
+    parser.add_argument(
+        "--config",
+        required=True,
+        help="Path to a run configuration with a non-empty scenarios: block.",
+    )
+    parser.add_argument(
+        "--serial",
+        action="store_true",
+        help="Force the per-state sequential fallback (the equivalence "
+        "oracle) even where the widened scenario-axis kernel applies.",
+    )
+    parser.add_argument(
+        "--report-dir",
+        metavar="DIR",
+        help="Write one schema-versioned JSON run report per state into DIR "
+        "(named <scenario>.json).",
+    )
+    _add_override_arguments(parser)
+    return parser
+
+
+def _add_override_arguments(parser: argparse.ArgumentParser) -> None:
+    """The config-override flags shared by ``solve`` and ``solve-batch``."""
     parser.add_argument(
         "--backend",
         choices=SWEEP_BACKENDS,
@@ -99,23 +154,49 @@ def build_parser() -> argparse.ArgumentParser:
         "An optional DIR overrides the cache directory (default: "
         "$REPRO_CACHE_DIR or ~/.cache/repro).",
     )
-    parser.add_argument(
-        "--submit",
-        metavar="ADDRESS",
-        help="Submit the (fully overridden) configuration to a running solve "
-        "server ('host:port' or 'unix:/path', see python -m repro.serve) "
-        "instead of solving locally. Results are bitwise-identical to a "
-        "local run; an exact-manifest repeat is answered from the server's "
-        "report cache without sweeping.",
-    )
-    parser.add_argument(
-        "--priority",
-        type=int,
-        default=0,
-        help="Scheduling priority for --submit (higher runs earlier; "
-        "FIFO within a priority level; default %(default)s).",
-    )
-    return parser
+
+
+def _apply_overrides(args: argparse.Namespace, config):
+    """Fold the shared override flags into the loaded configuration."""
+    if args.backend:
+        config = dataclasses.replace(
+            config,
+            solver=dataclasses.replace(config.solver, sweep_backend=args.backend),
+        )
+    if args.tracer:
+        config = dataclasses.replace(
+            config,
+            tracking=dataclasses.replace(config.tracking, tracer=args.tracer),
+        )
+    if args.engine or args.workers is not None or args.engine_timeout is not None:
+        decomposition = dataclasses.replace(
+            config.decomposition,
+            engine=args.engine or config.decomposition.engine,
+            workers=args.workers if args.workers is not None
+            else config.decomposition.workers,
+            timeout=args.engine_timeout if args.engine_timeout is not None
+            else config.decomposition.timeout,
+        )
+        config = dataclasses.replace(config, decomposition=decomposition)
+        config.decomposition.validate()
+    if args.cmfd is not None:
+        config = dataclasses.replace(
+            config,
+            solver=dataclasses.replace(
+                config.solver,
+                cmfd=dataclasses.replace(config.solver.cmfd, enabled=args.cmfd),
+            ),
+        )
+    if args.tracking_cache is not None:
+        config = dataclasses.replace(
+            config,
+            tracking=dataclasses.replace(
+                config.tracking,
+                tracking_cache=True,
+                cache_dir=args.tracking_cache or config.tracking.cache_dir,
+            ),
+        )
+    return config
 
 
 def _submit(args: argparse.Namespace, config) -> int:
@@ -139,48 +220,45 @@ def _submit(args: argparse.Namespace, config) -> int:
     return 0 if response["converged"] else 2
 
 
+def batch_main(argv: list[str] | None = None) -> int:
+    """Entry point of the ``solve-batch`` verb."""
+    args = build_batch_parser().parse_args(argv)
+    try:
+        config = _apply_overrides(args, load_config(args.config))
+        from repro.scenario import run_scenario_batch
+
+        result = run_scenario_batch(
+            config, mode="sequential" if args.serial else "auto"
+        )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(result.report())
+    if args.report_dir:
+        from pathlib import Path
+
+        directory = Path(args.report_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        for state in result.states:
+            spec = resolve_report_spec(
+                f"json:{directory / (state.scenario.name + '.json')}", None
+            )
+            written = write_report(state.run_report, spec)
+            print(f"state report written to {written}")
+    return 0 if all(state.converged for state in result.states) else 2
+
+
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "solve-batch":
+        return batch_main(argv[1:])
     args = build_parser().parse_args(argv)
     try:
-        config = load_config(args.config)
-        if args.backend:
-            config = dataclasses.replace(
-                config,
-                solver=dataclasses.replace(config.solver, sweep_backend=args.backend),
-            )
-        if args.tracer:
-            config = dataclasses.replace(
-                config,
-                tracking=dataclasses.replace(config.tracking, tracer=args.tracer),
-            )
-        if args.engine or args.workers is not None or args.engine_timeout is not None:
-            decomposition = dataclasses.replace(
-                config.decomposition,
-                engine=args.engine or config.decomposition.engine,
-                workers=args.workers if args.workers is not None
-                else config.decomposition.workers,
-                timeout=args.engine_timeout if args.engine_timeout is not None
-                else config.decomposition.timeout,
-            )
-            config = dataclasses.replace(config, decomposition=decomposition)
-            config.decomposition.validate()
-        if args.cmfd is not None:
-            config = dataclasses.replace(
-                config,
-                solver=dataclasses.replace(
-                    config.solver,
-                    cmfd=dataclasses.replace(config.solver.cmfd, enabled=args.cmfd),
-                ),
-            )
-        if args.tracking_cache is not None:
-            config = dataclasses.replace(
-                config,
-                tracking=dataclasses.replace(
-                    config.tracking,
-                    tracking_cache=True,
-                    cache_dir=args.tracking_cache or config.tracking.cache_dir,
-                ),
-            )
+        config = _apply_overrides(args, load_config(args.config))
         if args.submit:
             return _submit(args, config)
         app = AntMocApplication(config)

@@ -62,6 +62,12 @@ class SanitizerError(ReproError):
     misconfigured (fault spec naming a worker that does not exist)."""
 
 
+class ScenarioError(ReproError):
+    """A scenario batch is invalid (perturbation names no material in the
+    geometry, a perturbed material violates cross-section consistency,
+    batching requested on an incompatible backend)."""
+
+
 class ServeError(ReproError):
     """The solve service failed (malformed request, protocol violation,
     job executed out of its lifecycle order, server unreachable)."""

@@ -47,6 +47,14 @@ EXP_MODES = ("table", "exact")
 #: suffix selects the format (unknown suffixes mean ``text``).
 REPORT_FORMATS = ("json", "jsonl", "text")
 
+#: Declarative perturbation kinds admitted by a ``scenarios:`` block.
+#: All three are tracking-invariant: they change cross-sections only, so
+#: every scenario state shares one track laydown and SweepPlan layout.
+PERTURBATION_KINDS = ("scale_xs", "substitute", "density")
+
+#: Reaction channels a ``scale_xs`` perturbation may target.
+PERTURBATION_REACTIONS = ("total", "scatter", "fission", "nu_fission", "all")
+
 
 @dataclass(frozen=True)
 class TrackingConfig:
@@ -271,6 +279,81 @@ class OutputConfig:
 
 
 @dataclass(frozen=True)
+class PerturbationConfig:
+    """One declarative cross-section perturbation inside a scenario.
+
+    ``scale_xs`` multiplies one reaction channel of the named material by
+    ``factor`` (restricted to ``groups`` when given); ``substitute``
+    replaces the named material with ``replacement`` from the geometry's
+    library; ``density`` scales *every* channel uniformly (a
+    number-density / moderator-density branch). All kinds are
+    geometry-invariant for tracking.
+    """
+
+    kind: str = "scale_xs"
+    material: str = ""
+    reaction: str = "all"
+    factor: float = 1.0
+    #: Energy groups the scaling applies to; empty means all groups.
+    groups: tuple = ()
+    #: Library material name replacing ``material`` (``substitute`` only).
+    replacement: str | None = None
+
+    def validate(self, where: str) -> None:
+        if self.kind not in PERTURBATION_KINDS:
+            raise ConfigError(
+                f"{where}: kind must be one of {PERTURBATION_KINDS} (got {self.kind!r})"
+            )
+        if not isinstance(self.material, str) or not self.material:
+            raise ConfigError(f"{where}: material must be a non-empty material name")
+        if self.reaction not in PERTURBATION_REACTIONS:
+            raise ConfigError(
+                f"{where}: reaction must be one of {PERTURBATION_REACTIONS} "
+                f"(got {self.reaction!r})"
+            )
+        bad_factor = not isinstance(self.factor, (int, float)) or isinstance(
+            self.factor, bool
+        )
+        if bad_factor or not self.factor > 0:
+            raise ConfigError(f"{where}: factor must be a positive number (got {self.factor!r})")
+        if not isinstance(self.groups, tuple) or not all(
+            isinstance(g, int) and not isinstance(g, bool) and g >= 0 for g in self.groups
+        ):
+            raise ConfigError(
+                f"{where}: groups must be non-negative group indices (got {self.groups!r})"
+            )
+        if self.kind == "substitute":
+            if not isinstance(self.replacement, str) or not self.replacement:
+                raise ConfigError(f"{where}: substitute requires a replacement material name")
+        elif self.replacement is not None:
+            raise ConfigError(f"{where}: replacement is only valid with kind 'substitute'")
+        if self.kind != "scale_xs" and (self.reaction != "all" or self.groups):
+            raise ConfigError(
+                f"{where}: reaction/groups selection is only valid with kind 'scale_xs'"
+            )
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """One named perturbed state of the ``scenarios:`` block."""
+
+    name: str = ""
+    perturbations: tuple = ()
+
+    def validate(self) -> None:
+        if not isinstance(self.name, str) or not self.name:
+            raise ConfigError("every scenario needs a non-empty name")
+        if not isinstance(self.perturbations, tuple):
+            raise ConfigError(f"scenario {self.name!r}: perturbations must be a sequence")
+        for i, pert in enumerate(self.perturbations):
+            if not isinstance(pert, PerturbationConfig):
+                raise ConfigError(
+                    f"scenario {self.name!r}: perturbation {i} must be a mapping"
+                )
+            pert.validate(f"scenario {self.name!r} perturbation {i}")
+
+
+@dataclass(frozen=True)
 class RunConfig:
     """Complete, validated ANT-MOC run configuration."""
 
@@ -280,6 +363,8 @@ class RunConfig:
     solver: SolverConfig = field(default_factory=SolverConfig)
     load_balance: LoadBalanceConfig = field(default_factory=LoadBalanceConfig)
     output: OutputConfig = field(default_factory=OutputConfig)
+    #: Perturbed states solved by ``solve-batch`` (empty for plain runs).
+    scenarios: tuple = ()
 
     def validate(self) -> "RunConfig":
         self.tracking.validate()
@@ -287,10 +372,25 @@ class RunConfig:
         self.solver.validate()
         self.load_balance.validate()
         self.output.validate()
+        if not isinstance(self.scenarios, tuple):
+            raise ConfigError("scenarios must be a sequence of scenario mappings")
+        names: set[str] = set()
+        for scenario in self.scenarios:
+            if not isinstance(scenario, ScenarioConfig):
+                raise ConfigError("every scenarios entry must be a mapping")
+            scenario.validate()
+            if scenario.name in names:
+                raise ConfigError(f"duplicate scenario name {scenario.name!r}")
+            names.add(scenario.name)
         return self
 
     def to_dict(self) -> dict[str, Any]:
-        return asdict(self)
+        data = asdict(self)
+        # An empty scenario list must hash identically to a pre-scenario
+        # config: every stored manifest/report key stays stable.
+        if not data.get("scenarios"):
+            data.pop("scenarios", None)
+        return data
 
 
 _SECTION_TYPES: dict[str, type] = {
@@ -320,6 +420,44 @@ def _build_section(cls: type, data: Mapping[str, Any], section: str) -> Any:
     return cls(**data)
 
 
+def _build_scenarios(value: Any) -> tuple:
+    """The ``scenarios:`` block: a sequence of scenario mappings."""
+    if value is None:
+        return ()
+    if isinstance(value, (str, bytes, Mapping)) or not hasattr(value, "__iter__"):
+        raise ConfigError("scenarios must be a sequence of scenario mappings")
+    scenarios = []
+    for i, item in enumerate(value):
+        if not isinstance(item, Mapping):
+            raise ConfigError(f"scenarios[{i}] must be a mapping")
+        item = dict(item)
+        perts = item.pop("perturbations", [])
+        unknown = set(item) - {"name"}
+        if unknown:
+            raise ConfigError(f"unknown keys in scenarios[{i}]: {sorted(unknown)}")
+        if isinstance(perts, (str, bytes, Mapping)) or not hasattr(perts, "__iter__"):
+            raise ConfigError(f"scenarios[{i}].perturbations must be a sequence")
+        built = []
+        for j, pert in enumerate(perts):
+            if not isinstance(pert, Mapping):
+                raise ConfigError(f"scenarios[{i}].perturbations[{j}] must be a mapping")
+            pert = dict(pert)
+            if "groups" in pert:
+                groups = pert["groups"]
+                if isinstance(groups, (str, bytes)) or not hasattr(groups, "__iter__"):
+                    raise ConfigError(
+                        f"scenarios[{i}].perturbations[{j}].groups must be a sequence"
+                    )
+                pert["groups"] = tuple(groups)
+            built.append(
+                _build_section(
+                    PerturbationConfig, pert, f"scenarios[{i}].perturbations[{j}]"
+                )
+            )
+        scenarios.append(ScenarioConfig(name=item.get("name", ""), perturbations=tuple(built)))
+    return tuple(scenarios)
+
+
 def config_from_dict(data: Mapping[str, Any]) -> RunConfig:
     """Build and validate a :class:`RunConfig` from a plain mapping."""
     if not isinstance(data, Mapping):
@@ -330,6 +468,8 @@ def config_from_dict(data: Mapping[str, Any]) -> RunConfig:
             if not isinstance(value, str):
                 raise ConfigError("geometry must be a string name")
             kwargs["geometry"] = value
+        elif key == "scenarios":
+            kwargs["scenarios"] = _build_scenarios(value)
         elif key in _SECTION_TYPES:
             if value is None:
                 value = {}

@@ -60,6 +60,22 @@ COUNTER_SCHEMA: dict[str, str] = {
         "first check, i.e. communication fully hidden behind compute "
         "(mp-async engines; an engine property, not a workload term)"
     ),
+    "scenarios_total": (
+        "perturbed states this solve answered (0 for plain single-state "
+        "runs; every state report of a batch carries the batch total)"
+    ),
+    "scenarios_batched": (
+        "states swept through the widened scenario-axis kernel (0 when "
+        "the per-state sequential fallback ran)"
+    ),
+    "laydowns_shared": (
+        "states that reused the batch's shared track laydown instead of "
+        "tracing their own (states_total - 1 when sharing worked)"
+    ),
+    "sweeps_batched": (
+        "widened multi-state transport sweeps executed (each one replaces "
+        "up to scenarios_total single-state sweeps)"
+    ),
     "serve_requests": (
         "solve requests this report answers (1 per served request; absent "
         "for CLI solves — a service-only key, excluded from solve "

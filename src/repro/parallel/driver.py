@@ -197,6 +197,36 @@ class DecomposedSolver:
             cmfd_stats=result.cmfd_stats,
         )
 
+    def rebind_materials(self, materials_for) -> None:
+        """Re-point every domain at a new per-FSR material list while
+        keeping the track laydown, sweep plans and interface routing.
+
+        ``materials_for(sub_geometry)`` returns the new material list for
+        one subdomain (a perturbed scenario state — tracking-invariant by
+        construction). Boundary fluxes and current tallies are reset and
+        the CMFD overlay is rebuilt over the new cross sections, so a
+        subsequent :meth:`solve` is bitwise-equal to a freshly constructed
+        solver over the same materials.
+        """
+        from repro.solver.source import SourceTerms
+
+        for dom in self.domains:
+            terms = SourceTerms(list(materials_for(dom.geometry)))
+            if terms.num_regions != dom.num_fsrs:
+                raise DecompositionError(
+                    f"rebind materials cover {terms.num_regions} regions, "
+                    f"domain {dom.rank} has {dom.num_fsrs} FSRs"
+                )
+            dom.terms = terms
+            dom.sweeper.terms = terms
+            dom.sweeper.reset_fluxes()
+            if dom.sweeper.current_tally is not None:
+                dom.sweeper.current_tally.reset()
+        if not any(np.any(d.terms.nu_sigma_f > 0) for d in self.domains):
+            raise SolverError("no fissile region in any domain")
+        if self.cmfd_problem is not None:
+            self._setup_cmfd(self.cmfd_problem.options)
+
     def fission_rates(self, result: DecomposedResult) -> np.ndarray:
         """Global per-FSR fission rates, unit mean over fissile FSRs."""
         rates = np.concatenate(

@@ -311,6 +311,12 @@ class AntMocApplication:
     def run(self) -> AntMocRunResult:
         """Execute all five stages and return the result bundle."""
         cfg = self.config
+        if cfg.scenarios:
+            raise ConfigError(
+                "config declares a scenarios: block; run it through "
+                "solve-batch (repro.scenario.run_scenario_batch), not a "
+                "single-state solve"
+            )
         with self._stage(StageName.READ_CONFIGURATION.value):
             self.pipeline.complete(StageName.READ_CONFIGURATION, cfg)
 

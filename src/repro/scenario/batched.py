@@ -1,0 +1,372 @@
+"""Scenario-axis batched 2D sweep and multi-state power iteration.
+
+One wider vectorized kernel sweeps all states of a batch at once: the
+numpy backend's position-major lockstep loop gains a state axis ``S``
+directly after the segment axis, so the working flux is ``(n, S, P, G)``
+and every elementwise update is the single-state expression broadcast
+over states. Bitwise equality per state is a structural property:
+
+* elementwise ops (attenuation, source subtraction) act per element, so
+  each state's slice sees exactly the single-state arithmetic, in the
+  same order, on the same values;
+* reductions (the polar-weight einsum, the per-FSR bincount, the CMFD
+  current folds) are *looped per state* on contiguous copies using the
+  exact single-state expressions — never summed across the state axis.
+
+States may converge at different iterations: a converged state freezes
+(its result is snapshotted and its last reduced source is recycled so
+the widened kernel keeps a valid input) while the remaining states sweep
+on. CMFD acceleration reuses :class:`~repro.solver.cmfd.CmfdAccelerator`
+unchanged through a per-state sweeper view; each state owns its
+:class:`~repro.solver.cmfd.CurrentTally` (values) while all states share
+the tally *layout* and one widened in-kernel capture.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.constants import FOUR_PI
+from repro.errors import ScenarioError, SolverError
+from repro.io.logging_utils import get_logger
+from repro.solver.backends.base import tally_from_segments
+from repro.solver.backends.plan import MAX_EXPF_ELEMENTS
+from repro.solver.convergence import ConvergenceMonitor
+from repro.solver.expeval import ExponentialEvaluator
+from repro.solver.keff import SolveResult
+from repro.solver.source import SourceTerms
+
+
+class _StateView:
+    """One state's single-state facade over a :class:`BatchedSweep2D` —
+    exactly the attribute surface :class:`~repro.solver.cmfd.CmfdAccelerator`
+    touches (``current_tally`` and ``psi_in``), resolved freshly on every
+    access because the batched ``psi_in`` is replaced each sweep."""
+
+    def __init__(self, batched: "BatchedSweep2D", state: int) -> None:
+        self._batched = batched
+        self._state = state
+
+    @property
+    def current_tally(self):
+        tallies = self._batched.tallies
+        return None if tallies is None else tallies[self._state]
+
+    @property
+    def psi_in(self) -> np.ndarray:
+        return self._batched.psi_in[:, :, self._state]
+
+
+class BatchedSweep2D:
+    """One-geometry 2D sweep over shared tracks for ``S`` XS states."""
+
+    def __init__(
+        self,
+        trackgen,
+        terms_per_state: list[SourceTerms],
+        evaluator: ExponentialEvaluator | None = None,
+    ) -> None:
+        if not terms_per_state:
+            raise ScenarioError("batched sweep needs at least one state")
+        self.trackgen = trackgen
+        self.terms = terms_per_state
+        self.evaluator = evaluator or ExponentialEvaluator.shared()
+        self.plan = trackgen.sweep_plan()
+        topology = self.plan.topology
+        self.num_states = len(terms_per_state)
+        self.num_tracks = trackgen.num_tracks
+        self.num_polar = trackgen.polar.num_polar_half
+        self.num_groups = terms_per_state[0].num_groups
+        num_fsrs = terms_per_state[0].num_regions
+        for terms in terms_per_state:
+            if terms.num_regions != num_fsrs or terms.num_groups != self.num_groups:
+                raise ScenarioError(
+                    "all scenario states must share the FSR/group layout"
+                )
+        self.num_fsrs = num_fsrs
+        self.inv_sin = topology.inv_sin
+        self.next_track = topology.next_track
+        self.next_dir = topology.next_dir
+        self.terminal = topology.terminal
+
+        #: Incoming angular flux per (track, dir, state, polar, group).
+        self.psi_in = np.zeros(
+            (self.num_tracks, 2, self.num_states, self.num_polar, self.num_groups)
+        )
+        #: Per-state CMFD current tallies (None until :meth:`enable_cmfd`).
+        self.tallies: list | None = None
+        self._capture = None
+        self._tables = self._build_expf_tables()
+        self.num_sweeps = 0
+
+    # ------------------------------------------------------------- setup
+
+    def _build_expf_tables(self):
+        """Per-direction exponential tables with a state axis, built from
+        the exact single-state tau expression per state (bitwise-equal
+        slices), or ``None`` when the widened table would be too large —
+        the kernel then evaluates per position, again per state."""
+        plan = self.plan
+        if 2 * self.num_states * plan.expf_elements(self.num_groups) > MAX_EXPF_ELEMENTS:
+            get_logger("repro.scenario").info(
+                "batched expf table for %d states exceeds the element cap; "
+                "falling back to per-position evaluation", self.num_states,
+            )
+            return None
+        tables = []
+        for d in (0, 1):
+            per_state = []
+            for terms in self.terms:
+                tau = (
+                    terms.sigma_t_safe[plan.pos_fsr[d]][:, None, :]
+                    * plan.pos_len[d][:, None, None]
+                    * self.inv_sin[None, :, None]
+                )
+                per_state.append(self.evaluator(tau))
+            tables.append(np.stack(per_state, axis=1))  # (n_seg, S, P, G)
+        return tables
+
+    def enable_cmfd(self, cell_of_fsr: np.ndarray, exit_dst: np.ndarray) -> None:
+        """Attach per-state current tallies plus one widened in-kernel
+        capture. The tally layout is XS-independent, so every state's
+        tally is structurally identical; the kernel writes crossings into
+        the widened buffers and the per-state folds copy slices out."""
+        from repro.solver.cmfd import CurrentCapture, CurrentTally
+
+        self.tallies = [
+            CurrentTally(self.plan, cell_of_fsr, exit_dst, self.num_groups)
+            for _ in range(self.num_states)
+        ]
+        base = self.tallies[0].capture
+        out = [
+            np.zeros((base.out[d].shape[0], self.num_states, self.num_polar, self.num_groups))
+            for d in (0, 1)
+        ]
+        self._capture = CurrentCapture(base.rows, base.track_rows, base.dest, out)
+
+    def state_view(self, state: int) -> _StateView:
+        return _StateView(self, state)
+
+    # ------------------------------------------------------------- sweep
+
+    def sweep(self, reduced_stack: np.ndarray) -> list[np.ndarray]:
+        """One widened transport sweep over all states.
+
+        ``reduced_stack`` is ``(S, R, G)``; returns one ``(R, G)``
+        delta-psi tally per state, each bitwise-equal to the single-state
+        numpy kernel's tally for that state's cross sections.
+        """
+        plan = self.plan
+        num_states = self.num_states
+        starts = plan.col_starts
+        capture = self._capture
+        psi = [self.psi_in[:, 0].copy(), self.psi_in[:, 1].copy()]
+        total = np.zeros((self.num_fsrs, num_states, self.num_groups))
+        for d in (0, 1):
+            cur = psi[d][plan.track_order]
+            fsr = plan.pos_fsr[d]
+            table = None if self._tables is None else self._tables[d]
+            # One gather per direction replaces the per-position fancy
+            # index: (S, n_seg, G) -> contiguous (n_seg, S, 1, G).
+            source = np.ascontiguousarray(
+                reduced_stack[:, fsr].transpose(1, 0, 2)
+            )[:, :, None, :]
+            dpsi = np.empty(
+                (plan.num_segments, num_states, self.num_polar, self.num_groups)
+            )
+            for i in range(plan.max_positions):
+                lo, hi = starts[i], starts[i + 1]
+                if lo == hi:
+                    break  # column widths only shrink
+                if table is not None:
+                    e = table[lo:hi]
+                else:
+                    f = fsr[lo:hi]
+                    e = np.stack(
+                        [
+                            self.evaluator(
+                                terms.sigma_t_safe[f][:, None, :]
+                                * plan.pos_len[d][lo:hi, None, None]
+                                * self.inv_sin[None, :, None]
+                            )
+                            for terms in self.terms
+                        ],
+                        axis=1,
+                    )
+                view = cur[: hi - lo]
+                dp = (view - source[lo:hi]) * e
+                view -= dp
+                dpsi[lo:hi] = dp
+                if capture is not None:
+                    rows = capture.rows[d][i]
+                    if rows.size:
+                        capture.out[d][capture.dest[d][i]] = view[rows]
+            psi[d][plan.track_order] = cur
+            # One widened polar contraction + one multi-column bincount:
+            # each (state, group) column reduces in the same element order
+            # as the single-state expression, so the slices stay bitwise.
+            contrib = np.einsum("nspg,np->nsg", dpsi, plan.pos_weights[d])
+            total += tally_from_segments(
+                contrib.reshape(plan.num_segments, num_states * self.num_groups),
+                fsr,
+                self.num_fsrs,
+            ).reshape(self.num_fsrs, num_states, self.num_groups)
+        tallies = [np.ascontiguousarray(total[:, s]) for s in range(num_states)]
+        if self.tallies is not None:
+            assert capture is not None
+            for s, tally in enumerate(self.tallies):
+                for d in (0, 1):
+                    tally.capture.out[d][...] = capture.out[d][:, s]
+                tally.accumulate(
+                    [
+                        np.ascontiguousarray(psi[0][:, s]),
+                        np.ascontiguousarray(psi[1][:, s]),
+                    ]
+                )
+        # Exchange: outgoing flux becomes the linked traversal's incoming.
+        new_in = np.zeros_like(self.psi_in)
+        for d in (0, 1):
+            live = ~self.terminal[:, d]
+            new_in[self.next_track[live, d], self.next_dir[live, d]] = psi[d][live]
+        self.psi_in = new_in
+        self.num_sweeps += 1
+        return tallies
+
+    def finalize_state(
+        self,
+        state: int,
+        tally: np.ndarray,
+        reduced_source: np.ndarray,
+        volumes: np.ndarray,
+    ) -> np.ndarray:
+        """Single-state scalar-flux finalisation (the exact
+        :meth:`~repro.solver.sweep2d.TransportSweep2D.finalize_scalar_flux`
+        expression against this state's cross sections)."""
+        sigma_t = self.terms[state].sigma_t_safe
+        safe_v = np.where(volumes > 0.0, volumes, 1.0)
+        phi = FOUR_PI * reduced_source + tally / (sigma_t * safe_v[:, None])
+        phi[volumes <= 0.0] = FOUR_PI * reduced_source[volumes <= 0.0]
+        return phi
+
+
+class BatchedKeffSolver:
+    """Power iteration over all states of one batch simultaneously.
+
+    Replicates :class:`~repro.solver.keff.KeffSolver.solve` per state —
+    same normalisation, same update order, same accelerator hook, same
+    convergence monitoring — with the transport sweep amortised across
+    states through :class:`BatchedSweep2D`.
+    """
+
+    def __init__(
+        self,
+        sweeper: BatchedSweep2D,
+        volumes: np.ndarray,
+        keff_tolerance: float,
+        source_tolerance: float,
+        max_iterations: int = 500,
+        accelerators: list | None = None,
+    ) -> None:
+        self.sweeper = sweeper
+        self.terms = sweeper.terms
+        self.volumes = np.asarray(volumes, dtype=np.float64)
+        self.keff_tolerance = keff_tolerance
+        self.source_tolerance = source_tolerance
+        self.max_iterations = int(max_iterations)
+        self.accelerators = accelerators or [None] * sweeper.num_states
+        if len(self.accelerators) != sweeper.num_states:
+            raise ScenarioError("one accelerator slot per state required")
+        for s, terms in enumerate(self.terms):
+            if not np.any(terms.nu_sigma_f > 0.0):
+                raise SolverError(
+                    f"no fissile region present in state {s}; k-eigenvalue undefined"
+                )
+
+    def solve(self) -> list[SolveResult]:
+        """Iterate until every state converges (or max iterations)."""
+        start = time.perf_counter()
+        sweeper = self.sweeper
+        num_states = sweeper.num_states
+        volumes = self.volumes
+        phi: list[np.ndarray] = []
+        keff = [1.0] * num_states
+        monitors = []
+        for s in range(num_states):
+            terms = self.terms[s]
+            p = np.ones((terms.num_regions, terms.num_groups))
+            production = terms.fission_production(p, volumes)
+            if production <= 0.0:
+                raise SolverError("initial flux produces no fission neutrons")
+            p /= production
+            phi.append(p)
+            monitors.append(
+                ConvergenceMonitor(
+                    keff_tolerance=self.keff_tolerance,
+                    source_tolerance=self.source_tolerance,
+                )
+            )
+        phases = {"source": 0.0, "sweep": 0.0, "finalize": 0.0}
+        reduced: list[np.ndarray | None] = [None] * num_states
+        frozen: list[SolveResult | None] = [None] * num_states
+        active = set(range(num_states))
+        for _ in range(self.max_iterations):
+            t0 = time.perf_counter()
+            for s in active:
+                reduced[s] = self.terms[s].reduced_source(phi[s], keff[s])
+            # Frozen states recycle their last reduced source: the widened
+            # kernel still needs a valid input for every state, and their
+            # results were snapshotted at convergence.
+            reduced_stack = np.stack(reduced, axis=0)
+            t1 = time.perf_counter()
+            tallies = sweeper.sweep(reduced_stack)
+            t2 = time.perf_counter()
+            phases["source"] += t1 - t0
+            phases["sweep"] += t2 - t1
+            for s in sorted(active):
+                terms = self.terms[s]
+                t3 = time.perf_counter()
+                phi_new = sweeper.finalize_state(s, tallies[s], reduced[s], volumes)
+                phases["finalize"] += time.perf_counter() - t3
+                new_production = terms.fission_production(phi_new, volumes)
+                if new_production <= 0.0:
+                    raise SolverError("fission production vanished during iteration")
+                keff[s] = keff[s] * new_production
+                phi[s] = phi_new / new_production
+                if self.accelerators[s] is not None:
+                    keff[s] = self.accelerators[s].apply(phi_new, phi[s], keff[s])
+                monitors[s].update(keff[s], terms.fission_source(phi[s]))
+                if monitors[s].converged:
+                    frozen[s] = self._snapshot(s, phi[s], keff[s], monitors[s], start, phases)
+            active -= {s for s in active if frozen[s] is not None}
+            if not active:
+                break
+        results: list[SolveResult] = []
+        for s in range(num_states):
+            if frozen[s] is not None:
+                results.append(frozen[s])
+                continue
+            get_logger("repro.scenario").warning(
+                "scenario state %d stopped unconverged after %d iterations "
+                "(max_iterations=%d)", s, monitors[s].num_iterations, self.max_iterations,
+            )
+            results.append(self._snapshot(s, phi[s], keff[s], monitors[s], start, phases))
+        return results
+
+    def _snapshot(
+        self, state: int, phi: np.ndarray, keff: float, monitor, start: float, phases: dict
+    ) -> SolveResult:
+        stats = getattr(self.accelerators[state], "stats", None)
+        return SolveResult(
+            keff=keff,
+            scalar_flux=phi.copy(),
+            converged=monitor.converged,
+            num_iterations=monitor.num_iterations,
+            monitor=monitor,
+            # Wall time and phase attribution are batch-wide: the sweep is
+            # shared, so per-state attribution would double-count it.
+            solve_seconds=time.perf_counter() - start,
+            phase_seconds=dict(phases),
+            cmfd_stats=stats.as_dict() if stats is not None else {},
+        )

@@ -1,0 +1,171 @@
+"""Declarative cross-section perturbations and scenario-state hashing.
+
+A scenario is a named list of perturbations applied to the *materials* of
+a geometry, never to the geometry itself — every supported kind is
+tracking-invariant, which is what lets a batch share one track laydown
+and one SweepPlan across all states (DESIGN.md "Scenario batching").
+
+Derived materials keep the base material's name so perturbations chain
+(a density branch on top of a substitution still finds its target), and
+each perturbation derives one new material per *distinct* base material
+id, so :class:`~repro.solver.source.SourceTerms` deduplication sees the
+same sharing structure as the unperturbed state.
+
+State identity reuses the manifest's float-bit-sensitive hashing
+(:func:`~repro.observability.manifest.config_hash`): a 1-ULP change in a
+scaling factor yields a distinct per-state hash, and key order never
+matters. The batch manifest is the parent config hash (scenarios
+stripped) plus one hash per state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import ScenarioError, SolverError
+from repro.io.config import PerturbationConfig, RunConfig, ScenarioConfig
+from repro.materials.material import Material
+from repro.observability.manifest import config_hash
+
+
+def _group_index(groups: tuple, num_groups: int, where: str) -> np.ndarray:
+    if not groups:
+        return np.arange(num_groups)
+    idx = np.asarray(groups, dtype=np.intp)
+    if idx.size and int(idx.max()) >= num_groups:
+        raise ScenarioError(
+            f"{where}: group index {int(idx.max())} out of range for "
+            f"{num_groups}-group material"
+        )
+    return idx
+
+
+def _scaled_material(base: Material, pert: PerturbationConfig, where: str) -> Material:
+    """A copy of ``base`` with one reaction channel scaled by ``factor``."""
+    num_groups = base.sigma_t.shape[0]
+    idx = _group_index(pert.groups, num_groups, where)
+    factor = float(pert.factor)
+    sigma_t = np.array(base.sigma_t)
+    sigma_s = np.array(base.sigma_s)
+    nu_sigma_f = None if base.nu_sigma_f is None else np.array(base.nu_sigma_f)
+    sigma_f = None if base.sigma_f is None else np.array(base.sigma_f)
+    chi = None if base.chi is None else np.array(base.chi)
+    reaction = "all" if pert.kind == "density" else pert.reaction
+    if reaction in ("fission", "nu_fission") and (
+        nu_sigma_f is None or not nu_sigma_f.any()
+    ):
+        raise ScenarioError(
+            f"{where}: material {base.name!r} has no fission data to scale"
+        )
+    if reaction in ("total", "all"):
+        sigma_t[idx] *= factor
+    if reaction in ("scatter", "all"):
+        sigma_s[idx, :] *= factor
+    if reaction in ("fission", "all"):
+        if nu_sigma_f is not None:
+            nu_sigma_f[idx] *= factor
+        if sigma_f is not None:
+            sigma_f[idx] *= factor
+    if reaction == "nu_fission":
+        nu_sigma_f[idx] *= factor
+    try:
+        return Material(
+            base.name, sigma_t, sigma_s,
+            nu_sigma_f=nu_sigma_f, sigma_f=sigma_f, chi=chi,
+        )
+    except SolverError as exc:
+        raise ScenarioError(
+            f"{where}: perturbed material {base.name!r} is inconsistent: {exc}"
+        ) from exc
+
+
+def _derive(
+    base: Material,
+    pert: PerturbationConfig,
+    library: Mapping[str, Material],
+    where: str,
+) -> Material:
+    if pert.kind == "substitute":
+        replacement = library.get(pert.replacement or "")
+        if replacement is None:
+            raise ScenarioError(
+                f"{where}: replacement material {pert.replacement!r} is not "
+                f"in the library; available: {sorted(library)}"
+            )
+        return replacement
+    return _scaled_material(base, pert, where)
+
+
+def scenario_materials(
+    fsr_materials: Sequence[Material],
+    scenario: ScenarioConfig,
+    library: Mapping[str, Material] | None = None,
+    *,
+    require_match: bool = True,
+) -> list[Material]:
+    """The per-FSR material list of one perturbed state.
+
+    Perturbations apply in declaration order; each one must match at
+    least one material *by name* or the scenario is rejected (a silent
+    no-op perturbation is always a config mistake). Decomposed callers
+    pass ``require_match=False`` per subdomain — a subdomain legitimately
+    may not contain the targeted material — after validating the
+    scenario once against the global material set.
+    """
+    materials = list(fsr_materials)
+    if library is None:
+        library = {m.name: m for m in materials}
+    for k, pert in enumerate(scenario.perturbations):
+        where = f"scenario {scenario.name!r} perturbation {k}"
+        memo: dict[int, Material] = {}
+        matched = False
+        out: list[Material] = []
+        for mat in materials:
+            if mat.name == pert.material:
+                matched = True
+                if mat.id not in memo:
+                    memo[mat.id] = _derive(mat, pert, library, where)
+                out.append(memo[mat.id])
+            else:
+                out.append(mat)
+        if not matched and require_match:
+            raise ScenarioError(
+                f"{where}: no material named {pert.material!r} in the "
+                f"geometry; present: {sorted({m.name for m in materials})}"
+            )
+        materials = out
+    return materials
+
+
+# ----------------------------------------------------------------- hashing
+
+
+def _base_dict(config: RunConfig) -> dict[str, Any]:
+    base = config.to_dict()
+    base.pop("scenarios", None)
+    return base
+
+
+def state_config_hash(config: RunConfig, scenario: ScenarioConfig) -> str:
+    """Content hash of one scenario state: the parent config (scenarios
+    stripped) plus this scenario's perturbations, through the manifest's
+    canonical float-bit-sensitive hashing."""
+    return config_hash({**_base_dict(config), "scenario": asdict(scenario)})
+
+
+def batch_manifest(
+    config: RunConfig, scenarios: Sequence[ScenarioConfig] | None = None
+) -> dict[str, Any]:
+    """The batch identity record: parent hash plus per-state hashes."""
+    if scenarios is None:
+        scenarios = config.scenarios
+    return {
+        "parent_hash": config_hash(_base_dict(config)),
+        "states": [
+            {"name": s.name, "state_hash": state_config_hash(config, s)}
+            for s in scenarios
+        ],
+    }

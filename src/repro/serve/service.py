@@ -249,7 +249,7 @@ class SolveService:
             self._bump("timed_out")
             return
         job.transition(JobState.ADMITTED)
-        key = config_hash(job.config.to_dict())
+        key = self._job_key(job.config)
         entry = self.report_cache.get(key)
         started = time.monotonic()
         if entry is not None:
@@ -276,6 +276,9 @@ class SolveService:
             self._bump("failed")
             return
         job.execute_seconds = time.monotonic() - started
+        if job.config.scenarios:
+            self._finish_batch(job, key, result)
+            return
         report = result.run_report
         evictions = 0
         if report is not None:
@@ -297,6 +300,54 @@ class SolveService:
         )
         self._bump("done")
 
+    def _job_key(self, cfg: RunConfig) -> str:
+        """Report-cache key of a request. A single-scenario request keys
+        on its *state* hash, so a per-state entry stored by an earlier
+        batch of the same parent config answers it without sweeping."""
+        if len(cfg.scenarios) == 1:
+            from repro.scenario import state_config_hash
+
+            return state_config_hash(cfg, cfg.scenarios[0])
+        return config_hash(cfg.to_dict())
+
+    def _finish_batch(self, job: SolveJob, key: str, result) -> None:
+        """Settle a scenario-batch job: every state's pristine report and
+        flux are cached under the state's perturbation hash (later
+        single-scenario requests hit per state); the batch key carries the
+        first state so an exact-batch repeat is a hit too. The response
+        answers with the first state."""
+        evictions = 0
+        for state in result.states:
+            evictions += self.report_cache.put(
+                state.state_hash,
+                CacheEntry(
+                    report_payload=state.run_report.to_dict(),
+                    scalar_flux=state.scalar_flux.copy(),
+                ),
+            )
+        first = result.states[0]
+        if key != first.state_hash:
+            evictions += self.report_cache.put(
+                key,
+                CacheEntry(
+                    report_payload=first.run_report.to_dict(),
+                    scalar_flux=first.scalar_flux.copy(),
+                ),
+            )
+        report = first.run_report
+        self._annotate(report, job, hit=False, evictions=evictions)
+        job.finish(
+            JobState.DONE,
+            report=report,
+            scalar_flux=first.scalar_flux,
+            cache_hit=False,
+        )
+        self._bump("done")
+        self._logger.info(
+            "job %s: scenario batch of %d state(s) cached under %s",
+            job.job_id, len(result.states), result.parent_hash[:12],
+        )
+
     def _run(self, job: SolveJob):
         from repro.runtime.antmoc import AntMocApplication
 
@@ -313,6 +364,15 @@ class SolveService:
             timeout=cfg.decomposition.timeout,
             pin_workers=cfg.decomposition.pin_workers,
         )
+        if cfg.scenarios:
+            from repro.scenario import run_scenario_batch
+
+            return run_scenario_batch(
+                cfg,
+                engine=engine,
+                tracking_cache=self._tracking_cache_for(cfg.tracking),
+                stage_hook=stage_hook,
+            )
         app = AntMocApplication(
             cfg,
             engine=engine,

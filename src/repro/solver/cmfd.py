@@ -497,6 +497,14 @@ class CurrentTally:
         self._currents[:] = 0.0
         return out
 
+    def reset(self) -> None:
+        """Zero all tally state (currents and captured crossings) — used
+        when a solver is rebound to new cross sections: the layout is
+        XS-independent and reused, the accumulated values are not."""
+        self._currents[:] = 0.0
+        for out in self.capture.out:
+            out[:] = 0.0
+
 
 def _validate_link_weights(topology) -> None:
     """Linked traversals must carry equal quadrature weights: an entry is

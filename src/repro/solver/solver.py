@@ -67,17 +67,26 @@ class MOCSolver:
         tracer: str | None = None,
         cache=None,
         cmfd=None,
+        trackgen: TrackGenerator | None = None,
+        materials=None,
     ) -> "MOCSolver":
-        """Build a 2D solver: tracking, sweep and power iteration."""
-        trackgen = TrackGenerator(
-            geometry,
-            num_azim=num_azim,
-            azim_spacing=azim_spacing,
-            num_polar=num_polar,
-            tracer=tracer,
-            cache=cache,
-        ).generate()
-        terms = SourceTerms(list(geometry.fsr_materials))
+        """Build a 2D solver: tracking, sweep and power iteration.
+
+        ``trackgen`` injects an already-generated track laydown (scenario
+        batches trace once and solve many states over it); ``materials``
+        overrides the per-FSR material list (a perturbed state of the same
+        geometry — tracking-invariant by construction).
+        """
+        if trackgen is None:
+            trackgen = TrackGenerator(
+                geometry,
+                num_azim=num_azim,
+                azim_spacing=azim_spacing,
+                num_polar=num_polar,
+                tracer=tracer,
+                cache=cache,
+            ).generate()
+        terms = SourceTerms(list(geometry.fsr_materials) if materials is None else list(materials))
         sweeper = TransportSweep2D(trackgen, terms, evaluator, backend=backend)
         volumes = trackgen.fsr_volumes
         accelerator = None

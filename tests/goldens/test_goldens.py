@@ -24,6 +24,7 @@ import pytest
 from repro.observability.diff import diff_records, format_diff, has_significant
 from repro.observability.exporters import read_record, write_record
 from repro.runtime import AntMocApplication
+from repro.scenario import run_scenario_batch
 from tests.observability.conftest import mini_2d_config, mini_3d_config
 
 GOLDEN_DIR = Path(__file__).resolve().parent
@@ -44,6 +45,58 @@ CASES = {
             "source_tolerance": 1e-14,
             "storage_method": "EXP",
         },
+    ),
+}
+
+#: Scenario-batch goldens: each pins ONE perturbed state of a two-state
+#: batch (nominal + branch) solved through the widened scenario-axis
+#: kernel. The backend is pinned to numpy because the ``scenarios_batched``
+#: counter is mode-dependent (other backends run the sequential fallback).
+SCENARIO_CASES = {
+    "c5g7-mini-fission95": (
+        "fission-95",
+        lambda: mini_2d_config(
+            solver={
+                "max_iterations": 12,
+                "keff_tolerance": 1e-14,
+                "source_tolerance": 1e-14,
+                "sweep_backend": "numpy",
+            },
+            scenarios=[
+                {"name": "nominal", "perturbations": []},
+                {
+                    "name": "fission-95",
+                    "perturbations": [
+                        {
+                            "kind": "scale_xs",
+                            "material": "UO2",
+                            "reaction": "fission",
+                            "factor": 0.95,
+                        }
+                    ],
+                },
+            ],
+        ),
+    ),
+    "c5g7-mini-dense-moderator": (
+        "dense-moderator",
+        lambda: mini_2d_config(
+            solver={
+                "max_iterations": 12,
+                "keff_tolerance": 1e-14,
+                "source_tolerance": 1e-14,
+                "sweep_backend": "numpy",
+            },
+            scenarios=[
+                {"name": "nominal", "perturbations": []},
+                {
+                    "name": "dense-moderator",
+                    "perturbations": [
+                        {"kind": "density", "material": "Moderator", "factor": 1.05}
+                    ],
+                },
+            ],
+        ),
     ),
 }
 
@@ -69,8 +122,13 @@ def golden_path(case: str) -> Path:
 
 def measure(case: str) -> dict:
     """Solve the case and reduce it to the golden schema."""
-    result = AntMocApplication(CASES[case]()).run()
-    report = result.run_report
+    if case in SCENARIO_CASES:
+        target, factory = SCENARIO_CASES[case]
+        state = run_scenario_batch(factory()).state(target)
+        result, report = state, state.run_report
+    else:
+        result = AntMocApplication(CASES[case]()).run()
+        report = result.run_report
     counters = report.counters.to_dict()
     return {
         "case": case,
@@ -86,7 +144,7 @@ def measure(case: str) -> dict:
     }
 
 
-@pytest.fixture(scope="module", params=sorted(CASES))
+@pytest.fixture(scope="module", params=sorted(CASES) + sorted(SCENARIO_CASES))
 def measured(request):
     return measure(request.param)
 

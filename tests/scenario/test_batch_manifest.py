@@ -1,0 +1,181 @@
+"""Batch-manifest identity: stable across orderings and processes,
+sensitive to the last bit of every perturbation factor.
+
+Mirrors ``tests/observability/test_manifest_stability.py`` for the
+scenario layer: the serve report cache keys per-state results on
+:func:`~repro.scenario.perturbation.state_config_hash`, so that hash
+must be a pure function of content — and a 1-ULP cross-section change
+must produce a *different* state, never a stale cache hit.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.io.config import config_from_dict
+from repro.scenario import batch_manifest, state_config_hash
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+#: One batch spelled twice with scrambled key orders at every level.
+_ORDER_A = {
+    "geometry": "c5g7-mini",
+    "tracking": {"num_azim": 4, "azim_spacing": 0.5, "num_polar": 2},
+    "scenarios": [
+        {
+            "name": "branch",
+            "perturbations": [
+                {
+                    "kind": "scale_xs",
+                    "material": "UO2",
+                    "reaction": "fission",
+                    "factor": 0.95,
+                }
+            ],
+        }
+    ],
+}
+_ORDER_B = {
+    "scenarios": [
+        {
+            "perturbations": [
+                {
+                    "factor": 0.95,
+                    "reaction": "fission",
+                    "material": "UO2",
+                    "kind": "scale_xs",
+                }
+            ],
+            "name": "branch",
+        }
+    ],
+    "tracking": {"num_polar": 2, "azim_spacing": 0.5, "num_azim": 4},
+    "geometry": "c5g7-mini",
+}
+
+_CHILD_SCRIPT = """\
+import json
+from repro.io.config import config_from_dict
+from repro.scenario import batch_manifest
+payload = {
+    "scenarios": [
+        {
+            "perturbations": [
+                {
+                    "factor": 0.95,
+                    "reaction": "fission",
+                    "material": "UO2",
+                    "kind": "scale_xs",
+                }
+            ],
+            "name": "branch",
+        }
+    ],
+    "tracking": {"num_polar": 2, "azim_spacing": 0.5, "num_azim": 4},
+    "geometry": "c5g7-mini",
+}
+print(json.dumps(batch_manifest(config_from_dict(payload))))
+"""
+
+
+def _child_manifest(extra_env=None):
+    import json
+
+    env = dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src"))
+    env.update(extra_env or {})
+    output = subprocess.run(
+        [sys.executable, "-c", _CHILD_SCRIPT],
+        capture_output=True,
+        text=True,
+        check=True,
+        env=env,
+        cwd=REPO_ROOT,
+    )
+    return json.loads(output.stdout.strip())
+
+
+def _with_factor(factor):
+    payload = {
+        **_ORDER_A,
+        "scenarios": [
+            {
+                "name": "branch",
+                "perturbations": [
+                    {
+                        "kind": "scale_xs",
+                        "material": "UO2",
+                        "reaction": "fission",
+                        "factor": factor,
+                    }
+                ],
+            }
+        ],
+    }
+    return config_from_dict(payload)
+
+
+class TestKeyOrdering:
+    def test_scrambled_key_orders_agree(self):
+        assert batch_manifest(config_from_dict(_ORDER_A)) == batch_manifest(
+            config_from_dict(_ORDER_B)
+        )
+
+    def test_state_hash_differs_from_parent_hash(self):
+        manifest = batch_manifest(config_from_dict(_ORDER_A))
+        assert manifest["states"][0]["state_hash"] != manifest["parent_hash"]
+
+    def test_parent_hash_ignores_the_scenario_list(self):
+        """Adding a scenario changes state hashes, never the parent —
+        the serve cache's batch-parent identity survives branch edits."""
+        one = batch_manifest(config_from_dict(_ORDER_A))
+        grown = dict(
+            _ORDER_A,
+            scenarios=_ORDER_A["scenarios"]
+            + [{"name": "more", "perturbations": []}],
+        )
+        two = batch_manifest(config_from_dict(grown))
+        assert one["parent_hash"] == two["parent_hash"]
+        assert len(two["states"]) == 2
+
+
+class TestBitSensitivity:
+    def test_one_ulp_factor_change_changes_the_state_hash(self):
+        cfg = _with_factor(0.95)
+        nudged = _with_factor(math.nextafter(0.95, 1.0))
+        a = state_config_hash(cfg, cfg.scenarios[0])
+        b = state_config_hash(nudged, nudged.scenarios[0])
+        assert a != b
+
+    def test_one_ulp_factor_change_keeps_the_parent_hash(self):
+        cfg = _with_factor(0.95)
+        nudged = _with_factor(math.nextafter(0.95, 1.0))
+        assert (
+            batch_manifest(cfg)["parent_hash"]
+            == batch_manifest(nudged)["parent_hash"]
+        )
+
+    def test_scenario_name_is_part_of_the_state_identity(self):
+        cfg = config_from_dict(_ORDER_A)
+        renamed = config_from_dict(
+            dict(
+                _ORDER_A,
+                scenarios=[dict(_ORDER_A["scenarios"][0], name="other")],
+            )
+        )
+        assert state_config_hash(cfg, cfg.scenarios[0]) != state_config_hash(
+            renamed, renamed.scenarios[0]
+        )
+
+
+class TestCrossProcess:
+    def test_subprocess_agrees_with_parent(self):
+        assert _child_manifest() == batch_manifest(config_from_dict(_ORDER_A))
+
+    def test_hash_randomization_is_irrelevant(self):
+        assert _child_manifest({"PYTHONHASHSEED": "1"}) == _child_manifest(
+            {"PYTHONHASHSEED": "424242"}
+        )

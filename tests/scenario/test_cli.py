@@ -1,0 +1,86 @@
+"""The ``solve-batch`` CLI verb."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+CONFIG = """\
+geometry: c5g7-mini
+tracking:
+  num_azim: 4
+  num_polar: 2
+  azim_spacing: 0.5
+solver:
+  max_iterations: 5
+  keff_tolerance: 1.0e-14
+  source_tolerance: 1.0e-14
+  sweep_backend: numpy
+scenarios:
+  - {name: nominal, perturbations: []}
+  - {name: fission-95, perturbations: [{kind: scale_xs, material: UO2, reaction: fission, factor: 0.95}]}
+"""
+
+
+@pytest.fixture()
+def config_path(tmp_path):
+    path = tmp_path / "batch.yaml"
+    path.write_text(CONFIG)
+    return str(path)
+
+
+class TestSolveBatch:
+    def test_prints_one_line_per_state(self, config_path, capsys):
+        code = main(["solve-batch", "--config", config_path])
+        out = capsys.readouterr().out
+        assert code == 2  # deliberately unconverged (tolerances at 1e-14)
+        assert "2 state(s), batched sweeps" in out
+        assert "nominal" in out and "fission-95" in out
+
+    def test_serial_flag_forces_the_fallback(self, config_path, capsys):
+        main(["solve-batch", "--config", config_path, "--serial"])
+        assert "sequential sweeps" in capsys.readouterr().out
+
+    def test_report_dir_writes_one_report_per_state(self, config_path, tmp_path):
+        directory = tmp_path / "reports"
+        main(
+            ["solve-batch", "--config", config_path, "--report-dir", str(directory)]
+        )
+        names = sorted(p.name for p in directory.glob("*.json"))
+        assert names == ["fission-95.json", "nominal.json"]
+        payload = json.loads((directory / "fission-95.json").read_text())
+        assert payload["results"]["keff"] > 0
+        assert payload["counters"]["scenarios_total"] == 2
+
+    def test_serial_reports_are_bitwise_equal_to_batched(
+        self, config_path, tmp_path
+    ):
+        batched_dir, serial_dir = tmp_path / "b", tmp_path / "s"
+        main(["solve-batch", "--config", config_path, "--report-dir", str(batched_dir)])
+        main(
+            [
+                "solve-batch", "--config", config_path,
+                "--serial", "--report-dir", str(serial_dir),
+            ]
+        )
+        for name in ("nominal.json", "fission-95.json"):
+            batched = json.loads((batched_dir / name).read_text())
+            serial = json.loads((serial_dir / name).read_text())
+            assert batched["results"]["keff"] == serial["results"]["keff"]  # repro: ignore[float-eq] — bitwise equivalence is the contract
+
+    def test_scenario_config_through_the_plain_verb_fails_loudly(
+        self, config_path, capsys
+    ):
+        code = main(["--config", config_path])
+        assert code == 1
+        assert "solve-batch" in capsys.readouterr().err
+
+    def test_missing_scenarios_block_fails_loudly(self, tmp_path, capsys):
+        path = tmp_path / "plain.yaml"
+        path.write_text("geometry: c5g7-mini\n")
+        code = main(["solve-batch", "--config", str(path)])
+        assert code == 1
+        assert "scenarios" in capsys.readouterr().err

@@ -1,0 +1,175 @@
+"""Unit tests for declarative cross-section perturbations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ScenarioError
+from repro.io.config import PerturbationConfig, ScenarioConfig, config_from_dict
+from repro.materials.c5g7 import c5g7_library
+from repro.scenario import scenario_materials
+
+LIBRARY = c5g7_library()
+
+
+def scenario(*perturbations, name="case"):
+    return ScenarioConfig(name=name, perturbations=tuple(perturbations))
+
+
+def base_list():
+    return [LIBRARY["UO2"], LIBRARY["Moderator"], LIBRARY["UO2"]]
+
+
+class TestScaleXs:
+    def test_fission_scaling_touches_only_fission_channels(self):
+        pert = PerturbationConfig(
+            kind="scale_xs", material="UO2", reaction="fission", factor=0.95
+        )
+        out = scenario_materials(base_list(), scenario(pert))
+        uo2, derived = LIBRARY["UO2"], out[0]
+        assert derived.name == "UO2"
+        np.testing.assert_array_equal(derived.sigma_t, uo2.sigma_t)
+        np.testing.assert_array_equal(derived.sigma_s, uo2.sigma_s)
+        np.testing.assert_array_equal(derived.nu_sigma_f, uo2.nu_sigma_f * 0.95)
+        np.testing.assert_array_equal(derived.sigma_f, uo2.sigma_f * 0.95)
+
+    def test_group_restriction(self):
+        pert = PerturbationConfig(
+            kind="scale_xs", material="UO2", reaction="nu_fission",
+            factor=0.9, groups=(0, 2),
+        )
+        out = scenario_materials(base_list(), scenario(pert))
+        expected = np.array(LIBRARY["UO2"].nu_sigma_f)
+        expected[[0, 2]] *= 0.9
+        np.testing.assert_array_equal(out[0].nu_sigma_f, expected)
+
+    def test_group_out_of_range_is_rejected(self):
+        pert = PerturbationConfig(
+            kind="scale_xs", material="UO2", reaction="total",
+            factor=1.1, groups=(99,),
+        )
+        with pytest.raises(ScenarioError, match="out of range"):
+            scenario_materials(base_list(), scenario(pert))
+
+    def test_fission_scaling_on_nonfissile_is_rejected(self):
+        pert = PerturbationConfig(
+            kind="scale_xs", material="Moderator", reaction="fission", factor=0.9
+        )
+        with pytest.raises(ScenarioError, match="no fission data"):
+            scenario_materials(base_list(), scenario(pert))
+
+    def test_inconsistent_perturbation_is_rejected(self):
+        # Scattering scaled far above the total cross section violates the
+        # Material consistency check; the error is wrapped per scenario.
+        pert = PerturbationConfig(
+            kind="scale_xs", material="Moderator", reaction="scatter", factor=50.0
+        )
+        with pytest.raises(ScenarioError, match="inconsistent"):
+            scenario_materials(base_list(), scenario(pert))
+
+
+class TestDensityAndSubstitute:
+    def test_density_scales_every_channel(self):
+        pert = PerturbationConfig(kind="density", material="UO2", factor=1.05)
+        out = scenario_materials(base_list(), scenario(pert))
+        uo2 = LIBRARY["UO2"]
+        np.testing.assert_array_equal(out[0].sigma_t, uo2.sigma_t * 1.05)
+        np.testing.assert_array_equal(out[0].sigma_s, uo2.sigma_s * 1.05)
+        np.testing.assert_array_equal(out[0].nu_sigma_f, uo2.nu_sigma_f * 1.05)
+
+    def test_substitute_returns_the_library_object(self):
+        pert = PerturbationConfig(
+            kind="substitute", material="UO2", replacement="MOX-4.3%"
+        )
+        out = scenario_materials(base_list(), scenario(pert), LIBRARY)
+        assert out[0] is LIBRARY["MOX-4.3%"]
+        assert out[2] is LIBRARY["MOX-4.3%"]
+        assert out[1] is LIBRARY["Moderator"]
+
+    def test_unknown_replacement_lists_the_library(self):
+        pert = PerturbationConfig(
+            kind="substitute", material="UO2", replacement="unobtainium"
+        )
+        with pytest.raises(ScenarioError, match="available"):
+            scenario_materials(base_list(), scenario(pert), LIBRARY)
+
+
+class TestMatchingAndSharing:
+    def test_no_match_is_rejected(self):
+        pert = PerturbationConfig(kind="density", material="absent", factor=1.1)
+        with pytest.raises(ScenarioError, match="no material named"):
+            scenario_materials(base_list(), scenario(pert))
+
+    def test_no_match_tolerated_for_subdomains(self):
+        pert = PerturbationConfig(kind="density", material="absent", factor=1.1)
+        out = scenario_materials(
+            base_list(), scenario(pert), require_match=False
+        )
+        assert out == base_list()
+
+    def test_sharing_structure_is_preserved(self):
+        """Equal base materials derive ONE object, so SourceTerms dedup
+        sees the same sharing as the unperturbed state."""
+        pert = PerturbationConfig(kind="density", material="UO2", factor=1.02)
+        out = scenario_materials(base_list(), scenario(pert))
+        assert out[0] is out[2]
+
+    def test_perturbations_chain_in_declaration_order(self):
+        swap = PerturbationConfig(
+            kind="substitute", material="UO2", replacement="MOX-4.3%"
+        )
+        dense = PerturbationConfig(kind="density", material="MOX-4.3%", factor=1.1)
+        out = scenario_materials(base_list(), scenario(swap, dense), LIBRARY)
+        np.testing.assert_array_equal(
+            out[0].sigma_t, LIBRARY["MOX-4.3%"].sigma_t * 1.1
+        )
+
+
+class TestConfigSchema:
+    def test_scenarios_block_round_trips(self):
+        cfg = config_from_dict(
+            {
+                "geometry": "c5g7-mini",
+                "scenarios": [
+                    {
+                        "name": "a",
+                        "perturbations": [
+                            {
+                                "kind": "scale_xs",
+                                "material": "UO2",
+                                "reaction": "fission",
+                                "factor": 0.95,
+                            }
+                        ],
+                    }
+                ],
+            }
+        )
+        assert cfg.scenarios[0].name == "a"
+        assert cfg.scenarios[0].perturbations[0].factor == 0.95
+        # Round trip: the dict form rebuilds the identical config.
+        assert config_from_dict(cfg.to_dict()) == cfg
+
+    def test_duplicate_scenario_names_rejected(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError, match="duplicate"):
+            config_from_dict(
+                {
+                    "geometry": "c5g7-mini",
+                    "scenarios": [{"name": "a"}, {"name": "a"}],
+                }
+            )
+
+    def test_empty_scenarios_do_not_change_the_config_hash(self):
+        """Plain configs hash identically with and without the (empty)
+        scenarios field — pre-batching cache keys stay valid."""
+        from repro.observability.manifest import config_hash
+
+        payload = {"geometry": "c5g7-mini"}
+        plain = config_from_dict(payload)
+        assert "scenarios" not in plain.to_dict()
+        assert config_hash(plain.to_dict()) == config_hash(
+            config_from_dict({**payload, "scenarios": []}).to_dict()
+        )
